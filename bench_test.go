@@ -1,0 +1,118 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper. Each benchmark regenerates its artifact end to end (simulations
+// included) and logs the produced rows/series once, so
+//
+//	go test -bench=BenchmarkFig8a -benchtime=1x -v
+//
+// reproduces the corresponding result. Simulated benchmarks use reduced
+// instruction windows to keep iteration times reasonable; EXPERIMENTS.md
+// records the full-scale numbers.
+package fusleep_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/archsim/fusleep"
+)
+
+// benchOpts keeps simulated benchmark iterations around a second.
+var benchOpts = fusleep.ExperimentOptions{Window: 150_000, Sweep: 75_000}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := fusleep.RunExperiment(id, &buf, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// Paper tables.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// Paper figures.
+func BenchmarkFig3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4a(b *testing.B) { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B) { benchExperiment(b, "fig4b") }
+func BenchmarkFig4c(b *testing.B) { benchExperiment(b, "fig4c") }
+func BenchmarkFig4d(b *testing.B) { benchExperiment(b, "fig4d") }
+func BenchmarkFig5c(b *testing.B) { benchExperiment(b, "fig5c") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") }
+func BenchmarkFig9a(b *testing.B) { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B) { benchExperiment(b, "fig9b") }
+
+// Section 5 side study and extensions.
+func BenchmarkMcfFUStudy(b *testing.B)      { benchExperiment(b, "mcf-fu") }
+func BenchmarkTimeoutStudy(b *testing.B)    { benchExperiment(b, "timeout") }
+func BenchmarkIdleByBench(b *testing.B)     { benchExperiment(b, "idle-by-bench") }
+func BenchmarkGradualSlices(b *testing.B)   { benchExperiment(b, "gradual-slices") }
+func BenchmarkBreakevenSens(b *testing.B)   { benchExperiment(b, "breakeven-sens") }
+func BenchmarkModelCrossCheck(b *testing.B) { benchExperiment(b, "crosscheck") }
+
+// Component micro-benchmarks: the substrate costs behind the experiments.
+
+func BenchmarkPipelineSimulation(b *testing.B) {
+	const window = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := fusleep.SimulateBenchmark("gcc", fusleep.SimOptions{Window: window})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(window)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+		_ = rep
+	}
+}
+
+func BenchmarkEnergyAccounting(b *testing.B) {
+	rep, err := fusleep.SimulateBenchmark("twolf", fusleep.SimOptions{Window: 200_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tech := fusleep.DefaultTech()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range fusleep.Policies {
+			e := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: pol}, 0.5, rep.FUProfiles)
+			if e.Total() <= 0 {
+				b.Fatal("non-positive energy")
+			}
+		}
+	}
+}
+
+func BenchmarkBreakeven(b *testing.B) {
+	tech := fusleep.DefaultTech()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tech.WithP(0.05 + float64(i%90)/100).Breakeven(0.5)
+	}
+	_ = sink
+}
+
+func BenchmarkCircuitCycle(b *testing.B) {
+	fu, err := fusleep.NewCircuitFU(fusleep.DefaultFUCircuit())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		switch i % 4 {
+		case 0, 1:
+			_ = fu.Evaluate(0.5)
+		case 2:
+			fu.IdleGated()
+		default:
+			_ = fu.Sleep()
+		}
+	}
+}

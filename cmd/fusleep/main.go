@@ -1,0 +1,60 @@
+// Command fusleep regenerates the tables and figures of Dropsho et al.,
+// "Managing Static Leakage Energy in Microprocessor Functional Units"
+// (MICRO 2002).
+//
+// Usage:
+//
+//	fusleep -list                 # show available experiments
+//	fusleep -exp fig8a            # one experiment
+//	fusleep -exp fig7,fig8a,fig8b # several (suite simulations are shared)
+//	fusleep -exp all -window 2000000 | tee results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/archsim/fusleep"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id(s), comma-separated, or 'all'")
+	list := flag.Bool("list", false, "list experiments")
+	window := flag.Uint64("window", 1_000_000, "instruction window per benchmark")
+	sweep := flag.Uint64("sweep", 750_000, "instruction window per Table 3 sweep run")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Printf("%-15s %-10s %-4s %s\n", "id", "paper", "sim", "description")
+		for _, e := range fusleep.Experiments() {
+			sim := ""
+			if e.Simulated {
+				sim = "yes"
+			}
+			fmt.Printf("%-15s %-10s %-4s %s\n", e.ID, e.Paper, sim, e.Desc)
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nselect experiments with -exp <id>[,<id>...] or -exp all")
+		}
+		return
+	}
+
+	opts := fusleep.ExperimentOptions{Window: *window, Sweep: *sweep}
+	if *exp == "all" {
+		if err := fusleep.RunAll(os.Stdout, opts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	ids := strings.Split(*exp, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	if err := fusleep.RunExperiments(ids, os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Command simcpu runs one benchmark of the suite on the simulated Table 2
+// machine and reports pipeline, cache, predictor, and functional-unit
+// statistics. It is the inspection tool for the simulation substrate.
+//
+// Usage:
+//
+//	simcpu -bench mcf -insts 1000000 -fus 2 -l2lat 12
+//	simcpu -all -insts 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/archsim/fusleep/internal/pipeline"
+	"github.com/archsim/fusleep/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark name")
+	all := flag.Bool("all", false, "run the whole suite")
+	insts := flag.Uint64("insts", 1_000_000, "instruction window")
+	fus := flag.Int("fus", 0, "integer functional units (0 = paper's Table 3 count)")
+	l2lat := flag.Int("l2lat", 12, "L2 hit latency, cycles")
+	verbose := flag.Bool("v", false, "print cache/predictor detail")
+	flag.Parse()
+
+	specs := workload.Benchmarks
+	if !*all {
+		s, err := workload.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = []workload.Spec{s}
+	}
+
+	fmt.Printf("%-8s %4s %10s %10s %7s %8s %8s %8s %8s\n",
+		"bench", "FUs", "insts", "cycles", "IPC", "util%", "idle%", "L1D-mr", "bp-acc")
+	for _, s := range specs {
+		n := *fus
+		if n == 0 {
+			n = s.PaperFUs
+		}
+		cfg := pipeline.DefaultConfig().WithIntALUs(n).WithL2Latency(*l2lat)
+		cfg.MaxInsts = *insts
+		cpu, err := pipeline.New(cfg, s.NewTrace(*insts))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := cpu.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		var idleFrac float64
+		for _, fu := range res.FUs {
+			idleFrac += 1 - fu.Utilization()
+		}
+		idleFrac /= float64(len(res.FUs))
+		fmt.Printf("%-8s %4d %10d %10d %7.3f %8.1f %8.1f %8.3f %8.3f\n",
+			s.Name, n, res.Committed, res.Cycles, res.IPC(),
+			res.MeanFUUtilization()*100, idleFrac*100,
+			res.L1D.MissRate(), res.Bpred.DirAccuracy())
+		if *verbose {
+			fmt.Printf("    paper IPC=%.3f (max %.3f, FUs %d)  L1I-mr=%.4f L2-mr=%.3f "+
+				"dtlb-mr=%.4f forwards=%d mispredicts=%d fetch-stalls=%d\n",
+				s.PaperIPC, s.PaperMaxIPC, s.PaperFUs,
+				res.L1I.MissRate(), res.L2.MissRate(), res.DTLB.MissRate(),
+				res.LoadForwards, res.Bpred.Mispredicts, res.FetchMispredictStalls)
+		}
+	}
+}

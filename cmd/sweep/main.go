@@ -1,0 +1,78 @@
+// Command sweep explores the energy-model parameter space from the command
+// line: breakeven intervals, policy energies over closed-form scenarios,
+// and GradualSleep slice counts. It needs no simulation and answers "which
+// policy wins at my technology point?" interactively.
+//
+// Usage:
+//
+//	sweep -mode breakeven -alpha 0.5
+//	sweep -mode policy -p 0.5 -usage 0.5 -idle 10
+//	sweep -mode slices -p 0.05 -idle 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/archsim/fusleep"
+)
+
+func main() {
+	mode := flag.String("mode", "breakeven", "breakeven | policy | slices")
+	p := flag.Float64("p", 0.05, "leakage factor")
+	alpha := flag.Float64("alpha", 0.5, "activity factor")
+	usage := flag.Float64("usage", 0.5, "usage factor f_A")
+	idle := flag.Float64("idle", 10, "mean idle interval, cycles")
+	flag.Parse()
+
+	tech := fusleep.DefaultTech().WithP(*p)
+	switch *mode {
+	case "breakeven":
+		fmt.Printf("%-8s %-12s\n", "p", "breakeven")
+		for pp := 0.05; pp <= 1.0001; pp += 0.05 {
+			fmt.Printf("%-8.2f %-12.2f\n", pp, fusleep.DefaultTech().WithP(pp).Breakeven(*alpha))
+		}
+		fmt.Printf("\nat p=%.2f alpha=%.2f: breakeven %.2f cycles, recommended slices %d\n",
+			*p, *alpha, tech.Breakeven(*alpha), tech.BreakevenSlices(*alpha))
+	case "policy":
+		s := fusleep.Scenario{TotalCycles: 1e6, Usage: *usage, MeanIdle: *idle, Alpha: *alpha}
+		if err := s.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("p=%.2f usage=%.2f idle=%.1f alpha=%.2f\n", *p, *usage, *idle, *alpha)
+		fmt.Printf("%-14s %-12s %-12s %-10s\n", "policy", "E/E_base", "leak frac", "vs best")
+		best := 1e300
+		vals := map[fusleep.Policy]float64{}
+		for _, pol := range append(fusleep.Policies, fusleep.OracleMinimal) {
+			e := tech.PolicyEnergy(fusleep.PolicyConfig{Policy: pol}, s)
+			rel := e.Total() / tech.BaseEnergy(*alpha, s.TotalCycles)
+			vals[pol] = rel
+			if rel < best {
+				best = rel
+			}
+		}
+		for _, pol := range append(fusleep.Policies, fusleep.OracleMinimal) {
+			e := tech.PolicyEnergy(fusleep.PolicyConfig{Policy: pol}, s)
+			fmt.Printf("%-14s %-12.4f %-12.4f %+.1f%%\n", pol,
+				vals[pol], e.LeakageFraction(), (vals[pol]/best-1)*100)
+		}
+	case "slices":
+		s := fusleep.Scenario{TotalCycles: 1e6, Usage: *usage, MeanIdle: *idle, Alpha: *alpha}
+		fmt.Printf("GradualSleep slice sweep at p=%.2f, mean idle %.1f\n", *p, *idle)
+		fmt.Printf("%-8s %-12s\n", "K", "E/E_base")
+		for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128, 1 << 16} {
+			rel := tech.RelativeToBase(fusleep.PolicyConfig{Policy: fusleep.GradualSleep, Slices: k}, s)
+			name := fmt.Sprintf("%d", k)
+			if k >= 1<<16 {
+				name = "inf"
+			}
+			fmt.Printf("%-8s %-12.4f\n", name, rel)
+		}
+		fmt.Printf("recommended (breakeven) slices: %d\n", tech.BreakevenSlices(*alpha))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,30 @@
+// Package fusleep is a library-level reproduction of "Managing Static
+// Leakage Energy in Microprocessor Functional Units" (Dropsho, Kursun,
+// Albonesi, Dwarkadas, Friedman; MICRO-35, 2002).
+//
+// The paper studies when dual threshold voltage domino logic should enter
+// its low-leakage sleep mode given that the transition itself costs energy.
+// This package exposes:
+//
+//   - the architecture-level static-energy model (Tech, Breakdown,
+//     Scenario) with its breakeven-interval analysis;
+//   - the four sleep-management policies (AlwaysActive, MaxSleep,
+//     NoOverhead, GradualSleep) plus the OracleMinimal bound, applied
+//     either to closed-form scenarios or to measured idle profiles;
+//   - the circuit-level functional-unit model of Section 2 (CircuitFU);
+//   - a trace-driven out-of-order processor simulation of the paper's
+//     Alpha-21264-like machine with nine calibrated synthetic benchmarks
+//     (SimulateBenchmark), producing per-functional-unit idle profiles;
+//   - every table and figure of the evaluation as a runnable experiment
+//     (Experiments, RunExperiment).
+//
+// # Quick start
+//
+//	tech := fusleep.DefaultTech()                  // p=0.05, c=0.001, e=0.01, d=0.5
+//	be := tech.Breakeven(0.5)                      // ~20 cycles
+//	rep, _ := fusleep.SimulateBenchmark("mcf", fusleep.SimOptions{Window: 1e6})
+//	e := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: fusleep.MaxSleep}, 0.5, rep.FUProfiles)
+//	fmt.Println(e.Total(), e.LeakageFraction(), be)
+//
+// See the examples directory and EXPERIMENTS.md for the full reproduction.
+package fusleep

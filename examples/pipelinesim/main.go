@@ -1,0 +1,46 @@
+// Pipelinesim runs a benchmark on the simulated Alpha-21264-like machine,
+// extracts the measured per-functional-unit idle profiles, and accounts the
+// energy of every sleep policy over them — the full Section 4/5 methodology
+// of the paper on one benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/archsim/fusleep"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark name (see fusleep.BenchmarkNames)")
+	window := flag.Uint64("window", 1_000_000, "instruction window")
+	flag.Parse()
+
+	rep, err := fusleep.SimulateBenchmark(*bench, fusleep.SimOptions{Window: *window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d instructions in %d cycles (IPC %.3f) on %d integer FUs\n",
+		rep.Name, rep.Committed, rep.Cycles, rep.IPC, rep.FUs)
+	fmt.Printf("branch accuracy %.1f%%, L1D miss rate %.1f%%, L2 miss rate %.1f%%\n\n",
+		rep.BranchAccuracy*100, rep.L1DMissRate*100, rep.L2MissRate*100)
+
+	for i, prof := range rep.FUProfiles {
+		fmt.Printf("FU %d: active %d cycles, idle %d cycles (%.1f%%), mean idle interval %.1f cycles\n",
+			i, prof.ActiveCycles, prof.IdleCycles(),
+			float64(prof.IdleCycles())/float64(prof.TotalCycles())*100, prof.MeanIdle())
+	}
+
+	fmt.Println("\npolicy energies over the measured profiles:")
+	for _, p := range []float64{0.05, 0.50} {
+		tech := fusleep.DefaultTech().WithP(p)
+		base := float64(len(rep.FUProfiles)) * tech.BaseEnergy(0.5, float64(rep.Cycles))
+		fmt.Printf("  p=%.2f:\n", p)
+		for _, pol := range fusleep.Policies {
+			e := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: pol}, 0.5, rep.FUProfiles)
+			fmt.Printf("    %-13s E/E_base=%.4f  leakage=%.1f%%  transitions-cost=%.4f\n",
+				pol, e.Total()/base, e.LeakageFraction()*100, e.Transition/base)
+		}
+	}
+}

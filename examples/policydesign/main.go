@@ -1,0 +1,52 @@
+// Policydesign walks through sizing a GradualSleep implementation for a
+// real workload: simulate a benchmark, then sweep the slice count K over
+// the measured idle profiles to find the robust choice, comparing it with
+// the paper's recommendation of one slice per breakeven cycle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/archsim/fusleep"
+)
+
+func main() {
+	bench := flag.String("bench", "parser", "benchmark name")
+	window := flag.Uint64("window", 800_000, "instruction window")
+	flag.Parse()
+
+	rep, err := fusleep.SimulateBenchmark(*bench, fusleep.SimOptions{Window: *window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (IPC %.3f, %d FUs)\n\n", rep.Name, rep.IPC, rep.FUs)
+
+	alpha := 0.5
+	for _, p := range []float64{0.05, 0.2, 0.5} {
+		tech := fusleep.DefaultTech().WithP(p)
+		base := float64(len(rep.FUProfiles)) * tech.BaseEnergy(alpha, float64(rep.Cycles))
+		rec := tech.BreakevenSlices(alpha)
+		fmt.Printf("p=%.2f (breakeven %.1f cycles, recommended K=%d):\n",
+			p, tech.Breakeven(alpha), rec)
+		fmt.Printf("  %-10s %-12s\n", "K", "E/E_base")
+		bestK, bestE := 0, 1e300
+		for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+			e := fusleep.PolicyEnergy(tech,
+				fusleep.PolicyConfig{Policy: fusleep.GradualSleep, Slices: k},
+				alpha, rep.FUProfiles).Total() / base
+			marker := ""
+			if k == rec || (rec > 1 && k < rec && rec < k*2) {
+				marker = "  <- paper's recommendation (~breakeven)"
+			}
+			if e < bestE {
+				bestK, bestE = k, e
+			}
+			fmt.Printf("  %-10d %-12.4f%s\n", k, e, marker)
+		}
+		ms := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: fusleep.MaxSleep}, alpha, rep.FUProfiles).Total() / base
+		aa := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: fusleep.AlwaysActive}, alpha, rep.FUProfiles).Total() / base
+		fmt.Printf("  best K=%d at %.4f  (MaxSleep %.4f, AlwaysActive %.4f)\n\n", bestK, bestE, ms, aa)
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: the energy model in a few lines — breakeven intervals, policy
+// comparison on a synthetic scenario, and the punchline of the paper: which
+// policy should manage your functional unit's sleep mode?
+package main
+
+import (
+	"fmt"
+
+	"github.com/archsim/fusleep"
+)
+
+func main() {
+	tech := fusleep.DefaultTech() // 70nm-era point: p=0.05, c=0.001, e_slp=0.01
+	alpha := 0.5
+
+	fmt.Printf("technology: p=%.2f c=%.3f e_slp=%.2f duty=%.1f\n",
+		tech.P, tech.C, tech.SleepOverhead, tech.Duty)
+	fmt.Printf("breakeven idle interval: %.1f cycles\n", tech.Breakeven(alpha))
+	fmt.Printf("recommended GradualSleep slices: %d\n\n", tech.BreakevenSlices(alpha))
+
+	// A functional unit that computes half the time, idling in 10-cycle
+	// bursts — the paper's Figure 4b regime.
+	scenario := fusleep.Scenario{TotalCycles: 1_000_000, Usage: 0.5, MeanIdle: 10, Alpha: alpha}
+
+	fmt.Println("policy comparison (energy relative to 100% computation):")
+	for _, p := range []fusleep.Tech{tech, fusleep.HighLeakTech()} {
+		fmt.Printf("  at p=%.2f:\n", p.P)
+		for _, pol := range fusleep.Policies {
+			rel := p.RelativeToBase(fusleep.PolicyConfig{Policy: pol}, scenario)
+			e := p.PolicyEnergy(fusleep.PolicyConfig{Policy: pol}, scenario)
+			fmt.Printf("    %-13s E/E_base=%.4f  leakage=%.1f%%\n",
+				pol, rel, e.LeakageFraction()*100)
+		}
+	}
+
+	fmt.Println("\nconclusion: below the breakeven point clock gating wins;")
+	fmt.Println("as leakage grows, aggressive sleeping wins; GradualSleep hedges both.")
+}

@@ -1,0 +1,70 @@
+// Techscaling sweeps the leakage factor p across technology generations and
+// finds the crossover where MaxSleep overtakes AlwaysActive, for several
+// idle-interval regimes — reproducing the paper's central design guidance
+// with the closed-form model.
+package main
+
+import (
+	"fmt"
+
+	"github.com/archsim/fusleep"
+)
+
+func main() {
+	alpha := 0.5
+	fmt.Println("crossover leakage factor where MaxSleep overtakes AlwaysActive")
+	fmt.Printf("%-18s %-12s %-30s\n", "mean idle (cyc)", "crossover p", "breakeven at crossover (cyc)")
+	for _, idle := range []float64{2, 5, 10, 20, 50, 100} {
+		cross := crossover(idle, alpha)
+		if cross < 0 {
+			fmt.Printf("%-18.0f %-12s\n", idle, "never")
+			continue
+		}
+		be := fusleep.DefaultTech().WithP(cross).Breakeven(alpha)
+		fmt.Printf("%-18.0f %-12.3f %-30.1f\n", idle, cross, be)
+	}
+
+	fmt.Println("\nGradualSleep's hedge across the whole space (E/E_NoOverhead):")
+	fmt.Printf("%-8s %-14s %-14s %-14s\n", "p", "MaxSleep", "GradualSleep", "AlwaysActive")
+	scenario := fusleep.Scenario{TotalCycles: 1e6, Usage: 0.5, MeanIdle: 15, Alpha: alpha}
+	for i := 1; i <= 10; i++ {
+		p := float64(i) * 0.1
+		tech := fusleep.DefaultTech().WithP(p)
+		no := tech.PolicyEnergy(fusleep.PolicyConfig{Policy: fusleep.NoOverhead}, scenario).Total()
+		row := []float64{}
+		for _, pol := range []fusleep.Policy{fusleep.MaxSleep, fusleep.GradualSleep, fusleep.AlwaysActive} {
+			row = append(row, tech.PolicyEnergy(fusleep.PolicyConfig{Policy: pol}, scenario).Total()/no)
+		}
+		fmt.Printf("%-8.1f %-14.3f %-14.3f %-14.3f\n", p, row[0], row[1], row[2])
+	}
+	fmt.Println("\nGradualSleep never sits at either extreme: the paper's argument that")
+	fmt.Println("a more complex controller is unwarranted.")
+}
+
+// crossover bisects for the p at which the two bounding policies cost the
+// same on the given scenario; negative if MaxSleep never wins by p = 1.
+func crossover(meanIdle, alpha float64) float64 {
+	diff := func(p float64) float64 {
+		tech := fusleep.DefaultTech().WithP(p)
+		s := fusleep.Scenario{TotalCycles: 1e6, Usage: 0.5, MeanIdle: meanIdle, Alpha: alpha}
+		ms := tech.PolicyEnergy(fusleep.PolicyConfig{Policy: fusleep.MaxSleep}, s).Total()
+		aa := tech.PolicyEnergy(fusleep.PolicyConfig{Policy: fusleep.AlwaysActive}, s).Total()
+		return ms - aa
+	}
+	lo, hi := 1e-3, 1.0
+	if diff(hi) > 0 {
+		return -1
+	}
+	if diff(lo) < 0 {
+		return lo
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if diff(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,235 @@
+package fusleep
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/archsim/fusleep/internal/circuit"
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/experiments"
+	"github.com/archsim/fusleep/internal/pipeline"
+	"github.com/archsim/fusleep/internal/workload"
+)
+
+// Core energy-model types, re-exported from the implementation package.
+type (
+	// Tech holds the four technology parameters of the energy model:
+	// leakage factor p, low/high leakage ratio c, sleep-assert overhead,
+	// and clock duty cycle.
+	Tech = core.Tech
+	// Policy identifies a sleep-management strategy.
+	Policy = core.Policy
+	// PolicyConfig pairs a policy with its tuning knobs (GradualSleep
+	// slice count).
+	PolicyConfig = core.PolicyConfig
+	// Breakdown splits normalized energy by physical source.
+	Breakdown = core.Breakdown
+	// CycleCounts aggregates active / uncontrolled-idle / sleep cycles and
+	// sleep transitions.
+	CycleCounts = core.CycleCounts
+	// Scenario is the closed-form workload of the paper's Section 3.1.
+	Scenario = core.Scenario
+	// IdleProfile is a functional unit's measured activity: active cycles
+	// plus the multiset of idle interval lengths.
+	IdleProfile = core.IdleProfile
+	// Controller is the cycle-by-cycle executable form of a policy.
+	Controller = core.Controller
+)
+
+// The sleep-management policies of the paper, plus the SleepTimeout
+// extension (a breakeven-threshold ski-rental controller).
+const (
+	AlwaysActive  = core.AlwaysActive
+	MaxSleep      = core.MaxSleep
+	NoOverhead    = core.NoOverhead
+	GradualSleep  = core.GradualSleep
+	OracleMinimal = core.OracleMinimal
+	SleepTimeout  = core.SleepTimeout
+)
+
+// Policies lists the four policies of the result figures in bar order.
+var Policies = core.Policies
+
+// DefaultTech returns the paper's Table 4 analysis parameters at the
+// near-term technology point p = 0.05.
+func DefaultTech() Tech { return core.DefaultTech() }
+
+// HighLeakTech returns the contrasting p = 0.50 technology point.
+func HighLeakTech() Tech { return core.HighLeakTech() }
+
+// NewIdleProfile returns an empty profile ready for recording.
+func NewIdleProfile() *IdleProfile { return core.NewIdleProfile() }
+
+// NewController builds the causal cycle-level controller for a policy.
+func NewController(pc PolicyConfig, t Tech, alpha float64) (Controller, error) {
+	return core.NewController(pc, t, alpha)
+}
+
+// PolicyEnergy evaluates the equation-(3) energy of running a policy over
+// measured per-unit idle profiles, summed across units.
+func PolicyEnergy(t Tech, pc PolicyConfig, alpha float64, profiles []*IdleProfile) Breakdown {
+	var total Breakdown
+	for _, p := range profiles {
+		total = total.Add(t.EvalProfile(pc, alpha, p))
+	}
+	return total
+}
+
+// Circuit-level model (Section 2 of the paper).
+type (
+	// CircuitFU is the cycle-level 500-gate functional-unit circuit.
+	CircuitFU = circuit.FU
+	// FUConfig describes the functional-unit circuit geometry.
+	FUConfig = circuit.FUConfig
+	// GateParams characterizes one domino gate design point (Table 1).
+	GateParams = circuit.GateParams
+)
+
+// DefaultFUCircuit returns the paper's generic 500-gate dual-Vt unit.
+func DefaultFUCircuit() FUConfig { return circuit.DefaultFU() }
+
+// NewCircuitFU builds a simulated functional-unit circuit.
+func NewCircuitFU(cfg FUConfig) (*CircuitFU, error) { return circuit.NewFU(cfg) }
+
+// SimOptions parameterize a benchmark simulation.
+type SimOptions struct {
+	// Window is the instruction count (default 1,000,000).
+	Window uint64
+	// FUs is the integer functional-unit count; 0 selects the paper's
+	// Table 3 count for the benchmark.
+	FUs int
+	// L2Latency is the unified L2 hit latency in cycles (default 12).
+	L2Latency int
+}
+
+// BenchmarkReport is the outcome of one simulated benchmark run.
+type BenchmarkReport struct {
+	Name      string
+	FUs       int
+	Cycles    uint64
+	Committed uint64
+	IPC       float64
+	// FUProfiles holds one measured idle profile per integer unit, ready
+	// for PolicyEnergy.
+	FUProfiles []*IdleProfile
+	// BranchAccuracy is the conditional-branch direction hit rate.
+	BranchAccuracy float64
+	// L1DMissRate and L2MissRate summarize the data-side cache behavior.
+	L1DMissRate float64
+	L2MissRate  float64
+}
+
+// BenchmarkNames lists the nine-benchmark suite in the paper's order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// SimulateBenchmark runs one suite benchmark on the Table 2 machine and
+// returns its measured report.
+func SimulateBenchmark(name string, opts SimOptions) (BenchmarkReport, error) {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return BenchmarkReport{}, err
+	}
+	if opts.Window == 0 {
+		opts.Window = 1_000_000
+	}
+	if opts.FUs == 0 {
+		opts.FUs = spec.PaperFUs
+	}
+	if opts.L2Latency == 0 {
+		opts.L2Latency = 12
+	}
+	cfg := pipeline.DefaultConfig().WithIntALUs(opts.FUs).WithL2Latency(opts.L2Latency)
+	cfg.MaxInsts = opts.Window
+	cpu, err := pipeline.New(cfg, spec.NewTrace(opts.Window))
+	if err != nil {
+		return BenchmarkReport{}, err
+	}
+	res, err := cpu.Run()
+	if err != nil {
+		return BenchmarkReport{}, err
+	}
+	rep := BenchmarkReport{
+		Name:           name,
+		FUs:            opts.FUs,
+		Cycles:         res.Cycles,
+		Committed:      res.Committed,
+		IPC:            res.IPC(),
+		BranchAccuracy: res.Bpred.DirAccuracy(),
+		L1DMissRate:    res.L1D.MissRate(),
+		L2MissRate:     res.L2.MissRate(),
+	}
+	for _, fu := range res.FUs {
+		p := core.NewIdleProfile()
+		p.ActiveCycles = fu.ActiveCycles
+		for l, n := range fu.Intervals {
+			p.AddIdle(l, n)
+		}
+		rep.FUProfiles = append(rep.FUProfiles, p)
+	}
+	return rep, nil
+}
+
+// ExperimentInfo describes one reproducible paper artifact.
+type ExperimentInfo struct {
+	ID        string
+	Paper     string
+	Desc      string
+	Simulated bool
+}
+
+// Experiments lists every table/figure reproduction and extension.
+func Experiments() []ExperimentInfo {
+	out := make([]ExperimentInfo, 0, len(experiments.All))
+	for _, e := range experiments.All {
+		out = append(out, ExperimentInfo{ID: e.ID, Paper: e.Paper, Desc: e.Desc, Simulated: e.Simulated})
+	}
+	return out
+}
+
+// ExperimentOptions scale the simulated experiments.
+type ExperimentOptions struct {
+	// Window is the per-benchmark instruction count (default 1,000,000).
+	Window uint64
+	// Sweep is the per-run count for the Table 3 FU sweep (default 750,000).
+	Sweep uint64
+}
+
+// RunExperiment executes one experiment by ID and renders its artifacts to
+// w. For several simulated experiments prefer RunExperiments, which shares
+// the cached suite simulations.
+func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
+	return RunExperiments([]string{id}, w, opts)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, opts ExperimentOptions) error {
+	return RunExperiments(experiments.IDs(), w, opts)
+}
+
+// RunExperiments executes the given experiments in order with one shared
+// runner, so suite simulations are paid for once.
+func RunExperiments(ids []string, w io.Writer, opts ExperimentOptions) error {
+	runner := experiments.NewRunner(experiments.Options{Window: opts.Window, Sweep: opts.Sweep})
+	for _, id := range ids {
+		exp, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		arts, err := exp.Run(runner)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		for _, a := range arts {
+			if _, err := fmt.Fprintf(w, "== [%s] %s ==\n", exp.ID, exp.Paper); err != nil {
+				return err
+			}
+			if err := a.Render(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

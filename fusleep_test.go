@@ -1,0 +1,136 @@
+package fusleep_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/archsim/fusleep"
+)
+
+func TestFacadeEnergyModel(t *testing.T) {
+	tech := fusleep.DefaultTech()
+	if err := tech.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	be := tech.Breakeven(0.5)
+	if be < 15 || be > 25 {
+		t.Errorf("breakeven %.1f out of expected band", be)
+	}
+	prof := fusleep.NewIdleProfile()
+	prof.ActiveCycles = 1000
+	prof.AddIdle(30, 10)
+	ms := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: fusleep.MaxSleep}, 0.5,
+		[]*fusleep.IdleProfile{prof})
+	no := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: fusleep.NoOverhead}, 0.5,
+		[]*fusleep.IdleProfile{prof})
+	if no.Total() >= ms.Total() {
+		t.Errorf("NoOverhead %.3f should undercut MaxSleep %.3f", no.Total(), ms.Total())
+	}
+	// Summing across two profiles doubles the energy.
+	both := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: fusleep.MaxSleep}, 0.5,
+		[]*fusleep.IdleProfile{prof, prof})
+	if diff := both.Total() - 2*ms.Total(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("profile summation broken: %g vs %g", both.Total(), 2*ms.Total())
+	}
+}
+
+func TestFacadeController(t *testing.T) {
+	ctrl, err := fusleep.NewController(fusleep.PolicyConfig{Policy: fusleep.GradualSleep, Slices: 4},
+		fusleep.DefaultTech(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ctrl.Step(false)
+	if st.SleepFrac != 0.25 {
+		t.Errorf("first idle cycle sleep fraction %g", st.SleepFrac)
+	}
+}
+
+func TestFacadeCircuit(t *testing.T) {
+	cfg := fusleep.DefaultFUCircuit()
+	fu, err := fusleep.NewCircuitFU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fu.Evaluate(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := fu.Sleep(); err != nil {
+		t.Fatal(err)
+	}
+	if fu.Energy().Total() <= 0 {
+		t.Error("circuit accrued no energy")
+	}
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := fusleep.BenchmarkNames()
+	if len(names) != 9 {
+		t.Fatalf("suite has %d names", len(names))
+	}
+	if _, err := fusleep.SimulateBenchmark("bogus", fusleep.SimOptions{}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSimulateBenchmarkDefaults(t *testing.T) {
+	rep, err := fusleep.SimulateBenchmark("gcc", fusleep.SimOptions{Window: 80_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FUs != 2 {
+		t.Errorf("gcc should default to the paper's 2 FUs, got %d", rep.FUs)
+	}
+	if rep.Committed != 80_000 {
+		t.Errorf("committed %d", rep.Committed)
+	}
+	if rep.IPC <= 0 || len(rep.FUProfiles) != 2 {
+		t.Errorf("report incomplete: %+v", rep)
+	}
+	for _, p := range rep.FUProfiles {
+		if p.TotalCycles() != rep.Cycles {
+			t.Errorf("profile covers %d of %d cycles", p.TotalCycles(), rep.Cycles)
+		}
+	}
+}
+
+func TestExperimentListAndRun(t *testing.T) {
+	exps := fusleep.Experiments()
+	if len(exps) < 15 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	var buf bytes.Buffer
+	if err := fusleep.RunExperiment("table1", &buf, fusleep.ExperimentOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dual-Vt") || !strings.Contains(out, "22.2") {
+		t.Errorf("table1 output wrong:\n%s", out)
+	}
+	if err := fusleep.RunExperiment("bogus", &buf, fusleep.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentsShareRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	var buf bytes.Buffer
+	opts := fusleep.ExperimentOptions{Window: 50_000, Sweep: 25_000}
+	if err := fusleep.RunExperiments([]string{"fig8a", "fig9b"}, &buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "Figure 9b") {
+		t.Errorf("missing sections:\n%s", out[:min(400, len(out))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

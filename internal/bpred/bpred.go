@@ -1,0 +1,349 @@
+// Package bpred implements the branch prediction hardware of the simulated
+// Alpha-21264-like machine (Table 2 of Dropsho et al.): a combining
+// predictor over a bimodal table and a two-level gshare-style predictor,
+// a return address stack, and a set-associative branch target buffer.
+package bpred
+
+import (
+	"fmt"
+
+	"github.com/archsim/fusleep/internal/isa"
+)
+
+// Config sizes the predictor structures.
+type Config struct {
+	BimodalEntries   int // direct-mapped 2-bit counters
+	HistTableEntries int // level-1 per-address history registers
+	HistBits         int // history length
+	PatternEntries   int // level-2 pattern table of 2-bit counters
+	ChooserEntries   int // combining predictor 2-bit counters
+	RASEntries       int // return address stack depth
+	BTBSets          int
+	BTBAssoc         int
+}
+
+// DefaultConfig returns the Table 2 configuration: bimodal 2048; two-level
+// with 1024 10-bit histories into a 4096-entry global pattern table;
+// 1024-entry chooser; 32-entry RAS; 4096-set 2-way BTB.
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries:   2048,
+		HistTableEntries: 1024,
+		HistBits:         10,
+		PatternEntries:   4096,
+		ChooserEntries:   1024,
+		RASEntries:       32,
+		BTBSets:          4096,
+		BTBAssoc:         2,
+	}
+}
+
+// Validate checks that every table is sized and power-of-two where indexing
+// requires it.
+func (c Config) Validate() error {
+	pow2 := func(name string, v int) error {
+		if v < 1 || v&(v-1) != 0 {
+			return fmt.Errorf("bpred: %s = %d must be a positive power of two", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"BimodalEntries", c.BimodalEntries},
+		{"HistTableEntries", c.HistTableEntries},
+		{"PatternEntries", c.PatternEntries},
+		{"ChooserEntries", c.ChooserEntries},
+		{"BTBSets", c.BTBSets},
+	} {
+		if err := pow2(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.HistBits < 1 || c.HistBits > 30 {
+		return fmt.Errorf("bpred: HistBits = %d out of range", c.HistBits)
+	}
+	if c.RASEntries < 1 {
+		return fmt.Errorf("bpred: RASEntries = %d must be positive", c.RASEntries)
+	}
+	if c.BTBAssoc < 1 {
+		return fmt.Errorf("bpred: BTBAssoc = %d must be positive", c.BTBAssoc)
+	}
+	return nil
+}
+
+// counter is a 2-bit saturating counter; values >= 2 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+	tick   uint64
+}
+
+// Stats counts predictor events.
+type Stats struct {
+	CondBranches   uint64 // conditional branches predicted
+	CondDirHits    uint64 // correct direction predictions
+	TargetMisses   uint64 // taken predictions without a BTB target
+	RASPredictions uint64
+	RASHits        uint64
+	Mispredicts    uint64 // total control-flow mispredictions (all classes)
+	Lookups        uint64
+}
+
+// DirAccuracy returns the conditional-branch direction hit rate.
+func (s Stats) DirAccuracy() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.CondDirHits) / float64(s.CondBranches)
+}
+
+// Predictor is the complete front-end prediction unit.
+type Predictor struct {
+	cfg     Config
+	bimodal []counter
+	hist    []uint32
+	pattern []counter
+	chooser []counter
+	ras     []uint64
+	rasTop  int // number of valid entries
+	btb     []btbEntry
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a predictor; all counters start weakly taken, matching
+// SimpleScalar's initialization.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]counter, cfg.BimodalEntries),
+		hist:    make([]uint32, cfg.HistTableEntries),
+		pattern: make([]counter, cfg.PatternEntries),
+		chooser: make([]counter, cfg.ChooserEntries),
+		ras:     make([]uint64, cfg.RASEntries),
+		btb:     make([]btbEntry, cfg.BTBSets*cfg.BTBAssoc),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.pattern {
+		p.pattern[i] = 2
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 2
+	}
+	return p, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Stats returns a copy of the event counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func pcIndex(pc uint64) uint64 { return pc >> 2 }
+
+func (p *Predictor) bimodalIdx(pc uint64) int {
+	return int(pcIndex(pc) & uint64(p.cfg.BimodalEntries-1))
+}
+
+func (p *Predictor) histIdx(pc uint64) int {
+	return int(pcIndex(pc) & uint64(p.cfg.HistTableEntries-1))
+}
+
+func (p *Predictor) patternIdx(pc uint64, hist uint32) int {
+	// gshare-style: history XOR PC into the shared pattern table.
+	return int((uint64(hist) ^ pcIndex(pc)) & uint64(p.cfg.PatternEntries-1))
+}
+
+func (p *Predictor) chooserIdx(pc uint64) int {
+	return int(pcIndex(pc) & uint64(p.cfg.ChooserEntries-1))
+}
+
+// Result carries a prediction and the state needed for a later Update.
+type Result struct {
+	PredTaken  bool
+	PredTarget uint64 // 0 when no target is available (BTB miss)
+
+	bimodalTaken bool
+	twoLvlTaken  bool
+	usedTwoLvl   bool
+	cond         bool
+}
+
+// Predict produces the front end's prediction for one control instruction.
+// Call/Return manipulate the return address stack here, at fetch time.
+// Non-control classes return a fall-through prediction.
+func (p *Predictor) Predict(in isa.Inst) Result {
+	p.stats.Lookups++
+	switch in.Class {
+	case isa.Jump:
+		// Direct unconditional: target known from the instruction word.
+		return Result{PredTaken: true, PredTarget: in.Target}
+	case isa.Call:
+		p.rasPush(in.PC + isa.InstBytes)
+		return Result{PredTaken: true, PredTarget: in.Target}
+	case isa.Return:
+		p.stats.RASPredictions++
+		tgt, ok := p.rasPop()
+		if !ok {
+			return Result{PredTaken: true, PredTarget: 0}
+		}
+		return Result{PredTaken: true, PredTarget: tgt}
+	case isa.Branch:
+		r := Result{cond: true}
+		r.bimodalTaken = p.bimodal[p.bimodalIdx(in.PC)].taken()
+		h := p.hist[p.histIdx(in.PC)]
+		r.twoLvlTaken = p.pattern[p.patternIdx(in.PC, h)].taken()
+		r.usedTwoLvl = p.chooser[p.chooserIdx(in.PC)].taken()
+		if r.usedTwoLvl {
+			r.PredTaken = r.twoLvlTaken
+		} else {
+			r.PredTaken = r.bimodalTaken
+		}
+		if r.PredTaken {
+			if tgt, ok := p.btbLookup(in.PC); ok {
+				r.PredTarget = tgt
+			} else {
+				p.stats.TargetMisses++
+			}
+		}
+		return r
+	default:
+		return Result{}
+	}
+}
+
+// Update trains the predictor with the actual outcome. It must be called
+// with the Result produced by the matching Predict.
+func (p *Predictor) Update(in isa.Inst, r Result) {
+	if in.Class == isa.Branch {
+		p.stats.CondBranches++
+		if r.PredTaken == in.Taken {
+			p.stats.CondDirHits++
+		}
+		bi := p.bimodalIdx(in.PC)
+		p.bimodal[bi] = p.bimodal[bi].update(in.Taken)
+
+		hi := p.histIdx(in.PC)
+		h := p.hist[hi]
+		pi := p.patternIdx(in.PC, h)
+		p.pattern[pi] = p.pattern[pi].update(in.Taken)
+		mask := uint32(1)<<p.cfg.HistBits - 1
+		bit := uint32(0)
+		if in.Taken {
+			bit = 1
+		}
+		p.hist[hi] = ((h << 1) | bit) & mask
+
+		// Train the chooser toward the component that was right when they
+		// disagree.
+		if r.bimodalTaken != r.twoLvlTaken {
+			ci := p.chooserIdx(in.PC)
+			p.chooser[ci] = p.chooser[ci].update(r.twoLvlTaken == in.Taken)
+		}
+	}
+	if in.Class == isa.Return && r.PredTarget == in.Target {
+		p.stats.RASHits++
+	}
+	if in.Class.IsCtrl() && in.Taken {
+		p.btbInsert(in.PC, in.Target)
+	}
+	if Mispredicted(in, r) {
+		p.stats.Mispredicts++
+	}
+}
+
+// Mispredicted reports whether the machine must redirect fetch after
+// resolving in: wrong direction, or taken with a wrong or missing target.
+func Mispredicted(in isa.Inst, r Result) bool {
+	if !in.Class.IsCtrl() {
+		return false
+	}
+	if r.PredTaken != in.Taken {
+		return true
+	}
+	return in.Taken && r.PredTarget != in.Target
+}
+
+func (p *Predictor) rasPush(addr uint64) {
+	if p.rasTop == len(p.ras) {
+		copy(p.ras, p.ras[1:])
+		p.rasTop--
+	}
+	p.ras[p.rasTop] = addr
+	p.rasTop++
+}
+
+func (p *Predictor) rasPop() (uint64, bool) {
+	if p.rasTop == 0 {
+		return 0, false
+	}
+	p.rasTop--
+	return p.ras[p.rasTop], true
+}
+
+func (p *Predictor) btbSet(pc uint64) []btbEntry {
+	set := int(pcIndex(pc) & uint64(p.cfg.BTBSets-1))
+	return p.btb[set*p.cfg.BTBAssoc : (set+1)*p.cfg.BTBAssoc]
+}
+
+func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
+	p.tick++
+	set := p.btbSet(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			set[i].tick = p.tick
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+func (p *Predictor) btbInsert(pc, target uint64) {
+	p.tick++
+	set := p.btbSet(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			set[i].target = target
+			set[i].tick = p.tick
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].tick < set[victim].tick {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{tag: pc, target: target, valid: true, tick: p.tick}
+}

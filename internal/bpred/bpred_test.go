@@ -1,0 +1,269 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/isa"
+)
+
+func branch(pc uint64, taken bool, target uint64) isa.Inst {
+	return isa.Inst{PC: pc, Class: isa.Branch, Taken: taken, Target: target,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.BimodalEntries = 1000 },
+		func(c *Config) { c.HistTableEntries = 0 },
+		func(c *Config) { c.PatternEntries = 3 },
+		func(c *Config) { c.ChooserEntries = -4 },
+		func(c *Config) { c.HistBits = 0 },
+		func(c *Config) { c.HistBits = 40 },
+		func(c *Config) { c.RASEntries = 0 },
+		func(c *Config) { c.BTBSets = 100 },
+		func(c *Config) { c.BTBAssoc = 0 },
+	}
+	for i, m := range mutations {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted mutation %d", i)
+		}
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 || !c.taken() {
+		t.Errorf("saturated up = %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 || c.taken() {
+		t.Errorf("saturated down = %d", c)
+	}
+}
+
+func TestAlwaysTakenBranchLearns(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	in := branch(0x1000, true, 0x2000)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		r := p.Predict(in)
+		if Mispredicted(in, r) {
+			miss++
+		}
+		p.Update(in, r)
+	}
+	// After warm-up (direction was init weakly-taken, BTB cold) the branch
+	// must be perfectly predicted.
+	if miss > 2 {
+		t.Errorf("always-taken branch mispredicted %d/100 times", miss)
+	}
+	if acc := p.Stats().DirAccuracy(); acc < 0.98 {
+		t.Errorf("direction accuracy %.3f", acc)
+	}
+}
+
+func TestAlternatingBranchLearnedByHistory(t *testing.T) {
+	// T,NT,T,NT... defeats bimodal but is captured by the 10-bit history
+	// pattern table; the chooser must migrate to the two-level component.
+	p := MustNew(DefaultConfig())
+	miss := 0
+	for i := 0; i < 400; i++ {
+		in := branch(0x3000, i%2 == 0, 0x4000)
+		r := p.Predict(in)
+		if i >= 200 && Mispredicted(in, r) {
+			miss++
+		}
+		p.Update(in, r)
+	}
+	if miss > 4 {
+		t.Errorf("alternating branch mispredicted %d/200 after warm-up", miss)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	rng := rand.New(rand.NewSource(11))
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		in := branch(0x5000, rng.Intn(2) == 0, 0x6000)
+		r := p.Predict(in)
+		if !Mispredicted(in, r) {
+			hits++
+		}
+		p.Update(in, r)
+	}
+	frac := float64(hits) / n
+	if frac < 0.30 || frac > 0.70 {
+		t.Errorf("random branch hit rate %.3f, want near 0.5", frac)
+	}
+}
+
+func TestJumpAndCallAlwaysCorrect(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	j := isa.Inst{PC: 0x10, Class: isa.Jump, Taken: true, Target: 0x500,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone}
+	r := p.Predict(j)
+	if Mispredicted(j, r) {
+		t.Error("direct jump mispredicted")
+	}
+	c := isa.Inst{PC: 0x20, Class: isa.Call, Taken: true, Target: 0x800,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone}
+	r = p.Predict(c)
+	if Mispredicted(c, r) {
+		t.Error("direct call mispredicted")
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	// call from 0x100 -> return to 0x104; nested call from 0x200 -> 0x204.
+	p.Predict(isa.Inst{PC: 0x100, Class: isa.Call, Taken: true, Target: 0x1000,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone})
+	p.Predict(isa.Inst{PC: 0x200, Class: isa.Call, Taken: true, Target: 0x2000,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone})
+
+	ret2 := isa.Inst{PC: 0x2010, Class: isa.Return, Taken: true, Target: 0x204,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone}
+	r := p.Predict(ret2)
+	if r.PredTarget != 0x204 || Mispredicted(ret2, r) {
+		t.Errorf("inner return predicted %#x", r.PredTarget)
+	}
+	p.Update(ret2, r)
+
+	ret1 := isa.Inst{PC: 0x1010, Class: isa.Return, Taken: true, Target: 0x104,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone}
+	r = p.Predict(ret1)
+	if r.PredTarget != 0x104 {
+		t.Errorf("outer return predicted %#x", r.PredTarget)
+	}
+	p.Update(ret1, r)
+	if p.Stats().RASHits != 2 || p.Stats().RASPredictions != 2 {
+		t.Errorf("RAS stats = %+v", p.Stats())
+	}
+}
+
+func TestRASOverflowKeepsNewest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 2
+	p := MustNew(cfg)
+	for i := 0; i < 3; i++ {
+		p.Predict(isa.Inst{PC: uint64(0x100 * (i + 1)), Class: isa.Call, Taken: true,
+			Target: 0x9000, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone})
+	}
+	// Stack holds returns for calls 2 and 3; call 1 was shifted out.
+	r := p.Predict(isa.Inst{PC: 0x9000, Class: isa.Return, Taken: true, Target: 0x304,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone})
+	if r.PredTarget != 0x304 {
+		t.Errorf("top of RAS = %#x, want 0x304", r.PredTarget)
+	}
+	r = p.Predict(isa.Inst{PC: 0x9000, Class: isa.Return, Taken: true, Target: 0x204,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone})
+	if r.PredTarget != 0x204 {
+		t.Errorf("next RAS entry = %#x, want 0x204", r.PredTarget)
+	}
+	// Underflow: empty stack cannot supply a target.
+	r = p.Predict(isa.Inst{PC: 0x9000, Class: isa.Return, Taken: true, Target: 0x104,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone})
+	if r.PredTarget != 0 {
+		t.Errorf("underflow should predict 0, got %#x", r.PredTarget)
+	}
+}
+
+func TestBTBTargetPrediction(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	in := branch(0x7000, true, 0x7400)
+	// Cold BTB: first taken prediction has no target.
+	r := p.Predict(in)
+	p.Update(in, r)
+	r = p.Predict(in)
+	if r.PredTaken && r.PredTarget != 0x7400 {
+		t.Errorf("warm BTB target = %#x", r.PredTarget)
+	}
+	// Target change is re-learned.
+	in2 := branch(0x7000, true, 0x7800)
+	p.Update(in2, r)
+	r = p.Predict(in2)
+	if r.PredTarget != 0x7800 {
+		t.Errorf("updated target = %#x", r.PredTarget)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBSets = 1
+	cfg.BTBAssoc = 2
+	p := MustNew(cfg)
+	// Three distinct branches in a 2-way single set: LRU eviction.
+	pcs := []uint64{0x100, 0x200, 0x300}
+	for _, pc := range pcs {
+		in := branch(pc, true, pc+0x40)
+		r := p.Predict(in)
+		p.Update(in, r)
+	}
+	// 0x100 was evicted; 0x200 and 0x300 remain.
+	if _, ok := p.btbLookup(0x100); ok {
+		t.Error("0x100 should have been evicted")
+	}
+	if _, ok := p.btbLookup(0x200); !ok {
+		t.Error("0x200 should be resident")
+	}
+	if _, ok := p.btbLookup(0x300); !ok {
+		t.Error("0x300 should be resident")
+	}
+}
+
+func TestNonControlPredictsFallThrough(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	in := isa.Inst{PC: 0x10, Class: isa.IntALU, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone}
+	r := p.Predict(in)
+	if r.PredTaken || r.PredTarget != 0 || Mispredicted(in, r) {
+		t.Error("non-control instruction should predict fall-through")
+	}
+}
+
+func TestMispredictedTakenWrongTarget(t *testing.T) {
+	in := branch(0x10, true, 0x100)
+	r := Result{PredTaken: true, PredTarget: 0x200}
+	if !Mispredicted(in, r) {
+		t.Error("wrong target must count as mispredict")
+	}
+	r.PredTarget = 0x100
+	if Mispredicted(in, r) {
+		t.Error("correct taken prediction flagged")
+	}
+}
+
+func TestChooserMigration(t *testing.T) {
+	// A branch whose pattern is history-predictable: the chooser should
+	// eventually select the two-level side, giving high accuracy, even
+	// though bimodal alone would sit near 50%.
+	p := MustNew(DefaultConfig())
+	pattern := []bool{true, true, false, false} // period 4
+	miss := 0
+	for i := 0; i < 1200; i++ {
+		in := branch(0xA000, pattern[i%len(pattern)], 0xB000)
+		r := p.Predict(in)
+		if i >= 600 && Mispredicted(in, r) {
+			miss++
+		}
+		p.Update(in, r)
+	}
+	if frac := float64(miss) / 600; frac > 0.05 {
+		t.Errorf("periodic branch mispredict rate %.3f after warm-up", frac)
+	}
+}

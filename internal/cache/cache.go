@@ -1,0 +1,222 @@
+// Package cache models the memory hierarchy of the simulated machine
+// (Table 2): set-associative write-back caches with LRU replacement over a
+// fixed-latency memory. Latencies compose additively down the hierarchy;
+// fills update replacement state deterministically.
+package cache
+
+import "fmt"
+
+// Level is anything that can service an access and report its latency in
+// cycles.
+type Level interface {
+	// Access services a read (write=false) or write (write=true) of the
+	// line containing addr and returns the total latency in cycles.
+	Access(addr uint64, write bool) int
+}
+
+// Memory is the terminal level with a fixed access latency.
+type Memory struct {
+	Latency   int
+	Accesses  uint64
+	WriteHits uint64
+}
+
+// Access implements Level.
+func (m *Memory) Access(addr uint64, write bool) int {
+	m.Accesses++
+	if write {
+		m.WriteHits++
+	}
+	return m.Latency
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	SizeKB   int // total capacity
+	Assoc    int
+	LineSize int // bytes
+	Latency  int // hit latency, cycles
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeKB * 1024 / (c.LineSize * c.Assoc) }
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeKB <= 0 || c.Assoc <= 0 || c.LineSize <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	case c.SizeKB*1024 < c.LineSize*c.Assoc:
+		return fmt.Errorf("cache %s: capacity below one set", c.Name)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, c.Sets())
+	case c.Latency < 0:
+		return fmt.Errorf("cache %s: negative latency", c.Name)
+	default:
+		return nil
+	}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	tick  uint64
+}
+
+// Cache is one set-associative write-back, write-allocate cache level.
+type Cache struct {
+	cfg   Config
+	sets  []line // Sets * Assoc, set-major
+	next  Level
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache over the given next level.
+func New(cfg Config, next Level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %s: nil next level", cfg.Name)
+	}
+	return &Cache{
+		cfg:  cfg,
+		sets: make([]line, cfg.Sets()*cfg.Assoc),
+		next: next,
+	}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config, next Level) *Cache {
+	c, err := New(cfg, next)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(addr uint64) ([]line, uint64) {
+	lineAddr := addr / uint64(c.cfg.LineSize)
+	nSets := uint64(c.cfg.Sets())
+	setIdx := lineAddr & (nSets - 1)
+	tag := lineAddr / nSets
+	return c.sets[setIdx*uint64(c.cfg.Assoc) : (setIdx+1)*uint64(c.cfg.Assoc)], tag
+}
+
+// Access implements Level: a hit costs the hit latency; a miss additionally
+// pays the next level's latency, allocates the line (evicting LRU, counting
+// a writeback if it was dirty), and marks it dirty on writes.
+func (c *Cache) Access(addr uint64, write bool) int {
+	c.tick++
+	c.stats.Accesses++
+	set, tag := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].tick = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			return c.cfg.Latency
+		}
+	}
+	c.stats.Misses++
+	lat := c.cfg.Latency + c.next.Access(addr, false)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].tick < set[victim].tick {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+		// Write-back traffic does not add to the demand miss latency in
+		// this model (buffered writes).
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, tick: c.tick}
+	return lat
+}
+
+// Contains reports whether the line holding addr is resident, without
+// touching replacement state (for tests).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchy wires the Table 2 memory system: split L1s over a unified L2
+// over memory.
+type Hierarchy struct {
+	L1I, L1D *Cache
+	L2       *Cache
+	Mem      *Memory
+}
+
+// HierarchyConfig parameterizes NewHierarchy.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLatency   int
+}
+
+// DefaultHierarchyConfig returns the Table 2 memory system: 64 KB 4-way
+// 64 B 2-cycle L1s, 2 MB 8-way 128 B 12-cycle unified L2, 80-cycle memory.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "L1I", SizeKB: 64, Assoc: 4, LineSize: 64, Latency: 2},
+		L1D:        Config{Name: "L1D", SizeKB: 64, Assoc: 4, LineSize: 64, Latency: 2},
+		L2:         Config{Name: "L2", SizeKB: 2048, Assoc: 8, LineSize: 128, Latency: 12},
+		MemLatency: 80,
+	}
+}
+
+// NewHierarchy builds the three-level system.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	mem := &Memory{Latency: cfg.MemLatency}
+	l2, err := New(cfg.L2, mem)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := New(cfg.L1I, l2)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := New(cfg.L1D, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, Mem: mem}, nil
+}

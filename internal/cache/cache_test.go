@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func small(lat int, next Level) *Cache {
+	// 4 sets x 2 ways x 64B lines = 512B.
+	return MustNew(Config{Name: "t", SizeKB: 1, Assoc: 2, LineSize: 128, Latency: lat}, next)
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	if s := cfg.L1I.Sets(); s != 256 {
+		t.Errorf("L1I sets = %d, want 256", s)
+	}
+	if s := cfg.L2.Sets(); s != 2048 {
+		t.Errorf("L2 sets = %d, want 2048", s)
+	}
+	for _, c := range []Config{cfg.L1I, cfg.L1D, cfg.L2} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestConfigValidateRejections(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", SizeKB: 0, Assoc: 1, LineSize: 64, Latency: 1},
+		{Name: "line", SizeKB: 64, Assoc: 4, LineSize: 60, Latency: 1},
+		{Name: "tiny", SizeKB: 1, Assoc: 64, LineSize: 64, Latency: 1},
+		{Name: "sets", SizeKB: 96, Assoc: 4, LineSize: 64, Latency: 1},
+		{Name: "neg", SizeKB: 64, Assoc: 4, LineSize: 64, Latency: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q accepted", c.Name)
+		}
+	}
+	if _, err := New(bad[0], &Memory{Latency: 10}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+	if _, err := New(DefaultHierarchyConfig().L1I, nil); err == nil {
+		t.Error("New accepted nil next level")
+	}
+}
+
+func TestHitMissLatency(t *testing.T) {
+	mem := &Memory{Latency: 80}
+	c := small(2, mem)
+	// Cold miss: 2 + 80.
+	if lat := c.Access(0x1000, false); lat != 82 {
+		t.Errorf("cold miss latency = %d, want 82", lat)
+	}
+	// Hit on the same line.
+	if lat := c.Access(0x1000+64, false); lat != 2 {
+		t.Errorf("hit latency = %d, want 2", lat)
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if mem.Accesses != 1 {
+		t.Errorf("memory accesses = %d", mem.Accesses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	mem := &Memory{Latency: 10}
+	c := small(1, mem) // 4 sets, 2 ways, 128B lines
+	// Three lines mapping to set 0: line addresses 0, 4, 8 (stride = sets).
+	a0 := uint64(0 * 128 * 4)
+	a1 := uint64(1 * 128 * 4)
+	a2 := uint64(2 * 128 * 4)
+	c.Access(a0, false)
+	c.Access(a1, false)
+	c.Access(a0, false) // a0 most recent; a1 is LRU
+	c.Access(a2, false) // evicts a1
+	if !c.Contains(a0) || !c.Contains(a2) {
+		t.Error("a0 and a2 should be resident")
+	}
+	if c.Contains(a1) {
+		t.Error("a1 should have been evicted")
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	mem := &Memory{Latency: 10}
+	c := small(1, mem)
+	a0 := uint64(0)
+	a1 := uint64(128 * 4)
+	a2 := uint64(2 * 128 * 4)
+	c.Access(a0, true) // dirty fill
+	c.Access(a1, false)
+	c.Access(a2, false) // evicts dirty a0
+	if wb := c.Stats().Writebacks; wb != 1 {
+		t.Errorf("writebacks = %d, want 1", wb)
+	}
+	// Clean eviction adds none.
+	c.Access(a0, false) // evicts clean a1
+	if wb := c.Stats().Writebacks; wb != 1 {
+		t.Errorf("writebacks after clean eviction = %d", wb)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: L1(2) + L2(12) + mem(80) = 94.
+	if lat := h.L1D.Access(0x100000, false); lat != 94 {
+		t.Errorf("cold access latency = %d, want 94", lat)
+	}
+	// L1 hit: 2.
+	if lat := h.L1D.Access(0x100000, false); lat != 2 {
+		t.Errorf("L1 hit = %d, want 2", lat)
+	}
+	// L1I miss on a line the L2 now holds (same 128B L2 line): 2 + 12.
+	if lat := h.L1I.Access(0x100040, false); lat != 14 {
+		t.Errorf("L2 hit via L1I = %d, want 14", lat)
+	}
+}
+
+func TestWorkingSetFitsL1(t *testing.T) {
+	h, _ := NewHierarchy(DefaultHierarchyConfig())
+	// 32KB working set in a 64KB L1: after a warm-up pass, near-zero misses.
+	var warm, steady uint64
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0); addr < 32*1024; addr += 64 {
+			h.L1D.Access(addr, false)
+		}
+		if pass == 0 {
+			warm = h.L1D.Stats().Misses
+		}
+	}
+	steady = h.L1D.Stats().Misses - warm
+	if warm != 512 {
+		t.Errorf("cold pass misses = %d, want 512 (one per line)", warm)
+	}
+	if steady != 0 {
+		t.Errorf("steady-state misses = %d, want 0", steady)
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	h, _ := NewHierarchy(DefaultHierarchyConfig())
+	// 8MB working set streams through the 2MB L2: every pass misses.
+	const span = 8 * 1024 * 1024
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < span; addr += 128 {
+			h.L2.Access(addr, false)
+		}
+	}
+	mr := h.L2.Stats().MissRate()
+	if mr < 0.99 {
+		t.Errorf("thrash miss rate = %.3f, want ~1", mr)
+	}
+}
+
+func TestMissRateZeroWhenIdle(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("idle miss rate should be 0")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() Stats {
+		h, _ := NewHierarchy(DefaultHierarchyConfig())
+		rng := rand.New(rand.NewSource(77))
+		for i := 0; i < 50000; i++ {
+			h.L1D.Access(uint64(rng.Intn(4*1024*1024)), rng.Intn(4) == 0)
+		}
+		return h.L1D.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid config")
+		}
+	}()
+	MustNew(Config{Name: "bad"}, &Memory{})
+}

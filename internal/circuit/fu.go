@@ -1,0 +1,118 @@
+package circuit
+
+import (
+	"fmt"
+
+	"github.com/archsim/fusleep/internal/core"
+)
+
+// FUConfig describes the generic functional-unit circuit of Section 2.1: an
+// array of cascaded domino gates with sleep transistors on the first stage
+// of each row and a driver tree distributing the Sleep signal.
+type FUConfig struct {
+	// Gate is the domino design point used for every gate in the unit.
+	Gate GateParams
+	// Rows is the number of independent cascaded sequences (100 in the
+	// paper); each row's first stage carries a sleep transistor.
+	Rows int
+	// StagesPerRow is the cascade depth (5 in the paper).
+	StagesPerRow int
+	// SleepDriverFJ is the energy of the buffer tree that distributes the
+	// Sleep signal across the unit, paid once per whole-unit transition.
+	SleepDriverFJ float64
+	// Duty is the clock duty cycle (fraction of the period spent in the
+	// evaluate phase); 0.5 throughout the paper.
+	Duty float64
+}
+
+// DefaultFU returns the paper's generic functional unit: 500 dual-Vt OR8
+// gates with sleep support, arranged as 100 rows of five cascaded gates.
+// The sleep driver energy is sized so the whole-unit sleep-assert overhead
+// matches the 0.006*E_A ratio measured for the Table 1 circuit.
+func DefaultFU() FUConfig {
+	cfg := FUConfig{
+		Gate:         DualVtSleep,
+		Rows:         100,
+		StagesPerRow: 5,
+		Duty:         0.5,
+	}
+	// Whole-unit overhead target: (SleepFJ/DynamicFJ) * E_A(FU). The sleep
+	// transistors themselves cover Rows*SleepFJ of it; the driver tree
+	// accounts for the rest.
+	target := cfg.Gate.SleepFJ / cfg.Gate.DynamicFJ * cfg.MaxDynamicFJ()
+	cfg.SleepDriverFJ = target - float64(cfg.Rows)*cfg.Gate.SleepFJ
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c FUConfig) Validate() error {
+	if err := c.Gate.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Rows <= 0 || c.StagesPerRow <= 0:
+		return fmt.Errorf("circuit: FU needs positive dimensions, got %dx%d", c.Rows, c.StagesPerRow)
+	case c.SleepDriverFJ < 0:
+		return fmt.Errorf("circuit: negative sleep driver energy %g", c.SleepDriverFJ)
+	case c.Duty <= 0 || c.Duty > 1:
+		return fmt.Errorf("circuit: duty cycle %g out of range (0,1]", c.Duty)
+	default:
+		return nil
+	}
+}
+
+// Gates returns the total gate count of the unit.
+func (c FUConfig) Gates() int { return c.Rows * c.StagesPerRow }
+
+// MaxDynamicFJ returns E_A for the whole unit: the dynamic energy of an
+// evaluation in which every gate discharges.
+func (c FUConfig) MaxDynamicFJ() float64 {
+	return float64(c.Gates()) * c.Gate.DynamicFJ
+}
+
+// TransitionOverheadFJ returns the fixed energy of asserting the Sleep
+// signal: one sleep-transistor activation per row plus the driver tree.
+// The state-dependent discharge energy is separate (see FU.Sleep).
+func (c FUConfig) TransitionOverheadFJ() float64 {
+	return float64(c.Rows)*c.Gate.SleepFJ + c.SleepDriverFJ
+}
+
+// ToTech derives the normalized architecture-level model parameters
+// (core.Tech) from the circuit characterization. This is the bridge between
+// Table 1 and the Section 3 analytical model.
+func (c FUConfig) ToTech() core.Tech {
+	return core.Tech{
+		P:             c.Gate.LeakageFactor(),
+		C:             c.Gate.LeakageRatio(),
+		SleepOverhead: c.TransitionOverheadFJ() / c.MaxDynamicFJ(),
+		Duty:          c.Duty,
+	}
+}
+
+// EnergyFJ is the circuit-level analogue of core.Breakdown, in femtojoules.
+type EnergyFJ struct {
+	Dynamic    float64 // evaluation switching energy
+	ActiveLeak float64 // leakage during evaluation cycles
+	IdleLeak   float64 // leakage during clock-gated idle cycles
+	SleepLeak  float64 // leakage while asleep
+	Transition float64 // node discharge + sleep signal energy on sleep entry
+}
+
+// Total returns the summed energy in fJ.
+func (e EnergyFJ) Total() float64 {
+	return e.Dynamic + e.ActiveLeak + e.IdleLeak + e.SleepLeak + e.Transition
+}
+
+// TotalPJ returns the summed energy in picojoules (the unit of Figure 3).
+func (e EnergyFJ) TotalPJ() float64 { return e.Total() / 1000 }
+
+// Add returns the element-wise sum.
+func (e EnergyFJ) Add(o EnergyFJ) EnergyFJ {
+	return EnergyFJ{
+		Dynamic:    e.Dynamic + o.Dynamic,
+		ActiveLeak: e.ActiveLeak + o.ActiveLeak,
+		IdleLeak:   e.IdleLeak + o.IdleLeak,
+		SleepLeak:  e.SleepLeak + o.SleepLeak,
+		Transition: e.Transition + o.Transition,
+	}
+}

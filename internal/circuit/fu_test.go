@@ -1,0 +1,91 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultFUShape(t *testing.T) {
+	cfg := DefaultFU()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default FU invalid: %v", err)
+	}
+	if cfg.Gates() != 500 {
+		t.Errorf("gates = %d, want 500", cfg.Gates())
+	}
+	if cfg.Rows != 100 || cfg.StagesPerRow != 5 {
+		t.Errorf("layout = %dx%d, want 100x5", cfg.Rows, cfg.StagesPerRow)
+	}
+	// E_A for the unit: 500 * 22.2 fJ = 11.1 pJ.
+	if got := cfg.MaxDynamicFJ(); math.Abs(got-11100) > 1e-9 {
+		t.Errorf("E_A = %g fJ, want 11100", got)
+	}
+}
+
+func TestFUSleepOverheadCalibration(t *testing.T) {
+	// The whole-unit sleep overhead must equal the paper's per-gate ratio
+	// 0.14/22.2 of E_A, split between the row sleep transistors and the
+	// distribution drivers.
+	cfg := DefaultFU()
+	wantRatio := 0.14 / 22.2
+	got := cfg.TransitionOverheadFJ() / cfg.MaxDynamicFJ()
+	if math.Abs(got-wantRatio) > 1e-12 {
+		t.Errorf("overhead ratio = %g, want %g", got, wantRatio)
+	}
+	if cfg.SleepDriverFJ <= 0 {
+		t.Errorf("driver energy %g should be positive", cfg.SleepDriverFJ)
+	}
+}
+
+func TestFUValidateRejections(t *testing.T) {
+	good := DefaultFU()
+	cases := []func(*FUConfig){
+		func(c *FUConfig) { c.Rows = 0 },
+		func(c *FUConfig) { c.StagesPerRow = -1 },
+		func(c *FUConfig) { c.SleepDriverFJ = -5 },
+		func(c *FUConfig) { c.Duty = 0 },
+		func(c *FUConfig) { c.Duty = 2 },
+		func(c *FUConfig) { c.Gate.DynamicFJ = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestToTechMatchesPaperDerivation(t *testing.T) {
+	tech := DefaultFU().ToTech()
+	if err := tech.Validate(); err != nil {
+		t.Fatalf("derived tech invalid: %v", err)
+	}
+	if math.Abs(tech.P-1.4/22.2) > 1e-12 {
+		t.Errorf("p = %g, want %g", tech.P, 1.4/22.2)
+	}
+	if math.Abs(tech.C-7.1e-4/1.4) > 1e-12 {
+		t.Errorf("c = %g, want %g", tech.C, 7.1e-4/1.4)
+	}
+	if math.Abs(tech.SleepOverhead-0.14/22.2) > 1e-12 {
+		t.Errorf("e_slp = %g, want %g", tech.SleepOverhead, 0.14/22.2)
+	}
+	// The paper's pessimistic analysis values bound the derived ones.
+	if tech.C > 0.001 || tech.SleepOverhead > 0.01 {
+		t.Errorf("derived c=%g e=%g exceed the pessimistic Table 4 values", tech.C, tech.SleepOverhead)
+	}
+}
+
+func TestEnergyFJArithmetic(t *testing.T) {
+	a := EnergyFJ{1, 2, 3, 4, 5}
+	if a.Total() != 15 {
+		t.Errorf("Total = %g", a.Total())
+	}
+	if a.TotalPJ() != 0.015 {
+		t.Errorf("TotalPJ = %g", a.TotalPJ())
+	}
+	b := a.Add(EnergyFJ{10, 20, 30, 40, 50})
+	if b != (EnergyFJ{11, 22, 33, 44, 55}) {
+		t.Errorf("Add = %+v", b)
+	}
+}

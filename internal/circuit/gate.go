@@ -1,0 +1,126 @@
+// Package circuit models the dual threshold voltage (dual-Vt) domino logic
+// circuits of Section 2 of Dropsho et al. (MICRO 2002) at the level needed
+// for architectural energy studies: per-gate energies by charge state, the
+// generic 500-gate functional-unit circuit, and cycle-accurate simulation of
+// active / clock-gated / sleep operation.
+//
+// All energies are femtojoules (fJ); delays are picoseconds (ps). The gate
+// characterization constants reproduce Table 1 of the paper (8-input domino
+// OR gates in a 70 nm technology, Vdd = 1.0 V, Vt_low = 0.20 V, Vt_high =
+// 0.45 V, 4 GHz clock, 250 ps period).
+package circuit
+
+import "fmt"
+
+// ClockPeriodPS is the clock period of the Table 1 characterization (4 GHz).
+const ClockPeriodPS = 250.0
+
+// GateParams characterizes one domino gate design point, one row of Table 1.
+type GateParams struct {
+	Name string
+
+	// EvalDelayPS is the evaluation (critical path) propagation delay.
+	EvalDelayPS float64
+	// SleepDelayPS is the time to force the dynamic node low via the sleep
+	// transistor; zero when the design has no sleep mode.
+	SleepDelayPS float64
+
+	// DynamicFJ is the energy of one evaluation that discharges the dynamic
+	// node (the maximum per-cycle dynamic energy of the gate). It accounts
+	// for the discharge and the subsequent precharge of the node.
+	DynamicFJ float64
+
+	// LeakLoFJ is the per-cycle subthreshold leakage energy with the
+	// dynamic node discharged (the low-leakage state; Table 1 "Vector LO").
+	LeakLoFJ float64
+	// LeakHiFJ is the per-cycle leakage with the dynamic node charged
+	// (the high-leakage state; Table 1 "Vector HI").
+	LeakHiFJ float64
+
+	// SleepFJ is the energy of activating the sleep transistor, per sleep
+	// transistor (the first gate in each cascaded sequence carries one);
+	// zero when the design has no sleep mode.
+	SleepFJ float64
+
+	// HasSleep reports whether the design includes the sleep transistor.
+	HasSleep bool
+}
+
+// The three circuit design points of Table 1.
+var (
+	// LowVt is the conventional all-low-Vt domino gate: fastest keeper
+	// contention profile of the three but high leakage in both states.
+	LowVt = GateParams{
+		Name:        "low-Vt",
+		EvalDelayPS: 19.3,
+		DynamicFJ:   26.7,
+		LeakLoFJ:    1.2,
+		LeakHiFJ:    1.4,
+	}
+
+	// DualVt places high-Vt devices off the critical evaluation path:
+	// faster and lower energy than LowVt, with a 2000x leakage asymmetry
+	// between the discharged and charged states.
+	DualVt = GateParams{
+		Name:        "dual-Vt",
+		EvalDelayPS: 15.0,
+		DynamicFJ:   22.2,
+		LeakLoFJ:    7.1e-4,
+		LeakHiFJ:    1.4,
+	}
+
+	// DualVtSleep adds the minimally-sized high-Vt sleep transistor of
+	// Figure 2b to the first stage: no evaluation delay penalty, one-cycle
+	// sleep entry, and a 0.14 fJ activation energy.
+	DualVtSleep = GateParams{
+		Name:         "dual-Vt w/sleep",
+		EvalDelayPS:  15.0,
+		SleepDelayPS: 16.0,
+		DynamicFJ:    22.2,
+		LeakLoFJ:     7.1e-4,
+		LeakHiFJ:     1.4,
+		SleepFJ:      0.14,
+		HasSleep:     true,
+	}
+)
+
+// Table1 lists the three design points in the paper's row order.
+var Table1 = []GateParams{LowVt, DualVt, DualVtSleep}
+
+// Validate reports whether the parameters are physically sensible.
+func (g GateParams) Validate() error {
+	switch {
+	case g.DynamicFJ <= 0:
+		return fmt.Errorf("circuit: gate %q: non-positive dynamic energy", g.Name)
+	case g.LeakLoFJ < 0 || g.LeakHiFJ < 0:
+		return fmt.Errorf("circuit: gate %q: negative leakage", g.Name)
+	case g.LeakLoFJ > g.LeakHiFJ:
+		return fmt.Errorf("circuit: gate %q: low-leakage state leaks more than high", g.Name)
+	case g.HasSleep && g.SleepDelayPS <= 0:
+		return fmt.Errorf("circuit: gate %q: sleep mode without sleep delay", g.Name)
+	case !g.HasSleep && g.SleepFJ != 0:
+		return fmt.Errorf("circuit: gate %q: sleep energy without sleep mode", g.Name)
+	default:
+		return nil
+	}
+}
+
+// LeakageFactor returns p = E_HI / E_A for the gate (~0.063 for the dual-Vt
+// designs of Table 1).
+func (g GateParams) LeakageFactor() float64 { return g.LeakHiFJ / g.DynamicFJ }
+
+// LeakageRatio returns c = E_LO / E_HI (~5.1e-4 for dual-Vt).
+func (g GateParams) LeakageRatio() float64 {
+	if g.LeakHiFJ == 0 {
+		return 0
+	}
+	return g.LeakLoFJ / g.LeakHiFJ
+}
+
+// SleepEntryWithinCycle reports whether the sleep transistor can force the
+// low-leakage state within a single clock phase, i.e. whether sleep entry
+// completes in one cycle (the paper requires the ~16 ps sleep delay to be
+// comparable to the 15 ps evaluation delay).
+func (g GateParams) SleepEntryWithinCycle() bool {
+	return g.HasSleep && g.SleepDelayPS <= ClockPeriodPS/2
+}

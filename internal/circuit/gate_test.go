@@ -1,0 +1,93 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Rows(t *testing.T) {
+	if len(Table1) != 3 {
+		t.Fatalf("Table1 has %d rows, want 3", len(Table1))
+	}
+	for _, g := range Table1 {
+		if err := g.Validate(); err != nil {
+			t.Errorf("gate %q invalid: %v", g.Name, err)
+		}
+	}
+	// The dual-Vt designs must be faster than low-Vt (keeper overdrive
+	// argument of Section 2) and lower dynamic energy.
+	if DualVt.EvalDelayPS >= LowVt.EvalDelayPS {
+		t.Error("dual-Vt should be faster than low-Vt")
+	}
+	if DualVt.DynamicFJ >= LowVt.DynamicFJ {
+		t.Error("dual-Vt should have lower dynamic energy than low-Vt")
+	}
+	// Sleep support adds no evaluation delay (the transistor is off the
+	// evaluation path).
+	if DualVtSleep.EvalDelayPS != DualVt.EvalDelayPS {
+		t.Error("sleep transistor must not slow evaluation")
+	}
+}
+
+func TestLeakageAsymmetry(t *testing.T) {
+	// Section 2: the dual-Vt leakage differs by a factor of ~2000 between
+	// the discharged and charged states.
+	ratio := DualVt.LeakHiFJ / DualVt.LeakLoFJ
+	if ratio < 1500 || ratio > 2500 {
+		t.Errorf("leakage asymmetry = %.0f, want ~2000", ratio)
+	}
+	// Low-Vt has nearly symmetric leakage.
+	if r := LowVt.LeakHiFJ / LowVt.LeakLoFJ; r > 1.5 {
+		t.Errorf("low-Vt asymmetry = %.2f, want near 1", r)
+	}
+}
+
+func TestDerivedModelParameters(t *testing.T) {
+	// Section 3's derivation from Table 1: p ~ 0.063, c ~ 5.1e-4.
+	p := DualVtSleep.LeakageFactor()
+	if math.Abs(p-1.4/22.2) > 1e-12 {
+		t.Errorf("p = %g, want %g", p, 1.4/22.2)
+	}
+	c := DualVtSleep.LeakageRatio()
+	if math.Abs(c-7.1e-4/1.4) > 1e-12 {
+		t.Errorf("c = %g, want %g", c, 7.1e-4/1.4)
+	}
+	// Sleep activation is negligible relative to switching: 0.14 vs 22.2.
+	if r := DualVtSleep.SleepFJ / DualVtSleep.DynamicFJ; r > 0.01 {
+		t.Errorf("sleep/dynamic ratio = %g, want < 0.01", r)
+	}
+	// Degenerate zero-leakage gate doesn't divide by zero.
+	g := GateParams{Name: "ideal", DynamicFJ: 1}
+	if g.LeakageRatio() != 0 {
+		t.Error("zero-leakage ratio should be 0")
+	}
+}
+
+func TestSleepEntryWithinCycle(t *testing.T) {
+	if !DualVtSleep.SleepEntryWithinCycle() {
+		t.Error("16 ps sleep delay must fit in a 125 ps clock phase")
+	}
+	if DualVt.SleepEntryWithinCycle() {
+		t.Error("design without sleep mode cannot enter sleep")
+	}
+	slow := DualVtSleep
+	slow.SleepDelayPS = 200
+	if slow.SleepEntryWithinCycle() {
+		t.Error("200 ps sleep delay exceeds the clock phase")
+	}
+}
+
+func TestGateValidateRejections(t *testing.T) {
+	cases := []GateParams{
+		{Name: "no-dyn", DynamicFJ: 0},
+		{Name: "neg-leak", DynamicFJ: 1, LeakLoFJ: -1},
+		{Name: "inverted", DynamicFJ: 1, LeakLoFJ: 2, LeakHiFJ: 1},
+		{Name: "sleep-no-delay", DynamicFJ: 1, HasSleep: true},
+		{Name: "sleep-energy-no-mode", DynamicFJ: 1, SleepFJ: 0.1},
+	}
+	for _, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("gate %q: invalid parameters accepted", g.Name)
+		}
+	}
+}

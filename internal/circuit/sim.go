@@ -1,0 +1,277 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FU is a cycle-level simulation of the generic functional-unit circuit.
+// It tracks the fraction of dynamic nodes left charged (the high-leakage
+// state) and accumulates energy by physical source. The deterministic model
+// treats the activity factor as an exact fraction of the gates; see
+// StochasticFU for the per-gate Bernoulli variant.
+//
+// Energy accounting convention: the dynamic energy of a discharge/precharge
+// pair is attributed at discharge time, whether the discharge happens
+// through the evaluation network (Evaluate) or through the sleep transistor
+// (Sleep). This matches the analytical model, where an evaluation costs
+// alpha*E_A and a sleep transition costs (1-alpha)*E_A.
+type FU struct {
+	cfg         FUConfig
+	chargedFrac float64 // fraction of dynamic nodes precharged high
+	asleep      bool
+	energy      EnergyFJ
+	cycles      uint64
+}
+
+// NewFU builds a simulated functional unit; the circuit powers up with all
+// dynamic nodes precharged (the high-leakage state).
+func NewFU(cfg FUConfig) (*FU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FU{cfg: cfg, chargedFrac: 1}, nil
+}
+
+// MustNewFU is NewFU for known-good configurations.
+func MustNewFU(cfg FUConfig) *FU {
+	fu, err := NewFU(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fu
+}
+
+// Config returns the unit's configuration.
+func (f *FU) Config() FUConfig { return f.cfg }
+
+// Energy returns the accumulated energy by source.
+func (f *FU) Energy() EnergyFJ { return f.energy }
+
+// Cycles returns the number of simulated cycles.
+func (f *FU) Cycles() uint64 { return f.cycles }
+
+// Asleep reports whether the Sleep signal is currently asserted.
+func (f *FU) Asleep() bool { return f.asleep }
+
+// ChargedFraction returns the fraction of dynamic nodes in the charged
+// (high-leakage) state.
+func (f *FU) ChargedFraction() float64 { return f.chargedFrac }
+
+// Reset returns the unit to the powered-up state with zeroed accounting.
+func (f *FU) Reset() {
+	f.chargedFrac = 1
+	f.asleep = false
+	f.energy = EnergyFJ{}
+	f.cycles = 0
+}
+
+func (f *FU) gatesF() float64 { return float64(f.cfg.Gates()) }
+
+// leakFJ returns one full cycle of leakage at the current node state.
+func (f *FU) leakFJ() float64 {
+	g := f.cfg.Gate
+	return f.gatesF() * (f.chargedFrac*g.LeakHiFJ + (1-f.chargedFrac)*g.LeakLoFJ)
+}
+
+// Evaluate simulates one active cycle: the precharge phase recharges every
+// node (waking the unit if it was asleep), then the evaluate phase
+// discharges the alpha fraction of the gates. Leakage is accrued for both
+// phases per the duty cycle.
+func (f *FU) Evaluate(alpha float64) error {
+	if alpha < 0 || alpha > 1 {
+		return fmt.Errorf("circuit: activity factor %g out of range [0,1]", alpha)
+	}
+	g := f.cfg.Gate
+	n := f.gatesF()
+	f.asleep = false
+	// Precharge phase: all nodes high, (1-d) of the period.
+	f.energy.ActiveLeak += (1 - f.cfg.Duty) * n * g.LeakHiFJ
+	// Evaluate phase: alpha discharge (paying their dynamic energy), the
+	// rest stay charged.
+	f.energy.Dynamic += alpha * n * g.DynamicFJ
+	f.energy.ActiveLeak += f.cfg.Duty * n * (alpha*g.LeakLoFJ + (1-alpha)*g.LeakHiFJ)
+	f.chargedFrac = 1 - alpha
+	f.cycles++
+	return nil
+}
+
+// IdleGated simulates one clock-gated idle cycle: the clock is held high,
+// no precharge occurs, and the circuit leaks in whatever state the last
+// evaluation (or sleep assertion) left it.
+func (f *FU) IdleGated() {
+	if f.asleep {
+		f.energy.SleepLeak += f.leakFJ()
+	} else {
+		f.energy.IdleLeak += f.leakFJ()
+	}
+	f.cycles++
+}
+
+// Sleep simulates one cycle with the Sleep signal asserted. On the entry
+// cycle the sleep transistors discharge every still-charged node (costing
+// their eventual re-precharge energy plus the signal-distribution overhead);
+// the unit then leaks at the low-leakage floor.
+func (f *FU) Sleep() error {
+	g := f.cfg.Gate
+	if !g.HasSleep {
+		return fmt.Errorf("circuit: gate %q has no sleep mode", g.Name)
+	}
+	if !f.asleep {
+		f.energy.Transition += f.chargedFrac*f.gatesF()*g.DynamicFJ + f.cfg.TransitionOverheadFJ()
+		f.chargedFrac = 0
+		f.asleep = true
+	}
+	f.energy.SleepLeak += f.leakFJ()
+	f.cycles++
+	return nil
+}
+
+// IdleEnergyCurve supports Figure 3: it returns, for idle intervals of
+// length 0..maxIdle cycles following one evaluation at activity alpha, the
+// energy (in pJ) spent handling the interval under (a) uncontrolled idle
+// (clock gating only) and (b) immediate sleep-mode entry. The evaluation
+// itself is excluded; only the interval's cost is reported.
+func (f *FU) IdleEnergyCurve(alpha float64, maxIdle int) (uncontrolled, sleep []float64, err error) {
+	uncontrolled = make([]float64, maxIdle+1)
+	sleep = make([]float64, maxIdle+1)
+	for n := 0; n <= maxIdle; n++ {
+		f.Reset()
+		if err := f.Evaluate(alpha); err != nil {
+			return nil, nil, err
+		}
+		base := f.energy
+		for i := 0; i < n; i++ {
+			f.IdleGated()
+		}
+		uncontrolled[n] = (f.energy.Total() - base.Total()) / 1000
+
+		f.Reset()
+		if err := f.Evaluate(alpha); err != nil {
+			return nil, nil, err
+		}
+		base = f.energy
+		for i := 0; i < n; i++ {
+			if err := f.Sleep(); err != nil {
+				return nil, nil, err
+			}
+		}
+		// An interval of length zero still shows the committed transition
+		// cost for the sleep case (the Figure 3 curves start above zero):
+		// assert the Sleep signal once even if no idle cycle follows.
+		if n == 0 {
+			if err := f.Sleep(); err != nil {
+				return nil, nil, err
+			}
+			f.energy.SleepLeak -= f.leakFJ() // entry energy only, no dwell cycle
+		}
+		sleep[n] = (f.energy.Total() - base.Total()) / 1000
+	}
+	f.Reset()
+	return uncontrolled, sleep, nil
+}
+
+// BreakevenIdle returns the smallest idle interval, in cycles, for which
+// entering the sleep mode costs no more than uncontrolled idle, found by
+// direct simulation (~17 cycles for the default unit; Section 2.1).
+func (f *FU) BreakevenIdle(alpha float64, limit int) (int, error) {
+	un, sl, err := f.IdleEnergyCurve(alpha, limit)
+	if err != nil {
+		return 0, err
+	}
+	for n := 0; n <= limit; n++ {
+		if sl[n] <= un[n] {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("circuit: no breakeven within %d cycles", limit)
+}
+
+// StochasticFU simulates the unit with independent per-gate Bernoulli
+// discharge decisions instead of exact fractions. It exists to validate
+// that the deterministic fraction model is the correct expectation.
+type StochasticFU struct {
+	cfg     FUConfig
+	charged []bool
+	asleep  bool
+	energy  EnergyFJ
+	rng     *rand.Rand
+}
+
+// NewStochasticFU builds a per-gate simulation seeded deterministically.
+func NewStochasticFU(cfg FUConfig, seed int64) (*StochasticFU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &StochasticFU{
+		cfg:     cfg,
+		charged: make([]bool, cfg.Gates()),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	for i := range s.charged {
+		s.charged[i] = true
+	}
+	return s, nil
+}
+
+// Energy returns the accumulated energy by source.
+func (s *StochasticFU) Energy() EnergyFJ { return s.energy }
+
+// Evaluate runs one active cycle, discharging each gate independently with
+// probability alpha.
+func (s *StochasticFU) Evaluate(alpha float64) error {
+	if alpha < 0 || alpha > 1 {
+		return fmt.Errorf("circuit: activity factor %g out of range [0,1]", alpha)
+	}
+	g := s.cfg.Gate
+	s.asleep = false
+	s.energy.ActiveLeak += float64(len(s.charged)) * (1 - s.cfg.Duty) * g.LeakHiFJ
+	for i := range s.charged {
+		if s.rng.Float64() < alpha {
+			s.charged[i] = false
+			s.energy.Dynamic += g.DynamicFJ
+			s.energy.ActiveLeak += s.cfg.Duty * g.LeakLoFJ
+		} else {
+			s.charged[i] = true
+			s.energy.ActiveLeak += s.cfg.Duty * g.LeakHiFJ
+		}
+	}
+	return nil
+}
+
+// IdleGated runs one clock-gated idle cycle.
+func (s *StochasticFU) IdleGated() {
+	g := s.cfg.Gate
+	for _, ch := range s.charged {
+		leak := g.LeakLoFJ
+		if ch {
+			leak = g.LeakHiFJ
+		}
+		if s.asleep {
+			s.energy.SleepLeak += leak
+		} else {
+			s.energy.IdleLeak += leak
+		}
+	}
+}
+
+// Sleep runs one sleep-mode cycle, discharging remaining charged nodes on
+// entry.
+func (s *StochasticFU) Sleep() error {
+	g := s.cfg.Gate
+	if !g.HasSleep {
+		return fmt.Errorf("circuit: gate %q has no sleep mode", g.Name)
+	}
+	if !s.asleep {
+		for i, ch := range s.charged {
+			if ch {
+				s.energy.Transition += g.DynamicFJ
+				s.charged[i] = false
+			}
+		}
+		s.energy.Transition += s.cfg.TransitionOverheadFJ()
+		s.asleep = true
+	}
+	s.energy.SleepLeak += float64(len(s.charged)) * g.LeakLoFJ
+	return nil
+}

@@ -1,0 +1,274 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/core"
+)
+
+func TestFUPowerUpState(t *testing.T) {
+	fu := MustNewFU(DefaultFU())
+	if fu.ChargedFraction() != 1 || fu.Asleep() {
+		t.Error("unit should power up precharged and awake")
+	}
+	if fu.Cycles() != 0 || fu.Energy().Total() != 0 {
+		t.Error("fresh unit should have zero accounting")
+	}
+}
+
+func TestNewFURejectsBadConfig(t *testing.T) {
+	bad := DefaultFU()
+	bad.Rows = 0
+	if _, err := NewFU(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewFU should panic on invalid config")
+		}
+	}()
+	MustNewFU(bad)
+}
+
+func TestEvaluateSetsChargeState(t *testing.T) {
+	fu := MustNewFU(DefaultFU())
+	if err := fu.Evaluate(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fu.ChargedFraction()-0.7) > 1e-12 {
+		t.Errorf("charged fraction = %g, want 0.7", fu.ChargedFraction())
+	}
+	if err := fu.Evaluate(1.5); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+	// Dynamic energy of one evaluation at alpha: alpha * E_A.
+	fu.Reset()
+	_ = fu.Evaluate(0.5)
+	wantDyn := 0.5 * fu.Config().MaxDynamicFJ()
+	if math.Abs(fu.Energy().Dynamic-wantDyn) > 1e-9 {
+		t.Errorf("dynamic = %g, want %g", fu.Energy().Dynamic, wantDyn)
+	}
+}
+
+func TestSleepTransitionEnergy(t *testing.T) {
+	cfg := DefaultFU()
+	fu := MustNewFU(cfg)
+	_ = fu.Evaluate(0.5)
+	pre := fu.Energy()
+	if err := fu.Sleep(); err != nil {
+		t.Fatal(err)
+	}
+	gotTrans := fu.Energy().Transition - pre.Transition
+	wantTrans := 0.5*cfg.MaxDynamicFJ() + cfg.TransitionOverheadFJ()
+	if math.Abs(gotTrans-wantTrans) > 1e-9 {
+		t.Errorf("transition = %g fJ, want %g", gotTrans, wantTrans)
+	}
+	if !fu.Asleep() || fu.ChargedFraction() != 0 {
+		t.Error("unit should be asleep with all nodes discharged")
+	}
+	// A second sleep cycle pays no further transition energy.
+	pre = fu.Energy()
+	_ = fu.Sleep()
+	if fu.Energy().Transition != pre.Transition {
+		t.Error("repeated sleep cycles must not re-pay the transition")
+	}
+	// Waking via evaluation clears the sleep state.
+	_ = fu.Evaluate(0.2)
+	if fu.Asleep() {
+		t.Error("evaluation should wake the unit")
+	}
+}
+
+func TestSleepRequiresSleepMode(t *testing.T) {
+	cfg := DefaultFU()
+	cfg.Gate = DualVt // no sleep transistor
+	cfg.SleepDriverFJ = 0
+	fu := MustNewFU(cfg)
+	if err := fu.Sleep(); err == nil {
+		t.Error("sleep on a unit without sleep mode should fail")
+	}
+}
+
+func TestIdleLeakageDependsOnState(t *testing.T) {
+	cfg := DefaultFU()
+	// High-activity evaluation leaves most nodes low-leakage.
+	hot := MustNewFU(cfg)
+	_ = hot.Evaluate(0.9)
+	preHot := hot.Energy().IdleLeak
+	hot.IdleGated()
+	hotLeak := hot.Energy().IdleLeak - preHot
+
+	cold := MustNewFU(cfg)
+	_ = cold.Evaluate(0.1)
+	preCold := cold.Energy().IdleLeak
+	cold.IdleGated()
+	coldLeak := cold.Energy().IdleLeak - preCold
+
+	if hotLeak >= coldLeak {
+		t.Errorf("alpha=0.9 idle leak %g should be below alpha=0.1 leak %g", hotLeak, coldLeak)
+	}
+	// Roughly proportional to (1-alpha): ratio ~ 0.1/0.9.
+	if r := hotLeak / coldLeak; r > 0.2 {
+		t.Errorf("leak ratio = %g, want ~0.11", r)
+	}
+}
+
+func TestBreakevenMatchesPaperFigure3(t *testing.T) {
+	// Section 2.1: "If the circuit is not idle for at least 17 cycles then
+	// more energy is used than is saved" and the breakeven is relatively
+	// insensitive to the activity factor.
+	fu := MustNewFU(DefaultFU())
+	var bes []int
+	for _, alpha := range []float64{0.1, 0.5, 0.9} {
+		be, err := fu.BreakevenIdle(alpha, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if be < 15 || be > 20 {
+			t.Errorf("alpha=%g: breakeven = %d cycles, want ~17", alpha, be)
+		}
+		bes = append(bes, be)
+	}
+	if spread := bes[2] - bes[0]; spread < -3 || spread > 3 {
+		t.Errorf("breakeven spread across alpha = %d, want small", spread)
+	}
+}
+
+func TestFigure3CurveShapes(t *testing.T) {
+	fu := MustNewFU(DefaultFU())
+	un, sl, err := fu.IdleEnergyCurve(0.1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncontrolled idle: straight line from the origin.
+	if un[0] != 0 {
+		t.Errorf("uncontrolled[0] = %g, want 0", un[0])
+	}
+	slope := un[1] - un[0]
+	for n := 2; n <= 25; n++ {
+		if math.Abs((un[n]-un[n-1])-slope) > 1e-9 {
+			t.Fatalf("uncontrolled idle curve not linear at n=%d", n)
+		}
+	}
+	// At alpha=0.1 the slope is (1-0.1)*500*1.4fJ + 0.1*500*7.1e-4 fJ ~ 0.63 pJ/cycle.
+	if math.Abs(slope-0.63) > 0.01 {
+		t.Errorf("uncontrolled slope = %g pJ/cycle, want ~0.63", slope)
+	}
+	// Sleep: committed transition cost then near-flat plateau around
+	// (1-alpha)*11.1 pJ + overhead ~ 10 pJ.
+	if sl[0] < 9.5 || sl[0] > 10.7 {
+		t.Errorf("sleep[0] = %g pJ, want ~10", sl[0])
+	}
+	plateau := sl[25] - sl[1]
+	if plateau > 0.05 {
+		t.Errorf("sleep curve not flat: rises %g pJ over 24 cycles", plateau)
+	}
+	// Higher activity factors lower the transition cost (Figure 3).
+	_, sl9, err := fu.IdleEnergyCurve(0.9, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl9[0] >= sl[0]/4 {
+		t.Errorf("alpha=0.9 transition %g should be far below alpha=0.1's %g", sl9[0], sl[0])
+	}
+}
+
+func TestFUCrossValidatesAnalyticModel(t *testing.T) {
+	// Driving the circuit simulation with a MaxSleep-style activity stream
+	// must reproduce the core analytical model exactly (same accounting
+	// conventions), once normalized by E_A.
+	cfg := DefaultFU()
+	tech := cfg.ToTech()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		alpha := rng.Float64()
+		stream := make([]bool, 1500)
+		for i := range stream {
+			stream[i] = rng.Float64() < 0.4
+		}
+		// Start with an evaluation so the circuit's power-up precharge state
+		// (all nodes high, as if alpha were 0) is replaced by the
+		// alpha-determined state the analytic model assumes.
+		stream[0] = true
+
+		fu := MustNewFU(cfg)
+		for _, active := range stream {
+			if active {
+				if err := fu.Evaluate(alpha); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := fu.Sleep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		simNorm := fu.Energy().Total() / cfg.MaxDynamicFJ()
+
+		ctrl, err := core.NewController(core.PolicyConfig{Policy: core.MaxSleep}, tech, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := tech.RunStream(alpha, ctrl, stream).Total()
+
+		if math.Abs(simNorm-analytic) > 1e-6 {
+			t.Errorf("trial %d alpha=%.3f: circuit %.6f vs analytic %.6f", trial, alpha, simNorm, analytic)
+		}
+	}
+}
+
+func TestStochasticConvergesToDeterministic(t *testing.T) {
+	cfg := DefaultFU()
+	alpha := 0.5
+	det := MustNewFU(cfg)
+	sto, err := NewStochasticFU(cfg, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		switch i % 5 {
+		case 0, 1:
+			_ = det.Evaluate(alpha)
+			_ = sto.Evaluate(alpha)
+		case 2:
+			det.IdleGated()
+			sto.IdleGated()
+		default:
+			_ = det.Sleep()
+			_ = sto.Sleep()
+		}
+	}
+	d, s := det.Energy().Total(), sto.Energy().Total()
+	if rel := math.Abs(d-s) / d; rel > 0.02 {
+		t.Errorf("stochastic %.1f fJ deviates %.1f%% from deterministic %.1f fJ", s, rel*100, d)
+	}
+}
+
+func TestStochasticRejections(t *testing.T) {
+	bad := DefaultFU()
+	bad.Duty = 0
+	if _, err := NewStochasticFU(bad, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg := DefaultFU()
+	s, _ := NewStochasticFU(cfg, 1)
+	if err := s.Evaluate(-0.5); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+	cfg.Gate = DualVt
+	cfg.SleepDriverFJ = 0
+	s2, _ := NewStochasticFU(cfg, 1)
+	if err := s2.Sleep(); err == nil {
+		t.Error("sleep without sleep mode accepted")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	fu := MustNewFU(DefaultFU())
+	_ = fu.Evaluate(0.5)
+	_ = fu.Sleep()
+	fu.Reset()
+	if fu.Energy().Total() != 0 || fu.Cycles() != 0 || fu.Asleep() || fu.ChargedFraction() != 1 {
+		t.Error("Reset did not restore power-up state")
+	}
+}

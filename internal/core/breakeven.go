@@ -1,0 +1,66 @@
+package core
+
+import "math"
+
+// Breakeven returns the breakeven idle interval n_BE of equation (5): the
+// idle duration, in cycles, at which the leakage saved by sleeping exactly
+// offsets the energy of the transition into sleep mode. For idle intervals
+// longer than n_BE, MaxSleep beats AlwaysActive on that interval; for
+// shorter intervals, AlwaysActive wins.
+//
+//	n_BE = ((1-alpha) + e_slp) / (p * (1-alpha) * (1-c))
+//
+// The result is +Inf when the uncontrolled-idle and sleep leakage rates
+// coincide (alpha = 1 with c < 1 has zero transition discharge cost but the
+// model's denominator also collapses; the formula handles it continuously).
+func (t Tech) Breakeven(alpha float64) float64 {
+	saved := t.UIRate(alpha) - t.SleepRate() // per-cycle leakage avoided by sleeping
+	if saved <= 0 {
+		return math.Inf(1)
+	}
+	return t.TransitionCost(alpha) / saved
+}
+
+// BreakevenSlices returns the GradualSleep slice count recommended by the
+// paper: the number of cycles in the breakeven interval, rounded to the
+// nearest integer and clamped to at least 1. With K = n_BE slices, one
+// K-th of the circuit enters the sleep mode on each successive idle cycle.
+func (t Tech) BreakevenSlices(alpha float64) int {
+	be := t.Breakeven(alpha)
+	if math.IsInf(be, 1) || be > 1<<20 {
+		return 1 << 20
+	}
+	k := int(math.Round(be))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// BreakevenSearch locates the breakeven interval numerically by comparing
+// the energy of an uncontrolled idle of length n against a single sleep
+// transition followed by n sleep cycles, returning the smallest positive n
+// (possibly fractional, found by bisection) at which sleeping is no more
+// expensive. It exists to cross-check Breakeven and as a hook for models
+// whose rates are not closed-form.
+func (t Tech) BreakevenSearch(alpha float64) float64 {
+	idle := func(n float64) float64 { return n * t.UIRate(alpha) }
+	sleep := func(n float64) float64 { return t.TransitionCost(alpha) + n*t.SleepRate() }
+
+	lo, hi := 0.0, 1.0
+	for sleep(hi) > idle(hi) {
+		hi *= 2
+		if hi > 1e12 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if sleep(mid) > idle(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakevenClosedFormMatchesSearch(t *testing.T) {
+	f := func(pRaw, alphaRaw float64) bool {
+		tech := DefaultTech().WithP(0.01 + math.Mod(math.Abs(pRaw), 0.99))
+		alpha := math.Mod(math.Abs(alphaRaw), 0.999)
+		formula := tech.Breakeven(alpha)
+		search := tech.BreakevenSearch(alpha)
+		return almostEqual(formula, search, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakevenNearTermCircuit(t *testing.T) {
+	// With the Table 1 circuit parameters (p~0.063, c~5e-4, e_slp~0.006) the
+	// paper's Figure 3 finds a breakeven of about 17 cycles at alpha=0.1.
+	tech := Tech{P: 1.4 / 22.2, C: 7.1e-4 / 1.4, SleepOverhead: 0.14 / 22.2, Duty: 0.5}
+	be := tech.Breakeven(0.1)
+	if be < 14 || be > 20 {
+		t.Errorf("breakeven = %.2f cycles, want ~17 per Figure 3", be)
+	}
+	// The paper notes the breakeven is relatively insensitive to alpha over
+	// [0.1, 0.9] because both transition cost and uncontrolled-idle leakage
+	// scale as (1-alpha).
+	be9 := tech.Breakeven(0.9)
+	if math.Abs(be9-be) > 0.15*be {
+		t.Errorf("breakeven alpha-sensitivity too high: %.2f at 0.1 vs %.2f at 0.9", be, be9)
+	}
+}
+
+func TestBreakevenScalesInverseP(t *testing.T) {
+	// Figure 4a: n_BE falls approximately as 1/p.
+	tech := DefaultTech()
+	alpha := 0.5
+	b1 := tech.WithP(0.1).Breakeven(alpha)
+	b2 := tech.WithP(0.2).Breakeven(alpha)
+	b4 := tech.WithP(0.4).Breakeven(alpha)
+	if !almostEqual(b1/b2, 2, 1e-9) || !almostEqual(b2/b4, 2, 1e-9) {
+		t.Errorf("breakeven not ~1/p: %.3f %.3f %.3f", b1, b2, b4)
+	}
+}
+
+func TestBreakevenDegenerate(t *testing.T) {
+	// alpha=1 with zero overhead: nothing to discharge, transition free,
+	// but idle leakage already equals sleep leakage, so breakeven is 0/0 ->
+	// the saved-energy denominator is 0 and the result must be +Inf (there
+	// is nothing to save by sleeping).
+	tech := Tech{P: 0.5, C: 0.001, SleepOverhead: 0, Duty: 0.5}
+	if got := tech.Breakeven(1); !math.IsInf(got, 1) {
+		t.Errorf("Breakeven(alpha=1) = %g, want +Inf", got)
+	}
+	// c=1: sleep state leaks exactly like the high state; never worth it.
+	tech = Tech{P: 0.5, C: 0.999999, SleepOverhead: 0.01, Duty: 0.5}
+	if got := tech.Breakeven(0); got < 1e5 {
+		t.Errorf("Breakeven with c~1 = %g, want very large", got)
+	}
+}
+
+func TestBreakevenSlices(t *testing.T) {
+	tech := DefaultTech() // p=0.05, alpha=0.5 -> n_BE ~ 20.4
+	k := tech.BreakevenSlices(0.5)
+	if k < 18 || k > 23 {
+		t.Errorf("BreakevenSlices = %d, want ~20", k)
+	}
+	// Degenerate technologies clamp instead of overflowing.
+	inf := Tech{P: 0.5, C: 0.999999, SleepOverhead: 0.01, Duty: 0.5}
+	if k := inf.BreakevenSlices(0); k < 1 {
+		t.Errorf("clamped slice count = %d, want >= 1", k)
+	}
+}
+
+func TestBreakevenIsEnergyIndifferencePoint(t *testing.T) {
+	// At exactly n_BE cycles, an uncontrolled idle and a sleep transition
+	// cost the same; one cycle later, sleep is strictly cheaper.
+	tech := DefaultTech().WithP(0.3)
+	for _, alpha := range []float64{0.1, 0.5, 0.9} {
+		be := tech.Breakeven(alpha)
+		ui := be * tech.UIRate(alpha)
+		slp := tech.TransitionCost(alpha) + be*tech.SleepRate()
+		if !almostEqual(ui, slp, 1e-9) {
+			t.Errorf("alpha=%g: at n_BE=%.3f, UI=%g sleep=%g", alpha, be, ui, slp)
+		}
+		uiAfter := (be + 1) * tech.UIRate(alpha)
+		slpAfter := tech.TransitionCost(alpha) + (be+1)*tech.SleepRate()
+		if slpAfter >= uiAfter {
+			t.Errorf("alpha=%g: sleep not cheaper past breakeven", alpha)
+		}
+	}
+}

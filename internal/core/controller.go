@@ -1,0 +1,152 @@
+package core
+
+import "fmt"
+
+// StepState describes, for one cycle, what fraction of the functional unit a
+// controller holds in sleep mode and what fraction of a full-unit transition
+// cost it incurred this cycle. Whole-unit policies report 0 or 1; the sliced
+// GradualSleep controller reports intermediate fractions.
+type StepState struct {
+	SleepFrac float64
+	TransFrac float64
+}
+
+// Controller is the cycle-by-cycle view of a sleep-management policy: the
+// hardware sees only whether the unit computes this cycle and must decide
+// the Sleep signal causally. It exists both as the executable specification
+// of the policies and to cross-validate the closed-form interval accounting
+// (the two are proven equivalent by property tests).
+type Controller interface {
+	// Reset returns the controller to the all-awake state.
+	Reset()
+	// Step advances one cycle. active reports whether the unit evaluates
+	// this cycle; the returned state applies to this cycle.
+	Step(active bool) StepState
+}
+
+// NewController builds the cycle-level controller for pc. OracleMinimal is
+// rejected: it requires knowledge of the future idle length and exists only
+// in the offline interval accounting.
+func NewController(pc PolicyConfig, t Tech, alpha float64) (Controller, error) {
+	switch pc.Policy {
+	case AlwaysActive:
+		return &constController{}, nil
+	case NoOverhead:
+		return &constController{sleep: true}, nil
+	case MaxSleep:
+		return &maxSleepController{}, nil
+	case GradualSleep:
+		return &gradualController{k: pc.slices(t, alpha)}, nil
+	case SleepTimeout:
+		return &timeoutController{threshold: pc.timeout(t, alpha)}, nil
+	case OracleMinimal:
+		return nil, fmt.Errorf("core: %v is not causally implementable", pc.Policy)
+	default:
+		return nil, fmt.Errorf("core: unknown policy %v", pc.Policy)
+	}
+}
+
+// constController implements AlwaysActive (sleep=false) and the NoOverhead
+// bound (sleep=true: idle cycles are free-transition sleep cycles).
+type constController struct{ sleep bool }
+
+func (c *constController) Reset() {}
+
+func (c *constController) Step(active bool) StepState {
+	if active || !c.sleep {
+		return StepState{}
+	}
+	return StepState{SleepFrac: 1}
+}
+
+// maxSleepController asserts Sleep on the first cycle of every idle
+// interval, paying one full transition.
+type maxSleepController struct{ asleep bool }
+
+func (c *maxSleepController) Reset() { c.asleep = false }
+
+func (c *maxSleepController) Step(active bool) StepState {
+	if active {
+		c.asleep = false
+		return StepState{}
+	}
+	if c.asleep {
+		return StepState{SleepFrac: 1}
+	}
+	c.asleep = true
+	return StepState{SleepFrac: 1, TransFrac: 1}
+}
+
+// gradualController models the shift register of Figure 5a: each idle cycle
+// shifts the Sleep signal into one more of the k slices; any activity clears
+// the register, waking all slices simultaneously.
+type gradualController struct {
+	k       int
+	idleRun int // consecutive idle cycles so far in the current interval
+}
+
+func (c *gradualController) Reset() { c.idleRun = 0 }
+
+func (c *gradualController) Step(active bool) StepState {
+	if active {
+		c.idleRun = 0
+		return StepState{}
+	}
+	c.idleRun++
+	kf := float64(c.k)
+	var st StepState
+	if c.idleRun <= c.k {
+		st.SleepFrac = float64(c.idleRun) / kf
+		st.TransFrac = 1 / kf
+	} else {
+		st.SleepFrac = 1
+	}
+	return st
+}
+
+// RunStream integrates equation (3) cycle by cycle over an activity stream
+// (true = the unit evaluates) under the given controller. The result is
+// bit-identical in spirit to EvalProfile over the stream's idle profile;
+// property tests assert their numerical agreement.
+func (t Tech) RunStream(alpha float64, ctrl Controller, stream []bool) Breakdown {
+	var b Breakdown
+	activeRate := t.ActiveRate(alpha)
+	uiRate := t.UIRate(alpha)
+	sleepRate := t.SleepRate()
+	trans := t.TransitionCost(alpha)
+	for _, active := range stream {
+		st := ctrl.Step(active)
+		if active {
+			b.Dynamic += alpha
+			b.ActiveLeak += activeRate - alpha
+			continue
+		}
+		b.SleepLeak += st.SleepFrac * sleepRate
+		b.IdleLeak += (1 - st.SleepFrac) * uiRate
+		b.Transition += st.TransFrac * trans
+	}
+	return b
+}
+
+// ProfileFromStream converts an activity stream into the idle profile used
+// by the offline accounting. Leading and trailing idle runs count as
+// intervals, matching the cycle-level controllers' behavior.
+func ProfileFromStream(stream []bool) *IdleProfile {
+	prof := NewIdleProfile()
+	run := 0
+	for _, active := range stream {
+		if active {
+			prof.ActiveCycles++
+			if run > 0 {
+				prof.AddIdle(run, 1)
+				run = 0
+			}
+			continue
+		}
+		run++
+	}
+	if run > 0 {
+		prof.AddIdle(run, 1)
+	}
+	return prof
+}

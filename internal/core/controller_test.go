@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomStream(rng *rand.Rand, n int, pActive float64) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = rng.Float64() < pActive
+	}
+	return s
+}
+
+func TestProfileFromStream(t *testing.T) {
+	stream := []bool{false, false, true, true, false, true, false, false, false}
+	prof := ProfileFromStream(stream)
+	if prof.ActiveCycles != 3 {
+		t.Errorf("active = %d, want 3", prof.ActiveCycles)
+	}
+	// intervals: leading 2, middle 1, trailing 3
+	want := map[int]uint64{2: 1, 1: 1, 3: 1}
+	for l, c := range want {
+		if prof.Intervals[l] != c {
+			t.Errorf("interval[%d] = %d, want %d", l, prof.Intervals[l], c)
+		}
+	}
+	if prof.IntervalCount() != 3 {
+		t.Errorf("interval count = %d", prof.IntervalCount())
+	}
+}
+
+func TestControllersAgreeWithIntervalAccounting(t *testing.T) {
+	// The cycle-level controllers and the offline interval accounting are
+	// two implementations of the same policies; they must produce the same
+	// energies on arbitrary activity streams.
+	rng := rand.New(rand.NewSource(123))
+	techs := []Tech{DefaultTech(), HighLeakTech(), {P: 0.9, C: 0.01, SleepOverhead: 0.05, Duty: 0.3}}
+	policies := []PolicyConfig{
+		{Policy: AlwaysActive},
+		{Policy: MaxSleep},
+		{Policy: NoOverhead},
+		{Policy: GradualSleep, Slices: 1},
+		{Policy: GradualSleep, Slices: 7},
+		{Policy: GradualSleep, Slices: 64},
+		{Policy: GradualSleep}, // auto slices
+	}
+	for trial := 0; trial < 40; trial++ {
+		tech := techs[trial%len(techs)]
+		alpha := rng.Float64()
+		stream := randomStream(rng, 2000, 0.2+0.6*rng.Float64())
+		prof := ProfileFromStream(stream)
+		for _, pc := range policies {
+			ctrl, err := NewController(pc, tech, alpha)
+			if err != nil {
+				t.Fatalf("NewController(%v): %v", pc, err)
+			}
+			online := tech.RunStream(alpha, ctrl, stream)
+			offline := tech.EvalProfile(pc, alpha, prof)
+			if !almostEqual(online.Total(), offline.Total(), 1e-9) {
+				t.Fatalf("trial %d %v slices=%d alpha=%.3f: online %.9f offline %.9f",
+					trial, pc.Policy, pc.Slices, alpha, online.Total(), offline.Total())
+			}
+			// Component-wise agreement, not just totals.
+			if !almostEqual(online.IdleLeak, offline.IdleLeak, 1e-9) ||
+				!almostEqual(online.SleepLeak, offline.SleepLeak, 1e-9) ||
+				!almostEqual(online.Transition, offline.Transition, 1e-9) {
+				t.Fatalf("trial %d %v: component mismatch\nonline  %+v\noffline %+v",
+					trial, pc.Policy, online, offline)
+			}
+		}
+	}
+}
+
+func TestOracleControllerRejected(t *testing.T) {
+	if _, err := NewController(PolicyConfig{Policy: OracleMinimal}, DefaultTech(), 0.5); err == nil {
+		t.Error("OracleMinimal controller should not be constructible")
+	}
+	if _, err := NewController(PolicyConfig{Policy: Policy(77)}, DefaultTech(), 0.5); err == nil {
+		t.Error("unknown policy should be rejected")
+	}
+}
+
+func TestMaxSleepControllerTransitionsOncePerInterval(t *testing.T) {
+	c := &maxSleepController{}
+	var transitions float64
+	for _, active := range []bool{true, false, false, false, true, false, true} {
+		st := c.Step(active)
+		transitions += st.TransFrac
+	}
+	if transitions != 2 {
+		t.Errorf("transitions = %g, want 2", transitions)
+	}
+}
+
+func TestGradualControllerRampsAndClears(t *testing.T) {
+	c := &gradualController{k: 4}
+	// Four idle cycles ramp sleep fraction 1/4, 2/4, 3/4, 1; a fifth stays 1.
+	want := []float64{0.25, 0.5, 0.75, 1, 1}
+	for i, w := range want {
+		st := c.Step(false)
+		if !almostEqual(st.SleepFrac, w, 1e-12) {
+			t.Errorf("idle cycle %d: sleepFrac = %g, want %g", i+1, st.SleepFrac, w)
+		}
+		if i < 4 && !almostEqual(st.TransFrac, 0.25, 1e-12) {
+			t.Errorf("idle cycle %d: transFrac = %g, want 0.25", i+1, st.TransFrac)
+		}
+		if i >= 4 && st.TransFrac != 0 {
+			t.Errorf("idle cycle %d: transFrac = %g, want 0", i+1, st.TransFrac)
+		}
+	}
+	// Activity clears the shift register.
+	if st := c.Step(true); st.SleepFrac != 0 || st.TransFrac != 0 {
+		t.Error("active cycle should clear sleep state")
+	}
+	if st := c.Step(false); !almostEqual(st.SleepFrac, 0.25, 1e-12) {
+		t.Errorf("ramp should restart after activity, got %g", st.SleepFrac)
+	}
+	c.Reset()
+	if c.idleRun != 0 {
+		t.Error("Reset did not clear idle run")
+	}
+}
+
+func TestRunStreamAllActiveMatchesBase(t *testing.T) {
+	tech := DefaultTech()
+	stream := make([]bool, 500)
+	for i := range stream {
+		stream[i] = true
+	}
+	ctrl, _ := NewController(PolicyConfig{Policy: MaxSleep}, tech, 0.5)
+	got := tech.RunStream(0.5, ctrl, stream).Total()
+	want := tech.BaseEnergy(0.5, 500)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("all-active stream energy %g != base energy %g", got, want)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IdleProfile summarizes the measured activity of one functional unit: the
+// total number of active (evaluation) cycles and the multiset of idle
+// interval lengths observed between them. This is exactly the data the
+// paper's simulation methodology records ("precise statistics on the idle
+// times for each functional unit") and from which it computes total energy.
+type IdleProfile struct {
+	ActiveCycles uint64
+	// Intervals maps idle interval length (cycles) to occurrence count.
+	Intervals map[int]uint64
+}
+
+// NewIdleProfile returns an empty profile ready for recording.
+func NewIdleProfile() *IdleProfile {
+	return &IdleProfile{Intervals: make(map[int]uint64)}
+}
+
+// AddIdle records one idle interval of the given length.
+func (p *IdleProfile) AddIdle(length int, count uint64) {
+	if length <= 0 || count == 0 {
+		return
+	}
+	if p.Intervals == nil {
+		p.Intervals = make(map[int]uint64)
+	}
+	p.Intervals[length] += count
+}
+
+// IdleCycles returns the total idle cycles across all intervals.
+func (p *IdleProfile) IdleCycles() uint64 {
+	var n uint64
+	for l, c := range p.Intervals {
+		n += uint64(l) * c
+	}
+	return n
+}
+
+// IntervalCount returns the total number of idle intervals.
+func (p *IdleProfile) IntervalCount() uint64 {
+	var n uint64
+	for _, c := range p.Intervals {
+		n += c
+	}
+	return n
+}
+
+// TotalCycles returns active plus idle cycles.
+func (p *IdleProfile) TotalCycles() uint64 { return p.ActiveCycles + p.IdleCycles() }
+
+// Usage returns the usage factor f_A = active / total, or 0 for an empty
+// profile.
+func (p *IdleProfile) Usage() float64 {
+	tot := p.TotalCycles()
+	if tot == 0 {
+		return 0
+	}
+	return float64(p.ActiveCycles) / float64(tot)
+}
+
+// MeanIdle returns the average idle interval length, or 0 if none.
+func (p *IdleProfile) MeanIdle() float64 {
+	n := p.IntervalCount()
+	if n == 0 {
+		return 0
+	}
+	return float64(p.IdleCycles()) / float64(n)
+}
+
+// Merge accumulates o into p (used to aggregate multiple functional units).
+func (p *IdleProfile) Merge(o *IdleProfile) {
+	p.ActiveCycles += o.ActiveCycles
+	for l, c := range o.Intervals {
+		p.AddIdle(l, c)
+	}
+}
+
+// Lengths returns the distinct interval lengths in ascending order.
+func (p *IdleProfile) Lengths() []int {
+	ls := make([]int, 0, len(p.Intervals))
+	for l := range p.Intervals {
+		ls = append(ls, l)
+	}
+	sort.Ints(ls)
+	return ls
+}
+
+// EvalProfile computes the equation-(3) energy of running policy pc over the
+// measured activity in prof: every idle interval is handled per the policy
+// (AlwaysActive leaves it uncontrolled; MaxSleep converts all of it to sleep
+// cycles plus one transition; NoOverhead omits the transition; GradualSleep
+// splits it per the staggered slice schedule; OracleMinimal sleeps exactly
+// when the interval is at least the breakeven length).
+func (t Tech) EvalProfile(pc PolicyConfig, alpha float64, prof *IdleProfile) Breakdown {
+	cc, err := t.ProfileCounts(pc, alpha, prof)
+	if err != nil {
+		panic(err) // validated inputs only; exported wrapper below returns errors
+	}
+	return t.Energy(alpha, cc)
+}
+
+// ProfileCounts returns the cycle-count aggregate that policy pc produces
+// over the measured activity in prof.
+func (t Tech) ProfileCounts(pc PolicyConfig, alpha float64, prof *IdleProfile) (CycleCounts, error) {
+	if !ValidAlpha(alpha) {
+		return CycleCounts{}, ErrAlpha
+	}
+	if err := t.Validate(); err != nil {
+		return CycleCounts{}, err
+	}
+	cc := CycleCounts{Active: float64(prof.ActiveCycles)}
+	switch pc.Policy {
+	case AlwaysActive:
+		cc.UncontrolledIdle = float64(prof.IdleCycles())
+	case MaxSleep:
+		cc.Sleep = float64(prof.IdleCycles())
+		cc.Transitions = float64(prof.IntervalCount())
+	case NoOverhead:
+		cc.Sleep = float64(prof.IdleCycles())
+	case GradualSleep:
+		k := pc.slices(t, alpha)
+		for l, n := range prof.Intervals {
+			ui, slp, trans := gradualSplit(float64(l), k)
+			nf := float64(n)
+			cc.UncontrolledIdle += nf * ui
+			cc.Sleep += nf * slp
+			cc.Transitions += nf * trans
+		}
+	case OracleMinimal:
+		be := t.Breakeven(alpha)
+		for l, n := range prof.Intervals {
+			nf := float64(n)
+			if float64(l) >= be {
+				cc.Sleep += nf * float64(l)
+				cc.Transitions += nf
+			} else {
+				cc.UncontrolledIdle += nf * float64(l)
+			}
+		}
+	case SleepTimeout:
+		T := pc.timeout(t, alpha)
+		for l, n := range prof.Intervals {
+			ui, slp, trans := timeoutSplit(float64(l), T)
+			nf := float64(n)
+			cc.UncontrolledIdle += nf * ui
+			cc.Sleep += nf * slp
+			cc.Transitions += nf * trans
+		}
+	default:
+		return CycleCounts{}, fmt.Errorf("core: unknown policy %v", pc.Policy)
+	}
+	return cc, nil
+}
+
+// IntervalEnergy returns the energy expended handling a single idle interval
+// of length l under policy pc, excluding the preceding active cycles. This
+// is the quantity plotted in Figure 5c ("energy to transition to the sleep
+// mode" versus idle interval).
+func (t Tech) IntervalEnergy(pc PolicyConfig, alpha float64, l int) float64 {
+	prof := NewIdleProfile()
+	prof.AddIdle(l, 1)
+	return t.EvalProfile(pc, alpha, prof).Total()
+}

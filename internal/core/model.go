@@ -1,0 +1,231 @@
+// Package core implements the architecture-level static-energy model and the
+// sleep-mode management policies from Dropsho et al., "Managing Static
+// Leakage Energy in Microprocessor Functional Units" (MICRO-35, 2002).
+//
+// All energies are normalized to E_A, the maximum dynamic energy dissipated
+// by one evaluation of the whole functional unit (equation (3) of the paper).
+// The model abstracts a dual-threshold-voltage domino-logic functional unit
+// into four technology parameters (Tech) and divides run time into three
+// cycle categories:
+//
+//   - active cycles (N_A): the unit evaluates; dynamic energy is spent and
+//     the circuit leaks in a state determined by the activity factor alpha.
+//   - uncontrolled idle cycles (N_UI): the clock is gated but the Sleep
+//     signal is not asserted; the circuit leaks in the state left behind by
+//     the last evaluation.
+//   - sleep cycles (N_S): the Sleep signal forces every dynamic node into
+//     the discharged, low-leakage state.
+//
+// Transitions into sleep mode (N_tr) cost energy because the (1-alpha)
+// fraction of dynamic nodes that did not discharge during the previous
+// evaluation must be discharged on entry and re-precharged on wake-up.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tech holds the technology parameters of the energy model. The zero value
+// is invalid; use DefaultTech or Table1Tech as starting points.
+type Tech struct {
+	// P is the leakage factor p: the ratio of the per-cycle leakage energy
+	// in the high-leakage state (E_HI) to the maximum dynamic evaluation
+	// energy (E_A). The paper varies p across (0, 1]; the 70 nm circuit of
+	// Table 1 measures p = 1.4 fJ / 22.2 fJ ~= 0.063.
+	P float64
+
+	// C is the ratio c = E_LO / E_HI of per-cycle leakage energy in the
+	// low-leakage (discharged) state to the high-leakage state. Dual-Vt
+	// domino circuits achieve c on the order of 5e-4 (Table 1); the paper's
+	// analysis pessimistically uses 0.001.
+	C float64
+
+	// SleepOverhead is the normalized energy e_slp = E_sleep / E_A of
+	// asserting the sleep transistors and distributing the Sleep signal
+	// across the functional unit, paid once per transition into sleep mode.
+	// The paper's analysis pessimistically uses 0.01.
+	SleepOverhead float64
+
+	// Duty is the clock duty cycle d (fraction of the period the clock is
+	// high, i.e. the evaluate phase). The paper fixes d = 0.5.
+	Duty float64
+}
+
+// DefaultTech returns the parameter values used throughout the paper's
+// analysis and simulation sections (Table 4): c = 0.001, e_slp = 0.01,
+// d = 0.5, and the near-term technology point p = 0.05.
+func DefaultTech() Tech {
+	return Tech{P: 0.05, C: 0.001, SleepOverhead: 0.01, Duty: 0.5}
+}
+
+// HighLeakTech returns the high-leakage technology point p = 0.50 used to
+// demonstrate contrasting policy behavior (Figures 8b, 9).
+func HighLeakTech() Tech {
+	t := DefaultTech()
+	t.P = 0.50
+	return t
+}
+
+// WithP returns a copy of t with the leakage factor replaced, for sweeps
+// across the technology space.
+func (t Tech) WithP(p float64) Tech {
+	t.P = p
+	return t
+}
+
+// Validate reports whether the parameters are inside the model's domain.
+func (t Tech) Validate() error {
+	switch {
+	case t.P <= 0 || t.P > 1:
+		return fmt.Errorf("core: leakage factor P=%g out of range (0,1]", t.P)
+	case t.C < 0 || t.C >= 1:
+		return fmt.Errorf("core: leakage ratio C=%g out of range [0,1)", t.C)
+	case t.SleepOverhead < 0:
+		return fmt.Errorf("core: negative sleep overhead %g", t.SleepOverhead)
+	case t.Duty <= 0 || t.Duty > 1:
+		return fmt.Errorf("core: duty cycle %g out of range (0,1]", t.Duty)
+	default:
+		return nil
+	}
+}
+
+// ErrAlpha is returned when an activity factor is outside [0,1].
+var ErrAlpha = errors.New("core: activity factor out of range [0,1]")
+
+// ValidAlpha reports whether alpha is a legal activity factor.
+func ValidAlpha(alpha float64) bool { return alpha >= 0 && alpha <= 1 }
+
+// ActiveRate returns the normalized energy of one active (evaluation) cycle:
+// the dynamic energy alpha*E_A plus the precharge-phase leakage (the whole
+// circuit sits in the high-leakage precharged state for the (1-d) fraction
+// of the period) plus the post-evaluation leakage for the d fraction of the
+// period (alpha of the nodes discharged to the low-leakage state, (1-alpha)
+// still high).
+func (t Tech) ActiveRate(alpha float64) float64 {
+	return alpha + (1-t.Duty)*t.P + t.Duty*t.P*(alpha*t.C+(1-alpha))
+}
+
+// UIRate returns the normalized per-cycle leakage energy of an uncontrolled
+// idle cycle: the clock gate freezes the circuit in its post-evaluation
+// state, so alpha of the nodes leak at the low rate and (1-alpha) at the
+// high rate for the full period.
+func (t Tech) UIRate(alpha float64) float64 {
+	return t.P * (alpha*t.C + (1 - alpha))
+}
+
+// SleepRate returns the normalized per-cycle leakage energy while the Sleep
+// signal holds every dynamic node in the low-leakage state.
+func (t Tech) SleepRate() float64 { return t.C * t.P }
+
+// TransitionCost returns the normalized energy of one transition into sleep
+// mode: the (1-alpha) fraction of nodes that the last evaluation left
+// charged are discharged now and must be re-precharged on wake-up (costing
+// (1-alpha)*E_A of dynamic energy), plus the sleep-signal overhead.
+func (t Tech) TransitionCost(alpha float64) float64 {
+	return (1 - alpha) + t.SleepOverhead
+}
+
+// CycleCounts aggregates how a run's cycles were spent. Counts are float64
+// so closed-form scenarios can use fractional expectations; measured runs
+// use integral values.
+type CycleCounts struct {
+	Active           float64 // N_A: evaluation cycles
+	UncontrolledIdle float64 // N_UI: clock-gated, not asleep
+	Sleep            float64 // N_S: Sleep signal asserted
+	Transitions      float64 // N_tr: entries into sleep mode
+}
+
+// Total returns the number of cycles covered (transitions are events, not
+// cycles, and are excluded).
+func (c CycleCounts) Total() float64 {
+	return c.Active + c.UncontrolledIdle + c.Sleep
+}
+
+// Add returns the element-wise sum of two cycle-count aggregates.
+func (c CycleCounts) Add(o CycleCounts) CycleCounts {
+	return CycleCounts{
+		Active:           c.Active + o.Active,
+		UncontrolledIdle: c.UncontrolledIdle + o.UncontrolledIdle,
+		Sleep:            c.Sleep + o.Sleep,
+		Transitions:      c.Transitions + o.Transitions,
+	}
+}
+
+// Breakdown splits the total normalized energy of equation (3) into its
+// physical sources, so that derived quantities such as the leakage fraction
+// (Figure 9b) fall out directly.
+type Breakdown struct {
+	// Dynamic is the switching energy of evaluations: N_A * alpha.
+	Dynamic float64
+	// ActiveLeak is leakage dissipated during active cycles (precharge-phase
+	// plus post-evaluation leakage).
+	ActiveLeak float64
+	// IdleLeak is leakage dissipated during uncontrolled idle cycles.
+	IdleLeak float64
+	// SleepLeak is the residual leakage while in sleep mode.
+	SleepLeak float64
+	// Transition is the dynamic energy of entering sleep mode (node
+	// discharge/re-precharge plus sleep-signal distribution overhead).
+	Transition float64
+}
+
+// Total returns the total normalized energy.
+func (b Breakdown) Total() float64 {
+	return b.Dynamic + b.ActiveLeak + b.IdleLeak + b.SleepLeak + b.Transition
+}
+
+// Leakage returns the leakage-only portion of the energy (everything that
+// scales with the leakage factor p).
+func (b Breakdown) Leakage() float64 { return b.ActiveLeak + b.IdleLeak + b.SleepLeak }
+
+// LeakageFraction returns Leakage()/Total(), the quantity plotted in
+// Figure 9b. It returns 0 for an empty breakdown.
+func (b Breakdown) LeakageFraction() float64 {
+	tot := b.Total()
+	if tot == 0 {
+		return 0
+	}
+	return b.Leakage() / tot
+}
+
+// Add returns the element-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Dynamic:    b.Dynamic + o.Dynamic,
+		ActiveLeak: b.ActiveLeak + o.ActiveLeak,
+		IdleLeak:   b.IdleLeak + o.IdleLeak,
+		SleepLeak:  b.SleepLeak + o.SleepLeak,
+		Transition: b.Transition + o.Transition,
+	}
+}
+
+// Scale returns the breakdown with every component multiplied by k.
+func (b Breakdown) Scale(k float64) Breakdown {
+	return Breakdown{
+		Dynamic:    b.Dynamic * k,
+		ActiveLeak: b.ActiveLeak * k,
+		IdleLeak:   b.IdleLeak * k,
+		SleepLeak:  b.SleepLeak * k,
+		Transition: b.Transition * k,
+	}
+}
+
+// Energy evaluates equation (3): the total energy, normalized to E_A, of a
+// run whose cycles divide according to cc under activity factor alpha.
+func (t Tech) Energy(alpha float64, cc CycleCounts) Breakdown {
+	return Breakdown{
+		Dynamic:    cc.Active * alpha,
+		ActiveLeak: cc.Active * (t.ActiveRate(alpha) - alpha),
+		IdleLeak:   cc.UncontrolledIdle * t.UIRate(alpha),
+		SleepLeak:  cc.Sleep * t.SleepRate(),
+		Transition: cc.Transitions * t.TransitionCost(alpha),
+	}
+}
+
+// BaseEnergy returns E_base (equation (9)): the energy the unit would
+// dissipate if it performed a computation on every one of totalCycles
+// cycles. The paper normalizes its simulation results to this quantity.
+func (t Tech) BaseEnergy(alpha, totalCycles float64) float64 {
+	return totalCycles * t.ActiveRate(alpha)
+}

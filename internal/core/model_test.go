@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol || diff <= tol*scale
+}
+
+func TestDefaultTechMatchesTable4(t *testing.T) {
+	tech := DefaultTech()
+	if tech.C != 0.001 {
+		t.Errorf("c = %g, want 0.001", tech.C)
+	}
+	if tech.SleepOverhead != 0.01 {
+		t.Errorf("e_slp = %g, want 0.01", tech.SleepOverhead)
+	}
+	if tech.Duty != 0.5 {
+		t.Errorf("d = %g, want 0.5", tech.Duty)
+	}
+	if tech.P != 0.05 {
+		t.Errorf("p = %g, want 0.05", tech.P)
+	}
+	if err := tech.Validate(); err != nil {
+		t.Fatalf("default tech invalid: %v", err)
+	}
+	if err := HighLeakTech().Validate(); err != nil {
+		t.Fatalf("high-leak tech invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfDomain(t *testing.T) {
+	cases := []Tech{
+		{P: 0, C: 0.001, SleepOverhead: 0.01, Duty: 0.5},
+		{P: -0.1, C: 0.001, SleepOverhead: 0.01, Duty: 0.5},
+		{P: 1.5, C: 0.001, SleepOverhead: 0.01, Duty: 0.5},
+		{P: 0.05, C: -0.2, SleepOverhead: 0.01, Duty: 0.5},
+		{P: 0.05, C: 1.0, SleepOverhead: 0.01, Duty: 0.5},
+		{P: 0.05, C: 0.001, SleepOverhead: -1, Duty: 0.5},
+		{P: 0.05, C: 0.001, SleepOverhead: 0.01, Duty: 0},
+		{P: 0.05, C: 0.001, SleepOverhead: 0.01, Duty: 1.1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, c)
+		}
+	}
+}
+
+func TestRateOrdering(t *testing.T) {
+	// For any in-domain parameters: sleep leaks least, uncontrolled idle
+	// leaks more, and an active cycle costs the most.
+	f := func(p, c, e, d, alpha float64) bool {
+		tech := Tech{
+			P:             0.01 + math.Mod(math.Abs(p), 0.99),
+			C:             math.Mod(math.Abs(c), 0.9),
+			SleepOverhead: math.Mod(math.Abs(e), 0.1),
+			Duty:          0.1 + math.Mod(math.Abs(d), 0.9),
+		}
+		a := math.Mod(math.Abs(alpha), 1)
+		return tech.SleepRate() <= tech.UIRate(a)+1e-15 &&
+			tech.UIRate(a) <= tech.ActiveRate(a)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveRateComposition(t *testing.T) {
+	// active = dynamic + precharge leakage + post-eval leakage, term by term.
+	tech := Tech{P: 0.3, C: 0.01, SleepOverhead: 0.02, Duty: 0.4}
+	alpha := 0.6
+	want := alpha + (1-0.4)*0.3 + 0.4*0.3*(alpha*0.01+(1-alpha))
+	if got := tech.ActiveRate(alpha); !almostEqual(got, want, 1e-12) {
+		t.Errorf("ActiveRate = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyComponents(t *testing.T) {
+	tech := DefaultTech()
+	alpha := 0.5
+	cc := CycleCounts{Active: 100, UncontrolledIdle: 50, Sleep: 30, Transitions: 4}
+	b := tech.Energy(alpha, cc)
+
+	if want := 100 * alpha; !almostEqual(b.Dynamic, want, 1e-12) {
+		t.Errorf("Dynamic = %g, want %g", b.Dynamic, want)
+	}
+	if want := 100 * (tech.ActiveRate(alpha) - alpha); !almostEqual(b.ActiveLeak, want, 1e-12) {
+		t.Errorf("ActiveLeak = %g, want %g", b.ActiveLeak, want)
+	}
+	if want := 50 * tech.UIRate(alpha); !almostEqual(b.IdleLeak, want, 1e-12) {
+		t.Errorf("IdleLeak = %g, want %g", b.IdleLeak, want)
+	}
+	if want := 30 * tech.SleepRate(); !almostEqual(b.SleepLeak, want, 1e-12) {
+		t.Errorf("SleepLeak = %g, want %g", b.SleepLeak, want)
+	}
+	if want := 4 * tech.TransitionCost(alpha); !almostEqual(b.Transition, want, 1e-12) {
+		t.Errorf("Transition = %g, want %g", b.Transition, want)
+	}
+	sum := b.Dynamic + b.ActiveLeak + b.IdleLeak + b.SleepLeak + b.Transition
+	if !almostEqual(b.Total(), sum, 1e-12) {
+		t.Errorf("Total = %g, want %g", b.Total(), sum)
+	}
+	if !almostEqual(b.Leakage(), b.ActiveLeak+b.IdleLeak+b.SleepLeak, 1e-12) {
+		t.Errorf("Leakage mismatch")
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	a := Breakdown{1, 2, 3, 4, 5}
+	b := Breakdown{10, 20, 30, 40, 50}
+	sum := a.Add(b)
+	if sum != (Breakdown{11, 22, 33, 44, 55}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if got := a.Scale(2); got != (Breakdown{2, 4, 6, 8, 10}) {
+		t.Errorf("Scale = %+v", got)
+	}
+	if got := (Breakdown{}).LeakageFraction(); got != 0 {
+		t.Errorf("empty LeakageFraction = %g, want 0", got)
+	}
+	if got := a.LeakageFraction(); !almostEqual(got, 9.0/15.0, 1e-12) {
+		t.Errorf("LeakageFraction = %g, want %g", got, 9.0/15.0)
+	}
+}
+
+func TestCycleCountsTotalAndAdd(t *testing.T) {
+	a := CycleCounts{Active: 5, UncontrolledIdle: 3, Sleep: 2, Transitions: 9}
+	if a.Total() != 10 {
+		t.Errorf("Total = %g, want 10 (transitions are events, not cycles)", a.Total())
+	}
+	b := a.Add(CycleCounts{Active: 1, UncontrolledIdle: 1, Sleep: 1, Transitions: 1})
+	if b != (CycleCounts{Active: 6, UncontrolledIdle: 4, Sleep: 3, Transitions: 10}) {
+		t.Errorf("Add = %+v", b)
+	}
+}
+
+func TestBaseEnergyIsAllActive(t *testing.T) {
+	tech := DefaultTech()
+	for _, alpha := range []float64{0.25, 0.5, 0.75} {
+		got := tech.BaseEnergy(alpha, 1000)
+		want := tech.Energy(alpha, CycleCounts{Active: 1000}).Total()
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("alpha=%g: BaseEnergy = %g, want %g", alpha, got, want)
+		}
+	}
+}
+
+func TestTable1DerivedParameters(t *testing.T) {
+	// Section 3 derives the technology parameters from the Table 1 circuit:
+	// p = 1.4/22.2 ~ 0.063, c = 7.1e-4/1.4 ~ 5.1e-4, e_slp ~ 0.006.
+	p := 1.4 / 22.2
+	if p < 0.05 || p > 0.08 {
+		t.Errorf("derived p = %g outside the paper's near-term band", p)
+	}
+	c := 7.1e-4 / 1.4
+	if c > 0.001 {
+		t.Errorf("derived c = %g should be below the pessimistic 0.001", c)
+	}
+	e := 0.14 / 22.2
+	if e > 0.01 {
+		t.Errorf("derived e_slp = %g should be below the pessimistic 0.01", e)
+	}
+}
+
+func TestWithP(t *testing.T) {
+	tech := DefaultTech().WithP(0.42)
+	if tech.P != 0.42 || tech.C != 0.001 {
+		t.Errorf("WithP altered unrelated fields: %+v", tech)
+	}
+}

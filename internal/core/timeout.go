@@ -1,0 +1,66 @@
+package core
+
+import "math"
+
+// SleepTimeout is the "more complex control strategy" the paper speculates
+// about (Section 7): stay in uncontrolled idle for a threshold number of
+// cycles, then assert the Sleep signal if the idle persists. With the
+// threshold set to the breakeven interval this is the classic ski-rental
+// policy and is 2-competitive against the per-interval oracle: no interval
+// costs more than twice what OracleMinimal pays. It exists here to test the
+// paper's conclusion that such machinery buys little over GradualSleep.
+const SleepTimeout Policy = 100
+
+// timeout resolves the effective threshold in whole cycles (the hardware
+// counter counts cycles, so the breakeven default rounds up).
+func (pc PolicyConfig) timeout(t Tech, alpha float64) float64 {
+	if pc.Timeout > 0 {
+		return float64(pc.Timeout)
+	}
+	be := t.Breakeven(alpha)
+	if math.IsInf(be, 1) || be > 1e15 {
+		return math.MaxFloat64 / 4
+	}
+	return math.Ceil(be)
+}
+
+// timeoutSplit returns the uncontrolled/sleep/transition split of one idle
+// interval of length l under a timeout threshold T: intervals shorter than
+// or equal to T never sleep; longer ones pay T uncontrolled cycles, one
+// transition, and sleep for the remainder.
+func timeoutSplit(l, T float64) (ui, sleep, trans float64) {
+	if l <= T {
+		return l, 0, 0
+	}
+	return T, l - T, 1
+}
+
+// timeoutController is the causal cycle-level form: a counter of
+// consecutive idle cycles asserts Sleep once it exceeds the threshold.
+type timeoutController struct {
+	threshold float64
+	idleRun   float64
+	asleep    bool
+}
+
+func (c *timeoutController) Reset() {
+	c.idleRun = 0
+	c.asleep = false
+}
+
+func (c *timeoutController) Step(active bool) StepState {
+	if active {
+		c.idleRun = 0
+		c.asleep = false
+		return StepState{}
+	}
+	c.idleRun++
+	if c.asleep {
+		return StepState{SleepFrac: 1}
+	}
+	if c.idleRun > c.threshold {
+		c.asleep = true
+		return StepState{SleepFrac: 1, TransFrac: 1}
+	}
+	return StepState{}
+}

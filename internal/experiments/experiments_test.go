@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/report"
+)
+
+func render(t *testing.T, arts []report.Renderable) string {
+	t.Helper()
+	var b strings.Builder
+	for _, a := range arts {
+		if err := a.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper table and figure has an experiment.
+	wantPaper := []string{"Table 1", "Table 2", "Table 3", "Table 4",
+		"Figure 3", "Figure 4a", "Figure 4b", "Figure 4c", "Figure 4d",
+		"Figure 5c", "Figure 7", "Figure 8a", "Figure 8b", "Figure 9a", "Figure 9b"}
+	have := map[string]bool{}
+	for _, e := range All {
+		have[e.Paper] = true
+	}
+	for _, w := range wantPaper {
+		if !have[w] {
+			t.Errorf("no experiment for %s", w)
+		}
+	}
+	if _, err := ByID("fig8a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("bogus"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if len(IDs()) != len(All) {
+		t.Error("IDs() incomplete")
+	}
+	seen := map[string]bool{}
+	for _, id := range IDs() {
+		if seen[id] {
+			t.Errorf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAnalyticExperimentsRun(t *testing.T) {
+	r := NewRunner(Options{Window: 50_000, Sweep: 50_000})
+	for _, e := range All {
+		if e.Simulated {
+			continue
+		}
+		arts, err := e.Run(r)
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(arts) == 0 {
+			t.Errorf("%s: no artifacts", e.ID)
+			continue
+		}
+		out := render(t, arts)
+		if len(out) < 50 {
+			t.Errorf("%s: output suspiciously short:\n%s", e.ID, out)
+		}
+	}
+}
+
+func TestFig3BreakevenNote(t *testing.T) {
+	arts, err := Fig3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, arts)
+	if !strings.Contains(out, "breakeven at alpha=0.5: 17 cycles") &&
+		!strings.Contains(out, "breakeven at alpha=0.5: 16 cycles") &&
+		!strings.Contains(out, "breakeven at alpha=0.5: 18 cycles") {
+		t.Errorf("Figure 3 breakeven should be ~17 cycles:\n%s", out)
+	}
+}
+
+func TestSimulatedExperimentsSmallWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated experiments")
+	}
+	// A small window exercises the full simulated path cheaply; numeric
+	// fidelity is checked at full scale in EXPERIMENTS.md runs.
+	r := NewRunner(Options{Window: 60_000, Sweep: 30_000})
+	for _, id := range []string{"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "mcf-fu", "idle-by-bench", "table3"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts, err := e.Run(r)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if out := render(t, arts); len(out) < 80 {
+			t.Errorf("%s: output too short", id)
+		}
+	}
+}
+
+func TestSuiteCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	r := NewRunner(Options{Window: 40_000})
+	a, err := r.suite(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.suite(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 9 {
+		t.Fatalf("suite has %d results", len(a))
+	}
+	// Cached: identical map instance.
+	for k := range a {
+		if a[k].Cycles != b[k].Cycles {
+			t.Errorf("suite re-simulated for %s", k)
+		}
+	}
+}
+
+func TestFig8HeadlineDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	// Even at reduced windows, the qualitative Figure 8 result must hold:
+	// MaxSleep loses to AlwaysActive at p=0.05 and wins at p=0.50, with
+	// GradualSleep near the winner both times.
+	r := NewRunner(Options{Window: 250_000})
+	suite, err := r.suite(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(p float64) map[string]float64 {
+		tech := core.DefaultTech().WithP(p)
+		sums := map[string]float64{}
+		for _, res := range suite {
+			for _, pol := range core.Policies {
+				sums[pol.String()] += relativeEnergy(tech, core.PolicyConfig{Policy: pol}, 0.5, res)
+			}
+		}
+		for k := range sums {
+			sums[k] /= float64(len(suite))
+		}
+		return sums
+	}
+	low := avg(0.05)
+	if low["MaxSleep"] <= low["AlwaysActive"] {
+		t.Errorf("p=0.05: MaxSleep %.3f should exceed AlwaysActive %.3f", low["MaxSleep"], low["AlwaysActive"])
+	}
+	if low["GradualSleep"] > low["AlwaysActive"]*1.05 {
+		t.Errorf("p=0.05: GradualSleep %.3f should be within ~5%% of AlwaysActive %.3f",
+			low["GradualSleep"], low["AlwaysActive"])
+	}
+	high := avg(0.50)
+	if high["MaxSleep"] >= high["AlwaysActive"] {
+		t.Errorf("p=0.50: MaxSleep %.3f should undercut AlwaysActive %.3f", high["MaxSleep"], high["AlwaysActive"])
+	}
+	if high["GradualSleep"] > high["MaxSleep"]*1.05 {
+		t.Errorf("p=0.50: GradualSleep %.3f should track MaxSleep %.3f", high["GradualSleep"], high["MaxSleep"])
+	}
+	// NoOverhead is the floor everywhere.
+	for _, m := range []map[string]float64{low, high} {
+		for k, v := range m {
+			if k != "NoOverhead" && v < m["NoOverhead"]-1e-9 {
+				t.Errorf("%s (%.3f) beat the NoOverhead bound (%.3f)", k, v, m["NoOverhead"])
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/archsim/fusleep/internal/report"
+)
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	// ID is the command-line identifier (e.g. "fig8a").
+	ID string
+	// Paper names the artifact in the paper ("Figure 8a"), or "extension"
+	// for analyses beyond it.
+	Paper string
+	// Desc is a one-line description.
+	Desc string
+	// Simulated reports whether the experiment runs pipeline simulations.
+	Simulated bool
+	// Run executes the experiment.
+	Run func(*Runner) ([]report.Renderable, error)
+}
+
+// All lists every experiment in presentation order.
+var All = []Experiment{
+	{ID: "table1", Paper: "Table 1", Desc: "OR8 gate characteristics and derived model parameters", Run: Table1},
+	{ID: "table2", Paper: "Table 2", Desc: "architectural parameters of the simulated machine", Run: Table2},
+	{ID: "table3", Paper: "Table 3", Desc: "benchmark IPCs and functional-unit selection", Simulated: true, Run: Table3},
+	{ID: "table4", Paper: "Table 4", Desc: "energy-model parameter values", Run: Table4},
+	{ID: "fig3", Paper: "Figure 3", Desc: "uncontrolled idle versus sleep mode on the 500-gate FU", Run: Fig3},
+	{ID: "fig4a", Paper: "Figure 4a", Desc: "breakeven idle interval across the technology space", Run: Fig4a},
+	{ID: "fig4b", Paper: "Figure 4b", Desc: "policy energies, 10-cycle idle intervals", Run: Fig4b},
+	{ID: "fig4c", Paper: "Figure 4c", Desc: "policy energies, 100-cycle idle intervals", Run: Fig4c},
+	{ID: "fig4d", Paper: "Figure 4d", Desc: "worst case: alternating active/idle cycles", Run: Fig4d},
+	{ID: "fig5c", Paper: "Figure 5c", Desc: "per-interval transition energy of the three designs", Run: Fig5c},
+	{ID: "fig7", Paper: "Figure 7", Desc: "idle-interval distribution at 12- and 32-cycle L2", Simulated: true, Run: Fig7},
+	{ID: "fig8a", Paper: "Figure 8a", Desc: "per-benchmark policy energies at p=0.05", Simulated: true, Run: Fig8a},
+	{ID: "fig8b", Paper: "Figure 8b", Desc: "per-benchmark policy energies at p=0.50", Simulated: true, Run: Fig8b},
+	{ID: "fig9a", Paper: "Figure 9a", Desc: "average energy relative to NoOverhead across p", Simulated: true, Run: Fig9a},
+	{ID: "fig9b", Paper: "Figure 9b", Desc: "leakage fraction of total energy across p", Simulated: true, Run: Fig9b},
+	{ID: "mcf-fu", Paper: "Section 5", Desc: "mcf leakage fraction with 2 vs 4 functional units", Simulated: true, Run: McfFUStudy},
+	{ID: "idle-by-bench", Paper: "extension", Desc: "per-benchmark idle structure backing Figure 7", Simulated: true, Run: IdleByBenchmark},
+	{ID: "timeout", Paper: "extension", Desc: "breakeven-timeout controller vs the paper's policies", Simulated: true, Run: TimeoutStudy},
+	{ID: "gradual-slices", Paper: "extension", Desc: "GradualSleep slice-count ablation", Run: GradualSlices},
+	{ID: "breakeven-sens", Paper: "extension", Desc: "breakeven sensitivity to e_slp and c", Run: BreakevenSensitivity},
+	{ID: "crosscheck", Paper: "extension", Desc: "circuit simulation vs analytic model", Run: CircuitModelCrossCheck},
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}
+
+// IDs returns all experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, len(All))
+	for i, e := range All {
+		out[i] = e.ID
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Analytic experiments (Table 1/4, Figures 3-5) come
+// straight from the circuit and energy models; simulated experiments
+// (Table 2/3, Figures 7-9) run the benchmark suite on the pipeline model
+// and feed the measured idle-interval profiles into the energy model,
+// exactly as Section 4 of the paper describes.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/pipeline"
+	"github.com/archsim/fusleep/internal/workload"
+)
+
+// Options control the simulation scale.
+type Options struct {
+	// Window is the per-benchmark instruction count (the paper used
+	// 50M-150M windows; the default reproduces the distributions at far
+	// lower cost).
+	Window uint64
+	// Sweep is the per-run instruction count for FU-count sweeps (Table 3),
+	// which needs 4 runs per benchmark.
+	Sweep uint64
+	// Parallel bounds concurrent simulations (0 = number of benchmarks).
+	Parallel int
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{Window: 1_000_000, Sweep: 750_000}
+}
+
+// Runner executes experiments, caching benchmark suite runs so the figures
+// that share the same simulations (7, 8a, 8b, 9a, 9b) pay for them once.
+type Runner struct {
+	opt    Options
+	mu     sync.Mutex
+	suites map[int]map[string]pipeline.Result
+}
+
+// NewRunner builds a runner.
+func NewRunner(opt Options) *Runner {
+	if opt.Window == 0 {
+		opt.Window = DefaultOptions().Window
+	}
+	if opt.Sweep == 0 {
+		opt.Sweep = DefaultOptions().Sweep
+	}
+	return &Runner{opt: opt, suites: make(map[int]map[string]pipeline.Result)}
+}
+
+// runOne simulates a single benchmark configuration.
+func runOne(spec workload.Spec, fus, l2 int, window uint64) (pipeline.Result, error) {
+	cfg := pipeline.DefaultConfig().WithIntALUs(fus).WithL2Latency(l2)
+	cfg.MaxInsts = window
+	cpu, err := pipeline.New(cfg, spec.NewTrace(window))
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	res, err := cpu.Run()
+	if err != nil {
+		return pipeline.Result{}, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	return res, nil
+}
+
+// suite returns the per-benchmark results at the paper's Table 3 FU counts
+// for the given L2 latency, running them in parallel on first use.
+func (r *Runner) suite(l2 int) (map[string]pipeline.Result, error) {
+	r.mu.Lock()
+	if got, ok := r.suites[l2]; ok {
+		r.mu.Unlock()
+		return got, nil
+	}
+	r.mu.Unlock()
+
+	type out struct {
+		name string
+		res  pipeline.Result
+		err  error
+	}
+	limit := r.opt.Parallel
+	if limit <= 0 {
+		limit = len(workload.Benchmarks)
+	}
+	sem := make(chan struct{}, limit)
+	ch := make(chan out, len(workload.Benchmarks))
+	for _, spec := range workload.Benchmarks {
+		spec := spec
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := runOne(spec, spec.PaperFUs, l2, r.opt.Window)
+			ch <- out{spec.Name, res, err}
+		}()
+	}
+	results := make(map[string]pipeline.Result, len(workload.Benchmarks))
+	for range workload.Benchmarks {
+		o := <-ch
+		if o.err != nil {
+			return nil, o.err
+		}
+		results[o.name] = o.res
+	}
+	r.mu.Lock()
+	r.suites[l2] = results
+	r.mu.Unlock()
+	return results, nil
+}
+
+// coreProfiles converts measured per-unit activity into energy-model
+// profiles.
+func coreProfiles(fus []pipeline.FUProfile) []*core.IdleProfile {
+	out := make([]*core.IdleProfile, len(fus))
+	for i, fu := range fus {
+		p := core.NewIdleProfile()
+		p.ActiveCycles = fu.ActiveCycles
+		for l, n := range fu.Intervals {
+			p.AddIdle(l, n)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// unitEnergy sums a policy's energy over all functional units of one run.
+func unitEnergy(tech core.Tech, pc core.PolicyConfig, alpha float64, res pipeline.Result) core.Breakdown {
+	var total core.Breakdown
+	for _, prof := range coreProfiles(res.FUs) {
+		total = total.Add(tech.EvalProfile(pc, alpha, prof))
+	}
+	return total
+}
+
+// baseEnergy is the normalization of Figure 8: the energy if every unit
+// computed on every cycle.
+func baseEnergy(tech core.Tech, alpha float64, res pipeline.Result) float64 {
+	return float64(len(res.FUs)) * tech.BaseEnergy(alpha, float64(res.Cycles))
+}
+
+// relativeEnergy returns E_policy / E_base for one benchmark run.
+func relativeEnergy(tech core.Tech, pc core.PolicyConfig, alpha float64, res pipeline.Result) float64 {
+	return unitEnergy(tech, pc, alpha, res).Total() / baseEnergy(tech, alpha, res)
+}

@@ -1,0 +1,221 @@
+// Package isa defines the instruction representation consumed by the timing
+// simulator. The simulator is trace-consuming: workload kernels execute
+// benchmark-like algorithms and emit a dynamic instruction stream carrying
+// actual effective addresses and branch outcomes, which the pipeline model
+// times against the Table 2 machine of Dropsho et al. (MICRO 2002).
+package isa
+
+import "fmt"
+
+// Class is the functional class of an instruction, which determines the
+// execution resource it needs and its latency.
+type Class uint8
+
+const (
+	// Nop occupies front-end slots but no functional unit.
+	Nop Class = iota
+	// IntALU is a single-cycle integer operation (add, logic, shift,
+	// compare); executes on an integer functional unit.
+	IntALU
+	// IntMult is a pipelined multi-cycle integer multiply on the dedicated
+	// multiplier.
+	IntMult
+	// IntDiv is a long-latency unpipelined integer divide on the multiplier
+	// unit.
+	IntDiv
+	// Load reads memory: address generation on a memory port, then a data
+	// cache access.
+	Load
+	// Store writes memory at commit after address generation on a memory
+	// port.
+	Store
+	// Branch is a conditional direct branch resolved on an integer unit.
+	Branch
+	// Jump is an unconditional direct jump (always taken, target known).
+	Jump
+	// Call is a direct call; pushes the return address on the RAS.
+	Call
+	// Return is an indirect return; target predicted via the RAS.
+	Return
+	// FPALU is a floating-point add/compare on an FP unit.
+	FPALU
+	// FPMult is a floating-point multiply.
+	FPMult
+	// FPDiv is a long-latency floating-point divide.
+	FPDiv
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"nop", "ialu", "imult", "idiv", "load", "store",
+	"branch", "jump", "call", "return", "fpalu", "fpmult", "fpdiv",
+}
+
+// String returns a short mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsCtrl reports whether the instruction redirects control flow.
+func (c Class) IsCtrl() bool { return c == Branch || c == Jump || c == Call || c == Return }
+
+// IsFP reports whether the instruction executes on a floating-point unit.
+func (c Class) IsFP() bool { return c == FPALU || c == FPMult || c == FPDiv }
+
+// UsesIntFU reports whether the instruction class executes entirely on one
+// of the integer functional units under study (single-cycle ALU work and
+// branch resolution). Memory operations additionally occupy an integer unit
+// for their address-generation cycle, which the pipeline models separately.
+func (c Class) UsesIntFU() bool {
+	return c == IntALU || c == Branch || c == Jump || c == Call || c == Return
+}
+
+// Reg names an architectural register: integer registers r0-r31 and
+// floating-point registers f0-f31. The zero value is RegNone ("no operand").
+type Reg int16
+
+// RegNone marks an absent operand.
+const RegNone Reg = -1
+
+// NumIntRegs and NumFPRegs size the architectural register files.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// IntReg returns the i-th integer architectural register.
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// FPReg returns the i-th floating-point architectural register.
+func FPReg(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register %d out of range", i))
+	}
+	return Reg(NumIntRegs + i)
+}
+
+// Valid reports whether the register names a real operand.
+func (r Reg) Valid() bool { return r >= 0 && int(r) < NumIntRegs+NumFPRegs }
+
+// IsInt reports whether r is an integer register.
+func (r Reg) IsInt() bool { return r >= 0 && int(r) < NumIntRegs }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return int(r) >= NumIntRegs && int(r) < NumIntRegs+NumFPRegs }
+
+// String renders the register name.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", int(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("reg(%d)", int(r))
+	}
+}
+
+// InstBytes is the fixed encoding size (Alpha-style RISC).
+const InstBytes = 4
+
+// Inst is one dynamic instruction.
+type Inst struct {
+	// Seq is the dynamic sequence number (assigned by the stream).
+	Seq uint64
+	// PC is the instruction's address. Static instruction sites keep
+	// stable PCs across dynamic executions so predictors can learn.
+	PC uint64
+	// Class selects the execution resource.
+	Class Class
+	// Src1, Src2 are source operands (RegNone if unused).
+	Src1, Src2 Reg
+	// Dest is the destination operand (RegNone if none).
+	Dest Reg
+	// Addr is the effective address for Load/Store.
+	Addr uint64
+	// Taken is the actual outcome for control instructions (always true
+	// for Jump/Call/Return).
+	Taken bool
+	// Target is the actual control-flow target when Taken.
+	Target uint64
+}
+
+// NextPC returns the address of the dynamically-next instruction.
+func (in Inst) NextPC() uint64 {
+	if in.Class.IsCtrl() && in.Taken {
+		return in.Target
+	}
+	return in.PC + InstBytes
+}
+
+// Validate performs structural checks used by tests and stream adapters.
+func (in Inst) Validate() error {
+	for _, r := range []Reg{in.Src1, in.Src2, in.Dest} {
+		if r != RegNone && !r.Valid() {
+			return fmt.Errorf("isa: inst %d: bad register %d", in.Seq, int(r))
+		}
+	}
+	if in.Class.IsCtrl() {
+		if in.Taken && in.Target == 0 {
+			return fmt.Errorf("isa: inst %d: taken %v without target", in.Seq, in.Class)
+		}
+		if (in.Class == Jump || in.Class == Call || in.Class == Return) && !in.Taken {
+			return fmt.Errorf("isa: inst %d: %v must be taken", in.Seq, in.Class)
+		}
+	}
+	if in.Class.IsMem() && in.Addr == 0 {
+		return fmt.Errorf("isa: inst %d: memory op without address", in.Seq)
+	}
+	return nil
+}
+
+// Stream supplies a dynamic instruction trace to the simulator.
+type Stream interface {
+	// Next returns the next instruction; ok is false at end of trace.
+	Next() (in Inst, ok bool)
+	// Close releases generator resources. It is safe to call more than
+	// once and after exhaustion.
+	Close()
+}
+
+// SliceStream adapts a pre-built trace to the Stream interface, mainly for
+// tests.
+type SliceStream struct {
+	insts []Inst
+	pos   int
+}
+
+// NewSliceStream wraps insts, assigning sequence numbers.
+func NewSliceStream(insts []Inst) *SliceStream {
+	for i := range insts {
+		insts[i].Seq = uint64(i)
+	}
+	return &SliceStream{insts: insts}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Inst, bool) {
+	if s.pos >= len(s.insts) {
+		return Inst{}, false
+	}
+	in := s.insts[s.pos]
+	s.pos++
+	return in, true
+}
+
+// Close implements Stream.
+func (s *SliceStream) Close() {}

@@ -1,0 +1,121 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                    Class
+		mem, ctrl, fp, intFU bool
+	}{
+		{Nop, false, false, false, false},
+		{IntALU, false, false, false, true},
+		{IntMult, false, false, false, false},
+		{IntDiv, false, false, false, false},
+		{Load, true, false, false, false},
+		{Store, true, false, false, false},
+		{Branch, false, true, false, true},
+		{Jump, false, true, false, true},
+		{Call, false, true, false, true},
+		{Return, false, true, false, true},
+		{FPALU, false, false, true, false},
+		{FPMult, false, false, true, false},
+		{FPDiv, false, false, true, false},
+	}
+	for _, c := range cases {
+		if c.c.IsMem() != c.mem || c.c.IsCtrl() != c.ctrl || c.c.IsFP() != c.fp || c.c.UsesIntFU() != c.intFU {
+			t.Errorf("%v: predicates mem=%v ctrl=%v fp=%v intFU=%v",
+				c.c, c.c.IsMem(), c.c.IsCtrl(), c.c.IsFP(), c.c.UsesIntFU())
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if IntALU.String() != "ialu" || Load.String() != "load" {
+		t.Error("mnemonics wrong")
+	}
+	if Class(200).String() != "class(200)" {
+		t.Errorf("unknown class string: %q", Class(200).String())
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	r := IntReg(5)
+	if !r.Valid() || !r.IsInt() || r.IsFP() || r.String() != "r5" {
+		t.Errorf("IntReg(5) = %v", r)
+	}
+	f := FPReg(3)
+	if !f.Valid() || f.IsInt() || !f.IsFP() || f.String() != "f3" {
+		t.Errorf("FPReg(3) = %v", f)
+	}
+	if RegNone.Valid() || RegNone.String() != "-" {
+		t.Error("RegNone misbehaves")
+	}
+	if Reg(99).Valid() {
+		t.Error("register 99 should be invalid")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntReg(32) should panic")
+		}
+	}()
+	IntReg(32)
+}
+
+func TestNextPC(t *testing.T) {
+	seq := Inst{PC: 100, Class: IntALU}
+	if seq.NextPC() != 104 {
+		t.Errorf("fall-through NextPC = %d", seq.NextPC())
+	}
+	br := Inst{PC: 100, Class: Branch, Taken: true, Target: 64}
+	if br.NextPC() != 64 {
+		t.Errorf("taken NextPC = %d", br.NextPC())
+	}
+	nt := Inst{PC: 100, Class: Branch, Taken: false, Target: 64}
+	if nt.NextPC() != 104 {
+		t.Errorf("not-taken NextPC = %d", nt.NextPC())
+	}
+}
+
+func TestInstValidate(t *testing.T) {
+	good := []Inst{
+		{Class: IntALU, Dest: IntReg(1), Src1: IntReg(2), Src2: RegNone},
+		{Class: Load, Dest: IntReg(1), Src1: IntReg(2), Src2: RegNone, Addr: 0x1000},
+		{Class: Branch, Src1: IntReg(1), Src2: RegNone, Dest: RegNone, Taken: true, Target: 0x40},
+		{Class: Jump, Src1: RegNone, Src2: RegNone, Dest: RegNone, Taken: true, Target: 0x40},
+	}
+	for i, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("good[%d]: %v", i, err)
+		}
+	}
+	bad := []Inst{
+		{Class: IntALU, Dest: Reg(77), Src1: RegNone, Src2: RegNone},
+		{Class: Branch, Src1: RegNone, Src2: RegNone, Dest: RegNone, Taken: true, Target: 0},
+		{Class: Jump, Src1: RegNone, Src2: RegNone, Dest: RegNone, Taken: false},
+		{Class: Load, Dest: IntReg(1), Src1: RegNone, Src2: RegNone, Addr: 0},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad[%d] accepted: %+v", i, in)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := NewSliceStream([]Inst{
+		{Class: IntALU, Src1: RegNone, Src2: RegNone, Dest: RegNone},
+		{Class: Nop, Src1: RegNone, Src2: RegNone, Dest: RegNone},
+	})
+	in, ok := s.Next()
+	if !ok || in.Seq != 0 || in.Class != IntALU {
+		t.Errorf("first = %+v ok=%v", in, ok)
+	}
+	in, ok = s.Next()
+	if !ok || in.Seq != 1 {
+		t.Errorf("second = %+v ok=%v", in, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream should be exhausted")
+	}
+	s.Close() // no-op, must not panic
+}

@@ -1,0 +1,173 @@
+// Package pipeline implements the timing model of the simulated processor:
+// a 4-wide out-of-order core modeled after the Alpha 21264 with the Table 2
+// resources of Dropsho et al. (MICRO 2002). The model consumes a dynamic
+// instruction trace (isa.Stream) and produces cycle counts, IPC, and the
+// per-functional-unit busy/idle profiles that drive the energy study.
+//
+// Wrong-path execution is approximated in the standard trace-driven way: on
+// a mispredicted control instruction, fetch stops until the instruction
+// resolves and then pays the redirect penalty. Section 5 of DESIGN.md
+// discusses why this preserves the idle-interval structure the paper needs.
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/archsim/fusleep/internal/bpred"
+	"github.com/archsim/fusleep/internal/cache"
+	"github.com/archsim/fusleep/internal/tlb"
+)
+
+// Execution latencies in cycles (SimpleScalar/Alpha-like).
+const (
+	LatIntALU  = 1
+	LatBranch  = 1
+	LatIntMult = 3
+	LatIntDiv  = 20
+	LatAGU     = 1
+	LatForward = 2 // store-to-load forwarding after address generation
+	LatFPALU   = 2
+	LatFPMult  = 4
+	LatFPDiv   = 12
+)
+
+// Config holds the architectural parameters of Table 2.
+type Config struct {
+	FetchQueueSize int // 8
+	FetchWidth     int // 4
+	DecodeWidth    int // 4
+	IssueWidth     int // 4
+	CommitWidth    int // 4
+
+	ROBSize    int // reorder buffer, 128
+	IntIQSize  int // integer issue queue, 32
+	FPIQSize   int // floating point issue queue, 32
+	LoadQSize  int // 32
+	StoreQSize int // 32
+
+	IntPhysRegs int // 96
+	FPPhysRegs  int // 96
+
+	IntALUs  int // integer functional units under study, 1..4
+	IntMults int // dedicated multiplier units, 1
+	FPALUs   int // 1
+	FPMults  int // 1
+	MemPorts int // data cache ports, 2
+
+	MispredictPenalty int // fetch redirect latency after resolution, 10
+
+	Bpred bpred.Config
+	Mem   cache.HierarchyConfig
+	ITLB  tlb.Config
+	DTLB  tlb.Config
+
+	// MaxInsts stops the simulation after committing this many
+	// instructions; 0 runs the trace to exhaustion.
+	MaxInsts uint64
+}
+
+// DefaultConfig returns the Table 2 machine with four integer units.
+func DefaultConfig() Config {
+	return Config{
+		FetchQueueSize: 8,
+		FetchWidth:     4,
+		DecodeWidth:    4,
+		IssueWidth:     4,
+		CommitWidth:    4,
+
+		ROBSize:    128,
+		IntIQSize:  32,
+		FPIQSize:   32,
+		LoadQSize:  32,
+		StoreQSize: 32,
+
+		IntPhysRegs: 96,
+		FPPhysRegs:  96,
+
+		IntALUs:  4,
+		IntMults: 1,
+		FPALUs:   1,
+		FPMults:  1,
+		MemPorts: 2,
+
+		MispredictPenalty: 10,
+
+		Bpred: bpred.DefaultConfig(),
+		Mem:   cache.DefaultHierarchyConfig(),
+		ITLB:  tlb.DefaultITLB(),
+		DTLB:  tlb.DefaultDTLB(),
+	}
+}
+
+// WithIntALUs returns a copy of the configuration with n integer units, the
+// knob the paper turns per benchmark.
+func (c Config) WithIntALUs(n int) Config {
+	c.IntALUs = n
+	return c
+}
+
+// WithL2Latency returns a copy with a different L2 hit latency (Figure 7
+// contrasts 12 against 32 cycles).
+func (c Config) WithL2Latency(cycles int) Config {
+	c.Mem.L2.Latency = cycles
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	pos := func(name string, v int) error {
+		if v <= 0 {
+			return fmt.Errorf("pipeline: %s = %d must be positive", name, v)
+		}
+		return nil
+	}
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"FetchQueueSize", c.FetchQueueSize},
+		{"FetchWidth", c.FetchWidth},
+		{"DecodeWidth", c.DecodeWidth},
+		{"IssueWidth", c.IssueWidth},
+		{"CommitWidth", c.CommitWidth},
+		{"ROBSize", c.ROBSize},
+		{"IntIQSize", c.IntIQSize},
+		{"FPIQSize", c.FPIQSize},
+		{"LoadQSize", c.LoadQSize},
+		{"StoreQSize", c.StoreQSize},
+		{"IntALUs", c.IntALUs},
+		{"IntMults", c.IntMults},
+		{"FPALUs", c.FPALUs},
+		{"FPMults", c.FPMults},
+		{"MemPorts", c.MemPorts},
+	}
+	for _, ch := range checks {
+		if err := pos(ch.name, ch.v); err != nil {
+			return err
+		}
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("pipeline: negative mispredict penalty")
+	}
+	if c.IntPhysRegs < 33 || c.FPPhysRegs < 33 {
+		return fmt.Errorf("pipeline: physical register files must exceed the 32 architectural registers")
+	}
+	if err := c.Bpred.Validate(); err != nil {
+		return err
+	}
+	for _, cc := range []cache.Config{c.Mem.L1I, c.Mem.L1D, c.Mem.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Mem.MemLatency < 0 {
+		return fmt.Errorf("pipeline: negative memory latency")
+	}
+	if err := c.ITLB.Validate(); err != nil {
+		return err
+	}
+	if err := c.DTLB.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,576 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/archsim/fusleep/internal/bpred"
+	"github.com/archsim/fusleep/internal/cache"
+	"github.com/archsim/fusleep/internal/isa"
+	"github.com/archsim/fusleep/internal/tlb"
+)
+
+type instState uint8
+
+const (
+	stWaiting instState = iota
+	stExecuting
+	stDone
+)
+
+type robEntry struct {
+	inst       isa.Inst
+	state      instState
+	src1, src2 physRef
+	dest       physRef
+	oldPhys    int16
+	mispredict bool
+}
+
+type reorderBuffer struct {
+	entries []robEntry
+	head    int
+	count   int
+}
+
+func newROB(size int) *reorderBuffer { return &reorderBuffer{entries: make([]robEntry, size)} }
+
+func (r *reorderBuffer) full() bool { return r.count == len(r.entries) }
+
+func (r *reorderBuffer) push(e robEntry) int {
+	idx := (r.head + r.count) % len(r.entries)
+	r.entries[idx] = e
+	r.count++
+	return idx
+}
+
+// at returns the entry at logical position i from the head (0 = oldest).
+func (r *reorderBuffer) at(i int) *robEntry {
+	return &r.entries[(r.head+i)%len(r.entries)]
+}
+
+func (r *reorderBuffer) popFront() {
+	r.head = (r.head + 1) % len(r.entries)
+	r.count--
+}
+
+type fetchEntry struct {
+	inst       isa.Inst
+	mispredict bool
+}
+
+type storeQEntry struct {
+	seq       uint64
+	addr      uint64
+	addrKnown bool
+}
+
+// CPU is one simulation instance; build with New and execute with Run.
+type CPU struct {
+	cfg    Config
+	stream isa.Stream
+
+	pred *bpred.Predictor
+	mem  *cache.Hierarchy
+	itlb *tlb.TLB
+	dtlb *tlb.TLB
+
+	intRen, fpRen *renamer
+	rob           *reorderBuffer
+	fus           *fuPool
+	mult          *unitPool
+	fpalu         *unitPool
+	fpmult        *unitPool
+
+	intIQCount, fpIQCount int
+	lqCount               int
+	storeQ                []storeQEntry
+
+	fetchQ []fetchEntry
+
+	completions map[uint64][]int
+
+	cycle            uint64
+	fetchBlockedTill uint64
+	redirectPending  bool
+	lastFetchLine    uint64
+	haveFetchLine    bool
+
+	peeked    *isa.Inst
+	eof       bool
+	committed uint64
+	fetched   uint64
+
+	loadForwards  uint64
+	mispredStalls uint64
+	classCounts   [16]uint64
+	lastProgress  uint64
+	stopRequested bool
+	wordAddrShift uint // store-forwarding match granularity (8B words)
+}
+
+// ErrDeadlock is returned when the pipeline stops making progress, which
+// indicates a modeling bug rather than a workload property.
+var ErrDeadlock = errors.New("pipeline: no forward progress")
+
+// deadlockWindow is the progress watchdog horizon in cycles.
+const deadlockWindow = 1_000_000
+
+// New builds a CPU over the given trace stream.
+func New(cfg Config, stream isa.Stream) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if stream == nil {
+		return nil, errors.New("pipeline: nil stream")
+	}
+	pred, err := bpred.New(cfg.Bpred)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	itlb, err := tlb.New(cfg.ITLB)
+	if err != nil {
+		return nil, err
+	}
+	dtlb, err := tlb.New(cfg.DTLB)
+	if err != nil {
+		return nil, err
+	}
+	intRen, err := newRenamer(isa.NumIntRegs, cfg.IntPhysRegs)
+	if err != nil {
+		return nil, err
+	}
+	fpRen, err := newRenamer(isa.NumFPRegs, cfg.FPPhysRegs)
+	if err != nil {
+		return nil, err
+	}
+	return &CPU{
+		cfg:           cfg,
+		stream:        stream,
+		pred:          pred,
+		mem:           mem,
+		itlb:          itlb,
+		dtlb:          dtlb,
+		intRen:        intRen,
+		fpRen:         fpRen,
+		rob:           newROB(cfg.ROBSize),
+		fus:           newFUPool(cfg.IntALUs),
+		mult:          newUnitPool(cfg.IntMults),
+		fpalu:         newUnitPool(cfg.FPALUs),
+		fpmult:        newUnitPool(cfg.FPMults),
+		storeQ:        make([]storeQEntry, 0, cfg.StoreQSize),
+		fetchQ:        make([]fetchEntry, 0, cfg.FetchQueueSize),
+		completions:   make(map[uint64][]int),
+		wordAddrShift: 3,
+	}, nil
+}
+
+// Run executes the simulation to trace exhaustion (or cfg.MaxInsts) and
+// returns the measurement results.
+func (c *CPU) Run() (Result, error) {
+	defer c.stream.Close()
+	for !c.finished() {
+		c.commit()
+		if c.stopRequested {
+			break
+		}
+		c.complete()
+		c.issue()
+		c.dispatch()
+		c.fetch()
+		c.fus.tick(c.cycle)
+		c.cycle++
+		if c.cycle-c.lastProgress > deadlockWindow {
+			return Result{}, fmt.Errorf("%w at cycle %d (committed %d)", ErrDeadlock, c.cycle, c.committed)
+		}
+	}
+	c.fus.flush()
+	return c.result(), nil
+}
+
+func (c *CPU) finished() bool {
+	return c.eof && c.peeked == nil && len(c.fetchQ) == 0 && c.rob.count == 0
+}
+
+func (c *CPU) result() Result {
+	res := Result{
+		Cycles:                c.cycle,
+		Committed:             c.committed,
+		Fetched:               c.fetched,
+		Bpred:                 c.pred.Stats(),
+		L1I:                   c.mem.L1I.Stats(),
+		L1D:                   c.mem.L1D.Stats(),
+		L2:                    c.mem.L2.Stats(),
+		ITLB:                  c.itlb.Stats(),
+		DTLB:                  c.dtlb.Stats(),
+		LoadForwards:          c.loadForwards,
+		FetchMispredictStalls: c.mispredStalls,
+		ClassCounts:           c.classCounts,
+	}
+	for _, rec := range c.fus.rec {
+		// Copy interval maps so the Result is self-contained.
+		iv := make(map[int]uint64, len(rec.Intervals()))
+		for l, n := range rec.Intervals() {
+			iv[l] = n
+		}
+		res.FUs = append(res.FUs, FUProfile{ActiveCycles: rec.ActiveCycles(), Intervals: iv})
+	}
+	return res
+}
+
+func (c *CPU) peek() (isa.Inst, bool) {
+	if c.peeked != nil {
+		return *c.peeked, true
+	}
+	if c.eof {
+		return isa.Inst{}, false
+	}
+	in, ok := c.stream.Next()
+	if !ok {
+		c.eof = true
+		return isa.Inst{}, false
+	}
+	c.peeked = &in
+	return in, true
+}
+
+func (c *CPU) consume() { c.peeked = nil }
+
+// ---- fetch ----
+
+func (c *CPU) fetch() {
+	if c.redirectPending {
+		c.mispredStalls++
+		return
+	}
+	if c.cycle < c.fetchBlockedTill {
+		c.mispredStalls++
+		return
+	}
+	lineSize := uint64(c.cfg.Mem.L1I.LineSize)
+	slots := c.cfg.FetchWidth
+	for slots > 0 && len(c.fetchQ) < c.cfg.FetchQueueSize {
+		in, ok := c.peek()
+		if !ok {
+			return
+		}
+		line := in.PC / lineSize
+		if !c.haveFetchLine || line != c.lastFetchLine {
+			lat := c.mem.L1I.Access(in.PC, false) + c.itlb.Access(in.PC)
+			c.lastFetchLine = line
+			c.haveFetchLine = true
+			if extra := lat - c.cfg.Mem.L1I.Latency; extra > 0 {
+				// Miss: stall fetch; the line is filled, so the retry
+				// proceeds without re-access.
+				c.fetchBlockedTill = c.cycle + uint64(extra)
+				return
+			}
+		}
+		c.consume()
+		c.fetched++
+		fe := fetchEntry{inst: in}
+		if in.Class.IsCtrl() {
+			r := c.pred.Predict(in)
+			c.pred.Update(in, r)
+			if bpred.Mispredicted(in, r) {
+				fe.mispredict = true
+				c.fetchQ = append(c.fetchQ, fe)
+				c.redirectPending = true
+				return
+			}
+			c.fetchQ = append(c.fetchQ, fe)
+			slots--
+			if r.PredTaken {
+				// Correctly predicted taken control flow ends the fetch
+				// group; the redirected group starts next cycle.
+				return
+			}
+			continue
+		}
+		c.fetchQ = append(c.fetchQ, fe)
+		slots--
+	}
+}
+
+// ---- dispatch (decode + rename) ----
+
+func (c *CPU) ref(r isa.Reg) physRef {
+	if r == isa.RegNone {
+		return noReg
+	}
+	if r.IsFP() {
+		return physRef{idx: c.fpRen.lookup(int(r) - isa.NumIntRegs), fp: true}
+	}
+	return physRef{idx: c.intRen.lookup(int(r))}
+}
+
+func (c *CPU) renamerFor(r isa.Reg) (*renamer, int) {
+	if r.IsFP() {
+		return c.fpRen, int(r) - isa.NumIntRegs
+	}
+	return c.intRen, int(r)
+}
+
+func (c *CPU) dispatch() {
+	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchQ) > 0; n++ {
+		fe := c.fetchQ[0]
+		in := fe.inst
+		if c.rob.full() {
+			return
+		}
+		switch {
+		case in.Class == isa.Load:
+			if c.lqCount >= c.cfg.LoadQSize {
+				return
+			}
+		case in.Class == isa.Store:
+			if len(c.storeQ) >= c.cfg.StoreQSize {
+				return
+			}
+		case in.Class.IsFP():
+			if c.fpIQCount >= c.cfg.FPIQSize {
+				return
+			}
+		case in.Class != isa.Nop:
+			if c.intIQCount >= c.cfg.IntIQSize {
+				return
+			}
+		}
+		e := robEntry{
+			inst:       in,
+			state:      stWaiting,
+			src1:       c.ref(in.Src1),
+			src2:       c.ref(in.Src2),
+			dest:       noReg,
+			oldPhys:    -1,
+			mispredict: fe.mispredict,
+		}
+		if in.Dest != isa.RegNone {
+			ren, arch := c.renamerFor(in.Dest)
+			if !ren.canAllocate() {
+				return
+			}
+			newPhys, oldPhys, _ := ren.allocate(arch)
+			e.dest = physRef{idx: newPhys, fp: in.Dest.IsFP()}
+			e.oldPhys = oldPhys
+		}
+		idx := c.rob.push(e)
+		switch {
+		case in.Class == isa.Nop:
+			c.rob.entries[idx].state = stExecuting
+			c.schedule(idx, 1)
+		case in.Class == isa.Load:
+			c.lqCount++
+		case in.Class == isa.Store:
+			c.storeQ = append(c.storeQ, storeQEntry{seq: in.Seq, addr: in.Addr})
+		case in.Class.IsFP():
+			c.fpIQCount++
+		default:
+			c.intIQCount++
+		}
+		c.fetchQ = c.fetchQ[1:]
+	}
+}
+
+// ---- issue + execute ----
+
+func (c *CPU) ready(r physRef) bool {
+	if r.idx < 0 {
+		return true
+	}
+	if r.fp {
+		return c.fpRen.isReady(r.idx)
+	}
+	return c.intRen.isReady(r.idx)
+}
+
+func (c *CPU) schedule(robIdx int, lat int) {
+	at := c.cycle + uint64(lat)
+	c.completions[at] = append(c.completions[at], robIdx)
+}
+
+func (c *CPU) issue() {
+	budget := c.cfg.IssueWidth
+	ports := c.cfg.MemPorts
+	for i := 0; i < c.rob.count && budget > 0; i++ {
+		idx := (c.rob.head + i) % len(c.rob.entries)
+		e := &c.rob.entries[idx]
+		if e.state != stWaiting {
+			continue
+		}
+		if !c.ready(e.src1) || !c.ready(e.src2) {
+			continue
+		}
+		switch e.inst.Class {
+		case isa.IntALU, isa.Branch, isa.Jump, isa.Call, isa.Return:
+			if _, ok := c.fus.tryAllocate(c.cycle, LatIntALU); !ok {
+				continue
+			}
+			c.schedule(idx, LatIntALU)
+			c.intIQCount--
+		case isa.IntMult:
+			if !c.mult.tryAllocate(c.cycle, LatIntMult) {
+				continue
+			}
+			c.schedule(idx, LatIntMult)
+			c.intIQCount--
+		case isa.IntDiv:
+			if !c.mult.tryAllocate(c.cycle, LatIntDiv) {
+				continue
+			}
+			c.schedule(idx, LatIntDiv)
+			c.intIQCount--
+		case isa.Load:
+			// Address generation occupies an integer unit for one cycle
+			// (21264-style: memory ops issue down the integer pipes), and
+			// the access needs a cache port.
+			if ports == 0 {
+				continue
+			}
+			if _, ok := c.fus.tryAllocate(c.cycle, LatAGU); !ok {
+				continue
+			}
+			ports--
+			c.schedule(idx, c.loadLatency(e.inst))
+		case isa.Store:
+			if ports == 0 {
+				continue
+			}
+			if _, ok := c.fus.tryAllocate(c.cycle, LatAGU); !ok {
+				continue
+			}
+			ports--
+			pen := c.dtlb.Access(e.inst.Addr)
+			c.markStoreAddrKnown(e.inst.Seq)
+			c.schedule(idx, LatAGU+pen)
+		case isa.FPALU:
+			if !c.fpalu.tryAllocate(c.cycle, LatFPALU) {
+				continue
+			}
+			c.schedule(idx, LatFPALU)
+			c.fpIQCount--
+		case isa.FPMult:
+			if !c.fpmult.tryAllocate(c.cycle, LatFPMult) {
+				continue
+			}
+			c.schedule(idx, LatFPMult)
+			c.fpIQCount--
+		case isa.FPDiv:
+			if !c.fpmult.tryAllocate(c.cycle, LatFPDiv) {
+				continue
+			}
+			c.schedule(idx, LatFPDiv)
+			c.fpIQCount--
+		default:
+			// Nop never reaches the waiting state.
+			continue
+		}
+		e.state = stExecuting
+		budget--
+	}
+}
+
+// loadLatency models address generation followed by either store-queue
+// forwarding (when an older store to the same word has resolved its
+// address) or a TLB-translated data cache access.
+func (c *CPU) loadLatency(in isa.Inst) int {
+	if c.forwardingStore(in.Seq, in.Addr) {
+		c.loadForwards++
+		return LatAGU + LatForward
+	}
+	pen := c.dtlb.Access(in.Addr)
+	return LatAGU + pen + c.mem.L1D.Access(in.Addr, false)
+}
+
+func (c *CPU) forwardingStore(loadSeq, addr uint64) bool {
+	word := addr >> c.wordAddrShift
+	for i := len(c.storeQ) - 1; i >= 0; i-- {
+		s := c.storeQ[i]
+		if s.seq >= loadSeq {
+			continue
+		}
+		if s.addrKnown && s.addr>>c.wordAddrShift == word {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *CPU) markStoreAddrKnown(seq uint64) {
+	for i := range c.storeQ {
+		if c.storeQ[i].seq == seq {
+			c.storeQ[i].addrKnown = true
+			return
+		}
+	}
+}
+
+// ---- completion ----
+
+func (c *CPU) complete() {
+	list, ok := c.completions[c.cycle]
+	if !ok {
+		return
+	}
+	delete(c.completions, c.cycle)
+	for _, idx := range list {
+		e := &c.rob.entries[idx]
+		e.state = stDone
+		if e.dest.idx >= 0 {
+			if e.dest.fp {
+				c.fpRen.markReady(e.dest.idx)
+			} else {
+				c.intRen.markReady(e.dest.idx)
+			}
+		}
+		if e.mispredict {
+			// The mispredicted control instruction has resolved: redirect
+			// fetch after the recovery penalty.
+			c.fetchBlockedTill = c.cycle + uint64(c.cfg.MispredictPenalty)
+			c.redirectPending = false
+			c.haveFetchLine = false
+		}
+	}
+}
+
+// ---- commit ----
+
+func (c *CPU) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.rob.count > 0; n++ {
+		e := c.rob.at(0)
+		if e.state != stDone {
+			return
+		}
+		switch e.inst.Class {
+		case isa.Store:
+			c.mem.L1D.Access(e.inst.Addr, true)
+			if len(c.storeQ) == 0 || c.storeQ[0].seq != e.inst.Seq {
+				panic("pipeline: store queue out of sync with ROB")
+			}
+			c.storeQ = c.storeQ[1:]
+		case isa.Load:
+			c.lqCount--
+		}
+		if e.oldPhys >= 0 {
+			if e.dest.fp {
+				c.fpRen.release(e.oldPhys)
+			} else {
+				c.intRen.release(e.oldPhys)
+			}
+		}
+		if int(e.inst.Class) < len(c.classCounts) {
+			c.classCounts[e.inst.Class]++
+		}
+		c.rob.popFront()
+		c.committed++
+		c.lastProgress = c.cycle
+		if c.cfg.MaxInsts > 0 && c.committed >= c.cfg.MaxInsts {
+			c.stopRequested = true
+			return
+		}
+	}
+}

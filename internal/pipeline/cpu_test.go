@@ -1,0 +1,368 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/isa"
+)
+
+const codeBase = 0x400000
+const dataBase = 0x10000000
+
+// alu builds an independent single-cycle integer op.
+func alu(pc uint64, dest, s1, s2 isa.Reg) isa.Inst {
+	return isa.Inst{PC: pc, Class: isa.IntALU, Dest: dest, Src1: s1, Src2: s2}
+}
+
+func run(t *testing.T, cfg Config, insts []isa.Inst) Result {
+	t.Helper()
+	cpu, err := New(cfg, isa.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cpu.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// independentALUs builds n independent ALU ops round-robining destinations.
+// PCs repeat every 256 instructions, modeling loopy code whose footprint
+// stays I-cache resident (straight-line unique PCs would make every fetch a
+// compulsory miss, which no real benchmark does).
+func independentALUs(n int) []isa.Inst {
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		// Destinations cycle through r1..r8 with no read-after-write.
+		insts[i] = alu(codeBase+uint64(i%256)*4, isa.IntReg(1+i%8), isa.RegNone, isa.RegNone)
+	}
+	return insts
+}
+
+func TestIndependentALUsNearFullWidth(t *testing.T) {
+	res := run(t, DefaultConfig(), independentALUs(100000))
+	if res.Committed != 100000 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if ipc := res.IPC(); ipc < 3.5 {
+		t.Errorf("independent ALU IPC = %.2f, want near 4", ipc)
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	n := 10000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = alu(codeBase+uint64(i%256)*4, isa.IntReg(1), isa.IntReg(1), isa.RegNone)
+	}
+	res := run(t, DefaultConfig(), insts)
+	if ipc := res.IPC(); ipc < 0.9 || ipc > 1.1 {
+		t.Errorf("dependent chain IPC = %.2f, want ~1", ipc)
+	}
+}
+
+func TestSingleFUThrottles(t *testing.T) {
+	cfg := DefaultConfig().WithIntALUs(1)
+	res := run(t, cfg, independentALUs(50000))
+	if ipc := res.IPC(); ipc < 0.9 || ipc > 1.1 {
+		t.Errorf("1-FU IPC = %.2f, want ~1", ipc)
+	}
+	// With 2 FUs the same workload doubles.
+	res2 := run(t, DefaultConfig().WithIntALUs(2), independentALUs(50000))
+	if ipc := res2.IPC(); ipc < 1.8 || ipc > 2.2 {
+		t.Errorf("2-FU IPC = %.2f, want ~2", ipc)
+	}
+}
+
+func TestFUActivityMatchesIntOps(t *testing.T) {
+	// Every committed int-FU op occupies exactly one FU-cycle, so summed FU
+	// active cycles equal the int-op count; and every FU is ticked every
+	// cycle, so active+idle = total cycles per unit.
+	res := run(t, DefaultConfig(), independentALUs(5000))
+	if got := res.TotalFUActive(); got != 5000 {
+		t.Errorf("FU active cycles = %d, want 5000", got)
+	}
+	for i, fu := range res.FUs {
+		if tot := fu.ActiveCycles + fu.IdleCycles(); tot != res.Cycles {
+			t.Errorf("FU %d covers %d cycles, run took %d", i, tot, res.Cycles)
+		}
+	}
+	if len(res.FUs) != 4 {
+		t.Errorf("FU count = %d", len(res.FUs))
+	}
+}
+
+func TestRoundRobinSpreadsWork(t *testing.T) {
+	res := run(t, DefaultConfig(), independentALUs(8000))
+	for i, fu := range res.FUs {
+		share := float64(fu.ActiveCycles) / 8000
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("FU %d got %.1f%% of ops, want ~25%%", i, share*100)
+		}
+	}
+}
+
+func TestLoadChainPaysUseLatency(t *testing.T) {
+	// A pointer chase hitting in the L1: each hop costs AGU(1)+L1D(2).
+	n := 6000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{
+			PC: codeBase + uint64(i%64)*4, Class: isa.Load,
+			Dest: isa.IntReg(1), Src1: isa.IntReg(1), Src2: isa.RegNone,
+			Addr: dataBase + uint64(i%8)*64, // stays in one L1 set region
+		}
+	}
+	res := run(t, DefaultConfig(), insts)
+	cpi := 1 / res.IPC()
+	if cpi < 2.7 || cpi > 3.4 {
+		t.Errorf("L1 pointer-chase CPI = %.2f, want ~3", cpi)
+	}
+}
+
+func TestMemoryBoundChaseIsSlow(t *testing.T) {
+	// Dependent loads striding far beyond the L2 capacity: each hop pays
+	// the full memory latency.
+	n := 2000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{
+			PC: codeBase + uint64(i%16)*4, Class: isa.Load,
+			Dest: isa.IntReg(1), Src1: isa.IntReg(1), Src2: isa.RegNone,
+			Addr: dataBase + uint64(i)*4096*17,
+		}
+	}
+	res := run(t, DefaultConfig(), insts)
+	cpi := 1 / res.IPC()
+	// AGU(1) + L1(2) + L2(12) + mem(80) = 95, plus TLB misses.
+	if cpi < 80 {
+		t.Errorf("memory-bound CPI = %.1f, want ~95+", cpi)
+	}
+	if res.L1D.MissRate() < 0.95 {
+		t.Errorf("L1D miss rate = %.2f, want ~1", res.L1D.MissRate())
+	}
+}
+
+func TestStoreForwardingBeatsCache(t *testing.T) {
+	// store to A; dependent-load from A immediately: forwarding keeps the
+	// load off the cache path.
+	var insts []isa.Inst
+	for i := 0; i < 3000; i++ {
+		a := dataBase + uint64(i%4)*8
+		insts = append(insts,
+			isa.Inst{PC: codeBase + uint64(len(insts)*4), Class: isa.Store,
+				Src1: isa.IntReg(2), Src2: isa.IntReg(3), Addr: a},
+			isa.Inst{PC: codeBase + uint64(len(insts)*4+4), Class: isa.Load,
+				Dest: isa.IntReg(4), Src1: isa.IntReg(2), Src2: isa.RegNone, Addr: a},
+		)
+	}
+	res := run(t, DefaultConfig(), insts)
+	if res.LoadForwards < 2900 {
+		t.Errorf("forwards = %d of 3000 loads", res.LoadForwards)
+	}
+}
+
+func TestTakenLoopPredictsWell(t *testing.T) {
+	// 15 ALU ops + backward branch, 500 iterations: after warm-up the
+	// branch is perfectly predicted and IPC stays high.
+	var insts []isa.Inst
+	const body = 15
+	for iter := 0; iter < 500; iter++ {
+		for i := 0; i < body; i++ {
+			insts = append(insts, alu(codeBase+uint64(i*4), isa.IntReg(1+i%8), isa.RegNone, isa.RegNone))
+		}
+		insts = append(insts, isa.Inst{
+			PC: codeBase + uint64(body*4), Class: isa.Branch,
+			Src1: isa.IntReg(1), Src2: isa.RegNone, Dest: isa.RegNone,
+			Taken: iter != 499, Target: codeBase,
+		})
+	}
+	res := run(t, DefaultConfig(), insts)
+	if acc := res.Bpred.DirAccuracy(); acc < 0.99 {
+		t.Errorf("loop branch accuracy = %.3f", acc)
+	}
+	if ipc := res.IPC(); ipc < 2.5 {
+		t.Errorf("predictable loop IPC = %.2f", ipc)
+	}
+}
+
+func TestRandomBranchesCostPenalty(t *testing.T) {
+	// Unpredictable branches every 4 instructions crater IPC.
+	rng := rand.New(rand.NewSource(3))
+	var insts []isa.Inst
+	for iter := 0; iter < 4000; iter++ {
+		for i := 0; i < 3; i++ {
+			insts = append(insts, alu(codeBase+uint64(i*4), isa.IntReg(1+i), isa.RegNone, isa.RegNone))
+		}
+		taken := rng.Intn(2) == 0
+		tgt := uint64(codeBase)
+		insts = append(insts, isa.Inst{
+			PC: codeBase + 12, Class: isa.Branch,
+			Src1: isa.IntReg(1), Src2: isa.RegNone, Dest: isa.RegNone,
+			Taken: taken, Target: tgt,
+		})
+	}
+	res := run(t, DefaultConfig(), insts)
+	if ipc := res.IPC(); ipc > 1.2 {
+		t.Errorf("random-branch IPC = %.2f, want well below width", ipc)
+	}
+	if res.FetchMispredictStalls == 0 {
+		t.Error("expected mispredict stall cycles")
+	}
+}
+
+func TestRenamerConservation(t *testing.T) {
+	// After the pipeline drains, exactly (phys - arch) registers are free
+	// in each class: no leaks, no double frees.
+	cfg := DefaultConfig()
+	insts := independentALUs(5000)
+	cpu, err := New(cfg, isa.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpu.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cpu.intRen.freeCount(), cfg.IntPhysRegs-isa.NumIntRegs; got != want {
+		t.Errorf("int free regs = %d, want %d", got, want)
+	}
+	if got, want := cpu.fpRen.freeCount(), cfg.FPPhysRegs-isa.NumFPRegs; got != want {
+		t.Errorf("fp free regs = %d, want %d", got, want)
+	}
+	if cpu.rob.count != 0 || cpu.lqCount != 0 || len(cpu.storeQ) != 0 ||
+		cpu.intIQCount != 0 || cpu.fpIQCount != 0 {
+		t.Error("queues not drained")
+	}
+}
+
+func TestMaxInstsStopsEarly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 1000
+	res := run(t, cfg, independentALUs(50000))
+	if res.Committed != 1000 {
+		t.Errorf("committed %d, want exactly 1000", res.Committed)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	mk := func() []isa.Inst {
+		rng := rand.New(rand.NewSource(10))
+		var insts []isa.Inst
+		for i := 0; i < 5000; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				insts = append(insts, alu(codeBase+uint64(i%64)*4, isa.IntReg(rng.Intn(8)+1), isa.IntReg(rng.Intn(8)+1), isa.RegNone))
+			case 1:
+				insts = append(insts, isa.Inst{PC: codeBase + uint64(i%64)*4, Class: isa.Load,
+					Dest: isa.IntReg(rng.Intn(8) + 1), Src1: isa.IntReg(1), Src2: isa.RegNone,
+					Addr: dataBase + uint64(rng.Intn(1<<20))})
+			case 2:
+				insts = append(insts, isa.Inst{PC: codeBase + uint64(i%64)*4, Class: isa.Store,
+					Src1: isa.IntReg(1), Src2: isa.IntReg(2), Addr: dataBase + uint64(rng.Intn(1<<20))})
+			default:
+				insts = append(insts, isa.Inst{PC: codeBase + uint64(i%64)*4, Class: isa.Branch,
+					Src1: isa.IntReg(1), Src2: isa.RegNone, Dest: isa.RegNone,
+					Taken: rng.Intn(2) == 0, Target: codeBase})
+			}
+		}
+		return insts
+	}
+	a := run(t, DefaultConfig(), mk())
+	b := run(t, DefaultConfig(), mk())
+	if a.Cycles != b.Cycles || a.Committed != b.Committed || a.L1D != b.L1D || a.Bpred != b.Bpred {
+		t.Errorf("replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFPOpsUseFPUnits(t *testing.T) {
+	n := 4000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{PC: codeBase + uint64(i%64)*4, Class: isa.FPALU,
+			Dest: isa.FPReg(1 + i%8), Src1: isa.RegNone, Src2: isa.RegNone}
+	}
+	res := run(t, DefaultConfig(), insts)
+	// One FP adder, 2-cycle non-pipelined occupancy: IPC ~0.5, and the
+	// integer FUs stay completely idle.
+	if ipc := res.IPC(); ipc > 0.6 {
+		t.Errorf("FP-only IPC = %.2f, want ~0.5 (one 2-cycle unit)", ipc)
+	}
+	if res.TotalFUActive() != 0 {
+		t.Error("integer FUs should be idle on an FP-only trace")
+	}
+}
+
+func TestMultAndDivLatency(t *testing.T) {
+	// A dependent multiply chain: ~3 cycles per op.
+	n := 2000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{PC: codeBase + uint64(i%64)*4, Class: isa.IntMult,
+			Dest: isa.IntReg(1), Src1: isa.IntReg(1), Src2: isa.RegNone}
+	}
+	res := run(t, DefaultConfig(), insts)
+	cpi := 1 / res.IPC()
+	if cpi < 2.8 || cpi > 3.4 {
+		t.Errorf("dependent multiply CPI = %.2f, want ~3", cpi)
+	}
+}
+
+func TestNopsFlowThrough(t *testing.T) {
+	n := 4000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{PC: codeBase + uint64(i%64)*4, Class: isa.Nop,
+			Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone}
+	}
+	res := run(t, DefaultConfig(), insts)
+	if res.Committed != uint64(n) {
+		t.Errorf("committed %d nops", res.Committed)
+	}
+	if res.TotalFUActive() != 0 {
+		t.Error("nops must not occupy functional units")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.IntALUs = 0
+	if _, err := New(bad, isa.NewSliceStream(nil)); err == nil {
+		t.Error("zero FUs accepted")
+	}
+	bad = DefaultConfig()
+	bad.IntPhysRegs = 20
+	if err := bad.Validate(); err == nil {
+		t.Error("too-few physical registers accepted")
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	bad = DefaultConfig()
+	bad.MispredictPenalty = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative penalty accepted")
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	cfg := DefaultConfig().WithIntALUs(2).WithL2Latency(32)
+	if cfg.IntALUs != 2 || cfg.Mem.L2.Latency != 32 {
+		t.Errorf("helpers failed: %+v", cfg)
+	}
+	// Original untouched.
+	if d := DefaultConfig(); d.IntALUs != 4 || d.Mem.L2.Latency != 12 {
+		t.Error("DefaultConfig mutated")
+	}
+}
+
+func TestClassCountsMatchTrace(t *testing.T) {
+	insts := independentALUs(100)
+	insts = append(insts, isa.Inst{PC: codeBase + 4000, Class: isa.Store,
+		Src1: isa.IntReg(1), Src2: isa.IntReg(2), Addr: dataBase})
+	res := run(t, DefaultConfig(), insts)
+	if res.ClassCounts[isa.IntALU] != 100 || res.ClassCounts[isa.Store] != 1 {
+		t.Errorf("class counts = %v", res.ClassCounts)
+	}
+}

@@ -1,0 +1,73 @@
+package pipeline
+
+import "github.com/archsim/fusleep/internal/stats"
+
+// fuPool models the integer functional units under study. Operations are
+// allocated round-robin across the units, as in the paper's methodology
+// ("we allocate operations to the set of functional units in round robin
+// fashion"), and each unit's busy/idle activity is recorded cycle by cycle.
+type fuPool struct {
+	busyUntil []uint64
+	rr        int
+	rec       []*stats.RunRecorder
+}
+
+func newFUPool(n int) *fuPool {
+	p := &fuPool{
+		busyUntil: make([]uint64, n),
+		rec:       make([]*stats.RunRecorder, n),
+	}
+	for i := range p.rec {
+		p.rec[i] = stats.NewRunRecorder()
+	}
+	return p
+}
+
+// tryAllocate finds a unit free at cycle now, scanning round-robin from the
+// unit after the last allocation. It returns the unit index and marks it
+// busy for lat cycles.
+func (p *fuPool) tryAllocate(now uint64, lat int) (int, bool) {
+	n := len(p.busyUntil)
+	for i := 0; i < n; i++ {
+		idx := (p.rr + i) % n
+		if p.busyUntil[idx] <= now {
+			p.busyUntil[idx] = now + uint64(lat)
+			p.rr = (idx + 1) % n
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// tick records each unit's activity for cycle now; call exactly once per
+// simulated cycle after issue.
+func (p *fuPool) tick(now uint64) {
+	for i, bu := range p.busyUntil {
+		p.rec[i].Tick(bu > now)
+	}
+}
+
+// flush closes trailing idle intervals at end of simulation.
+func (p *fuPool) flush() {
+	for _, r := range p.rec {
+		r.Flush()
+	}
+}
+
+// unitPool is a simple occupancy model for non-tracked units (multiplier,
+// FP): each unit is busy until a cycle; allocation takes the first free.
+type unitPool struct {
+	busyUntil []uint64
+}
+
+func newUnitPool(n int) *unitPool { return &unitPool{busyUntil: make([]uint64, n)} }
+
+func (p *unitPool) tryAllocate(now uint64, lat int) bool {
+	for i := range p.busyUntil {
+		if p.busyUntil[i] <= now {
+			p.busyUntil[i] = now + uint64(lat)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package pipeline
+
+import "fmt"
+
+// physRef names one physical register in a class-specific file; idx < 0
+// means "no register / always ready".
+type physRef struct {
+	idx int16
+	fp  bool
+}
+
+var noReg = physRef{idx: -1}
+
+// renamer implements register renaming for one register class: a map table
+// from architectural to physical registers, a free list, and per-physical
+// ready bits. Because the simulator never dispatches wrong-path
+// instructions, no checkpoint/rollback is needed.
+type renamer struct {
+	mapTable []int16
+	free     []int16
+	ready    []bool
+	inUse    int
+}
+
+func newRenamer(archRegs, physRegs int) (*renamer, error) {
+	if physRegs < archRegs+1 {
+		return nil, fmt.Errorf("pipeline: %d physical registers cannot back %d architectural", physRegs, archRegs)
+	}
+	r := &renamer{
+		mapTable: make([]int16, archRegs),
+		free:     make([]int16, 0, physRegs),
+		ready:    make([]bool, physRegs),
+		inUse:    archRegs,
+	}
+	for i := 0; i < archRegs; i++ {
+		r.mapTable[i] = int16(i)
+		r.ready[i] = true
+	}
+	for i := physRegs - 1; i >= archRegs; i-- {
+		r.free = append(r.free, int16(i))
+	}
+	return r, nil
+}
+
+// lookup returns the current physical mapping of an architectural register.
+func (r *renamer) lookup(arch int) int16 { return r.mapTable[arch] }
+
+// canAllocate reports whether a destination can be renamed.
+func (r *renamer) canAllocate() bool { return len(r.free) > 0 }
+
+// allocate renames arch to a fresh physical register (marked not-ready) and
+// returns the new and previous mappings; the previous mapping is released
+// when the instruction commits.
+func (r *renamer) allocate(arch int) (newPhys, oldPhys int16, ok bool) {
+	if len(r.free) == 0 {
+		return 0, 0, false
+	}
+	newPhys = r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	oldPhys = r.mapTable[arch]
+	r.mapTable[arch] = newPhys
+	r.ready[newPhys] = false
+	r.inUse++
+	return newPhys, oldPhys, true
+}
+
+// markReady signals that the physical register's value is available.
+func (r *renamer) markReady(phys int16) { r.ready[phys] = true }
+
+// isReady reports value availability.
+func (r *renamer) isReady(phys int16) bool { return r.ready[phys] }
+
+// release returns a no-longer-referenced physical register to the free
+// list (called at commit for the overwritten mapping).
+func (r *renamer) release(phys int16) {
+	r.free = append(r.free, phys)
+	r.inUse--
+}
+
+// freeCount reports the free-list depth (for invariant tests).
+func (r *renamer) freeCount() int { return len(r.free) }

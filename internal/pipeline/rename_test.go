@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRenamerInitialState(t *testing.T) {
+	r, err := newRenamer(32, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 32; a++ {
+		phys := r.lookup(a)
+		if int(phys) != a {
+			t.Errorf("arch %d initially mapped to %d", a, phys)
+		}
+		if !r.isReady(phys) {
+			t.Errorf("initial mapping %d not ready", phys)
+		}
+	}
+	if r.freeCount() != 64 {
+		t.Errorf("free count = %d, want 64", r.freeCount())
+	}
+}
+
+func TestRenamerRejectsTooFewPhys(t *testing.T) {
+	if _, err := newRenamer(32, 32); err == nil {
+		t.Error("phys == arch accepted (no register could ever rename)")
+	}
+}
+
+func TestRenamerAllocateReleaseCycle(t *testing.T) {
+	r, _ := newRenamer(4, 8)
+	newPhys, oldPhys, ok := r.allocate(2)
+	if !ok {
+		t.Fatal("allocation failed with free registers")
+	}
+	if oldPhys != 2 {
+		t.Errorf("old mapping = %d, want 2", oldPhys)
+	}
+	if r.lookup(2) != newPhys {
+		t.Error("map table not updated")
+	}
+	if r.isReady(newPhys) {
+		t.Error("fresh physical register must start not-ready")
+	}
+	r.markReady(newPhys)
+	if !r.isReady(newPhys) {
+		t.Error("markReady failed")
+	}
+	before := r.freeCount()
+	r.release(oldPhys)
+	if r.freeCount() != before+1 {
+		t.Error("release did not grow the free list")
+	}
+}
+
+func TestRenamerExhaustion(t *testing.T) {
+	r, _ := newRenamer(2, 4)
+	// Two free registers; a third allocation must fail.
+	if _, _, ok := r.allocate(0); !ok {
+		t.Fatal("first allocation failed")
+	}
+	if _, _, ok := r.allocate(1); !ok {
+		t.Fatal("second allocation failed")
+	}
+	if r.canAllocate() {
+		t.Error("canAllocate true with empty free list")
+	}
+	if _, _, ok := r.allocate(0); ok {
+		t.Error("allocation succeeded with empty free list")
+	}
+}
+
+func TestRenamerConservationUnderChurn(t *testing.T) {
+	// Random allocate/commit churn conserves registers: every physical
+	// register is either a current mapping, in flight, or free.
+	r, _ := newRenamer(8, 24)
+	rng := rand.New(rand.NewSource(3))
+	type inflight struct{ oldPhys int16 }
+	var pending []inflight
+	for step := 0; step < 10000; step++ {
+		if rng.Intn(2) == 0 && r.canAllocate() {
+			_, old, _ := r.allocate(rng.Intn(8))
+			pending = append(pending, inflight{old})
+		} else if len(pending) > 0 {
+			r.release(pending[0].oldPhys)
+			pending = pending[1:]
+		}
+		// Invariant: free + in-flight old mappings + 8 current mappings
+		// always account for all 24 physical registers.
+		if r.freeCount()+len(pending)+8 != 24 {
+			t.Fatalf("step %d: free %d + pending %d + mapped 8 != 24",
+				step, r.freeCount(), len(pending))
+		}
+	}
+}
+
+func TestFUPoolRoundRobin(t *testing.T) {
+	p := newFUPool(3)
+	// Three allocations in one cycle land on three distinct units.
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		idx, ok := p.tryAllocate(10, 1)
+		if !ok {
+			t.Fatalf("allocation %d failed", i)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("allocations not spread: %v", seen)
+	}
+	// All busy now.
+	if _, ok := p.tryAllocate(10, 1); ok {
+		t.Error("fourth same-cycle allocation should fail")
+	}
+	// Next cycle, all free again; round-robin pointer moves on.
+	if _, ok := p.tryAllocate(11, 1); !ok {
+		t.Error("next-cycle allocation failed")
+	}
+}
+
+func TestFUPoolBusySpan(t *testing.T) {
+	p := newFUPool(1)
+	if _, ok := p.tryAllocate(5, 3); !ok {
+		t.Fatal("allocation failed")
+	}
+	for _, cyc := range []uint64{5, 6, 7} {
+		if _, ok := p.tryAllocate(cyc, 1); ok {
+			t.Errorf("unit free during busy span at cycle %d", cyc)
+		}
+	}
+	if _, ok := p.tryAllocate(8, 1); !ok {
+		t.Error("unit should be free after latency expires")
+	}
+}
+
+func TestFUPoolTickRecordsActivity(t *testing.T) {
+	p := newFUPool(2)
+	p.tryAllocate(0, 2) // unit busy cycles 0-1
+	p.tick(0)
+	p.tick(1)
+	p.tick(2)
+	p.flush()
+	var active uint64
+	for _, rec := range p.rec {
+		active += rec.ActiveCycles()
+	}
+	if active != 2 {
+		t.Errorf("recorded %d active unit-cycles, want 2", active)
+	}
+	for i, rec := range p.rec {
+		if rec.TotalCycles() != 3 {
+			t.Errorf("unit %d covers %d of 3 cycles", i, rec.TotalCycles())
+		}
+	}
+}
+
+func TestUnitPoolFirstFree(t *testing.T) {
+	p := newUnitPool(2)
+	if !p.tryAllocate(0, 5) || !p.tryAllocate(0, 5) {
+		t.Fatal("two units should allocate")
+	}
+	if p.tryAllocate(1, 5) {
+		t.Error("both busy, allocation should fail")
+	}
+	if !p.tryAllocate(5, 5) {
+		t.Error("unit should free at its busy-until cycle")
+	}
+}

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"github.com/archsim/fusleep/internal/bpred"
+	"github.com/archsim/fusleep/internal/cache"
+	"github.com/archsim/fusleep/internal/tlb"
+)
+
+// FUProfile is the measured activity of one integer functional unit: the
+// raw material of the paper's energy accounting (Section 4).
+type FUProfile struct {
+	// ActiveCycles is the number of cycles the unit executed an operation.
+	ActiveCycles uint64
+	// Intervals is the multiset of idle interval lengths (length -> count).
+	Intervals map[int]uint64
+}
+
+// IdleCycles returns the unit's total idle cycles.
+func (p FUProfile) IdleCycles() uint64 {
+	var n uint64
+	for l, c := range p.Intervals {
+		n += uint64(l) * c
+	}
+	return n
+}
+
+// Utilization returns active/(active+idle), or 0 when empty.
+func (p FUProfile) Utilization() float64 {
+	tot := p.ActiveCycles + p.IdleCycles()
+	if tot == 0 {
+		return 0
+	}
+	return float64(p.ActiveCycles) / float64(tot)
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+
+	// FUs holds one profile per integer functional unit.
+	FUs []FUProfile
+
+	Bpred bpred.Stats
+	L1I   cache.Stats
+	L1D   cache.Stats
+	L2    cache.Stats
+	ITLB  tlb.Stats
+	DTLB  tlb.Stats
+
+	// LoadForwards counts loads satisfied by store-queue forwarding.
+	LoadForwards uint64
+	// FetchMispredictStalls counts cycles fetch was blocked awaiting a
+	// mispredicted branch's resolution plus redirect.
+	FetchMispredictStalls uint64
+	// ClassCounts tallies committed instructions by class index.
+	ClassCounts [16]uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// TotalFUActive sums active cycles across the integer units.
+func (r Result) TotalFUActive() uint64 {
+	var n uint64
+	for _, f := range r.FUs {
+		n += f.ActiveCycles
+	}
+	return n
+}
+
+// MeanFUUtilization averages per-unit utilization.
+func (r Result) MeanFUUtilization() float64 {
+	if len(r.FUs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.FUs {
+		s += f.Utilization()
+	}
+	return s / float64(len(r.FUs))
+}

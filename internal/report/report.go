@@ -1,0 +1,159 @@
+// Package report renders experiment results as aligned text tables and data
+// series, the textual equivalents of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Renderable is anything an experiment can produce.
+type Renderable interface {
+	// Render writes the artifact as text.
+	Render(w io.Writer) error
+	// Name returns the artifact's title.
+	Name() string
+}
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable builds an empty table.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Name implements Renderable.
+func (t *Table) Name() string { return t.Title }
+
+// Render implements Renderable.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title + "\n")
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: " + n + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a titled set of named curves sharing an x axis — the textual
+// form of one figure panel.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Names  []string
+	X      []float64
+	Y      [][]float64 // Y[series][point]
+	Notes  []string
+}
+
+// NewSeries builds an empty series set.
+func NewSeries(title, xlabel, ylabel string, names ...string) *Series {
+	s := &Series{Title: title, XLabel: xlabel, YLabel: ylabel, Names: names}
+	s.Y = make([][]float64, len(names))
+	return s
+}
+
+// AddPoint appends one x position with one y value per curve.
+func (s *Series) AddPoint(x float64, ys ...float64) {
+	if len(ys) != len(s.Names) {
+		panic(fmt.Sprintf("report: series %q wants %d values, got %d", s.Title, len(s.Names), len(ys)))
+	}
+	s.X = append(s.X, x)
+	for i, y := range ys {
+		s.Y[i] = append(s.Y[i], y)
+	}
+}
+
+// AddNote appends a footnote.
+func (s *Series) AddNote(format string, args ...any) {
+	s.Notes = append(s.Notes, fmt.Sprintf(format, args...))
+}
+
+// Name implements Renderable.
+func (s *Series) Name() string { return s.Title }
+
+// Render implements Renderable.
+func (s *Series) Render(w io.Writer) error {
+	tbl := NewTable(fmt.Sprintf("%s   [y: %s]", s.Title, s.YLabel),
+		append([]string{s.XLabel}, s.Names...)...)
+	for i, x := range s.X {
+		cells := []string{F(x, 4)}
+		for j := range s.Names {
+			cells = append(cells, F(s.Y[j][i], 4))
+		}
+		tbl.AddRow(cells...)
+	}
+	tbl.Notes = s.Notes
+	return tbl.Render(w)
+}
+
+// F formats a float compactly with the given max precision.
+func F(v float64, prec int) string {
+	s := strconv.FormatFloat(v, 'f', prec, 64)
+	if strings.Contains(s, ".") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+	}
+	if s == "-0" {
+		s = "0"
+	}
+	return s
+}

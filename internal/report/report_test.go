@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("My Table", "a", "bbb")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("longer", "x")
+	tbl.AddNote("note %d", 7)
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"My Table", "a", "bbb", "longer", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Name() != "My Table" {
+		t.Errorf("Name = %q", tbl.Name())
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.AddRow("only")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tbl.Rows[0])
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("Fig", "x", "energy", "a", "b")
+	s.AddPoint(1, 0.5, 0.25)
+	s.AddPoint(2, 1.5, 0.75)
+	s.AddNote("hello")
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig", "energy", "0.5", "0.75", "hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if s.Name() != "Fig" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestSeriesArityPanics(t *testing.T) {
+	s := NewSeries("Fig", "x", "y", "one")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched arity should panic")
+		}
+	}()
+	s.AddPoint(1, 0.5, 0.7)
+}
+
+func TestFloatFormat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:     "1.5",
+		2.0:     "2",
+		0.12345: "0.1235",
+		-0.0:    "0",
+		100:     "100",
+	}
+	for v, want := range cases {
+		if got := F(v, 4); got != want {
+			t.Errorf("F(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunRecorderBasics(t *testing.T) {
+	r := NewRunRecorder()
+	for _, a := range []bool{true, false, false, true, false, true, true} {
+		r.Tick(a)
+	}
+	r.Flush()
+	if r.ActiveCycles() != 4 {
+		t.Errorf("active = %d, want 4", r.ActiveCycles())
+	}
+	if r.IdleCycles() != 3 {
+		t.Errorf("idle = %d, want 3", r.IdleCycles())
+	}
+	if r.Intervals()[2] != 1 || r.Intervals()[1] != 1 {
+		t.Errorf("intervals = %v", r.Intervals())
+	}
+	if r.TotalCycles() != 7 {
+		t.Errorf("total = %d", r.TotalCycles())
+	}
+	if f := r.IdleFraction(); f != 3.0/7.0 {
+		t.Errorf("idle fraction = %g", f)
+	}
+}
+
+func TestRunRecorderTrailingIdle(t *testing.T) {
+	r := NewRunRecorder()
+	r.Tick(true)
+	r.Tick(false)
+	r.Tick(false)
+	// Without Flush the trailing run is invisible...
+	if r.IdleCycles() != 0 {
+		t.Error("open interval should not be counted before Flush")
+	}
+	r.Flush()
+	if r.Intervals()[2] != 1 {
+		t.Errorf("trailing interval missing: %v", r.Intervals())
+	}
+	// Repeated Flush is harmless.
+	r.Flush()
+	if r.IdleCycles() != 2 {
+		t.Errorf("double Flush corrupted state: %d", r.IdleCycles())
+	}
+}
+
+func TestRunRecorderEmpty(t *testing.T) {
+	r := NewRunRecorder()
+	r.Flush()
+	if r.IdleFraction() != 0 || r.TotalCycles() != 0 {
+		t.Error("empty recorder should be zero")
+	}
+}
+
+func TestRunRecorderConservation(t *testing.T) {
+	// Active + idle cycles always equals ticks, for random streams.
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRunRecorder()
+		ticks := int(n%2000) + 1
+		for i := 0; i < ticks; i++ {
+			r.Tick(rng.Float64() < 0.5)
+		}
+		r.Flush()
+		return r.TotalCycles() == uint64(ticks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2HistogramBuckets(t *testing.T) {
+	h := MustNewLog2Histogram(8192)
+	h.Add(1, 10)
+	h.Add(2, 5)
+	h.Add(3, 5)
+	h.Add(4, 2)
+	h.Add(7, 1)
+	h.Add(8192, 1)
+	h.Add(100000, 2) // accumulates at the cap bucket
+	h.Add(0, 99)     // ignored
+	h.Add(-1, 99)    // ignored
+	h.Add(5, 0)      // ignored
+
+	bk := h.Buckets()
+	if bk[0].Low != 1 || bk[0].High != 1 || bk[0].Count != 10 {
+		t.Errorf("bucket[0] = %+v", bk[0])
+	}
+	if bk[1].Low != 2 || bk[1].High != 3 || bk[1].Count != 10 {
+		t.Errorf("bucket[1] = %+v", bk[1])
+	}
+	if bk[2].Low != 4 || bk[2].High != 7 || bk[2].Count != 3 {
+		t.Errorf("bucket[2] = %+v", bk[2])
+	}
+	last := bk[len(bk)-1]
+	if last.Low != 8192 || last.High != -1 || last.Count != 3 {
+		t.Errorf("cap bucket = %+v", last)
+	}
+	if h.TotalCount() != 26 {
+		t.Errorf("total count = %d, want 26", h.TotalCount())
+	}
+	wantWeight := uint64(1*10 + 2*5 + 3*5 + 4*2 + 7 + 8192 + 200000)
+	if h.TotalWeight() != wantWeight {
+		t.Errorf("total weight = %d, want %d", h.TotalWeight(), wantWeight)
+	}
+}
+
+func TestLog2HistogramCapValidation(t *testing.T) {
+	if _, err := NewLog2Histogram(1000); err == nil {
+		t.Error("non-power-of-two cap accepted")
+	}
+	if _, err := NewLog2Histogram(1); err == nil {
+		t.Error("cap 1 accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewLog2Histogram should panic")
+		}
+	}()
+	MustNewLog2Histogram(3)
+}
+
+func TestWeightAtOrBelow(t *testing.T) {
+	h := MustNewLog2Histogram(1024)
+	h.Add(2, 1)  // bucket [2,3], weight 2
+	h.Add(8, 1)  // bucket [8,15], weight 8
+	h.Add(64, 1) // bucket [64,127], weight 64
+	got := h.WeightAtOrBelow(15)
+	want := 10.0 / 74.0
+	if got != want {
+		t.Errorf("WeightAtOrBelow(15) = %g, want %g", got, want)
+	}
+	if h.WeightAtOrBelow(0) != 0 {
+		t.Error("nothing should be at or below 0")
+	}
+	empty := MustNewLog2Histogram(64)
+	if empty.WeightAtOrBelow(10) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+}
+
+func TestCumulativeWeightFraction(t *testing.T) {
+	m := map[int]uint64{3: 2, 12: 1, 50: 1}
+	// weight: 6 + 12 + 50 = 68; <= 12: 18.
+	if got := CumulativeWeightFraction(m, 12); got != 18.0/68.0 {
+		t.Errorf("fraction = %g", got)
+	}
+	if CumulativeWeightFraction(nil, 5) != 0 {
+		t.Error("empty multiset should give 0")
+	}
+}
+
+func TestSortedLengths(t *testing.T) {
+	m := map[int]uint64{9: 1, 2: 1, 5: 1}
+	got := SortedLengths(m)
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 9 {
+		t.Errorf("sorted = %v", got)
+	}
+}
+
+func TestHistogramMatchesRecorder(t *testing.T) {
+	// Feeding a recorder's intervals into the histogram conserves weight.
+	rng := rand.New(rand.NewSource(5))
+	r := NewRunRecorder()
+	for i := 0; i < 10000; i++ {
+		r.Tick(rng.Float64() < 0.3)
+	}
+	r.Flush()
+	h := MustNewLog2Histogram(8192)
+	h.AddIntervals(r.Intervals())
+	if h.TotalWeight() != r.IdleCycles() {
+		t.Errorf("histogram weight %d != recorder idle %d", h.TotalWeight(), r.IdleCycles())
+	}
+	var n uint64
+	for _, c := range r.Intervals() {
+		n += c
+	}
+	if h.TotalCount() != n {
+		t.Errorf("histogram count %d != interval count %d", h.TotalCount(), n)
+	}
+}

@@ -1,0 +1,130 @@
+// Package tlb models the translation lookaside buffers of Table 2:
+// set-associative page-granular lookup with a fixed miss penalty serviced
+// by a hardware walker (no instruction overhead).
+package tlb
+
+import "fmt"
+
+// Config describes one TLB.
+type Config struct {
+	Name        string
+	Entries     int
+	Assoc       int
+	PageBits    int // log2 page size; Table 2 uses 8 KB pages (13 bits)
+	MissPenalty int // cycles added on a miss
+}
+
+// DefaultITLB returns the Table 2 instruction TLB: 256 entries, 4-way,
+// 8 KB pages, 30-cycle miss.
+func DefaultITLB() Config {
+	return Config{Name: "ITLB", Entries: 256, Assoc: 4, PageBits: 13, MissPenalty: 30}
+}
+
+// DefaultDTLB returns the Table 2 data TLB: 512 entries, 4-way, 8 KB pages,
+// 30-cycle miss.
+func DefaultDTLB() Config {
+	return Config{Name: "DTLB", Entries: 512, Assoc: 4, PageBits: 13, MissPenalty: 30}
+}
+
+// Sets returns the set count.
+func (c Config) Sets() int { return c.Entries / c.Assoc }
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("tlb %s: non-positive geometry", c.Name)
+	case c.Entries%c.Assoc != 0:
+		return fmt.Errorf("tlb %s: entries %d not divisible by assoc %d", c.Name, c.Entries, c.Assoc)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("tlb %s: set count %d not a power of two", c.Name, c.Sets())
+	case c.PageBits < 1 || c.PageBits > 30:
+		return fmt.Errorf("tlb %s: page bits %d out of range", c.Name, c.PageBits)
+	case c.MissPenalty < 0:
+		return fmt.Errorf("tlb %s: negative miss penalty", c.Name)
+	default:
+		return nil
+	}
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type entry struct {
+	tag   uint64
+	valid bool
+	tick  uint64
+}
+
+// TLB is one translation buffer with LRU replacement.
+type TLB struct {
+	cfg     Config
+	entries []entry
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a TLB.
+func New(cfg Config) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &TLB{cfg: cfg, entries: make([]entry, cfg.Entries)}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Access translates addr and returns the added latency: 0 on a hit, the
+// miss penalty on a miss (the mapping is filled, evicting LRU).
+func (t *TLB) Access(addr uint64) int {
+	t.tick++
+	t.stats.Accesses++
+	page := addr >> t.cfg.PageBits
+	nSets := uint64(t.cfg.Sets())
+	setIdx := page & (nSets - 1)
+	tag := page / nSets
+	set := t.entries[setIdx*uint64(t.cfg.Assoc) : (setIdx+1)*uint64(t.cfg.Assoc)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].tick = t.tick
+			return 0
+		}
+	}
+	t.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].tick < set[victim].tick {
+			victim = i
+		}
+	}
+	set[victim] = entry{tag: tag, valid: true, tick: t.tick}
+	return t.cfg.MissPenalty
+}

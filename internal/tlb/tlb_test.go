@@ -1,0 +1,110 @@
+package tlb
+
+import "testing"
+
+func TestDefaultConfigs(t *testing.T) {
+	it := DefaultITLB()
+	if it.Entries != 256 || it.Assoc != 4 || it.PageBits != 13 || it.MissPenalty != 30 {
+		t.Errorf("ITLB config = %+v", it)
+	}
+	dt := DefaultDTLB()
+	if dt.Entries != 512 || dt.Assoc != 4 {
+		t.Errorf("DTLB config = %+v", dt)
+	}
+	for _, c := range []Config{it, dt} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", Entries: 0, Assoc: 1, PageBits: 13, MissPenalty: 30},
+		{Name: "div", Entries: 10, Assoc: 4, PageBits: 13, MissPenalty: 30},
+		{Name: "sets", Entries: 24, Assoc: 4, PageBits: 13, MissPenalty: 30},
+		{Name: "page", Entries: 256, Assoc: 4, PageBits: 0, MissPenalty: 30},
+		{Name: "pen", Entries: 256, Assoc: 4, PageBits: 13, MissPenalty: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q accepted", c.Name)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New accepted %q", c.Name)
+		}
+	}
+}
+
+func TestHitAndMiss(t *testing.T) {
+	tb := MustNew(DefaultITLB())
+	// Cold miss.
+	if pen := tb.Access(0x10000); pen != 30 {
+		t.Errorf("cold access penalty = %d, want 30", pen)
+	}
+	// Same page: hit, even at a different offset.
+	if pen := tb.Access(0x10000 + 8191); pen != 0 {
+		t.Errorf("same-page penalty = %d, want 0", pen)
+	}
+	// Different page: miss.
+	if pen := tb.Access(0x10000 + 8192); pen != 30 {
+		t.Errorf("next-page penalty = %d, want 30", pen)
+	}
+	st := tb.Stats()
+	if st.Accesses != 3 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MissRate() != 2.0/3.0 {
+		t.Errorf("miss rate = %g", st.MissRate())
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	cfg := Config{Name: "tiny", Entries: 2, Assoc: 2, PageBits: 13, MissPenalty: 30}
+	tb := MustNew(cfg)
+	p := func(i int) uint64 { return uint64(i) << 13 }
+	tb.Access(p(0))
+	tb.Access(p(1))
+	tb.Access(p(0)) // p1 LRU
+	tb.Access(p(2)) // evicts p1
+	if pen := tb.Access(p(0)); pen != 0 {
+		t.Error("p0 should be resident")
+	}
+	if pen := tb.Access(p(2)); pen != 0 {
+		t.Error("p2 should be resident")
+	}
+	if pen := tb.Access(p(1)); pen != 30 {
+		t.Error("p1 should have been evicted")
+	}
+}
+
+func TestCapacityCoversTable2Reach(t *testing.T) {
+	// A 512-entry DTLB with 8KB pages maps 4MB; a 4MB sweep with page
+	// stride should hit after warm-up.
+	tb := MustNew(DefaultDTLB())
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 4*1024*1024; a += 8192 {
+			tb.Access(a)
+		}
+	}
+	st := tb.Stats()
+	if st.Misses != 512 {
+		t.Errorf("misses = %d, want 512 (cold only)", st.Misses)
+	}
+}
+
+func TestZeroStats(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("idle TLB miss rate should be 0")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew(Config{})
+}

@@ -1,0 +1,121 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/pipeline"
+	"github.com/archsim/fusleep/internal/workload"
+)
+
+func runBench(t *testing.T, s workload.Spec, fus int, insts uint64) pipeline.Result {
+	t.Helper()
+	cfg := pipeline.DefaultConfig().WithIntALUs(fus)
+	cfg.MaxInsts = insts
+	cpu, err := pipeline.New(cfg, s.NewTrace(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cpu.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	return res
+}
+
+// TestCalibrationBands pins each benchmark's simulated IPC (at its paper FU
+// count) to within 20% of the Table 3 value. The kernels were tuned at
+// 1.5M-instruction windows; the test uses a shorter window with a wider
+// band to stay fast while still catching regressions.
+func TestCalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs full simulations")
+	}
+	for _, s := range workload.Benchmarks {
+		res := runBench(t, s, s.PaperFUs, 1_500_000)
+		got := res.IPC()
+		rel := math.Abs(got-s.PaperIPC) / s.PaperIPC
+		if rel > 0.20 {
+			t.Errorf("%s: IPC %.3f vs paper %.3f (%.0f%% off)", s.Name, got, s.PaperIPC, rel*100)
+		}
+	}
+}
+
+// TestSuiteOrdering checks the qualitative IPC structure the paper's
+// figures depend on: the high-ILP pair on top, the memory-bound pair at the
+// bottom, the branchy middle in between.
+func TestSuiteOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering runs full simulations")
+	}
+	ipc := map[string]float64{}
+	for _, s := range workload.Benchmarks {
+		ipc[s.Name] = runBench(t, s, s.PaperFUs, 1_000_000).IPC()
+	}
+	for _, top := range []string{"vortex", "gzip"} {
+		for _, mid := range []string{"gcc", "parser", "twolf", "vpr", "mst"} {
+			if ipc[top] <= ipc[mid] {
+				t.Errorf("%s (%.2f) should outrun %s (%.2f)", top, ipc[top], mid, ipc[mid])
+			}
+		}
+	}
+	for _, mid := range []string{"gcc", "parser", "twolf", "vpr", "mst"} {
+		for _, low := range []string{"health", "mcf"} {
+			if ipc[mid] <= ipc[low] {
+				t.Errorf("%s (%.2f) should outrun %s (%.2f)", mid, ipc[mid], low, ipc[low])
+			}
+		}
+	}
+}
+
+// TestMemoryBoundCharacter checks the microarchitectural signatures that
+// drive the idle-interval distribution: mcf misses in the L2, health lives
+// in the L2, gzip/vortex stay near the L1.
+func TestMemoryBoundCharacter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	get := func(name string) pipeline.Result {
+		s, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runBench(t, s, s.PaperFUs, 400_000)
+	}
+	if r := get("mcf"); r.L1D.MissRate() < 0.5 || r.L2.MissRate() < 0.3 {
+		t.Errorf("mcf should thrash: L1D %.2f L2 %.2f", r.L1D.MissRate(), r.L2.MissRate())
+	}
+	if r := get("vortex"); r.L1D.MissRate() > 0.3 {
+		t.Errorf("vortex should be cache-friendly: L1D %.2f", r.L1D.MissRate())
+	}
+	if r := get("gzip"); r.Bpred.DirAccuracy() < 0.85 {
+		t.Errorf("gzip branches should be mostly predictable: %.3f", r.Bpred.DirAccuracy())
+	}
+	if r := get("twolf"); r.Bpred.DirAccuracy() > 0.95 {
+		t.Errorf("twolf accept/reject should hurt prediction: %.3f", r.Bpred.DirAccuracy())
+	}
+}
+
+// TestFUProfilesProduced confirms every run yields per-unit idle profiles
+// covering the whole run — the raw material of the energy study.
+func TestFUProfilesProduced(t *testing.T) {
+	s, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runBench(t, s, 2, 100_000)
+	if len(res.FUs) != 2 {
+		t.Fatalf("expected 2 FU profiles, got %d", len(res.FUs))
+	}
+	for i, fu := range res.FUs {
+		if fu.ActiveCycles == 0 {
+			t.Errorf("FU %d never active", i)
+		}
+		if len(fu.Intervals) == 0 {
+			t.Errorf("FU %d has no idle intervals", i)
+		}
+		if tot := fu.ActiveCycles + fu.IdleCycles(); tot != res.Cycles {
+			t.Errorf("FU %d covers %d of %d cycles", i, tot, res.Cycles)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package workload implements the nine-benchmark suite of Table 3 as
+// synthetic kernels. Each kernel executes a benchmark-like algorithm
+// (pointer chasing, stream compression loops, dictionary lookups, annealing
+// sweeps, ...) against a synthetic address space and emits the dynamic
+// instruction trace of that execution. Static instruction sites keep stable
+// PCs so the branch predictor and instruction cache behave as they would on
+// real code. Instruction mix, dependence structure, footprints, and branch
+// behavior are calibrated per benchmark so the simulated IPC and
+// functional-unit demand approximate the paper's Table 3 (see DESIGN.md
+// Section 5 for the substitution argument).
+package workload
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/archsim/fusleep/internal/isa"
+)
+
+const batchSize = 4096
+
+// Emitter is the push-side interface kernels use to generate instructions.
+// It assigns sequence numbers, batches instructions, and enforces the trace
+// length limit.
+type Emitter struct {
+	batch []isa.Inst
+	out   chan []isa.Inst
+	stop  chan struct{}
+	seq   uint64
+	limit uint64
+	done  bool
+	rng   *rand.Rand
+}
+
+// Done reports whether the kernel should stop generating (limit reached or
+// consumer closed). Kernels must check it at loop boundaries.
+func (e *Emitter) Done() bool { return e.done }
+
+// Rand returns the kernel's deterministic random source.
+func (e *Emitter) Rand() *rand.Rand { return e.rng }
+
+func (e *Emitter) emit(in isa.Inst) {
+	if e.done {
+		return
+	}
+	in.Seq = e.seq
+	e.seq++
+	e.batch = append(e.batch, in)
+	if len(e.batch) >= batchSize {
+		e.flush()
+	}
+	if e.limit > 0 && e.seq >= e.limit {
+		e.done = true
+	}
+}
+
+func (e *Emitter) flush() {
+	if len(e.batch) == 0 {
+		return
+	}
+	select {
+	case e.out <- e.batch:
+	case <-e.stop:
+		e.done = true
+	}
+	e.batch = make([]isa.Inst, 0, batchSize)
+}
+
+// ALU emits a single-cycle integer operation.
+func (e *Emitter) ALU(pc uint64, dest, s1, s2 isa.Reg) {
+	e.emit(isa.Inst{PC: pc, Class: isa.IntALU, Dest: dest, Src1: s1, Src2: s2})
+}
+
+// Mult emits an integer multiply.
+func (e *Emitter) Mult(pc uint64, dest, s1, s2 isa.Reg) {
+	e.emit(isa.Inst{PC: pc, Class: isa.IntMult, Dest: dest, Src1: s1, Src2: s2})
+}
+
+// FPALU emits a floating-point add.
+func (e *Emitter) FPALU(pc uint64, dest, s1, s2 isa.Reg) {
+	e.emit(isa.Inst{PC: pc, Class: isa.FPALU, Dest: dest, Src1: s1, Src2: s2})
+}
+
+// Load emits a data load from addr through base register base.
+func (e *Emitter) Load(pc uint64, dest, base isa.Reg, addr uint64) {
+	e.emit(isa.Inst{PC: pc, Class: isa.Load, Dest: dest, Src1: base, Src2: isa.RegNone, Addr: addr})
+}
+
+// Store emits a data store of register data to addr through base.
+func (e *Emitter) Store(pc uint64, base, data isa.Reg, addr uint64) {
+	e.emit(isa.Inst{PC: pc, Class: isa.Store, Dest: isa.RegNone, Src1: base, Src2: data, Addr: addr})
+}
+
+// Branch emits a conditional branch with the given actual outcome. cond is
+// the register the branch tests.
+func (e *Emitter) Branch(pc uint64, cond isa.Reg, taken bool, target uint64) {
+	e.emit(isa.Inst{PC: pc, Class: isa.Branch, Src1: cond, Src2: isa.RegNone, Dest: isa.RegNone,
+		Taken: taken, Target: target})
+}
+
+// Jump emits an unconditional direct jump.
+func (e *Emitter) Jump(pc, target uint64) {
+	e.emit(isa.Inst{PC: pc, Class: isa.Jump, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
+		Taken: true, Target: target})
+}
+
+// Call emits a direct call.
+func (e *Emitter) Call(pc, target uint64) {
+	e.emit(isa.Inst{PC: pc, Class: isa.Call, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
+		Taken: true, Target: target})
+}
+
+// Return emits a function return to target.
+func (e *Emitter) Return(pc, target uint64) {
+	e.emit(isa.Inst{PC: pc, Class: isa.Return, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
+		Taken: true, Target: target})
+}
+
+// Nop emits a front-end-only instruction.
+func (e *Emitter) Nop(pc uint64) {
+	e.emit(isa.Inst{PC: pc, Class: isa.Nop, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone})
+}
+
+// Trace is the pull side: an isa.Stream fed by a kernel goroutine.
+type Trace struct {
+	ch        chan []isa.Inst
+	stop      chan struct{}
+	stopOnce  sync.Once
+	cur       []isa.Inst
+	pos       int
+	exhausted bool
+}
+
+// NewTrace starts kernel in a goroutine and returns the consuming stream.
+// The kernel must return promptly once Emitter.Done reports true. limit
+// bounds the trace length (0 = unbounded, kernel decides); seed makes the
+// trace deterministic.
+func NewTrace(limit uint64, seed int64, kernel func(*Emitter)) *Trace {
+	t := &Trace{
+		ch:   make(chan []isa.Inst, 4),
+		stop: make(chan struct{}),
+	}
+	e := &Emitter{
+		batch: make([]isa.Inst, 0, batchSize),
+		out:   t.ch,
+		stop:  t.stop,
+		limit: limit,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	go func() {
+		defer close(t.ch)
+		kernel(e)
+		e.flush()
+	}()
+	return t
+}
+
+// Next implements isa.Stream.
+func (t *Trace) Next() (isa.Inst, bool) {
+	for t.pos >= len(t.cur) {
+		if t.exhausted {
+			return isa.Inst{}, false
+		}
+		batch, ok := <-t.ch
+		if !ok {
+			t.exhausted = true
+			return isa.Inst{}, false
+		}
+		t.cur = batch
+		t.pos = 0
+	}
+	in := t.cur[t.pos]
+	t.pos++
+	return in, true
+}
+
+// Close implements isa.Stream, releasing the generator goroutine and
+// discarding any buffered instructions.
+func (t *Trace) Close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	// Drain so the producer's in-flight sends complete and the goroutine
+	// observes the stop channel.
+	for range t.ch {
+	}
+	t.cur = nil
+	t.pos = 0
+	t.exhausted = true
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/archsim/fusleep/internal/isa"
+)
+
+func TestTraceLimitAndSequence(t *testing.T) {
+	tr := NewTrace(100, 1, func(e *Emitter) {
+		pc := uint64(0x1000)
+		for !e.Done() {
+			e.ALU(pc, isa.IntReg(1), isa.RegNone, isa.RegNone)
+		}
+	})
+	defer tr.Close()
+	var n uint64
+	for {
+		in, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if in.Seq != n {
+			t.Fatalf("seq %d at position %d", in.Seq, n)
+		}
+		n++
+	}
+	if n != 100 {
+		t.Errorf("trace length %d, want 100", n)
+	}
+}
+
+func TestTraceCloseUnblocksProducer(t *testing.T) {
+	tr := NewTrace(0, 1, func(e *Emitter) {
+		pc := uint64(0x1000)
+		for !e.Done() { // unbounded until consumer closes
+			e.Nop(pc)
+		}
+	})
+	if _, ok := tr.Next(); !ok {
+		t.Fatal("expected instructions")
+	}
+	tr.Close() // must not deadlock
+	tr.Close() // idempotent
+	if _, ok := tr.Next(); ok {
+		t.Error("closed trace should be exhausted")
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	read := func() []isa.Inst {
+		tr := NewTrace(5000, 42, kernelGcc)
+		defer tr.Close()
+		var out []isa.Inst
+		for {
+			in, ok := tr.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, in)
+		}
+	}
+	a, b := read(), read()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmittedInstructionsAreValid(t *testing.T) {
+	for _, spec := range Benchmarks {
+		tr := spec.NewTrace(20000)
+		for {
+			in, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if err := in.Validate(); err != nil {
+				t.Errorf("%s: %v", spec.Name, err)
+				break
+			}
+		}
+		tr.Close()
+	}
+}
+
+func TestStablePCsAcrossIterations(t *testing.T) {
+	// Every dynamic occurrence of a static site must agree on the class:
+	// a PC that is sometimes a branch and sometimes an ALU would be an
+	// impossible program and would corrupt predictor learning.
+	for _, spec := range Benchmarks {
+		classes := make(map[uint64]isa.Class)
+		tr := spec.NewTrace(50000)
+		for {
+			in, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if prev, seen := classes[in.PC]; seen && prev != in.Class {
+				t.Errorf("%s: PC %#x is both %v and %v", spec.Name, in.PC, prev, in.Class)
+				break
+			}
+			classes[in.PC] = in.Class
+		}
+		tr.Close()
+		if len(classes) > 4096 {
+			t.Errorf("%s: %d static sites — code footprint implausibly large", spec.Name, len(classes))
+		}
+	}
+}
+
+func TestChaseStepFullPeriod(t *testing.T) {
+	// The affine walk must visit every node before repeating, for any salt.
+	for _, salt := range []uint64{0, 1, 2, 7} {
+		const nodes = 1 << 12
+		seen := make([]bool, nodes)
+		idx := uint64(0)
+		for i := 0; i < nodes; i++ {
+			if seen[idx] {
+				t.Fatalf("salt %d: cycle after %d of %d nodes", salt, i, nodes)
+			}
+			seen[idx] = true
+			idx = chaseStep(idx, nodes, salt)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Benchmarks) != 9 {
+		t.Fatalf("suite has %d benchmarks, want 9", len(Benchmarks))
+	}
+	if _, err := ByName("mcf"); err != nil {
+		t.Errorf("ByName(mcf): %v", err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	names := Names()
+	if len(names) != 9 || names[0] != "gcc" {
+		t.Errorf("names = %v", names)
+	}
+	sorted := SortedByName()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Name >= sorted[i].Name {
+			t.Error("SortedByName not sorted")
+		}
+	}
+	// Table 3 reference data sanity: FU counts in range, IPC <= max IPC.
+	for _, s := range Benchmarks {
+		if s.PaperFUs < 1 || s.PaperFUs > 4 {
+			t.Errorf("%s: FUs %d", s.Name, s.PaperFUs)
+		}
+		if s.PaperIPC > s.PaperMaxIPC+1e-9 {
+			t.Errorf("%s: IPC %g exceeds max %g", s.Name, s.PaperIPC, s.PaperMaxIPC)
+		}
+	}
+}
+
+func TestInstructionMixIsIntegerDominated(t *testing.T) {
+	// The paper studies integer benchmarks; FP must be a trace amount.
+	for _, spec := range Benchmarks {
+		var fp, total uint64
+		tr := spec.NewTrace(30000)
+		for {
+			in, ok := tr.Next()
+			if !ok {
+				break
+			}
+			total++
+			if in.Class.IsFP() {
+				fp++
+			}
+		}
+		tr.Close()
+		if frac := float64(fp) / float64(total); frac > 0.05 {
+			t.Errorf("%s: FP fraction %.3f too high for an integer benchmark", spec.Name, frac)
+		}
+	}
+}

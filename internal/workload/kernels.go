@@ -1,0 +1,308 @@
+package workload
+
+import "github.com/archsim/fusleep/internal/isa"
+
+// Register conventions shared by the kernel archetypes. Each archetype uses
+// a disjoint register set so phases can interleave without false
+// dependences beyond the ones they model.
+var (
+	regChase = [8]isa.Reg{isa.IntReg(1), isa.IntReg(2), isa.IntReg(3), isa.IntReg(4),
+		isa.IntReg(5), isa.IntReg(6), isa.IntReg(7), isa.IntReg(8)}
+	regAcc   = isa.Reg(isa.IntReg(9))
+	regTmp   = [6]isa.Reg{isa.IntReg(10), isa.IntReg(11), isa.IntReg(12), isa.IntReg(13), isa.IntReg(14), isa.IntReg(15)}
+	regBase  = isa.Reg(isa.IntReg(16))
+	regCond  = isa.Reg(isa.IntReg(17))
+	regIdx   = isa.Reg(isa.IntReg(18))
+	regFP    = isa.Reg(isa.FPReg(1))
+	regFPTwo = isa.Reg(isa.FPReg(2))
+)
+
+// ChaseParams describes a pointer-chasing phase: the classic dependent-load
+// pattern of Olden/mcf-style codes. Chains interleaved chains provide
+// memory-level parallelism; the footprint (Nodes*NodeBytes) sets the miss
+// level against the 64 KB L1 / 2 MB L2 hierarchy.
+type ChaseParams struct {
+	PC        uint64 // code region base (stable static sites)
+	Heap      uint64 // data region base
+	Nodes     int    // power of two
+	NodeBytes int
+	Chains    int // interleaved independent chains (max 8)
+	Hops      int // hops per chain per invocation
+	WorkDep   int // ALU ops dependent on the loaded pointer, per hop
+	WorkIndep int // independent ALU ops per hop
+}
+
+// ChaseState carries chain positions across invocations.
+type ChaseState struct {
+	idx  []uint64
+	init bool
+}
+
+// chaseStep advances a chain index through a full-period affine walk over
+// [0, nodes): nodes is a power of two, the multiplier is ≡ 1 (mod 4), and
+// the addend stays odd for every salt (salt contributes an even term), which
+// guarantees the walk visits every node before repeating.
+func chaseStep(idx uint64, nodes int, salt uint64) uint64 {
+	return (idx*2862933555777941757 + 3037000493 + (salt << 1)) & uint64(nodes-1)
+}
+
+// Chase emits one invocation of the pointer-chasing phase.
+func Chase(e *Emitter, p ChaseParams, st *ChaseState) {
+	if !st.init {
+		st.idx = make([]uint64, p.Chains)
+		for i := range st.idx {
+			st.idx[i] = uint64(i * 977)
+		}
+		st.init = true
+	}
+	for hop := 0; hop < p.Hops && !e.Done(); hop++ {
+		site := p.PC
+		for c := 0; c < p.Chains; c++ {
+			r := regChase[c%len(regChase)]
+			addr := p.Heap + st.idx[c]*uint64(p.NodeBytes)
+			e.Load(site, r, r, addr)
+			site += 4
+			for w := 0; w < p.WorkDep; w++ {
+				e.ALU(site, r, r, regAcc)
+				site += 4
+			}
+			for w := 0; w < p.WorkIndep; w++ {
+				e.ALU(site, regTmp[w%len(regTmp)], regAcc, isa.RegNone)
+				site += 4
+			}
+			st.idx[c] = chaseStep(st.idx[c], p.Nodes, uint64(c))
+		}
+		// Loop back-edge: taken until the final hop of the invocation.
+		e.Branch(site, regCond, hop != p.Hops-1, p.PC)
+	}
+}
+
+// StreamParams describes a unit-stride sweep: load/compute/store loops with
+// high instruction-level parallelism (gzip/vortex-style inner loops).
+type StreamParams struct {
+	PC        uint64
+	Base      uint64
+	Bytes     int // footprint per array (power of two)
+	Stride    int
+	Loads     int // loads per iteration (from distinct arrays)
+	WorkDep   int // ALU ops dependent on the first load
+	WorkIndep int // independent ALU ops
+	Stores    int
+	Iters     int
+}
+
+// StreamState carries the sweep position across invocations.
+type StreamState struct{ off uint64 }
+
+// Stream emits one invocation of the streaming phase.
+func Stream(e *Emitter, p StreamParams, st *StreamState) {
+	mask := uint64(p.Bytes - 1)
+	for it := 0; it < p.Iters && !e.Done(); it++ {
+		site := p.PC
+		for l := 0; l < p.Loads; l++ {
+			arr := p.Base + uint64(l)<<28
+			e.Load(site, regTmp[l%3], regBase, arr+(st.off&mask))
+			site += 4
+		}
+		for w := 0; w < p.WorkDep; w++ {
+			e.ALU(site, regAcc, regAcc, regTmp[0])
+			site += 4
+		}
+		for w := 0; w < p.WorkIndep; w++ {
+			e.ALU(site, regTmp[3+w%3], regTmp[w%3], isa.RegNone)
+			site += 4
+		}
+		for s := 0; s < p.Stores; s++ {
+			arr := p.Base + uint64(p.Loads+s)<<28
+			e.Store(site, regBase, regAcc, arr+(st.off&mask))
+			site += 4
+		}
+		e.Branch(site, regCond, it != p.Iters-1, p.PC)
+		st.off += uint64(p.Stride)
+	}
+}
+
+// HashParams describes dictionary/table lookups: hashing compute, a bucket
+// head load, and a data-dependent probe loop (parser/mst-style). Ways
+// independent lookup streams model the natural overlap of consecutive loop
+// iterations hashing unrelated keys.
+type HashParams struct {
+	PC         uint64
+	Table      uint64
+	Buckets    int // power of two
+	NodeBytes  int
+	MeanProbes float64 // geometric probe count (data-dependent branch)
+	Compute    int     // ALU ops per lookup (hash + record handling)
+	Lookups    int
+	Ways       int  // independent in-flight lookup streams (default 1)
+	UseMult    bool // hash mixing includes an integer multiply
+}
+
+// HashLookups emits one invocation of the lookup phase.
+func HashLookups(e *Emitter, p HashParams, key *uint64) {
+	rng := e.Rand()
+	cont := 1 - 1/p.MeanProbes // P(probe again)
+	ways := p.Ways
+	if ways < 1 {
+		ways = 1
+	}
+	for l := 0; l < p.Lookups && !e.Done(); l++ {
+		site := p.PC
+		// Each way uses its own key and node registers, so consecutive
+		// lookups from different ways overlap in the pipeline.
+		keyReg := isa.IntReg(18 + l%ways)
+		nodeReg := regChase[l%ways%len(regChase)]
+		// Hash compute: short dependent sequence on this way's key.
+		e.ALU(site, keyReg, keyReg, regAcc)
+		site += 4
+		if p.UseMult {
+			e.Mult(site, keyReg, keyReg, isa.RegNone)
+		} else {
+			e.ALU(site, keyReg, keyReg, isa.RegNone)
+		}
+		site += 4
+		*key = chaseStep(*key, p.Buckets, 17)
+		bucket := p.Table + *key*uint64(p.NodeBytes)
+		e.Load(site, nodeReg, keyReg, bucket)
+		site += 4
+		// Probe loop: compare the key (B0), follow the chain pointer (B1),
+		// and loop back (B2) while the data-dependent search continues.
+		// The back-edge target B0 matches the next emitted PC on the taken
+		// path, so control flow is self-consistent.
+		probeSite := site
+		for probe := 0; !e.Done(); probe++ {
+			e.ALU(probeSite, regCond, nodeReg, keyReg)
+			again := rng.Float64() < cont && probe < 8
+			if !again {
+				e.Branch(probeSite+8, regCond, false, probeSite)
+				break
+			}
+			e.Load(probeSite+4, nodeReg, nodeReg,
+				bucket+uint64(probe+1)*uint64(p.NodeBytes))
+			e.Branch(probeSite+8, regCond, true, probeSite)
+		}
+		site = probeSite + 12
+		for wIdx := 0; wIdx < p.Compute; wIdx++ {
+			e.ALU(site, regTmp[wIdx%len(regTmp)], nodeReg, isa.RegNone)
+			site += 4
+		}
+		e.Branch(site, regCond, l != p.Lookups-1, p.PC)
+	}
+}
+
+// BranchyParams describes control-dominated compute (gcc/twolf-style):
+// blocks of ALU work separated by branches, a fraction of which are
+// data-dependent and unpredictable, with loads that mostly hit a hot subset
+// of the working set.
+type BranchyParams struct {
+	PC         uint64
+	Data       uint64
+	Footprint  int     // power of two, bytes
+	BlockALU   int     // ALU ops per block
+	IndepFrac  int     // of BlockALU, how many are independent (rest chain)
+	RandomProb float64 // probability a block's branch is random 50/50
+	TakenBias  float64 // taken fraction of the predictable branches
+	LoadEvery  int     // one load every N blocks (0 = none)
+	ColdEvery  int     // every N-th load leaves the hot region (0 = never)
+	StoreEvery int     // one store every N blocks (0 = none)
+	FPEvery    int     // one FP op every N blocks (0 = none)
+	Blocks     int
+}
+
+// BranchyState carries block position across invocations.
+type BranchyState struct{ n, loads uint64 }
+
+// Branchy emits one invocation of the branchy-compute phase. The
+// predictable branches follow a deterministic period-8 pattern realizing
+// TakenBias, which the two-level predictor learns essentially perfectly —
+// matching real biased branches, which are patterned rather than random.
+// Loads walk a hot region (1/16 of the footprint) except every ColdEvery-th
+// load, which touches a random cold address.
+func Branchy(e *Emitter, p BranchyParams, st *BranchyState) {
+	rng := e.Rand()
+	mask := uint64(p.Footprint - 1)
+	hotMask := mask >> 4
+	takenPer8 := int(p.TakenBias*8 + 0.5)
+	for b := 0; b < p.Blocks && !e.Done(); b++ {
+		st.n++
+		site := p.PC
+		for w := 0; w < p.BlockALU; w++ {
+			if w < p.IndepFrac {
+				e.ALU(site, regTmp[w%len(regTmp)], regAcc, isa.RegNone)
+			} else {
+				e.ALU(site, regAcc, regAcc, regTmp[0])
+			}
+			site += 4
+		}
+		// Each conditional slot owns two static sites — the operation and
+		// the not-taken-path nop — so a PC never changes instruction class
+		// across dynamic executions.
+		if p.LoadEvery > 0 && st.n%uint64(p.LoadEvery) == 0 {
+			st.loads++
+			addr := p.Data + (chaseStep(st.n, 1<<30, 5) & hotMask)
+			if p.ColdEvery > 0 && st.loads%uint64(p.ColdEvery) == 0 {
+				addr = p.Data + (chaseStep(st.n, 1<<30, 5) & mask)
+			}
+			e.Load(site, regTmp[0], regBase, addr)
+		} else {
+			e.Nop(site + 4)
+		}
+		site += 8
+		if p.StoreEvery > 0 && st.n%uint64(p.StoreEvery) == 0 {
+			addr := p.Data + (chaseStep(st.n, 1<<30, 11) & hotMask)
+			e.Store(site, regBase, regAcc, addr)
+		} else {
+			e.Nop(site + 4)
+		}
+		site += 8
+		if p.FPEvery > 0 && st.n%uint64(p.FPEvery) == 0 {
+			e.FPALU(site, regFP, regFP, regFPTwo)
+		} else {
+			e.Nop(site + 4)
+		}
+		site += 8
+		// Control: an unpredictable fraction of blocks flips a coin; the
+		// rest follow the learnable periodic pattern.
+		var taken bool
+		if rng.Float64() < p.RandomProb {
+			taken = rng.Intn(2) == 0
+		} else {
+			taken = int(st.n%8) < takenPer8
+		}
+		e.Branch(site, regCond, taken, p.PC)
+	}
+}
+
+// CallParams describes a call-tree phase exercising the RAS (parser/gcc
+// style recursion).
+type CallParams struct {
+	PC     uint64
+	Depth  int
+	Work   int // ALU ops per level
+	Rounds int
+}
+
+// CallTree emits rounds of call/work/return chains of the given depth.
+func CallTree(e *Emitter, p CallParams, _ *struct{}) {
+	frame := uint64(0x100) // code bytes per level
+	for r := 0; r < p.Rounds && !e.Done(); r++ {
+		// Descend.
+		for d := 0; d < p.Depth; d++ {
+			base := p.PC + uint64(d)*frame
+			e.Call(base, base+frame)
+		}
+		// Work at the leaf.
+		leaf := p.PC + uint64(p.Depth)*frame
+		site := leaf
+		for w := 0; w < p.Work; w++ {
+			e.ALU(site, regTmp[w%len(regTmp)], regAcc, isa.RegNone)
+			site += 4
+		}
+		// Unwind: each return goes back to the call site's successor.
+		for d := p.Depth; d >= 1; d-- {
+			retFrom := p.PC + uint64(d)*frame + 0x80
+			retTo := p.PC + uint64(d-1)*frame + 4
+			e.Return(retFrom, retTo)
+		}
+	}
+}

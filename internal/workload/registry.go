@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/archsim/fusleep/internal/isa"
+)
+
+// Spec names one benchmark of the suite together with its Table 3 reference
+// data from the paper.
+type Spec struct {
+	Name  string
+	Suite string
+	// PaperMaxIPC is Table 3's IPC with four integer units.
+	PaperMaxIPC float64
+	// PaperIPC is Table 3's IPC at the selected unit count.
+	PaperIPC float64
+	// PaperFUs is Table 3's selected integer-unit count (the minimum number
+	// achieving >= 95% of the four-unit IPC).
+	PaperFUs int
+	// Seed makes the kernel's data-dependent choices deterministic.
+	Seed   int64
+	kernel func(*Emitter)
+}
+
+// NewTrace starts the benchmark's generator, bounded to n instructions.
+func (s Spec) NewTrace(n uint64) isa.Stream { return NewTrace(n, s.Seed, s.kernel) }
+
+// Suite lists the nine benchmarks in the paper's Figure 8 order.
+var Benchmarks = []Spec{
+	{Name: "gcc", Suite: "SPEC95 INT", PaperMaxIPC: 1.622, PaperIPC: 1.619, PaperFUs: 2, Seed: 1002, kernel: kernelGcc},
+	{Name: "gzip", Suite: "SPEC2K INT", PaperMaxIPC: 2.120, PaperIPC: 2.120, PaperFUs: 4, Seed: 1003, kernel: kernelGzip},
+	{Name: "health", Suite: "Olden", PaperMaxIPC: 0.560, PaperIPC: 0.554, PaperFUs: 2, Seed: 1000, kernel: kernelHealth},
+	{Name: "mcf", Suite: "SPEC2K INT", PaperMaxIPC: 0.523, PaperIPC: 0.503, PaperFUs: 2, Seed: 1004, kernel: kernelMcf},
+	{Name: "mst", Suite: "Olden", PaperMaxIPC: 1.748, PaperIPC: 1.748, PaperFUs: 4, Seed: 1001, kernel: kernelMst},
+	{Name: "parser", Suite: "SPEC2K INT", PaperMaxIPC: 1.692, PaperIPC: 1.692, PaperFUs: 4, Seed: 1005, kernel: kernelParser},
+	{Name: "twolf", Suite: "SPEC2K INT", PaperMaxIPC: 1.542, PaperIPC: 1.475, PaperFUs: 3, Seed: 1006, kernel: kernelTwolf},
+	{Name: "vortex", Suite: "SPEC2K INT", PaperMaxIPC: 2.387, PaperIPC: 2.387, PaperFUs: 4, Seed: 1007, kernel: kernelVortex},
+	{Name: "vpr", Suite: "SPEC2K INT", PaperMaxIPC: 1.481, PaperIPC: 1.431, PaperFUs: 3, Seed: 1008, kernel: kernelVpr},
+}
+
+// ByName finds a benchmark spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range Benchmarks {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Names returns the benchmark names in suite order.
+func Names() []string {
+	out := make([]string, len(Benchmarks))
+	for i, s := range Benchmarks {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SortedByName returns a name-sorted copy (Benchmarks is already sorted,
+// but callers should not depend on that).
+func SortedByName() []Spec {
+	out := make([]Spec, len(Benchmarks))
+	copy(out, Benchmarks)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

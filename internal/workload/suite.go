@@ -1,0 +1,218 @@
+package workload
+
+// The nine benchmark kernels of Table 3. Each composes the archetype phases
+// (Chase/Stream/HashLookups/Branchy/CallTree) with footprints, mixes, and
+// branch behavior chosen to approximate the benchmark's microarchitectural
+// character and its Table 3 IPC on the Table 2 machine. Code regions start
+// at distinct bases so benchmarks never alias predictor or I-cache state.
+
+const (
+	kiB = 1024
+	miB = 1024 * kiB
+)
+
+// code returns the code-region base for phase k of a benchmark.
+func code(bench, phase int) uint64 {
+	return 0x400000 + uint64(bench)<<20 + uint64(phase)<<13
+}
+
+// data returns the data-region base for phase k of a benchmark.
+func data(bench, phase int) uint64 {
+	return 0x10_0000_0000 + uint64(bench)<<36 + uint64(phase)<<32
+}
+
+// kernelHealth models Olden health: hierarchical linked-list traversal
+// with little computation per node. The 4 MB working set lives mostly in
+// the L2, so every hop pays an L2-latency dependent load; two concurrent
+// sub-lists provide slight memory-level parallelism.
+func kernelHealth(e *Emitter) {
+	chase := ChaseParams{
+		PC: code(0, 0), Heap: data(0, 0),
+		Nodes: 32 * 1024, NodeBytes: 64, // 2 MB
+		Chains: 2, Hops: 256, WorkDep: 2, WorkIndep: 4,
+	}
+	var st ChaseState
+	// A short village-update pass over a small resident array.
+	stream := StreamParams{
+		PC: code(0, 1), Base: data(0, 1), Bytes: 32 * kiB, Stride: 16,
+		Loads: 1, WorkDep: 2, WorkIndep: 1, Stores: 1, Iters: 32,
+	}
+	var sst StreamState
+	for !e.Done() {
+		Chase(e, chase, &st)
+		Stream(e, stream, &sst)
+	}
+}
+
+// kernelMst models Olden mst: hash-table lookups (the dominant cost in the
+// original) plus a modest pointer phase over a graph that fits in the L2.
+func kernelMst(e *Emitter) {
+	hash := HashParams{
+		PC: code(1, 0), Table: data(1, 0),
+		Buckets: 2048, NodeBytes: 32, MeanProbes: 1.04, Compute: 8, Lookups: 64, Ways: 4,
+	}
+	var key uint64
+	chase := ChaseParams{
+		PC: code(1, 1), Heap: data(1, 1),
+		Nodes: 4096, NodeBytes: 64, // 256 KB: L2-resident, partially L1
+		Chains: 4, Hops: 32, WorkDep: 1, WorkIndep: 5,
+	}
+	var st ChaseState
+	for !e.Done() {
+		HashLookups(e, hash, &key)
+		Chase(e, chase, &st)
+	}
+}
+
+// kernelGcc models SPEC95 gcc: branch-dominated tree walking over a
+// megabyte-scale working set with recurring utility calls. ILP is limited
+// by control flow, not functional units, which is why two integer units
+// suffice in Table 3.
+func kernelGcc(e *Emitter) {
+	branchy := BranchyParams{
+		PC: code(2, 0), Data: data(2, 0), Footprint: 512 * kiB,
+		BlockALU: 4, IndepFrac: 1, RandomProb: 0.04, TakenBias: 0.75,
+		LoadEvery: 2, ColdEvery: 16, StoreEvery: 5, Blocks: 64,
+	}
+	var bst BranchyState
+	calls := CallParams{PC: code(2, 1), Depth: 4, Work: 6, Rounds: 4}
+	hash := HashParams{
+		PC: code(2, 2), Table: data(2, 2),
+		Buckets: 2048, NodeBytes: 64, MeanProbes: 1.1, Compute: 4, Lookups: 16, Ways: 2, UseMult: true,
+	}
+	var key uint64
+	for !e.Done() {
+		Branchy(e, branchy, &bst)
+		CallTree(e, calls, nil)
+		HashLookups(e, hash, &key)
+	}
+}
+
+// kernelGzip models SPEC2K gzip: high-ILP compression inner loops sweeping
+// a window that slightly exceeds the L1, with mostly-predictable control.
+func kernelGzip(e *Emitter) {
+	window := StreamParams{
+		PC: code(3, 0), Base: data(3, 0), Bytes: 128 * kiB, Stride: 8,
+		Loads: 2, WorkDep: 2, WorkIndep: 6, Stores: 1, Iters: 96,
+	}
+	var wst StreamState
+	match := BranchyParams{
+		PC: code(3, 1), Data: data(3, 1), Footprint: 64 * kiB,
+		BlockALU: 6, IndepFrac: 4, RandomProb: 0.28, TakenBias: 0.875,
+		LoadEvery: 2, StoreEvery: 8, Blocks: 48,
+	}
+	var mst BranchyState
+	for !e.Done() {
+		Stream(e, window, &wst)
+		Branchy(e, match, &mst)
+	}
+}
+
+// kernelMcf models SPEC2K mcf: network-simplex arc scans over a working set
+// far beyond the L2. Interleaved chains give the memory-level parallelism
+// of the arc array sweep; the result is a memory-bound IPC near 0.5.
+func kernelMcf(e *Emitter) {
+	arcs := ChaseParams{
+		PC: code(4, 0), Heap: data(4, 0),
+		Nodes: 128 * 1024, NodeBytes: 64, // 8 MB: L2-thrashing
+		Chains: 8, Hops: 64, WorkDep: 1, WorkIndep: 10,
+	}
+	var ast ChaseState
+	nodes := ChaseParams{
+		PC: code(4, 1), Heap: data(4, 1),
+		Nodes: 16 * 1024, NodeBytes: 64, // 1 MB: L2-resident tail
+		Chains: 3, Hops: 32, WorkDep: 2, WorkIndep: 1,
+	}
+	var nst ChaseState
+	for !e.Done() {
+		Chase(e, arcs, &ast)
+		Chase(e, nodes, &nst)
+	}
+}
+
+// kernelParser models SPEC2K parser: dictionary hash lookups with
+// data-dependent probe loops and heavy recursion over the linkage stack.
+func kernelParser(e *Emitter) {
+	dict := HashParams{
+		PC: code(5, 0), Table: data(5, 0),
+		Buckets: 2048, NodeBytes: 64, MeanProbes: 1.06, Compute: 6, Lookups: 48, Ways: 6, UseMult: true,
+	}
+	var key uint64
+	linkage := CallParams{PC: code(5, 1), Depth: 6, Work: 8, Rounds: 6}
+	prune := BranchyParams{
+		PC: code(5, 2), Data: data(5, 2), Footprint: 256 * kiB,
+		BlockALU: 5, IndepFrac: 3, RandomProb: 0.04, TakenBias: 0.75,
+		LoadEvery: 3, ColdEvery: 8, StoreEvery: 9, Blocks: 32,
+	}
+	var pst BranchyState
+	for !e.Done() {
+		HashLookups(e, dict, &key)
+		CallTree(e, linkage, nil)
+		Branchy(e, prune, &pst)
+	}
+}
+
+// kernelTwolf models SPEC2K twolf: annealing sweeps with random small-table
+// reads, wide cost computations (enough FU demand to need three units), a
+// sprinkle of floating point, and an unpredictable accept/reject branch.
+func kernelTwolf(e *Emitter) {
+	anneal := BranchyParams{
+		PC: code(6, 0), Data: data(6, 0), Footprint: 512 * kiB,
+		BlockALU: 7, IndepFrac: 5, RandomProb: 0.34, TakenBias: 0.625,
+		LoadEvery: 1, ColdEvery: 16, StoreEvery: 4, FPEvery: 10, Blocks: 64,
+	}
+	var ast BranchyState
+	cost := StreamParams{
+		PC: code(6, 1), Base: data(6, 1), Bytes: 32 * kiB, Stride: 16,
+		Loads: 2, WorkDep: 3, WorkIndep: 4, Stores: 0, Iters: 24,
+	}
+	var cst StreamState
+	for !e.Done() {
+		Branchy(e, anneal, &ast)
+		Stream(e, cost, &cst)
+	}
+}
+
+// kernelVortex models SPEC2K vortex: object-database transactions with
+// wide, independent integer work, very predictable control, and an
+// L1-friendly working set — the highest IPC of the suite.
+func kernelVortex(e *Emitter) {
+	object := StreamParams{
+		PC: code(7, 0), Base: data(7, 0), Bytes: 256 * kiB, Stride: 8,
+		Loads: 2, WorkDep: 3, WorkIndep: 5, Stores: 1, Iters: 96,
+	}
+	var ost StreamState
+	validate := BranchyParams{
+		PC: code(7, 1), Data: data(7, 1), Footprint: 64 * kiB,
+		BlockALU: 8, IndepFrac: 6, RandomProb: 0.12, TakenBias: 0.9,
+		LoadEvery: 3, StoreEvery: 6, Blocks: 32,
+	}
+	var vst BranchyState
+	txn := CallParams{PC: code(7, 2), Depth: 3, Work: 10, Rounds: 4}
+	for !e.Done() {
+		Stream(e, object, &ost)
+		Branchy(e, validate, &vst)
+		CallTree(e, txn, nil)
+	}
+}
+
+// kernelVpr models SPEC2K vpr (place&route): like twolf with a larger,
+// less cache-friendly routing graph and slightly noisier control.
+func kernelVpr(e *Emitter) {
+	place := BranchyParams{
+		PC: code(8, 0), Data: data(8, 0), Footprint: 1 * miB,
+		BlockALU: 7, IndepFrac: 5, RandomProb: 0.18, TakenBias: 0.625,
+		LoadEvery: 1, ColdEvery: 12, StoreEvery: 5, FPEvery: 12, Blocks: 64,
+	}
+	var pst BranchyState
+	route := ChaseParams{
+		PC: code(8, 1), Heap: data(8, 1),
+		Nodes: 2048, NodeBytes: 64, // 128 KB
+		Chains: 3, Hops: 24, WorkDep: 1, WorkIndep: 4,
+	}
+	var rst ChaseState
+	for !e.Done() {
+		Branchy(e, place, &pst)
+		Chase(e, route, &rst)
+	}
+}
