@@ -11,22 +11,32 @@ package fusleep_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"github.com/archsim/fusleep"
 )
 
-// benchOpts keeps simulated benchmark iterations around a second.
-var benchOpts = fusleep.ExperimentOptions{Window: 150_000, Sweep: 75_000}
+// benchEngine builds a fresh engine per iteration — a shared engine's cache
+// would turn every iteration after the first into map lookups instead of
+// the simulation cost being measured. Windows keep iterations around a
+// second.
+func benchEngine() *fusleep.Engine {
+	return fusleep.NewEngine(fusleep.WithWindow(150_000), fusleep.WithSweep(75_000))
+}
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		if err := fusleep.RunExperiment(id, &buf, benchOpts); err != nil {
+		arts, err := benchEngine().RunExperiments(context.Background(), id)
+		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
+			var buf bytes.Buffer
+			if err := fusleep.RenderText(&buf, arts); err != nil {
+				b.Fatal(err)
+			}
 			b.Log("\n" + buf.String())
 		}
 	}
@@ -63,9 +73,11 @@ func BenchmarkModelCrossCheck(b *testing.B) { benchExperiment(b, "crosscheck") }
 
 func BenchmarkPipelineSimulation(b *testing.B) {
 	const window = 100_000
+	// Cache off so every iteration measures a real simulation.
+	eng := fusleep.NewEngine(fusleep.WithWindow(window), fusleep.WithCache(false))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := fusleep.SimulateBenchmark("gcc", fusleep.SimOptions{Window: window})
+		rep, err := eng.Simulate(context.Background(), "gcc")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +87,7 @@ func BenchmarkPipelineSimulation(b *testing.B) {
 }
 
 func BenchmarkEnergyAccounting(b *testing.B) {
-	rep, err := fusleep.SimulateBenchmark("twolf", fusleep.SimOptions{Window: 200_000})
+	rep, err := fusleep.NewEngine().Simulate(context.Background(), "twolf", fusleep.SimWindow(200_000))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,20 +1,24 @@
-// Command simcpu runs one benchmark of the suite on the simulated Table 2
-// machine and reports pipeline, cache, predictor, and functional-unit
-// statistics. It is the inspection tool for the simulation substrate.
+// Command simcpu runs benchmarks of the suite on the simulated Table 2
+// machine through fusleep.Engine.Simulate and reports pipeline, cache,
+// predictor, and functional-unit statistics. It is the inspection tool for
+// the simulation substrate; results render as text, JSON, or CSV.
 //
 // Usage:
 //
 //	simcpu -bench mcf -insts 1000000 -fus 2 -l2lat 12
 //	simcpu -all -insts 500000
+//	simcpu -all -format json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"github.com/archsim/fusleep/internal/pipeline"
-	"github.com/archsim/fusleep/internal/workload"
+	"github.com/archsim/fusleep"
 )
 
 func main() {
@@ -23,53 +27,73 @@ func main() {
 	insts := flag.Uint64("insts", 1_000_000, "instruction window")
 	fus := flag.Int("fus", 0, "integer functional units (0 = paper's Table 3 count)")
 	l2lat := flag.Int("l2lat", 12, "L2 hit latency, cycles")
-	verbose := flag.Bool("v", false, "print cache/predictor detail")
+	verbose := flag.Bool("v", false, "include cache/predictor detail columns")
+	format := flag.String("format", "text", "output format: text | json | csv")
 	flag.Parse()
 
-	specs := workload.Benchmarks
-	if !*all {
-		s, err := workload.ByName(*bench)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		specs = []workload.Spec{s}
+	render, err := fusleep.RendererFor(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	fmt.Printf("%-8s %4s %10s %10s %7s %8s %8s %8s %8s\n",
-		"bench", "FUs", "insts", "cycles", "IPC", "util%", "idle%", "L1D-mr", "bp-acc")
-	for _, s := range specs {
-		n := *fus
-		if n == 0 {
-			n = s.PaperFUs
-		}
-		cfg := pipeline.DefaultConfig().WithIntALUs(n).WithL2Latency(*l2lat)
-		cfg.MaxInsts = *insts
-		cpu, err := pipeline.New(cfg, s.NewTrace(*insts))
+	names := []string{*bench}
+	if *all {
+		names = fusleep.BenchmarkNames()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := fusleep.NewEngine(fusleep.WithWindow(*insts))
+
+	cols := []string{"bench", "FUs", "insts", "cycles", "IPC", "util%", "idle%", "L1D-mr", "bp-acc"}
+	if *verbose {
+		cols = append(cols, "L1I-mr", "L2-mr", "dtlb-mr", "forwards", "mispredicts", "fetch-stalls",
+			"paper-IPC", "paper-max", "paper-FUs")
+	}
+	paper := map[string]fusleep.BenchmarkInfo{}
+	for _, b := range fusleep.Benchmarks() {
+		paper[b.Name] = b
+	}
+	tbl := fusleep.NewTable("simcpu: simulated Table 2 machine", cols...)
+	for _, name := range names {
+		rep, err := eng.Simulate(ctx, name, fusleep.SimFUs(*fus), fusleep.SimL2Latency(*l2lat))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		res, err := cpu.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", s.Name, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 		var idleFrac float64
-		for _, fu := range res.FUs {
-			idleFrac += 1 - fu.Utilization()
+		for _, p := range rep.FUProfiles {
+			idleFrac += float64(p.IdleCycles()) / float64(p.TotalCycles())
 		}
-		idleFrac /= float64(len(res.FUs))
-		fmt.Printf("%-8s %4d %10d %10d %7.3f %8.1f %8.1f %8.3f %8.3f\n",
-			s.Name, n, res.Committed, res.Cycles, res.IPC(),
-			res.MeanFUUtilization()*100, idleFrac*100,
-			res.L1D.MissRate(), res.Bpred.DirAccuracy())
+		idleFrac /= float64(len(rep.FUProfiles))
+		row := []string{
+			rep.Name, fmt.Sprintf("%d", rep.FUs),
+			fmt.Sprintf("%d", rep.Committed), fmt.Sprintf("%d", rep.Cycles),
+			fmt.Sprintf("%.3f", rep.IPC),
+			fmt.Sprintf("%.1f", rep.MeanFUUtilization*100),
+			fmt.Sprintf("%.1f", idleFrac*100),
+			fmt.Sprintf("%.3f", rep.L1DMissRate),
+			fmt.Sprintf("%.3f", rep.BranchAccuracy),
+		}
 		if *verbose {
-			fmt.Printf("    paper IPC=%.3f (max %.3f, FUs %d)  L1I-mr=%.4f L2-mr=%.3f "+
-				"dtlb-mr=%.4f forwards=%d mispredicts=%d fetch-stalls=%d\n",
-				s.PaperIPC, s.PaperMaxIPC, s.PaperFUs,
-				res.L1I.MissRate(), res.L2.MissRate(), res.DTLB.MissRate(),
-				res.LoadForwards, res.Bpred.Mispredicts, res.FetchMispredictStalls)
+			p := paper[rep.Name]
+			row = append(row,
+				fmt.Sprintf("%.4f", rep.L1IMissRate),
+				fmt.Sprintf("%.3f", rep.L2MissRate),
+				fmt.Sprintf("%.4f", rep.DTLBMissRate),
+				fmt.Sprintf("%d", rep.LoadForwards),
+				fmt.Sprintf("%d", rep.Mispredicts),
+				fmt.Sprintf("%d", rep.FetchMispredictStalls),
+				fmt.Sprintf("%.3f", p.PaperIPC),
+				fmt.Sprintf("%.3f", p.PaperMaxIPC),
+				fmt.Sprintf("%d", p.PaperFUs))
 		}
+		tbl.AddRow(row...)
+	}
+	arts := []fusleep.Artifact{fusleep.TableArtifact("simcpu", tbl)}
+	if err := render(os.Stdout, arts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,51 +1,74 @@
 // Command sweep explores the energy-model parameter space from the command
 // line: breakeven intervals, policy energies over closed-form scenarios,
-// and GradualSleep slice counts. It needs no simulation and answers "which
-// policy wins at my technology point?" interactively.
+// GradualSleep slice counts, and — via fusleep.Engine.Sweep — full
+// simulated policy × technology × FU-count grids over the benchmark suite.
+// Every mode emits structured artifacts renderable as text, JSON, or CSV.
 //
 // Usage:
 //
 //	sweep -mode breakeven -alpha 0.5
 //	sweep -mode policy -p 0.5 -usage 0.5 -idle 10
 //	sweep -mode slices -p 0.05 -idle 20
+//	sweep -mode grid -grid-p 0.05,0.5 -grid-fus 2,4 -window 200000 -format csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	"github.com/archsim/fusleep"
 )
 
 func main() {
-	mode := flag.String("mode", "breakeven", "breakeven | policy | slices")
+	mode := flag.String("mode", "breakeven", "breakeven | policy | slices | grid")
 	p := flag.Float64("p", 0.05, "leakage factor")
 	alpha := flag.Float64("alpha", 0.5, "activity factor")
 	usage := flag.Float64("usage", 0.5, "usage factor f_A")
 	idle := flag.Float64("idle", 10, "mean idle interval, cycles")
+	gridP := flag.String("grid-p", "", "grid mode: leakage factors, comma-separated (default: the -p value)")
+	gridFUs := flag.String("grid-fus", "0", "grid mode: FU counts, comma-separated (0 = paper counts)")
+	window := flag.Uint64("window", 250_000, "grid mode: instruction window per benchmark")
+	format := flag.String("format", "text", "output format: text | json | csv")
 	flag.Parse()
 
+	render, err := fusleep.RendererFor(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	tech := fusleep.DefaultTech().WithP(*p)
+	var arts []fusleep.Artifact
 	switch *mode {
 	case "breakeven":
-		fmt.Printf("%-8s %-12s\n", "p", "breakeven")
+		s := fusleep.NewSeries(
+			fmt.Sprintf("Breakeven idle interval vs leakage factor (alpha=%.2f)", *alpha),
+			"p", "breakeven (cycles)", "breakeven")
 		for pp := 0.05; pp <= 1.0001; pp += 0.05 {
-			fmt.Printf("%-8.2f %-12.2f\n", pp, fusleep.DefaultTech().WithP(pp).Breakeven(*alpha))
+			s.AddPoint(pp, fusleep.DefaultTech().WithP(pp).Breakeven(*alpha))
 		}
-		fmt.Printf("\nat p=%.2f alpha=%.2f: breakeven %.2f cycles, recommended slices %d\n",
+		s.AddNote("at p=%.2f alpha=%.2f: breakeven %.2f cycles, recommended slices %d",
 			*p, *alpha, tech.Breakeven(*alpha), tech.BreakevenSlices(*alpha))
+		arts = append(arts, fusleep.SeriesArtifact("breakeven", s))
 	case "policy":
 		s := fusleep.Scenario{TotalCycles: 1e6, Usage: *usage, MeanIdle: *idle, Alpha: *alpha}
 		if err := s.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		fmt.Printf("p=%.2f usage=%.2f idle=%.1f alpha=%.2f\n", *p, *usage, *idle, *alpha)
-		fmt.Printf("%-14s %-12s %-12s %-10s\n", "policy", "E/E_base", "leak frac", "vs best")
+		t := fusleep.NewTable(
+			fmt.Sprintf("Policy energies: p=%.2f usage=%.2f idle=%.1f alpha=%.2f", *p, *usage, *idle, *alpha),
+			"policy", "E/E_base", "leak frac", "vs best")
+		pols := append(fusleep.Policies, fusleep.OracleMinimal)
 		best := 1e300
 		vals := map[fusleep.Policy]float64{}
-		for _, pol := range append(fusleep.Policies, fusleep.OracleMinimal) {
+		for _, pol := range pols {
 			e := tech.PolicyEnergy(fusleep.PolicyConfig{Policy: pol}, s)
 			rel := e.Total() / tech.BaseEnergy(*alpha, s.TotalCycles)
 			vals[pol] = rel
@@ -53,26 +76,86 @@ func main() {
 				best = rel
 			}
 		}
-		for _, pol := range append(fusleep.Policies, fusleep.OracleMinimal) {
+		for _, pol := range pols {
 			e := tech.PolicyEnergy(fusleep.PolicyConfig{Policy: pol}, s)
-			fmt.Printf("%-14s %-12.4f %-12.4f %+.1f%%\n", pol,
-				vals[pol], e.LeakageFraction(), (vals[pol]/best-1)*100)
+			t.AddRow(pol.String(), fmt.Sprintf("%.4f", vals[pol]),
+				fmt.Sprintf("%.4f", e.LeakageFraction()),
+				fmt.Sprintf("%+.1f%%", (vals[pol]/best-1)*100))
 		}
+		arts = append(arts, fusleep.TableArtifact("policy", t))
 	case "slices":
 		s := fusleep.Scenario{TotalCycles: 1e6, Usage: *usage, MeanIdle: *idle, Alpha: *alpha}
-		fmt.Printf("GradualSleep slice sweep at p=%.2f, mean idle %.1f\n", *p, *idle)
-		fmt.Printf("%-8s %-12s\n", "K", "E/E_base")
+		t := fusleep.NewTable(
+			fmt.Sprintf("GradualSleep slice sweep at p=%.2f, mean idle %.1f", *p, *idle),
+			"K", "E/E_base")
 		for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128, 1 << 16} {
 			rel := tech.RelativeToBase(fusleep.PolicyConfig{Policy: fusleep.GradualSleep, Slices: k}, s)
 			name := fmt.Sprintf("%d", k)
 			if k >= 1<<16 {
 				name = "inf"
 			}
-			fmt.Printf("%-8s %-12.4f\n", name, rel)
+			t.AddRow(name, fmt.Sprintf("%.4f", rel))
 		}
-		fmt.Printf("recommended (breakeven) slices: %d\n", tech.BreakevenSlices(*alpha))
+		t.AddNote("recommended (breakeven) slices: %d", tech.BreakevenSlices(*alpha))
+		arts = append(arts, fusleep.TableArtifact("slices", t))
+	case "grid":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fus, err := parseInts(*gridFUs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// With no -grid-p the grid falls back to the engine's technology,
+		// i.e. the -p flag.
+		var techs []fusleep.Tech
+		if *gridP != "" {
+			ps, err := parseFloats(*gridP)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			for _, pp := range ps {
+				techs = append(techs, fusleep.DefaultTech().WithP(pp))
+			}
+		}
+		eng := fusleep.NewEngine(fusleep.WithWindow(*window), fusleep.WithTech(tech))
+		arts, err = eng.Sweep(ctx, fusleep.Grid{Techs: techs, FUCounts: fus, Alpha: *alpha, Window: *window})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+
+	if err := render(os.Stdout, arts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

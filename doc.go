@@ -12,19 +12,55 @@
 //     NoOverhead, GradualSleep) plus the OracleMinimal bound, applied
 //     either to closed-form scenarios or to measured idle profiles;
 //   - the circuit-level functional-unit model of Section 2 (CircuitFU);
-//   - a trace-driven out-of-order processor simulation of the paper's
-//     Alpha-21264-like machine with nine calibrated synthetic benchmarks
-//     (SimulateBenchmark), producing per-functional-unit idle profiles;
-//   - every table and figure of the evaluation as a runnable experiment
-//     (Experiments, RunExperiment).
+//   - an Engine serving the trace-driven out-of-order simulation of the
+//     paper's Alpha-21264-like machine over nine calibrated synthetic
+//     benchmarks, every table and figure of the evaluation, and batch
+//     policy × technology × FU-count grids — all as structured Artifacts.
 //
-// # Quick start
+// # The Engine
+//
+// Engine is the entry point for everything simulated. It is long-lived and
+// safe for concurrent use: one instance owns a simulation cache and a
+// parallelism bound, so scenario requests share work instead of repeating
+// it. Construction takes functional options; every method takes a
+// context.Context and aborts promptly when it is canceled.
+//
+//	eng := fusleep.NewEngine(
+//		fusleep.WithWindow(1_000_000),  // default per-benchmark scale
+//		fusleep.WithParallelism(4),     // bound concurrent simulations
+//	)
+//
+//	// One benchmark, measured idle profiles included.
+//	rep, err := eng.Simulate(ctx, "mcf", fusleep.SimFUs(2))
+//
+//	// Paper artifacts, machine-readable.
+//	arts, err := eng.RunExperiments(ctx, "fig8a", "fig9b")
+//
+//	// A batch grid over the whole suite.
+//	arts, err = eng.Sweep(ctx, fusleep.Grid{
+//		Techs:    []fusleep.Tech{fusleep.DefaultTech(), fusleep.HighLeakTech()},
+//		FUCounts: []int{2, 4},
+//	})
+//
+// # Artifacts and renderers
+//
+// Results are Artifact values: an experiment identity plus a typed payload,
+// either a Table (header and string rows) or a Series (named float64
+// curves over a shared x axis). Render them with RenderText, RenderJSON,
+// or RenderCSV — RenderJSON output unmarshals back into []Artifact — or
+// look a Renderer up by name with RendererFor("json").
+//
+//	arts, _ := eng.RunExperiments(ctx, "table1")
+//	_ = fusleep.RenderJSON(os.Stdout, arts)
+//
+// # Quick start (closed-form model, no simulation)
 //
 //	tech := fusleep.DefaultTech()                  // p=0.05, c=0.001, e=0.01, d=0.5
 //	be := tech.Breakeven(0.5)                      // ~20 cycles
-//	rep, _ := fusleep.SimulateBenchmark("mcf", fusleep.SimOptions{Window: 1e6})
-//	e := fusleep.PolicyEnergy(tech, fusleep.PolicyConfig{Policy: fusleep.MaxSleep}, 0.5, rep.FUProfiles)
-//	fmt.Println(e.Total(), e.LeakageFraction(), be)
+//	s := fusleep.Scenario{TotalCycles: 1e6, Usage: 0.5, MeanIdle: 10, Alpha: 0.5}
+//	rel := tech.RelativeToBase(fusleep.PolicyConfig{Policy: fusleep.MaxSleep}, s)
 //
-// See the examples directory and EXPERIMENTS.md for the full reproduction.
+// The pre-Engine one-shot helpers (SimulateBenchmark, RunExperiment,
+// RunExperiments, RunAll) remain as deprecated shims; new code should use
+// the Engine. See the examples directory for complete programs.
 package fusleep

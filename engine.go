@@ -1,0 +1,264 @@
+package fusleep
+
+import (
+	"context"
+	"io"
+
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/experiments"
+	"github.com/archsim/fusleep/internal/report"
+)
+
+// Artifact is one structured, machine-readable experiment result: an
+// identified, titled payload that is either a table of rows or a set of
+// named curves. Render artifacts with RenderText, RenderJSON, or RenderCSV.
+type Artifact = report.Artifact
+
+// ArtifactKind discriminates an Artifact's typed payload.
+type ArtifactKind = report.ArtifactKind
+
+// Artifact payload kinds.
+const (
+	KindTable  = report.KindTable
+	KindSeries = report.KindSeries
+)
+
+// Table is a titled grid with a header row — the payload of a KindTable
+// artifact.
+type Table = report.Table
+
+// Series is a titled set of named curves sharing an x axis — the payload
+// of a KindSeries artifact.
+type Series = report.Series
+
+// NewTable builds an empty table with the given header.
+func NewTable(title string, columns ...string) *Table { return report.NewTable(title, columns...) }
+
+// NewSeries builds an empty series set with the given curve names.
+func NewSeries(title, xlabel, ylabel string, names ...string) *Series {
+	return report.NewSeries(title, xlabel, ylabel, names...)
+}
+
+// TableArtifact wraps a table as an ad-hoc artifact.
+func TableArtifact(id string, t *Table) Artifact { return report.TableArtifact(id, t) }
+
+// SeriesArtifact wraps a series set as an ad-hoc artifact.
+func SeriesArtifact(id string, s *Series) Artifact { return report.SeriesArtifact(id, s) }
+
+// Renderer writes a set of artifacts in one output format.
+type Renderer = report.Renderer
+
+// RenderText writes artifacts as aligned text tables with identity banners.
+func RenderText(w io.Writer, artifacts []Artifact) error { return report.RenderText(w, artifacts) }
+
+// RenderJSON writes artifacts as one indented JSON array that unmarshals
+// back into []Artifact.
+func RenderJSON(w io.Writer, artifacts []Artifact) error { return report.RenderJSON(w, artifacts) }
+
+// RenderCSV writes each artifact as a titled CSV block.
+func RenderCSV(w io.Writer, artifacts []Artifact) error { return report.RenderCSV(w, artifacts) }
+
+// RendererFor maps a format name ("text", "json", "csv") to its renderer.
+func RendererFor(format string) (Renderer, error) { return report.RendererFor(format) }
+
+// Formats lists the built-in renderer names.
+func Formats() []string { return report.Formats() }
+
+// Grid describes a batch evaluation for Engine.Sweep: every policy ×
+// technology point × FU-count combination is scored over the benchmark
+// suite. Zero-valued fields select defaults (the paper's four policies, the
+// engine's technology, the paper's per-benchmark FU counts, all nine
+// benchmarks, alpha 0.5, 12-cycle L2, the engine's window).
+type Grid = experiments.Grid
+
+// Engine is the long-lived entry point of the package: it owns a shared
+// simulation cache, a parallelism bound, and default scale parameters, so
+// many scenario requests — single benchmarks, paper experiments, batch
+// grids — can be served concurrently without re-paying for simulations.
+// Engines are safe for concurrent use; every method honors its context.
+type Engine struct {
+	window   uint64
+	sweep    uint64
+	parallel int
+	tech     Tech
+	cache    bool
+	runner   *experiments.Runner
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithWindow sets the default per-benchmark instruction count
+// (default 1,000,000). Zero is ignored.
+func WithWindow(n uint64) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.window = n
+		}
+	}
+}
+
+// WithSweep sets the per-run instruction count for FU-count sweep
+// experiments such as Table 3 (default 750,000). Zero is ignored.
+func WithSweep(n uint64) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.sweep = n
+		}
+	}
+}
+
+// WithParallelism bounds concurrent pipeline simulations (default: the
+// benchmark-suite size). Values < 1 are ignored.
+func WithParallelism(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.parallel = n
+		}
+	}
+}
+
+// WithTech sets the engine's default technology point, used by Sweep when
+// the grid names none (default: DefaultTech, the paper's p = 0.05 point).
+func WithTech(t Tech) Option {
+	return func(e *Engine) { e.tech = t }
+}
+
+// WithCache enables or disables the cross-call simulation cache
+// (default: enabled).
+func WithCache(enabled bool) Option {
+	return func(e *Engine) { e.cache = enabled }
+}
+
+// NewEngine builds an engine with the given options.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		window: 1_000_000,
+		sweep:  750_000,
+		tech:   core.DefaultTech(),
+		cache:  true,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.runner = experiments.NewRunner(experiments.Options{
+		Window:       e.window,
+		Sweep:        e.sweep,
+		Parallel:     e.parallel,
+		DisableCache: !e.cache,
+	})
+	return e
+}
+
+// Window returns the engine's default per-benchmark instruction count.
+func (e *Engine) Window() uint64 { return e.window }
+
+// SweepWindow returns the engine's per-run FU-sweep instruction count.
+func (e *Engine) SweepWindow() uint64 { return e.sweep }
+
+// Parallelism returns the configured simulation bound (0 = suite size).
+func (e *Engine) Parallelism() int { return e.parallel }
+
+// Tech returns the engine's default technology point.
+func (e *Engine) Tech() Tech { return e.tech }
+
+// CacheEnabled reports whether cross-call simulation caching is on.
+func (e *Engine) CacheEnabled() bool { return e.cache }
+
+// simConfig holds per-call simulation parameters.
+type simConfig struct {
+	window uint64
+	fus    int
+	l2     int
+}
+
+// SimOption configures one Engine.Simulate call.
+type SimOption func(*simConfig)
+
+// SimWindow overrides the instruction count for one simulation.
+func SimWindow(n uint64) SimOption { return func(c *simConfig) { c.window = n } }
+
+// SimFUs sets the integer functional-unit count; 0 selects the paper's
+// Table 3 count for the benchmark.
+func SimFUs(n int) SimOption { return func(c *simConfig) { c.fus = n } }
+
+// SimL2Latency sets the unified L2 hit latency in cycles (default 12).
+func SimL2Latency(n int) SimOption { return func(c *simConfig) { c.l2 = n } }
+
+// Simulate runs one suite benchmark on the Table 2 machine and returns its
+// measured report. Results are cached across calls (same benchmark,
+// FU count, L2 latency, and window) unless the cache is disabled, and the
+// run aborts promptly when ctx is canceled.
+func (e *Engine) Simulate(ctx context.Context, name string, opts ...SimOption) (BenchmarkReport, error) {
+	cfg := simConfig{window: e.window, l2: 12}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := e.runner.Sim(ctx, name, cfg.fus, cfg.l2, cfg.window)
+	if err != nil {
+		return BenchmarkReport{}, err
+	}
+	rep := BenchmarkReport{
+		Name:                  name,
+		FUs:                   len(res.FUs),
+		Cycles:                res.Cycles,
+		Committed:             res.Committed,
+		IPC:                   res.IPC(),
+		BranchAccuracy:        res.Bpred.DirAccuracy(),
+		Mispredicts:           res.Bpred.Mispredicts,
+		L1IMissRate:           res.L1I.MissRate(),
+		L1DMissRate:           res.L1D.MissRate(),
+		L2MissRate:            res.L2.MissRate(),
+		DTLBMissRate:          res.DTLB.MissRate(),
+		LoadForwards:          res.LoadForwards,
+		FetchMispredictStalls: res.FetchMispredictStalls,
+		MeanFUUtilization:     res.MeanFUUtilization(),
+	}
+	for _, fu := range res.FUs {
+		p := core.NewIdleProfile()
+		p.ActiveCycles = fu.ActiveCycles
+		for l, n := range fu.Intervals {
+			p.AddIdle(l, n)
+		}
+		rep.FUProfiles = append(rep.FUProfiles, p)
+	}
+	return rep, nil
+}
+
+// Experiments lists every table/figure reproduction and extension.
+func (e *Engine) Experiments() []ExperimentInfo { return Experiments() }
+
+// RunExperiments executes the named experiments in order against the
+// engine's shared simulation cache and returns their structured artifacts.
+// With no ids it runs every registered experiment.
+func (e *Engine) RunExperiments(ctx context.Context, ids ...string) ([]Artifact, error) {
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	var arts []Artifact
+	for _, id := range ids {
+		exp, err := experiments.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		a, err := exp.Artifacts(ctx, e.runner)
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, a...)
+	}
+	return arts, nil
+}
+
+// RunExperiment executes one experiment by ID.
+func (e *Engine) RunExperiment(ctx context.Context, id string) ([]Artifact, error) {
+	return e.RunExperiments(ctx, id)
+}
+
+// Sweep evaluates a policy × technology × FU-count grid over the benchmark
+// suite in one batch: one (cached, parallel, cancelable) suite simulation
+// per FU count, then the closed-form energy model at every grid point. It
+// returns a table artifact with one row per combination.
+func (e *Engine) Sweep(ctx context.Context, g Grid) ([]Artifact, error) {
+	return experiments.RunSweep(ctx, e.runner, g, e.tech)
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,7 +18,10 @@ func main() {
 	window := flag.Uint64("window", 1_000_000, "instruction window")
 	flag.Parse()
 
-	rep, err := fusleep.SimulateBenchmark(*bench, fusleep.SimOptions{Window: *window})
+	// The Engine caches simulations and honors cancellation; one instance
+	// serves any number of Simulate / RunExperiments / Sweep calls.
+	eng := fusleep.NewEngine()
+	rep, err := eng.Simulate(context.Background(), *bench, fusleep.SimWindow(*window))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,7 +18,8 @@ func main() {
 	window := flag.Uint64("window", 800_000, "instruction window")
 	flag.Parse()
 
-	rep, err := fusleep.SimulateBenchmark(*bench, fusleep.SimOptions{Window: *window})
+	eng := fusleep.NewEngine(fusleep.WithWindow(*window))
+	rep, err := eng.Simulate(context.Background(), *bench)
 	if err != nil {
 		log.Fatal(err)
 	}

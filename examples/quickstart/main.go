@@ -1,10 +1,14 @@
 // Quickstart: the energy model in a few lines — breakeven intervals, policy
 // comparison on a synthetic scenario, and the punchline of the paper: which
-// policy should manage your functional unit's sleep mode?
+// policy should manage your functional unit's sleep mode? The last section
+// shows the Engine API, the entry point for everything simulated.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"os"
 
 	"github.com/archsim/fusleep"
 )
@@ -35,4 +39,17 @@ func main() {
 
 	fmt.Println("\nconclusion: below the breakeven point clock gating wins;")
 	fmt.Println("as leakage grows, aggressive sleeping wins; GradualSleep hedges both.")
+
+	// The Engine serves experiments as structured artifacts: build it once
+	// (options configure scale, parallelism, caching), run with a context,
+	// render as text, JSON, or CSV.
+	fmt.Println("\nthe same parameters as a paper artifact, via the Engine:")
+	eng := fusleep.NewEngine(fusleep.WithTech(tech))
+	arts, err := eng.RunExperiments(context.Background(), "table4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fusleep.RenderText(os.Stdout, arts); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,11 +1,15 @@
 // Techscaling sweeps the leakage factor p across technology generations and
 // finds the crossover where MaxSleep overtakes AlwaysActive, for several
 // idle-interval regimes — reproducing the paper's central design guidance
-// with the closed-form model.
+// with the closed-form model, then cross-checking the two study points on
+// measured workloads with a batch Engine.Sweep grid.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"os"
 
 	"github.com/archsim/fusleep"
 )
@@ -39,6 +43,21 @@ func main() {
 	}
 	fmt.Println("\nGradualSleep never sits at either extreme: the paper's argument that")
 	fmt.Println("a more complex controller is unwarranted.")
+
+	// The same question on measured workloads: one Engine.Sweep call
+	// evaluates the policy × technology grid over the simulated suite
+	// (small window here to keep the example quick).
+	fmt.Println("\ncross-check on the simulated benchmark suite (Engine.Sweep):")
+	eng := fusleep.NewEngine(fusleep.WithWindow(100_000))
+	arts, err := eng.Sweep(context.Background(), fusleep.Grid{
+		Techs: []fusleep.Tech{fusleep.DefaultTech(), fusleep.HighLeakTech()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fusleep.RenderText(os.Stdout, arts); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // crossover bisects for the p at which the two bounding policies cost the

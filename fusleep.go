@@ -1,13 +1,12 @@
 package fusleep
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"github.com/archsim/fusleep/internal/circuit"
 	"github.com/archsim/fusleep/internal/core"
 	"github.com/archsim/fusleep/internal/experiments"
-	"github.com/archsim/fusleep/internal/pipeline"
 	"github.com/archsim/fusleep/internal/workload"
 )
 
@@ -91,17 +90,6 @@ func DefaultFUCircuit() FUConfig { return circuit.DefaultFU() }
 // NewCircuitFU builds a simulated functional-unit circuit.
 func NewCircuitFU(cfg FUConfig) (*CircuitFU, error) { return circuit.NewFU(cfg) }
 
-// SimOptions parameterize a benchmark simulation.
-type SimOptions struct {
-	// Window is the instruction count (default 1,000,000).
-	Window uint64
-	// FUs is the integer functional-unit count; 0 selects the paper's
-	// Table 3 count for the benchmark.
-	FUs int
-	// L2Latency is the unified L2 hit latency in cycles (default 12).
-	L2Latency int
-}
-
 // BenchmarkReport is the outcome of one simulated benchmark run.
 type BenchmarkReport struct {
 	Name      string
@@ -112,61 +100,51 @@ type BenchmarkReport struct {
 	// FUProfiles holds one measured idle profile per integer unit, ready
 	// for PolicyEnergy.
 	FUProfiles []*IdleProfile
-	// BranchAccuracy is the conditional-branch direction hit rate.
+	// MeanFUUtilization is the mean fraction of cycles the integer units
+	// spent computing.
+	MeanFUUtilization float64
+	// BranchAccuracy is the conditional-branch direction hit rate;
+	// Mispredicts counts resolved mispredictions.
 	BranchAccuracy float64
-	// L1DMissRate and L2MissRate summarize the data-side cache behavior.
-	L1DMissRate float64
-	L2MissRate  float64
+	Mispredicts    uint64
+	// L1IMissRate, L1DMissRate, and L2MissRate summarize cache behavior;
+	// DTLBMissRate the data-side translation behavior.
+	L1IMissRate  float64
+	L1DMissRate  float64
+	L2MissRate   float64
+	DTLBMissRate float64
+	// LoadForwards counts loads satisfied by store-queue forwarding;
+	// FetchMispredictStalls counts cycles fetch sat stalled on redirects.
+	LoadForwards          uint64
+	FetchMispredictStalls uint64
 }
 
 // BenchmarkNames lists the nine-benchmark suite in the paper's order.
 func BenchmarkNames() []string { return workload.Names() }
 
-// SimulateBenchmark runs one suite benchmark on the Table 2 machine and
-// returns its measured report.
-func SimulateBenchmark(name string, opts SimOptions) (BenchmarkReport, error) {
-	spec, err := workload.ByName(name)
-	if err != nil {
-		return BenchmarkReport{}, err
+// BenchmarkInfo describes one suite benchmark together with the paper's
+// published Table 3 calibration numbers.
+type BenchmarkInfo struct {
+	Name  string
+	Suite string
+	// PaperFUs is the paper's functional-unit selection; PaperIPC and
+	// PaperMaxIPC its published IPC at that count and at four units.
+	PaperFUs    int
+	PaperIPC    float64
+	PaperMaxIPC float64
+}
+
+// Benchmarks describes the suite with the paper's reference numbers, for
+// calibration comparisons against simulated results.
+func Benchmarks() []BenchmarkInfo {
+	out := make([]BenchmarkInfo, 0, len(workload.Benchmarks))
+	for _, s := range workload.Benchmarks {
+		out = append(out, BenchmarkInfo{
+			Name: s.Name, Suite: s.Suite,
+			PaperFUs: s.PaperFUs, PaperIPC: s.PaperIPC, PaperMaxIPC: s.PaperMaxIPC,
+		})
 	}
-	if opts.Window == 0 {
-		opts.Window = 1_000_000
-	}
-	if opts.FUs == 0 {
-		opts.FUs = spec.PaperFUs
-	}
-	if opts.L2Latency == 0 {
-		opts.L2Latency = 12
-	}
-	cfg := pipeline.DefaultConfig().WithIntALUs(opts.FUs).WithL2Latency(opts.L2Latency)
-	cfg.MaxInsts = opts.Window
-	cpu, err := pipeline.New(cfg, spec.NewTrace(opts.Window))
-	if err != nil {
-		return BenchmarkReport{}, err
-	}
-	res, err := cpu.Run()
-	if err != nil {
-		return BenchmarkReport{}, err
-	}
-	rep := BenchmarkReport{
-		Name:           name,
-		FUs:            opts.FUs,
-		Cycles:         res.Cycles,
-		Committed:      res.Committed,
-		IPC:            res.IPC(),
-		BranchAccuracy: res.Bpred.DirAccuracy(),
-		L1DMissRate:    res.L1D.MissRate(),
-		L2MissRate:     res.L2.MissRate(),
-	}
-	for _, fu := range res.FUs {
-		p := core.NewIdleProfile()
-		p.ActiveCycles = fu.ActiveCycles
-		for l, n := range fu.Intervals {
-			p.AddIdle(l, n)
-		}
-		rep.FUProfiles = append(rep.FUProfiles, p)
-	}
-	return rep, nil
+	return out
 }
 
 // ExperimentInfo describes one reproducible paper artifact.
@@ -186,7 +164,40 @@ func Experiments() []ExperimentInfo {
 	return out
 }
 
+// ---- Deprecated one-shot API ----
+//
+// The functions below predate the Engine. They still work, but they build a
+// throwaway engine per call (no cancellation, no cross-call caching) and
+// render text only.
+
+// SimOptions parameterize a SimulateBenchmark call.
+//
+// Deprecated: use Engine.Simulate with SimWindow, SimFUs, and SimL2Latency
+// options instead.
+type SimOptions struct {
+	// Window is the instruction count (default 1,000,000).
+	Window uint64
+	// FUs is the integer functional-unit count; 0 selects the paper's
+	// Table 3 count for the benchmark.
+	FUs int
+	// L2Latency is the unified L2 hit latency in cycles (default 12).
+	L2Latency int
+}
+
+// SimulateBenchmark runs one suite benchmark on the Table 2 machine and
+// returns its measured report.
+//
+// Deprecated: use Engine.Simulate, which adds cancellation and cross-call
+// caching.
+func SimulateBenchmark(name string, opts SimOptions) (BenchmarkReport, error) {
+	eng := NewEngine(WithWindow(opts.Window), WithCache(false))
+	return eng.Simulate(context.Background(), name,
+		SimWindow(opts.Window), SimFUs(opts.FUs), SimL2Latency(opts.L2Latency))
+}
+
 // ExperimentOptions scale the simulated experiments.
+//
+// Deprecated: configure an Engine with WithWindow and WithSweep instead.
 type ExperimentOptions struct {
 	// Window is the per-benchmark instruction count (default 1,000,000).
 	Window uint64
@@ -195,41 +206,36 @@ type ExperimentOptions struct {
 }
 
 // RunExperiment executes one experiment by ID and renders its artifacts to
-// w. For several simulated experiments prefer RunExperiments, which shares
-// the cached suite simulations.
+// w as text.
+//
+// Deprecated: use Engine.RunExperiment, which returns structured artifacts
+// and honors a context.
 func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
 	return RunExperiments([]string{id}, w, opts)
 }
 
 // RunAll executes every experiment in order.
+//
+// Deprecated: use Engine.RunExperiments with no ids.
 func RunAll(w io.Writer, opts ExperimentOptions) error {
 	return RunExperiments(experiments.IDs(), w, opts)
 }
 
 // RunExperiments executes the given experiments in order with one shared
-// runner, so suite simulations are paid for once.
+// engine, so suite simulations are paid for once, and renders the results
+// to w as text. As before, an empty ids list is a no-op (unlike
+// Engine.RunExperiments, where it means "run everything").
+//
+// Deprecated: use Engine.RunExperiments, which returns structured artifacts
+// renderable as text, JSON, or CSV.
 func RunExperiments(ids []string, w io.Writer, opts ExperimentOptions) error {
-	runner := experiments.NewRunner(experiments.Options{Window: opts.Window, Sweep: opts.Sweep})
-	for _, id := range ids {
-		exp, err := experiments.ByID(id)
-		if err != nil {
-			return err
-		}
-		arts, err := exp.Run(runner)
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", id, err)
-		}
-		for _, a := range arts {
-			if _, err := fmt.Fprintf(w, "== [%s] %s ==\n", exp.ID, exp.Paper); err != nil {
-				return err
-			}
-			if err := a.Render(w); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintln(w); err != nil {
-				return err
-			}
-		}
+	if len(ids) == 0 {
+		return nil
 	}
-	return nil
+	eng := NewEngine(WithWindow(opts.Window), WithSweep(opts.Sweep))
+	arts, err := eng.RunExperiments(context.Background(), ids...)
+	if err != nil {
+		return err
+	}
+	return RenderText(w, arts)
 }

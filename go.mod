@@ -1,0 +1,3 @@
+module github.com/archsim/fusleep
+
+go 1.24

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,7 +12,7 @@ import (
 
 // Table1 reproduces the OR8 gate characterization and the model parameters
 // Section 3 derives from it.
-func Table1(*Runner) ([]report.Renderable, error) {
+func Table1(context.Context, *Runner) ([]report.Renderable, error) {
 	t := report.NewTable("Table 1: OR8 gate characteristics (70 nm, 4 GHz)",
 		"circuit", "eval (ps)", "sleep (ps)", "dynamic (fJ)", "LO lkg (fJ)", "HI lkg (fJ)", "sleep (fJ)")
 	for _, g := range circuit.Table1 {
@@ -32,7 +33,7 @@ func Table1(*Runner) ([]report.Renderable, error) {
 }
 
 // Table4 reproduces the energy-model parameter values used in Section 5.
-func Table4(*Runner) ([]report.Renderable, error) {
+func Table4(context.Context, *Runner) ([]report.Renderable, error) {
 	tech := core.DefaultTech()
 	t := report.NewTable("Table 4: parameter values for energy calculations",
 		"parameter", "value")
@@ -48,7 +49,7 @@ func Table4(*Runner) ([]report.Renderable, error) {
 // Fig3 reproduces Figure 3: energy of handling an idle interval on the
 // 500-gate functional unit, uncontrolled idle versus sleep mode, for three
 // activity factors.
-func Fig3(*Runner) ([]report.Renderable, error) {
+func Fig3(context.Context, *Runner) ([]report.Renderable, error) {
 	fu := circuit.MustNewFU(circuit.DefaultFU())
 	alphas := []float64{0.1, 0.5, 0.9}
 	s := report.NewSeries("Figure 3: uncontrolled idle versus sleep mode (500-gate FU)",
@@ -80,7 +81,7 @@ func Fig3(*Runner) ([]report.Renderable, error) {
 
 // Fig4a reproduces Figure 4a: breakeven idle interval versus leakage
 // factor for three activity levels.
-func Fig4a(*Runner) ([]report.Renderable, error) {
+func Fig4a(context.Context, *Runner) ([]report.Renderable, error) {
 	tech := core.DefaultTech()
 	s := report.NewSeries("Figure 4a: breakeven idle interval vs leakage factor",
 		"p", "breakeven (cycles)", "alpha=0.1", "alpha=0.5", "alpha=0.9")
@@ -120,7 +121,7 @@ func fig4Panel(title string, usageLevels []float64, meanIdle float64) *report.Se
 
 // Fig4b reproduces Figure 4b: policy energies across p with 10-cycle idle
 // intervals at 10% and 90% usage.
-func Fig4b(*Runner) ([]report.Renderable, error) {
+func Fig4b(context.Context, *Runner) ([]report.Renderable, error) {
 	s := fig4Panel("Figure 4b: relative energy vs p (idle interval = 10 cycles)",
 		[]float64{0.10, 0.90}, 10)
 	s.AddNote("at low p MaxSleep exceeds AlwaysActive (breakeven > 10); ordering flips as p grows")
@@ -128,7 +129,7 @@ func Fig4b(*Runner) ([]report.Renderable, error) {
 }
 
 // Fig4c reproduces Figure 4c: the same panel with 100-cycle intervals.
-func Fig4c(*Runner) ([]report.Renderable, error) {
+func Fig4c(context.Context, *Runner) ([]report.Renderable, error) {
 	s := fig4Panel("Figure 4c: relative energy vs p (idle interval = 100 cycles)",
 		[]float64{0.10, 0.90}, 100)
 	s.AddNote("long intervals amortize the transition: MaxSleep hugs NoOverhead")
@@ -137,7 +138,7 @@ func Fig4c(*Runner) ([]report.Renderable, error) {
 
 // Fig4d reproduces Figure 4d: the worst case of one-cycle idle intervals at
 // 50% usage.
-func Fig4d(*Runner) ([]report.Renderable, error) {
+func Fig4d(context.Context, *Runner) ([]report.Renderable, error) {
 	s := fig4Panel("Figure 4d: worst case, idle interval = 1 cycle, f_A = 0.5",
 		[]float64{0.50}, 1)
 	s.AddNote("alternating active/idle maximizes transition overhead for MaxSleep")
@@ -147,7 +148,7 @@ func Fig4d(*Runner) ([]report.Renderable, error) {
 // Fig5c reproduces Figure 5c: the energy of handling one idle interval
 // under MaxSleep, GradualSleep, and AlwaysActive at the near-term
 // technology point.
-func Fig5c(*Runner) ([]report.Renderable, error) {
+func Fig5c(context.Context, *Runner) ([]report.Renderable, error) {
 	tech := core.DefaultTech() // p = 0.05
 	alpha := 0.5
 	k := tech.BreakevenSlices(alpha)
@@ -167,7 +168,7 @@ func Fig5c(*Runner) ([]report.Renderable, error) {
 
 // GradualSlices is the slice-count ablation the GradualSleep design section
 // calls out: K=1 is MaxSleep, large K approaches AlwaysActive.
-func GradualSlices(*Runner) ([]report.Renderable, error) {
+func GradualSlices(context.Context, *Runner) ([]report.Renderable, error) {
 	alpha := 0.5
 	slices := []int{1, 2, 5, 10, 20, 50, 100, 1 << 16}
 	out := make([]report.Renderable, 0, 2)
@@ -203,7 +204,7 @@ func GradualSlices(*Runner) ([]report.Renderable, error) {
 // parameters around the Table 4 values, showing the breakeven interval's
 // robustness (the basis for the paper's claim that a complex controller is
 // unwarranted).
-func BreakevenSensitivity(*Runner) ([]report.Renderable, error) {
+func BreakevenSensitivity(context.Context, *Runner) ([]report.Renderable, error) {
 	s := report.NewSeries("Breakeven sensitivity to e_slp and c (alpha=0.5, p=0.05)",
 		"e_slp", "breakeven (cycles)", "c=0.0001", "c=0.001", "c=0.01", "c=0.1")
 	for e := 0.0; e <= 0.1001; e += 0.01 {
@@ -221,7 +222,7 @@ func BreakevenSensitivity(*Runner) ([]report.Renderable, error) {
 // CircuitModelCrossCheck compares the circuit-level simulation against the
 // analytic model on a random activity pattern — the validation experiment
 // tying Sections 2 and 3 together.
-func CircuitModelCrossCheck(*Runner) ([]report.Renderable, error) {
+func CircuitModelCrossCheck(context.Context, *Runner) ([]report.Renderable, error) {
 	cfg := circuit.DefaultFU()
 	tech := cfg.ToTech()
 	t := report.NewTable("Circuit simulation vs analytic model (MaxSleep, random 40% duty activity)",

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/archsim/fusleep/internal/core"
 	"github.com/archsim/fusleep/internal/report"
+	"github.com/archsim/fusleep/internal/workload"
 )
 
 func render(t *testing.T, arts []report.Renderable) string {
@@ -57,7 +61,7 @@ func TestAnalyticExperimentsRun(t *testing.T) {
 		if e.Simulated {
 			continue
 		}
-		arts, err := e.Run(r)
+		arts, err := e.Run(context.Background(), r)
 		if err != nil {
 			t.Errorf("%s: %v", e.ID, err)
 			continue
@@ -74,7 +78,7 @@ func TestAnalyticExperimentsRun(t *testing.T) {
 }
 
 func TestFig3BreakevenNote(t *testing.T) {
-	arts, err := Fig3(nil)
+	arts, err := Fig3(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +102,7 @@ func TestSimulatedExperimentsSmallWindow(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		arts, err := e.Run(r)
+		arts, err := e.Run(context.Background(), r)
 		if err != nil {
 			t.Errorf("%s: %v", id, err)
 			continue
@@ -114,11 +118,11 @@ func TestSuiteCaching(t *testing.T) {
 		t.Skip("simulated")
 	}
 	r := NewRunner(Options{Window: 40_000})
-	a, err := r.suite(12)
+	a, err := r.suite(context.Background(), 12)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.suite(12)
+	b, err := r.suite(context.Background(), 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,6 +137,125 @@ func TestSuiteCaching(t *testing.T) {
 	}
 }
 
+func TestSuiteCanceledBeforeStart(t *testing.T) {
+	r := NewRunner(Options{Window: 5_000_000})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.suite(ctx, 12); !errors.Is(err, context.Canceled) {
+		t.Errorf("suite on canceled ctx returned %v", err)
+	}
+}
+
+func TestSuiteCancellationDrainsAndAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	// A large window with a quickly-canceled context must abort promptly,
+	// return the cancellation error, and leave nothing cached.
+	r := NewRunner(Options{Window: 50_000_000, Parallel: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := r.suite(ctx, 12)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("suite returned %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("cancellation took %v, not prompt", d)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.suites) != 0 || len(r.runs) != 0 {
+		t.Errorf("canceled run left cache entries: %d suites, %d runs", len(r.suites), len(r.runs))
+	}
+}
+
+func TestSimUsesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	r := NewRunner(Options{Window: 30_000})
+	ctx := context.Background()
+	a, err := r.Sim(ctx, "gcc", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Sim(ctx, "gcc", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Committed != b.Committed {
+		t.Errorf("cached Sim differs: %d/%d vs %d/%d", a.Cycles, a.Committed, b.Cycles, b.Committed)
+	}
+}
+
+func TestSimDeduplicatesInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	// Concurrent identical requests must share one pipeline run.
+	r := NewRunner(Options{Window: 150_000})
+	ctx := context.Background()
+	const callers = 8
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			_, err := r.Sim(ctx, "gcc", 0, 0, 0)
+			errs <- err
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.simCount != 1 {
+		t.Errorf("%d callers ran %d simulations, want 1", callers, r.simCount)
+	}
+}
+
+func TestSweepGridCardinality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	r := NewRunner(Options{Window: 25_000})
+	g := Grid{
+		Policies:   []core.PolicyConfig{{Policy: core.MaxSleep}, {Policy: core.AlwaysActive}},
+		Techs:      []core.Tech{core.DefaultTech(), core.HighLeakTech()},
+		FUCounts:   []int{2, 4},
+		Benchmarks: []string{"gcc"},
+	}
+	want := 2 * 2 * 2
+	if got := g.Cardinality(core.DefaultTech()); got != want {
+		t.Fatalf("Cardinality = %d, want %d", got, want)
+	}
+	arts, err := RunSweep(context.Background(), r, g, core.DefaultTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 || arts[0].Kind != report.KindTable {
+		t.Fatalf("sweep artifacts: %+v", arts)
+	}
+	if got := len(arts[0].Table.Rows); got != want {
+		t.Errorf("sweep rows = %d, want %d", got, want)
+	}
+}
+
+func TestSweepDefaultsCoverSuite(t *testing.T) {
+	g := Grid{}.withDefaults(core.DefaultTech())
+	if len(g.Policies) != len(core.Policies) {
+		t.Errorf("default policies: %d", len(g.Policies))
+	}
+	if len(g.Benchmarks) != len(workload.Names()) {
+		t.Errorf("default benchmarks: %d", len(g.Benchmarks))
+	}
+	if g.Alpha != 0.5 || g.L2Latency != 12 || len(g.FUCounts) != 1 || g.FUCounts[0] != 0 {
+		t.Errorf("defaults wrong: %+v", g)
+	}
+}
+
 func TestFig8HeadlineDirections(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulated")
@@ -141,7 +264,7 @@ func TestFig8HeadlineDirections(t *testing.T) {
 	// MaxSleep loses to AlwaysActive at p=0.05 and wins at p=0.50, with
 	// GradualSleep near the winner both times.
 	r := NewRunner(Options{Window: 250_000})
-	suite, err := r.suite(12)
+	suite, err := r.suite(context.Background(), 12)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/archsim/fusleep/internal/report"
@@ -18,7 +19,25 @@ type Experiment struct {
 	// Simulated reports whether the experiment runs pipeline simulations.
 	Simulated bool
 	// Run executes the experiment.
-	Run func(*Runner) ([]report.Renderable, error)
+	Run func(context.Context, *Runner) ([]report.Renderable, error)
+}
+
+// Artifacts runs the experiment and wraps its results as structured
+// artifacts tagged with the experiment's identity.
+func (e Experiment) Artifacts(ctx context.Context, r *Runner) ([]report.Artifact, error) {
+	rs, err := e.Run(ctx, r)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	arts := make([]report.Artifact, 0, len(rs))
+	for _, a := range rs {
+		art, err := report.NewArtifact(e.ID, e.Paper, a)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		arts = append(arts, art)
+	}
+	return arts, nil
 }
 
 // All lists every experiment in presentation order.

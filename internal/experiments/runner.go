@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -26,6 +28,10 @@ type Options struct {
 	Sweep uint64
 	// Parallel bounds concurrent simulations (0 = number of benchmarks).
 	Parallel int
+	// DisableCache turns off the cross-call result cache, so every request
+	// re-simulates. The cache is on by default; disabling it is mainly
+	// useful for memory-constrained batch sweeps.
+	DisableCache bool
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -33,12 +39,35 @@ func DefaultOptions() Options {
 	return Options{Window: 1_000_000, Sweep: 750_000}
 }
 
-// Runner executes experiments, caching benchmark suite runs so the figures
-// that share the same simulations (7, 8a, 8b, 9a, 9b) pay for them once.
+// runKey identifies one benchmark configuration in the result cache.
+type runKey struct {
+	bench  string
+	fus    int
+	l2     int
+	window uint64
+}
+
+// inflight is one in-progress simulation other callers can wait on.
+type inflight struct {
+	done chan struct{} // closed when res/err are set
+	res  pipeline.Result
+	err  error
+}
+
+// Runner executes experiments, caching benchmark runs so the figures that
+// share the same simulations (7, 8a, 8b, 9a, 9b) pay for them once. It is
+// the engine's backing store: all simulations funnel through Sim, which
+// honors context cancellation and the configured parallelism bound, and
+// deduplicates concurrent identical requests in flight.
 type Runner struct {
-	opt    Options
-	mu     sync.Mutex
-	suites map[int]map[string]pipeline.Result
+	opt Options
+	sem chan struct{} // bounds concurrent pipeline simulations
+
+	mu       sync.Mutex
+	runs     map[runKey]pipeline.Result
+	pending  map[runKey]*inflight
+	suites   map[int]map[string]pipeline.Result
+	simCount uint64 // completed pipeline runs, for tests
 }
 
 // NewRunner builds a runner.
@@ -49,65 +78,177 @@ func NewRunner(opt Options) *Runner {
 	if opt.Sweep == 0 {
 		opt.Sweep = DefaultOptions().Sweep
 	}
-	return &Runner{opt: opt, suites: make(map[int]map[string]pipeline.Result)}
+	limit := opt.Parallel
+	if limit <= 0 {
+		limit = len(workload.Benchmarks)
+	}
+	return &Runner{
+		opt:     opt,
+		sem:     make(chan struct{}, limit),
+		runs:    make(map[runKey]pipeline.Result),
+		pending: make(map[runKey]*inflight),
+		suites:  make(map[int]map[string]pipeline.Result),
+	}
 }
 
 // runOne simulates a single benchmark configuration.
-func runOne(spec workload.Spec, fus, l2 int, window uint64) (pipeline.Result, error) {
+func runOne(ctx context.Context, spec workload.Spec, fus, l2 int, window uint64) (pipeline.Result, error) {
 	cfg := pipeline.DefaultConfig().WithIntALUs(fus).WithL2Latency(l2)
 	cfg.MaxInsts = window
 	cpu, err := pipeline.New(cfg, spec.NewTrace(window))
 	if err != nil {
 		return pipeline.Result{}, err
 	}
-	res, err := cpu.Run()
+	res, err := cpu.RunContext(ctx)
 	if err != nil {
 		return pipeline.Result{}, fmt.Errorf("%s: %w", spec.Name, err)
 	}
 	return res, nil
 }
 
-// suite returns the per-benchmark results at the paper's Table 3 FU counts
-// for the given L2 latency, running them in parallel on first use.
-func (r *Runner) suite(l2 int) (map[string]pipeline.Result, error) {
-	r.mu.Lock()
-	if got, ok := r.suites[l2]; ok {
-		r.mu.Unlock()
-		return got, nil
+// Sim simulates one benchmark at the given FU count (0 selects the paper's
+// Table 3 count), L2 hit latency, and instruction window (0 selects the
+// runner's Window). Results are cached across calls unless DisableCache is
+// set; concurrent simulations are bounded by Options.Parallel.
+func (r *Runner) Sim(ctx context.Context, bench string, fus, l2 int, window uint64) (pipeline.Result, error) {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return pipeline.Result{}, err
 	}
-	r.mu.Unlock()
+	if fus <= 0 {
+		fus = spec.PaperFUs
+	}
+	if l2 <= 0 {
+		l2 = 12
+	}
+	if window == 0 {
+		window = r.opt.Window
+	}
+	key := runKey{bench: spec.Name, fus: fus, l2: l2, window: window}
+	for {
+		r.mu.Lock()
+		if !r.opt.DisableCache {
+			if got, ok := r.runs[key]; ok {
+				r.mu.Unlock()
+				return got, nil
+			}
+		}
+		if fl, ok := r.pending[key]; ok {
+			// Someone else is already running this configuration; wait for
+			// their result instead of re-simulating.
+			r.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.err == nil {
+					return fl.res, nil
+				}
+				// Retry only when the leader failed because *its* context
+				// ended; a real simulation error is equally valid for every
+				// waiter and re-running would just fail again.
+				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+					if err := ctx.Err(); err != nil {
+						return pipeline.Result{}, err
+					}
+					continue
+				}
+				return pipeline.Result{}, fl.err
+			case <-ctx.Done():
+				return pipeline.Result{}, ctx.Err()
+			}
+		}
+		fl := &inflight{done: make(chan struct{})}
+		r.pending[key] = fl
+		r.mu.Unlock()
+
+		fl.res, fl.err = r.runBounded(ctx, spec, fus, l2, window)
+		r.mu.Lock()
+		delete(r.pending, key)
+		if fl.err == nil {
+			r.simCount++
+			if !r.opt.DisableCache {
+				r.runs[key] = fl.res
+			}
+		}
+		r.mu.Unlock()
+		close(fl.done)
+		return fl.res, fl.err
+	}
+}
+
+// runBounded runs one simulation under the concurrency semaphore.
+func (r *Runner) runBounded(ctx context.Context, spec workload.Spec, fus, l2 int, window uint64) (pipeline.Result, error) {
+	select {
+	case r.sem <- struct{}{}:
+		defer func() { <-r.sem }()
+	case <-ctx.Done():
+		return pipeline.Result{}, ctx.Err()
+	}
+	return runOne(ctx, spec, fus, l2, window)
+}
+
+// SimSuite simulates a set of benchmarks in parallel (bounded by
+// Options.Parallel) and returns their results by name. fus = 0 selects the
+// paper's per-benchmark Table 3 counts. On failure it cancels the
+// outstanding runs, waits for them to drain, and returns every distinct
+// error joined together rather than abandoning in-flight work.
+func (r *Runner) SimSuite(ctx context.Context, benchmarks []string, fus, l2 int, window uint64) (map[string]pipeline.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	type out struct {
 		name string
 		res  pipeline.Result
 		err  error
 	}
-	limit := r.opt.Parallel
-	if limit <= 0 {
-		limit = len(workload.Benchmarks)
+	ch := make(chan out, len(benchmarks))
+	for _, name := range benchmarks {
+		go func(name string) {
+			res, err := r.Sim(ctx, name, fus, l2, window)
+			ch <- out{name, res, err}
+		}(name)
 	}
-	sem := make(chan struct{}, limit)
-	ch := make(chan out, len(workload.Benchmarks))
-	for _, spec := range workload.Benchmarks {
-		spec := spec
-		go func() {
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := runOne(spec, spec.PaperFUs, l2, r.opt.Window)
-			ch <- out{spec.Name, res, err}
-		}()
-	}
-	results := make(map[string]pipeline.Result, len(workload.Benchmarks))
-	for range workload.Benchmarks {
+	results := make(map[string]pipeline.Result, len(benchmarks))
+	var errs []error
+	for range benchmarks {
 		o := <-ch
 		if o.err != nil {
-			return nil, o.err
+			// First failure cancels the rest; their (likely context.Canceled)
+			// errors still drain here so no goroutine leaks.
+			if len(errs) == 0 {
+				cancel()
+			}
+			ctxErr := errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded)
+			if !ctxErr || len(errs) == 0 {
+				errs = append(errs, o.err)
+			}
+			continue
 		}
 		results[o.name] = o.res
 	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return results, nil
+}
+
+// suite returns the per-benchmark results at the paper's Table 3 FU counts
+// for the given L2 latency, running them in parallel on first use.
+func (r *Runner) suite(ctx context.Context, l2 int) (map[string]pipeline.Result, error) {
 	r.mu.Lock()
-	r.suites[l2] = results
+	got, ok := r.suites[l2]
 	r.mu.Unlock()
+	if ok {
+		return got, nil
+	}
+	results, err := r.SimSuite(ctx, workload.Names(), 0, l2, r.opt.Window)
+	if err != nil {
+		return nil, err
+	}
+	if !r.opt.DisableCache {
+		r.mu.Lock()
+		r.suites[l2] = results
+		r.mu.Unlock()
+	}
 	return results, nil
 }
 

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"github.com/archsim/fusleep/internal/core"
 	"github.com/archsim/fusleep/internal/pipeline"
@@ -14,7 +14,7 @@ import (
 
 // Table2 reproduces the architectural parameter table from the simulator's
 // actual defaults.
-func Table2(*Runner) ([]report.Renderable, error) {
+func Table2(context.Context, *Runner) ([]report.Renderable, error) {
 	cfg := pipeline.DefaultConfig()
 	t := report.NewTable("Table 2: architectural parameters", "parameter", "value")
 	t.AddRow("fetch queue", fmt.Sprintf("%d entries", cfg.FetchQueueSize))
@@ -47,33 +47,21 @@ func Table2(*Runner) ([]report.Renderable, error) {
 // Table3 reproduces the benchmark table: per benchmark, the four-unit IPC,
 // the IPC at the selected unit count, and the selection by the paper's
 // >= 95%-of-peak rule, alongside the paper's own numbers.
-func Table3(r *Runner) ([]report.Renderable, error) {
+func Table3(ctx context.Context, r *Runner) ([]report.Renderable, error) {
 	type row struct {
 		name string
 		ipc  [5]float64 // index 1..4
 	}
 	rows := make([]row, len(workload.Benchmarks))
-	var wg sync.WaitGroup
-	errs := make(chan error, len(workload.Benchmarks)*4)
-	for i, spec := range workload.Benchmarks {
-		for fus := 1; fus <= 4; fus++ {
-			wg.Add(1)
-			go func(i, fus int, spec workload.Spec) {
-				defer wg.Done()
-				res, err := runOne(spec, fus, 12, r.opt.Sweep)
-				if err != nil {
-					errs <- err
-					return
-				}
-				rows[i].name = spec.Name
-				rows[i].ipc[fus] = res.IPC()
-			}(i, fus, spec)
+	for fus := 1; fus <= 4; fus++ {
+		suite, err := r.SimSuite(ctx, workload.Names(), fus, 12, r.opt.Sweep)
+		if err != nil {
+			return nil, err
 		}
-	}
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
-		return nil, err
+		for i, spec := range workload.Benchmarks {
+			rows[i].name = spec.Name
+			rows[i].ipc[fus] = suite[spec.Name].IPC()
+		}
 	}
 
 	t := report.NewTable("Table 3: benchmarks (FU selection: min units with >= 95% of 4-unit IPC)",
@@ -103,14 +91,14 @@ func Table3(r *Runner) ([]report.Renderable, error) {
 // Fig7 reproduces Figure 7: the distribution of functional-unit idle
 // intervals across the suite at 12- and 32-cycle L2 latencies, weighted so
 // every unit contributes equally.
-func Fig7(r *Runner) ([]report.Renderable, error) {
+func Fig7(ctx context.Context, r *Runner) ([]report.Renderable, error) {
 	const cap = 8192
 	s := report.NewSeries("Figure 7: distribution of idle intervals",
 		"interval bucket low (cycles)", "fraction of total time ALUs are idle",
 		"12-cycle L2", "32-cycle L2")
 
 	fractions := func(l2 int) ([]float64, float64, float64, error) {
-		suite, err := r.suite(l2)
+		suite, err := r.suite(ctx, l2)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -157,8 +145,8 @@ func Fig7(r *Runner) ([]report.Renderable, error) {
 
 // fig8 builds one Figure 8 panel: per-benchmark policy energies normalized
 // to 100%-computation energy, with the alpha=0.25/0.75 range.
-func fig8(r *Runner, p float64) (*report.Table, error) {
-	suite, err := r.suite(12)
+func fig8(ctx context.Context, r *Runner, p float64) (*report.Table, error) {
+	suite, err := r.suite(ctx, 12)
 	if err != nil {
 		return nil, err
 	}
@@ -196,8 +184,8 @@ func fig8(r *Runner, p float64) (*report.Table, error) {
 }
 
 // Fig8a reproduces Figure 8a (p = 0.05).
-func Fig8a(r *Runner) ([]report.Renderable, error) {
-	t, err := fig8(r, 0.05)
+func Fig8a(ctx context.Context, r *Runner) ([]report.Renderable, error) {
+	t, err := fig8(ctx, r, 0.05)
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +193,8 @@ func Fig8a(r *Runner) ([]report.Renderable, error) {
 }
 
 // Fig8b reproduces Figure 8b (p = 0.50).
-func Fig8b(r *Runner) ([]report.Renderable, error) {
-	t, err := fig8(r, 0.50)
+func Fig8b(ctx context.Context, r *Runner) ([]report.Renderable, error) {
+	t, err := fig8(ctx, r, 0.50)
 	if err != nil {
 		return nil, err
 	}
@@ -215,8 +203,8 @@ func Fig8b(r *Runner) ([]report.Renderable, error) {
 
 // Fig9a reproduces Figure 9a: suite-average energy of each policy relative
 // to the NoOverhead bound across the technology space.
-func Fig9a(r *Runner) ([]report.Renderable, error) {
-	suite, err := r.suite(12)
+func Fig9a(ctx context.Context, r *Runner) ([]report.Renderable, error) {
+	suite, err := r.suite(ctx, 12)
 	if err != nil {
 		return nil, err
 	}
@@ -242,8 +230,8 @@ func Fig9a(r *Runner) ([]report.Renderable, error) {
 
 // Fig9b reproduces Figure 9b: the leakage fraction of total energy across
 // the technology space for each policy.
-func Fig9b(r *Runner) ([]report.Renderable, error) {
-	suite, err := r.suite(12)
+func Fig9b(ctx context.Context, r *Runner) ([]report.Renderable, error) {
+	suite, err := r.suite(ctx, 12)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +266,7 @@ func Fig9b(r *Runner) ([]report.Renderable, error) {
 
 // McfFUStudy reproduces the Section 5 side experiment: mcf's leakage
 // fraction grows when idle functional units are added (2 -> 4 units).
-func McfFUStudy(r *Runner) ([]report.Renderable, error) {
+func McfFUStudy(ctx context.Context, r *Runner) ([]report.Renderable, error) {
 	spec, err := workload.ByName("mcf")
 	if err != nil {
 		return nil, err
@@ -287,7 +275,7 @@ func McfFUStudy(r *Runner) ([]report.Renderable, error) {
 	t := report.NewTable("mcf leakage fraction vs functional-unit count (p=0.05, AlwaysActive)",
 		"FUs", "IPC", "mean FU utilization", "leakage/total")
 	for _, fus := range []int{2, 4} {
-		res, err := runOne(spec, fus, 12, r.opt.Window)
+		res, err := r.Sim(ctx, spec.Name, fus, 12, r.opt.Window)
 		if err != nil {
 			return nil, err
 		}
@@ -302,8 +290,8 @@ func McfFUStudy(r *Runner) ([]report.Renderable, error) {
 
 // IdleByBenchmark is a supplementary breakdown of Figure 7: per-benchmark
 // idle fraction and mean idle interval at the selected FU counts.
-func IdleByBenchmark(r *Runner) ([]report.Renderable, error) {
-	suite, err := r.suite(12)
+func IdleByBenchmark(ctx context.Context, r *Runner) ([]report.Renderable, error) {
+	suite, err := r.suite(ctx, 12)
 	if err != nil {
 		return nil, err
 	}
@@ -347,8 +335,8 @@ func IdleByBenchmark(r *Runner) ([]report.Renderable, error) {
 // measured suite profiles. The paper conjectures it is not worth the
 // machinery; this experiment quantifies exactly how little it buys over
 // GradualSleep.
-func TimeoutStudy(r *Runner) ([]report.Renderable, error) {
-	suite, err := r.suite(12)
+func TimeoutStudy(ctx context.Context, r *Runner) ([]report.Renderable, error) {
+	suite, err := r.suite(ctx, 12)
 	if err != nil {
 		return nil, err
 	}

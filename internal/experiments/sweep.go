@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/pipeline"
+	"github.com/archsim/fusleep/internal/report"
+	"github.com/archsim/fusleep/internal/workload"
+)
+
+// Grid describes a batch evaluation: every policy × technology point ×
+// FU-count combination is scored over the benchmark suite. Zero-valued
+// fields select defaults, so Grid{} is the paper's headline comparison.
+type Grid struct {
+	// Policies to score (default: the paper's four Figure 8 policies).
+	Policies []core.PolicyConfig
+	// Techs are the technology points (default: the runner's/engine's
+	// configured technology).
+	Techs []core.Tech
+	// FUCounts are the integer-ALU counts; 0 in the list means the paper's
+	// per-benchmark Table 3 counts (default: [0]).
+	FUCounts []int
+	// Benchmarks restricts the suite (default: all nine).
+	Benchmarks []string
+	// Alpha is the activity factor (default 0.5).
+	Alpha float64
+	// L2Latency is the L2 hit latency in cycles (default 12).
+	L2Latency int
+	// Window is the per-benchmark instruction count (default: the runner's
+	// Window).
+	Window uint64
+}
+
+// withDefaults resolves the grid's zero values against the given default
+// technology point.
+func (g Grid) withDefaults(tech core.Tech) Grid {
+	if len(g.Policies) == 0 {
+		for _, pol := range core.Policies {
+			g.Policies = append(g.Policies, core.PolicyConfig{Policy: pol})
+		}
+	}
+	if len(g.Techs) == 0 {
+		g.Techs = []core.Tech{tech}
+	}
+	if len(g.FUCounts) == 0 {
+		g.FUCounts = []int{0}
+	}
+	if len(g.Benchmarks) == 0 {
+		g.Benchmarks = workload.Names()
+	}
+	if g.Alpha == 0 {
+		g.Alpha = 0.5
+	}
+	if g.L2Latency == 0 {
+		g.L2Latency = 12
+	}
+	return g
+}
+
+// Cardinality returns the number of grid points after default resolution
+// against the given technology, i.e. the number of result rows.
+func (g Grid) Cardinality(tech core.Tech) int {
+	g = g.withDefaults(tech)
+	return len(g.Policies) * len(g.Techs) * len(g.FUCounts)
+}
+
+// RunSweep evaluates the grid: one suite simulation per FU count (cached,
+// parallel, cancelable), then the closed-form energy model at every
+// technology × policy point over the measured profiles. It returns a single
+// table artifact with one row per grid point, averaged across benchmarks.
+func RunSweep(ctx context.Context, r *Runner, g Grid, tech core.Tech) ([]report.Artifact, error) {
+	g = g.withDefaults(tech)
+	// Validate every technology point before paying for any simulation.
+	for _, tc := range g.Techs {
+		if err := tc.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: tech p=%g: %w", tc.P, err)
+		}
+	}
+
+	suites := make(map[int]map[string]pipeline.Result, len(g.FUCounts))
+	for _, fus := range g.FUCounts {
+		if _, ok := suites[fus]; ok {
+			continue
+		}
+		suite, err := r.SimSuite(ctx, g.Benchmarks, fus, g.L2Latency, g.Window)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: fus=%d: %w", fus, err)
+		}
+		suites[fus] = suite
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Policy × technology × FU-count sweep [alpha=%.2f, %d benchmarks, %d-cycle L2]",
+			g.Alpha, len(g.Benchmarks), g.L2Latency),
+		"p", "c", "e_slp", "FUs", "policy", "E/E_base", "leakage/total")
+	n := float64(len(g.Benchmarks))
+	for _, tc := range g.Techs {
+		for _, fus := range g.FUCounts {
+			suite := suites[fus]
+			fuLabel := fmt.Sprintf("%d", fus)
+			if fus == 0 {
+				fuLabel = "paper"
+			}
+			for _, pc := range g.Policies {
+				var rel, leak float64
+				for _, name := range g.Benchmarks {
+					res := suite[name]
+					e := unitEnergy(tc, pc, g.Alpha, res)
+					rel += e.Total() / baseEnergy(tc, g.Alpha, res)
+					leak += e.LeakageFraction()
+				}
+				t.AddRow(report.F(tc.P, 4), report.F(tc.C, 4), report.F(tc.SleepOverhead, 4),
+					fuLabel, pc.Policy.String(),
+					fmt.Sprintf("%.4f", rel/n), fmt.Sprintf("%.4f", leak/n))
+			}
+		}
+	}
+	t.AddNote("E/E_base averaged over %d benchmarks at window %d", len(g.Benchmarks), r.windowOr(g.Window))
+	return []report.Artifact{report.TableArtifact("sweep", t)}, nil
+}
+
+// windowOr resolves a per-call window against the runner's default.
+func (r *Runner) windowOr(window uint64) uint64 {
+	if window == 0 {
+		return r.opt.Window
+	}
+	return window
+}

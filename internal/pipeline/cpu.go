@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -169,9 +170,20 @@ func New(cfg Config, stream isa.Stream) (*CPU, error) {
 	}, nil
 }
 
+// ctxCheckMask throttles context polling in the run loop: the context is
+// consulted once every ctxCheckMask+1 cycles, keeping the per-cycle cost
+// negligible while still stopping a multi-million-cycle run within
+// microseconds of cancellation.
+const ctxCheckMask = 8191
+
 // Run executes the simulation to trace exhaustion (or cfg.MaxInsts) and
 // returns the measurement results.
-func (c *CPU) Run() (Result, error) {
+func (c *CPU) Run() (Result, error) { return c.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the loop polls ctx
+// periodically and returns ctx.Err() (wrapped) as soon as it is done,
+// discarding the partial measurement.
+func (c *CPU) RunContext(ctx context.Context) (Result, error) {
 	defer c.stream.Close()
 	for !c.finished() {
 		c.commit()
@@ -184,6 +196,12 @@ func (c *CPU) Run() (Result, error) {
 		c.fetch()
 		c.fus.tick(c.cycle)
 		c.cycle++
+		if c.cycle&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("pipeline: run aborted at cycle %d (committed %d): %w",
+					c.cycle, c.committed, err)
+			}
+		}
 		if c.cycle-c.lastProgress > deadlockWindow {
 			return Result{}, fmt.Errorf("%w at cycle %d (committed %d)", ErrDeadlock, c.cycle, c.committed)
 		}

@@ -1,0 +1,183 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ArtifactKind discriminates the typed payload of an Artifact.
+type ArtifactKind string
+
+const (
+	// KindTable marks an artifact whose payload is a Table.
+	KindTable ArtifactKind = "table"
+	// KindSeries marks an artifact whose payload is a Series.
+	KindSeries ArtifactKind = "series"
+)
+
+// Artifact is one machine-readable experiment result: an identified,
+// titled, typed payload (a table of rows or a set of curves). Artifacts
+// are what the public engine API returns; renderers turn them into text,
+// JSON, or CSV without the producers knowing the output format.
+type Artifact struct {
+	// ID is the producing experiment's identifier (e.g. "fig8a"), or a
+	// caller-chosen tag for ad-hoc artifacts.
+	ID string `json:"id,omitempty"`
+	// Paper names the reproduced artifact in the paper ("Figure 8a"),
+	// "extension" for analyses beyond it, or empty for ad-hoc results.
+	Paper string `json:"paper,omitempty"`
+	// Title is the artifact's human-readable caption.
+	Title string `json:"title"`
+	// Kind selects which payload field is set.
+	Kind ArtifactKind `json:"kind"`
+	// Table is the payload when Kind == KindTable.
+	Table *Table `json:"table,omitempty"`
+	// Series is the payload when Kind == KindSeries.
+	Series *Series `json:"series,omitempty"`
+}
+
+// NewArtifact wraps a produced Renderable (a *Table or *Series) as a
+// structured artifact tagged with the producing experiment's identity.
+func NewArtifact(id, paper string, r Renderable) (Artifact, error) {
+	a := Artifact{ID: id, Paper: paper}
+	switch v := r.(type) {
+	case *Table:
+		a.Kind = KindTable
+		a.Table = v
+	case *Series:
+		a.Kind = KindSeries
+		a.Series = v
+	default:
+		return Artifact{}, fmt.Errorf("report: cannot build artifact from %T", r)
+	}
+	a.Title = r.Name()
+	return a, nil
+}
+
+// TableArtifact wraps a table as an ad-hoc artifact.
+func TableArtifact(id string, t *Table) Artifact {
+	return Artifact{ID: id, Title: t.Title, Kind: KindTable, Table: t}
+}
+
+// SeriesArtifact wraps a series set as an ad-hoc artifact.
+func SeriesArtifact(id string, s *Series) Artifact {
+	return Artifact{ID: id, Title: s.Title, Kind: KindSeries, Series: s}
+}
+
+// renderable returns the artifact's payload as a text-renderable value.
+func (a Artifact) renderable() (Renderable, error) {
+	switch {
+	case a.Kind == KindTable && a.Table != nil:
+		return a.Table, nil
+	case a.Kind == KindSeries && a.Series != nil:
+		return a.Series, nil
+	}
+	return nil, fmt.Errorf("report: artifact %q (kind %q) has no payload", a.ID, a.Kind)
+}
+
+// Renderer writes a set of artifacts in one output format.
+type Renderer func(w io.Writer, artifacts []Artifact) error
+
+// Formats lists the built-in renderer names accepted by RendererFor.
+func Formats() []string { return []string{"text", "json", "csv"} }
+
+// RendererFor maps a format name ("text", "json", "csv") to its renderer.
+func RendererFor(format string) (Renderer, error) {
+	switch format {
+	case "text", "":
+		return RenderText, nil
+	case "json":
+		return RenderJSON, nil
+	case "csv":
+		return RenderCSV, nil
+	}
+	return nil, fmt.Errorf("report: unknown format %q (have %v)", format, Formats())
+}
+
+// RenderText writes the artifacts as aligned text tables, each preceded by
+// an identity banner when the artifact carries one.
+func RenderText(w io.Writer, artifacts []Artifact) error {
+	for _, a := range artifacts {
+		r, err := a.renderable()
+		if err != nil {
+			return err
+		}
+		if a.ID != "" {
+			banner := a.ID
+			if a.Paper != "" {
+				banner = fmt.Sprintf("[%s] %s", a.ID, a.Paper)
+			}
+			if _, err := fmt.Fprintf(w, "== %s ==\n", banner); err != nil {
+				return err
+			}
+		}
+		if err := r.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderJSON writes the artifacts as one indented JSON array; the output
+// unmarshals back into []Artifact with the typed payloads intact.
+func RenderJSON(w io.Writer, artifacts []Artifact) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(artifacts)
+}
+
+// RenderCSV writes each artifact as a CSV block introduced by a comment
+// line naming it; tables emit their header and rows verbatim, series emit
+// an x column followed by one column per curve.
+func RenderCSV(w io.Writer, artifacts []Artifact) error {
+	for i, a := range artifacts {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# [%s] %s\n", a.ID, a.Title); err != nil {
+			return err
+		}
+		cw := csv.NewWriter(w)
+		switch {
+		case a.Kind == KindTable && a.Table != nil:
+			if err := cw.Write(a.Table.Columns); err != nil {
+				return err
+			}
+			for _, row := range a.Table.Rows {
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		case a.Kind == KindSeries && a.Series != nil:
+			s := a.Series
+			if err := cw.Write(append([]string{s.XLabel}, s.Names...)); err != nil {
+				return err
+			}
+			for i, x := range s.X {
+				rec := make([]string, 0, len(s.Names)+1)
+				rec = append(rec, strconv.FormatFloat(x, 'g', -1, 64))
+				for j := range s.Names {
+					rec = append(rec, strconv.FormatFloat(s.Y[j][i], 'g', -1, 64))
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("report: artifact %q (kind %q) has no payload", a.ID, a.Kind)
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,10 +19,10 @@ type Renderable interface {
 
 // Table is a titled grid with a header row.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // NewTable builds an empty table.
@@ -95,13 +95,13 @@ func pad(s string, w int) string {
 // Series is a titled set of named curves sharing an x axis — the textual
 // form of one figure panel.
 type Series struct {
-	Title  string
-	XLabel string
-	YLabel string
-	Names  []string
-	X      []float64
-	Y      [][]float64 // Y[series][point]
-	Notes  []string
+	Title  string      `json:"title"`
+	XLabel string      `json:"xLabel"`
+	YLabel string      `json:"yLabel"`
+	Names  []string    `json:"names"`
+	X      []float64   `json:"x"`
+	Y      [][]float64 `json:"y"` // Y[series][point]
+	Notes  []string    `json:"notes,omitempty"`
 }
 
 // NewSeries builds an empty series set.
