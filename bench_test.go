@@ -71,18 +71,31 @@ func BenchmarkModelCrossCheck(b *testing.B) { benchExperiment(b, "crosscheck") }
 
 // Component micro-benchmarks: the substrate costs behind the experiments.
 
+// BenchmarkPipelineSimulation is the tracked throughput baseline of the
+// cycle engine: simulated instructions per second, simulated cycles per
+// second, and steady-state allocations per run. BENCH_pipeline.json records
+// the trajectory across PRs (seed vs. current); CI runs this benchmark with
+// -benchtime=3x so regressions show up in the logs. Refresh the snapshot
+// with:
+//
+//	go test -run=xxx -bench=PipelineSimulation -benchtime=3x -benchmem
 func BenchmarkPipelineSimulation(b *testing.B) {
 	const window = 100_000
 	// Cache off so every iteration measures a real simulation.
 	eng := fusleep.NewEngine(fusleep.WithWindow(window), fusleep.WithCache(false))
 	b.ReportAllocs()
+	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		rep, err := eng.Simulate(context.Background(), "gcc")
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(window)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
-		_ = rep
+		cycles += rep.Cycles
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(window)*float64(b.N)/secs, "inst/s")
+		b.ReportMetric(float64(cycles)/secs, "cycles/s")
 	}
 }
 

@@ -8,6 +8,11 @@
 //	simcpu -bench mcf -insts 1000000 -fus 2 -l2lat 12
 //	simcpu -all -insts 500000
 //	simcpu -all -format json
+//	simcpu -bench gcc -insts 5000000 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering the
+// simulation, so hot-path regressions in the cycle engine can be diagnosed
+// with `go tool pprof` without editing code.
 package main
 
 import (
@@ -16,12 +21,20 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"github.com/archsim/fusleep"
 )
 
+// main delegates to run so deferred profile writers execute before the
+// process exits (os.Exit skips defers).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	bench := flag.String("bench", "gcc", "benchmark name")
 	all := flag.Bool("all", false, "run the whole suite")
 	insts := flag.Uint64("insts", 1_000_000, "instruction window")
@@ -29,12 +42,45 @@ func main() {
 	l2lat := flag.Int("l2lat", 12, "L2 hit latency, cycles")
 	verbose := flag.Bool("v", false, "include cache/predictor detail columns")
 	format := flag.String("format", "text", "output format: text | json | csv")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulations to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the simulations) to this file")
 	flag.Parse()
 
 	render, err := fusleep.RendererFor(*format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+
+	// Registered before the CPU profile starts so the LIFO unwind stops CPU
+	// profiling first: the forced GC and heap serialization below must not
+	// be sampled into the tail of the CPU profile.
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	names := []string{*bench}
@@ -60,7 +106,7 @@ func main() {
 		rep, err := eng.Simulate(ctx, name, fusleep.SimFUs(*fus), fusleep.SimL2Latency(*l2lat))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		var idleFrac float64
 		for _, p := range rep.FUProfiles {
@@ -94,6 +140,7 @@ func main() {
 	arts := []fusleep.Artifact{fusleep.TableArtifact("simcpu", tbl)}
 	if err := render(os.Stdout, arts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

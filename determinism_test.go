@@ -1,0 +1,50 @@
+package fusleep_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/archsim/fusleep"
+)
+
+// sweepJSON runs a small full-suite Sweep grid on a fresh engine built with
+// the given options and returns the rendered JSON artifacts, which include
+// every table row and so pin the complete result surface.
+func sweepJSON(t *testing.T, opts ...fusleep.Option) []byte {
+	t.Helper()
+	base := []fusleep.Option{fusleep.WithWindow(40_000), fusleep.WithSweep(40_000)}
+	eng := fusleep.NewEngine(append(base, opts...)...)
+	arts, err := eng.Sweep(context.Background(), fusleep.Grid{Window: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fusleep.RenderJSON(&buf, arts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepIndependentOfCache asserts Engine.Sweep results do not depend on
+// whether the cross-call simulation cache is enabled: caching may only
+// change how often simulations run, never what they measure.
+func TestSweepIndependentOfCache(t *testing.T) {
+	cached := sweepJSON(t)
+	uncached := sweepJSON(t, fusleep.WithCache(false))
+	if !bytes.Equal(cached, uncached) {
+		t.Errorf("sweep results differ with cache off:\n cached: %s\nuncached: %s", cached, uncached)
+	}
+}
+
+// TestSweepIndependentOfParallelism asserts Engine.Sweep results do not
+// depend on the parallelism bound: simulations are isolated per benchmark,
+// so scheduling them serially or concurrently must measure the same
+// machine.
+func TestSweepIndependentOfParallelism(t *testing.T) {
+	serial := sweepJSON(t, fusleep.WithParallelism(1))
+	wide := sweepJSON(t, fusleep.WithParallelism(16))
+	if !bytes.Equal(serial, wide) {
+		t.Errorf("sweep results differ across parallelism:\nserial: %s\n  wide: %s", serial, wide)
+	}
+}

@@ -60,6 +60,22 @@
 //	s := fusleep.Scenario{TotalCycles: 1e6, Usage: 0.5, MeanIdle: 10, Alpha: 0.5}
 //	rel := tech.RelativeToBase(fusleep.PolicyConfig{Policy: fusleep.MaxSleep}, s)
 //
+// # Performance
+//
+// The cycle engine is built for sweep-scale workloads: completion runs on
+// an event wheel, issue selects from a wakeup-driven ready list instead of
+// scanning the reorder buffer, and the steady-state hot loop performs no
+// heap allocation (see the internal/pipeline package comment for the full
+// performance model). Simulation results are cycle-exact regardless of
+// these optimizations, pinned by a golden determinism test: the same seed
+// produces byte-identical results across runs, cache settings, and
+// parallelism bounds.
+//
+// BenchmarkPipelineSimulation reports simulated inst/s, cycles/s, and
+// allocs/op; BENCH_pipeline.json tracks those numbers across PRs, and CI
+// runs the benchmark on every push. To profile the hot path, use
+// cmd/simcpu's -cpuprofile and -memprofile flags.
+//
 // The pre-Engine one-shot helpers (SimulateBenchmark, RunExperiment,
 // RunExperiments, RunAll) remain as deprecated shims; new code should use
 // the Engine. See the examples directory for complete programs.

@@ -4,7 +4,10 @@
 // fills update replacement state deterministically.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Level is anything that can service an access and report its latency in
 // cycles.
@@ -83,12 +86,20 @@ type line struct {
 }
 
 // Cache is one set-associative write-back, write-allocate cache level.
+// Validate guarantees power-of-two line size and set count, so the index
+// geometry is precomputed as shifts and masks once at construction and
+// Access never divides.
 type Cache struct {
 	cfg   Config
 	sets  []line // Sets * Assoc, set-major
 	next  Level
 	tick  uint64
 	stats Stats
+
+	lineShift uint   // log2(LineSize): addr -> line address
+	setShift  uint   // log2(Sets): line address -> tag
+	setMask   uint64 // Sets - 1: line address -> set index
+	assoc     int
 }
 
 // New builds a cache over the given next level.
@@ -99,10 +110,15 @@ func New(cfg Config, next Level) (*Cache, error) {
 	if next == nil {
 		return nil, fmt.Errorf("cache %s: nil next level", cfg.Name)
 	}
+	sets := cfg.Sets()
 	return &Cache{
-		cfg:  cfg,
-		sets: make([]line, cfg.Sets()*cfg.Assoc),
-		next: next,
+		cfg:       cfg,
+		sets:      make([]line, sets*cfg.Assoc),
+		next:      next,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setShift:  uint(bits.TrailingZeros(uint(sets))),
+		setMask:   uint64(sets - 1),
+		assoc:     cfg.Assoc,
 	}, nil
 }
 
@@ -122,11 +138,11 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 func (c *Cache) set(addr uint64) ([]line, uint64) {
-	lineAddr := addr / uint64(c.cfg.LineSize)
-	nSets := uint64(c.cfg.Sets())
-	setIdx := lineAddr & (nSets - 1)
-	tag := lineAddr / nSets
-	return c.sets[setIdx*uint64(c.cfg.Assoc) : (setIdx+1)*uint64(c.cfg.Assoc)], tag
+	lineAddr := addr >> c.lineShift
+	setIdx := int(lineAddr & c.setMask)
+	tag := lineAddr >> c.setShift
+	base := setIdx * c.assoc
+	return c.sets[base : base+c.assoc], tag
 }
 
 // Access implements Level: a hit costs the hit latency; a miss additionally

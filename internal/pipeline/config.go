@@ -8,6 +8,52 @@
 // a mispredicted control instruction, fetch stops until the instruction
 // resolves and then pays the redirect penalty. Section 5 of DESIGN.md
 // discusses why this preserves the idle-interval structure the paper needs.
+//
+// # Performance model
+//
+// The per-cycle hot path is engineered for throughput and zero steady-state
+// allocation, while staying cycle-exact with the straightforward model it
+// replaced (the golden determinism test in golden_test.go pins every Result
+// field to a pre-refactor capture):
+//
+//   - Completion is an event wheel (calendar queue): pending completions for
+//     cycle t live in wheel[t & mask], where the wheel size is the smallest
+//     power of two exceeding the maximum schedulable latency — the
+//     worst-case load (AGU + DTLB miss + a miss through L1D, L2, and
+//     memory) or the longest fixed execution latency, whichever is larger.
+//     Every in-flight event therefore lands within one wheel revolution of
+//     the current cycle and no two pending cycles share a slot. Slot slices
+//     are drained in place and keep their capacity, so scheduling and
+//     completing cost no map operations and no allocations.
+//
+//   - Issue scans a ready list, not the ROB. Dispatched instructions with
+//     unavailable operands sleep on per-physical-register dependent lists
+//     and are woken by completion (classic wakeup/select); instructions
+//     with all operands ready sit in readyQ ordered by sequence number.
+//     Issue walks readyQ oldest-first with the same per-resource skip
+//     semantics as a full in-order ROB scan — a blocked instruction yields
+//     its slot without consuming issue bandwidth — so selection order, and
+//     therefore timing, is identical, but cost scales with ready
+//     instructions (bounded by the issue queues) instead of ROB size.
+//     Wakeup inserts preserve seq order; dispatch appends are already in
+//     program order.
+//
+//   - The store queue is a ring ordered by sequence number (stores enter at
+//     dispatch and leave at commit, both in program order), and a word-
+//     address index maps 8-byte word -> ascending seqs of address-known
+//     stores, making store-to-load forwarding one map probe instead of a
+//     queue scan. Because each per-word list is ascending, the head element
+//     alone decides whether an older forwarding store exists.
+//
+//   - ROB, fetch queue, and store queue are fixed rings (the ROB mask is a
+//     power of two); cache and TLB indexing precompute shift/mask geometry;
+//     the one-instruction fetch lookahead is a value plus a flag rather
+//     than a heap-escaping pointer; and workload trace batches are recycled
+//     through a sync.Pool. After warmup, a simulation performs no per-
+//     instruction or per-cycle heap allocation.
+//
+// BenchmarkPipelineSimulation (package root) tracks inst/s, cycles/s, and
+// allocs/op; BENCH_pipeline.json records the trajectory across PRs.
 package pipeline
 
 import (

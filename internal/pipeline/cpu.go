@@ -25,21 +25,32 @@ type robEntry struct {
 	src1, src2 physRef
 	dest       physRef
 	oldPhys    int16
+	sq         int32 // store-queue slot for stores, -1 otherwise
 	mispredict bool
 }
 
+// reorderBuffer is a ring of in-flight instructions. Physical capacity is
+// rounded up to a power of two so slot arithmetic is a mask, while the
+// logical capacity (full()) stays exactly cfg.ROBSize. A slot index is
+// stable for the lifetime of its entry, which is what lets the event wheel
+// and ready list refer to instructions by slot.
 type reorderBuffer struct {
 	entries []robEntry
+	mask    int
+	size    int // logical capacity
 	head    int
 	count   int
 }
 
-func newROB(size int) *reorderBuffer { return &reorderBuffer{entries: make([]robEntry, size)} }
+func newROB(size int) *reorderBuffer {
+	capacity := nextPow2(size)
+	return &reorderBuffer{entries: make([]robEntry, capacity), mask: capacity - 1, size: size}
+}
 
-func (r *reorderBuffer) full() bool { return r.count == len(r.entries) }
+func (r *reorderBuffer) full() bool { return r.count == r.size }
 
 func (r *reorderBuffer) push(e robEntry) int {
-	idx := (r.head + r.count) % len(r.entries)
+	idx := (r.head + r.count) & r.mask
 	r.entries[idx] = e
 	r.count++
 	return idx
@@ -47,12 +58,21 @@ func (r *reorderBuffer) push(e robEntry) int {
 
 // at returns the entry at logical position i from the head (0 = oldest).
 func (r *reorderBuffer) at(i int) *robEntry {
-	return &r.entries[(r.head+i)%len(r.entries)]
+	return &r.entries[(r.head+i)&r.mask]
 }
 
 func (r *reorderBuffer) popFront() {
-	r.head = (r.head + 1) % len(r.entries)
+	r.head = (r.head + 1) & r.mask
 	r.count--
+}
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 type fetchEntry struct {
@@ -60,10 +80,100 @@ type fetchEntry struct {
 	mispredict bool
 }
 
+// storeQEntry is one in-flight store. The store queue is ordered by seq:
+// stores enter at dispatch (program order) and leave at commit (also
+// program order), so the ring's entries are always seq-ascending front to
+// back. Store-to-load forwarding relies on that invariant.
 type storeQEntry struct {
 	seq       uint64
 	addr      uint64
 	addrKnown bool
+}
+
+// ring is a fixed-capacity FIFO over preallocated slots. push returns the
+// physical slot index, which is stable for the entry's lifetime — that is
+// what lets robEntry.sq address its store directly.
+type ring[T any] struct {
+	entries []T
+	head    int
+	count   int
+}
+
+func newRing[T any](size int) *ring[T] { return &ring[T]{entries: make([]T, size)} }
+
+func (q *ring[T]) full() bool { return q.count == len(q.entries) }
+
+func (q *ring[T]) push(e T) int {
+	idx := q.head + q.count
+	if idx >= len(q.entries) {
+		idx -= len(q.entries)
+	}
+	q.entries[idx] = e
+	q.count++
+	return idx
+}
+
+func (q *ring[T]) front() *T { return &q.entries[q.head] }
+
+func (q *ring[T]) popFront() {
+	q.head++
+	if q.head == len(q.entries) {
+		q.head = 0
+	}
+	q.count--
+}
+
+// storeIndex maps word address -> ascending seqs of address-known stores in
+// the store queue, so forwarding checks are a single map probe instead of a
+// store-queue scan. Seq lists are recycled through spare to keep the
+// steady state allocation-free.
+type storeIndex struct {
+	byWord map[uint64][]uint64
+	spare  [][]uint64
+}
+
+func newStoreIndex() *storeIndex { return &storeIndex{byWord: make(map[uint64][]uint64)} }
+
+func (ix *storeIndex) add(word, seq uint64) {
+	s, ok := ix.byWord[word]
+	if !ok && len(ix.spare) > 0 {
+		s = ix.spare[len(ix.spare)-1][:0]
+		ix.spare = ix.spare[:len(ix.spare)-1]
+	}
+	// Stores become address-known in issue order, not program order, so
+	// keep the (tiny, store-queue-bounded) list sorted on insert.
+	s = append(s, seq)
+	for i := len(s) - 1; i > 0 && s[i-1] > seq; i-- {
+		s[i] = s[i-1]
+		s[i-1] = seq
+	}
+	ix.byWord[word] = s
+}
+
+func (ix *storeIndex) remove(word, seq uint64) {
+	s := ix.byWord[word]
+	for i, v := range s {
+		if v == seq {
+			copy(s[i:], s[i+1:])
+			s = s[:len(s)-1]
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(ix.byWord, word)
+		if s != nil {
+			ix.spare = append(ix.spare, s)
+		}
+		return
+	}
+	ix.byWord[word] = s
+}
+
+// olderThan reports whether an address-known store to word exists with
+// seq < loadSeq, i.e. an older store the load can forward from.
+func (ix *storeIndex) olderThan(word, loadSeq uint64) bool {
+	s := ix.byWord[word]
+	return len(s) > 0 && s[0] < loadSeq
 }
 
 // CPU is one simulation instance; build with New and execute with Run.
@@ -85,11 +195,25 @@ type CPU struct {
 
 	intIQCount, fpIQCount int
 	lqCount               int
-	storeQ                []storeQEntry
+	storeQ                *ring[storeQEntry]
+	storeIdx              *storeIndex
 
-	fetchQ []fetchEntry
+	fetchQ *ring[fetchEntry]
 
-	completions map[uint64][]int
+	// wheel is the completion calendar: pending completions for cycle t
+	// live in wheel[t & wheelMask]. Slot slices are drained in place and
+	// keep their capacity, so scheduling is allocation-free after warmup.
+	wheel     [][]int32
+	wheelMask uint64
+
+	// readyQ holds ROB slots of dispatched instructions whose operands are
+	// all ready, in program (seq) order — the issue window. pendingSrcs
+	// counts outstanding operands per ROB slot; intDeps/fpDeps list the
+	// ROB slots sleeping on each physical register, woken by complete().
+	readyQ      []int32
+	pendingSrcs []uint8
+	intDeps     [][]int32
+	fpDeps      [][]int32
 
 	cycle            uint64
 	fetchBlockedTill uint64
@@ -97,7 +221,8 @@ type CPU struct {
 	lastFetchLine    uint64
 	haveFetchLine    bool
 
-	peeked    *isa.Inst
+	peeked    isa.Inst
+	havePeek  bool
 	eof       bool
 	committed uint64
 	fetched   uint64
@@ -116,6 +241,28 @@ var ErrDeadlock = errors.New("pipeline: no forward progress")
 
 // deadlockWindow is the progress watchdog horizon in cycles.
 const deadlockWindow = 1_000_000
+
+// maxLatency bounds the completion delay any single instruction can be
+// scheduled with: the worst-case load (address generation, DTLB miss, then
+// a miss all the way down the hierarchy) or the longest fixed execution
+// latency. It sizes the event wheel.
+func maxLatency(cfg Config) int {
+	worstLoad := LatAGU + cfg.DTLB.MissPenalty +
+		cfg.Mem.L1D.Latency + cfg.Mem.L2.Latency + cfg.Mem.MemLatency
+	m := worstLoad
+	// Every fixed latency passed to schedule(): execution latencies, the
+	// forwarding fast path, and the 1-cycle Nop drain.
+	for _, l := range [...]int{
+		LatIntALU, LatBranch, LatIntMult, LatIntDiv,
+		LatFPALU, LatFPMult, LatFPDiv,
+		LatAGU + LatForward, 1,
+	} {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
 
 // New builds a CPU over the given trace stream.
 func New(cfg Config, stream isa.Stream) (*CPU, error) {
@@ -149,6 +296,10 @@ func New(cfg Config, stream isa.Stream) (*CPU, error) {
 	if err != nil {
 		return nil, err
 	}
+	rob := newROB(cfg.ROBSize)
+	// Wheel slots must cover [cycle+1, cycle+maxLatency] without wrap
+	// collisions, so the span is one past the maximum schedulable delay.
+	wheelSize := nextPow2(maxLatency(cfg) + 1)
 	return &CPU{
 		cfg:           cfg,
 		stream:        stream,
@@ -158,14 +309,20 @@ func New(cfg Config, stream isa.Stream) (*CPU, error) {
 		dtlb:          dtlb,
 		intRen:        intRen,
 		fpRen:         fpRen,
-		rob:           newROB(cfg.ROBSize),
+		rob:           rob,
 		fus:           newFUPool(cfg.IntALUs),
 		mult:          newUnitPool(cfg.IntMults),
 		fpalu:         newUnitPool(cfg.FPALUs),
 		fpmult:        newUnitPool(cfg.FPMults),
-		storeQ:        make([]storeQEntry, 0, cfg.StoreQSize),
-		fetchQ:        make([]fetchEntry, 0, cfg.FetchQueueSize),
-		completions:   make(map[uint64][]int),
+		storeQ:        newRing[storeQEntry](cfg.StoreQSize),
+		storeIdx:      newStoreIndex(),
+		fetchQ:        newRing[fetchEntry](cfg.FetchQueueSize),
+		wheel:         make([][]int32, wheelSize),
+		wheelMask:     uint64(wheelSize - 1),
+		readyQ:        make([]int32, 0, cfg.ROBSize),
+		pendingSrcs:   make([]uint8, len(rob.entries)),
+		intDeps:       make([][]int32, cfg.IntPhysRegs),
+		fpDeps:        make([][]int32, cfg.FPPhysRegs),
 		wordAddrShift: 3,
 	}, nil
 }
@@ -211,7 +368,7 @@ func (c *CPU) RunContext(ctx context.Context) (Result, error) {
 }
 
 func (c *CPU) finished() bool {
-	return c.eof && c.peeked == nil && len(c.fetchQ) == 0 && c.rob.count == 0
+	return c.eof && !c.havePeek && c.fetchQ.count == 0 && c.rob.count == 0
 }
 
 func (c *CPU) result() Result {
@@ -241,8 +398,8 @@ func (c *CPU) result() Result {
 }
 
 func (c *CPU) peek() (isa.Inst, bool) {
-	if c.peeked != nil {
-		return *c.peeked, true
+	if c.havePeek {
+		return c.peeked, true
 	}
 	if c.eof {
 		return isa.Inst{}, false
@@ -252,11 +409,12 @@ func (c *CPU) peek() (isa.Inst, bool) {
 		c.eof = true
 		return isa.Inst{}, false
 	}
-	c.peeked = &in
+	c.peeked = in
+	c.havePeek = true
 	return in, true
 }
 
-func (c *CPU) consume() { c.peeked = nil }
+func (c *CPU) consume() { c.havePeek = false }
 
 // ---- fetch ----
 
@@ -271,7 +429,7 @@ func (c *CPU) fetch() {
 	}
 	lineSize := uint64(c.cfg.Mem.L1I.LineSize)
 	slots := c.cfg.FetchWidth
-	for slots > 0 && len(c.fetchQ) < c.cfg.FetchQueueSize {
+	for slots > 0 && !c.fetchQ.full() {
 		in, ok := c.peek()
 		if !ok {
 			return
@@ -296,11 +454,11 @@ func (c *CPU) fetch() {
 			c.pred.Update(in, r)
 			if bpred.Mispredicted(in, r) {
 				fe.mispredict = true
-				c.fetchQ = append(c.fetchQ, fe)
+				c.fetchQ.push(fe)
 				c.redirectPending = true
 				return
 			}
-			c.fetchQ = append(c.fetchQ, fe)
+			c.fetchQ.push(fe)
 			slots--
 			if r.PredTaken {
 				// Correctly predicted taken control flow ends the fetch
@@ -309,7 +467,7 @@ func (c *CPU) fetch() {
 			}
 			continue
 		}
-		c.fetchQ = append(c.fetchQ, fe)
+		c.fetchQ.push(fe)
 		slots--
 	}
 }
@@ -334,8 +492,8 @@ func (c *CPU) renamerFor(r isa.Reg) (*renamer, int) {
 }
 
 func (c *CPU) dispatch() {
-	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchQ) > 0; n++ {
-		fe := c.fetchQ[0]
+	for n := 0; n < c.cfg.DecodeWidth && c.fetchQ.count > 0; n++ {
+		fe := c.fetchQ.front()
 		in := fe.inst
 		if c.rob.full() {
 			return
@@ -346,7 +504,7 @@ func (c *CPU) dispatch() {
 				return
 			}
 		case in.Class == isa.Store:
-			if len(c.storeQ) >= c.cfg.StoreQSize {
+			if c.storeQ.count >= c.cfg.StoreQSize {
 				return
 			}
 		case in.Class.IsFP():
@@ -365,6 +523,7 @@ func (c *CPU) dispatch() {
 			src2:       c.ref(in.Src2),
 			dest:       noReg,
 			oldPhys:    -1,
+			sq:         -1,
 			mispredict: fe.mispredict,
 		}
 		if in.Dest != isa.RegNone {
@@ -383,15 +542,48 @@ func (c *CPU) dispatch() {
 			c.schedule(idx, 1)
 		case in.Class == isa.Load:
 			c.lqCount++
+			c.enqueue(idx, &c.rob.entries[idx])
 		case in.Class == isa.Store:
-			c.storeQ = append(c.storeQ, storeQEntry{seq: in.Seq, addr: in.Addr})
+			c.rob.entries[idx].sq = int32(c.storeQ.push(storeQEntry{seq: in.Seq, addr: in.Addr}))
+			c.enqueue(idx, &c.rob.entries[idx])
 		case in.Class.IsFP():
 			c.fpIQCount++
+			c.enqueue(idx, &c.rob.entries[idx])
 		default:
 			c.intIQCount++
+			c.enqueue(idx, &c.rob.entries[idx])
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchQ.popFront()
 	}
+}
+
+// enqueue places a freshly dispatched instruction in the issue window:
+// straight onto the ready list when its operands are available, otherwise
+// asleep on the producing physical registers until wakeup marks them ready.
+// Dispatch runs in program order, so appending keeps readyQ seq-sorted.
+func (c *CPU) enqueue(idx int, e *robEntry) {
+	var pending uint8
+	if e.src1.idx >= 0 && !c.ready(e.src1) {
+		c.addDep(e.src1, int32(idx))
+		pending++
+	}
+	if e.src2.idx >= 0 && !c.ready(e.src2) {
+		c.addDep(e.src2, int32(idx))
+		pending++
+	}
+	if pending == 0 {
+		c.readyQ = append(c.readyQ, int32(idx))
+		return
+	}
+	c.pendingSrcs[idx] = pending
+}
+
+func (c *CPU) addDep(r physRef, idx int32) {
+	if r.fp {
+		c.fpDeps[r.idx] = append(c.fpDeps[r.idx], idx)
+		return
+	}
+	c.intDeps[r.idx] = append(c.intDeps[r.idx], idx)
 }
 
 // ---- issue + execute ----
@@ -406,90 +598,136 @@ func (c *CPU) ready(r physRef) bool {
 	return c.intRen.isReady(r.idx)
 }
 
+// schedule books the instruction's completion lat cycles from now on the
+// event wheel.
 func (c *CPU) schedule(robIdx int, lat int) {
-	at := c.cycle + uint64(lat)
-	c.completions[at] = append(c.completions[at], robIdx)
+	if uint64(lat) > c.wheelMask {
+		panic(fmt.Sprintf("pipeline: completion latency %d exceeds event wheel span %d", lat, c.wheelMask+1))
+	}
+	slot := (c.cycle + uint64(lat)) & c.wheelMask
+	c.wheel[slot] = append(c.wheel[slot], int32(robIdx))
 }
 
+// issue selects instructions from the ready list in program order, oldest
+// first, exactly as the previous full-ROB scan did: an instruction blocked
+// on a functional unit or memory port is skipped without consuming issue
+// bandwidth, and retried next cycle. Per-pool "exhausted" flags shortcut
+// repeat allocation attempts within the cycle — once a pool rejects an
+// allocation at this cycle it stays full until tick advances, since issue
+// only ever makes units busier.
 func (c *CPU) issue() {
+	q := c.readyQ
+	if len(q) == 0 {
+		return
+	}
 	budget := c.cfg.IssueWidth
 	ports := c.cfg.MemPorts
-	for i := 0; i < c.rob.count && budget > 0; i++ {
-		idx := (c.rob.head + i) % len(c.rob.entries)
+	var intFull, multFull, fpaluFull, fpmultFull bool
+	w := 0
+	for i := 0; i < len(q); i++ {
+		if budget == 0 {
+			w += copy(q[w:], q[i:])
+			break
+		}
+		idx := q[i]
 		e := &c.rob.entries[idx]
-		if e.state != stWaiting {
-			continue
-		}
-		if !c.ready(e.src1) || !c.ready(e.src2) {
-			continue
-		}
+		issued := false
 		switch e.inst.Class {
 		case isa.IntALU, isa.Branch, isa.Jump, isa.Call, isa.Return:
-			if _, ok := c.fus.tryAllocate(c.cycle, LatIntALU); !ok {
-				continue
+			if !intFull {
+				if _, ok := c.fus.tryAllocate(c.cycle, LatIntALU); ok {
+					c.schedule(int(idx), LatIntALU)
+					c.intIQCount--
+					issued = true
+				} else {
+					intFull = true
+				}
 			}
-			c.schedule(idx, LatIntALU)
-			c.intIQCount--
 		case isa.IntMult:
-			if !c.mult.tryAllocate(c.cycle, LatIntMult) {
-				continue
+			if !multFull {
+				if c.mult.tryAllocate(c.cycle, LatIntMult) {
+					c.schedule(int(idx), LatIntMult)
+					c.intIQCount--
+					issued = true
+				} else {
+					multFull = true
+				}
 			}
-			c.schedule(idx, LatIntMult)
-			c.intIQCount--
 		case isa.IntDiv:
-			if !c.mult.tryAllocate(c.cycle, LatIntDiv) {
-				continue
+			if !multFull {
+				if c.mult.tryAllocate(c.cycle, LatIntDiv) {
+					c.schedule(int(idx), LatIntDiv)
+					c.intIQCount--
+					issued = true
+				} else {
+					multFull = true
+				}
 			}
-			c.schedule(idx, LatIntDiv)
-			c.intIQCount--
 		case isa.Load:
 			// Address generation occupies an integer unit for one cycle
 			// (21264-style: memory ops issue down the integer pipes), and
 			// the access needs a cache port.
-			if ports == 0 {
-				continue
+			if ports > 0 && !intFull {
+				if _, ok := c.fus.tryAllocate(c.cycle, LatAGU); ok {
+					ports--
+					c.schedule(int(idx), c.loadLatency(e.inst))
+					issued = true
+				} else {
+					intFull = true
+				}
 			}
-			if _, ok := c.fus.tryAllocate(c.cycle, LatAGU); !ok {
-				continue
-			}
-			ports--
-			c.schedule(idx, c.loadLatency(e.inst))
 		case isa.Store:
-			if ports == 0 {
-				continue
+			if ports > 0 && !intFull {
+				if _, ok := c.fus.tryAllocate(c.cycle, LatAGU); ok {
+					ports--
+					pen := c.dtlb.Access(e.inst.Addr)
+					c.storeAddrKnown(e)
+					c.schedule(int(idx), LatAGU+pen)
+					issued = true
+				} else {
+					intFull = true
+				}
 			}
-			if _, ok := c.fus.tryAllocate(c.cycle, LatAGU); !ok {
-				continue
-			}
-			ports--
-			pen := c.dtlb.Access(e.inst.Addr)
-			c.markStoreAddrKnown(e.inst.Seq)
-			c.schedule(idx, LatAGU+pen)
 		case isa.FPALU:
-			if !c.fpalu.tryAllocate(c.cycle, LatFPALU) {
-				continue
+			if !fpaluFull {
+				if c.fpalu.tryAllocate(c.cycle, LatFPALU) {
+					c.schedule(int(idx), LatFPALU)
+					c.fpIQCount--
+					issued = true
+				} else {
+					fpaluFull = true
+				}
 			}
-			c.schedule(idx, LatFPALU)
-			c.fpIQCount--
 		case isa.FPMult:
-			if !c.fpmult.tryAllocate(c.cycle, LatFPMult) {
-				continue
+			if !fpmultFull {
+				if c.fpmult.tryAllocate(c.cycle, LatFPMult) {
+					c.schedule(int(idx), LatFPMult)
+					c.fpIQCount--
+					issued = true
+				} else {
+					fpmultFull = true
+				}
 			}
-			c.schedule(idx, LatFPMult)
-			c.fpIQCount--
 		case isa.FPDiv:
-			if !c.fpmult.tryAllocate(c.cycle, LatFPDiv) {
-				continue
+			if !fpmultFull {
+				if c.fpmult.tryAllocate(c.cycle, LatFPDiv) {
+					c.schedule(int(idx), LatFPDiv)
+					c.fpIQCount--
+					issued = true
+				} else {
+					fpmultFull = true
+				}
 			}
-			c.schedule(idx, LatFPDiv)
-			c.fpIQCount--
-		default:
-			// Nop never reaches the waiting state.
-			continue
 		}
-		e.state = stExecuting
-		budget--
+		if issued {
+			e.state = stExecuting
+			budget--
+		} else {
+			q[w] = idx
+			w++
+		}
 	}
+	c.readyQ = q[:w]
 }
 
 // loadLatency models address generation followed by either store-queue
@@ -504,46 +742,38 @@ func (c *CPU) loadLatency(in isa.Inst) int {
 	return LatAGU + pen + c.mem.L1D.Access(in.Addr, false)
 }
 
+// forwardingStore reports whether an older address-known store to the same
+// word is in flight, via the word-address index (one map probe; the
+// smallest indexed seq per word decides, since the lists are ascending).
 func (c *CPU) forwardingStore(loadSeq, addr uint64) bool {
-	word := addr >> c.wordAddrShift
-	for i := len(c.storeQ) - 1; i >= 0; i-- {
-		s := c.storeQ[i]
-		if s.seq >= loadSeq {
-			continue
-		}
-		if s.addrKnown && s.addr>>c.wordAddrShift == word {
-			return true
-		}
-	}
-	return false
+	return c.storeIdx.olderThan(addr>>c.wordAddrShift, loadSeq)
 }
 
-func (c *CPU) markStoreAddrKnown(seq uint64) {
-	for i := range c.storeQ {
-		if c.storeQ[i].seq == seq {
-			c.storeQ[i].addrKnown = true
-			return
-		}
-	}
+// storeAddrKnown resolves a store's address at issue: the robEntry carries
+// its store-queue slot, so no scan is needed to flip the flag or index the
+// word.
+func (c *CPU) storeAddrKnown(e *robEntry) {
+	s := &c.storeQ.entries[e.sq]
+	s.addrKnown = true
+	c.storeIdx.add(s.addr>>c.wordAddrShift, s.seq)
 }
 
 // ---- completion ----
 
+// complete drains the event wheel slot for the current cycle: finished
+// instructions mark their destination ready and wake the instructions
+// sleeping on it onto the ready list (in seq order).
 func (c *CPU) complete() {
-	list, ok := c.completions[c.cycle]
-	if !ok {
+	slot := c.cycle & c.wheelMask
+	list := c.wheel[slot]
+	if len(list) == 0 {
 		return
 	}
-	delete(c.completions, c.cycle)
 	for _, idx := range list {
 		e := &c.rob.entries[idx]
 		e.state = stDone
 		if e.dest.idx >= 0 {
-			if e.dest.fp {
-				c.fpRen.markReady(e.dest.idx)
-			} else {
-				c.intRen.markReady(e.dest.idx)
-			}
+			c.wakeup(e.dest)
 		}
 		if e.mispredict {
 			// The mispredicted control instruction has resolved: redirect
@@ -553,6 +783,58 @@ func (c *CPU) complete() {
 			c.haveFetchLine = false
 		}
 	}
+	c.wheel[slot] = list[:0]
+}
+
+// wakeup marks the physical register ready and moves its now-unblocked
+// consumers to the ready list. Dependent lists are drained in place and
+// keep their capacity.
+func (c *CPU) wakeup(dest physRef) {
+	var deps []int32
+	if dest.fp {
+		c.fpRen.markReady(dest.idx)
+		deps = c.fpDeps[dest.idx]
+	} else {
+		c.intRen.markReady(dest.idx)
+		deps = c.intDeps[dest.idx]
+	}
+	if len(deps) == 0 {
+		return
+	}
+	for _, d := range deps {
+		c.pendingSrcs[d]--
+		if c.pendingSrcs[d] == 0 {
+			c.insertReady(d)
+		}
+	}
+	if dest.fp {
+		c.fpDeps[dest.idx] = deps[:0]
+	} else {
+		c.intDeps[dest.idx] = deps[:0]
+	}
+}
+
+// insertReady places a woken instruction into readyQ preserving ascending
+// seq order, so issue keeps the oldest-first priority of the original
+// full-ROB scan. Wakeups within a cycle arrive in completion order, hence
+// the sorted insert (the ready list is short — bounded by the issue
+// queues, not the ROB).
+func (c *CPU) insertReady(idx int32) {
+	q := c.readyQ
+	seq := c.rob.entries[idx].inst.Seq
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.rob.entries[q[mid]].inst.Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q = append(q, 0)
+	copy(q[lo+1:], q[lo:])
+	q[lo] = idx
+	c.readyQ = q
 }
 
 // ---- commit ----
@@ -566,10 +848,13 @@ func (c *CPU) commit() {
 		switch e.inst.Class {
 		case isa.Store:
 			c.mem.L1D.Access(e.inst.Addr, true)
-			if len(c.storeQ) == 0 || c.storeQ[0].seq != e.inst.Seq {
+			if c.storeQ.count == 0 || c.storeQ.front().seq != e.inst.Seq {
 				panic("pipeline: store queue out of sync with ROB")
 			}
-			c.storeQ = c.storeQ[1:]
+			if s := c.storeQ.front(); s.addrKnown {
+				c.storeIdx.remove(s.addr>>c.wordAddrShift, s.seq)
+			}
+			c.storeQ.popFront()
 		case isa.Load:
 			c.lqCount--
 		}

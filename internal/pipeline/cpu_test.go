@@ -231,8 +231,8 @@ func TestRenamerConservation(t *testing.T) {
 	if got, want := cpu.fpRen.freeCount(), cfg.FPPhysRegs-isa.NumFPRegs; got != want {
 		t.Errorf("fp free regs = %d, want %d", got, want)
 	}
-	if cpu.rob.count != 0 || cpu.lqCount != 0 || len(cpu.storeQ) != 0 ||
-		cpu.intIQCount != 0 || cpu.fpIQCount != 0 {
+	if cpu.rob.count != 0 || cpu.lqCount != 0 || cpu.storeQ.count != 0 ||
+		cpu.intIQCount != 0 || cpu.fpIQCount != 0 || len(cpu.readyQ) != 0 {
 		t.Error("queues not drained")
 	}
 }

@@ -1,0 +1,169 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/pipeline"
+	"github.com/archsim/fusleep/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden captures")
+
+// goldenWindow keeps the full-suite capture fast while still exercising
+// every kernel phase, the store queue, and the cache hierarchy.
+const goldenWindow = 120_000
+
+// goldenCase is one simulated configuration in the golden capture.
+type goldenCase struct {
+	Bench  string `json:"bench"`
+	FUs    int    `json:"fus"`
+	L2     int    `json:"l2"`
+	Window uint64 `json:"window"`
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, spec := range workload.Benchmarks {
+		cases = append(cases, goldenCase{Bench: spec.Name, FUs: spec.PaperFUs, L2: 12, Window: goldenWindow})
+	}
+	// Off-default machine points: minimum FU count and the Figure 7 slow L2,
+	// so geometry-dependent paths (wheel sizing, cache shift/mask) are pinned
+	// at more than one configuration.
+	cases = append(cases,
+		goldenCase{Bench: "gcc", FUs: 1, L2: 32, Window: 60_000},
+		goldenCase{Bench: "mcf", FUs: 4, L2: 32, Window: 60_000},
+	)
+	return cases
+}
+
+func runGoldenCase(t *testing.T, gc goldenCase) pipeline.Result {
+	t.Helper()
+	spec, err := workload.ByName(gc.Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig().WithIntALUs(gc.FUs).WithL2Latency(gc.L2)
+	cfg.MaxInsts = gc.Window
+	cpu, err := pipeline.New(cfg, spec.NewTrace(gc.Window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cpu.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// capture is the serialized form of the golden file: the case list plus the
+// full Result for each, in order.
+type capture struct {
+	Cases   []goldenCase      `json:"cases"`
+	Results []pipeline.Result `json:"results"`
+}
+
+func marshalCapture(t *testing.T, c capture) []byte {
+	t.Helper()
+	out, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestGoldenDeterminism runs every suite workload at a fixed seed and
+// asserts the full Result — cycles, committed, per-FU interval histograms,
+// cache/TLB/predictor stats — is byte-identical to the pre-refactor golden
+// capture in testdata. Any change to the serialized bytes means the timing
+// model's observable behavior changed; performance work must keep this test
+// green so "faster" provably means "same numbers, sooner". Regenerate
+// (after an intentional model change) with:
+//
+//	go test ./internal/pipeline -run TestGoldenDeterminism -update
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite golden capture is not short")
+	}
+	cases := goldenCases()
+	cap := capture{Cases: cases}
+	for _, gc := range cases {
+		cap.Results = append(cap.Results, runGoldenCase(t, gc))
+	}
+	got := marshalCapture(t, cap)
+
+	path := filepath.Join("testdata", "golden_results.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden capture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		for i, gc := range cases {
+			gotOne := marshalResult(t, cap.Results[i])
+			wantOne := wantResult(t, want, i)
+			if !bytes.Equal(gotOne, wantOne) {
+				t.Errorf("case %+v diverged from golden capture:\n got: %s\nwant: %s",
+					gc, truncate(gotOne, 400), truncate(wantOne, 400))
+			}
+		}
+		t.Fatal("simulation results changed vs. golden capture; if intentional, regenerate with -update")
+	}
+}
+
+func marshalResult(t *testing.T, r pipeline.Result) []byte {
+	t.Helper()
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func wantResult(t *testing.T, raw []byte, i int) []byte {
+	t.Helper()
+	var c capture
+	if err := json.Unmarshal(raw, &c); err != nil {
+		t.Fatal(err)
+	}
+	if i >= len(c.Results) {
+		t.Fatalf("golden capture has %d results, want index %d", len(c.Results), i)
+	}
+	return marshalResult(t, c.Results[i])
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return fmt.Sprintf("%s... (%d bytes)", b[:n], len(b))
+}
+
+// TestRunToRunDeterminism re-runs one configuration and asserts the two
+// Results are identical without consulting the golden file, so seed-level
+// nondeterminism (map iteration, goroutine scheduling in the trace
+// generator) is caught even when the capture is being regenerated.
+func TestRunToRunDeterminism(t *testing.T) {
+	gc := goldenCase{Bench: "twolf", FUs: 3, L2: 12, Window: 60_000}
+	a := runGoldenCase(t, gc)
+	b := runGoldenCase(t, gc)
+	ja, jb := marshalResult(t, a), marshalResult(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed produced different results:\n run1: %s\n run2: %s",
+			truncate(ja, 400), truncate(jb, 400))
+	}
+}

@@ -3,7 +3,10 @@
 // by a hardware walker (no instruction overhead).
 package tlb
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one TLB.
 type Config struct {
@@ -67,12 +70,19 @@ type entry struct {
 	tick  uint64
 }
 
-// TLB is one translation buffer with LRU replacement.
+// TLB is one translation buffer with LRU replacement. Validate guarantees a
+// power-of-two set count, so index geometry is precomputed as shifts and
+// masks at construction and Access never divides.
 type TLB struct {
 	cfg     Config
 	entries []entry
 	tick    uint64
 	stats   Stats
+
+	pageShift uint   // log2 page size: addr -> page number
+	setShift  uint   // log2(Sets): page number -> tag
+	setMask   uint64 // Sets - 1: page number -> set index
+	assoc     int
 }
 
 // New builds a TLB.
@@ -80,7 +90,15 @@ func New(cfg Config) (*TLB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &TLB{cfg: cfg, entries: make([]entry, cfg.Entries)}, nil
+	sets := cfg.Sets()
+	return &TLB{
+		cfg:       cfg,
+		entries:   make([]entry, cfg.Entries),
+		pageShift: uint(cfg.PageBits),
+		setShift:  uint(bits.TrailingZeros(uint(sets))),
+		setMask:   uint64(sets - 1),
+		assoc:     cfg.Assoc,
+	}, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -103,11 +121,11 @@ func (t *TLB) Stats() Stats { return t.stats }
 func (t *TLB) Access(addr uint64) int {
 	t.tick++
 	t.stats.Accesses++
-	page := addr >> t.cfg.PageBits
-	nSets := uint64(t.cfg.Sets())
-	setIdx := page & (nSets - 1)
-	tag := page / nSets
-	set := t.entries[setIdx*uint64(t.cfg.Assoc) : (setIdx+1)*uint64(t.cfg.Assoc)]
+	page := addr >> t.pageShift
+	setIdx := int(page & t.setMask)
+	tag := page >> t.setShift
+	base := setIdx * t.assoc
+	set := t.entries[base : base+t.assoc]
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].tick = t.tick

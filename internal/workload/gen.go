@@ -19,6 +19,23 @@ import (
 
 const batchSize = 4096
 
+// batchPool recycles trace batches between the generator goroutine and the
+// consuming simulator: a batch fully drained by Trace.Next (or discarded by
+// Close) goes back to the pool, so steady-state trace generation allocates
+// nothing per flush. Batches are handed off by value; every instruction is
+// copied out before the batch is recycled.
+var batchPool = sync.Pool{
+	New: func() any { return make([]isa.Inst, 0, batchSize) },
+}
+
+func getBatch() []isa.Inst { return batchPool.Get().([]isa.Inst)[:0] }
+
+func putBatch(b []isa.Inst) {
+	if cap(b) >= batchSize {
+		batchPool.Put(b[:0]) //nolint:staticcheck // slice-header boxing is one tiny alloc per 4096 insts
+	}
+}
+
 // Emitter is the push-side interface kernels use to generate instructions.
 // It assigns sequence numbers, batches instructions, and enforces the trace
 // length limit.
@@ -60,10 +77,11 @@ func (e *Emitter) flush() {
 	}
 	select {
 	case e.out <- e.batch:
+		e.batch = getBatch()
 	case <-e.stop:
 		e.done = true
+		e.batch = e.batch[:0]
 	}
-	e.batch = make([]isa.Inst, 0, batchSize)
 }
 
 // ALU emits a single-cycle integer operation.
@@ -141,7 +159,7 @@ func NewTrace(limit uint64, seed int64, kernel func(*Emitter)) *Trace {
 		stop: make(chan struct{}),
 	}
 	e := &Emitter{
-		batch: make([]isa.Inst, 0, batchSize),
+		batch: getBatch(),
 		out:   t.ch,
 		stop:  t.stop,
 		limit: limit,
@@ -158,6 +176,12 @@ func NewTrace(limit uint64, seed int64, kernel func(*Emitter)) *Trace {
 // Next implements isa.Stream.
 func (t *Trace) Next() (isa.Inst, bool) {
 	for t.pos >= len(t.cur) {
+		if t.cur != nil {
+			// Fully consumed; every instruction was copied out, so the
+			// batch can be recycled for the generator.
+			putBatch(t.cur)
+			t.cur = nil
+		}
 		if t.exhausted {
 			return isa.Inst{}, false
 		}
@@ -179,10 +203,14 @@ func (t *Trace) Next() (isa.Inst, bool) {
 func (t *Trace) Close() {
 	t.stopOnce.Do(func() { close(t.stop) })
 	// Drain so the producer's in-flight sends complete and the goroutine
-	// observes the stop channel.
-	for range t.ch {
+	// observes the stop channel; drained batches are recycled.
+	for b := range t.ch {
+		putBatch(b)
 	}
-	t.cur = nil
+	if t.cur != nil {
+		putBatch(t.cur)
+		t.cur = nil
+	}
 	t.pos = 0
 	t.exhausted = true
 }
