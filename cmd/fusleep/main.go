@@ -95,6 +95,11 @@ func main() {
 		for _, id := range ids {
 			arts, err := eng.RunExperiments(ctx, id)
 			if err != nil {
+				// Everything rendered so far already reached stdout; say so
+				// instead of silently abandoning the partial output.
+				if n > 0 {
+					fmt.Fprintf(os.Stderr, "%d artifact(s) flushed before the failure\n", n)
+				}
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

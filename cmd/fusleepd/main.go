@@ -1,0 +1,103 @@
+// Command fusleepd serves sleep-policy design-space sweeps over HTTP: a
+// long-lived fusleep.Engine behind a sharded, bounded job queue. Clients
+// submit policy × technology × FU-count grids, stream per-cell results back
+// as NDJSON while the sweep runs, and identical cells — across requests and
+// across clients — deduplicate through the engine's simulation cache.
+//
+// Usage:
+//
+//	fusleepd -addr :8080
+//	fusleepd -addr :8080 -shards 8 -queue 256 -window 500000 -parallel 4
+//
+// Endpoints (see internal/server for the contract):
+//
+//	POST   /v1/sweeps        submit a sweep grid
+//	GET    /v1/sweeps/{id}   stream per-cell NDJSON results (?poll=1 snapshots)
+//	DELETE /v1/sweeps/{id}   cancel a sweep
+//	GET    /v1/workloads     registered benchmarks
+//	GET    /v1/policies      registered sleep policies
+//	GET    /healthz          liveness (503 while draining)
+//	GET    /metrics          Prometheus-style metrics
+//
+// On SIGTERM/SIGINT the daemon stops accepting sweeps, drains every queued
+// and in-flight cell (bounded by -drain-timeout), finishes open response
+// streams, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 0, "worker shards (0 = min(GOMAXPROCS, 8))")
+	queue := flag.Int("queue", 128, "pending cells per shard")
+	maxCells := flag.Int("max-cells", 4096, "largest accepted sweep, in cells")
+	window := flag.Uint64("window", 1_000_000, "default instruction window per benchmark")
+	maxWindow := flag.Uint64("max-window", 10_000_000, "largest accepted per-request window")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = suite size)")
+	cache := flag.Bool("cache", true, "enable the cross-request simulation cache")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to drain in-flight cells on shutdown")
+	flag.Parse()
+
+	eng := fusleep.NewEngine(
+		fusleep.WithWindow(*window),
+		fusleep.WithParallelism(*parallel),
+		fusleep.WithCache(*cache),
+	)
+	srv := server.New(server.Config{
+		Engine:     eng,
+		Shards:     *shards,
+		QueueDepth: *queue,
+		MaxCells:   *maxCells,
+		MaxWindow:  *maxWindow,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "fusleepd listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting sweeps, finish queued and in-flight
+	// cells, then close the listener once open streams have delivered the
+	// final events.
+	fmt.Fprintln(os.Stderr, "fusleepd: draining in-flight cells...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "fusleepd: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "fusleepd: shutdown: %v\n", err)
+	}
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	fmt.Fprintln(os.Stderr, "fusleepd: bye")
+}

@@ -120,11 +120,34 @@ func main() {
 			}
 		}
 		eng := fusleep.NewEngine(fusleep.WithWindow(*window), fusleep.WithTech(tech))
-		arts, err = eng.Sweep(ctx, fusleep.Grid{Techs: techs, FUCounts: fus, Alpha: *alpha, Window: *window})
+		grid := fusleep.Grid{Techs: techs, FUCounts: fus, Alpha: *alpha, Window: *window}
+		// Stream cell by cell so an interrupt mid-sweep still flushes the
+		// cells that finished instead of discarding them with the error.
+		total := len(eng.Cells(grid))
+		t := eng.NewSweepTable(grid)
+		done := 0
+		err = eng.SweepStream(ctx, grid, func(res fusleep.CellResult) error {
+			fusleep.AddSweepRow(t, res)
+			done++
+			return nil
+		})
 		if err != nil {
+			if done > 0 {
+				// Flush the completed cells before reporting the failure.
+				t.AddNote("PARTIAL: %d of %d cells completed before: %v", done, total, err)
+				if rerr := render(os.Stdout, []fusleep.Artifact{fusleep.TableArtifact("sweep", t)}); rerr != nil {
+					fmt.Fprintln(os.Stderr, rerr)
+				}
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		// Same provenance note Engine.Sweep's batch artifact carries.
+		if cells := eng.Cells(grid); len(cells) > 0 {
+			t.AddNote("E/E_base averaged over %d benchmarks at window %d",
+				len(cells[0].Benchmarks), cells[0].Window)
+		}
+		arts = append(arts, fusleep.TableArtifact("sweep", t))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)

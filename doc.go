@@ -42,6 +42,30 @@
 //		FUCounts: []int{2, 4},
 //	})
 //
+// # Streaming sweeps and the sweep service
+//
+// A Grid expands into an ordered list of Cells — one policy × technology ×
+// FU-count point each, with a stable configuration hash (Cell.Key). Engine
+// exposes the incremental form of Sweep for services and progress UIs:
+// SweepStream delivers a CellResult per completed cell, RunCell evaluates a
+// single cell against the shared cache, and Stats reports the simulation /
+// cache-hit accounting. NewSweepTable and AddSweepRow assemble streamed
+// cells into the same table Sweep returns, so partial output renders
+// identically to batch output.
+//
+//	err := eng.SweepStream(ctx, grid, func(res fusleep.CellResult) error {
+//		fmt.Printf("%s: E/E_base=%.4f\n", res.Cell.Policy.Policy, res.RelEnergy)
+//		return nil
+//	})
+//
+// cmd/fusleepd serves these sweeps over HTTP as a long-lived daemon: grids
+// are submitted as JSON, expanded into cells, and fed through a sharded,
+// bounded job queue (cells route to worker shards by Cell.Key, so identical
+// cells — across requests and clients — deduplicate through the engine's
+// simulation cache); per-cell results stream back as NDJSON while the sweep
+// runs. See the internal/server package comment for the endpoint contract
+// and examples/sweepservice for a complete client.
+//
 // # Artifacts and renderers
 //
 // Results are Artifact values: an experiment identity plus a typed payload,
@@ -73,8 +97,11 @@
 //
 // BenchmarkPipelineSimulation reports simulated inst/s, cycles/s, and
 // allocs/op; BENCH_pipeline.json tracks those numbers across PRs, and CI
-// runs the benchmark on every push. To profile the hot path, use
-// cmd/simcpu's -cpuprofile and -memprofile flags.
+// gates on them: the bench-gate job fails the build when inst/s drops below
+// 70% of the tracked baseline or allocs/op more than doubles (see
+// internal/ci/benchgate and the README's CI section; refresh the baseline
+// in BENCH_pipeline.json when a PR legitimately moves it). To profile the
+// hot path, use cmd/simcpu's -cpuprofile and -memprofile flags.
 //
 // The pre-Engine one-shot helpers (SimulateBenchmark, RunExperiment,
 // RunExperiments, RunAll) remain as deprecated shims; new code should use

@@ -58,7 +58,12 @@ func RenderJSON(w io.Writer, artifacts []Artifact) error { return report.RenderJ
 // RenderCSV writes each artifact as a titled CSV block.
 func RenderCSV(w io.Writer, artifacts []Artifact) error { return report.RenderCSV(w, artifacts) }
 
-// RendererFor maps a format name ("text", "json", "csv") to its renderer.
+// RenderNDJSON writes each artifact as one compact JSON object per line,
+// for incremental consumers; each line unmarshals back into an Artifact.
+func RenderNDJSON(w io.Writer, artifacts []Artifact) error { return report.RenderNDJSON(w, artifacts) }
+
+// RendererFor maps a format name ("text", "json", "csv", "ndjson") to its
+// renderer.
 func RendererFor(format string) (Renderer, error) { return report.RendererFor(format) }
 
 // Formats lists the built-in renderer names.
@@ -262,3 +267,66 @@ func (e *Engine) RunExperiment(ctx context.Context, id string) ([]Artifact, erro
 func (e *Engine) Sweep(ctx context.Context, g Grid) ([]Artifact, error) {
 	return experiments.RunSweep(ctx, e.runner, g, e.tech)
 }
+
+// Cell is one fully-resolved sweep grid point: a policy evaluated at one
+// technology point and FU count over a fixed benchmark set. Cell.Key()
+// returns a stable configuration hash, so services can shard and dedupe
+// identical cells.
+type Cell = experiments.Cell
+
+// CellResult is one completed sweep cell: its identity plus the
+// suite-averaged relative energy and leakage fraction.
+type CellResult = experiments.CellResult
+
+// EngineStats snapshots the engine's simulation accounting: completed
+// pipeline simulations, cache hits, and joins onto identical in-flight
+// runs. Its HitRate method folds the hits into a single utilization figure.
+type EngineStats = experiments.RunnerStats
+
+// Cells expands a grid into its ordered cell list after resolving zero
+// values against the engine's defaults, without running anything. The order
+// matches Sweep's row order and CellResult.Index.
+func (e *Engine) Cells(g Grid) []Cell {
+	if g.Window == 0 {
+		g.Window = e.window
+	}
+	return g.Cells(e.tech)
+}
+
+// RunCell evaluates one sweep cell against the engine's shared simulation
+// cache: the cell's benchmark suite is simulated (or re-used) at its FU
+// count, then the closed-form energy model is applied at its technology ×
+// policy point. The returned result's Index is zero; grid enumerators set
+// it. Identical cells are deduplicated through the cache, so re-running a
+// cell is a map lookup.
+func (e *Engine) RunCell(ctx context.Context, c Cell) (CellResult, error) {
+	if c.Window == 0 {
+		c.Window = e.window
+	}
+	return experiments.EvalCell(ctx, e.runner, c)
+}
+
+// SweepStream evaluates a grid cell by cell, invoking fn with each
+// completed CellResult in grid order — the incremental form of Sweep, for
+// callers (services, progress UIs, partial-output flushing) that need
+// results as they complete rather than one artifact at the end. Evaluation
+// stops at the first cell error or the first non-nil error from fn.
+func (e *Engine) SweepStream(ctx context.Context, g Grid, fn func(CellResult) error) error {
+	if g.Window == 0 {
+		g.Window = e.window
+	}
+	return experiments.RunSweepStream(ctx, e.runner, g, e.tech, fn)
+}
+
+// Stats returns a snapshot of the engine's simulation accounting. Services
+// expose it as their cache-utilization metric.
+func (e *Engine) Stats() EngineStats { return e.runner.Stats() }
+
+// NewSweepTable returns the empty standard sweep result table for a grid —
+// the same table Sweep produces — so SweepStream consumers can accumulate
+// partial results in the canonical format.
+func (e *Engine) NewSweepTable(g Grid) *Table { return experiments.SweepTable(g, e.tech) }
+
+// AddSweepRow appends one completed cell to a sweep table in Sweep's row
+// format.
+func AddSweepRow(t *Table, res CellResult) { experiments.AddSweepRow(t, res) }

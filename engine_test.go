@@ -202,3 +202,80 @@ func TestRendererFor(t *testing.T) {
 
 // Engine internals reach into internal/report types; keep the alias honest.
 var _ = report.Artifact(Artifact{})
+
+func TestEngineSweepStreamAndStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	e := NewEngine(WithWindow(20_000))
+	g := Grid{
+		Techs:      []Tech{DefaultTech(), HighLeakTech()},
+		Benchmarks: []string{"gcc"},
+	}
+	cells := e.Cells(g)
+	if len(cells) != 8 { // 2 techs x 4 default policies
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	// The engine's default window is stamped onto resolved cells so their
+	// keys are canonical.
+	if cells[0].Window != e.Window() {
+		t.Errorf("cell window = %d, want engine default %d", cells[0].Window, e.Window())
+	}
+
+	tbl := e.NewSweepTable(g)
+	var got []CellResult
+	if err := e.SweepStream(context.Background(), g, func(res CellResult) error {
+		got = append(got, res)
+		AddSweepRow(tbl, res)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("streamed %d cells, want %d", len(got), len(cells))
+	}
+	for i, res := range got {
+		if res.Index != i {
+			t.Errorf("cell %d delivered with index %d", i, res.Index)
+		}
+		if res.Cell.Key() != cells[i].Key() {
+			t.Errorf("cell %d identity mismatch", i)
+		}
+	}
+
+	// The batch Sweep over the same grid produces the same rows and, via
+	// the shared cache, runs no further simulations.
+	before := e.Stats()
+	if before.Simulations == 0 {
+		t.Fatal("stream ran no simulations")
+	}
+	arts, err := e.Sweep(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(arts[0].Table.Rows, tbl.Rows) {
+		t.Errorf("stream-assembled table differs from Sweep:\n%v\nvs\n%v", tbl.Rows, arts[0].Table.Rows)
+	}
+	after := e.Stats()
+	if after.Simulations != before.Simulations {
+		t.Errorf("repeat sweep re-simulated: %d -> %d", before.Simulations, after.Simulations)
+	}
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("repeat sweep missed the cache: hits %d -> %d", before.CacheHits, after.CacheHits)
+	}
+	if rate := after.HitRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("hit rate = %g, want in (0,1)", rate)
+	}
+
+	// RunCell on one cell is a pure cache hit now.
+	res, err := e.RunCell(context.Background(), cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelEnergy != got[0].RelEnergy {
+		t.Errorf("RunCell rel = %g, stream said %g", res.RelEnergy, got[0].RelEnergy)
+	}
+	if e.Stats().Simulations != after.Simulations {
+		t.Error("RunCell re-simulated a cached cell")
+	}
+}

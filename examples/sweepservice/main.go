@@ -1,0 +1,182 @@
+// Command sweepservice is a client for the fusleepd sweep daemon: it
+// submits a policy × technology sweep grid, streams the per-cell NDJSON
+// results as they complete, and prints a summary including the service's
+// simulation-cache utilization. Run `fusleepd` first, then:
+//
+//	go run ./examples/sweepservice -server http://localhost:8080
+//	go run ./examples/sweepservice -server http://localhost:8080 \
+//	    -ps 0.05,0.5 -benchmarks gcc,mcf -window 200000
+//
+// Submitting the same grid twice demonstrates the dedupe path: the second
+// run's cells are served from the engine's simulation cache, visible in
+// the reported cache hit rate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type sweepRequest struct {
+	Ps         []float64 `json:"ps,omitempty"`
+	Benchmarks []string  `json:"benchmarks,omitempty"`
+	FUCounts   []int     `json:"fuCounts,omitempty"`
+	Window     uint64    `json:"window,omitempty"`
+}
+
+type submitResponse struct {
+	ID    string `json:"id"`
+	Cells int    `json:"cells"`
+	URL   string `json:"url"`
+}
+
+type streamEvent struct {
+	Event     string `json:"event"`
+	ID        string `json:"id"`
+	State     string `json:"state,omitempty"`
+	Cells     int    `json:"cells,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Failed    int    `json:"failed,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Result    *struct {
+		Index int `json:"index"`
+		Cell  struct {
+			Policy struct {
+				Policy string `json:"policy"`
+			} `json:"policy"`
+			Tech struct {
+				P float64 `json:"p"`
+			} `json:"tech"`
+			FUs int `json:"fus"`
+		} `json:"cell"`
+		RelEnergy       float64 `json:"relEnergy"`
+		LeakageFraction float64 `json:"leakageFraction"`
+	} `json:"result,omitempty"`
+}
+
+func main() {
+	serverURL := flag.String("server", "http://localhost:8080", "fusleepd base URL")
+	ps := flag.String("ps", "0.05,0.5", "leakage factors, comma-separated")
+	benchmarks := flag.String("benchmarks", "gcc,mcf", "benchmarks, comma-separated (empty = all nine)")
+	window := flag.Uint64("window", 150_000, "instruction window per benchmark")
+	repeat := flag.Int("repeat", 2, "submissions of the same grid (>=2 shows cache dedupe)")
+	flag.Parse()
+
+	req := sweepRequest{Window: *window}
+	for _, f := range strings.Split(*ps, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		req.Ps = append(req.Ps, v)
+	}
+	if *benchmarks != "" {
+		for _, b := range strings.Split(*benchmarks, ",") {
+			req.Benchmarks = append(req.Benchmarks, strings.TrimSpace(b))
+		}
+	}
+
+	for run := 1; run <= *repeat; run++ {
+		start := time.Now()
+		id, cells, err := submit(*serverURL, req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("run %d: sweep %s accepted (%d cells)\n", run, id, cells)
+		if err := stream(*serverURL, id); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("run %d finished in %v; %s\n\n",
+			run, time.Since(start).Round(time.Millisecond), cacheLine(*serverURL))
+	}
+}
+
+func submit(base string, req sweepRequest) (id string, cells int, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return "", 0, fmt.Errorf("submit: %s: %s", resp.Status, e.Error)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return "", 0, err
+	}
+	return sub.ID, sub.Cells, nil
+}
+
+func stream(base, id string) error {
+	resp, err := http.Get(base + "/v1/sweeps/" + id)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad stream line %q: %w", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "cell":
+			r := ev.Result
+			if r == nil {
+				return fmt.Errorf("cell event without a result: %s", sc.Text())
+			}
+			fmt.Printf("  cell %2d  p=%-5.3g fus=%-5d %-13s E/E_base=%.4f leak=%.4f\n",
+				r.Index, r.Cell.Tech.P, r.Cell.FUs, r.Cell.Policy.Policy, r.RelEnergy, r.LeakageFraction)
+		case "end":
+			if ev.Error != "" {
+				return fmt.Errorf("sweep %s %s: %s", ev.ID, ev.State, ev.Error)
+			}
+			fmt.Printf("  sweep %s %s: %d/%d cells\n", ev.ID, ev.State, ev.Completed, ev.Cells)
+		}
+	}
+	return sc.Err()
+}
+
+// cacheLine summarizes the daemon's simulation-cache metrics.
+func cacheLine(base string) string {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err.Error()
+	}
+	defer resp.Body.Close()
+	var runs, hits, rate string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "fusleepd_sim_runs_total "):
+			runs = strings.Fields(line)[1]
+		case strings.HasPrefix(line, "fusleepd_sim_cache_hits_total "):
+			hits = strings.Fields(line)[1]
+		case strings.HasPrefix(line, "fusleepd_sim_cache_hit_rate "):
+			rate = strings.Fields(line)[1]
+		}
+	}
+	return fmt.Sprintf("sim runs %s, cache hits %s, hit rate %s", runs, hits, rate)
+}

@@ -49,6 +49,10 @@ const (
 // Policies lists the four policies of the result figures in bar order.
 var Policies = core.Policies
 
+// ParsePolicy maps a policy's paper name (case-insensitively) back to its
+// value — the inverse of Policy.String, for wire formats and flags.
+func ParsePolicy(name string) (Policy, error) { return core.ParsePolicy(name) }
+
 // DefaultTech returns the paper's Table 4 analysis parameters at the
 // near-term technology point p = 0.05.
 func DefaultTech() Tech { return core.DefaultTech() }

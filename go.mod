@@ -1,3 +1,3 @@
 module github.com/archsim/fusleep
 
-go 1.24
+go 1.23.0

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Measured holds the gated metrics parsed from one benchmark's output line.
+type Measured struct {
+	Name     string
+	NsPerOp  float64
+	InstPerS float64
+	AllocsOp float64
+	hasInst  bool
+	hasAlloc bool
+}
+
+// ParseBench extracts the named benchmark's metrics from `go test -bench`
+// output. Benchmark lines look like:
+//
+//	BenchmarkPipelineSimulation-8  3  15877023 ns/op  6298731 inst/s  894 allocs/op
+//
+// i.e. a name (with a -GOMAXPROCS suffix), an iteration count, then
+// value/unit pairs.
+func ParseBench(out, name string) (Measured, error) {
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		base, _, _ := strings.Cut(fields[0], "-")
+		if base != name {
+			continue
+		}
+		m := Measured{Name: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Measured{}, fmt.Errorf("bad value %q on line %q: %w", fields[i], line, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "inst/s":
+				m.InstPerS = v
+				m.hasInst = true
+			case "allocs/op":
+				m.AllocsOp = v
+				m.hasAlloc = true
+			}
+		}
+		if !m.hasInst {
+			return Measured{}, fmt.Errorf("benchmark %s reported no inst/s metric (line %q)", name, line)
+		}
+		if !m.hasAlloc {
+			return Measured{}, fmt.Errorf("benchmark %s reported no allocs/op — run with -benchmem (line %q)", name, line)
+		}
+		return m, nil
+	}
+	return Measured{}, fmt.Errorf("no output line for benchmark %s", name)
+}
+
+// Baseline is the tracked entry of BENCH_pipeline.json the gate compares
+// against.
+type Baseline struct {
+	InstPerS    float64 `json:"inst_per_s"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// ParseBaseline reads the "current" entry from BENCH_pipeline.json.
+func ParseBaseline(raw []byte) (Baseline, error) {
+	var file struct {
+		Current Baseline `json:"current"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return Baseline{}, fmt.Errorf("baseline: %w", err)
+	}
+	if file.Current.InstPerS <= 0 || file.Current.AllocsPerOp <= 0 {
+		return Baseline{}, fmt.Errorf("baseline has no usable 'current' entry (inst_per_s=%g, allocs_per_op=%g)",
+			file.Current.InstPerS, file.Current.AllocsPerOp)
+	}
+	return file.Current, nil
+}
+
+// Check is one gated comparison.
+type Check struct {
+	Metric   string
+	Measured float64
+	Baseline float64
+	Limit    float64 // the threshold the measurement is held to
+	Pass     bool
+}
+
+// Report aggregates the gate's checks.
+type Report struct {
+	Checks []Check
+}
+
+// OK reports whether every check passed.
+func (r Report) OK() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the checks as an aligned table with PASS/FAIL verdicts.
+func (r Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s   %s\n", "metric", "measured", "baseline", "limit", "verdict")
+	for _, c := range r.Checks {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-10s %14.0f %14.0f %14.0f   %s\n", c.Metric, c.Measured, c.Baseline, c.Limit, verdict)
+	}
+	return b.String()
+}
+
+// Gate compares a measurement against the baseline: inst/s must stay at or
+// above minInstFrac of baseline, allocs/op at or below maxAllocsMult times
+// baseline.
+func Gate(m Measured, base Baseline, minInstFrac, maxAllocsMult float64) Report {
+	instLimit := base.InstPerS * minInstFrac
+	allocLimit := base.AllocsPerOp * maxAllocsMult
+	return Report{Checks: []Check{
+		{Metric: "inst/s", Measured: m.InstPerS, Baseline: base.InstPerS, Limit: instLimit, Pass: m.InstPerS >= instLimit},
+		{Metric: "allocs/op", Measured: m.AllocsOp, Baseline: base.AllocsPerOp, Limit: allocLimit, Pass: m.AllocsOp <= allocLimit},
+	}}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: github.com/archsim/fusleep
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineSimulation-8   	       3	  15877023 ns/op	   6298731 inst/s	 5930948 cycles/s	 1009154 B/op	     894 allocs/op
+PASS
+ok  	github.com/archsim/fusleep	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	m, err := ParseBench(benchOut, "BenchmarkPipelineSimulation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InstPerS != 6298731 || m.AllocsOp != 894 || m.NsPerOp != 15877023 {
+		t.Errorf("parsed %+v", m)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	if _, err := ParseBench(benchOut, "BenchmarkMissing"); err == nil {
+		t.Error("missing benchmark parsed")
+	}
+	noMem := strings.ReplaceAll(benchOut, "894 allocs/op", "")
+	noMem = strings.ReplaceAll(noMem, "1009154 B/op", "")
+	if _, err := ParseBench(noMem, "BenchmarkPipelineSimulation"); err == nil {
+		t.Error("output without -benchmem accepted")
+	}
+}
+
+// TestGateAgainstRepoBaseline proves the committed BENCH_pipeline.json is
+// parseable by the gate, so the CI job cannot rot silently.
+func TestGateAgainstRepoBaseline(t *testing.T) {
+	raw, err := os.ReadFile("../../../BENCH_pipeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ParseBaseline(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.InstPerS < 1e6 {
+		t.Errorf("baseline inst/s = %g, implausibly low", base.InstPerS)
+	}
+	// The baseline's own numbers gate as a pass.
+	m := Measured{InstPerS: base.InstPerS, AllocsOp: base.AllocsPerOp}
+	if rep := Gate(m, base, 0.70, 2.0); !rep.OK() {
+		t.Errorf("baseline fails its own gate:\n%s", rep.Summary())
+	}
+}
+
+// TestGateFailsOnSyntheticRegression is the gate's reason to exist: a
+// throughput collapse or an alloc explosion must fail.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	base := Baseline{InstPerS: 6_298_731, AllocsPerOp: 894}
+	cases := []struct {
+		name string
+		m    Measured
+		ok   bool
+	}{
+		{"healthy", Measured{InstPerS: 6_000_000, AllocsOp: 900}, true},
+		{"noise within envelope", Measured{InstPerS: 4_500_000, AllocsOp: 1700}, true},
+		{"throughput regression", Measured{InstPerS: 3_000_000, AllocsOp: 894}, false},
+		{"alloc regression", Measured{InstPerS: 6_298_731, AllocsOp: 243_786}, false},
+		{"exactly at limits", Measured{InstPerS: base.InstPerS * 0.70, AllocsOp: base.AllocsPerOp * 2}, true},
+		{"just past limits", Measured{InstPerS: base.InstPerS*0.70 - 1, AllocsOp: base.AllocsPerOp * 2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Gate(tc.m, base, 0.70, 2.0)
+			if rep.OK() != tc.ok {
+				t.Errorf("Gate(%+v) ok = %v, want %v\n%s", tc.m, rep.OK(), tc.ok, rep.Summary())
+			}
+			if len(rep.Checks) != 2 {
+				t.Fatalf("checks = %d, want 2", len(rep.Checks))
+			}
+		})
+	}
+}
+
+func TestParseBaselineRejectsEmpty(t *testing.T) {
+	if _, err := ParseBaseline([]byte(`{}`)); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := ParseBaseline([]byte(`not json`)); err == nil {
+		t.Error("garbage baseline accepted")
+	}
+}

@@ -1,0 +1,72 @@
+// Command benchgate is the CI benchmark-regression gate: it parses `go test
+// -bench` output, compares the tracked metrics against the committed
+// baseline in BENCH_pipeline.json, and exits non-zero when the build has
+// regressed past the allowed envelope — by default, simulated inst/s below
+// 70% of the baseline or allocs/op more than doubled.
+//
+// Usage (CI):
+//
+//	go test -run=xxx -bench=PipelineSimulation -benchtime=3x -benchmem | tee bench.txt
+//	go run ./internal/ci/benchgate -bench bench.txt -baseline BENCH_pipeline.json
+//
+// The thresholds are deliberately loose: they absorb runner-to-runner noise
+// while still catching order-of-magnitude regressions (a lost cache, a
+// reintroduced per-cycle allocation). To raise the baseline legitimately
+// after a real improvement, refresh the "current" entry of
+// BENCH_pipeline.json in the same PR (see that file's note).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	benchPath := flag.String("bench", "-", "benchmark output file ('-' = stdin)")
+	baselinePath := flag.String("baseline", "BENCH_pipeline.json", "tracked baseline JSON")
+	name := flag.String("benchmark", "BenchmarkPipelineSimulation", "benchmark to gate on")
+	minInstFrac := flag.Float64("min-inst-frac", 0.70, "fail when inst/s drops below this fraction of baseline")
+	maxAllocsMult := flag.Float64("max-allocs-mult", 2.0, "fail when allocs/op exceeds baseline times this factor")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	measured, err := ParseBench(string(raw), *name)
+	if err != nil {
+		fatal(err)
+	}
+	baseRaw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := ParseBaseline(baseRaw)
+	if err != nil {
+		fatal(err)
+	}
+
+	report := Gate(measured, baseline, *minInstFrac, *maxAllocsMult)
+	fmt.Print(report.Summary())
+	if !report.OK() {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — performance regressed past the gate (see above)")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

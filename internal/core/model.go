@@ -33,23 +33,23 @@ type Tech struct {
 	// in the high-leakage state (E_HI) to the maximum dynamic evaluation
 	// energy (E_A). The paper varies p across (0, 1]; the 70 nm circuit of
 	// Table 1 measures p = 1.4 fJ / 22.2 fJ ~= 0.063.
-	P float64
+	P float64 `json:"p"`
 
 	// C is the ratio c = E_LO / E_HI of per-cycle leakage energy in the
 	// low-leakage (discharged) state to the high-leakage state. Dual-Vt
 	// domino circuits achieve c on the order of 5e-4 (Table 1); the paper's
 	// analysis pessimistically uses 0.001.
-	C float64
+	C float64 `json:"c"`
 
 	// SleepOverhead is the normalized energy e_slp = E_sleep / E_A of
 	// asserting the sleep transistors and distributing the Sleep signal
 	// across the functional unit, paid once per transition into sleep mode.
 	// The paper's analysis pessimistically uses 0.01.
-	SleepOverhead float64
+	SleepOverhead float64 `json:"sleepOverhead"`
 
 	// Duty is the clock duty cycle d (fraction of the period the clock is
 	// high, i.e. the evaluate phase). The paper fixes d = 0.5.
-	Duty float64
+	Duty float64 `json:"duty"`
 }
 
 // DefaultTech returns the parameter values used throughout the paper's

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Policy identifies a sleep-mode management strategy.
@@ -57,16 +59,47 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy maps a policy's paper name (as produced by String) back to its
+// value. Matching is case-insensitive.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range []Policy{AlwaysActive, MaxSleep, NoOverhead, GradualSleep, OracleMinimal, SleepTimeout} {
+		if strings.EqualFold(name, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown policy %q (have AlwaysActive, MaxSleep, NoOverhead, GradualSleep, OracleMinimal, SleepTimeout)", name)
+}
+
+// MarshalJSON encodes the policy by name, so wire formats stay readable and
+// stable if the enum values ever shift.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts a policy name.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	got, err := ParsePolicy(name)
+	if err != nil {
+		return err
+	}
+	*p = got
+	return nil
+}
+
 // PolicyConfig pairs a policy with its tuning knobs.
 type PolicyConfig struct {
-	Policy Policy
+	Policy Policy `json:"policy"`
 	// Slices is the GradualSleep slice count K. Zero selects the paper's
 	// recommendation of one slice per breakeven-interval cycle.
-	Slices int
+	Slices int `json:"slices,omitempty"`
 	// Timeout is the SleepTimeout threshold in idle cycles before the
 	// Sleep signal asserts. Zero selects the breakeven interval, which
 	// makes the policy 2-competitive.
-	Timeout int
+	Timeout int `json:"timeout,omitempty"`
 }
 
 // slices resolves the effective slice count for GradualSleep.

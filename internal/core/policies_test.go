@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -258,5 +259,41 @@ func TestRelativeToBaseBounds(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{AlwaysActive, MaxSleep, NoOverhead, GradualSleep, OracleMinimal, SleepTimeout} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if got, err := ParsePolicy("maxsleep"); err != nil || got != MaxSleep {
+		t.Errorf("case-insensitive parse = %v, %v", got, err)
+	}
+	if _, err := ParsePolicy("TurboSleep"); err == nil {
+		t.Error("unknown policy parsed")
+	}
+}
+
+func TestPolicyConfigJSONRoundTrip(t *testing.T) {
+	in := PolicyConfig{Policy: GradualSleep, Slices: 4}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"policy":"GradualSleep","slices":4}`; string(raw) != want {
+		t.Errorf("marshal = %s, want %s", raw, want)
+	}
+	var out PolicyConfig
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %+v -> %+v", in, out)
+	}
+	if err := json.Unmarshal([]byte(`{"policy":"NotAPolicy"}`), &out); err == nil {
+		t.Error("unknown policy name unmarshaled")
 	}
 }

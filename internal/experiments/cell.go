@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/workload"
+)
+
+// Cell is one fully-resolved grid point: a policy evaluated at one
+// technology point and FU count over a fixed benchmark set. Cells are the
+// unit of incremental sweep delivery — a Grid expands into an ordered cell
+// list, each cell is evaluated independently (sharing the runner's
+// simulation cache), and results stream back one cell at a time.
+type Cell struct {
+	Policy     core.PolicyConfig `json:"policy"`
+	Tech       core.Tech         `json:"tech"`
+	FUs        int               `json:"fus"`
+	Benchmarks []string          `json:"benchmarks"`
+	Alpha      float64           `json:"alpha"`
+	L2Latency  int               `json:"l2Latency"`
+	Window     uint64            `json:"window"`
+}
+
+// Key returns a stable identity hash of the cell: two cells with the same
+// simulation configuration and energy-model point hash identically, so
+// queue shards and caches can key on it. The hash covers every field that
+// affects the result.
+func (c Cell) Key() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%.17g|%.17g|%.17g|%.17g|%d|%.17g|%d|%d|%s",
+		c.Policy.Policy.String(), c.Policy.Slices, c.Policy.Timeout,
+		c.Tech.P, c.Tech.C, c.Tech.SleepOverhead, c.Tech.Duty,
+		c.FUs, c.Alpha, c.L2Latency, c.Window,
+		strings.Join(c.Benchmarks, ","))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CellResult is one completed grid point: the cell's identity plus its
+// suite-averaged relative energy and leakage fraction.
+type CellResult struct {
+	// Index is the cell's position in the grid's canonical enumeration
+	// (Grid.Cells order), so streamed results can be reassembled in grid
+	// order regardless of completion order.
+	Index int  `json:"index"`
+	Cell  Cell `json:"cell"`
+	// RelEnergy is E_policy / E_base averaged over the cell's benchmarks.
+	RelEnergy float64 `json:"relEnergy"`
+	// LeakageFraction is the leakage share of total energy, averaged over
+	// the cell's benchmarks.
+	LeakageFraction float64 `json:"leakageFraction"`
+}
+
+// Cells expands the grid into its ordered cell list after resolving zero
+// values against the given default technology. The order matches RunSweep's
+// row order: technology-major, then FU count, then policy.
+func (g Grid) Cells(tech core.Tech) []Cell {
+	g = g.withDefaults(tech)
+	cells := make([]Cell, 0, len(g.Techs)*len(g.FUCounts)*len(g.Policies))
+	for _, tc := range g.Techs {
+		for _, fus := range g.FUCounts {
+			for _, pc := range g.Policies {
+				cells = append(cells, Cell{
+					Policy:     pc,
+					Tech:       tc,
+					FUs:        fus,
+					Benchmarks: g.Benchmarks,
+					Alpha:      g.Alpha,
+					L2Latency:  g.L2Latency,
+					Window:     g.Window,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Validate rejects cells whose technology point or benchmark set is outside
+// the model's domain, before any simulation is paid for.
+func (c Cell) Validate() error {
+	if err := c.Tech.Validate(); err != nil {
+		return fmt.Errorf("cell: tech p=%g: %w", c.Tech.P, err)
+	}
+	if !core.ValidAlpha(c.Alpha) {
+		return fmt.Errorf("cell: alpha %g: %w", c.Alpha, core.ErrAlpha)
+	}
+	if len(c.Benchmarks) == 0 {
+		return fmt.Errorf("cell: no benchmarks")
+	}
+	for _, name := range c.Benchmarks {
+		if _, err := workload.ByName(name); err != nil {
+			return fmt.Errorf("cell: %w", err)
+		}
+	}
+	return nil
+}
+
+// EvalCell evaluates one grid cell: it simulates (or re-uses from cache)
+// the cell's benchmark suite at its FU count, then applies the closed-form
+// energy model at the cell's technology × policy point. The returned
+// result's Index is zero; callers enumerating a grid set it.
+func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
+	if err := c.Validate(); err != nil {
+		return CellResult{}, err
+	}
+	suite, err := r.SimSuite(ctx, c.Benchmarks, c.FUs, c.L2Latency, c.Window)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("cell fus=%d: %w", c.FUs, err)
+	}
+	var rel, leak float64
+	for _, name := range c.Benchmarks {
+		res := suite[name]
+		e := unitEnergy(c.Tech, c.Policy, c.Alpha, res)
+		rel += e.Total() / baseEnergy(c.Tech, c.Alpha, res)
+		leak += e.LeakageFraction()
+	}
+	n := float64(len(c.Benchmarks))
+	return CellResult{Cell: c, RelEnergy: rel / n, LeakageFraction: leak / n}, nil
+}
+
+// RunSweepStream evaluates the grid cell by cell, invoking fn with each
+// completed cell result in grid order. Every technology point is validated
+// before any simulation runs. Evaluation stops at the first cell error or
+// the first non-nil error returned by fn; either is returned to the caller.
+// Cells that share an FU count share their (cached) suite simulation, so
+// streaming costs no more simulation work than the batch RunSweep.
+func RunSweepStream(ctx context.Context, r *Runner, g Grid, tech core.Tech, fn func(CellResult) error) error {
+	g = g.withDefaults(tech)
+	for _, tc := range g.Techs {
+		if err := tc.Validate(); err != nil {
+			return fmt.Errorf("sweep: tech p=%g: %w", tc.P, err)
+		}
+	}
+	for i, c := range g.Cells(tech) {
+		res, err := EvalCell(ctx, r, c)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		res.Index = i
+		if err := fn(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

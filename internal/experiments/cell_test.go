@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/core"
+)
+
+func TestGridCellsMatchCardinalityAndOrder(t *testing.T) {
+	g := Grid{
+		Techs:    []core.Tech{core.DefaultTech(), core.HighLeakTech()},
+		FUCounts: []int{2, 4},
+	}
+	tech := core.DefaultTech()
+	cells := g.Cells(tech)
+	if len(cells) != g.Cardinality(tech) {
+		t.Fatalf("cells = %d, Cardinality = %d", len(cells), g.Cardinality(tech))
+	}
+	// Technology-major, then FU count, then policy — RunSweep's row order.
+	if cells[0].Tech != core.DefaultTech() || cells[len(cells)-1].Tech != core.HighLeakTech() {
+		t.Error("cells not technology-major")
+	}
+	if cells[0].FUs != 2 || cells[len(core.Policies)].FUs != 4 {
+		t.Error("FU counts not second-order")
+	}
+	for i, c := range cells {
+		if c.Policy.Policy != core.Policies[i%len(core.Policies)] {
+			t.Errorf("cell %d policy = %v", i, c.Policy.Policy)
+		}
+	}
+	// Defaults resolved: full suite, alpha, L2.
+	if len(cells[0].Benchmarks) != 9 || cells[0].Alpha != 0.5 || cells[0].L2Latency != 12 {
+		t.Errorf("cell defaults not resolved: %+v", cells[0])
+	}
+}
+
+func TestCellKeyIdentity(t *testing.T) {
+	g := Grid{Techs: []core.Tech{core.DefaultTech(), core.HighLeakTech()}, FUCounts: []int{2, 4}}
+	cells := g.Cells(core.DefaultTech())
+	seen := map[string]int{}
+	for i, c := range cells {
+		if prev, dup := seen[c.Key()]; dup {
+			t.Errorf("cells %d and %d share key %s", prev, i, c.Key())
+		}
+		seen[c.Key()] = i
+	}
+	// Same configuration hashes identically across independent expansions.
+	again := g.Cells(core.DefaultTech())
+	for i := range cells {
+		if cells[i].Key() != again[i].Key() {
+			t.Errorf("cell %d key unstable: %s vs %s", i, cells[i].Key(), again[i].Key())
+		}
+	}
+}
+
+func TestCellValidate(t *testing.T) {
+	good := Grid{}.Cells(core.DefaultTech())[0]
+	good.Window = 1000
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid cell rejected: %v", err)
+	}
+	bad := good
+	bad.Tech.P = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range tech accepted")
+	}
+	bad = good
+	bad.Benchmarks = []string{"dhrystone"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	bad = good
+	bad.Alpha = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range alpha accepted")
+	}
+}
+
+// TestStreamMatchesBatchSweep pins the core equivalence the service relies
+// on: streaming cell results and assembling them with AddSweepRow yields
+// exactly the batch RunSweep table.
+func TestStreamMatchesBatchSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	r := NewRunner(Options{Window: 20_000})
+	g := Grid{
+		Techs:      []core.Tech{core.DefaultTech(), core.HighLeakTech()},
+		Benchmarks: []string{"gcc"},
+	}
+	tech := core.DefaultTech()
+
+	batch, err := RunSweep(context.Background(), r, g, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := SweepTable(g, tech)
+	idx := 0
+	err = RunSweepStream(context.Background(), r, g, tech, func(res CellResult) error {
+		if res.Index != idx {
+			t.Errorf("cell index %d delivered at position %d", res.Index, idx)
+		}
+		idx++
+		AddSweepRow(streamed, res)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch[0].Table.Rows, streamed.Rows) {
+		t.Errorf("streamed rows differ from batch:\n%v\nvs\n%v", streamed.Rows, batch[0].Table.Rows)
+	}
+	if idx != g.Cardinality(tech) {
+		t.Errorf("streamed %d cells, want %d", idx, g.Cardinality(tech))
+	}
+}
+
+func TestRunSweepStreamPropagatesCallbackError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated")
+	}
+	r := NewRunner(Options{Window: 20_000})
+	g := Grid{Benchmarks: []string{"gcc"}}
+	want := context.Canceled
+	calls := 0
+	err := RunSweepStream(context.Background(), r, g, core.DefaultTech(), func(CellResult) error {
+		calls++
+		return want
+	})
+	if err != want {
+		t.Errorf("err = %v, want the callback's error", err)
+	}
+	if calls != 1 {
+		t.Errorf("callback called %d times after erroring", calls)
+	}
+}
+
+func TestRunSweepStreamValidatesTechUpFront(t *testing.T) {
+	r := NewRunner(Options{Window: 20_000})
+	g := Grid{Techs: []core.Tech{{P: 5}}}
+	err := RunSweepStream(context.Background(), r, g, core.DefaultTech(), func(CellResult) error {
+		t.Error("callback reached with invalid tech")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("invalid tech accepted")
+	}
+	if r.Stats().Simulations != 0 {
+		t.Error("validation failure still simulated")
+	}
+}

@@ -63,11 +63,41 @@ type Runner struct {
 	opt Options
 	sem chan struct{} // bounds concurrent pipeline simulations
 
-	mu       sync.Mutex
-	runs     map[runKey]pipeline.Result
-	pending  map[runKey]*inflight
-	suites   map[int]map[string]pipeline.Result
-	simCount uint64 // completed pipeline runs, for tests
+	mu            sync.Mutex
+	runs          map[runKey]pipeline.Result
+	pending       map[runKey]*inflight
+	suites        map[int]map[string]pipeline.Result
+	simCount      uint64 // completed pipeline runs, for tests and Stats
+	cacheHits     uint64 // Sim requests served from the result cache
+	inflightJoins uint64 // Sim requests that joined an in-progress identical run
+}
+
+// RunnerStats is a snapshot of the runner's simulation accounting: how many
+// pipeline simulations actually ran, how many requests were served straight
+// from the cross-call cache, and how many joined an identical in-flight run
+// instead of re-simulating. HitRate folds the latter two together against
+// the total request count.
+type RunnerStats struct {
+	Simulations   uint64 `json:"simulations"`
+	CacheHits     uint64 `json:"cacheHits"`
+	InflightJoins uint64 `json:"inflightJoins"`
+}
+
+// HitRate returns the fraction of Sim requests that avoided a fresh
+// simulation (0 when no requests have been served).
+func (s RunnerStats) HitRate() float64 {
+	total := s.Simulations + s.CacheHits + s.InflightJoins
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.InflightJoins) / float64(total)
+}
+
+// Stats returns a snapshot of the runner's simulation accounting.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunnerStats{Simulations: r.simCount, CacheHits: r.cacheHits, InflightJoins: r.inflightJoins}
 }
 
 // NewRunner builds a runner.
@@ -129,6 +159,7 @@ func (r *Runner) Sim(ctx context.Context, bench string, fus, l2 int, window uint
 		r.mu.Lock()
 		if !r.opt.DisableCache {
 			if got, ok := r.runs[key]; ok {
+				r.cacheHits++
 				r.mu.Unlock()
 				return got, nil
 			}
@@ -136,6 +167,7 @@ func (r *Runner) Sim(ctx context.Context, bench string, fus, l2 int, window uint
 		if fl, ok := r.pending[key]; ok {
 			// Someone else is already running this configuration; wait for
 			// their result instead of re-simulating.
+			r.inflightJoins++
 			r.mu.Unlock()
 			select {
 			case <-fl.done:

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"github.com/archsim/fusleep/internal/core"
-	"github.com/archsim/fusleep/internal/pipeline"
 	"github.com/archsim/fusleep/internal/report"
 	"github.com/archsim/fusleep/internal/workload"
 )
@@ -66,56 +65,43 @@ func (g Grid) Cardinality(tech core.Tech) int {
 	return len(g.Policies) * len(g.Techs) * len(g.FUCounts)
 }
 
+// SweepTable builds the empty result table for a resolved grid, so batch
+// and streaming consumers render identically.
+func SweepTable(g Grid, tech core.Tech) *report.Table {
+	g = g.withDefaults(tech)
+	return report.NewTable(
+		fmt.Sprintf("Policy × technology × FU-count sweep [alpha=%.2f, %d benchmarks, %d-cycle L2]",
+			g.Alpha, len(g.Benchmarks), g.L2Latency),
+		"p", "c", "e_slp", "FUs", "policy", "E/E_base", "leakage/total")
+}
+
+// AddSweepRow appends one completed cell to a sweep table.
+func AddSweepRow(t *report.Table, res CellResult) {
+	c := res.Cell
+	fuLabel := fmt.Sprintf("%d", c.FUs)
+	if c.FUs == 0 {
+		fuLabel = "paper"
+	}
+	t.AddRow(report.F(c.Tech.P, 4), report.F(c.Tech.C, 4), report.F(c.Tech.SleepOverhead, 4),
+		fuLabel, c.Policy.Policy.String(),
+		fmt.Sprintf("%.4f", res.RelEnergy), fmt.Sprintf("%.4f", res.LeakageFraction))
+}
+
 // RunSweep evaluates the grid: one suite simulation per FU count (cached,
 // parallel, cancelable), then the closed-form energy model at every
 // technology × policy point over the measured profiles. It returns a single
 // table artifact with one row per grid point, averaged across benchmarks.
+// It is the batch form of RunSweepStream: same cells, same order, collected
+// into one artifact.
 func RunSweep(ctx context.Context, r *Runner, g Grid, tech core.Tech) ([]report.Artifact, error) {
 	g = g.withDefaults(tech)
-	// Validate every technology point before paying for any simulation.
-	for _, tc := range g.Techs {
-		if err := tc.Validate(); err != nil {
-			return nil, fmt.Errorf("sweep: tech p=%g: %w", tc.P, err)
-		}
-	}
-
-	suites := make(map[int]map[string]pipeline.Result, len(g.FUCounts))
-	for _, fus := range g.FUCounts {
-		if _, ok := suites[fus]; ok {
-			continue
-		}
-		suite, err := r.SimSuite(ctx, g.Benchmarks, fus, g.L2Latency, g.Window)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: fus=%d: %w", fus, err)
-		}
-		suites[fus] = suite
-	}
-
-	t := report.NewTable(
-		fmt.Sprintf("Policy × technology × FU-count sweep [alpha=%.2f, %d benchmarks, %d-cycle L2]",
-			g.Alpha, len(g.Benchmarks), g.L2Latency),
-		"p", "c", "e_slp", "FUs", "policy", "E/E_base", "leakage/total")
-	n := float64(len(g.Benchmarks))
-	for _, tc := range g.Techs {
-		for _, fus := range g.FUCounts {
-			suite := suites[fus]
-			fuLabel := fmt.Sprintf("%d", fus)
-			if fus == 0 {
-				fuLabel = "paper"
-			}
-			for _, pc := range g.Policies {
-				var rel, leak float64
-				for _, name := range g.Benchmarks {
-					res := suite[name]
-					e := unitEnergy(tc, pc, g.Alpha, res)
-					rel += e.Total() / baseEnergy(tc, g.Alpha, res)
-					leak += e.LeakageFraction()
-				}
-				t.AddRow(report.F(tc.P, 4), report.F(tc.C, 4), report.F(tc.SleepOverhead, 4),
-					fuLabel, pc.Policy.String(),
-					fmt.Sprintf("%.4f", rel/n), fmt.Sprintf("%.4f", leak/n))
-			}
-		}
+	t := SweepTable(g, tech)
+	err := RunSweepStream(ctx, r, g, tech, func(res CellResult) error {
+		AddSweepRow(t, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("E/E_base averaged over %d benchmarks at window %d", len(g.Benchmarks), r.windowOr(g.Window))
 	return []report.Artifact{report.TableArtifact("sweep", t)}, nil

@@ -87,17 +87,37 @@ func marshalCapture(t *testing.T, c capture) []byte {
 //
 //	go test ./internal/pipeline -run TestGoldenDeterminism -update
 func TestGoldenDeterminism(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite golden capture is not short")
-	}
 	cases := goldenCases()
+	path := filepath.Join("testdata", "golden_results.json")
+	if testing.Short() {
+		// Trimmed short mode (used by the CI race job): run a subset of
+		// cases — the first suite workload plus both off-default machine
+		// points — and compare each against its slot in the full capture,
+		// so `go test -race -short` still pins cycle-exactness without
+		// paying for all eleven runs under the race detector.
+		if *updateGolden {
+			t.Fatal("regenerate the golden capture without -short")
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden capture (run with -update to create): %v", err)
+		}
+		for _, i := range []int{0, len(cases) - 2, len(cases) - 1} {
+			gc := cases[i]
+			got := marshalResult(t, runGoldenCase(t, gc))
+			if !bytes.Equal(got, wantResult(t, want, i)) {
+				t.Errorf("case %+v diverged from golden capture:\n got: %s\nwant: %s",
+					gc, truncate(got, 400), truncate(wantResult(t, want, i), 400))
+			}
+		}
+		return
+	}
 	cap := capture{Cases: cases}
 	for _, gc := range cases {
 		cap.Results = append(cap.Results, runGoldenCase(t, gc))
 	}
 	got := marshalCapture(t, cap)
 
-	path := filepath.Join("testdata", "golden_results.json")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

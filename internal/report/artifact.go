@@ -82,9 +82,10 @@ func (a Artifact) renderable() (Renderable, error) {
 type Renderer func(w io.Writer, artifacts []Artifact) error
 
 // Formats lists the built-in renderer names accepted by RendererFor.
-func Formats() []string { return []string{"text", "json", "csv"} }
+func Formats() []string { return []string{"text", "json", "csv", "ndjson"} }
 
-// RendererFor maps a format name ("text", "json", "csv") to its renderer.
+// RendererFor maps a format name ("text", "json", "csv", "ndjson") to its
+// renderer.
 func RendererFor(format string) (Renderer, error) {
 	switch format {
 	case "text", "":
@@ -93,6 +94,8 @@ func RendererFor(format string) (Renderer, error) {
 		return RenderJSON, nil
 	case "csv":
 		return RenderCSV, nil
+	case "ndjson":
+		return RenderNDJSON, nil
 	}
 	return nil, fmt.Errorf("report: unknown format %q (have %v)", format, Formats())
 }

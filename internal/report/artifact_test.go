@@ -1,6 +1,7 @@
 package report
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"reflect"
@@ -124,5 +125,51 @@ func TestRenderPayloadMissing(t *testing.T) {
 	}
 	if err := RenderCSV(new(bytes.Buffer), bad); err == nil {
 		t.Error("payload-less artifact rendered as csv")
+	}
+}
+
+func TestRenderNDJSON(t *testing.T) {
+	arts := sampleArtifacts(t)
+	var buf bytes.Buffer
+	if err := RenderNDJSON(&buf, arts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(arts) {
+		t.Fatalf("ndjson lines = %d, want one per artifact (%d)", len(lines), len(arts))
+	}
+	for i, line := range lines {
+		var back Artifact
+		if err := json.Unmarshal([]byte(line), &back); err != nil {
+			t.Fatalf("line %d does not unmarshal: %v", i, err)
+		}
+		if back.ID != arts[i].ID || back.Kind != arts[i].Kind {
+			t.Errorf("line %d round-tripped to %+v", i, back)
+		}
+	}
+	r, err := RendererFor("ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := r(&again, arts); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Error("RendererFor(\"ndjson\") disagrees with RenderNDJSON")
+	}
+}
+
+func TestStreamEncoderFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<16)
+	enc := NewStreamEncoder(bw)
+	if err := enc.Encode(map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Without the encoder's flush the line would still sit in the 64 KiB
+	// buffer; streaming consumers would see nothing.
+	if got := buf.String(); got != "{\"x\":1}\n" {
+		t.Errorf("buffered writer not flushed per line: %q", got)
 	}
 }

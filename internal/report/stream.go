@@ -1,0 +1,54 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// RenderNDJSON writes each artifact as one compact JSON object per line
+// (newline-delimited JSON). Unlike RenderJSON's single indented array, the
+// output is incrementally parseable: consumers can act on each line as it
+// arrives, which is what streaming services and `... | jq` pipelines want.
+// Each line unmarshals into an Artifact.
+func RenderNDJSON(w io.Writer, artifacts []Artifact) error {
+	enc := json.NewEncoder(w)
+	for _, a := range artifacts {
+		if err := enc.Encode(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamEncoder writes arbitrary values as NDJSON, flushing after every
+// line when the destination supports it (http.Flusher or a *bufio.Writer
+// style Flush method), so long-lived HTTP responses deliver each event as
+// it happens rather than when the connection buffer fills.
+type StreamEncoder struct {
+	enc   *json.Encoder
+	flush func()
+}
+
+// NewStreamEncoder wraps w for line-at-a-time NDJSON emission.
+func NewStreamEncoder(w io.Writer) *StreamEncoder {
+	s := &StreamEncoder{enc: json.NewEncoder(w)}
+	switch f := w.(type) {
+	case http.Flusher:
+		s.flush = f.Flush
+	case interface{ Flush() error }:
+		s.flush = func() { _ = f.Flush() }
+	}
+	return s
+}
+
+// Encode writes one value as a JSON line and flushes it downstream.
+func (s *StreamEncoder) Encode(v any) error {
+	if err := s.enc.Encode(v); err != nil {
+		return err
+	}
+	if s.flush != nil {
+		s.flush()
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/report"
+)
+
+// sweepID formats the n-th accepted sweep's identifier.
+func sweepID(n uint64) string { return fmt.Sprintf("s-%06d", n) }
+
+// SweepRequest is the wire form of a sweep grid. Every field is optional;
+// zero values resolve to the engine's defaults exactly like fusleep.Grid
+// (all four paper policies, the engine's technology, paper FU counts, the
+// full nine-benchmark suite, alpha 0.5, 12-cycle L2, the engine's window).
+type SweepRequest struct {
+	// Policies selects policy configurations by name, e.g.
+	// {"policy": "GradualSleep", "slices": 4}.
+	Policies []fusleep.PolicyConfig `json:"policies,omitempty"`
+	// Ps lists leakage factors; each becomes the default technology with p
+	// replaced — the common one-knob technology sweep.
+	Ps []float64 `json:"ps,omitempty"`
+	// Techs lists technology points. Omitted fields inherit from the
+	// paper's default technology, so {"p": 0.5} is valid; explicit zeros
+	// (e.g. "sleepOverhead": 0 for free transitions) are honored.
+	Techs []TechSpec `json:"techs,omitempty"`
+	// FUCounts lists integer-ALU counts; 0 means the paper's per-benchmark
+	// Table 3 counts.
+	FUCounts []int `json:"fuCounts,omitempty"`
+	// Benchmarks restricts the suite.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Alpha is the activity factor.
+	Alpha float64 `json:"alpha,omitempty"`
+	// L2Latency is the L2 hit latency in cycles.
+	L2Latency int `json:"l2Latency,omitempty"`
+	// Window is the per-benchmark instruction count.
+	Window uint64 `json:"window,omitempty"`
+}
+
+// TechSpec is one technology point on the wire. Pointer fields distinguish
+// "omitted — use the paper default" from an explicit zero, which the model
+// domain allows for c and e_slp (Tech.Validate accepts both at 0).
+type TechSpec struct {
+	P             float64  `json:"p"`
+	C             *float64 `json:"c,omitempty"`
+	SleepOverhead *float64 `json:"sleepOverhead,omitempty"`
+	Duty          *float64 `json:"duty,omitempty"`
+}
+
+// tech resolves the spec against the default technology point.
+func (s TechSpec) tech(def fusleep.Tech) fusleep.Tech {
+	t := def
+	if s.P != 0 {
+		t.P = s.P
+	}
+	if s.C != nil {
+		t.C = *s.C
+	}
+	if s.SleepOverhead != nil {
+		t.SleepOverhead = *s.SleepOverhead
+	}
+	if s.Duty != nil {
+		t.Duty = *s.Duty
+	}
+	return t
+}
+
+// grid resolves the request into an engine grid, validating everything the
+// cell evaluator would otherwise only reject after simulation started.
+func (req SweepRequest) grid(maxWindow uint64) (fusleep.Grid, error) {
+	g := fusleep.Grid{
+		Policies:   req.Policies,
+		FUCounts:   req.FUCounts,
+		Benchmarks: req.Benchmarks,
+		Alpha:      req.Alpha,
+		L2Latency:  req.L2Latency,
+		Window:     req.Window,
+	}
+	def := fusleep.DefaultTech()
+	for _, spec := range req.Techs {
+		g.Techs = append(g.Techs, spec.tech(def))
+	}
+	for _, p := range req.Ps {
+		g.Techs = append(g.Techs, def.WithP(p))
+	}
+	for _, t := range g.Techs {
+		if err := t.Validate(); err != nil {
+			return fusleep.Grid{}, err
+		}
+	}
+	names := map[string]bool{}
+	for _, n := range fusleep.BenchmarkNames() {
+		names[n] = true
+	}
+	for _, b := range g.Benchmarks {
+		if !names[b] {
+			return fusleep.Grid{}, fmt.Errorf("unknown benchmark %q (have %v)", b, fusleep.BenchmarkNames())
+		}
+	}
+	if req.Alpha < 0 || req.Alpha > 1 {
+		return fusleep.Grid{}, fmt.Errorf("alpha %g out of range [0,1]", req.Alpha)
+	}
+	if req.L2Latency < 0 {
+		return fusleep.Grid{}, fmt.Errorf("negative l2Latency %d", req.L2Latency)
+	}
+	if req.Window > maxWindow {
+		return fusleep.Grid{}, fmt.Errorf("window %d exceeds the service limit %d", req.Window, maxWindow)
+	}
+	return g, nil
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// routes wires the endpoint table.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// submitResponse acknowledges an accepted sweep.
+type submitResponse struct {
+	ID    string `json:"id"`
+	Cells int    `json:"cells"`
+	URL   string `json:"url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	g, err := req.grid(s.cfg.MaxWindow)
+	if err != nil {
+		s.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep grid: %v", err)
+		return
+	}
+	cells := s.eng.Cells(g)
+	if len(cells) > s.cfg.MaxCells {
+		s.rejected.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"grid expands to %d cells; the service limit is %d", len(cells), s.cfg.MaxCells)
+		return
+	}
+	job := newSweepJob(context.Background(), s.nextID(), cells)
+	if err := s.submit(job); err != nil {
+		s.rejected.Add(1)
+		job.cancel()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: job.id, Cells: len(cells), URL: "/v1/sweeps/" + job.id,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	jobs := make([]*sweepJob, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	out := make([]sweepStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st, _ := j.status()
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// pollResponse is the ?poll=1 snapshot: status plus completed results.
+type pollResponse struct {
+	sweepStatus
+	Results []fusleep.CellResult `json:"results"`
+}
+
+// streamEvent is one NDJSON line of a sweep stream.
+type streamEvent struct {
+	// Event is "sweep" (stream header), "cell" (one completed cell), or
+	// "end" (terminal summary; always the last line).
+	Event string `json:"event"`
+	ID    string `json:"id"`
+	// Header and end fields.
+	State     string `json:"state,omitempty"`
+	Cells     int    `json:"cells,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Failed    int    `json:"failed,omitempty"`
+	Skipped   int    `json:"skipped,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Cell fields.
+	Key    string              `json:"key,omitempty"`
+	Result *fusleep.CellResult `json:"result,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("poll") != "" {
+		st, results := job.status()
+		writeJSON(w, http.StatusOK, pollResponse{sweepStatus: st, Results: results})
+		return
+	}
+
+	// NDJSON stream: a header line, one line per completed cell as it
+	// lands (completion order), and a terminal summary line.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := report.NewStreamEncoder(w)
+	st, _ := job.status()
+	if err := enc.Encode(streamEvent{Event: "sweep", ID: job.id, State: st.State, Cells: st.Cells}); err != nil {
+		return
+	}
+	sent := 0
+	for {
+		fresh, state, updated := job.watch(sent)
+		for _, res := range fresh {
+			ev := streamEvent{Event: "cell", ID: job.id, Key: res.Cell.Key(), Result: &res}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			sent++
+		}
+		if state != StateRunning {
+			st, _ := job.status()
+			_ = enc.Encode(streamEvent{
+				Event: "end", ID: job.id, State: st.State, Cells: st.Cells,
+				Completed: st.Completed, Failed: st.Failed, Skipped: st.Skipped, Error: st.Error,
+			})
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	job.requestCancel()
+	st, _ := job.status()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// workloadInfo describes one registered benchmark on the wire.
+type workloadInfo struct {
+	Name        string  `json:"name"`
+	Suite       string  `json:"suite"`
+	PaperFUs    int     `json:"paperFUs"`
+	PaperIPC    float64 `json:"paperIPC"`
+	PaperMaxIPC float64 `json:"paperMaxIPC"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []workloadInfo
+	for _, b := range fusleep.Benchmarks() {
+		out = append(out, workloadInfo{
+			Name: b.Name, Suite: b.Suite,
+			PaperFUs: b.PaperFUs, PaperIPC: b.PaperIPC, PaperMaxIPC: b.PaperMaxIPC,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// policyInfo describes one registered sleep policy on the wire.
+type policyInfo struct {
+	Name string `json:"name"`
+	// Causal reports whether the policy is implementable cycle by cycle
+	// (OracleMinimal is offline-only).
+	Causal bool   `json:"causal"`
+	Desc   string `json:"desc"`
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	out := []policyInfo{
+		{Name: fusleep.AlwaysActive.String(), Causal: true, Desc: "never sleep; clock-gated idle only (baseline)"},
+		{Name: fusleep.MaxSleep.String(), Causal: true, Desc: "assert Sleep on every idle cycle"},
+		{Name: fusleep.NoOverhead.String(), Causal: true, Desc: "MaxSleep with free transitions (lower bound)"},
+		{Name: fusleep.GradualSleep.String(), Causal: true, Desc: "stagger Sleep across K slices per idle cycle"},
+		{Name: fusleep.SleepTimeout.String(), Causal: true, Desc: "sleep after a breakeven-threshold idle timeout"},
+		{Name: fusleep.OracleMinimal.String(), Causal: false, Desc: "per-interval oracle: cheaper of sleeping or idling"},
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status   string  `json:"status"`
+		Draining bool    `json:"draining"`
+		Uptime   float64 `json:"uptimeSeconds"`
+	}
+	h := health{Status: "ok", Draining: s.Draining(), Uptime: time.Since(s.start).Seconds()}
+	code := http.StatusOK
+	if h.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders the service counters in the Prometheus text
+// exposition format, without taking a client dependency: every metric is a
+// plain counter or gauge line.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	uptime := time.Since(s.start).Seconds()
+	stats := s.eng.Stats()
+	done := s.cellsDone.Load()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, format string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	}
+
+	counter("fusleepd_http_requests_total", "HTTP requests served.", s.requests.Load())
+	counter("fusleepd_sweeps_submitted_total", "Sweep jobs accepted.", s.submitted.Load())
+	counter("fusleepd_sweeps_rejected_total", "Sweep submissions rejected.", s.rejected.Load())
+	counter("fusleepd_cells_completed_total", "Sweep cells evaluated successfully.", done)
+	counter("fusleepd_cells_failed_total", "Sweep cells that failed with a real error.", s.cellsFailed.Load())
+	counter("fusleepd_sim_runs_total", "Pipeline simulations executed by the engine.", stats.Simulations)
+	counter("fusleepd_sim_cache_hits_total", "Simulation requests served from the cross-call cache.", stats.CacheHits)
+	counter("fusleepd_sim_inflight_joins_total", "Simulation requests that joined an identical in-flight run.", stats.InflightJoins)
+	gauge("fusleepd_sim_cache_hit_rate", "Fraction of simulation requests that avoided a fresh run.", "%.4f", stats.HitRate())
+	gauge("fusleepd_queue_depth", "Cells waiting in the shard queues.", "%d", s.queueDepth())
+	gauge("fusleepd_sweeps_active", "Sweep jobs not yet in a terminal state.", "%d", s.activeSweeps())
+	gauge("fusleepd_cells_per_second", "Completed cells per second of uptime.", "%.3f", float64(done)/max(uptime, 1e-9))
+	gauge("fusleepd_uptime_seconds", "Seconds since the server started.", "%.3f", uptime)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = fmt.Fprint(w, b.String())
+}
+
+// activeSweeps counts jobs still running.
+func (s *Server) activeSweeps() int {
+	s.mu.Lock()
+	jobs := make([]*sweepJob, 0, len(s.sweeps))
+	for _, j := range s.sweeps {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		st, _ := j.status()
+		if st.State == StateRunning {
+			n++
+		}
+	}
+	return n
+}

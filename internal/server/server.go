@@ -1,0 +1,320 @@
+// Package server implements fusleepd, the sweep-service daemon: an
+// HTTP/JSON front end over a shared fusleep.Engine. Submitted sweep grids
+// are expanded into cells and fed through a sharded, bounded job queue —
+// cells are routed to worker shards by their configuration hash, so
+// identical cells land on the same shard and deduplicate through the
+// engine's simulation cache instead of racing each other. Results stream
+// back per cell as NDJSON, and the server drains in-flight cells gracefully
+// on shutdown.
+//
+// Endpoints:
+//
+//	POST   /v1/sweeps        submit a grid, returns {id, cells}
+//	GET    /v1/sweeps        list sweep jobs
+//	GET    /v1/sweeps/{id}   stream per-cell results as NDJSON (?poll=1 for
+//	                         a point-in-time JSON snapshot instead)
+//	DELETE /v1/sweeps/{id}   cancel a sweep; in-flight cells abort promptly
+//	GET    /v1/workloads     the registered benchmark suite
+//	GET    /v1/policies      the registered sleep policies
+//	GET    /healthz          liveness (503 while draining)
+//	GET    /metrics          Prometheus-style counters and gauges
+package server
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/archsim/fusleep"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine executes the cells. Required.
+	Engine *fusleep.Engine
+	// Shards is the worker-shard count; cells route to shards by
+	// configuration hash (default: min(GOMAXPROCS, 8)).
+	Shards int
+	// QueueDepth bounds each shard's pending-cell queue (default 128).
+	// Feeding a full shard blocks the sweep's feeder goroutine, not the
+	// HTTP handler.
+	QueueDepth int
+	// MaxCells rejects sweeps that expand to more cells than this
+	// (default 4096).
+	MaxCells int
+	// MaxWindow rejects sweeps asking for more than this many instructions
+	// per benchmark run (default 10,000,000), bounding worst-case cell cost.
+	MaxWindow uint64
+	// MaxRetained bounds how many sweep jobs (and their per-cell results)
+	// stay queryable (default 256). When a new submission would exceed it,
+	// the oldest *terminal* jobs are evicted; running jobs are never
+	// evicted, so a long-lived daemon's memory stays bounded.
+	MaxRetained int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 4096
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 10_000_000
+	}
+	if c.MaxRetained <= 0 {
+		c.MaxRetained = 256
+	}
+	return c
+}
+
+// task is one queued cell evaluation.
+type task struct {
+	job  *sweepJob
+	idx  int
+	cell fusleep.Cell
+}
+
+// shard is one worker's bounded inbox.
+type shard struct {
+	ch chan task
+}
+
+// Server is the sweep service: a shared engine behind a sharded job queue
+// plus the HTTP handlers that feed and observe it. Create with New, serve
+// its Handler, and call Drain (then Close) on shutdown.
+type Server struct {
+	cfg   Config
+	eng   *fusleep.Engine
+	mux   *http.ServeMux
+	start time.Time
+
+	shards  []*shard
+	workers sync.WaitGroup
+	feeders sync.WaitGroup
+
+	mu        sync.Mutex
+	sweeps    map[string]*sweepJob
+	order     []string // submission order, for listing
+	seq       uint64
+	draining  bool
+	drainOnce sync.Once
+
+	// metrics
+	requests    atomic.Uint64
+	submitted   atomic.Uint64
+	rejected    atomic.Uint64
+	cellsDone   atomic.Uint64
+	cellsFailed atomic.Uint64
+}
+
+// New builds a server and starts its shard workers. It panics if cfg.Engine
+// is nil, since every request needs one.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("server: Config.Engine is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		eng:    cfg.Engine,
+		start:  time.Now(),
+		sweeps: make(map[string]*sweepJob),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{ch: make(chan task, cfg.QueueDepth)}
+		s.shards = append(s.shards, sh)
+		s.workers.Add(1)
+		go s.worker(sh)
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the server's HTTP handler with request accounting.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// shardFor routes a cell to its worker shard by configuration hash, so
+// identical cells serialize on one shard and hit the simulation cache
+// instead of simulating concurrently on different shards.
+func (s *Server) shardFor(c fusleep.Cell) *shard {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(c.Key()))
+	return s.shards[h.Sum64()%uint64(len(s.shards))]
+}
+
+// worker drains one shard until the shard channel closes at drain time.
+func (s *Server) worker(sh *shard) {
+	defer s.workers.Done()
+	for t := range sh.ch {
+		if t.job.ctx.Err() != nil {
+			t.job.skip(1)
+			continue
+		}
+		res, err := s.eng.RunCell(t.job.ctx, t.cell)
+		if err != nil {
+			if t.job.fail(err) {
+				s.cellsFailed.Add(1)
+			}
+			continue
+		}
+		res.Index = t.idx
+		t.job.complete(res)
+		s.cellsDone.Add(1)
+	}
+}
+
+// feed pushes a job's cells into their shards, stopping early if the job
+// is aborted; unfed cells settle as skipped so the job still terminates.
+func (s *Server) feed(job *sweepJob) {
+	defer s.feeders.Done()
+	for i, c := range job.cells {
+		select {
+		case s.shardFor(c).ch <- task{job: job, idx: i, cell: c}:
+		case <-job.ctx.Done():
+			job.skip(len(job.cells) - i)
+			return
+		}
+	}
+}
+
+// submit registers a job and starts feeding its cells. It fails once the
+// server is draining.
+func (s *Server) submit(job *sweepJob) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	s.evictLocked()
+	s.sweeps[job.id] = job
+	s.order = append(s.order, job.id)
+	s.feeders.Add(1)
+	go s.feed(job)
+	s.submitted.Add(1)
+	return nil
+}
+
+// evictLocked drops the oldest terminal jobs until the new submission fits
+// under MaxRetained. Running jobs are skipped, so retention never cuts a
+// live stream's state out from under it. Callers must hold s.mu.
+func (s *Server) evictLocked() {
+	if len(s.sweeps) < s.cfg.MaxRetained {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		job := s.sweeps[id]
+		st, _ := job.status()
+		if st.State != StateRunning && len(s.sweeps) >= s.cfg.MaxRetained {
+			delete(s.sweeps, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+var errDraining = errors.New("server is draining; not accepting new sweeps")
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) (*sweepJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.sweeps[id]
+	return job, ok
+}
+
+// nextID allocates a sweep id.
+func (s *Server) nextID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return sweepID(s.seq)
+}
+
+// queueDepth sums the shards' pending cells.
+func (s *Server) queueDepth() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.ch)
+	}
+	return n
+}
+
+// Draining reports whether the server has stopped accepting sweeps.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops accepting new sweeps, lets every queued and in-flight cell
+// finish, and stops the shard workers. If ctx expires first, the remaining
+// jobs are canceled (their in-flight cells abort promptly and settle as
+// skipped) and Drain returns ctx.Err after the workers exit. Drain is
+// idempotent; concurrent calls share one drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	s.drainOnce.Do(func() {
+		go func() {
+			// No new feeders can start (draining is set), so once the live
+			// ones finish the queues only shrink.
+			s.feeders.Wait()
+			for _, sh := range s.shards {
+				close(sh.ch)
+			}
+		}()
+	})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the server: cancel every job, then drain. For tests
+// and fatal-error paths; production shutdown should Drain first.
+func (s *Server) Close() {
+	s.cancelAll()
+	_ = s.Drain(context.Background())
+}
+
+// cancelAll aborts every registered job.
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*sweepJob, 0, len(s.sweeps))
+	for _, j := range s.sweeps {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.requestCancel()
+	}
+}

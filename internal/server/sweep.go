@@ -1,0 +1,182 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/archsim/fusleep"
+)
+
+// Sweep job states.
+const (
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// sweepJob is one submitted grid: its resolved cell list plus the mutable
+// completion state the shard workers fill in and the stream handlers watch.
+type sweepJob struct {
+	id      string
+	cells   []fusleep.Cell
+	ctx     context.Context
+	cancel  context.CancelFunc
+	created time.Time
+
+	mu       sync.Mutex
+	results  []fusleep.CellResult // completion order, not grid order
+	settled  int                  // cells accounted for (completed + failed + skipped)
+	failed   int
+	skipped  int
+	canceled bool // an explicit cancel request arrived
+	err      error
+	state    string
+	updated  chan struct{} // closed and replaced on every state change
+}
+
+func newSweepJob(parent context.Context, id string, cells []fusleep.Cell) *sweepJob {
+	ctx, cancel := context.WithCancel(parent)
+	return &sweepJob{
+		id:      id,
+		cells:   cells,
+		ctx:     ctx,
+		cancel:  cancel,
+		created: time.Now(),
+		state:   StateRunning,
+		updated: make(chan struct{}),
+	}
+}
+
+// broadcast wakes every watcher. Callers must hold j.mu.
+func (j *sweepJob) broadcast() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// maybeFinish moves the job to its terminal state once every cell is
+// accounted for. Callers must hold j.mu.
+func (j *sweepJob) maybeFinish() {
+	if j.settled < len(j.cells) || j.state != StateRunning {
+		return
+	}
+	switch {
+	case j.canceled:
+		j.state = StateCanceled
+	case j.err != nil:
+		j.state = StateFailed
+	default:
+		j.state = StateDone
+	}
+}
+
+// complete records one finished cell.
+func (j *sweepJob) complete(res fusleep.CellResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results = append(j.results, res)
+	j.settled++
+	j.maybeFinish()
+	j.broadcast()
+}
+
+// skip accounts for n cells that will never run (job aborted before they
+// were fed to a shard, or a worker dropped them after cancellation).
+func (j *sweepJob) skip(n int) {
+	if n == 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.skipped += n
+	j.settled += n
+	j.maybeFinish()
+	j.broadcast()
+}
+
+// fail records one cell's error. Cancellation-shaped errors on an already
+// aborted job count as skips; a real error latches as the job's failure and
+// cancels the remaining cells.
+func (j *sweepJob) fail(err error) (realFailure bool) {
+	cancelErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	j.mu.Lock()
+	if cancelErr && (j.canceled || j.err != nil) {
+		j.skipped++
+	} else {
+		j.failed++
+		if j.err == nil {
+			j.err = err
+		}
+		realFailure = true
+	}
+	j.settled++
+	j.maybeFinish()
+	j.broadcast()
+	j.mu.Unlock()
+	if realFailure {
+		// Abort the job's remaining cells; their cancellation errors and
+		// unfed remainders settle as skips.
+		j.cancel()
+	}
+	return realFailure
+}
+
+// requestCancel marks the job canceled and aborts its context. Safe to call
+// repeatedly and after completion.
+func (j *sweepJob) requestCancel() {
+	j.mu.Lock()
+	if j.state == StateRunning {
+		j.canceled = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// sweepStatus is the wire snapshot of a job.
+type sweepStatus struct {
+	ID        string    `json:"id"`
+	State     string    `json:"state"`
+	Cells     int       `json:"cells"`
+	Completed int       `json:"completed"`
+	Failed    int       `json:"failed,omitempty"`
+	Skipped   int       `json:"skipped,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
+}
+
+// status snapshots the job; when withResults is set the completed cell
+// results (completion order) ride along.
+func (j *sweepJob) status() (sweepStatus, []fusleep.CellResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := sweepStatus{
+		ID:        j.id,
+		State:     j.state,
+		Cells:     len(j.cells),
+		Completed: len(j.results),
+		Failed:    j.failed,
+		Skipped:   j.skipped,
+		Created:   j.created,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	results := make([]fusleep.CellResult, len(j.results))
+	copy(results, j.results)
+	return st, results
+}
+
+// watch returns the results that completed at or after offset, the current
+// state, and the channel that closes on the next change — everything a
+// streaming handler needs per iteration, under one lock acquisition.
+func (j *sweepJob) watch(offset int) (fresh []fusleep.CellResult, state string, updated <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if offset < len(j.results) {
+		fresh = make([]fusleep.CellResult, len(j.results)-offset)
+		copy(fresh, j.results[offset:])
+	}
+	return fresh, j.state, j.updated
+}
