@@ -99,6 +99,44 @@ func BenchmarkPipelineSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkTunerSearch is the tracked throughput baseline of the optimize
+// driver: cell evaluations per second through a warmed simulation cache,
+// i.e. the cost of the search machinery itself (candidate generation,
+// closed-form energy evaluation, frontier maintenance) rather than the
+// pipeline. BENCH_tune.json records the baseline; CI gates on cells/s and
+// allocs/op. Refresh the snapshot with:
+//
+//	go test -run=xxx -bench=TunerSearch -benchtime=3x -benchmem
+func BenchmarkTunerSearch(b *testing.B) {
+	const window = 50_000
+	eng := fusleep.NewEngine(fusleep.WithWindow(window))
+	space := fusleep.TuneSpace{
+		Benchmarks:   []string{"gcc"},
+		FUCounts:     []int{2, 4},
+		TimeoutRange: [2]int{1, 256},
+		SlicesRange:  [2]int{1, 128},
+		Window:       window,
+	}
+	opts := []fusleep.TuneOption{fusleep.WithTuneSpace(space), fusleep.WithTuneBudget(48)}
+	// Warm the two suite simulations so iterations measure the tuner.
+	if _, err := eng.Optimize(context.Background(), opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var evals int
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Optimize(context.Background(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.Evals
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(evals)/secs, "cells/s")
+	}
+}
+
 func BenchmarkEnergyAccounting(b *testing.B) {
 	rep, err := fusleep.NewEngine().Simulate(context.Background(), "twolf", fusleep.SimWindow(200_000))
 	if err != nil {

@@ -36,9 +36,18 @@ func main() {
 	window := flag.Uint64("window", 1_000_000, "instruction window per benchmark")
 	sweep := flag.Uint64("sweep", 750_000, "instruction window per Table 3 sweep run")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = suite size)")
-	format := flag.String("format", "text", "output format: text | json | csv")
+	format := flag.String("format", "text", "output format: "+strings.Join(fusleep.Formats(), " | "))
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	flag.Parse()
+
+	// Validate the format before any other mode handling, so a typo fails
+	// fast with the accepted format list instead of surfacing after (or
+	// silently bypassing) a long run.
+	render, err := fusleep.RendererFor(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -format: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Experiments served by fusleep.Engine.RunExperiments:")
@@ -52,15 +61,9 @@ func main() {
 		}
 		if *exp == "" && !*list {
 			fmt.Fprintln(os.Stderr, "\nselect experiments with -exp <id>[,<id>...] or -exp all")
-			fmt.Fprintln(os.Stderr, "render with -format text|json|csv; ^C cancels cleanly")
+			fmt.Fprintf(os.Stderr, "render with -format %s; ^C cancels cleanly\n", strings.Join(fusleep.Formats(), "|"))
 		}
 		return
-	}
-
-	render, err := fusleep.RendererFor(*format)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

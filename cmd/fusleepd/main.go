@@ -11,13 +11,16 @@
 //
 // Endpoints (see internal/server for the contract):
 //
-//	POST   /v1/sweeps        submit a sweep grid
-//	GET    /v1/sweeps/{id}   stream per-cell NDJSON results (?poll=1 snapshots)
-//	DELETE /v1/sweeps/{id}   cancel a sweep
-//	GET    /v1/workloads     registered benchmarks
-//	GET    /v1/policies      registered sleep policies
-//	GET    /healthz          liveness (503 while draining)
-//	GET    /metrics          Prometheus-style metrics
+//	POST   /v1/sweeps          submit a sweep grid
+//	GET    /v1/sweeps/{id}     stream per-cell NDJSON results (?poll=1 snapshots)
+//	DELETE /v1/sweeps/{id}     cancel a sweep
+//	POST   /v1/optimize        submit a Pareto-aware tuner run
+//	GET    /v1/optimize/{id}   stream per-probe NDJSON results (?poll=1 snapshots)
+//	DELETE /v1/optimize/{id}   cancel a tuner run
+//	GET    /v1/workloads       registered benchmarks
+//	GET    /v1/policies        registered sleep policies and their knobs
+//	GET    /healthz            liveness (503 while draining)
+//	GET    /metrics            Prometheus-style metrics
 //
 // On SIGTERM/SIGINT the daemon stops accepting sweeps, drains every queued
 // and in-flight cell (bounded by -drain-timeout), finishes open response

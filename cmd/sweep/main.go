@@ -34,12 +34,12 @@ func main() {
 	gridP := flag.String("grid-p", "", "grid mode: leakage factors, comma-separated (default: the -p value)")
 	gridFUs := flag.String("grid-fus", "0", "grid mode: FU counts, comma-separated (0 = paper counts)")
 	window := flag.Uint64("window", 250_000, "grid mode: instruction window per benchmark")
-	format := flag.String("format", "text", "output format: text | json | csv")
+	format := flag.String("format", "text", "output format: "+strings.Join(fusleep.Formats(), " | "))
 	flag.Parse()
 
 	render, err := fusleep.RendererFor(*format)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "invalid -format: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -66,6 +66,37 @@
 // runs. See the internal/server package comment for the endpoint contract
 // and examples/sweepservice for a complete client.
 //
+// # The policy auto-tuner
+//
+// Engine.Optimize searches the policy-parameter space — policy family ×
+// SleepTimeout threshold × GradualSleep slice count × FU count ×
+// technology point — for Pareto-optimal energy-delay configurations
+// instead of exhaustively sweeping it, following the paper's observation
+// that no single policy wins everywhere (Figures 8-10, Section 7). The
+// search is a deterministic adaptive grid with successive halving: each
+// round evaluates its candidates in bounded parallel through the engine's
+// simulation cache (probes sharing an FU count share one suite
+// simulation), keeps the top third by the objective, and bisects the
+// survivors' parameter neighborhoods geometrically. Objectives are E·D,
+// E·D², or leakage energy under a slowdown cap (TuneObjective), delay
+// being cycles relative to the fastest AlwaysActive baseline evaluated.
+//
+//	res, err := eng.Optimize(ctx,
+//		fusleep.WithTuneSpace(fusleep.TuneSpace{FUCounts: []int{2, 4}}),
+//		fusleep.WithTuneObjective(fusleep.TuneObjective{
+//			Kind: fusleep.TuneMinLeakage, SlowdownCap: 1.10}),
+//		fusleep.WithTuneBudget(64),
+//	)
+//	// res.Best, res.Frontier (non-dominated delay × energy points),
+//	// res.Evals vs. the grid cardinality it replaced.
+//
+// OptimizeStream additionally delivers every probe — accepted or rejected,
+// with its Pareto and incumbent status — in deterministic evaluation
+// order. TuneArtifacts renders a result as the usual artifacts. The same
+// search runs from the command line (cmd/tune) and as a daemon endpoint
+// (POST /v1/optimize on fusleepd, where tuner probes route through the
+// same sharded queue as sweep cells and dedupe against them).
+//
 // # Artifacts and renderers
 //
 // Results are Artifact values: an experiment identity plus a typed payload,

@@ -1,0 +1,59 @@
+// Autotune finds the Pareto-optimal sleep-policy configuration for a
+// workload without sweeping the whole design space: it runs the engine's
+// auto-tuner twice — once minimizing the energy-delay product, once
+// minimizing leakage energy under a slowdown cap — and prints the best
+// point, the frontier, and how many cell evaluations the search needed
+// compared to the exhaustive grid it replaces.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/archsim/fusleep"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark name")
+	window := flag.Uint64("window", 250_000, "instruction window")
+	budget := flag.Int("budget", 48, "cell evaluation budget per objective")
+	flag.Parse()
+
+	eng := fusleep.NewEngine(fusleep.WithWindow(*window))
+	space := fusleep.TuneSpace{
+		Benchmarks:   []string{*bench},
+		FUCounts:     []int{1, 2, 4},
+		TimeoutRange: [2]int{1, 256},
+		SlicesRange:  [2]int{1, 128},
+	}
+	// The grid this search replaces: every policy × parameter × FU point.
+	gridCells := 3 * (2 + 256 + 128)
+
+	for _, obj := range []fusleep.TuneObjective{
+		{Kind: fusleep.TuneMinED},
+		{Kind: fusleep.TuneMinLeakage, SlowdownCap: 1.10},
+	} {
+		res, err := eng.Optimize(context.Background(),
+			fusleep.WithTuneSpace(space),
+			fusleep.WithTuneObjective(obj),
+			fusleep.WithTuneBudget(*budget),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("objective %s: best %s (score %.4f) after %d of %d grid cells (%.0f%% saved)\n",
+			obj, res.Best.Label(), res.Best.Score, res.Evals, gridCells,
+			100*(1-float64(res.Evals)/float64(gridCells)))
+		if err := fusleep.RenderText(os.Stdout, fusleep.TuneArtifacts(res)[1:2]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(strings.Repeat("-", 72))
+	}
+	stats := eng.Stats()
+	fmt.Printf("pipeline runs: %d (cache hit rate %.0f%% — probes share suite simulations)\n",
+		stats.Simulations, 100*stats.HitRate())
+}

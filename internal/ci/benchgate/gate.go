@@ -9,12 +9,15 @@ import (
 
 // Measured holds the gated metrics parsed from one benchmark's output line.
 type Measured struct {
-	Name     string
-	NsPerOp  float64
-	InstPerS float64
-	AllocsOp float64
-	hasInst  bool
-	hasAlloc bool
+	Name    string
+	NsPerOp float64
+	// Throughput is the value of the benchmark's tracked throughput metric
+	// (Unit names it: "inst/s" for the pipeline, "cells/s" for the tuner).
+	Throughput float64
+	Unit       string
+	AllocsOp   float64
+	hasThru    bool
+	hasAlloc   bool
 }
 
 // ParseBench extracts the named benchmark's metrics from `go test -bench`
@@ -23,8 +26,8 @@ type Measured struct {
 //	BenchmarkPipelineSimulation-8  3  15877023 ns/op  6298731 inst/s  894 allocs/op
 //
 // i.e. a name (with a -GOMAXPROCS suffix), an iteration count, then
-// value/unit pairs.
-func ParseBench(out, name string) (Measured, error) {
+// value/unit pairs. unit selects which pair is the gated throughput metric.
+func ParseBench(out, name, unit string) (Measured, error) {
 	for _, line := range strings.Split(out, "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
@@ -34,7 +37,7 @@ func ParseBench(out, name string) (Measured, error) {
 		if base != name {
 			continue
 		}
-		m := Measured{Name: name}
+		m := Measured{Name: name, Unit: unit}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -43,16 +46,16 @@ func ParseBench(out, name string) (Measured, error) {
 			switch fields[i+1] {
 			case "ns/op":
 				m.NsPerOp = v
-			case "inst/s":
-				m.InstPerS = v
-				m.hasInst = true
+			case unit:
+				m.Throughput = v
+				m.hasThru = true
 			case "allocs/op":
 				m.AllocsOp = v
 				m.hasAlloc = true
 			}
 		}
-		if !m.hasInst {
-			return Measured{}, fmt.Errorf("benchmark %s reported no inst/s metric (line %q)", name, line)
+		if !m.hasThru {
+			return Measured{}, fmt.Errorf("benchmark %s reported no %s metric (line %q)", name, unit, line)
 		}
 		if !m.hasAlloc {
 			return Measured{}, fmt.Errorf("benchmark %s reported no allocs/op — run with -benchmem (line %q)", name, line)
@@ -62,26 +65,44 @@ func ParseBench(out, name string) (Measured, error) {
 	return Measured{}, fmt.Errorf("no output line for benchmark %s", name)
 }
 
-// Baseline is the tracked entry of BENCH_pipeline.json the gate compares
-// against.
+// Baseline is the tracked entry the gate compares against: a throughput
+// value with the unit naming it, plus the allocation budget.
 type Baseline struct {
-	InstPerS    float64 `json:"inst_per_s"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Throughput  float64
+	Unit        string
+	AllocsPerOp float64
 }
 
-// ParseBaseline reads the "current" entry from BENCH_pipeline.json.
+// ParseBaseline reads the "current" entry from a baseline JSON file. Two
+// shapes are accepted: the pipeline's historical {"inst_per_s": ...}
+// (unit inst/s), and the generic {"throughput": ..., "throughput_unit":
+// "cells/s"}.
 func ParseBaseline(raw []byte) (Baseline, error) {
 	var file struct {
-		Current Baseline `json:"current"`
+		Current struct {
+			InstPerS    float64 `json:"inst_per_s"`
+			Throughput  float64 `json:"throughput"`
+			Unit        string  `json:"throughput_unit"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"current"`
 	}
 	if err := json.Unmarshal(raw, &file); err != nil {
 		return Baseline{}, fmt.Errorf("baseline: %w", err)
 	}
-	if file.Current.InstPerS <= 0 || file.Current.AllocsPerOp <= 0 {
-		return Baseline{}, fmt.Errorf("baseline has no usable 'current' entry (inst_per_s=%g, allocs_per_op=%g)",
-			file.Current.InstPerS, file.Current.AllocsPerOp)
+	b := Baseline{
+		Throughput:  file.Current.Throughput,
+		Unit:        file.Current.Unit,
+		AllocsPerOp: file.Current.AllocsPerOp,
 	}
-	return file.Current, nil
+	if b.Throughput == 0 && file.Current.InstPerS > 0 {
+		b.Throughput = file.Current.InstPerS
+		b.Unit = "inst/s"
+	}
+	if b.Throughput <= 0 || b.AllocsPerOp <= 0 || b.Unit == "" {
+		return Baseline{}, fmt.Errorf("baseline has no usable 'current' entry (throughput=%g unit=%q allocs_per_op=%g)",
+			b.Throughput, b.Unit, b.AllocsPerOp)
+	}
+	return b, nil
 }
 
 // Check is one gated comparison.
@@ -122,14 +143,14 @@ func (r Report) Summary() string {
 	return b.String()
 }
 
-// Gate compares a measurement against the baseline: inst/s must stay at or
-// above minInstFrac of baseline, allocs/op at or below maxAllocsMult times
-// baseline.
-func Gate(m Measured, base Baseline, minInstFrac, maxAllocsMult float64) Report {
-	instLimit := base.InstPerS * minInstFrac
+// Gate compares a measurement against the baseline: throughput must stay
+// at or above minThruFrac of baseline, allocs/op at or below maxAllocsMult
+// times baseline.
+func Gate(m Measured, base Baseline, minThruFrac, maxAllocsMult float64) Report {
+	thruLimit := base.Throughput * minThruFrac
 	allocLimit := base.AllocsPerOp * maxAllocsMult
 	return Report{Checks: []Check{
-		{Metric: "inst/s", Measured: m.InstPerS, Baseline: base.InstPerS, Limit: instLimit, Pass: m.InstPerS >= instLimit},
+		{Metric: base.Unit, Measured: m.Throughput, Baseline: base.Throughput, Limit: thruLimit, Pass: m.Throughput >= thruLimit},
 		{Metric: "allocs/op", Measured: m.AllocsOp, Baseline: base.AllocsPerOp, Limit: allocLimit, Pass: m.AllocsOp <= allocLimit},
 	}}
 }

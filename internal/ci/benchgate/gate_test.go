@@ -11,67 +11,92 @@ goarch: amd64
 pkg: github.com/archsim/fusleep
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkPipelineSimulation-8   	       3	  15877023 ns/op	   6298731 inst/s	 5930948 cycles/s	 1009154 B/op	     894 allocs/op
+BenchmarkTunerSearch-8          	       5	   2200000 ns/op	     21000 cells/s	  800000 B/op	    4100 allocs/op
 PASS
 ok  	github.com/archsim/fusleep	1.234s
 `
 
 func TestParseBench(t *testing.T) {
-	m, err := ParseBench(benchOut, "BenchmarkPipelineSimulation")
+	m, err := ParseBench(benchOut, "BenchmarkPipelineSimulation", "inst/s")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.InstPerS != 6298731 || m.AllocsOp != 894 || m.NsPerOp != 15877023 {
+	if m.Throughput != 6298731 || m.AllocsOp != 894 || m.NsPerOp != 15877023 {
+		t.Errorf("parsed %+v", m)
+	}
+	// A second tracked benchmark with its own throughput unit.
+	m, err = ParseBench(benchOut, "BenchmarkTunerSearch", "cells/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput != 21000 || m.AllocsOp != 4100 {
 		t.Errorf("parsed %+v", m)
 	}
 }
 
 func TestParseBenchErrors(t *testing.T) {
-	if _, err := ParseBench(benchOut, "BenchmarkMissing"); err == nil {
+	if _, err := ParseBench(benchOut, "BenchmarkMissing", "inst/s"); err == nil {
 		t.Error("missing benchmark parsed")
+	}
+	// Asking for a unit the line does not report fails loudly.
+	if _, err := ParseBench(benchOut, "BenchmarkPipelineSimulation", "cells/s"); err == nil {
+		t.Error("missing throughput unit accepted")
 	}
 	noMem := strings.ReplaceAll(benchOut, "894 allocs/op", "")
 	noMem = strings.ReplaceAll(noMem, "1009154 B/op", "")
-	if _, err := ParseBench(noMem, "BenchmarkPipelineSimulation"); err == nil {
+	if _, err := ParseBench(noMem, "BenchmarkPipelineSimulation", "inst/s"); err == nil {
 		t.Error("output without -benchmem accepted")
 	}
 }
 
-// TestGateAgainstRepoBaseline proves the committed BENCH_pipeline.json is
-// parseable by the gate, so the CI job cannot rot silently.
-func TestGateAgainstRepoBaseline(t *testing.T) {
-	raw, err := os.ReadFile("../../../BENCH_pipeline.json")
-	if err != nil {
-		t.Fatal(err)
+// TestGateAgainstRepoBaselines proves the committed baseline files are
+// parseable by the gate, so the CI jobs cannot rot silently.
+func TestGateAgainstRepoBaselines(t *testing.T) {
+	cases := []struct {
+		path, unit string
+		minThru    float64
+	}{
+		{"../../../BENCH_pipeline.json", "inst/s", 1e6},
+		{"../../../BENCH_tune.json", "cells/s", 1e3},
 	}
-	base, err := ParseBaseline(raw)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if base.InstPerS < 1e6 {
-		t.Errorf("baseline inst/s = %g, implausibly low", base.InstPerS)
-	}
-	// The baseline's own numbers gate as a pass.
-	m := Measured{InstPerS: base.InstPerS, AllocsOp: base.AllocsPerOp}
-	if rep := Gate(m, base, 0.70, 2.0); !rep.OK() {
-		t.Errorf("baseline fails its own gate:\n%s", rep.Summary())
+	for _, tc := range cases {
+		raw, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := ParseBaseline(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Unit != tc.unit {
+			t.Errorf("%s: unit = %q, want %q", tc.path, base.Unit, tc.unit)
+		}
+		if base.Throughput < tc.minThru {
+			t.Errorf("%s: throughput = %g, implausibly low", tc.path, base.Throughput)
+		}
+		// The baseline's own numbers gate as a pass.
+		m := Measured{Throughput: base.Throughput, Unit: base.Unit, AllocsOp: base.AllocsPerOp}
+		if rep := Gate(m, base, 0.70, 2.0); !rep.OK() {
+			t.Errorf("%s fails its own gate:\n%s", tc.path, rep.Summary())
+		}
 	}
 }
 
 // TestGateFailsOnSyntheticRegression is the gate's reason to exist: a
 // throughput collapse or an alloc explosion must fail.
 func TestGateFailsOnSyntheticRegression(t *testing.T) {
-	base := Baseline{InstPerS: 6_298_731, AllocsPerOp: 894}
+	base := Baseline{Throughput: 6_298_731, Unit: "inst/s", AllocsPerOp: 894}
 	cases := []struct {
 		name string
 		m    Measured
 		ok   bool
 	}{
-		{"healthy", Measured{InstPerS: 6_000_000, AllocsOp: 900}, true},
-		{"noise within envelope", Measured{InstPerS: 4_500_000, AllocsOp: 1700}, true},
-		{"throughput regression", Measured{InstPerS: 3_000_000, AllocsOp: 894}, false},
-		{"alloc regression", Measured{InstPerS: 6_298_731, AllocsOp: 243_786}, false},
-		{"exactly at limits", Measured{InstPerS: base.InstPerS * 0.70, AllocsOp: base.AllocsPerOp * 2}, true},
-		{"just past limits", Measured{InstPerS: base.InstPerS*0.70 - 1, AllocsOp: base.AllocsPerOp * 2}, false},
+		{"healthy", Measured{Throughput: 6_000_000, AllocsOp: 900}, true},
+		{"noise within envelope", Measured{Throughput: 4_500_000, AllocsOp: 1700}, true},
+		{"throughput regression", Measured{Throughput: 3_000_000, AllocsOp: 894}, false},
+		{"alloc regression", Measured{Throughput: 6_298_731, AllocsOp: 243_786}, false},
+		{"exactly at limits", Measured{Throughput: base.Throughput * 0.70, AllocsOp: base.AllocsPerOp * 2}, true},
+		{"just past limits", Measured{Throughput: base.Throughput*0.70 - 1, AllocsOp: base.AllocsPerOp * 2}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,15 +107,27 @@ func TestGateFailsOnSyntheticRegression(t *testing.T) {
 			if len(rep.Checks) != 2 {
 				t.Fatalf("checks = %d, want 2", len(rep.Checks))
 			}
+			if rep.Checks[0].Metric != "inst/s" {
+				t.Errorf("throughput check metric = %q", rep.Checks[0].Metric)
+			}
 		})
 	}
 }
 
-func TestParseBaselineRejectsEmpty(t *testing.T) {
-	if _, err := ParseBaseline([]byte(`{}`)); err == nil {
-		t.Error("empty baseline accepted")
+func TestParseBaselineShapes(t *testing.T) {
+	// Historical pipeline shape: inst_per_s implies the inst/s unit.
+	b, err := ParseBaseline([]byte(`{"current": {"inst_per_s": 5000000, "allocs_per_op": 900}}`))
+	if err != nil || b.Unit != "inst/s" || b.Throughput != 5000000 {
+		t.Errorf("historical shape: %+v, %v", b, err)
 	}
-	if _, err := ParseBaseline([]byte(`not json`)); err == nil {
-		t.Error("garbage baseline accepted")
+	// Generic shape with an explicit unit.
+	b, err = ParseBaseline([]byte(`{"current": {"throughput": 20000, "throughput_unit": "cells/s", "allocs_per_op": 4000}}`))
+	if err != nil || b.Unit != "cells/s" || b.Throughput != 20000 {
+		t.Errorf("generic shape: %+v, %v", b, err)
+	}
+	for _, bad := range []string{`{}`, `not json`, `{"current": {"throughput": 5, "allocs_per_op": 1}}`} {
+		if _, err := ParseBaseline([]byte(bad)); err == nil {
+			t.Errorf("baseline %q accepted", bad)
+		}
 	}
 }

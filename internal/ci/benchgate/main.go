@@ -27,7 +27,7 @@ func main() {
 	benchPath := flag.String("bench", "-", "benchmark output file ('-' = stdin)")
 	baselinePath := flag.String("baseline", "BENCH_pipeline.json", "tracked baseline JSON")
 	name := flag.String("benchmark", "BenchmarkPipelineSimulation", "benchmark to gate on")
-	minInstFrac := flag.Float64("min-inst-frac", 0.70, "fail when inst/s drops below this fraction of baseline")
+	minInstFrac := flag.Float64("min-inst-frac", 0.70, "fail when throughput drops below this fraction of baseline")
 	maxAllocsMult := flag.Float64("max-allocs-mult", 2.0, "fail when allocs/op exceeds baseline times this factor")
 	flag.Parse()
 
@@ -44,15 +44,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	measured, err := ParseBench(string(raw), *name)
-	if err != nil {
-		fatal(err)
-	}
 	baseRaw, err := os.ReadFile(*baselinePath)
 	if err != nil {
 		fatal(err)
 	}
 	baseline, err := ParseBaseline(baseRaw)
+	if err != nil {
+		fatal(err)
+	}
+	// The baseline names the throughput metric to gate on (inst/s for the
+	// pipeline, cells/s for the tuner).
+	measured, err := ParseBench(string(raw), *name, baseline.Unit)
 	if err != nil {
 		fatal(err)
 	}

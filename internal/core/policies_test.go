@@ -297,3 +297,46 @@ func TestPolicyConfigJSONRoundTrip(t *testing.T) {
 		t.Error("unknown policy name unmarshaled")
 	}
 }
+
+// TestSleepTimeoutJSONRoundTrip pins the wire form the daemon and tuner
+// use to name the SleepTimeout policy and its threshold knob: the policy
+// travels by name, the Timeout parameter survives the round trip, and the
+// breakeven default (Timeout 0) stays omitted.
+func TestSleepTimeoutJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   PolicyConfig
+		wire string
+	}{
+		{PolicyConfig{Policy: SleepTimeout, Timeout: 40}, `{"policy":"SleepTimeout","timeout":40}`},
+		{PolicyConfig{Policy: SleepTimeout}, `{"policy":"SleepTimeout"}`},
+		{PolicyConfig{Policy: AlwaysActive}, `{"policy":"AlwaysActive"}`},
+		{PolicyConfig{Policy: MaxSleep}, `{"policy":"MaxSleep"}`},
+		{PolicyConfig{Policy: NoOverhead}, `{"policy":"NoOverhead"}`},
+		{PolicyConfig{Policy: OracleMinimal}, `{"policy":"OracleMinimal"}`},
+		{PolicyConfig{Policy: GradualSleep, Slices: 8}, `{"policy":"GradualSleep","slices":8}`},
+	}
+	for _, tc := range cases {
+		raw, err := json.Marshal(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != tc.wire {
+			t.Errorf("marshal(%+v) = %s, want %s", tc.in, raw, tc.wire)
+		}
+		var out PolicyConfig
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out != tc.in {
+			t.Errorf("round trip %+v -> %+v", tc.in, out)
+		}
+	}
+	// Case-insensitive parse, so hand-written requests can say "sleeptimeout".
+	var out PolicyConfig
+	if err := json.Unmarshal([]byte(`{"policy":"sleeptimeout","timeout":7}`), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Policy != SleepTimeout || out.Timeout != 7 {
+		t.Errorf("lower-case parse = %+v", out)
+	}
+}

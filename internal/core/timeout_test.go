@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -107,6 +108,98 @@ func TestTimeoutScenarioConservation(t *testing.T) {
 		!almostEqual(cc.Sleep, nIntervals*20, 1e-6) ||
 		!almostEqual(cc.Transitions, nIntervals, 1e-6) {
 		t.Errorf("split wrong: %+v", cc)
+	}
+}
+
+// TestTimeoutControllerZeroThreshold pins the degenerate controller: with
+// the threshold at 0 the counter exceeds it on the very first idle cycle,
+// so the controller sleeps immediately and is cycle-for-cycle identical to
+// MaxSleep.
+func TestTimeoutControllerZeroThreshold(t *testing.T) {
+	zero := &timeoutController{threshold: 0}
+	ms := &maxSleepController{}
+	rng := rand.New(rand.NewSource(42))
+	stream := randomStream(rng, 2000, 0.5)
+	for i, active := range stream {
+		a, b := zero.Step(active), ms.Step(active)
+		if a != b {
+			t.Fatalf("cycle %d (active=%v): timeout{0} %+v != MaxSleep %+v", i, active, a, b)
+		}
+	}
+	// And the energies agree through the stream integrator.
+	tech := DefaultTech().WithP(0.3)
+	zero.Reset()
+	ms.Reset()
+	to := tech.RunStream(0.5, zero, stream)
+	mse := tech.RunStream(0.5, ms, stream)
+	if !almostEqual(to.Total(), mse.Total(), 1e-12) {
+		t.Errorf("threshold-0 energy %g != MaxSleep %g", to.Total(), mse.Total())
+	}
+}
+
+// TestTimeoutThresholdResolution pins how the effective threshold resolves:
+// an explicit Timeout wins regardless of the technology, and the zero
+// default rounds the breakeven interval up to a whole cycle (the hardware
+// counter counts cycles).
+func TestTimeoutThresholdResolution(t *testing.T) {
+	alpha := 0.5
+	for _, p := range []float64{0.05, 0.3, 0.9} {
+		tech := DefaultTech().WithP(p)
+		// Explicit override: the tech's breakeven must not leak in.
+		ctrl, err := NewController(PolicyConfig{Policy: SleepTimeout, Timeout: 5}, tech, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ctrl.(*timeoutController).threshold; got != 5 {
+			t.Errorf("p=%g: explicit threshold = %g, want 5", p, got)
+		}
+		// Breakeven default: ceil of the analytic breakeven.
+		ctrl, err = NewController(PolicyConfig{Policy: SleepTimeout}, tech, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Ceil(tech.Breakeven(alpha))
+		if got := ctrl.(*timeoutController).threshold; got != want {
+			t.Errorf("p=%g: default threshold = %g, want ceil(breakeven) = %g", p, got, want)
+		}
+	}
+}
+
+// TestTimeoutInfiniteBreakeven covers the technologies where sleeping never
+// pays: at alpha = 1 the uncontrolled-idle and sleep leakage rates
+// coincide, the breakeven interval is +Inf, and the defaulted controller
+// must behave exactly like AlwaysActive instead of overflowing its counter.
+func TestTimeoutInfiniteBreakeven(t *testing.T) {
+	tech := DefaultTech()
+	if be := tech.Breakeven(1); !math.IsInf(be, 1) {
+		t.Fatalf("breakeven at alpha=1 = %g, want +Inf", be)
+	}
+	prof := NewIdleProfile()
+	prof.ActiveCycles = 5000
+	prof.AddIdle(3, 200)
+	prof.AddIdle(1<<20, 2) // even million-cycle intervals must not sleep
+	to := tech.EvalProfile(PolicyConfig{Policy: SleepTimeout}, 1, prof)
+	aa := tech.EvalProfile(PolicyConfig{Policy: AlwaysActive}, 1, prof)
+	if !almostEqual(to.Total(), aa.Total(), 1e-12) {
+		t.Errorf("infinite-breakeven timeout %g != AlwaysActive %g", to.Total(), aa.Total())
+	}
+	if cc, err := tech.ProfileCounts(PolicyConfig{Policy: SleepTimeout}, 1, prof); err != nil || cc.Sleep != 0 || cc.Transitions != 0 {
+		t.Errorf("slept under an infinite breakeven: %+v (err %v)", cc, err)
+	}
+
+	// A finite but astronomically large breakeven (alpha one ulp below 1)
+	// takes the same never-sleep clamp instead of ceiling a 1e15+ float.
+	alpha := math.Nextafter(1, 0)
+	if be := tech.Breakeven(alpha); !(be > 1e15) || math.IsInf(be, 1) {
+		t.Skipf("breakeven at alpha=%g is %g; clamp branch not reachable here", alpha, be)
+	}
+	ctrl, err := NewController(PolicyConfig{Policy: SleepTimeout}, tech, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := ctrl.(*timeoutController).threshold
+	if thr < math.MaxFloat64/8 {
+		t.Errorf("huge-breakeven threshold = %g, want the never-sleep clamp", thr)
 	}
 }
 

@@ -52,6 +52,11 @@ type CellResult struct {
 	// LeakageFraction is the leakage share of total energy, averaged over
 	// the cell's benchmarks.
 	LeakageFraction float64 `json:"leakageFraction"`
+	// MeanCycles is the simulated cycle count averaged over the cell's
+	// benchmarks — the delay axis of energy-delay analyses. It depends on
+	// the cell's FU count, benchmarks, L2 latency, and window, but not on
+	// its policy or technology point.
+	MeanCycles float64 `json:"meanCycles"`
 }
 
 // Cells expands the grid into its ordered cell list after resolving zero
@@ -110,15 +115,16 @@ func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
 	if err != nil {
 		return CellResult{}, fmt.Errorf("cell fus=%d: %w", c.FUs, err)
 	}
-	var rel, leak float64
+	var rel, leak, cyc float64
 	for _, name := range c.Benchmarks {
 		res := suite[name]
 		e := unitEnergy(c.Tech, c.Policy, c.Alpha, res)
 		rel += e.Total() / baseEnergy(c.Tech, c.Alpha, res)
 		leak += e.LeakageFraction()
+		cyc += float64(res.Cycles)
 	}
 	n := float64(len(c.Benchmarks))
-	return CellResult{Cell: c, RelEnergy: rel / n, LeakageFraction: leak / n}, nil
+	return CellResult{Cell: c, RelEnergy: rel / n, LeakageFraction: leak / n, MeanCycles: cyc / n}, nil
 }
 
 // RunSweepStream evaluates the grid cell by cell, invoking fn with each

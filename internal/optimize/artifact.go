@@ -1,0 +1,77 @@
+package optimize
+
+import (
+	"fmt"
+
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/report"
+)
+
+// Label renders a point's configuration for tables and traces, e.g.
+// "SleepTimeout T=24 @ p=0.05, 2 FUs".
+func (p Point) Label() string {
+	pc := p.Cell.Policy
+	s := pc.Policy.String()
+	switch pc.Policy {
+	case core.GradualSleep:
+		if pc.Slices > 0 {
+			s += fmt.Sprintf(" K=%d", pc.Slices)
+		}
+	case core.SleepTimeout:
+		if pc.Timeout > 0 {
+			s += fmt.Sprintf(" T=%d", pc.Timeout)
+		}
+	}
+	fus := fmt.Sprintf("%d FUs", p.Cell.FUs)
+	if p.Cell.FUs == 0 {
+		fus = "paper FUs"
+	}
+	return fmt.Sprintf("%s @ p=%s, %s", s, report.F(p.Cell.Tech.P, 4), fus)
+}
+
+// frontierPoints converts the result's frontier into the report package's
+// renderable form, with leakage fraction and objective score as extra
+// columns.
+func (r Result) frontierPoints() []report.FrontierPoint {
+	out := make([]report.FrontierPoint, 0, len(r.Frontier))
+	for _, p := range r.Frontier {
+		leakFrac := 0.0
+		if p.Energy > 0 {
+			leakFrac = p.LeakEnergy / p.Energy
+		}
+		out = append(out, report.FrontierPoint{
+			Label:  p.Label(),
+			Delay:  p.Delay,
+			Energy: p.Energy,
+			Extra:  []string{report.F(leakFrac, 4), report.F(p.Score, 4)},
+		})
+	}
+	return out
+}
+
+// Artifacts renders a completed run as structured artifacts: the best
+// point, the Pareto frontier (table and series forms), all renderable as
+// text, JSON, CSV, or NDJSON through the report package.
+func (r Result) Artifacts() []report.Artifact {
+	best := report.NewTable(
+		fmt.Sprintf("Tuner best point [%s]", r.Objective),
+		"configuration", "score", "delay", "E/E_base", "leak E", "feasible")
+	best.AddRow(r.Best.Label(), report.F(r.Best.Score, 4), report.F(r.Best.Delay, 4),
+		report.F(r.Best.Energy, 4), report.F(r.Best.LeakEnergy, 4), fmt.Sprintf("%v", r.Best.Feasible))
+	best.AddNote("%d cells evaluated in %d rounds over %d benchmarks at window %d (delay ref: %.0f cycles)",
+		r.Evals, r.Rounds, len(r.Space.Benchmarks), r.Space.Window, r.RefCycles)
+
+	title := fmt.Sprintf("Energy-delay Pareto frontier [%s, %d points from %d probes]",
+		r.Objective, len(r.Frontier), r.Probes)
+	pts := r.frontierPoints()
+	ft := report.FrontierTable(title, []string{"leak frac", "score"}, pts)
+	ft.AddNote("probe score p50 %s / p90 %s; delay-weighted frontier energy p50 %s / p90 %s",
+		report.F(r.Summary.ScoreP50, 4), report.F(r.Summary.ScoreP90, 4),
+		report.F(r.Summary.FrontierEnergyP50, 4), report.F(r.Summary.FrontierEnergyP90, 4))
+
+	return []report.Artifact{
+		report.TableArtifact("tune-best", best),
+		report.TableArtifact("tune-frontier", ft),
+		report.SeriesArtifact("tune-frontier-curve", report.FrontierSeries(title, pts)),
+	}
+}

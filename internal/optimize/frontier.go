@@ -1,0 +1,52 @@
+package optimize
+
+import "sort"
+
+// Frontier accumulates the non-dominated set of evaluated points on the
+// (delay, energy) plane: a point belongs to the frontier when no other
+// evaluated point is at least as fast and at least as efficient. The
+// invariant after every Add: points sorted by ascending Delay with strictly
+// descending Energy, no duplicates.
+type Frontier struct {
+	pts []Point
+}
+
+// Add offers a point to the frontier. It returns true when the point is
+// non-dominated (it joins the frontier, evicting any points it dominates)
+// and false when an existing point dominates it — including exact ties on
+// both axes, so re-probing a configuration never grows the frontier.
+func (f *Frontier) Add(p Point) bool {
+	// Find the first kept point with Delay >= p.Delay.
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].Delay >= p.Delay })
+	// Energy strictly descends left to right on a frontier of two minimized
+	// axes, so among the strictly faster points pts[:i] the one at i-1 has
+	// the lowest energy: p is dominated by a faster point iff that energy
+	// already matches or beats p's.
+	if i > 0 && f.pts[i-1].Energy <= p.Energy {
+		return false
+	}
+	if i < len(f.pts) && f.pts[i].Delay == p.Delay && f.pts[i].Energy <= p.Energy {
+		return false
+	}
+	// p joins: evict every point at >= its delay with >= its energy.
+	j := i
+	for j < len(f.pts) && f.pts[j].Energy >= p.Energy {
+		j++
+	}
+	kept := make([]Point, 0, len(f.pts)-(j-i)+1)
+	kept = append(kept, f.pts[:i]...)
+	kept = append(kept, p)
+	kept = append(kept, f.pts[j:]...)
+	f.pts = kept
+	return true
+}
+
+// Len returns the number of frontier points.
+func (f *Frontier) Len() int { return len(f.pts) }
+
+// Points returns a copy of the frontier sorted by ascending delay.
+func (f *Frontier) Points() []Point {
+	out := make([]Point, len(f.pts))
+	copy(out, f.pts)
+	return out
+}

@@ -1,0 +1,153 @@
+package optimize
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/archsim/fusleep/internal/experiments"
+)
+
+// Kind names one scalarization of the energy-delay trade-off.
+type Kind string
+
+const (
+	// KindED minimizes the energy-delay product E·D: relative energy
+	// (E/E_base) times relative delay (cycles over the fastest evaluated
+	// baseline). The default.
+	KindED Kind = "ed"
+	// KindED2 minimizes E·D², weighting delay more heavily — the metric the
+	// nanometer-cache Pareto studies favor for performance-critical parts.
+	KindED2 Kind = "ed2"
+	// KindLeakage minimizes the leakage share of energy (RelEnergy ×
+	// LeakageFraction) alone; combine with Objective.SlowdownCap to keep the
+	// tuner from simply under-provisioning functional units.
+	KindLeakage Kind = "leakage"
+)
+
+// Kinds lists the objective kinds accepted by ParseKind.
+func Kinds() []Kind { return []Kind{KindED, KindED2, KindLeakage} }
+
+// ParseKind maps an objective name (case-insensitively) to its Kind.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if strings.EqualFold(name, string(k)) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("optimize: unknown objective %q (have %v)", name, Kinds())
+}
+
+// Objective is the tuner's scoring function: a scalarization kind plus an
+// optional feasibility constraint on delay. Lower scores are better; an
+// infeasible point never outranks a feasible one.
+type Objective struct {
+	Kind Kind `json:"kind"`
+	// SlowdownCap bounds a candidate's relative delay (cycles over the
+	// fastest evaluated baseline): points with Delay > SlowdownCap are
+	// infeasible. Zero means unconstrained.
+	SlowdownCap float64 `json:"slowdownCap,omitempty"`
+}
+
+// withDefaults resolves the zero value to the E·D objective.
+func (o Objective) withDefaults() Objective {
+	if o.Kind == "" {
+		o.Kind = KindED
+	}
+	return o
+}
+
+// Validate rejects unknown kinds and negative caps.
+func (o Objective) Validate() error {
+	o = o.withDefaults()
+	if _, err := ParseKind(string(o.Kind)); err != nil {
+		return err
+	}
+	if o.SlowdownCap < 0 {
+		return fmt.Errorf("optimize: negative slowdown cap %g", o.SlowdownCap)
+	}
+	return nil
+}
+
+// String renders the objective for titles and traces.
+func (o Objective) String() string {
+	o = o.withDefaults()
+	var s string
+	switch o.Kind {
+	case KindED2:
+		s = "min E·D²"
+	case KindLeakage:
+		s = "min leakage energy"
+	default:
+		s = "min E·D"
+	}
+	if o.SlowdownCap > 0 {
+		s += fmt.Sprintf(" s.t. D ≤ %.3g", o.SlowdownCap)
+	}
+	return s
+}
+
+// Point is one evaluated configuration with its derived metrics: the
+// coordinates the frontier and the objective work in.
+type Point struct {
+	Cell experiments.Cell `json:"cell"`
+	// Energy is E/E_base averaged over the cell's benchmarks.
+	Energy float64 `json:"energy"`
+	// Delay is MeanCycles normalized to the fastest evaluated baseline
+	// configuration, so 1.0 is "no slowdown".
+	Delay float64 `json:"delay"`
+	// LeakEnergy is the leakage share of relative energy
+	// (Energy × LeakageFraction).
+	LeakEnergy float64 `json:"leakEnergy"`
+	// MeanCycles is the un-normalized delay axis from the cell result.
+	MeanCycles float64 `json:"meanCycles"`
+	// Score is the objective's scalarization of this point.
+	Score float64 `json:"score"`
+	// Feasible reports whether the point satisfies the objective's
+	// slowdown cap.
+	Feasible bool `json:"feasible"`
+}
+
+// point derives a Point from a cell result under this objective, given the
+// run's reference cycle count.
+func (o Objective) point(res experiments.CellResult, refCycles float64) Point {
+	p := Point{
+		Cell:       res.Cell,
+		Energy:     res.RelEnergy,
+		LeakEnergy: res.RelEnergy * res.LeakageFraction,
+		MeanCycles: res.MeanCycles,
+		Delay:      1,
+	}
+	if refCycles > 0 {
+		p.Delay = res.MeanCycles / refCycles
+	}
+	p.Score = o.score(p)
+	p.Feasible = o.feasible(p)
+	return p
+}
+
+// score scalarizes a point; lower is better.
+func (o Objective) score(p Point) float64 {
+	switch o.withDefaults().Kind {
+	case KindED2:
+		return p.Energy * p.Delay * p.Delay
+	case KindLeakage:
+		return p.LeakEnergy
+	default:
+		return p.Energy * p.Delay
+	}
+}
+
+// feasible applies the slowdown cap.
+func (o Objective) feasible(p Point) bool {
+	return o.SlowdownCap <= 0 || p.Delay <= o.SlowdownCap*(1+1e-12)
+}
+
+// better reports whether a outranks b: feasible before infeasible, then by
+// ascending score. Ties keep b (the earlier point), so the probe order
+// breaks ties deterministically.
+func better(a, b Point) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.Score < b.Score
+}

@@ -1,0 +1,232 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/experiments"
+	"github.com/archsim/fusleep/internal/workload"
+)
+
+// Space is the tuner's search domain: the cross product of discrete axes
+// (policy family, technology point, FU count) with the refinable parameter
+// axes of the parameterized policies (SleepTimeout threshold, GradualSleep
+// slice count). Zero-valued fields select defaults, so Space{} searches the
+// paper's causal policies over the full suite at the caller's technology.
+type Space struct {
+	// Policies are the policy families to search (default: AlwaysActive,
+	// MaxSleep, GradualSleep, SleepTimeout — every causal policy plus the
+	// do-nothing baseline).
+	Policies []core.Policy
+	// TimeoutRange bounds the SleepTimeout threshold axis in idle cycles,
+	// inclusive (default [1, 256]).
+	TimeoutRange [2]int
+	// SlicesRange bounds the GradualSleep slice-count axis K, inclusive
+	// (default [1, 128]).
+	SlicesRange [2]int
+	// FUCounts are the integer-ALU candidates; 0 in the list means the
+	// paper's per-benchmark Table 3 counts (default: [0]).
+	FUCounts []int
+	// Techs are the technology points to search (default: the caller's
+	// technology).
+	Techs []core.Tech
+	// Benchmarks restricts the suite (default: all nine).
+	Benchmarks []string
+	// Alpha is the activity factor (default 0.5).
+	Alpha float64
+	// L2Latency is the L2 hit latency in cycles (default 12).
+	L2Latency int
+	// Window is the per-benchmark instruction count (default: the
+	// caller's window).
+	Window uint64
+}
+
+// WithDefaults resolves zero-valued fields against the given default
+// technology point and instruction window. It is idempotent.
+func (s Space) WithDefaults(tech core.Tech, window uint64) Space {
+	if len(s.Policies) == 0 {
+		s.Policies = []core.Policy{core.AlwaysActive, core.MaxSleep, core.GradualSleep, core.SleepTimeout}
+	}
+	if s.TimeoutRange == [2]int{} {
+		s.TimeoutRange = [2]int{1, 256}
+	}
+	if s.SlicesRange == [2]int{} {
+		s.SlicesRange = [2]int{1, 128}
+	}
+	if len(s.FUCounts) == 0 {
+		s.FUCounts = []int{0}
+	}
+	if len(s.Techs) == 0 {
+		s.Techs = []core.Tech{tech}
+	}
+	if len(s.Benchmarks) == 0 {
+		s.Benchmarks = workload.Names()
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 0.5
+	}
+	if s.L2Latency == 0 {
+		s.L2Latency = 12
+	}
+	if s.Window == 0 {
+		s.Window = window
+	}
+	return s
+}
+
+// Validate rejects spaces outside the model's domain before any simulation
+// is paid for. Call after WithDefaults.
+func (s Space) Validate() error {
+	if len(s.Policies) == 0 {
+		return fmt.Errorf("optimize: space has no policies")
+	}
+	for _, p := range s.Policies {
+		if _, err := core.ParsePolicy(p.String()); err != nil {
+			return err
+		}
+	}
+	for _, r := range [][2]int{s.TimeoutRange, s.SlicesRange} {
+		if r[0] < 1 || r[1] < r[0] {
+			return fmt.Errorf("optimize: bad parameter range [%d, %d]", r[0], r[1])
+		}
+	}
+	for _, t := range s.Techs {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	if !core.ValidAlpha(s.Alpha) {
+		return core.ErrAlpha
+	}
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("optimize: space has no benchmarks")
+	}
+	for _, name := range s.Benchmarks {
+		if _, err := workload.ByName(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// family identifies one refinable slot of the space: a policy at one
+// technology × FU coordinate. Parameterless policies have no axis and are
+// probed exactly once per slot.
+type family struct {
+	policy  core.Policy
+	techIdx int
+	fuIdx   int
+}
+
+// paramRange returns a policy's refinable parameter range, if it has one.
+func (s Space) paramRange(p core.Policy) ([2]int, bool) {
+	switch p {
+	case core.SleepTimeout:
+		return s.TimeoutRange, true
+	case core.GradualSleep:
+		return s.SlicesRange, true
+	}
+	return [2]int{}, false
+}
+
+// policyConfig binds a parameter value to its policy's knob.
+func policyConfig(p core.Policy, param int) core.PolicyConfig {
+	switch p {
+	case core.SleepTimeout:
+		return core.PolicyConfig{Policy: p, Timeout: param}
+	case core.GradualSleep:
+		return core.PolicyConfig{Policy: p, Slices: param}
+	}
+	return core.PolicyConfig{Policy: p}
+}
+
+// cell materializes one candidate as an evaluable sweep cell.
+func (s Space) cell(fam family, param int) experiments.Cell {
+	return experiments.Cell{
+		Policy:     policyConfig(fam.policy, param),
+		Tech:       s.Techs[fam.techIdx],
+		FUs:        s.FUCounts[fam.fuIdx],
+		Benchmarks: s.Benchmarks,
+		Alpha:      s.Alpha,
+		L2Latency:  s.L2Latency,
+		Window:     s.Window,
+	}
+}
+
+// candidate is one point the driver may evaluate.
+type candidate struct {
+	fam   family
+	param int
+}
+
+// references returns the delay-reference candidates: the AlwaysActive
+// baseline at the first technology point for every FU count. Their minimum
+// mean cycle count anchors Delay = 1.
+func (s Space) references() []candidate {
+	refs := make([]candidate, 0, len(s.FUCounts))
+	for fi := range s.FUCounts {
+		refs = append(refs, candidate{fam: family{policy: core.AlwaysActive, techIdx: 0, fuIdx: fi}})
+	}
+	return refs
+}
+
+// seeds returns the round-0 candidate list: for every technology × FU ×
+// policy slot, either the single parameterless candidate or points points
+// log-spaced across the policy's parameter range (endpoints included).
+func (s Space) seeds(points int) []candidate {
+	var out []candidate
+	for ti := range s.Techs {
+		for fi := range s.FUCounts {
+			for _, pol := range s.Policies {
+				fam := family{policy: pol, techIdx: ti, fuIdx: fi}
+				r, ok := s.paramRange(pol)
+				if !ok {
+					out = append(out, candidate{fam: fam})
+					continue
+				}
+				for _, v := range logSpacedInts(r[0], r[1], points) {
+					out = append(out, candidate{fam: fam, param: v})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// logSpacedInts returns up to n distinct integers covering [lo, hi]
+// inclusive, geometrically spaced (so small thresholds get the resolution
+// the breakeven analysis says matters).
+func logSpacedInts(lo, hi, n int) []int {
+	if n < 2 || hi <= lo {
+		if hi > lo {
+			return []int{lo, hi}
+		}
+		return []int{lo}
+	}
+	ratio := float64(hi) / float64(lo)
+	seen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		v := int(math.Round(float64(lo) * math.Pow(ratio, float64(i)/float64(n-1))))
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// geomMid returns the geometric midpoint of two positive integers, rounded;
+// the bisection step of the refinement loop.
+func geomMid(a, b int) int {
+	return int(math.Round(math.Sqrt(float64(a) * float64(b))))
+}

@@ -1,0 +1,41 @@
+package report
+
+// FrontierPoint is one non-dominated configuration on an energy-delay
+// Pareto front, ready for rendering: a human-readable configuration label,
+// its two axis values, and optional extra column values.
+type FrontierPoint struct {
+	// Label names the configuration, e.g. "GradualSleep K=12 @ p=0.05, 2 FUs".
+	Label string `json:"label"`
+	// Delay is the relative-delay axis (1.0 = the fastest baseline).
+	Delay float64 `json:"delay"`
+	// Energy is the relative-energy axis (E/E_base).
+	Energy float64 `json:"energy"`
+	// Extra holds additional per-point column values, matching the extra
+	// column names passed to FrontierTable.
+	Extra []string `json:"extra,omitempty"`
+}
+
+// FrontierTable renders a Pareto front as a table: one row per point in
+// ascending-delay order, with any extra columns appended. Render the result
+// through the usual text/JSON/CSV/NDJSON renderers via TableArtifact.
+func FrontierTable(title string, extraCols []string, pts []FrontierPoint) *Table {
+	cols := append([]string{"configuration", "delay", "E/E_base"}, extraCols...)
+	t := NewTable(title, cols...)
+	for _, p := range pts {
+		row := append([]string{p.Label, F(p.Delay, 4), F(p.Energy, 4)}, p.Extra...)
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// FrontierSeries renders a Pareto front as a single energy-over-delay
+// curve, the plottable form of the same data; point labels become notes so
+// CSV/JSON consumers keep the configuration identities.
+func FrontierSeries(title string, pts []FrontierPoint) *Series {
+	s := NewSeries(title, "delay (relative)", "E/E_base", "frontier")
+	for _, p := range pts {
+		s.AddPoint(p.Delay, p.Energy)
+		s.AddNote("delay %s: %s", F(p.Delay, 4), p.Label)
+	}
+	return s
+}

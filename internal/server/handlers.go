@@ -11,8 +11,9 @@ import (
 	"github.com/archsim/fusleep/internal/report"
 )
 
-// sweepID formats the n-th accepted sweep's identifier.
-func sweepID(n uint64) string { return fmt.Sprintf("s-%06d", n) }
+// jobID formats the n-th accepted job's identifier under its kind prefix
+// ("s" for sweeps, "t" for tune jobs).
+func jobID(prefix string, n uint64) string { return fmt.Sprintf("%s-%06d", prefix, n) }
 
 // SweepRequest is the wire form of a sweep grid. Every field is optional;
 // zero values resolve to the engine's defaults exactly like fusleep.Grid
@@ -135,6 +136,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleList)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleTuneSubmit)
+	s.mux.HandleFunc("GET /v1/optimize", s.handleTuneList)
+	s.mux.HandleFunc("GET /v1/optimize/{id}", s.handleTune)
+	s.mux.HandleFunc("DELETE /v1/optimize/{id}", s.handleTuneCancel)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -170,13 +175,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"grid expands to %d cells; the service limit is %d", len(cells), s.cfg.MaxCells)
 		return
 	}
-	job := newSweepJob(context.Background(), s.nextID(), cells)
-	if err := s.submit(job); err != nil {
+	job := newSweepJob(context.Background(), s.nextID("s"), cells)
+	if err := s.submit(job.id, job, func() { s.feed(job) }); err != nil {
 		s.rejected.Add(1)
 		job.cancel()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+	s.submitted.Add(1)
 	writeJSON(w, http.StatusAccepted, submitResponse{
 		ID: job.id, Cells: len(cells), URL: "/v1/sweeps/" + job.id,
 	})
@@ -184,11 +190,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	ids := make([]string, len(s.order))
-	copy(ids, s.order)
-	jobs := make([]*sweepJob, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, s.sweeps[id])
+	jobs := make([]*sweepJob, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id].(*sweepJob); ok {
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 	out := make([]sweepStatus, 0, len(jobs))
@@ -224,7 +230,7 @@ type streamEvent struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.lookup(r.PathValue("id"))
+	job, ok := s.lookupSweep(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
 		return
@@ -272,7 +278,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.lookup(r.PathValue("id"))
+	job, ok := s.lookupSweep(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
 		return
@@ -309,6 +315,10 @@ type policyInfo struct {
 	// (OracleMinimal is offline-only).
 	Causal bool   `json:"causal"`
 	Desc   string `json:"desc"`
+	// Params names the policy's tuning knobs as they appear in PolicyConfig
+	// JSON (and in the tuner's search axes); zero values select the paper's
+	// breakeven-derived defaults.
+	Params []string `json:"params,omitempty"`
 }
 
 func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
@@ -316,8 +326,10 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		{Name: fusleep.AlwaysActive.String(), Causal: true, Desc: "never sleep; clock-gated idle only (baseline)"},
 		{Name: fusleep.MaxSleep.String(), Causal: true, Desc: "assert Sleep on every idle cycle"},
 		{Name: fusleep.NoOverhead.String(), Causal: true, Desc: "MaxSleep with free transitions (lower bound)"},
-		{Name: fusleep.GradualSleep.String(), Causal: true, Desc: "stagger Sleep across K slices per idle cycle"},
-		{Name: fusleep.SleepTimeout.String(), Causal: true, Desc: "sleep after a breakeven-threshold idle timeout"},
+		{Name: fusleep.GradualSleep.String(), Causal: true, Desc: "stagger Sleep across K slices per idle cycle",
+			Params: []string{"slices"}},
+		{Name: fusleep.SleepTimeout.String(), Causal: true, Desc: "sleep after a threshold idle timeout (breakeven default)",
+			Params: []string{"timeout"}},
 		{Name: fusleep.OracleMinimal.String(), Causal: false, Desc: "per-interval oracle: cheaper of sleeping or idling"},
 	}
 	writeJSON(w, http.StatusOK, out)

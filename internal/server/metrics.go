@@ -25,15 +25,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	counter("fusleepd_http_requests_total", "HTTP requests served.", s.requests.Load())
 	counter("fusleepd_sweeps_submitted_total", "Sweep jobs accepted.", s.submitted.Load())
+	counter("fusleepd_tunes_submitted_total", "Tuner jobs accepted.", s.tunesSubmit.Load())
+	counter("fusleepd_tune_probes_total", "Tuner probes evaluated.", s.probesDone.Load())
 	counter("fusleepd_sweeps_rejected_total", "Sweep submissions rejected.", s.rejected.Load())
+	counter("fusleepd_tunes_rejected_total", "Tuner submissions rejected.", s.tunesReject.Load())
 	counter("fusleepd_cells_completed_total", "Sweep cells evaluated successfully.", done)
 	counter("fusleepd_cells_failed_total", "Sweep cells that failed with a real error.", s.cellsFailed.Load())
 	counter("fusleepd_sim_runs_total", "Pipeline simulations executed by the engine.", stats.Simulations)
 	counter("fusleepd_sim_cache_hits_total", "Simulation requests served from the cross-call cache.", stats.CacheHits)
 	counter("fusleepd_sim_inflight_joins_total", "Simulation requests that joined an identical in-flight run.", stats.InflightJoins)
 	gauge("fusleepd_sim_cache_hit_rate", "Fraction of simulation requests that avoided a fresh run.", "%.4f", stats.HitRate())
+	sweepsActive, tunesActive := s.activeJobs()
 	gauge("fusleepd_queue_depth", "Cells waiting in the shard queues.", "%d", s.queueDepth())
-	gauge("fusleepd_sweeps_active", "Sweep jobs not yet in a terminal state.", "%d", s.activeSweeps())
+	gauge("fusleepd_sweeps_active", "Sweep jobs not yet in a terminal state.", "%d", sweepsActive)
+	gauge("fusleepd_tunes_active", "Tuner jobs not yet in a terminal state.", "%d", tunesActive)
 	gauge("fusleepd_cells_per_second", "Completed cells per second of uptime.", "%.3f", float64(done)/max(uptime, 1e-9))
 	gauge("fusleepd_uptime_seconds", "Seconds since the server started.", "%.3f", uptime)
 
@@ -41,20 +46,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = fmt.Fprint(w, b.String())
 }
 
-// activeSweeps counts jobs still running.
-func (s *Server) activeSweeps() int {
+// activeJobs counts the still-running jobs of each kind.
+func (s *Server) activeJobs() (sweeps, tunes int) {
 	s.mu.Lock()
-	jobs := make([]*sweepJob, 0, len(s.sweeps))
-	for _, j := range s.sweeps {
+	jobs := make([]queueJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
-	n := 0
 	for _, j := range jobs {
-		st, _ := j.status()
-		if st.State == StateRunning {
-			n++
+		if j.jobState() != StateRunning {
+			continue
+		}
+		if _, ok := j.(*tuneJob); ok {
+			tunes++
+		} else {
+			sweeps++
 		}
 	}
-	return n
+	return sweeps, tunes
 }

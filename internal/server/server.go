@@ -7,17 +7,27 @@
 // back per cell as NDJSON, and the server drains in-flight cells gracefully
 // on shutdown.
 //
+// Tuner jobs (POST /v1/optimize) share the same machinery: the tuner's
+// probes are cells routed through the same shards, so tuner and sweep
+// workloads dedupe against each other, and tune jobs live in the same
+// bounded retention registry as sweeps.
+//
 // Endpoints:
 //
-//	POST   /v1/sweeps        submit a grid, returns {id, cells}
-//	GET    /v1/sweeps        list sweep jobs
-//	GET    /v1/sweeps/{id}   stream per-cell results as NDJSON (?poll=1 for
-//	                         a point-in-time JSON snapshot instead)
-//	DELETE /v1/sweeps/{id}   cancel a sweep; in-flight cells abort promptly
-//	GET    /v1/workloads     the registered benchmark suite
-//	GET    /v1/policies      the registered sleep policies
-//	GET    /healthz          liveness (503 while draining)
-//	GET    /metrics          Prometheus-style counters and gauges
+//	POST   /v1/sweeps          submit a grid, returns {id, cells}
+//	GET    /v1/sweeps          list sweep jobs
+//	GET    /v1/sweeps/{id}     stream per-cell results as NDJSON (?poll=1 for
+//	                           a point-in-time JSON snapshot instead)
+//	DELETE /v1/sweeps/{id}     cancel a sweep; in-flight cells abort promptly
+//	POST   /v1/optimize        submit a tuner run, returns {id, maxEvals}
+//	GET    /v1/optimize        list tune jobs
+//	GET    /v1/optimize/{id}   stream per-probe results as NDJSON (?poll=1
+//	                           for a snapshot)
+//	DELETE /v1/optimize/{id}   cancel a tune job
+//	GET    /v1/workloads       the registered benchmark suite
+//	GET    /v1/policies        the registered sleep policies and their knobs
+//	GET    /healthz            liveness (503 while draining)
+//	GET    /metrics            Prometheus-style counters and gauges
 package server
 
 import (
@@ -41,19 +51,19 @@ type Config struct {
 	// configuration hash (default: min(GOMAXPROCS, 8)).
 	Shards int
 	// QueueDepth bounds each shard's pending-cell queue (default 128).
-	// Feeding a full shard blocks the sweep's feeder goroutine, not the
+	// Feeding a full shard blocks the job's feeder goroutine, not the
 	// HTTP handler.
 	QueueDepth int
-	// MaxCells rejects sweeps that expand to more cells than this
-	// (default 4096).
+	// MaxCells rejects sweeps that expand to more cells than this, and
+	// tuner runs asking for a larger evaluation budget (default 4096).
 	MaxCells int
-	// MaxWindow rejects sweeps asking for more than this many instructions
+	// MaxWindow rejects jobs asking for more than this many instructions
 	// per benchmark run (default 10,000,000), bounding worst-case cell cost.
 	MaxWindow uint64
-	// MaxRetained bounds how many sweep jobs (and their per-cell results)
-	// stay queryable (default 256). When a new submission would exceed it,
-	// the oldest *terminal* jobs are evicted; running jobs are never
-	// evicted, so a long-lived daemon's memory stays bounded.
+	// MaxRetained bounds how many jobs (sweeps and tunes, with their
+	// per-cell results) stay queryable (default 256). When a new submission
+	// would exceed it, the oldest *terminal* jobs are evicted; running jobs
+	// are never evicted, so a long-lived daemon's memory stays bounded.
 	MaxRetained int
 }
 
@@ -76,11 +86,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// task is one queued cell evaluation.
+// task is one queued cell evaluation: the cell, the context it runs under,
+// and the completion callback that routes the outcome back to its job.
+// done is called exactly once per task and must not block.
 type task struct {
-	job  *sweepJob
-	idx  int
+	ctx  context.Context
 	cell fusleep.Cell
+	done func(fusleep.CellResult, error)
 }
 
 // shard is one worker's bounded inbox.
@@ -88,9 +100,18 @@ type shard struct {
 	ch chan task
 }
 
-// Server is the sweep service: a shared engine behind a sharded job queue
-// plus the HTTP handlers that feed and observe it. Create with New, serve
-// its Handler, and call Drain (then Close) on shutdown.
+// queueJob is the retention registry's view of a submitted job — sweep or
+// tune — just enough to list, evict, and cancel uniformly.
+type queueJob interface {
+	// jobState returns the job's lifecycle state (StateRunning, ...).
+	jobState() string
+	// requestCancel aborts the job; safe to call repeatedly.
+	requestCancel()
+}
+
+// Server is the sweep-and-tune service: a shared engine behind a sharded
+// job queue plus the HTTP handlers that feed and observe it. Create with
+// New, serve its Handler, and call Drain (then Close) on shutdown.
 type Server struct {
 	cfg   Config
 	eng   *fusleep.Engine
@@ -102,8 +123,8 @@ type Server struct {
 	feeders sync.WaitGroup
 
 	mu        sync.Mutex
-	sweeps    map[string]*sweepJob
-	order     []string // submission order, for listing
+	jobs      map[string]queueJob
+	order     []string // submission order, for listing and eviction
 	seq       uint64
 	draining  bool
 	drainOnce sync.Once
@@ -111,9 +132,12 @@ type Server struct {
 	// metrics
 	requests    atomic.Uint64
 	submitted   atomic.Uint64
-	rejected    atomic.Uint64
+	rejected    atomic.Uint64 // sweep submissions rejected
 	cellsDone   atomic.Uint64
 	cellsFailed atomic.Uint64
+	tunesSubmit atomic.Uint64
+	tunesReject atomic.Uint64
+	probesDone  atomic.Uint64
 }
 
 // New builds a server and starts its shard workers. It panics if cfg.Engine
@@ -124,10 +148,10 @@ func New(cfg Config) *Server {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		eng:    cfg.Engine,
-		start:  time.Now(),
-		sweeps: make(map[string]*sweepJob),
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		start: time.Now(),
+		jobs:  make(map[string]queueJob),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{ch: make(chan task, cfg.QueueDepth)}
@@ -149,8 +173,9 @@ func (s *Server) Handler() http.Handler {
 }
 
 // shardFor routes a cell to its worker shard by configuration hash, so
-// identical cells serialize on one shard and hit the simulation cache
-// instead of simulating concurrently on different shards.
+// identical cells — whether they arrive via a sweep grid or a tuner probe —
+// serialize on one shard and hit the simulation cache instead of
+// simulating concurrently on different shards.
 func (s *Server) shardFor(c fusleep.Cell) *shard {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(c.Key()))
@@ -161,30 +186,34 @@ func (s *Server) shardFor(c fusleep.Cell) *shard {
 func (s *Server) worker(sh *shard) {
 	defer s.workers.Done()
 	for t := range sh.ch {
-		if t.job.ctx.Err() != nil {
-			t.job.skip(1)
+		if err := t.ctx.Err(); err != nil {
+			t.done(fusleep.CellResult{}, err)
 			continue
 		}
-		res, err := s.eng.RunCell(t.job.ctx, t.cell)
-		if err != nil {
-			if t.job.fail(err) {
-				s.cellsFailed.Add(1)
-			}
-			continue
-		}
-		res.Index = t.idx
-		t.job.complete(res)
-		s.cellsDone.Add(1)
+		t.done(s.eng.RunCell(t.ctx, t.cell))
 	}
 }
 
-// feed pushes a job's cells into their shards, stopping early if the job
-// is aborted; unfed cells settle as skipped so the job still terminates.
+// feed pushes a sweep job's cells into their shards, stopping early if the
+// job is aborted; unfed cells settle as skipped so the job still
+// terminates.
 func (s *Server) feed(job *sweepJob) {
 	defer s.feeders.Done()
 	for i, c := range job.cells {
+		idx := i
+		t := task{ctx: job.ctx, cell: c, done: func(res fusleep.CellResult, err error) {
+			if err != nil {
+				if job.fail(err) {
+					s.cellsFailed.Add(1)
+				}
+				return
+			}
+			res.Index = idx
+			job.complete(res)
+			s.cellsDone.Add(1)
+		}}
 		select {
-		case s.shardFor(c).ch <- task{job: job, idx: i, cell: c}:
+		case s.shardFor(c).ch <- t:
 		case <-job.ctx.Done():
 			job.skip(len(job.cells) - i)
 			return
@@ -192,20 +221,19 @@ func (s *Server) feed(job *sweepJob) {
 	}
 }
 
-// submit registers a job and starts feeding its cells. It fails once the
-// server is draining.
-func (s *Server) submit(job *sweepJob) error {
+// submit registers a job and starts its feeder goroutine (which pushes
+// sweep cells or drives a tuner run). It fails once the server is draining.
+func (s *Server) submit(id string, job queueJob, run func()) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return errDraining
 	}
 	s.evictLocked()
-	s.sweeps[job.id] = job
-	s.order = append(s.order, job.id)
+	s.jobs[id] = job
+	s.order = append(s.order, id)
 	s.feeders.Add(1)
-	go s.feed(job)
-	s.submitted.Add(1)
+	go run()
 	return nil
 }
 
@@ -213,15 +241,14 @@ func (s *Server) submit(job *sweepJob) error {
 // under MaxRetained. Running jobs are skipped, so retention never cuts a
 // live stream's state out from under it. Callers must hold s.mu.
 func (s *Server) evictLocked() {
-	if len(s.sweeps) < s.cfg.MaxRetained {
+	if len(s.jobs) < s.cfg.MaxRetained {
 		return
 	}
 	kept := s.order[:0]
 	for _, id := range s.order {
-		job := s.sweeps[id]
-		st, _ := job.status()
-		if st.State != StateRunning && len(s.sweeps) >= s.cfg.MaxRetained {
-			delete(s.sweeps, id)
+		job := s.jobs[id]
+		if job.jobState() != StateRunning && len(s.jobs) >= s.cfg.MaxRetained {
+			delete(s.jobs, id)
 			continue
 		}
 		kept = append(kept, id)
@@ -229,22 +256,31 @@ func (s *Server) evictLocked() {
 	s.order = kept
 }
 
-var errDraining = errors.New("server is draining; not accepting new sweeps")
+var errDraining = errors.New("server is draining; not accepting new jobs")
 
-// lookup finds a job by id.
-func (s *Server) lookup(id string) (*sweepJob, bool) {
+// lookupSweep finds a sweep job by id.
+func (s *Server) lookupSweep(id string) (*sweepJob, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	job, ok := s.sweeps[id]
+	job, ok := s.jobs[id].(*sweepJob)
 	return job, ok
 }
 
-// nextID allocates a sweep id.
-func (s *Server) nextID() string {
+// lookupTune finds a tune job by id.
+func (s *Server) lookupTune(id string) (*tuneJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id].(*tuneJob)
+	return job, ok
+}
+
+// nextID allocates a job id with the given prefix ("s" for sweeps, "t" for
+// tune jobs); the sequence is shared so ids stay globally unique.
+func (s *Server) nextID(prefix string) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	return sweepID(s.seq)
+	return jobID(prefix, s.seq)
 }
 
 // queueDepth sums the shards' pending cells.
@@ -256,18 +292,19 @@ func (s *Server) queueDepth() int {
 	return n
 }
 
-// Draining reports whether the server has stopped accepting sweeps.
+// Draining reports whether the server has stopped accepting jobs.
 func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
 }
 
-// Drain stops accepting new sweeps, lets every queued and in-flight cell
-// finish, and stops the shard workers. If ctx expires first, the remaining
-// jobs are canceled (their in-flight cells abort promptly and settle as
-// skipped) and Drain returns ctx.Err after the workers exit. Drain is
-// idempotent; concurrent calls share one drain.
+// Drain stops accepting new jobs, lets every queued and in-flight cell
+// finish (tuner runs drive to completion), and stops the shard workers. If
+// ctx expires first, the remaining jobs are canceled (their in-flight
+// cells abort promptly and settle as skipped) and Drain returns ctx.Err
+// after the workers exit. Drain is idempotent; concurrent calls share one
+// drain.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -309,8 +346,8 @@ func (s *Server) Close() {
 // cancelAll aborts every registered job.
 func (s *Server) cancelAll() {
 	s.mu.Lock()
-	jobs := make([]*sweepJob, 0, len(s.sweeps))
-	for _, j := range s.sweeps {
+	jobs := make([]queueJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()

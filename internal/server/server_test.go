@@ -377,14 +377,22 @@ func TestRegistryEndpoints(t *testing.T) {
 	if err := json.NewDecoder(presp.Body).Decode(&policies); err != nil {
 		t.Fatal(err)
 	}
-	names := map[string]bool{}
+	names := map[string][]string{}
 	for _, p := range policies {
-		names[p.Name] = true
+		names[p.Name] = p.Params
 	}
 	for _, want := range []string{"AlwaysActive", "MaxSleep", "NoOverhead", "GradualSleep", "SleepTimeout", "OracleMinimal"} {
-		if !names[want] {
+		if _, ok := names[want]; !ok {
 			t.Errorf("policy %q missing from /v1/policies", want)
 		}
+	}
+	// The tuner's refinable knobs are advertised under their PolicyConfig
+	// JSON names, so clients can build tune requests from the registry.
+	if got := names["SleepTimeout"]; len(got) != 1 || got[0] != "timeout" {
+		t.Errorf("SleepTimeout params = %v, want [timeout]", got)
+	}
+	if got := names["GradualSleep"]; len(got) != 1 || got[0] != "slices" {
+		t.Errorf("GradualSleep params = %v, want [slices]", got)
 	}
 
 	// Unknown sweep ids are a clean 404.

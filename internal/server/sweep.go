@@ -123,6 +123,13 @@ func (j *sweepJob) fail(err error) (realFailure bool) {
 	return realFailure
 }
 
+// jobState implements queueJob for the retention registry.
+func (j *sweepJob) jobState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
 // requestCancel marks the job canceled and aborts its context. Safe to call
 // repeatedly and after completion.
 func (j *sweepJob) requestCancel() {

@@ -1,0 +1,436 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/report"
+)
+
+// TuneRequest is the wire form of a tuner run: the search space (same
+// conventions as SweepRequest — zero values resolve to engine defaults),
+// the objective, and the evaluation budget.
+type TuneRequest struct {
+	// Objective selects the scalarization: "ed" (default), "ed2", or
+	// "leakage".
+	Objective string `json:"objective,omitempty"`
+	// SlowdownCap bounds a candidate's relative delay; 0 = unconstrained.
+	SlowdownCap float64 `json:"slowdownCap,omitempty"`
+	// Policies selects the policy families to search by name.
+	Policies []string `json:"policies,omitempty"`
+	// TimeoutRange and SlicesRange bound the refinable parameter axes,
+	// inclusive.
+	TimeoutRange *[2]int `json:"timeoutRange,omitempty"`
+	SlicesRange  *[2]int `json:"slicesRange,omitempty"`
+	// FUCounts, Ps, Techs, Benchmarks, Alpha, L2Latency, Window: as in
+	// SweepRequest.
+	FUCounts   []int      `json:"fuCounts,omitempty"`
+	Ps         []float64  `json:"ps,omitempty"`
+	Techs      []TechSpec `json:"techs,omitempty"`
+	Benchmarks []string   `json:"benchmarks,omitempty"`
+	Alpha      float64    `json:"alpha,omitempty"`
+	L2Latency  int        `json:"l2Latency,omitempty"`
+	Window     uint64     `json:"window,omitempty"`
+	// MaxEvals bounds distinct cell evaluations (default 64, capped by the
+	// service's MaxCells); Rounds bounds refinement rounds (default 4).
+	MaxEvals int `json:"maxEvals,omitempty"`
+	Rounds   int `json:"rounds,omitempty"`
+}
+
+// options validates the request and resolves it into tuner options plus
+// the effective evaluation budget.
+func (req TuneRequest) options(cfg Config) ([]fusleep.TuneOption, int, error) {
+	obj := fusleep.TuneObjective{SlowdownCap: req.SlowdownCap}
+	if req.Objective != "" {
+		kind, err := fusleep.ParseTuneObjective(req.Objective)
+		if err != nil {
+			return nil, 0, err
+		}
+		obj.Kind = kind
+	}
+	if req.SlowdownCap < 0 {
+		return nil, 0, fmt.Errorf("negative slowdownCap %g", req.SlowdownCap)
+	}
+	sp := fusleep.TuneSpace{
+		FUCounts:   req.FUCounts,
+		Benchmarks: req.Benchmarks,
+		Alpha:      req.Alpha,
+		L2Latency:  req.L2Latency,
+		Window:     req.Window,
+	}
+	for _, name := range req.Policies {
+		p, err := fusleep.ParsePolicy(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		sp.Policies = append(sp.Policies, p)
+	}
+	if req.TimeoutRange != nil {
+		sp.TimeoutRange = *req.TimeoutRange
+	}
+	if req.SlicesRange != nil {
+		sp.SlicesRange = *req.SlicesRange
+	}
+	for _, r := range []*[2]int{req.TimeoutRange, req.SlicesRange} {
+		if r != nil && (r[0] < 1 || r[1] < r[0]) {
+			return nil, 0, fmt.Errorf("bad parameter range [%d, %d]", r[0], r[1])
+		}
+	}
+	def := fusleep.DefaultTech()
+	for _, spec := range req.Techs {
+		sp.Techs = append(sp.Techs, spec.tech(def))
+	}
+	for _, p := range req.Ps {
+		sp.Techs = append(sp.Techs, def.WithP(p))
+	}
+	for _, t := range sp.Techs {
+		if err := t.Validate(); err != nil {
+			return nil, 0, err
+		}
+	}
+	names := map[string]bool{}
+	for _, n := range fusleep.BenchmarkNames() {
+		names[n] = true
+	}
+	for _, b := range sp.Benchmarks {
+		if !names[b] {
+			return nil, 0, fmt.Errorf("unknown benchmark %q (have %v)", b, fusleep.BenchmarkNames())
+		}
+	}
+	if req.Alpha < 0 || req.Alpha > 1 {
+		return nil, 0, fmt.Errorf("alpha %g out of range [0,1]", req.Alpha)
+	}
+	if req.L2Latency < 0 {
+		return nil, 0, fmt.Errorf("negative l2Latency %d", req.L2Latency)
+	}
+	if req.Window > cfg.MaxWindow {
+		return nil, 0, fmt.Errorf("window %d exceeds the service limit %d", req.Window, cfg.MaxWindow)
+	}
+	budget := req.MaxEvals
+	if budget == 0 {
+		budget = 64
+	}
+	if budget < 0 || budget > cfg.MaxCells {
+		return nil, 0, fmt.Errorf("maxEvals %d outside [1, %d]", req.MaxEvals, cfg.MaxCells)
+	}
+	if req.Rounds < 0 {
+		return nil, 0, fmt.Errorf("negative rounds %d", req.Rounds)
+	}
+	opts := []fusleep.TuneOption{
+		fusleep.WithTuneSpace(sp),
+		fusleep.WithTuneObjective(obj),
+		fusleep.WithTuneBudget(budget),
+	}
+	if req.Rounds > 0 {
+		opts = append(opts, fusleep.WithTuneRounds(req.Rounds))
+	}
+	return opts, budget, nil
+}
+
+// tuneJob is one submitted tuner run: its mutable probe trace, terminal
+// result, and the watch machinery the stream handlers share with sweepJob.
+type tuneJob struct {
+	id       string
+	maxEvals int
+	ctx      context.Context
+	cancel   context.CancelFunc
+	created  time.Time
+
+	mu       sync.Mutex
+	probes   []fusleep.TuneProbe
+	result   *fusleep.TuneResult
+	state    string
+	canceled bool
+	err      error
+	updated  chan struct{} // closed and replaced on every state change
+}
+
+func newTuneJob(parent context.Context, id string, maxEvals int) *tuneJob {
+	ctx, cancel := context.WithCancel(parent)
+	return &tuneJob{
+		id:       id,
+		maxEvals: maxEvals,
+		ctx:      ctx,
+		cancel:   cancel,
+		created:  time.Now(),
+		state:    StateRunning,
+		updated:  make(chan struct{}),
+	}
+}
+
+// broadcast wakes every watcher. Callers must hold j.mu.
+func (j *tuneJob) broadcast() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// addProbe appends one completed probe to the trace.
+func (j *tuneJob) addProbe(p fusleep.TuneProbe) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.probes = append(j.probes, p)
+	j.broadcast()
+}
+
+// finish records the run's outcome and moves the job to its terminal state.
+func (j *tuneJob) finish(res fusleep.TuneResult, err error) {
+	cancelErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.canceled && (err == nil || cancelErr):
+		j.state = StateCanceled
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+	default:
+		j.state = StateDone
+		j.result = &res
+	}
+	j.broadcast()
+}
+
+// jobState implements queueJob for the retention registry.
+func (j *tuneJob) jobState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// requestCancel marks the job canceled and aborts its context. Safe to call
+// repeatedly and after completion.
+func (j *tuneJob) requestCancel() {
+	j.mu.Lock()
+	if j.state == StateRunning {
+		j.canceled = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// tuneStatus is the wire snapshot of a tune job.
+type tuneStatus struct {
+	ID       string    `json:"id"`
+	State    string    `json:"state"`
+	Probes   int       `json:"probes"`
+	MaxEvals int       `json:"maxEvals"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+}
+
+// status snapshots the job together with its terminal result (nil while
+// running).
+func (j *tuneJob) status() (tuneStatus, *fusleep.TuneResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := tuneStatus{
+		ID:       j.id,
+		State:    j.state,
+		Probes:   len(j.probes),
+		MaxEvals: j.maxEvals,
+		Created:  j.created,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st, j.result
+}
+
+// watch returns the probes recorded at or after offset, the current state,
+// and the channel that closes on the next change.
+func (j *tuneJob) watch(offset int) (fresh []fusleep.TuneProbe, state string, updated <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if offset < len(j.probes) {
+		fresh = make([]fusleep.TuneProbe, len(j.probes)-offset)
+		copy(fresh, j.probes[offset:])
+	}
+	return fresh, j.state, j.updated
+}
+
+// queueEvaluator routes tuner probes through the sharded cell queue, so
+// tune and sweep workloads share workers and identical cells — across job
+// kinds, requests, and clients — dedupe through the simulation cache.
+func (s *Server) queueEvaluator() fusleep.TuneEvaluator {
+	return func(ctx context.Context, c fusleep.Cell) (fusleep.CellResult, error) {
+		type outcome struct {
+			res fusleep.CellResult
+			err error
+		}
+		ch := make(chan outcome, 1) // buffered: the worker's done never blocks
+		t := task{ctx: ctx, cell: c, done: func(res fusleep.CellResult, err error) {
+			ch <- outcome{res, err}
+		}}
+		select {
+		case s.shardFor(c).ch <- t:
+		case <-ctx.Done():
+			return fusleep.CellResult{}, ctx.Err()
+		}
+		select {
+		case o := <-ch:
+			return o.res, o.err
+		case <-ctx.Done():
+			return fusleep.CellResult{}, ctx.Err()
+		}
+	}
+}
+
+// runTune drives one tuner run to completion. It runs on the job's feeder
+// goroutine: every probe it enqueues lands on the shard queues before the
+// feeder exits, which is what makes Drain's close-after-feeders ordering
+// safe.
+func (s *Server) runTune(job *tuneJob, opts []fusleep.TuneOption) {
+	defer s.feeders.Done()
+	opts = append(opts, fusleep.WithTuneEvaluator(s.queueEvaluator()))
+	res, err := s.eng.OptimizeStream(job.ctx, func(p fusleep.TuneProbe) error {
+		job.addProbe(p)
+		s.probesDone.Add(1)
+		return nil
+	}, opts...)
+	job.finish(res, err)
+}
+
+// tuneSubmitResponse acknowledges an accepted tuner run.
+type tuneSubmitResponse struct {
+	ID       string `json:"id"`
+	MaxEvals int    `json:"maxEvals"`
+	URL      string `json:"url"`
+}
+
+func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
+	var req TuneRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.tunesReject.Add(1)
+		writeError(w, http.StatusBadRequest, "bad tune request: %v", err)
+		return
+	}
+	opts, budget, err := req.options(s.cfg)
+	if err != nil {
+		s.tunesReject.Add(1)
+		writeError(w, http.StatusBadRequest, "bad tune request: %v", err)
+		return
+	}
+	job := newTuneJob(context.Background(), s.nextID("t"), budget)
+	if err := s.submit(job.id, job, func() { s.runTune(job, opts) }); err != nil {
+		s.tunesReject.Add(1)
+		job.cancel()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.tunesSubmit.Add(1)
+	writeJSON(w, http.StatusAccepted, tuneSubmitResponse{
+		ID: job.id, MaxEvals: budget, URL: "/v1/optimize/" + job.id,
+	})
+}
+
+func (s *Server) handleTuneList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*tuneJob, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id].(*tuneJob); ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]tuneStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st, _ := j.status()
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// tunePollResponse is the ?poll=1 snapshot: status, the probe trace so
+// far, and the terminal result once present.
+type tunePollResponse struct {
+	tuneStatus
+	Trace  []fusleep.TuneProbe `json:"trace"`
+	Result *fusleep.TuneResult `json:"result,omitempty"`
+}
+
+// tuneStreamEvent is one NDJSON line of a tune stream.
+type tuneStreamEvent struct {
+	// Event is "tune" (stream header), "probe" (one evaluated candidate),
+	// or "end" (terminal summary; always the last line).
+	Event string `json:"event"`
+	ID    string `json:"id"`
+	// Header and end fields.
+	State    string `json:"state,omitempty"`
+	MaxEvals int    `json:"maxEvals,omitempty"`
+	Probes   int    `json:"probes,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Probe is set on "probe" events; Result on the "end" event of a
+	// completed run.
+	Probe  *fusleep.TuneProbe  `json:"probe,omitempty"`
+	Result *fusleep.TuneResult `json:"result,omitempty"`
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupTune(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no tune job %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("poll") != "" {
+		st, res := job.status()
+		trace, _, _ := job.watch(0)
+		if trace == nil {
+			trace = []fusleep.TuneProbe{}
+		}
+		writeJSON(w, http.StatusOK, tunePollResponse{tuneStatus: st, Trace: trace, Result: res})
+		return
+	}
+
+	// NDJSON stream: a header line, one line per probe as it lands
+	// (evaluation order), and a terminal summary line carrying the result.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := report.NewStreamEncoder(w)
+	st, _ := job.status()
+	if err := enc.Encode(tuneStreamEvent{Event: "tune", ID: job.id, State: st.State, MaxEvals: st.MaxEvals}); err != nil {
+		return
+	}
+	sent := 0
+	for {
+		fresh, state, updated := job.watch(sent)
+		for i := range fresh {
+			if err := enc.Encode(tuneStreamEvent{Event: "probe", ID: job.id, Probe: &fresh[i]}); err != nil {
+				return
+			}
+			sent++
+		}
+		if state != StateRunning {
+			st, res := job.status()
+			_ = enc.Encode(tuneStreamEvent{
+				Event: "end", ID: job.id, State: st.State, MaxEvals: st.MaxEvals,
+				Probes: st.Probes, Error: st.Error, Result: res,
+			})
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleTuneCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupTune(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no tune job %q", r.PathValue("id"))
+		return
+	}
+	job.requestCancel()
+	st, _ := job.status()
+	writeJSON(w, http.StatusOK, st)
+}

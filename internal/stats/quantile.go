@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedQuantile returns the q-quantile (q in [0,1]) of values under the
+// given non-negative weights, using the weighted analogue of the
+// linear-interpolation estimator: each sorted value v_i sits at cumulative
+// position (S_i - w_i/2) / W, where S_i is the running weight sum and W the
+// total, and the quantile interpolates linearly between the two positions
+// bracketing q. With unit weights this reduces to the classic type-7-like
+// midpoint estimator; values with zero weight never influence the result.
+// The inputs are not mutated.
+func WeightedQuantile(values, weights []float64, q float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("stats: %d values but %d weights", len(values), len(weights))
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g out of range [0,1]", q)
+	}
+	vals, pos, err := cumulativePositions(values, weights)
+	if err != nil {
+		return 0, err
+	}
+	return quantileAt(vals, pos, q), nil
+}
+
+// cumulativePositions sorts the positively weighted values and returns
+// them with their cumulative midpoint positions in [0,1] — the shared
+// preprocessing behind WeightedQuantile and Percentiles.
+func cumulativePositions(values, weights []float64) (vals, pos []float64, err error) {
+	type wv struct{ v, w float64 }
+	var total float64
+	pts := make([]wv, 0, len(values))
+	for i, v := range values {
+		w := weights[i]
+		if math.IsNaN(v) || math.IsNaN(w) {
+			return nil, nil, fmt.Errorf("stats: NaN at index %d", i)
+		}
+		if w < 0 {
+			return nil, nil, fmt.Errorf("stats: negative weight %g at index %d", w, i)
+		}
+		if w == 0 {
+			continue
+		}
+		pts = append(pts, wv{v, w})
+		total += w
+	}
+	if len(pts) == 0 {
+		return nil, nil, fmt.Errorf("stats: no positively weighted values")
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].v < pts[j].v })
+	vals = make([]float64, len(pts))
+	pos = make([]float64, len(pts))
+	var run float64
+	for i, p := range pts {
+		vals[i] = p.v
+		pos[i] = (run + p.w/2) / total
+		run += p.w
+	}
+	return vals, pos, nil
+}
+
+// quantileAt interpolates the q-quantile over sorted values and their
+// cumulative midpoint positions.
+func quantileAt(vals, pos []float64, q float64) float64 {
+	if len(vals) == 1 || q <= pos[0] {
+		return vals[0]
+	}
+	if q >= pos[len(pos)-1] {
+		return vals[len(vals)-1]
+	}
+	i := sort.SearchFloat64s(pos, q)
+	// pos[i-1] < q <= pos[i]; interpolate between the bracketing values.
+	frac := (q - pos[i-1]) / (pos[i] - pos[i-1])
+	return vals[i-1] + frac*(vals[i]-vals[i-1])
+}
+
+// Quantile returns the q-quantile of values with equal weights.
+func Quantile(values []float64, q float64) (float64, error) {
+	w := make([]float64, len(values))
+	for i := range w {
+		w[i] = 1
+	}
+	return WeightedQuantile(values, w, q)
+}
+
+// Percentiles evaluates several percentiles (0-100) against one shared
+// sort of the value set, returning them in argument order.
+func Percentiles(values []float64, ps ...float64) ([]float64, error) {
+	w := make([]float64, len(values))
+	for i := range w {
+		w[i] = 1
+	}
+	vals, pos, err := cumulativePositions(values, w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		q := p / 100
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("stats: percentile %g out of range [0,100]", p)
+		}
+		out[i] = quantileAt(vals, pos, q)
+	}
+	return out, nil
+}

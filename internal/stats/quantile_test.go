@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedQuantileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []float64
+		weights []float64
+		q       float64
+		want    float64
+	}{
+		{"single value", []float64{7}, []float64{3}, 0.5, 7},
+		{"median of two equal weights", []float64{1, 3}, []float64{1, 1}, 0.5, 2},
+		{"median pulled by weight", []float64{1, 3}, []float64{3, 1}, 0.5, 1.5},
+		{"below first midpoint clamps", []float64{1, 3}, []float64{1, 1}, 0.1, 1},
+		{"above last midpoint clamps", []float64{1, 3}, []float64{1, 1}, 0.9, 3},
+		{"q=0 is the minimum", []float64{5, 2, 9}, []float64{1, 1, 1}, 0, 2},
+		{"q=1 is the maximum", []float64{5, 2, 9}, []float64{1, 1, 1}, 1, 9},
+		{"unsorted input", []float64{9, 1, 5}, []float64{1, 1, 1}, 0.5, 5},
+		{"zero weights ignored", []float64{1, 100, 3}, []float64{1, 0, 1}, 0.5, 2},
+		{"uniform three-point median", []float64{1, 2, 3}, []float64{1, 1, 1}, 0.5, 2},
+		{"interpolated quartile", []float64{0, 10}, []float64{1, 1}, 0.25, 0},
+		{"heavy tail dominates upper quantile", []float64{1, 2, 1000}, []float64{1, 1, 98}, 0.9, 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := WeightedQuantile(tc.values, tc.weights, tc.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("WeightedQuantile(%v, %v, %g) = %g, want %g",
+					tc.values, tc.weights, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWeightedQuantileErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []float64
+		weights []float64
+		q       float64
+	}{
+		{"length mismatch", []float64{1, 2}, []float64{1}, 0.5},
+		{"q below range", []float64{1}, []float64{1}, -0.1},
+		{"q above range", []float64{1}, []float64{1}, 1.1},
+		{"negative weight", []float64{1, 2}, []float64{1, -1}, 0.5},
+		{"empty", nil, nil, 0.5},
+		{"all zero weights", []float64{1, 2}, []float64{0, 0}, 0.5},
+		{"NaN value", []float64{math.NaN()}, []float64{1}, 0.5},
+		{"NaN weight", []float64{1}, []float64{math.NaN()}, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := WeightedQuantile(tc.values, tc.weights, tc.q); err == nil {
+				t.Errorf("WeightedQuantile(%v, %v, %g) accepted", tc.values, tc.weights, tc.q)
+			}
+		})
+	}
+}
+
+func TestQuantileMatchesWeightedWithUnitWeights(t *testing.T) {
+	values := []float64{4, 1, 8, 2, 9, 3}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		unweighted, err := Quantile(values, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted, err := WeightedQuantile(values, []float64{1, 1, 1, 1, 1, 1}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if unweighted != weighted {
+			t.Errorf("q=%g: Quantile %g != unit-weight WeightedQuantile %g", q, unweighted, weighted)
+		}
+	}
+}
+
+func TestWeightedQuantileScaleInvariant(t *testing.T) {
+	// Scaling every weight by a constant must not move any quantile.
+	values := []float64{3, 1, 4, 1.5, 9}
+	weights := []float64{2, 1, 0.5, 3, 1}
+	scaled := make([]float64, len(weights))
+	for i, w := range weights {
+		scaled[i] = w * 37.5
+	}
+	for _, q := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		a, err := WeightedQuantile(values, weights, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := WeightedQuantile(values, scaled, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("q=%g: %g != %g after weight scaling", q, a, b)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5}
+	got, err := Percentiles(values, 50, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 1, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if _, err := Percentiles(values, 101); err == nil {
+		t.Error("percentile 101 accepted")
+	}
+	if _, err := Percentiles(nil, 50); err == nil {
+		t.Error("empty values accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package fusleep_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/archsim/fusleep"
+)
+
+// Golden tuner case: one pinned workload × technology point, two FU
+// counts, and the full integer grid over the SleepTimeout and GradualSleep
+// parameter axes. The exhaustive grid is the ground truth; the tuner must
+// reach its E·D optimum within 2% while issuing at most one fifth of the
+// grid's cell evaluations (counted via the engines' simulation-request
+// stats), and must do so identically across runs.
+const (
+	goldenWindow  = 30_000
+	goldenTimeout = 96 // SleepTimeout thresholds 1..96
+	goldenSlices  = 32 // GradualSleep K 1..32
+)
+
+func goldenSpace() fusleep.TuneSpace {
+	return fusleep.TuneSpace{
+		Policies: []fusleep.Policy{
+			fusleep.AlwaysActive, fusleep.MaxSleep, fusleep.SleepTimeout, fusleep.GradualSleep,
+		},
+		TimeoutRange: [2]int{1, goldenTimeout},
+		SlicesRange:  [2]int{1, goldenSlices},
+		FUCounts:     []int{2, 4},
+		Benchmarks:   []string{"gcc"},
+		Window:       goldenWindow,
+	}
+}
+
+// goldenGrid expands the same space exhaustively: every integer parameter
+// value of every policy at every FU count.
+func goldenGrid() fusleep.Grid {
+	policies := []fusleep.PolicyConfig{
+		{Policy: fusleep.AlwaysActive},
+		{Policy: fusleep.MaxSleep},
+	}
+	for T := 1; T <= goldenTimeout; T++ {
+		policies = append(policies, fusleep.PolicyConfig{Policy: fusleep.SleepTimeout, Timeout: T})
+	}
+	for k := 1; k <= goldenSlices; k++ {
+		policies = append(policies, fusleep.PolicyConfig{Policy: fusleep.GradualSleep, Slices: k})
+	}
+	return fusleep.Grid{
+		Policies:   policies,
+		FUCounts:   []int{2, 4},
+		Benchmarks: []string{"gcc"},
+		Window:     goldenWindow,
+	}
+}
+
+// simRequests folds an engine's stats into its total simulation-request
+// count: one per cell evaluation here (one benchmark per cell).
+func simRequests(s fusleep.EngineStats) uint64 {
+	return s.Simulations + s.CacheHits + s.InflightJoins
+}
+
+func runGoldenTuner(t *testing.T, budget int) (fusleep.TuneResult, uint64) {
+	t.Helper()
+	eng := fusleep.NewEngine(fusleep.WithWindow(goldenWindow))
+	res, err := eng.Optimize(context.Background(),
+		fusleep.WithTuneSpace(goldenSpace()),
+		fusleep.WithTuneObjective(fusleep.TuneObjective{Kind: fusleep.TuneMinED}),
+		fusleep.WithTuneBudget(budget),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, simRequests(eng.Stats())
+}
+
+func TestGoldenTunerMatchesExhaustiveGrid(t *testing.T) {
+	// Ground truth: the exhaustive grid, on its own engine so request
+	// accounting stays separate.
+	gridEng := fusleep.NewEngine(fusleep.WithWindow(goldenWindow))
+	grid := goldenGrid()
+	gridCells := len(gridEng.Cells(grid))
+	var results []fusleep.CellResult
+	err := gridEng.SweepStream(context.Background(), grid, func(res fusleep.CellResult) error {
+		results = append(results, res)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != gridCells {
+		t.Fatalf("grid streamed %d of %d cells", len(results), gridCells)
+	}
+	gridRequests := simRequests(gridEng.Stats())
+	if gridRequests != uint64(gridCells) {
+		t.Fatalf("grid issued %d sim requests for %d cells", gridRequests, gridCells)
+	}
+	refCycles := math.Inf(1)
+	for _, res := range results {
+		refCycles = math.Min(refCycles, res.MeanCycles)
+	}
+	gridBest := math.Inf(1)
+	var gridBestCell fusleep.CellResult
+	for _, res := range results {
+		if ed := res.RelEnergy * (res.MeanCycles / refCycles); ed < gridBest {
+			gridBest, gridBestCell = ed, res
+		}
+	}
+
+	// The tuner gets one fifth of the grid's evaluation budget.
+	budget := gridCells / 5
+	res, tunerRequests := runGoldenTuner(t, budget)
+
+	if tunerRequests > uint64(gridCells/5) {
+		t.Errorf("tuner issued %d sim requests; the budget is 1/5 of the grid's %d", tunerRequests, gridCells)
+	}
+	if res.Evals != int(tunerRequests) {
+		t.Errorf("tuner reports %d evals but issued %d sim requests", res.Evals, tunerRequests)
+	}
+	if res.Best.Score > gridBest*1.02 {
+		t.Errorf("tuner best E·D %.6f misses the grid optimum %.6f (%s) by more than 2%%",
+			res.Best.Score, gridBest, gridBestCell.Cell.Policy.Policy)
+	}
+	// The tuner probes a subset of the grid, so it cannot beat the optimum.
+	if res.Best.Score < gridBest*(1-1e-12) {
+		t.Errorf("tuner best %.9f beat the exhaustive optimum %.9f: spaces diverged", res.Best.Score, gridBest)
+	}
+	t.Logf("grid: %d cells, best E·D %.6f (%v); tuner: %d evals, best E·D %.6f (%s)",
+		gridCells, gridBest, gridBestCell.Cell.Policy, res.Evals, res.Best.Score, res.Best.Label())
+}
+
+func TestGoldenTunerDeterministic(t *testing.T) {
+	a, reqA := runGoldenTuner(t, 48)
+	b, reqB := runGoldenTuner(t, 48)
+	if reqA != reqB {
+		t.Errorf("request counts differ: %d vs %d", reqA, reqB)
+	}
+	if a.Best.Cell.Key() != b.Best.Cell.Key() {
+		t.Errorf("best cells differ: %s vs %s", a.Best.Label(), b.Best.Label())
+	}
+	if a.Best.Score != b.Best.Score || a.Probes != b.Probes || a.Rounds != b.Rounds {
+		t.Errorf("run accounting differs: %+v vs %+v", a, b)
+	}
+	if len(a.Frontier) != len(b.Frontier) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(a.Frontier), len(b.Frontier))
+	}
+	for i := range a.Frontier {
+		if a.Frontier[i].Cell.Key() != b.Frontier[i].Cell.Key() || a.Frontier[i].Score != b.Frontier[i].Score {
+			t.Errorf("frontier point %d differs", i)
+		}
+	}
+}
