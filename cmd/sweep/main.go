@@ -10,6 +10,8 @@
 //	sweep -mode policy -p 0.5 -usage 0.5 -idle 10
 //	sweep -mode slices -p 0.05 -idle 20
 //	sweep -mode grid -grid-p 0.05,0.5 -grid-fus 2,4 -window 200000 -format csv
+//	sweep -mode grid -grid-classes intalu,fpalu,fpmult \
+//	    -grid-assign 'intalu=GradualSleep:slices=4,fpalu=MaxSleep,fpmult=MaxSleep'
 package main
 
 import (
@@ -33,6 +35,12 @@ func main() {
 	idle := flag.Float64("idle", 10, "mean idle interval, cycles")
 	gridP := flag.String("grid-p", "", "grid mode: leakage factors, comma-separated (default: the -p value)")
 	gridFUs := flag.String("grid-fus", "0", "grid mode: FU counts, comma-separated (0 = paper counts)")
+	gridClasses := flag.String("grid-classes", "", "grid mode: FU classes to account, comma-separated (intalu,agu,mult,fpalu,fpmult; default: intalu)")
+	gridAssign := flag.String("grid-assign", "", "grid mode: per-class policy assignments, semicolon-separated; each is class=Policy[:slices=K][:timeout=T] terms, e.g. 'intalu=GradualSleep:slices=4,fpalu=MaxSleep;intalu=SleepTimeout'")
+	gridAGUs := flag.String("grid-agus", "0", "grid mode: dedicated AGU counts, comma-separated (0 = shared with IntALUs)")
+	gridMults := flag.String("grid-mults", "0", "grid mode: multiplier unit counts, comma-separated (0 = default 1)")
+	gridFPALUs := flag.String("grid-fpalus", "0", "grid mode: FP adder unit counts, comma-separated (0 = default 1)")
+	gridFPMults := flag.String("grid-fpmults", "0", "grid mode: FP multiplier unit counts, comma-separated (0 = default 1)")
 	window := flag.Uint64("window", 250_000, "grid mode: instruction window per benchmark")
 	format := flag.String("format", "text", "output format: "+strings.Join(fusleep.Formats(), " | "))
 	flag.Parse()
@@ -121,21 +129,66 @@ func main() {
 		}
 		eng := fusleep.NewEngine(fusleep.WithWindow(*window), fusleep.WithTech(tech))
 		grid := fusleep.Grid{Techs: techs, FUCounts: fus, Alpha: *alpha, Window: *window}
+		if grid.Classes, err = fusleep.ParseFUClasses(*gridClasses); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *gridAssign != "" {
+			for _, term := range strings.Split(*gridAssign, ";") {
+				a, err := fusleep.ParseAssignment(term)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				if a != nil {
+					grid.Assignments = append(grid.Assignments, a)
+				}
+			}
+		}
+		for _, axis := range []struct {
+			dst  *[]int
+			flag string
+		}{
+			{&grid.AGUCounts, *gridAGUs},
+			{&grid.MultCounts, *gridMults},
+			{&grid.FPALUCounts, *gridFPALUs},
+			{&grid.FPMultCounts, *gridFPMults},
+		} {
+			if *axis.dst, err = parseInts(axis.flag); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
 		// Stream cell by cell so an interrupt mid-sweep still flushes the
 		// cells that finished instead of discarding them with the error.
 		total := len(eng.Cells(grid))
 		t := eng.NewSweepTable(grid)
+		classAware := grid.ClassAware()
+		var ct *fusleep.Table
+		if classAware {
+			ct = eng.NewClassSweepTable(grid)
+		}
 		done := 0
 		err = eng.SweepStream(ctx, grid, func(res fusleep.CellResult) error {
 			fusleep.AddSweepRow(t, res)
+			if classAware {
+				fusleep.AddClassRows(ct, res)
+			}
 			done++
 			return nil
 		})
+		flush := func() []fusleep.Artifact {
+			out := []fusleep.Artifact{fusleep.TableArtifact("sweep", t)}
+			if classAware {
+				out = append(out, fusleep.TableArtifact("sweep-classes", ct))
+			}
+			return out
+		}
 		if err != nil {
 			if done > 0 {
 				// Flush the completed cells before reporting the failure.
 				t.AddNote("PARTIAL: %d of %d cells completed before: %v", done, total, err)
-				if rerr := render(os.Stdout, []fusleep.Artifact{fusleep.TableArtifact("sweep", t)}); rerr != nil {
+				if rerr := render(os.Stdout, flush()); rerr != nil {
 					fmt.Fprintln(os.Stderr, rerr)
 				}
 			}
@@ -147,7 +200,7 @@ func main() {
 			t.AddNote("E/E_base averaged over %d benchmarks at window %d",
 				len(cells[0].Benchmarks), cells[0].Window)
 		}
-		arts = append(arts, fusleep.TableArtifact("sweep", t))
+		arts = append(arts, flush()...)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)

@@ -12,6 +12,8 @@
 //	tune -policies SleepTimeout,GradualSleep -timeout-range 1:512
 //	tune -fus 2,4 -p 0.05,0.5 -benchmarks gcc,mcf -window 200000
 //	tune -max-evals 96 -rounds 6 -format json
+//	tune -classes intalu,fpalu,fpmult -max-evals 128   # per-class assignments
+//	tune -classes intalu,agu -agus 2                   # dedicated AGU pool
 //
 // Interrupting the process (SIGINT/SIGTERM) cancels in-flight simulations
 // promptly via context cancellation.
@@ -38,6 +40,11 @@ func main() {
 	timeoutRange := flag.String("timeout-range", "", "SleepTimeout threshold range lo:hi (default 1:256)")
 	slicesRange := flag.String("slices-range", "", "GradualSleep K range lo:hi (default 1:128)")
 	fus := flag.String("fus", "0", "FU counts, comma-separated (0 = paper counts)")
+	classes := flag.String("classes", "", "FU classes to assign policies over, comma-separated (intalu,agu,mult,fpalu,fpmult); widens the search to per-class assignments with a final composition round")
+	agus := flag.Int("agus", 0, "dedicated AGU count (0 = shared with IntALUs; required > 0 to search the agu class)")
+	mults := flag.Int("mults", 0, "multiplier unit count (0 = default 1)")
+	fpalus := flag.Int("fpalus", 0, "FP adder unit count (0 = default 1)")
+	fpmults := flag.Int("fpmults", 0, "FP multiplier unit count (0 = default 1)")
 	ps := flag.String("p", "", "leakage factors, comma-separated (default: the paper's p=0.05)")
 	benchmarks := flag.String("benchmarks", "", "benchmark subset, comma-separated (default: all nine)")
 	alpha := flag.Float64("alpha", 0.5, "activity factor")
@@ -60,7 +67,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	space := fusleep.TuneSpace{Alpha: *alpha, Window: *window}
+	space := fusleep.TuneSpace{
+		Alpha: *alpha, Window: *window,
+		AGUs: *agus, Mults: *mults, FPALUs: *fpalus, FPMults: *fpmults,
+	}
+	if space.Classes, err = fusleep.ParseFUClasses(*classes); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *policies != "" {
 		for _, name := range strings.Split(*policies, ",") {
 			p, err := fusleep.ParsePolicy(strings.TrimSpace(name))

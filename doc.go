@@ -66,6 +66,45 @@
 // runs. See the internal/server package comment for the endpoint contract
 // and examples/sweepservice for a complete client.
 //
+// # Per-class configuration
+//
+// The machine's functional units divide into classes — FUIntALU, FUAGU,
+// FUMult, FUFPALU, FUFPMult — whose idle-interval distributions and
+// breakeven points differ, which is exactly why the paper separates
+// integer ALUs from FP adders and multipliers. Every class pool records
+// its own busy/idle profile (Simulate returns them as
+// BenchmarkReport.ClassProfiles; address generation shares the IntALU
+// ports unless SimAGUs provisions a dedicated pool), and an Assignment
+// maps classes to sleep policies so one machine runs a heterogeneous
+// policy mix:
+//
+//	a, _ := fusleep.ParseAssignment("intalu=GradualSleep:slices=4,fpalu=MaxSleep")
+//	arts, err := eng.Sweep(ctx, fusleep.Grid{
+//		Classes:     []fusleep.FUClass{fusleep.FUIntALU, fusleep.FUFPALU},
+//		Assignments: []fusleep.Assignment{a},
+//	})
+//
+// A Grid (and a Cell) carries the studied class list, per-class unit
+// counts (AGUCounts, MultCounts, ...), per-class technology overrides
+// (ClassTechs — each class's breakeven resolves through its own effective
+// Tech; see ClassBreakeven), and assignment rows next to uniform policy
+// rows. Class-aware sweeps add a per-class companion table
+// (AddClassRows) splitting E/E_base by class. A uniform assignment —
+// every class running one policy — reproduces the single-pool results
+// exactly, which is what pins the refactor to the pre-class goldens.
+//
+// The tuner searches per-class assignments too: give TuneSpace a Classes
+// list and each candidate assigns one class's policy (the others idle at
+// the baseline), the same successive-halving driver refines every class's
+// parameter axis, and a final composition round evaluates the assignment
+// combining each class's best policy. From the command line:
+//
+//	tune -classes intalu,fpalu,fpmult -max-evals 128 -p 0.5
+//
+// reports the best heterogeneous mix (e.g. busy integer ALUs kept awake
+// while the mostly-idle FP units sleep aggressively) and its Pareto
+// frontier.
+//
 // # The policy auto-tuner
 //
 // Engine.Optimize searches the policy-parameter space — policy family ×

@@ -6,6 +6,7 @@ import (
 
 	"github.com/archsim/fusleep/internal/core"
 	"github.com/archsim/fusleep/internal/experiments"
+	"github.com/archsim/fusleep/internal/pipeline"
 	"github.com/archsim/fusleep/internal/report"
 )
 
@@ -82,12 +83,13 @@ type Grid = experiments.Grid
 // grids — can be served concurrently without re-paying for simulations.
 // Engines are safe for concurrent use; every method honors its context.
 type Engine struct {
-	window   uint64
-	sweep    uint64
-	parallel int
-	tech     Tech
-	cache    bool
-	runner   *experiments.Runner
+	window     uint64
+	sweep      uint64
+	parallel   int
+	tech       Tech
+	classTechs map[FUClass]Tech
+	cache      bool
+	runner     *experiments.Runner
 }
 
 // Option configures an Engine at construction.
@@ -135,6 +137,22 @@ func WithCache(enabled bool) Option {
 	return func(e *Engine) { e.cache = enabled }
 }
 
+// WithClassTechs sets the engine's default per-class technology overrides:
+// grids and cells that carry none inherit this map, so a machine whose FP
+// multiplier leaks differently from its integer ALUs configures that once.
+// The map is copied.
+func WithClassTechs(m map[FUClass]Tech) Option {
+	return func(e *Engine) {
+		if len(m) == 0 {
+			return
+		}
+		e.classTechs = make(map[FUClass]Tech, len(m))
+		for c, t := range m {
+			e.classTechs[c] = t
+		}
+	}
+}
+
 // NewEngine builds an engine with the given options.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
@@ -167,13 +185,26 @@ func (e *Engine) Parallelism() int { return e.parallel }
 // Tech returns the engine's default technology point.
 func (e *Engine) Tech() Tech { return e.tech }
 
+// ClassTechs returns a copy of the engine's default per-class technology
+// overrides (nil when none are configured).
+func (e *Engine) ClassTechs() map[FUClass]Tech {
+	if e.classTechs == nil {
+		return nil
+	}
+	out := make(map[FUClass]Tech, len(e.classTechs))
+	for c, t := range e.classTechs {
+		out[c] = t
+	}
+	return out
+}
+
 // CacheEnabled reports whether cross-call simulation caching is on.
 func (e *Engine) CacheEnabled() bool { return e.cache }
 
 // simConfig holds per-call simulation parameters.
 type simConfig struct {
 	window uint64
-	fus    int
+	mix    experiments.FUMix
 	l2     int
 }
 
@@ -185,7 +216,22 @@ func SimWindow(n uint64) SimOption { return func(c *simConfig) { c.window = n } 
 
 // SimFUs sets the integer functional-unit count; 0 selects the paper's
 // Table 3 count for the benchmark.
-func SimFUs(n int) SimOption { return func(c *simConfig) { c.fus = n } }
+func SimFUs(n int) SimOption { return func(c *simConfig) { c.mix.IntALUs = n } }
+
+// SimAGUs provisions dedicated address-generation units; 0 (the default)
+// issues address generation down the integer ALU ports.
+func SimAGUs(n int) SimOption { return func(c *simConfig) { c.mix.AGUs = n } }
+
+// SimMults sets the dedicated multiplier unit count (0 = the Table 2
+// default of one).
+func SimMults(n int) SimOption { return func(c *simConfig) { c.mix.Mults = n } }
+
+// SimFPALUs sets the FP adder unit count (0 = the Table 2 default of one).
+func SimFPALUs(n int) SimOption { return func(c *simConfig) { c.mix.FPALUs = n } }
+
+// SimFPMults sets the FP multiplier unit count (0 = the Table 2 default of
+// one).
+func SimFPMults(n int) SimOption { return func(c *simConfig) { c.mix.FPMults = n } }
 
 // SimL2Latency sets the unified L2 hit latency in cycles (default 12).
 func SimL2Latency(n int) SimOption { return func(c *simConfig) { c.l2 = n } }
@@ -199,7 +245,7 @@ func (e *Engine) Simulate(ctx context.Context, name string, opts ...SimOption) (
 	for _, o := range opts {
 		o(&cfg)
 	}
-	res, err := e.runner.Sim(ctx, name, cfg.fus, cfg.l2, cfg.window)
+	res, err := e.runner.SimMix(ctx, name, cfg.mix, cfg.l2, cfg.window)
 	if err != nil {
 		return BenchmarkReport{}, err
 	}
@@ -219,15 +265,29 @@ func (e *Engine) Simulate(ctx context.Context, name string, opts ...SimOption) (
 		FetchMispredictStalls: res.FetchMispredictStalls,
 		MeanFUUtilization:     res.MeanFUUtilization(),
 	}
-	for _, fu := range res.FUs {
-		p := core.NewIdleProfile()
-		p.ActiveCycles = fu.ActiveCycles
-		for l, n := range fu.Intervals {
-			p.AddIdle(l, n)
+	for _, prof := range res.FUs {
+		rep.FUProfiles = append(rep.FUProfiles, toIdleProfile(prof))
+	}
+	rep.ClassProfiles = make(map[FUClass][]*IdleProfile, len(res.Classes))
+	for _, cp := range res.Classes {
+		profs := make([]*IdleProfile, 0, len(cp.Units))
+		for _, prof := range cp.Units {
+			profs = append(profs, toIdleProfile(prof))
 		}
-		rep.FUProfiles = append(rep.FUProfiles, p)
+		rep.ClassProfiles[cp.Class] = profs
 	}
 	return rep, nil
+}
+
+// toIdleProfile converts a measured unit profile into the energy model's
+// form.
+func toIdleProfile(prof pipeline.FUProfile) *IdleProfile {
+	p := core.NewIdleProfile()
+	p.ActiveCycles = prof.ActiveCycles
+	for l, n := range prof.Intervals {
+		p.AddIdle(l, n)
+	}
+	return p
 }
 
 // Experiments lists every table/figure reproduction and extension.
@@ -265,7 +325,7 @@ func (e *Engine) RunExperiment(ctx context.Context, id string) ([]Artifact, erro
 // per FU count, then the closed-form energy model at every grid point. It
 // returns a table artifact with one row per combination.
 func (e *Engine) Sweep(ctx context.Context, g Grid) ([]Artifact, error) {
-	return experiments.RunSweep(ctx, e.runner, g, e.tech)
+	return experiments.RunSweep(ctx, e.runner, e.resolveGrid(g), e.tech)
 }
 
 // Cell is one fully-resolved sweep grid point: a policy evaluated at one
@@ -287,10 +347,19 @@ type EngineStats = experiments.RunnerStats
 // values against the engine's defaults, without running anything. The order
 // matches Sweep's row order and CellResult.Index.
 func (e *Engine) Cells(g Grid) []Cell {
+	return e.resolveGrid(g).Cells(e.tech)
+}
+
+// resolveGrid fills a grid's zero-valued scale and technology fields from
+// the engine's defaults.
+func (e *Engine) resolveGrid(g Grid) Grid {
 	if g.Window == 0 {
 		g.Window = e.window
 	}
-	return g.Cells(e.tech)
+	if g.ClassTechs == nil {
+		g.ClassTechs = e.ClassTechs()
+	}
+	return g
 }
 
 // RunCell evaluates one sweep cell against the engine's shared simulation
@@ -303,6 +372,9 @@ func (e *Engine) RunCell(ctx context.Context, c Cell) (CellResult, error) {
 	if c.Window == 0 {
 		c.Window = e.window
 	}
+	if c.ClassTechs == nil {
+		c.ClassTechs = e.ClassTechs()
+	}
 	return experiments.EvalCell(ctx, e.runner, c)
 }
 
@@ -312,10 +384,7 @@ func (e *Engine) RunCell(ctx context.Context, c Cell) (CellResult, error) {
 // results as they complete rather than one artifact at the end. Evaluation
 // stops at the first cell error or the first non-nil error from fn.
 func (e *Engine) SweepStream(ctx context.Context, g Grid, fn func(CellResult) error) error {
-	if g.Window == 0 {
-		g.Window = e.window
-	}
-	return experiments.RunSweepStream(ctx, e.runner, g, e.tech, fn)
+	return experiments.RunSweepStream(ctx, e.runner, e.resolveGrid(g), e.tech, fn)
 }
 
 // Stats returns a snapshot of the engine's simulation accounting. Services
@@ -325,8 +394,20 @@ func (e *Engine) Stats() EngineStats { return e.runner.Stats() }
 // NewSweepTable returns the empty standard sweep result table for a grid —
 // the same table Sweep produces — so SweepStream consumers can accumulate
 // partial results in the canonical format.
-func (e *Engine) NewSweepTable(g Grid) *Table { return experiments.SweepTable(g, e.tech) }
+func (e *Engine) NewSweepTable(g Grid) *Table {
+	return experiments.SweepTable(e.resolveGrid(g), e.tech)
+}
+
+// NewClassSweepTable returns the empty per-class companion table of a
+// class-aware sweep; fill it with AddClassRows.
+func (e *Engine) NewClassSweepTable(g Grid) *Table {
+	return experiments.ClassSweepTable(e.resolveGrid(g), e.tech)
+}
 
 // AddSweepRow appends one completed cell to a sweep table in Sweep's row
 // format.
 func AddSweepRow(t *Table, res CellResult) { experiments.AddSweepRow(t, res) }
+
+// AddClassRows appends one completed cell's per-class breakdown to a
+// per-class sweep table (one row per studied class).
+func AddClassRows(t *Table, res CellResult) { experiments.AddClassRows(t, res) }

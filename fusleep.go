@@ -7,6 +7,7 @@ import (
 	"github.com/archsim/fusleep/internal/circuit"
 	"github.com/archsim/fusleep/internal/core"
 	"github.com/archsim/fusleep/internal/experiments"
+	"github.com/archsim/fusleep/internal/fu"
 	"github.com/archsim/fusleep/internal/workload"
 )
 
@@ -52,6 +53,61 @@ var Policies = core.Policies
 // ParsePolicy maps a policy's paper name (case-insensitively) back to its
 // value — the inverse of Policy.String, for wire formats and flags.
 func ParsePolicy(name string) (Policy, error) { return core.ParsePolicy(name) }
+
+// ParsePolicyConfig parses the Policy[:slices=K][:timeout=T] term syntax —
+// the inverse of PolicyConfig.String, for flags and assignment terms.
+func ParsePolicyConfig(s string) (PolicyConfig, error) { return core.ParsePolicyConfig(s) }
+
+// Per-class sleep management: functional-unit classes and policy
+// assignments, re-exported from the implementation packages. The paper's
+// classes differ in idle-interval structure and breakeven point, so a
+// machine carries one policy (and optionally one technology point) per
+// class instead of one policy for every unit.
+type (
+	// FUClass identifies one functional-unit class of the Table 2 machine.
+	FUClass = fu.Class
+	// Assignment maps classes to their sleep-policy configuration; it
+	// JSON-encodes as an object keyed by class name.
+	Assignment = core.Assignment
+)
+
+// The functional-unit classes of the simulated machine. FUAGU shares the
+// integer ALU ports unless the machine provisions dedicated AGUs.
+const (
+	FUIntALU = fu.IntALU
+	FUAGU    = fu.AGU
+	FUMult   = fu.Mult
+	FUFPALU  = fu.FPALU
+	FUFPMult = fu.FPMult
+)
+
+// FUClasses lists every functional-unit class in canonical order.
+func FUClasses() []FUClass { return fu.Classes() }
+
+// ParseFUClass maps a class name ("intalu", "agu", "mult", "fpalu",
+// "fpmult", case-insensitively) to its value.
+func ParseFUClass(name string) (FUClass, error) { return fu.ParseClass(name) }
+
+// ParseFUClasses parses a comma-separated class list, rejecting
+// duplicates.
+func ParseFUClasses(s string) ([]FUClass, error) { return fu.ParseClasses(s) }
+
+// UniformAssignment assigns one policy configuration to every class — the
+// assignment that reproduces the single-pool results.
+func UniformAssignment(pc PolicyConfig) Assignment { return core.UniformAssignment(pc) }
+
+// ParseAssignment parses comma-separated class=Policy[:slices=K][:timeout=T]
+// terms ("intalu=GradualSleep:slices=4,fpalu=MaxSleep") — the inverse of
+// Assignment.String, for flags and wire formats.
+func ParseAssignment(s string) (Assignment, error) { return core.ParseAssignment(s) }
+
+// ClassBreakeven resolves one class's breakeven idle interval under its
+// effective technology point (the per-class override when present, else
+// the default) — the quantity that drives each class's GradualSleep slice
+// count and SleepTimeout threshold defaults.
+func ClassBreakeven(def Tech, overrides map[FUClass]Tech, c FUClass, alpha float64) float64 {
+	return core.ClassBreakeven(def, overrides, c, alpha)
+}
 
 // DefaultTech returns the paper's Table 4 analysis parameters at the
 // near-term technology point p = 0.05.
@@ -104,6 +160,11 @@ type BenchmarkReport struct {
 	// FUProfiles holds one measured idle profile per integer unit, ready
 	// for PolicyEnergy.
 	FUProfiles []*IdleProfile
+	// ClassProfiles holds the measured idle profiles of every functional-
+	// unit class, keyed by class. The FUAGU entry appears only when the
+	// machine was provisioned with dedicated AGUs (SimAGUs); by default
+	// address generation lands in the FUIntALU profiles.
+	ClassProfiles map[FUClass][]*IdleProfile
 	// MeanFUUtilization is the mean fraction of cycles the integer units
 	// spent computing.
 	MeanFUUtilization float64

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/fu"
+)
+
+func TestAssignmentStringParseRoundTrip(t *testing.T) {
+	a := Assignment{
+		fu.IntALU: {Policy: GradualSleep, Slices: 4},
+		fu.FPALU:  {Policy: MaxSleep},
+		fu.Mult:   {Policy: SleepTimeout, Timeout: 32},
+	}
+	s := a.String()
+	got, err := ParseAssignment(s)
+	if err != nil {
+		t.Fatalf("ParseAssignment(%q): %v", s, err)
+	}
+	if len(got) != len(a) {
+		t.Fatalf("round trip lost classes: %q -> %v", s, got)
+	}
+	for c, pc := range a {
+		if got[c] != pc {
+			t.Errorf("class %s: %+v -> %+v", c, pc, got[c])
+		}
+	}
+	// Canonical: class-enum order regardless of map iteration.
+	if want := "intalu=GradualSleep:slices=4,mult=SleepTimeout:timeout=32,fpalu=MaxSleep"; s != want {
+		t.Errorf("String = %q, want %q", s, want)
+	}
+}
+
+func TestParseAssignmentErrors(t *testing.T) {
+	for _, bad := range []string{
+		"intalu",                              // no policy
+		"warp=MaxSleep",                       // unknown class
+		"intalu=Turbo",                        // unknown policy
+		"intalu=MaxSleep,intalu=AlwaysActive", // duplicate class
+		"intalu=GradualSleep:slices=0",        // non-positive knob
+		"intalu=GradualSleep:slices",          // malformed knob
+		"intalu=SleepTimeout:threshold=3",     // unknown knob
+		"intalu=GradualSleep:slices=two",      // non-integer knob
+	} {
+		if _, err := ParseAssignment(bad); err == nil {
+			t.Errorf("ParseAssignment(%q) accepted", bad)
+		}
+	}
+	if a, err := ParseAssignment("  "); err != nil || a != nil {
+		t.Errorf("blank assignment = %v, %v", a, err)
+	}
+}
+
+func TestUniformAssignment(t *testing.T) {
+	pc := PolicyConfig{Policy: GradualSleep, Slices: 8}
+	a := UniformAssignment(pc)
+	if len(a) != fu.NumClasses {
+		t.Fatalf("uniform assignment covers %d classes, want %d", len(a), fu.NumClasses)
+	}
+	for _, c := range fu.Classes() {
+		if got, ok := a.For(c); !ok || got != pc {
+			t.Errorf("class %s = %+v, %v", c, got, ok)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("uniform assignment invalid: %v", err)
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	if err := (Assignment{fu.Class(99): {Policy: MaxSleep}}).Validate(); err == nil {
+		t.Error("invalid class accepted")
+	}
+	if err := (Assignment{fu.IntALU: {Policy: Policy(77)}}).Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := (Assignment{fu.IntALU: {Policy: GradualSleep, Slices: -1}}).Validate(); err == nil {
+		t.Error("negative slices accepted")
+	}
+	if err := (Assignment{fu.IntALU: {Policy: SleepTimeout, Timeout: -2}}).Validate(); err == nil {
+		t.Error("negative timeout accepted")
+	}
+}
+
+func TestAssignmentJSON(t *testing.T) {
+	a := Assignment{
+		fu.IntALU: {Policy: SleepTimeout, Timeout: 12},
+		fu.FPMult: {Policy: NoOverhead},
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Assignment
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[fu.IntALU] != a[fu.IntALU] || got[fu.FPMult] != a[fu.FPMult] {
+		t.Errorf("JSON round trip: %s -> %v", data, got)
+	}
+	if err := json.Unmarshal([]byte(`{"quantum": {"policy": "MaxSleep"}}`), &got); err == nil {
+		t.Error("unknown class key unmarshaled")
+	}
+}
+
+// TestClassBreakevenAcrossTechs is the per-class form of the breakeven
+// tests: every class resolves its breakeven through its own effective
+// technology point, and the degenerate limits (alpha = 1 infinite
+// breakeven, zero-idle profiles) behave per class exactly as they do for a
+// single unit.
+func TestClassBreakevenAcrossTechs(t *testing.T) {
+	techs := map[string]Tech{
+		"default":   DefaultTech(),
+		"high-leak": HighLeakTech(),
+		"p=1":       DefaultTech().WithP(1),
+		"free-slp":  {P: 0.2, C: 0.001, SleepOverhead: 0, Duty: 0.5},
+		"c=0":       {P: 0.1, C: 0, SleepOverhead: 0.01, Duty: 0.5},
+	}
+	overrides := map[fu.Class]Tech{
+		fu.Mult:   HighLeakTech(),
+		fu.FPMult: DefaultTech().WithP(0.8),
+	}
+	for name, def := range techs {
+		for _, alpha := range []float64{0, 0.25, 0.5, 0.75} {
+			for _, c := range fu.Classes() {
+				want := TechFor(def, overrides, c).Breakeven(alpha)
+				got := ClassBreakeven(def, overrides, c, alpha)
+				if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+					t.Errorf("%s alpha=%g class %s: breakeven %g, want %g", name, alpha, c, got, want)
+				}
+				if got <= 0 {
+					t.Errorf("%s alpha=%g class %s: non-positive breakeven %g", name, alpha, c, got)
+				}
+				// Cross-check against the numeric search under the same
+				// effective tech, like the single-unit breakeven tests.
+				search := TechFor(def, overrides, c).BreakevenSearch(alpha)
+				if !math.IsInf(got, 1) && math.Abs(got-search) > 1e-6*got {
+					t.Errorf("%s alpha=%g class %s: analytic %g vs search %g", name, alpha, c, got, search)
+				}
+			}
+		}
+	}
+
+	// Overridden classes must differ from the default-tech breakeven when
+	// their technology differs.
+	def := DefaultTech()
+	if ClassBreakeven(def, overrides, fu.Mult, 0.5) == def.Breakeven(0.5) {
+		t.Error("Mult override did not change the breakeven")
+	}
+	if ClassBreakeven(def, overrides, fu.IntALU, 0.5) != def.Breakeven(0.5) {
+		t.Error("unoverridden class diverged from the default tech")
+	}
+}
+
+// TestClassBreakevenDegenerate pins the per-class degenerate limits: at
+// alpha = 1 every class's breakeven is +Inf regardless of overrides, and a
+// class whose profile has zero idle spends nothing on idle handling under
+// any assigned policy.
+func TestClassBreakevenDegenerate(t *testing.T) {
+	overrides := map[fu.Class]Tech{fu.FPALU: HighLeakTech()}
+	for _, c := range fu.Classes() {
+		if be := ClassBreakeven(DefaultTech(), overrides, c, 1); !math.IsInf(be, 1) {
+			t.Errorf("class %s: breakeven at alpha=1 = %g, want +Inf", c, be)
+		}
+	}
+
+	// Zero idle: every policy in a uniform assignment yields identical
+	// (active-only) cycle counts for that class's profile.
+	prof := NewIdleProfile()
+	prof.ActiveCycles = 4096
+	for _, pol := range []Policy{AlwaysActive, MaxSleep, NoOverhead, GradualSleep, OracleMinimal, SleepTimeout} {
+		a := UniformAssignment(PolicyConfig{Policy: pol})
+		for _, c := range fu.Classes() {
+			pc, _ := a.For(c)
+			tech := TechFor(DefaultTech(), overrides, c)
+			cc, err := tech.ProfileCounts(pc, 0.5, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cc.UncontrolledIdle != 0 || cc.Sleep != 0 || cc.Transitions != 0 || cc.Active != 4096 {
+				t.Errorf("policy %v class %s zero-idle counts: %+v", pol, c, cc)
+			}
+		}
+	}
+}

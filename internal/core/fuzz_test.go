@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParsePolicy asserts the parser never panics and stays consistent
+// with Policy.String: any accepted name round-trips to the same value, and
+// every canonical name is accepted.
+func FuzzParsePolicy(f *testing.F) {
+	for _, p := range []Policy{AlwaysActive, MaxSleep, NoOverhead, GradualSleep, OracleMinimal, SleepTimeout} {
+		f.Add(p.String())
+	}
+	f.Add("maxsleep")
+	f.Add("MAXSLEEP")
+	f.Add("Policy(3)")
+	f.Add("")
+	f.Add("gradual sleep")
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			return
+		}
+		again, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("accepted %q as %v but canonical name %q rejected: %v", name, p, p.String(), err)
+		}
+		if again != p {
+			t.Fatalf("%q parsed to %v, canonical %q to %v", name, p, p.String(), again)
+		}
+	})
+}
+
+// FuzzPolicyConfigJSON asserts PolicyConfig's wire form never panics and
+// that every accepted document re-marshals to a stable fixpoint: marshal
+// and re-unmarshal yield the identical configuration, and the term syntax
+// (ParsePolicyConfig/String) agrees with it.
+func FuzzPolicyConfigJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{"policy": "AlwaysActive"}`,
+		`{"policy": "GradualSleep", "slices": 4}`,
+		`{"policy": "SleepTimeout", "timeout": 128}`,
+		`{"policy": "maxsleep"}`,
+		`{"policy": "Unknown"}`,
+		`{"policy": 3}`,
+		`{}`,
+		`null`,
+		`{"policy": "NoOverhead", "slices": -1}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pc PolicyConfig
+		if err := json.Unmarshal(data, &pc); err != nil {
+			return
+		}
+		out, err := json.Marshal(pc)
+		if err != nil {
+			t.Fatalf("unmarshaled %q but cannot re-marshal %+v: %v", data, pc, err)
+		}
+		var again PolicyConfig
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("own output %s rejected: %v", out, err)
+		}
+		if again != pc {
+			t.Fatalf("JSON round trip drifted: %+v -> %s -> %+v", pc, out, again)
+		}
+		if pc.Validate() == nil {
+			term, err := ParsePolicyConfig(pc.String())
+			if err != nil {
+				t.Fatalf("valid config %+v renders unparseable term %q: %v", pc, pc.String(), err)
+			}
+			if term != pc {
+				t.Fatalf("term round trip drifted: %+v -> %q -> %+v", pc, pc.String(), term)
+			}
+		}
+	})
+}

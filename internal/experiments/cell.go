@@ -4,17 +4,20 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 
 	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/fu"
 	"github.com/archsim/fusleep/internal/workload"
 )
 
-// Cell is one fully-resolved grid point: a policy evaluated at one
-// technology point and FU count over a fixed benchmark set. Cells are the
-// unit of incremental sweep delivery — a Grid expands into an ordered cell
-// list, each cell is evaluated independently (sharing the runner's
-// simulation cache), and results stream back one cell at a time.
+// Cell is one fully-resolved grid point: a policy (or a per-class policy
+// assignment) evaluated at one technology point and functional-unit mix
+// over a fixed benchmark set. Cells are the unit of incremental sweep
+// delivery — a Grid expands into an ordered cell list, each cell is
+// evaluated independently (sharing the runner's simulation cache), and
+// results stream back one cell at a time.
 type Cell struct {
 	Policy     core.PolicyConfig `json:"policy"`
 	Tech       core.Tech         `json:"tech"`
@@ -23,12 +26,89 @@ type Cell struct {
 	Alpha      float64           `json:"alpha"`
 	L2Latency  int               `json:"l2Latency"`
 	Window     uint64            `json:"window"`
+
+	// AGUs, Mults, FPALUs, FPMults are the per-class unit counts of the
+	// simulated machine; 0 selects the Table 2 defaults (shared AGUs, one
+	// unit per dedicated class). FUs remains the integer-ALU axis.
+	AGUs    int `json:"agus,omitempty"`
+	Mults   int `json:"mults,omitempty"`
+	FPALUs  int `json:"fpalus,omitempty"`
+	FPMults int `json:"fpmults,omitempty"`
+
+	// Classes are the functional-unit classes whose energy the cell
+	// accounts; empty selects the paper's single-pool view, the IntALU
+	// class alone.
+	Classes []fu.Class `json:"classes,omitempty"`
+	// Assignment maps classes to their sleep policies; a studied class
+	// missing from the assignment falls back to Policy. An empty
+	// assignment is the uniform case: every studied class runs Policy.
+	// Entries for classes outside the studied set are legal (a uniform
+	// assignment covers every class) but are not accounted; PolicyLabel
+	// renders only the studied classes' effective policies. Grid expansion
+	// widens the studied set to cover its Assignments automatically.
+	Assignment core.Assignment `json:"assignment,omitempty"`
+	// ClassTechs overrides the technology point per class (a class built
+	// in a different circuit style leaks differently); missing classes use
+	// Tech. Each class's breakeven — and therefore its GradualSleep slice
+	// and SleepTimeout threshold defaults — resolves through its own
+	// effective tech.
+	ClassTechs map[fu.Class]core.Tech `json:"classTechs,omitempty"`
+}
+
+// mix returns the cell's machine provisioning.
+func (c Cell) mix() FUMix {
+	return FUMix{IntALUs: c.FUs, AGUs: c.AGUs, Mults: c.Mults, FPALUs: c.FPALUs, FPMults: c.FPMults}
+}
+
+// StudiedClasses returns the classes the cell accounts energy for, in
+// canonical (enum) order regardless of how Classes was spelled: the
+// explicit Classes list sorted, or the paper's single-pool default of
+// IntALU alone. Key, EvalCell, and PerClass all walk this order, so two
+// cells listing the same classes in different orders are one identity.
+func (c Cell) StudiedClasses() []fu.Class {
+	if len(c.Classes) == 0 {
+		return []fu.Class{fu.IntALU}
+	}
+	out := append([]fu.Class(nil), c.Classes...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PolicyFor resolves the effective policy for one class: its assignment
+// entry, or the cell-wide Policy.
+func (c Cell) PolicyFor(cl fu.Class) core.PolicyConfig {
+	if pc, ok := c.Assignment.For(cl); ok {
+		return pc
+	}
+	return c.Policy
+}
+
+// TechFor resolves the effective technology point for one class.
+func (c Cell) TechFor(cl fu.Class) core.Tech {
+	return core.TechFor(c.Tech, c.ClassTechs, cl)
+}
+
+// PolicyLabel renders the cell's policy axis for tables. With an
+// assignment set it lists each STUDIED class's effective policy — not the
+// raw assignment, whose entries for unstudied classes are not accounted
+// and must not be claimed by the row — else the uniform policy's name.
+func (c Cell) PolicyLabel() string {
+	if len(c.Assignment) > 0 {
+		parts := make([]string, 0, len(c.Classes)+1)
+		for _, cl := range c.StudiedClasses() {
+			parts = append(parts, cl.String()+"="+c.PolicyFor(cl).String())
+		}
+		return strings.Join(parts, ",")
+	}
+	return c.Policy.Policy.String()
 }
 
 // Key returns a stable identity hash of the cell: two cells with the same
 // simulation configuration and energy-model point hash identically, so
 // queue shards and caches can key on it. The hash covers every field that
-// affects the result.
+// affects the result — including the per-class mix, class list, policy
+// assignment, and technology overrides, each serialized in canonical class
+// order.
 func (c Cell) Key() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|%d|%.17g|%.17g|%.17g|%.17g|%d|%.17g|%d|%d|%s",
@@ -36,7 +116,48 @@ func (c Cell) Key() string {
 		c.Tech.P, c.Tech.C, c.Tech.SleepOverhead, c.Tech.Duty,
 		c.FUs, c.Alpha, c.L2Latency, c.Window,
 		strings.Join(c.Benchmarks, ","))
+	fmt.Fprintf(h, "|%d|%d|%d|%d", c.AGUs, c.Mults, c.FPALUs, c.FPMults)
+	if len(c.Classes) > 0 {
+		for _, cl := range c.StudiedClasses() {
+			fmt.Fprintf(h, "|c:%s", cl)
+		}
+	}
+	if len(c.Assignment) > 0 {
+		fmt.Fprintf(h, "|a:%s", c.Assignment)
+	}
+	for _, cl := range sortedClassKeys(c.ClassTechs) {
+		t := c.ClassTechs[cl]
+		fmt.Fprintf(h, "|t:%s:%.17g:%.17g:%.17g:%.17g", cl, t.P, t.C, t.SleepOverhead, t.Duty)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// sortedClassKeys returns the map's classes in canonical order.
+func sortedClassKeys(m map[fu.Class]core.Tech) []fu.Class {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]fu.Class, 0, len(m))
+	for _, cl := range fu.Classes() {
+		if _, ok := m[cl]; ok {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// ClassEnergy is one studied class's share of a cell result: the policy it
+// ran and its relative energy and leakage fraction, averaged over the
+// cell's benchmarks.
+type ClassEnergy struct {
+	Class           fu.Class          `json:"class"`
+	Policy          core.PolicyConfig `json:"policy"`
+	RelEnergy       float64           `json:"relEnergy"`
+	LeakageFraction float64           `json:"leakageFraction"`
+	// Units is the simulated unit count backing the class, or 0 when the
+	// count varies across the cell's benchmarks (the paper's per-benchmark
+	// IntALU counts).
+	Units int `json:"units,omitempty"`
 }
 
 // CellResult is one completed grid point: the cell's identity plus its
@@ -47,44 +168,71 @@ type CellResult struct {
 	// order regardless of completion order.
 	Index int  `json:"index"`
 	Cell  Cell `json:"cell"`
-	// RelEnergy is E_policy / E_base averaged over the cell's benchmarks.
+	// RelEnergy is E_policy / E_base averaged over the cell's benchmarks,
+	// summed across the cell's studied classes.
 	RelEnergy float64 `json:"relEnergy"`
 	// LeakageFraction is the leakage share of total energy, averaged over
 	// the cell's benchmarks.
 	LeakageFraction float64 `json:"leakageFraction"`
 	// MeanCycles is the simulated cycle count averaged over the cell's
 	// benchmarks — the delay axis of energy-delay analyses. It depends on
-	// the cell's FU count, benchmarks, L2 latency, and window, but not on
-	// its policy or technology point.
+	// the cell's FU mix, benchmarks, L2 latency, and window, but not on
+	// its policies or technology points.
 	MeanCycles float64 `json:"meanCycles"`
+	// PerClass breaks the result down by studied class, in canonical
+	// order.
+	PerClass []ClassEnergy `json:"perClass,omitempty"`
 }
 
 // Cells expands the grid into its ordered cell list after resolving zero
 // values against the given default technology. The order matches RunSweep's
-// row order: technology-major, then FU count, then policy.
+// row order: technology-major, then FU mix, then policy (uniform policies
+// first, then per-class assignments).
 func (g Grid) Cells(tech core.Tech) []Cell {
 	g = g.withDefaults(tech)
-	cells := make([]Cell, 0, len(g.Techs)*len(g.FUCounts)*len(g.Policies))
+	cells := make([]Cell, 0, g.Cardinality(tech))
 	for _, tc := range g.Techs {
 		for _, fus := range g.FUCounts {
-			for _, pc := range g.Policies {
-				cells = append(cells, Cell{
-					Policy:     pc,
-					Tech:       tc,
-					FUs:        fus,
-					Benchmarks: g.Benchmarks,
-					Alpha:      g.Alpha,
-					L2Latency:  g.L2Latency,
-					Window:     g.Window,
-				})
+			for _, agus := range g.AGUCounts {
+				for _, mults := range g.MultCounts {
+					for _, fpalus := range g.FPALUCounts {
+						for _, fpmults := range g.FPMultCounts {
+							base := Cell{
+								Tech:       tc,
+								FUs:        fus,
+								AGUs:       agus,
+								Mults:      mults,
+								FPALUs:     fpalus,
+								FPMults:    fpmults,
+								Benchmarks: g.Benchmarks,
+								Alpha:      g.Alpha,
+								L2Latency:  g.L2Latency,
+								Window:     g.Window,
+								Classes:    g.Classes,
+								ClassTechs: g.ClassTechs,
+							}
+							for _, pc := range g.Policies {
+								c := base
+								c.Policy = pc
+								cells = append(cells, c)
+							}
+							for _, a := range g.Assignments {
+								c := base
+								c.Assignment = a
+								cells = append(cells, c)
+							}
+						}
+					}
+				}
 			}
 		}
 	}
 	return cells
 }
 
-// Validate rejects cells whose technology point or benchmark set is outside
-// the model's domain, before any simulation is paid for.
+// Validate rejects cells whose technology points, benchmark set, class
+// list, or policy assignment are outside the model's domain, before any
+// simulation is paid for.
 func (c Cell) Validate() error {
 	if err := c.Tech.Validate(); err != nil {
 		return fmt.Errorf("cell: tech p=%g: %w", c.Tech.P, err)
@@ -100,39 +248,115 @@ func (c Cell) Validate() error {
 			return fmt.Errorf("cell: %w", err)
 		}
 	}
+	for _, n := range []struct {
+		name  string
+		count int
+	}{
+		{"agus", c.AGUs}, {"mults", c.Mults}, {"fpalus", c.FPALUs}, {"fpmults", c.FPMults},
+	} {
+		if n.count < 0 {
+			return fmt.Errorf("cell: negative %s %d", n.name, n.count)
+		}
+	}
+	seen := map[fu.Class]bool{}
+	for _, cl := range c.Classes {
+		if !cl.Valid() {
+			return fmt.Errorf("cell: invalid class %d", uint8(cl))
+		}
+		if seen[cl] {
+			return fmt.Errorf("cell: class %s listed twice", cl)
+		}
+		seen[cl] = true
+		if cl == fu.AGU && c.AGUs <= 0 {
+			return fmt.Errorf("cell: class agu needs a dedicated pool (set agus > 0); the default machine issues address generation down the integer ALU ports")
+		}
+	}
+	if err := c.Assignment.Validate(); err != nil {
+		return fmt.Errorf("cell: %w", err)
+	}
+	for cl, t := range c.ClassTechs {
+		if !cl.Valid() {
+			return fmt.Errorf("cell: classTechs names invalid class %d", uint8(cl))
+		}
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("cell: classTechs[%s]: %w", cl, err)
+		}
+	}
 	return nil
 }
 
 // EvalCell evaluates one grid cell: it simulates (or re-uses from cache)
-// the cell's benchmark suite at its FU count, then applies the closed-form
-// energy model at the cell's technology × policy point. The returned
-// result's Index is zero; callers enumerating a grid set it.
+// the cell's benchmark suite at its functional-unit mix, then applies the
+// closed-form energy model per studied class — each class under its
+// effective policy and technology point — over the measured per-class idle
+// profiles. The returned result's Index is zero; callers enumerating a
+// grid set it.
 func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
 	if err := c.Validate(); err != nil {
 		return CellResult{}, err
 	}
-	suite, err := r.SimSuite(ctx, c.Benchmarks, c.FUs, c.L2Latency, c.Window)
+	suite, err := r.SimSuiteMix(ctx, c.Benchmarks, c.mix(), c.L2Latency, c.Window)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("cell fus=%d: %w", c.FUs, err)
 	}
+	classes := c.StudiedClasses()
+	type acc struct {
+		rel, leak float64
+		units     int
+		mixed     bool
+	}
+	per := make([]acc, len(classes))
 	var rel, leak, cyc float64
 	for _, name := range c.Benchmarks {
 		res := suite[name]
-		e := unitEnergy(c.Tech, c.Policy, c.Alpha, res)
-		rel += e.Total() / baseEnergy(c.Tech, c.Alpha, res)
-		leak += e.LeakageFraction()
+		var total core.Breakdown
+		var base float64
+		for i, cl := range classes {
+			units := res.UnitsFor(cl)
+			if len(units) == 0 {
+				return CellResult{}, fmt.Errorf("cell: machine has no %s units to study", cl)
+			}
+			tech := c.TechFor(cl)
+			e := profileEnergy(tech, c.PolicyFor(cl), c.Alpha, units)
+			b := profileBase(tech, c.Alpha, len(units), res.Cycles)
+			per[i].rel += e.Total() / b
+			per[i].leak += e.LeakageFraction()
+			if per[i].units != 0 && per[i].units != len(units) {
+				per[i].mixed = true
+			}
+			per[i].units = len(units)
+			total = total.Add(e)
+			base += b
+		}
+		rel += total.Total() / base
+		leak += total.LeakageFraction()
 		cyc += float64(res.Cycles)
 	}
 	n := float64(len(c.Benchmarks))
-	return CellResult{Cell: c, RelEnergy: rel / n, LeakageFraction: leak / n, MeanCycles: cyc / n}, nil
+	out := CellResult{Cell: c, RelEnergy: rel / n, LeakageFraction: leak / n, MeanCycles: cyc / n}
+	for i, cl := range classes {
+		units := per[i].units
+		if per[i].mixed {
+			units = 0
+		}
+		out.PerClass = append(out.PerClass, ClassEnergy{
+			Class:           cl,
+			Policy:          c.PolicyFor(cl),
+			RelEnergy:       per[i].rel / n,
+			LeakageFraction: per[i].leak / n,
+			Units:           units,
+		})
+	}
+	return out, nil
 }
 
 // RunSweepStream evaluates the grid cell by cell, invoking fn with each
 // completed cell result in grid order. Every technology point is validated
 // before any simulation runs. Evaluation stops at the first cell error or
 // the first non-nil error returned by fn; either is returned to the caller.
-// Cells that share an FU count share their (cached) suite simulation, so
-// streaming costs no more simulation work than the batch RunSweep.
+// Cells that share a functional-unit mix share their (cached) suite
+// simulation, so streaming costs no more simulation work than the batch
+// RunSweep.
 func RunSweepStream(ctx context.Context, r *Runner, g Grid, tech core.Tech, fn func(CellResult) error) error {
 	g = g.withDefaults(tech)
 	for _, tc := range g.Techs {

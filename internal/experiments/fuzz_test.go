@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/core"
+)
+
+// FuzzGridJSON asserts the grid wire form never panics the expansion
+// machinery: any JSON that unmarshals into a Grid must expand into a cell
+// list whose length matches Cardinality, whose keys are deterministic, and
+// whose cells either validate or fail validation cleanly. Oversized grids
+// (an adversarial request can multiply seven axes) are skipped before
+// expansion, exactly as a serving layer must.
+func FuzzGridJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"FUCounts": [2, 4], "Alpha": 0.5}`,
+		`{"Policies": [{"policy": "GradualSleep", "slices": 4}], "L2Latency": 32}`,
+		`{"Assignments": [{"intalu": {"policy": "MaxSleep"}, "fpalu": {"policy": "AlwaysActive"}}]}`,
+		`{"Classes": ["intalu", "mult"], "MultCounts": [1, 2]}`,
+		`{"Classes": ["agu"], "AGUCounts": [2]}`,
+		`{"ClassTechs": {"fpmult": {"p": 0.5, "c": 0.001, "sleepOverhead": 0.01, "duty": 0.5}}}`,
+		`{"Benchmarks": ["gcc", "mcf"], "Window": 1000}`,
+		`{"Classes": ["warp"]}`,
+		`{"FUCounts": [-1, 0, 99]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Grid
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		// A serving layer rejects oversized grids before expansion; the
+		// fuzzer only needs expansion to be sound, not unbounded. Bound the
+		// axes first so the cardinality product cannot overflow int.
+		for _, axis := range []int{
+			len(g.Policies) + len(g.Assignments), len(g.Techs), len(g.FUCounts),
+			len(g.AGUCounts), len(g.MultCounts), len(g.FPALUCounts), len(g.FPMultCounts),
+		} {
+			if axis > 64 {
+				return
+			}
+		}
+		tech := core.DefaultTech()
+		card := g.Cardinality(tech)
+		if card > 10_000 {
+			return
+		}
+		cells := g.Cells(tech)
+		if len(cells) != card {
+			t.Fatalf("Cells = %d, Cardinality = %d", len(cells), card)
+		}
+		for i, c := range cells {
+			k1, k2 := c.Key(), c.Key()
+			if k1 != k2 {
+				t.Fatalf("cell %d key unstable: %s vs %s", i, k1, k2)
+			}
+			_ = c.Validate() // must not panic, either verdict is fine
+			// The cell itself must survive a JSON round trip with an
+			// identical identity hash, since services ship cells by wire.
+			out, err := json.Marshal(c)
+			if err != nil {
+				t.Fatalf("cell %d unmarshalable from grid but not marshalable: %v", i, err)
+			}
+			var again Cell
+			if err := json.Unmarshal(out, &again); err != nil {
+				t.Fatalf("cell %d own output rejected: %v", i, err)
+			}
+			if again.Key() != k1 {
+				t.Fatalf("cell %d key drifted across JSON: %s -> %s", i, k1, again.Key())
+			}
+		}
+	})
+}

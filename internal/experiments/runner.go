@@ -39,10 +39,30 @@ func DefaultOptions() Options {
 	return Options{Window: 1_000_000, Sweep: 750_000}
 }
 
-// runKey identifies one benchmark configuration in the result cache.
+// FUMix is a machine's per-class functional-unit provisioning. The zero
+// value selects the defaults everywhere: the paper's per-benchmark Table 3
+// IntALU count, address generation sharing the IntALU ports, and one unit
+// each for the multiplier and FP classes.
+type FUMix struct {
+	// IntALUs is the integer-ALU count; 0 selects the paper's Table 3
+	// per-benchmark count.
+	IntALUs int `json:"intALUs,omitempty"`
+	// AGUs is the dedicated address-generation unit count; 0 shares the
+	// IntALU ports (the paper's machine).
+	AGUs int `json:"agus,omitempty"`
+	// Mults, FPALUs, FPMults override the dedicated unit counts; 0 keeps
+	// the Table 2 default of one unit per class.
+	Mults   int `json:"mults,omitempty"`
+	FPALUs  int `json:"fpalus,omitempty"`
+	FPMults int `json:"fpmults,omitempty"`
+}
+
+// runKey identifies one benchmark configuration in the result cache. The
+// full per-class mix is part of the identity, so suites that differ only in
+// their Mult or FP provisioning cache separately.
 type runKey struct {
 	bench  string
-	fus    int
+	mix    FUMix
 	l2     int
 	window uint64
 }
@@ -122,8 +142,11 @@ func NewRunner(opt Options) *Runner {
 }
 
 // runOne simulates a single benchmark configuration.
-func runOne(ctx context.Context, spec workload.Spec, fus, l2 int, window uint64) (pipeline.Result, error) {
-	cfg := pipeline.DefaultConfig().WithIntALUs(fus).WithL2Latency(l2)
+func runOne(ctx context.Context, spec workload.Spec, mix FUMix, l2 int, window uint64) (pipeline.Result, error) {
+	cfg := pipeline.DefaultConfig().
+		WithIntALUs(mix.IntALUs).
+		WithUnits(mix.Mults, mix.FPALUs, mix.FPMults, mix.AGUs).
+		WithL2Latency(l2)
 	cfg.MaxInsts = window
 	cpu, err := pipeline.New(cfg, spec.NewTrace(window))
 	if err != nil {
@@ -136,17 +159,43 @@ func runOne(ctx context.Context, spec workload.Spec, fus, l2 int, window uint64)
 	return res, nil
 }
 
-// Sim simulates one benchmark at the given FU count (0 selects the paper's
-// Table 3 count), L2 hit latency, and instruction window (0 selects the
-// runner's Window). Results are cached across calls unless DisableCache is
-// set; concurrent simulations are bounded by Options.Parallel.
+// Sim simulates one benchmark at the given integer-ALU count (0 selects the
+// paper's Table 3 count), L2 hit latency, and instruction window (0 selects
+// the runner's Window), with the default per-class mix. Results are cached
+// across calls unless DisableCache is set; concurrent simulations are
+// bounded by Options.Parallel.
 func (r *Runner) Sim(ctx context.Context, bench string, fus, l2 int, window uint64) (pipeline.Result, error) {
+	return r.SimMix(ctx, bench, FUMix{IntALUs: fus}, l2, window)
+}
+
+// SimMix is Sim with full per-class unit provisioning: the mix's zero
+// fields resolve to the machine defaults (paper IntALU count, shared AGUs,
+// one unit per dedicated class). The resolved mix is part of the cache
+// identity, so suites that differ only in one class's count cache
+// separately.
+func (r *Runner) SimMix(ctx context.Context, bench string, mix FUMix, l2 int, window uint64) (pipeline.Result, error) {
 	spec, err := workload.ByName(bench)
 	if err != nil {
 		return pipeline.Result{}, err
 	}
-	if fus <= 0 {
-		fus = spec.PaperFUs
+	if mix.IntALUs <= 0 {
+		mix.IntALUs = spec.PaperFUs
+	}
+	// Normalize the remaining knobs so "default" spells one cache key,
+	// however it was written: negatives clamp to 0, and explicit counts
+	// equal to the Table 2 defaults collapse to 0 (WithUnits applies them
+	// identically), so e.g. Mults 0 and Mults 1 share one simulation.
+	def := pipeline.DefaultConfig()
+	for _, n := range []struct {
+		v   *int
+		def int
+	}{
+		{&mix.AGUs, def.AGUs}, {&mix.Mults, def.IntMults},
+		{&mix.FPALUs, def.FPALUs}, {&mix.FPMults, def.FPMults},
+	} {
+		if *n.v < 0 || *n.v == n.def {
+			*n.v = 0
+		}
 	}
 	if l2 <= 0 {
 		l2 = 12
@@ -154,7 +203,7 @@ func (r *Runner) Sim(ctx context.Context, bench string, fus, l2 int, window uint
 	if window == 0 {
 		window = r.opt.Window
 	}
-	key := runKey{bench: spec.Name, fus: fus, l2: l2, window: window}
+	key := runKey{bench: spec.Name, mix: mix, l2: l2, window: window}
 	for {
 		r.mu.Lock()
 		if !r.opt.DisableCache {
@@ -192,7 +241,7 @@ func (r *Runner) Sim(ctx context.Context, bench string, fus, l2 int, window uint
 		r.pending[key] = fl
 		r.mu.Unlock()
 
-		fl.res, fl.err = r.runBounded(ctx, spec, fus, l2, window)
+		fl.res, fl.err = r.runBounded(ctx, spec, mix, l2, window)
 		r.mu.Lock()
 		delete(r.pending, key)
 		if fl.err == nil {
@@ -208,14 +257,14 @@ func (r *Runner) Sim(ctx context.Context, bench string, fus, l2 int, window uint
 }
 
 // runBounded runs one simulation under the concurrency semaphore.
-func (r *Runner) runBounded(ctx context.Context, spec workload.Spec, fus, l2 int, window uint64) (pipeline.Result, error) {
+func (r *Runner) runBounded(ctx context.Context, spec workload.Spec, mix FUMix, l2 int, window uint64) (pipeline.Result, error) {
 	select {
 	case r.sem <- struct{}{}:
 		defer func() { <-r.sem }()
 	case <-ctx.Done():
 		return pipeline.Result{}, ctx.Err()
 	}
-	return runOne(ctx, spec, fus, l2, window)
+	return runOne(ctx, spec, mix, l2, window)
 }
 
 // SimSuite simulates a set of benchmarks in parallel (bounded by
@@ -224,6 +273,12 @@ func (r *Runner) runBounded(ctx context.Context, spec workload.Spec, fus, l2 int
 // outstanding runs, waits for them to drain, and returns every distinct
 // error joined together rather than abandoning in-flight work.
 func (r *Runner) SimSuite(ctx context.Context, benchmarks []string, fus, l2 int, window uint64) (map[string]pipeline.Result, error) {
+	return r.SimSuiteMix(ctx, benchmarks, FUMix{IntALUs: fus}, l2, window)
+}
+
+// SimSuiteMix is SimSuite with full per-class unit provisioning; cells that
+// share a class mix share their (cached) suite simulation.
+func (r *Runner) SimSuiteMix(ctx context.Context, benchmarks []string, mix FUMix, l2 int, window uint64) (map[string]pipeline.Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -235,7 +290,7 @@ func (r *Runner) SimSuite(ctx context.Context, benchmarks []string, fus, l2 int,
 	ch := make(chan out, len(benchmarks))
 	for _, name := range benchmarks {
 		go func(name string) {
-			res, err := r.Sim(ctx, name, fus, l2, window)
+			res, err := r.SimMix(ctx, name, mix, l2, window)
 			ch <- out{name, res, err}
 		}(name)
 	}
@@ -299,19 +354,31 @@ func coreProfiles(fus []pipeline.FUProfile) []*core.IdleProfile {
 	return out
 }
 
-// unitEnergy sums a policy's energy over all functional units of one run.
-func unitEnergy(tech core.Tech, pc core.PolicyConfig, alpha float64, res pipeline.Result) core.Breakdown {
+// profileEnergy sums a policy's energy over the given unit profiles.
+func profileEnergy(tech core.Tech, pc core.PolicyConfig, alpha float64, fus []pipeline.FUProfile) core.Breakdown {
 	var total core.Breakdown
-	for _, prof := range coreProfiles(res.FUs) {
+	for _, prof := range coreProfiles(fus) {
 		total = total.Add(tech.EvalProfile(pc, alpha, prof))
 	}
 	return total
 }
 
+// profileBase is the 100%-computation normalization for n units over the
+// run's cycle count.
+func profileBase(tech core.Tech, alpha float64, n int, cycles uint64) float64 {
+	return float64(n) * tech.BaseEnergy(alpha, float64(cycles))
+}
+
+// unitEnergy sums a policy's energy over the studied integer units of one
+// run (the single-pool view).
+func unitEnergy(tech core.Tech, pc core.PolicyConfig, alpha float64, res pipeline.Result) core.Breakdown {
+	return profileEnergy(tech, pc, alpha, res.FUs)
+}
+
 // baseEnergy is the normalization of Figure 8: the energy if every unit
 // computed on every cycle.
 func baseEnergy(tech core.Tech, alpha float64, res pipeline.Result) float64 {
-	return float64(len(res.FUs)) * tech.BaseEnergy(alpha, float64(res.Cycles))
+	return profileBase(tech, alpha, len(res.FUs), res.Cycles)
 }
 
 // relativeEnergy returns E_policy / E_base for one benchmark run.

@@ -5,22 +5,42 @@ import (
 	"fmt"
 
 	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/fu"
 	"github.com/archsim/fusleep/internal/report"
 	"github.com/archsim/fusleep/internal/workload"
 )
 
-// Grid describes a batch evaluation: every policy × technology point ×
-// FU-count combination is scored over the benchmark suite. Zero-valued
-// fields select defaults, so Grid{} is the paper's headline comparison.
+// Grid describes a batch evaluation: every policy (or per-class policy
+// assignment) × technology point × functional-unit-mix combination is
+// scored over the benchmark suite. Zero-valued fields select defaults, so
+// Grid{} is the paper's headline comparison.
 type Grid struct {
-	// Policies to score (default: the paper's four Figure 8 policies).
+	// Policies to score (default: the paper's four Figure 8 policies when
+	// Assignments is also empty).
 	Policies []core.PolicyConfig
+	// Assignments are per-class policy assignments to score; each expands
+	// into one cell per technology × FU-mix coordinate, after the uniform
+	// Policies rows. With no explicit Classes list, the grid studies the
+	// union of the assigned classes.
+	Assignments []core.Assignment
 	// Techs are the technology points (default: the runner's/engine's
 	// configured technology).
 	Techs []core.Tech
 	// FUCounts are the integer-ALU counts; 0 in the list means the paper's
 	// per-benchmark Table 3 counts (default: [0]).
 	FUCounts []int
+	// AGUCounts, MultCounts, FPALUCounts, FPMultCounts are the per-class
+	// unit-count axes; 0 in a list means the Table 2 default for that
+	// class (default: [0], one machine point per IntALU count).
+	AGUCounts    []int
+	MultCounts   []int
+	FPALUCounts  []int
+	FPMultCounts []int
+	// Classes are the functional-unit classes every cell accounts energy
+	// for (default: IntALU alone, the paper's single-pool view).
+	Classes []fu.Class
+	// ClassTechs overrides the technology point per class in every cell.
+	ClassTechs map[fu.Class]core.Tech
 	// Benchmarks restricts the suite (default: all nine).
 	Benchmarks []string
 	// Alpha is the activity factor (default 0.5).
@@ -33,11 +53,37 @@ type Grid struct {
 }
 
 // withDefaults resolves the grid's zero values against the given default
-// technology point.
+// technology.
 func (g Grid) withDefaults(tech core.Tech) Grid {
-	if len(g.Policies) == 0 {
+	if len(g.Policies) == 0 && len(g.Assignments) == 0 {
 		for _, pol := range core.Policies {
 			g.Policies = append(g.Policies, core.PolicyConfig{Policy: pol})
+		}
+	}
+	// An assignment-bearing grid with no explicit class list studies the
+	// union of the assigned classes: a policy the user assigned must be
+	// accounted, never silently dropped because the studied set defaulted
+	// to IntALU alone. The AGU class joins the union only when the grid
+	// actually provisions a dedicated AGU pool — a uniform assignment
+	// legally covers every class, and its AGU entry on the default
+	// (shared-port) machine is simply not studyable.
+	if len(g.Classes) == 0 && len(g.Assignments) > 0 {
+		hasAGUs := false
+		for _, n := range g.AGUCounts {
+			if n > 0 {
+				hasAGUs = true
+			}
+		}
+		assigned := map[fu.Class]bool{}
+		for _, a := range g.Assignments {
+			for _, cl := range a.Classes() {
+				assigned[cl] = cl != fu.AGU || hasAGUs
+			}
+		}
+		for _, cl := range fu.Classes() {
+			if assigned[cl] {
+				g.Classes = append(g.Classes, cl)
+			}
 		}
 	}
 	if len(g.Techs) == 0 {
@@ -45,6 +91,11 @@ func (g Grid) withDefaults(tech core.Tech) Grid {
 	}
 	if len(g.FUCounts) == 0 {
 		g.FUCounts = []int{0}
+	}
+	for _, axis := range []*[]int{&g.AGUCounts, &g.MultCounts, &g.FPALUCounts, &g.FPMultCounts} {
+		if len(*axis) == 0 {
+			*axis = []int{0}
+		}
 	}
 	if len(g.Benchmarks) == 0 {
 		g.Benchmarks = workload.Names()
@@ -58,11 +109,29 @@ func (g Grid) withDefaults(tech core.Tech) Grid {
 	return g
 }
 
+// ClassAware reports whether the grid leaves the paper's single-pool view:
+// it studies extra classes, carries assignments or class techs, or sweeps a
+// per-class count axis.
+func (g Grid) ClassAware() bool {
+	if len(g.Classes) > 0 || len(g.Assignments) > 0 || len(g.ClassTechs) > 0 {
+		return true
+	}
+	for _, axis := range [][]int{g.AGUCounts, g.MultCounts, g.FPALUCounts, g.FPMultCounts} {
+		for _, n := range axis {
+			if n != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Cardinality returns the number of grid points after default resolution
 // against the given technology, i.e. the number of result rows.
 func (g Grid) Cardinality(tech core.Tech) int {
 	g = g.withDefaults(tech)
-	return len(g.Policies) * len(g.Techs) * len(g.FUCounts)
+	return (len(g.Policies) + len(g.Assignments)) * len(g.Techs) * len(g.FUCounts) *
+		len(g.AGUCounts) * len(g.MultCounts) * len(g.FPALUCounts) * len(g.FPMultCounts)
 }
 
 // SweepTable builds the empty result table for a resolved grid, so batch
@@ -75,36 +144,93 @@ func SweepTable(g Grid, tech core.Tech) *report.Table {
 		"p", "c", "e_slp", "FUs", "policy", "E/E_base", "leakage/total")
 }
 
+// fuLabel renders a cell's functional-unit mix for tables: the IntALU axis
+// as before, with non-default per-class counts appended.
+func fuLabel(c Cell) string {
+	s := fmt.Sprintf("%d", c.FUs)
+	if c.FUs == 0 {
+		s = "paper"
+	}
+	if c.AGUs > 0 {
+		s += fmt.Sprintf("+%dagu", c.AGUs)
+	}
+	if c.Mults > 0 {
+		s += fmt.Sprintf("+%dmult", c.Mults)
+	}
+	if c.FPALUs > 0 {
+		s += fmt.Sprintf("+%dfpalu", c.FPALUs)
+	}
+	if c.FPMults > 0 {
+		s += fmt.Sprintf("+%dfpmult", c.FPMults)
+	}
+	return s
+}
+
 // AddSweepRow appends one completed cell to a sweep table.
 func AddSweepRow(t *report.Table, res CellResult) {
 	c := res.Cell
-	fuLabel := fmt.Sprintf("%d", c.FUs)
-	if c.FUs == 0 {
-		fuLabel = "paper"
-	}
 	t.AddRow(report.F(c.Tech.P, 4), report.F(c.Tech.C, 4), report.F(c.Tech.SleepOverhead, 4),
-		fuLabel, c.Policy.Policy.String(),
+		fuLabel(c), c.PolicyLabel(),
 		fmt.Sprintf("%.4f", res.RelEnergy), fmt.Sprintf("%.4f", res.LeakageFraction))
 }
 
-// RunSweep evaluates the grid: one suite simulation per FU count (cached,
-// parallel, cancelable), then the closed-form energy model at every
-// technology × policy point over the measured profiles. It returns a single
-// table artifact with one row per grid point, averaged across benchmarks.
-// It is the batch form of RunSweepStream: same cells, same order, collected
-// into one artifact.
+// ClassSweepTable builds the per-class companion table of a class-aware
+// sweep: one row per studied class of every cell, so the per-class energy
+// split the policy mix produces is inspectable next to the aggregate rows.
+func ClassSweepTable(g Grid, tech core.Tech) *report.Table {
+	g = g.withDefaults(tech)
+	return report.NewTable(
+		fmt.Sprintf("Per-class energy split [alpha=%.2f, %d benchmarks, %d-cycle L2]",
+			g.Alpha, len(g.Benchmarks), g.L2Latency),
+		"p", "FUs", "class", "units", "policy", "E/E_base", "leakage/total")
+}
+
+// AddClassRows appends one completed cell's per-class breakdown to a
+// per-class sweep table.
+func AddClassRows(t *report.Table, res CellResult) {
+	c := res.Cell
+	for _, ce := range res.PerClass {
+		units := "paper"
+		if ce.Units > 0 {
+			units = fmt.Sprintf("%d", ce.Units)
+		}
+		t.AddRow(report.F(c.TechFor(ce.Class).P, 4), fuLabel(c),
+			ce.Class.String(), units, ce.Policy.String(),
+			fmt.Sprintf("%.4f", ce.RelEnergy), fmt.Sprintf("%.4f", ce.LeakageFraction))
+	}
+}
+
+// RunSweep evaluates the grid: one suite simulation per functional-unit mix
+// (cached, parallel, cancelable), then the closed-form energy model at
+// every technology × policy point over the measured per-class profiles. It
+// returns a table artifact with one row per grid point, averaged across
+// benchmarks — plus, for class-aware grids, a per-class companion table
+// with one row per studied class of every cell. It is the batch form of
+// RunSweepStream: same cells, same order, collected into artifacts.
 func RunSweep(ctx context.Context, r *Runner, g Grid, tech core.Tech) ([]report.Artifact, error) {
 	g = g.withDefaults(tech)
 	t := SweepTable(g, tech)
+	classAware := g.ClassAware()
+	var ct *report.Table
+	if classAware {
+		ct = ClassSweepTable(g, tech)
+	}
 	err := RunSweepStream(ctx, r, g, tech, func(res CellResult) error {
 		AddSweepRow(t, res)
+		if classAware {
+			AddClassRows(ct, res)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	t.AddNote("E/E_base averaged over %d benchmarks at window %d", len(g.Benchmarks), r.windowOr(g.Window))
-	return []report.Artifact{report.TableArtifact("sweep", t)}, nil
+	arts := []report.Artifact{report.TableArtifact("sweep", t)}
+	if classAware {
+		arts = append(arts, report.TableArtifact("sweep-classes", ct))
+	}
+	return arts, nil
 }
 
 // windowOr resolves a per-call window against the runner's default.

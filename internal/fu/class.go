@@ -1,0 +1,115 @@
+// Package fu names the functional-unit classes of the simulated machine.
+// The paper's central results separate unit classes — integer ALUs versus
+// FP adders and multipliers — because their idle-interval distributions and
+// breakeven points differ, so the class is the unit of per-structure sleep
+// policy assignment across the pipeline, energy model, sweep grids, and
+// tuner search space.
+package fu
+
+import (
+	"encoding"
+	"fmt"
+	"strings"
+)
+
+// Class identifies one functional-unit class of the Table 2 machine.
+type Class uint8
+
+const (
+	// IntALU is the single-cycle integer unit class the paper studies:
+	// arithmetic, logic, and branch resolution.
+	IntALU Class = iota
+	// AGU is the address-generation class for loads and stores. By default
+	// the machine issues address generation down the integer ALU ports
+	// (21264-style), so AGU shares the IntALU pool unless a dedicated AGU
+	// pool is configured.
+	AGU
+	// Mult is the dedicated integer multiply/divide unit class.
+	Mult
+	// FPALU is the floating-point add/compare unit class.
+	FPALU
+	// FPMult is the floating-point multiply/divide unit class.
+	FPMult
+
+	// NumClasses counts the defined classes.
+	NumClasses = int(FPMult) + 1
+)
+
+var classNames = [NumClasses]string{"intalu", "agu", "mult", "fpalu", "fpmult"}
+
+// Classes lists every functional-unit class in canonical (enum) order.
+func Classes() []Class {
+	return []Class{IntALU, AGU, Mult, FPALU, FPMult}
+}
+
+// Valid reports whether c names a defined class.
+func (c Class) Valid() bool { return int(c) < NumClasses }
+
+// String returns the class's short name ("intalu", "agu", ...).
+func (c Class) String() string {
+	if c.Valid() {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ParseClass maps a class name (as produced by String, case-insensitively)
+// back to its value.
+func ParseClass(name string) (Class, error) {
+	for i, n := range classNames {
+		if strings.EqualFold(name, n) {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fu: unknown class %q (have %s)", name, strings.Join(classNames[:], ", "))
+}
+
+// MarshalText encodes the class by name, so JSON objects keyed by Class and
+// wire formats carrying one stay readable and stable if the enum values
+// ever shift.
+func (c Class) MarshalText() ([]byte, error) {
+	if !c.Valid() {
+		return nil, fmt.Errorf("fu: cannot marshal invalid class %d", uint8(c))
+	}
+	return []byte(c.String()), nil
+}
+
+// UnmarshalText accepts a class name.
+func (c *Class) UnmarshalText(data []byte) error {
+	got, err := ParseClass(string(data))
+	if err != nil {
+		return err
+	}
+	*c = got
+	return nil
+}
+
+// ParseClasses parses a comma-separated class list ("intalu,fpalu"),
+// rejecting duplicates. An empty string yields nil.
+func ParseClasses(s string) ([]Class, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Class
+	seen := map[Class]bool{}
+	for _, name := range strings.Split(s, ",") {
+		c, err := ParseClass(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("fu: duplicate class %q", c)
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// encoding/json uses TextMarshaler/TextUnmarshaler for both quoted string
+// values and object keys, so the text methods above are all that
+// map[Class]T and bare Class fields need on the wire.
+var (
+	_ encoding.TextMarshaler   = Class(0)
+	_ encoding.TextUnmarshaler = (*Class)(nil)
+)

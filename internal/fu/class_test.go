@@ -1,0 +1,67 @@
+package fu
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestClassStringParseRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("round trip %v -> %q -> %v", c, c.String(), got)
+		}
+	}
+	if _, err := ParseClass("turbo"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	// Case-insensitive, like ParsePolicy.
+	if got, err := ParseClass("FPALU"); err != nil || got != FPALU {
+		t.Errorf("ParseClass(FPALU) = %v, %v", got, err)
+	}
+}
+
+func TestClassJSONMapKey(t *testing.T) {
+	in := map[Class]int{IntALU: 1, FPMult: 2}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[Class]int
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[IntALU] != 1 || out[FPMult] != 2 {
+		t.Errorf("map round trip: %s -> %v", data, out)
+	}
+	var bad Class
+	if err := json.Unmarshal([]byte(`"warp"`), &bad); err == nil {
+		t.Error("unknown class name unmarshaled")
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	got, err := ParseClasses(" intalu, fpalu ")
+	if err != nil || len(got) != 2 || got[0] != IntALU || got[1] != FPALU {
+		t.Errorf("ParseClasses = %v, %v", got, err)
+	}
+	if _, err := ParseClasses("intalu,intalu"); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	if got, err := ParseClasses(""); err != nil || got != nil {
+		t.Errorf("empty list = %v, %v", got, err)
+	}
+}
+
+func TestInvalidClass(t *testing.T) {
+	c := Class(200)
+	if c.Valid() {
+		t.Error("class 200 valid")
+	}
+	if _, err := c.MarshalText(); err == nil {
+		t.Error("invalid class marshaled")
+	}
+}

@@ -8,18 +8,24 @@ import (
 )
 
 // Label renders a point's configuration for tables and traces, e.g.
-// "SleepTimeout T=24 @ p=0.05, 2 FUs".
+// "SleepTimeout T=24 @ p=0.05, 2 FUs" — or, for a per-class candidate, the
+// canonical assignment string ("intalu=GradualSleep:slices=4,fpalu=MaxSleep").
 func (p Point) Label() string {
-	pc := p.Cell.Policy
-	s := pc.Policy.String()
-	switch pc.Policy {
-	case core.GradualSleep:
-		if pc.Slices > 0 {
-			s += fmt.Sprintf(" K=%d", pc.Slices)
-		}
-	case core.SleepTimeout:
-		if pc.Timeout > 0 {
-			s += fmt.Sprintf(" T=%d", pc.Timeout)
+	var s string
+	if len(p.Cell.Assignment) > 0 {
+		s = p.Cell.Assignment.String()
+	} else {
+		pc := p.Cell.Policy
+		s = pc.Policy.String()
+		switch pc.Policy {
+		case core.GradualSleep:
+			if pc.Slices > 0 {
+				s += fmt.Sprintf(" K=%d", pc.Slices)
+			}
+		case core.SleepTimeout:
+			if pc.Timeout > 0 {
+				s += fmt.Sprintf(" T=%d", pc.Timeout)
+			}
 		}
 	}
 	fus := fmt.Sprintf("%d FUs", p.Cell.FUs)

@@ -7,14 +7,22 @@ import (
 
 	"github.com/archsim/fusleep/internal/core"
 	"github.com/archsim/fusleep/internal/experiments"
+	"github.com/archsim/fusleep/internal/fu"
 	"github.com/archsim/fusleep/internal/workload"
 )
 
 // Space is the tuner's search domain: the cross product of discrete axes
-// (policy family, technology point, FU count) with the refinable parameter
-// axes of the parameterized policies (SleepTimeout threshold, GradualSleep
-// slice count). Zero-valued fields select defaults, so Space{} searches the
-// paper's causal policies over the full suite at the caller's technology.
+// (policy family, functional-unit class, technology point, FU count) with
+// the refinable parameter axes of the parameterized policies (SleepTimeout
+// threshold, GradualSleep slice count). Zero-valued fields select defaults,
+// so Space{} searches the paper's causal policies over the full suite at
+// the caller's technology.
+//
+// With Classes set, the search widens to per-class policy assignments: each
+// candidate assigns one class's policy (the others idle at the baseline),
+// the same successive-halving driver refines every class's parameter axis,
+// and a final composition round evaluates the assignment that combines each
+// class's best policy per machine coordinate.
 type Space struct {
 	// Policies are the policy families to search (default: AlwaysActive,
 	// MaxSleep, GradualSleep, SleepTimeout — every causal policy plus the
@@ -29,6 +37,17 @@ type Space struct {
 	// FUCounts are the integer-ALU candidates; 0 in the list means the
 	// paper's per-benchmark Table 3 counts (default: [0]).
 	FUCounts []int
+	// Classes are the functional-unit classes to assign policies over.
+	// Empty keeps the paper's single-pool view: candidates are uniform
+	// policies for the IntALU class alone, exactly the pre-class search.
+	Classes []fu.Class
+	// AGUs, Mults, FPALUs, FPMults fix the machine's per-class unit counts
+	// for every candidate (0 = Table 2 defaults). A dedicated AGU pool
+	// (AGUs > 0) is required before the AGU class is searchable.
+	AGUs    int
+	Mults   int
+	FPALUs  int
+	FPMults int
 	// Techs are the technology points to search (default: the caller's
 	// technology).
 	Techs []core.Tech
@@ -108,16 +127,36 @@ func (s Space) Validate() error {
 			return err
 		}
 	}
+	seen := map[fu.Class]bool{}
+	for _, cl := range s.Classes {
+		if !cl.Valid() {
+			return fmt.Errorf("optimize: invalid class %d", uint8(cl))
+		}
+		if seen[cl] {
+			return fmt.Errorf("optimize: class %s listed twice", cl)
+		}
+		seen[cl] = true
+		if cl == fu.AGU && s.AGUs <= 0 {
+			return fmt.Errorf("optimize: class agu needs a dedicated pool (set AGUs > 0)")
+		}
+	}
+	for _, n := range []int{s.AGUs, s.Mults, s.FPALUs, s.FPMults} {
+		if n < 0 {
+			return fmt.Errorf("optimize: negative unit count %d", n)
+		}
+	}
 	return nil
 }
 
 // family identifies one refinable slot of the space: a policy at one
-// technology × FU coordinate. Parameterless policies have no axis and are
-// probed exactly once per slot.
+// technology × FU × class coordinate. Parameterless policies have no axis
+// and are probed exactly once per slot. classIdx indexes Space.Classes and
+// is 0 for a class-less (single-pool) space.
 type family struct {
-	policy  core.Policy
-	techIdx int
-	fuIdx   int
+	policy   core.Policy
+	techIdx  int
+	fuIdx    int
+	classIdx int
 }
 
 // paramRange returns a policy's refinable parameter range, if it has one.
@@ -142,17 +181,46 @@ func policyConfig(p core.Policy, param int) core.PolicyConfig {
 	return core.PolicyConfig{Policy: p}
 }
 
-// cell materializes one candidate as an evaluable sweep cell.
-func (s Space) cell(fam family, param int) experiments.Cell {
+// baseCell materializes the machine coordinate shared by every candidate
+// at one technology × FU point: the per-class unit mix, studied classes,
+// benchmarks, and scale parameters, with no policy bound yet.
+func (s Space) baseCell(techIdx, fuIdx int) experiments.Cell {
 	return experiments.Cell{
-		Policy:     policyConfig(fam.policy, param),
-		Tech:       s.Techs[fam.techIdx],
-		FUs:        s.FUCounts[fam.fuIdx],
+		Tech:       s.Techs[techIdx],
+		FUs:        s.FUCounts[fuIdx],
+		AGUs:       s.AGUs,
+		Mults:      s.Mults,
+		FPALUs:     s.FPALUs,
+		FPMults:    s.FPMults,
+		Classes:    s.Classes,
 		Benchmarks: s.Benchmarks,
 		Alpha:      s.Alpha,
 		L2Latency:  s.L2Latency,
 		Window:     s.Window,
 	}
+}
+
+// cell materializes one candidate as an evaluable sweep cell. In a
+// class-less space the policy binds uniformly (the pre-class cell shape,
+// preserving cache keys); with classes, the candidate's class gets the
+// policy and every other studied class idles at the AlwaysActive baseline.
+func (s Space) cell(fam family, param int) experiments.Cell {
+	c := s.baseCell(fam.techIdx, fam.fuIdx)
+	pc := policyConfig(fam.policy, param)
+	if len(s.Classes) == 0 {
+		c.Policy = pc
+		return c
+	}
+	c.Assignment = core.Assignment{s.Classes[fam.classIdx]: pc}
+	return c
+}
+
+// composed materializes a full per-class assignment at one technology × FU
+// coordinate — the composition round's cell.
+func (s Space) composed(techIdx, fuIdx int, a core.Assignment) experiments.Cell {
+	c := s.baseCell(techIdx, fuIdx)
+	c.Assignment = a
+	return c
 }
 
 // candidate is one point the driver may evaluate.
@@ -172,22 +240,42 @@ func (s Space) references() []candidate {
 	return refs
 }
 
+// classCount returns the number of class slots the search iterates: one
+// per studied class, or a single class-less slot.
+func (s Space) classCount() int {
+	if len(s.Classes) == 0 {
+		return 1
+	}
+	return len(s.Classes)
+}
+
 // seeds returns the round-0 candidate list: for every technology × FU ×
-// policy slot, either the single parameterless candidate or points points
-// log-spaced across the policy's parameter range (endpoints included).
+// class × policy slot, either the single parameterless candidate or points
+// points log-spaced across the policy's parameter range (endpoints
+// included).
 func (s Space) seeds(points int) []candidate {
 	var out []candidate
 	for ti := range s.Techs {
 		for fi := range s.FUCounts {
-			for _, pol := range s.Policies {
-				fam := family{policy: pol, techIdx: ti, fuIdx: fi}
-				r, ok := s.paramRange(pol)
-				if !ok {
-					out = append(out, candidate{fam: fam})
-					continue
-				}
-				for _, v := range logSpacedInts(r[0], r[1], points) {
-					out = append(out, candidate{fam: fam, param: v})
+			for ci := 0; ci < s.classCount(); ci++ {
+				for _, pol := range s.Policies {
+					// In class mode, assigning AlwaysActive to class ci is
+					// the all-baseline machine regardless of ci (unassigned
+					// classes already idle at AlwaysActive): the cells have
+					// distinct keys but identical results, so seed that
+					// configuration once instead of once per class.
+					if len(s.Classes) > 0 && ci > 0 && pol == core.AlwaysActive {
+						continue
+					}
+					fam := family{policy: pol, techIdx: ti, fuIdx: fi, classIdx: ci}
+					r, ok := s.paramRange(pol)
+					if !ok {
+						out = append(out, candidate{fam: fam})
+						continue
+					}
+					for _, v := range logSpacedInts(r[0], r[1], points) {
+						out = append(out, candidate{fam: fam, param: v})
+					}
 				}
 			}
 		}

@@ -148,6 +148,16 @@ func Run(ctx context.Context, cfg Config, observe func(Probe) error) (Result, er
 		rounds    int
 	)
 
+	// slotBest tracks the best policy found per (tech, FU, class) slot, the
+	// raw material of the composition round in a class-wide search.
+	type slotKey struct{ techIdx, fuIdx, classIdx int }
+	type slotPick struct {
+		pc core.PolicyConfig
+		pt Point
+		ok bool
+	}
+	slots := make(map[slotKey]slotPick)
+
 	markProbed := func(fam family, v int) {
 		if _, refinable := sp.paramRange(fam.policy); !refinable {
 			return
@@ -172,10 +182,12 @@ func Run(ctx context.Context, cfg Config, observe func(Probe) error) (Result, er
 		if len(current) > remaining {
 			current = current[:remaining]
 		}
-		for _, c := range current {
-			evaluated[sp.cell(c.fam, c.param).Key()] = true
+		cells := make([]experiments.Cell, len(current))
+		for i, c := range current {
+			cells[i] = sp.cell(c.fam, c.param)
+			evaluated[cells[i].Key()] = true
 		}
-		results, err := evalBatch(ctx, cfg, sp, current)
+		results, err := evalBatch(ctx, cfg, cells)
 		if err != nil {
 			return Result{}, err
 		}
@@ -196,6 +208,24 @@ func Run(ctx context.Context, cfg Config, observe func(Probe) error) (Result, er
 				best, haveBest = p, true
 			}
 			markProbed(current[i].fam, current[i].param)
+			// An AlwaysActive candidate is the all-baseline machine whatever
+			// class it nominally belongs to (it is seeded once, not per
+			// class), so it competes for every class's slot; other policies
+			// compete only for their own class.
+			pc := policyConfig(current[i].fam.policy, current[i].param)
+			slotClasses := []int{current[i].fam.classIdx}
+			if len(sp.Classes) > 0 && current[i].fam.policy == core.AlwaysActive {
+				slotClasses = slotClasses[:0]
+				for ci := range sp.Classes {
+					slotClasses = append(slotClasses, ci)
+				}
+			}
+			for _, ci := range slotClasses {
+				sk := slotKey{current[i].fam.techIdx, current[i].fam.fuIdx, ci}
+				if cur := slots[sk]; !cur.ok || better(p, cur.pt) {
+					slots[sk] = slotPick{pc: pc, pt: p, ok: true}
+				}
+			}
 			scores = append(scores, p.Score)
 			if observe != nil {
 				if err := observe(Probe{Seq: seq, Round: round, Point: p, Accepted: accepted, Improved: improved}); err != nil {
@@ -213,6 +243,58 @@ func Run(ctx context.Context, cfg Config, observe func(Probe) error) (Result, er
 		return Result{}, fmt.Errorf("optimize: no candidates evaluated (budget %d)", cfg.MaxEvals)
 	}
 
+	// Composition round: in a class-wide search, combine each class's best
+	// policy per machine coordinate into one full assignment and evaluate
+	// it — the heterogeneous mix the per-class probing was for. Runs under
+	// the same budget and streams through observe like any other round.
+	if len(sp.Classes) > 1 {
+		var composedCells []experiments.Cell
+		for ti := range sp.Techs {
+			for fi := range sp.FUCounts {
+				a := make(core.Assignment, len(sp.Classes))
+				complete := true
+				for ci, cl := range sp.Classes {
+					pick, ok := slots[slotKey{ti, fi, ci}]
+					if !ok {
+						complete = false
+						break
+					}
+					a[cl] = pick.pc
+				}
+				if !complete {
+					continue
+				}
+				c := sp.composed(ti, fi, a)
+				if key := c.Key(); !evaluated[key] && len(evaluated) < cfg.MaxEvals {
+					evaluated[key] = true
+					composedCells = append(composedCells, c)
+				}
+			}
+		}
+		if len(composedCells) > 0 {
+			results, err := evalBatch(ctx, cfg, composedCells)
+			if err != nil {
+				return Result{}, err
+			}
+			for _, res := range results {
+				p := obj.point(res, refCycles)
+				accepted := frontier.Add(p)
+				improved := better(p, best)
+				if improved {
+					best = p
+				}
+				scores = append(scores, p.Score)
+				if observe != nil {
+					if err := observe(Probe{Seq: seq, Round: rounds, Point: p, Accepted: accepted, Improved: improved}); err != nil {
+						return Result{}, err
+					}
+				}
+				seq++
+			}
+			rounds++
+		}
+	}
+
 	res := Result{
 		Objective: obj,
 		Space:     sp,
@@ -227,17 +309,17 @@ func Run(ctx context.Context, cfg Config, observe func(Probe) error) (Result, er
 	return res, nil
 }
 
-// evalBatch evaluates the candidates concurrently (bounded by
-// cfg.Parallel) and returns their results in candidate order. The first
-// error in candidate order wins and cancels the rest.
-func evalBatch(ctx context.Context, cfg Config, sp Space, cands []candidate) ([]experiments.CellResult, error) {
+// evalBatch evaluates the cells concurrently (bounded by cfg.Parallel) and
+// returns their results in input order. The first error in input order
+// wins and cancels the rest.
+func evalBatch(ctx context.Context, cfg Config, cells []experiments.Cell) ([]experiments.CellResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([]experiments.CellResult, len(cands))
-	errs := make([]error, len(cands))
+	results := make([]experiments.CellResult, len(cells))
+	errs := make([]error, len(cells))
 	sem := make(chan struct{}, cfg.Parallel)
 	var wg sync.WaitGroup
-	for i := range cands {
+	for i := range cells {
 		wg.Add(1)
 		go func(i int, cell experiments.Cell) {
 			defer wg.Done()
@@ -252,7 +334,7 @@ func evalBatch(ctx context.Context, cfg Config, sp Space, cands []candidate) ([]
 			if errs[i] != nil {
 				cancel()
 			}
-		}(i, sp.cell(cands[i].fam, cands[i].param))
+		}(i, cells[i])
 	}
 	wg.Wait()
 	// A real evaluation error cancels the rest of the batch, so sibling

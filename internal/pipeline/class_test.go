@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/archsim/fusleep/internal/fu"
+	"github.com/archsim/fusleep/internal/isa"
+)
+
+// classStream builds n independent ops of one class, with the register and
+// address shapes each class needs.
+func classStream(n int, class isa.Class) []isa.Inst {
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		in := isa.Inst{PC: codeBase + uint64(i%256)*4, Class: class}
+		switch {
+		case class.IsFP():
+			in.Dest = isa.FPReg(1 + i%8)
+		case class == isa.Load:
+			in.Dest = isa.IntReg(1 + i%8)
+			in.Addr = dataBase + uint64(i%1024)*8
+		case class == isa.Store:
+			in.Addr = dataBase + uint64(i%1024)*8
+		default:
+			in.Dest = isa.IntReg(1 + i%8)
+		}
+		insts[i] = in
+	}
+	return insts
+}
+
+// activeUnits sums a class's recorded active cycles across its units.
+func activeUnits(res Result, c fu.Class) uint64 {
+	var n uint64
+	for _, u := range res.UnitsFor(c) {
+		n += u.ActiveCycles
+	}
+	return n
+}
+
+// TestClassPoolsAllocatePerClass pins the tentpole's core behavior: Mult
+// and FPALU traffic executes on its own class pool and records activity
+// there, leaving the integer ALU pool idle, instead of routing everything
+// through one IntALU pool.
+func TestClassPoolsAllocatePerClass(t *testing.T) {
+	cases := []struct {
+		class  isa.Class
+		active fu.Class
+		idle   []fu.Class
+	}{
+		{isa.IntMult, fu.Mult, []fu.Class{fu.IntALU, fu.FPALU, fu.FPMult}},
+		{isa.IntDiv, fu.Mult, []fu.Class{fu.IntALU, fu.FPALU, fu.FPMult}},
+		{isa.FPALU, fu.FPALU, []fu.Class{fu.IntALU, fu.Mult, fu.FPMult}},
+		{isa.FPMult, fu.FPMult, []fu.Class{fu.IntALU, fu.Mult, fu.FPALU}},
+		{isa.FPDiv, fu.FPMult, []fu.Class{fu.IntALU, fu.Mult, fu.FPALU}},
+		{isa.IntALU, fu.IntALU, []fu.Class{fu.Mult, fu.FPALU, fu.FPMult}},
+	}
+	for _, tc := range cases {
+		res := run(t, DefaultConfig(), classStream(5000, tc.class))
+		if got := activeUnits(res, tc.active); got == 0 {
+			t.Errorf("%v ops: class %s recorded no activity", tc.class, tc.active)
+		}
+		for _, c := range tc.idle {
+			if got := activeUnits(res, c); got != 0 {
+				t.Errorf("%v ops: class %s recorded %d active cycles, want 0", tc.class, c, got)
+			}
+		}
+	}
+}
+
+// TestPerClassIdleIntervalsRecorded asserts every class pool records a full
+// busy/idle profile: per unit, active plus idle cycles cover the whole run.
+func TestPerClassIdleIntervalsRecorded(t *testing.T) {
+	// Mixed traffic touches every pool.
+	var insts []isa.Inst
+	for i := 0; i < 4000; i++ {
+		insts = append(insts,
+			classStream(1, isa.IntALU)[0],
+			classStream(1, isa.IntMult)[0],
+			classStream(1, isa.FPALU)[0],
+			classStream(1, isa.FPMult)[0],
+		)
+	}
+	res := run(t, DefaultConfig(), insts)
+	want := []fu.Class{fu.IntALU, fu.Mult, fu.FPALU, fu.FPMult}
+	if len(res.Classes) != len(want) {
+		t.Fatalf("Classes = %d entries, want %d (AGU shares the IntALU pool by default)", len(res.Classes), len(want))
+	}
+	for i, cp := range res.Classes {
+		if cp.Class != want[i] {
+			t.Errorf("Classes[%d] = %s, want %s", i, cp.Class, want[i])
+		}
+		for u, prof := range cp.Units {
+			if got := prof.ActiveCycles + prof.IdleCycles(); got != res.Cycles {
+				t.Errorf("class %s unit %d covers %d of %d cycles", cp.Class, u, got, res.Cycles)
+			}
+			if cp.Class != fu.IntALU && len(prof.Intervals) == 0 && prof.ActiveCycles != res.Cycles {
+				t.Errorf("class %s unit %d recorded no idle intervals", cp.Class, u)
+			}
+		}
+	}
+	// The legacy FUs view is exactly the IntALU class.
+	intalu := res.UnitsFor(fu.IntALU)
+	if len(res.FUs) != len(intalu) {
+		t.Fatalf("FUs has %d units, IntALU class %d", len(res.FUs), len(intalu))
+	}
+	for i := range res.FUs {
+		if res.FUs[i].ActiveCycles != intalu[i].ActiveCycles {
+			t.Errorf("FUs[%d] diverges from the IntALU class profile", i)
+		}
+	}
+}
+
+// TestDedicatedAGUPool covers the split machine: with AGUs > 0, address
+// generation allocates from its own pool (and records its own profile)
+// instead of the integer ALU ports.
+func TestDedicatedAGUPool(t *testing.T) {
+	loads := classStream(6000, isa.Load)
+
+	shared := run(t, DefaultConfig(), loads)
+	if got := shared.UnitsFor(fu.AGU); got != nil {
+		t.Fatalf("shared machine reports a dedicated AGU pool: %v", got)
+	}
+	if activeUnits(shared, fu.IntALU) == 0 {
+		t.Fatal("shared machine: load address generation did not touch the IntALU pool")
+	}
+
+	cfg := DefaultConfig()
+	cfg.AGUs = 2
+	split := run(t, cfg, loads)
+	agu := split.UnitsFor(fu.AGU)
+	if len(agu) != 2 {
+		t.Fatalf("dedicated machine reports %d AGU units, want 2", len(agu))
+	}
+	if activeUnits(split, fu.AGU) == 0 {
+		t.Error("dedicated machine: AGU pool recorded no activity")
+	}
+	if got := activeUnits(split, fu.IntALU); got != 0 {
+		t.Errorf("dedicated machine: loads consumed %d IntALU cycles, want 0", got)
+	}
+	// Both machines commit the same loads; the split one cannot be slower
+	// on a pure load stream (it has strictly more issue resources).
+	if split.Committed != shared.Committed {
+		t.Errorf("committed diverged: %d vs %d", split.Committed, shared.Committed)
+	}
+}
+
+// TestWithUnits pins the config helper's zero-leaves-default contract.
+func TestWithUnits(t *testing.T) {
+	cfg := DefaultConfig().WithUnits(0, 0, 0, 0)
+	if cfg != DefaultConfig() {
+		t.Error("all-zero WithUnits changed the config")
+	}
+	cfg = DefaultConfig().WithUnits(2, 3, 4, 1)
+	if cfg.IntMults != 2 || cfg.FPALUs != 3 || cfg.FPMults != 4 || cfg.AGUs != 1 {
+		t.Errorf("WithUnits = %+v", cfg)
+	}
+	bad := DefaultConfig()
+	bad.AGUs = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative AGUs accepted")
+	}
+}

@@ -100,6 +100,13 @@ type Config struct {
 	FPMults  int // 1
 	MemPorts int // data cache ports, 2
 
+	// AGUs is the dedicated address-generation unit count. 0 (the default)
+	// issues address generation down the integer ALU ports, 21264-style, so
+	// loads and stores contend with integer ops for the IntALU pool exactly
+	// as the paper's machine does; a positive count gives address generation
+	// its own class pool with its own idle-interval profile.
+	AGUs int
+
 	MispredictPenalty int // fetch redirect latency after resolution, 10
 
 	Bpred bpred.Config
@@ -159,6 +166,25 @@ func (c Config) WithL2Latency(cycles int) Config {
 	return c
 }
 
+// WithUnits returns a copy with the given per-class unit counts. Zero
+// leaves a class at its current count; agus = 0 keeps address generation on
+// the integer ALU ports (pass a positive count for a dedicated AGU pool).
+func (c Config) WithUnits(mults, fpalus, fpmults, agus int) Config {
+	if mults > 0 {
+		c.IntMults = mults
+	}
+	if fpalus > 0 {
+		c.FPALUs = fpalus
+	}
+	if fpmults > 0 {
+		c.FPMults = fpmults
+	}
+	if agus > 0 {
+		c.AGUs = agus
+	}
+	return c
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	pos := func(name string, v int) error {
@@ -194,6 +220,9 @@ func (c Config) Validate() error {
 	}
 	if c.MispredictPenalty < 0 {
 		return fmt.Errorf("pipeline: negative mispredict penalty")
+	}
+	if c.AGUs < 0 {
+		return fmt.Errorf("pipeline: AGUs = %d must be >= 0 (0 shares the integer ALU ports)", c.AGUs)
 	}
 	if c.IntPhysRegs < 33 || c.FPPhysRegs < 33 {
 		return fmt.Errorf("pipeline: physical register files must exceed the 32 architectural registers")

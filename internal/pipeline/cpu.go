@@ -7,6 +7,7 @@ import (
 
 	"github.com/archsim/fusleep/internal/bpred"
 	"github.com/archsim/fusleep/internal/cache"
+	"github.com/archsim/fusleep/internal/fu"
 	"github.com/archsim/fusleep/internal/isa"
 	"github.com/archsim/fusleep/internal/tlb"
 )
@@ -188,10 +189,13 @@ type CPU struct {
 
 	intRen, fpRen *renamer
 	rob           *reorderBuffer
-	fus           *fuPool
-	mult          *unitPool
-	fpalu         *unitPool
-	fpmult        *unitPool
+
+	// Per-class functional-unit pools. agu aliases alu when the machine
+	// issues address generation down the integer ALU ports (cfg.AGUs == 0),
+	// so loads and stores contend with integer ops exactly as the paper's
+	// machine does; pools lists each distinct pool once for tick/flush.
+	alu, agu, mult, fpalu, fpmult *classPool
+	pools                         []*classPool
 
 	intIQCount, fpIQCount int
 	lqCount               int
@@ -300,6 +304,19 @@ func New(cfg Config, stream isa.Stream) (*CPU, error) {
 	// Wheel slots must cover [cycle+1, cycle+maxLatency] without wrap
 	// collisions, so the span is one past the maximum schedulable delay.
 	wheelSize := nextPow2(maxLatency(cfg) + 1)
+	alu := newClassPool(cfg.IntALUs)
+	agu := alu
+	if cfg.AGUs > 0 {
+		agu = newClassPool(cfg.AGUs)
+	}
+	mult := newClassPool(cfg.IntMults)
+	fpalu := newClassPool(cfg.FPALUs)
+	fpmult := newClassPool(cfg.FPMults)
+	pools := []*classPool{alu}
+	if agu != alu {
+		pools = append(pools, agu)
+	}
+	pools = append(pools, mult, fpalu, fpmult)
 	return &CPU{
 		cfg:           cfg,
 		stream:        stream,
@@ -310,10 +327,12 @@ func New(cfg Config, stream isa.Stream) (*CPU, error) {
 		intRen:        intRen,
 		fpRen:         fpRen,
 		rob:           rob,
-		fus:           newFUPool(cfg.IntALUs),
-		mult:          newUnitPool(cfg.IntMults),
-		fpalu:         newUnitPool(cfg.FPALUs),
-		fpmult:        newUnitPool(cfg.FPMults),
+		alu:           alu,
+		agu:           agu,
+		mult:          mult,
+		fpalu:         fpalu,
+		fpmult:        fpmult,
+		pools:         pools,
 		storeQ:        newRing[storeQEntry](cfg.StoreQSize),
 		storeIdx:      newStoreIndex(),
 		fetchQ:        newRing[fetchEntry](cfg.FetchQueueSize),
@@ -351,7 +370,9 @@ func (c *CPU) RunContext(ctx context.Context) (Result, error) {
 		c.issue()
 		c.dispatch()
 		c.fetch()
-		c.fus.tick(c.cycle)
+		for _, p := range c.pools {
+			p.tick(c.cycle)
+		}
 		c.cycle++
 		if c.cycle&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
@@ -363,7 +384,9 @@ func (c *CPU) RunContext(ctx context.Context) (Result, error) {
 			return Result{}, fmt.Errorf("%w at cycle %d (committed %d)", ErrDeadlock, c.cycle, c.committed)
 		}
 	}
-	c.fus.flush()
+	for _, p := range c.pools {
+		p.flush()
+	}
 	return c.result(), nil
 }
 
@@ -386,14 +409,20 @@ func (c *CPU) result() Result {
 		FetchMispredictStalls: c.mispredStalls,
 		ClassCounts:           c.classCounts,
 	}
-	for _, rec := range c.fus.rec {
-		// Copy interval maps so the Result is self-contained.
-		iv := make(map[int]uint64, len(rec.Intervals()))
-		for l, n := range rec.Intervals() {
-			iv[l] = n
-		}
-		res.FUs = append(res.FUs, FUProfile{ActiveCycles: rec.ActiveCycles(), Intervals: iv})
+	// FUs and the IntALU class entry are the same view; share one snapshot
+	// (consumers treat profiles as read-only) instead of copying the
+	// interval maps twice.
+	aluProfiles := c.alu.profiles()
+	res.FUs = aluProfiles
+	res.Classes = append(res.Classes, ClassProfile{Class: fu.IntALU, Units: aluProfiles})
+	if c.agu != c.alu {
+		res.Classes = append(res.Classes, ClassProfile{Class: fu.AGU, Units: c.agu.profiles()})
 	}
+	res.Classes = append(res.Classes,
+		ClassProfile{Class: fu.Mult, Units: c.mult.profiles()},
+		ClassProfile{Class: fu.FPALU, Units: c.fpalu.profiles()},
+		ClassProfile{Class: fu.FPMult, Units: c.fpmult.profiles()},
+	)
 	return res
 }
 
@@ -622,7 +651,12 @@ func (c *CPU) issue() {
 	}
 	budget := c.cfg.IssueWidth
 	ports := c.cfg.MemPorts
-	var intFull, multFull, fpaluFull, fpmultFull bool
+	// When address generation shares the integer ALU ports, the two
+	// classes share one pool and therefore one fullness flag: exhausting
+	// the pool through either class blocks both, exactly as the single
+	// intFull flag did before the pools split.
+	sharedAGU := c.agu == c.alu
+	var aluFull, aguFull, multFull, fpaluFull, fpmultFull bool
 	w := 0
 	for i := 0; i < len(q); i++ {
 		if budget == 0 {
@@ -634,18 +668,21 @@ func (c *CPU) issue() {
 		issued := false
 		switch e.inst.Class {
 		case isa.IntALU, isa.Branch, isa.Jump, isa.Call, isa.Return:
-			if !intFull {
-				if _, ok := c.fus.tryAllocate(c.cycle, LatIntALU); ok {
+			if !aluFull {
+				if _, ok := c.alu.tryAllocate(c.cycle, LatIntALU); ok {
 					c.schedule(int(idx), LatIntALU)
 					c.intIQCount--
 					issued = true
 				} else {
-					intFull = true
+					aluFull = true
+					if sharedAGU {
+						aguFull = true
+					}
 				}
 			}
 		case isa.IntMult:
 			if !multFull {
-				if c.mult.tryAllocate(c.cycle, LatIntMult) {
+				if _, ok := c.mult.tryAllocate(c.cycle, LatIntMult); ok {
 					c.schedule(int(idx), LatIntMult)
 					c.intIQCount--
 					issued = true
@@ -655,7 +692,7 @@ func (c *CPU) issue() {
 			}
 		case isa.IntDiv:
 			if !multFull {
-				if c.mult.tryAllocate(c.cycle, LatIntDiv) {
+				if _, ok := c.mult.tryAllocate(c.cycle, LatIntDiv); ok {
 					c.schedule(int(idx), LatIntDiv)
 					c.intIQCount--
 					issued = true
@@ -664,33 +701,39 @@ func (c *CPU) issue() {
 				}
 			}
 		case isa.Load:
-			// Address generation occupies an integer unit for one cycle
-			// (21264-style: memory ops issue down the integer pipes), and
-			// the access needs a cache port.
-			if ports > 0 && !intFull {
-				if _, ok := c.fus.tryAllocate(c.cycle, LatAGU); ok {
+			// Address generation occupies an AGU-class unit for one cycle
+			// (by default the integer pipes, 21264-style), and the access
+			// needs a cache port.
+			if ports > 0 && !aguFull {
+				if _, ok := c.agu.tryAllocate(c.cycle, LatAGU); ok {
 					ports--
 					c.schedule(int(idx), c.loadLatency(e.inst))
 					issued = true
 				} else {
-					intFull = true
+					aguFull = true
+					if sharedAGU {
+						aluFull = true
+					}
 				}
 			}
 		case isa.Store:
-			if ports > 0 && !intFull {
-				if _, ok := c.fus.tryAllocate(c.cycle, LatAGU); ok {
+			if ports > 0 && !aguFull {
+				if _, ok := c.agu.tryAllocate(c.cycle, LatAGU); ok {
 					ports--
 					pen := c.dtlb.Access(e.inst.Addr)
 					c.storeAddrKnown(e)
 					c.schedule(int(idx), LatAGU+pen)
 					issued = true
 				} else {
-					intFull = true
+					aguFull = true
+					if sharedAGU {
+						aluFull = true
+					}
 				}
 			}
 		case isa.FPALU:
 			if !fpaluFull {
-				if c.fpalu.tryAllocate(c.cycle, LatFPALU) {
+				if _, ok := c.fpalu.tryAllocate(c.cycle, LatFPALU); ok {
 					c.schedule(int(idx), LatFPALU)
 					c.fpIQCount--
 					issued = true
@@ -700,7 +743,7 @@ func (c *CPU) issue() {
 			}
 		case isa.FPMult:
 			if !fpmultFull {
-				if c.fpmult.tryAllocate(c.cycle, LatFPMult) {
+				if _, ok := c.fpmult.tryAllocate(c.cycle, LatFPMult); ok {
 					c.schedule(int(idx), LatFPMult)
 					c.fpIQCount--
 					issued = true
@@ -710,7 +753,7 @@ func (c *CPU) issue() {
 			}
 		case isa.FPDiv:
 			if !fpmultFull {
-				if c.fpmult.tryAllocate(c.cycle, LatFPDiv) {
+				if _, ok := c.fpmult.tryAllocate(c.cycle, LatFPDiv); ok {
 					c.schedule(int(idx), LatFPDiv)
 					c.fpIQCount--
 					issued = true

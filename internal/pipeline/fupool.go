@@ -1,24 +1,39 @@
 package pipeline
 
-import "github.com/archsim/fusleep/internal/stats"
-
-// fuPool models the integer functional units under study. Operations are
-// allocated round-robin across the units, as in the paper's methodology
-// ("we allocate operations to the set of functional units in round robin
-// fashion"), and each unit's busy/idle activity is recorded cycle by cycle.
-type fuPool struct {
+// classPool models one functional-unit class of the machine. Operations are
+// allocated round-robin across the class's units, as in the paper's
+// methodology ("we allocate operations to the set of functional units in
+// round robin fashion"), and each unit's busy/idle activity is recorded
+// cycle by cycle so every class — not just the integer ALUs — yields the
+// idle-interval profiles the per-class energy study needs.
+//
+// Round-robin start position only affects which of the currently-free units
+// is taken, never whether an allocation succeeds now or later (free units
+// are interchangeable for future availability), so the multiplier and FP
+// pools — previously first-free scans without recording — keep identical
+// timing under this pool.
+//
+// Recording is inlined into tick rather than delegated to
+// stats.RunRecorder: every pool of the machine now ticks every cycle, and
+// the per-unit method call was measurable on the hot loop.
+type classPool struct {
 	busyUntil []uint64
 	rr        int
-	rec       []*stats.RunRecorder
+
+	active    []uint64
+	idleRun   []int
+	intervals []map[int]uint64
 }
 
-func newFUPool(n int) *fuPool {
-	p := &fuPool{
+func newClassPool(n int) *classPool {
+	p := &classPool{
 		busyUntil: make([]uint64, n),
-		rec:       make([]*stats.RunRecorder, n),
+		active:    make([]uint64, n),
+		idleRun:   make([]int, n),
+		intervals: make([]map[int]uint64, n),
 	}
-	for i := range p.rec {
-		p.rec[i] = stats.NewRunRecorder()
+	for i := range p.intervals {
+		p.intervals[i] = make(map[int]uint64)
 	}
 	return p
 }
@@ -26,7 +41,7 @@ func newFUPool(n int) *fuPool {
 // tryAllocate finds a unit free at cycle now, scanning round-robin from the
 // unit after the last allocation. It returns the unit index and marks it
 // busy for lat cycles.
-func (p *fuPool) tryAllocate(now uint64, lat int) (int, bool) {
+func (p *classPool) tryAllocate(now uint64, lat int) (int, bool) {
 	n := len(p.busyUntil)
 	for i := 0; i < n; i++ {
 		idx := (p.rr + i) % n
@@ -41,33 +56,40 @@ func (p *fuPool) tryAllocate(now uint64, lat int) (int, bool) {
 
 // tick records each unit's activity for cycle now; call exactly once per
 // simulated cycle after issue.
-func (p *fuPool) tick(now uint64) {
+func (p *classPool) tick(now uint64) {
 	for i, bu := range p.busyUntil {
-		p.rec[i].Tick(bu > now)
+		if bu > now {
+			p.active[i]++
+			if run := p.idleRun[i]; run > 0 {
+				p.intervals[i][run]++
+				p.idleRun[i] = 0
+			}
+		} else {
+			p.idleRun[i]++
+		}
 	}
 }
 
 // flush closes trailing idle intervals at end of simulation.
-func (p *fuPool) flush() {
-	for _, r := range p.rec {
-		r.Flush()
-	}
-}
-
-// unitPool is a simple occupancy model for non-tracked units (multiplier,
-// FP): each unit is busy until a cycle; allocation takes the first free.
-type unitPool struct {
-	busyUntil []uint64
-}
-
-func newUnitPool(n int) *unitPool { return &unitPool{busyUntil: make([]uint64, n)} }
-
-func (p *unitPool) tryAllocate(now uint64, lat int) bool {
-	for i := range p.busyUntil {
-		if p.busyUntil[i] <= now {
-			p.busyUntil[i] = now + uint64(lat)
-			return true
+func (p *classPool) flush() {
+	for i, run := range p.idleRun {
+		if run > 0 {
+			p.intervals[i][run]++
+			p.idleRun[i] = 0
 		}
 	}
-	return false
+}
+
+// profiles snapshots the pool's per-unit activity into self-contained
+// FUProfiles (interval maps copied).
+func (p *classPool) profiles() []FUProfile {
+	out := make([]FUProfile, len(p.busyUntil))
+	for i := range out {
+		iv := make(map[int]uint64, len(p.intervals[i]))
+		for l, n := range p.intervals[i] {
+			iv[l] = n
+		}
+		out[i] = FUProfile{ActiveCycles: p.active[i], Intervals: iv}
+	}
+	return out
 }

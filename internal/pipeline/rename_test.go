@@ -97,8 +97,8 @@ func TestRenamerConservationUnderChurn(t *testing.T) {
 	}
 }
 
-func TestFUPoolRoundRobin(t *testing.T) {
-	p := newFUPool(3)
+func TestClassPoolRoundRobin(t *testing.T) {
+	p := newClassPool(3)
 	// Three allocations in one cycle land on three distinct units.
 	seen := map[int]bool{}
 	for i := 0; i < 3; i++ {
@@ -121,8 +121,8 @@ func TestFUPoolRoundRobin(t *testing.T) {
 	}
 }
 
-func TestFUPoolBusySpan(t *testing.T) {
-	p := newFUPool(1)
+func TestClassPoolBusySpan(t *testing.T) {
+	p := newClassPool(1)
 	if _, ok := p.tryAllocate(5, 3); !ok {
 		t.Fatal("allocation failed")
 	}
@@ -136,36 +136,39 @@ func TestFUPoolBusySpan(t *testing.T) {
 	}
 }
 
-func TestFUPoolTickRecordsActivity(t *testing.T) {
-	p := newFUPool(2)
+func TestClassPoolTickRecordsActivity(t *testing.T) {
+	p := newClassPool(2)
 	p.tryAllocate(0, 2) // unit busy cycles 0-1
 	p.tick(0)
 	p.tick(1)
 	p.tick(2)
 	p.flush()
 	var active uint64
-	for _, rec := range p.rec {
-		active += rec.ActiveCycles()
+	for _, a := range p.active {
+		active += a
 	}
 	if active != 2 {
 		t.Errorf("recorded %d active unit-cycles, want 2", active)
 	}
-	for i, rec := range p.rec {
-		if rec.TotalCycles() != 3 {
-			t.Errorf("unit %d covers %d of 3 cycles", i, rec.TotalCycles())
+	for i, prof := range p.profiles() {
+		if got := prof.ActiveCycles + prof.IdleCycles(); got != 3 {
+			t.Errorf("unit %d covers %d of 3 cycles", i, got)
 		}
 	}
 }
 
-func TestUnitPoolFirstFree(t *testing.T) {
-	p := newUnitPool(2)
-	if !p.tryAllocate(0, 5) || !p.tryAllocate(0, 5) {
-		t.Fatal("two units should allocate")
+func TestClassPoolExhaustion(t *testing.T) {
+	p := newClassPool(2)
+	if _, ok := p.tryAllocate(0, 5); !ok {
+		t.Fatal("first unit should allocate")
 	}
-	if p.tryAllocate(1, 5) {
+	if _, ok := p.tryAllocate(0, 5); !ok {
+		t.Fatal("second unit should allocate")
+	}
+	if _, ok := p.tryAllocate(1, 5); ok {
 		t.Error("both busy, allocation should fail")
 	}
-	if !p.tryAllocate(5, 5) {
+	if _, ok := p.tryAllocate(5, 5); !ok {
 		t.Error("unit should free at its busy-until cycle")
 	}
 }

@@ -3,11 +3,12 @@ package pipeline
 import (
 	"github.com/archsim/fusleep/internal/bpred"
 	"github.com/archsim/fusleep/internal/cache"
+	"github.com/archsim/fusleep/internal/fu"
 	"github.com/archsim/fusleep/internal/tlb"
 )
 
-// FUProfile is the measured activity of one integer functional unit: the
-// raw material of the paper's energy accounting (Section 4).
+// FUProfile is the measured activity of one functional unit: the raw
+// material of the paper's energy accounting (Section 4).
 type FUProfile struct {
 	// ActiveCycles is the number of cycles the unit executed an operation.
 	ActiveCycles uint64
@@ -33,13 +34,22 @@ func (p FUProfile) Utilization() float64 {
 	return float64(p.ActiveCycles) / float64(tot)
 }
 
+// ClassProfile is the measured activity of one functional-unit class: one
+// profile per unit of the class's pool.
+type ClassProfile struct {
+	Class fu.Class    `json:"class"`
+	Units []FUProfile `json:"units"`
+}
+
 // Result summarizes one simulation run.
 type Result struct {
 	Cycles    uint64
 	Committed uint64
 	Fetched   uint64
 
-	// FUs holds one profile per integer functional unit.
+	// FUs holds one profile per integer functional unit — the legacy view
+	// of the IntALU class, kept so single-pool consumers and the
+	// pre-refactor golden captures read unchanged.
 	FUs []FUProfile
 
 	Bpred bpred.Stats
@@ -56,6 +66,23 @@ type Result struct {
 	FetchMispredictStalls uint64
 	// ClassCounts tallies committed instructions by class index.
 	ClassCounts [16]uint64
+
+	// Classes holds the per-class activity profiles in fu.Class order. The
+	// AGU class appears only when the machine has a dedicated AGU pool;
+	// with the default shared configuration its activity lands in the
+	// IntALU profiles, exactly as the single-pool model measured it.
+	Classes []ClassProfile
+}
+
+// UnitsFor returns the class's per-unit profiles, or nil when the class has
+// no pool of its own (AGU on a shared-port machine).
+func (r Result) UnitsFor(c fu.Class) []FUProfile {
+	for _, cp := range r.Classes {
+		if cp.Class == c {
+			return cp.Units
+		}
+	}
+	return nil
 }
 
 // IPC returns committed instructions per cycle.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/pipeline"
 	"github.com/archsim/fusleep/internal/report"
 )
 
@@ -33,6 +34,25 @@ type SweepRequest struct {
 	// FUCounts lists integer-ALU counts; 0 means the paper's per-benchmark
 	// Table 3 counts.
 	FUCounts []int `json:"fuCounts,omitempty"`
+	// AGUCounts, MultCounts, FPALUCounts, FPMultCounts are the per-class
+	// unit-count axes; 0 in a list means the Table 2 default for that
+	// class.
+	AGUCounts    []int `json:"aguCounts,omitempty"`
+	MultCounts   []int `json:"multCounts,omitempty"`
+	FPALUCounts  []int `json:"fpaluCounts,omitempty"`
+	FPMultCounts []int `json:"fpmultCounts,omitempty"`
+	// Classes lists the functional-unit classes every cell accounts energy
+	// for, by name ("intalu", "agu", "mult", "fpalu", "fpmult"); empty
+	// keeps the paper's single-pool IntALU view.
+	Classes []string `json:"classes,omitempty"`
+	// Assignments lists per-class policy assignments to score, each an
+	// object keyed by class name, e.g.
+	// {"intalu": {"policy": "GradualSleep", "slices": 4},
+	//  "fpalu":  {"policy": "MaxSleep"}}.
+	Assignments []fusleep.Assignment `json:"assignments,omitempty"`
+	// ClassTechs overrides the technology point per class in every cell,
+	// keyed by class name.
+	ClassTechs map[string]TechSpec `json:"classTechs,omitempty"`
 	// Benchmarks restricts the suite.
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Alpha is the activity factor.
@@ -75,14 +95,45 @@ func (s TechSpec) tech(def fusleep.Tech) fusleep.Tech {
 // cell evaluator would otherwise only reject after simulation started.
 func (req SweepRequest) grid(maxWindow uint64) (fusleep.Grid, error) {
 	g := fusleep.Grid{
-		Policies:   req.Policies,
-		FUCounts:   req.FUCounts,
-		Benchmarks: req.Benchmarks,
-		Alpha:      req.Alpha,
-		L2Latency:  req.L2Latency,
-		Window:     req.Window,
+		Policies:     req.Policies,
+		Assignments:  req.Assignments,
+		FUCounts:     req.FUCounts,
+		AGUCounts:    req.AGUCounts,
+		MultCounts:   req.MultCounts,
+		FPALUCounts:  req.FPALUCounts,
+		FPMultCounts: req.FPMultCounts,
+		Benchmarks:   req.Benchmarks,
+		Alpha:        req.Alpha,
+		L2Latency:    req.L2Latency,
+		Window:       req.Window,
 	}
 	def := fusleep.DefaultTech()
+	for _, name := range req.Classes {
+		cl, err := fusleep.ParseFUClass(name)
+		if err != nil {
+			return fusleep.Grid{}, err
+		}
+		g.Classes = append(g.Classes, cl)
+	}
+	for _, a := range req.Assignments {
+		if err := a.Validate(); err != nil {
+			return fusleep.Grid{}, err
+		}
+	}
+	if len(req.ClassTechs) > 0 {
+		g.ClassTechs = make(map[fusleep.FUClass]fusleep.Tech, len(req.ClassTechs))
+		for name, spec := range req.ClassTechs {
+			cl, err := fusleep.ParseFUClass(name)
+			if err != nil {
+				return fusleep.Grid{}, err
+			}
+			t := spec.tech(def)
+			if err := t.Validate(); err != nil {
+				return fusleep.Grid{}, err
+			}
+			g.ClassTechs[cl] = t
+		}
+	}
 	for _, spec := range req.Techs {
 		g.Techs = append(g.Techs, spec.tech(def))
 	}
@@ -142,6 +193,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/optimize/{id}", s.handleTuneCancel)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
@@ -168,12 +220,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad sweep grid: %v", err)
 		return
 	}
+	// Bound the grid's cardinality BEFORE expansion: the seven axes
+	// multiply, so a small request body can describe an astronomically
+	// large grid, and expanding it first would allocate (or overflow the
+	// preallocation size) before the limit check ever ran. The product is
+	// checked axis by axis, so it is rejected long before it can overflow.
+	bound := 1
+	for _, n := range []int{
+		len(req.Policies) + len(req.Assignments), len(req.Techs) + len(req.Ps),
+		len(req.FUCounts), len(req.AGUCounts), len(req.MultCounts),
+		len(req.FPALUCounts), len(req.FPMultCounts),
+	} {
+		bound *= max(n, 1)
+		if bound > s.cfg.MaxCells {
+			s.rejected.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"grid describes at least %d cells; the service limit is %d", bound, s.cfg.MaxCells)
+			return
+		}
+	}
 	cells := s.eng.Cells(g)
 	if len(cells) > s.cfg.MaxCells {
 		s.rejected.Add(1)
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"grid expands to %d cells; the service limit is %d", len(cells), s.cfg.MaxCells)
 		return
+	}
+	// Validate every cell up front so a bad class/assignment combination
+	// (e.g. studying the AGU class on a shared-port machine point) is a 400
+	// at submit instead of a failed job after simulation started.
+	for i, c := range cells {
+		if err := c.Validate(); err != nil {
+			s.rejected.Add(1)
+			writeError(w, http.StatusBadRequest, "bad sweep grid: cell %d: %v", i, err)
+			return
+		}
 	}
 	job := newSweepJob(context.Background(), s.nextID("s"), cells)
 	if err := s.submit(job.id, job, func() { s.feed(job) }); err != nil {
@@ -331,6 +412,30 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		{Name: fusleep.SleepTimeout.String(), Causal: true, Desc: "sleep after a threshold idle timeout (breakeven default)",
 			Params: []string{"timeout"}},
 		{Name: fusleep.OracleMinimal.String(), Causal: false, Desc: "per-interval oracle: cheaper of sleeping or idling"},
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// classInfo describes one functional-unit class on the wire.
+type classInfo struct {
+	Name string `json:"name"`
+	// DefaultUnits is the Table 2 unit count; 0 means the class has no
+	// dedicated pool by default (AGU shares the integer ALU ports until a
+	// positive aguCounts/agus provisions one).
+	DefaultUnits int    `json:"defaultUnits"`
+	Desc         string `json:"desc"`
+}
+
+func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
+	// Counts come from the simulator's actual defaults so the endpoint
+	// cannot drift from the Table 2 machine.
+	def := pipeline.DefaultConfig()
+	out := []classInfo{
+		{Name: fusleep.FUIntALU.String(), DefaultUnits: def.IntALUs, Desc: "single-cycle integer ALUs (the units under study)"},
+		{Name: fusleep.FUAGU.String(), DefaultUnits: def.AGUs, Desc: "address generation; shares the IntALU ports unless provisioned"},
+		{Name: fusleep.FUMult.String(), DefaultUnits: def.IntMults, Desc: "integer multiply/divide"},
+		{Name: fusleep.FUFPALU.String(), DefaultUnits: def.FPALUs, Desc: "FP add/compare"},
+		{Name: fusleep.FUFPMult.String(), DefaultUnits: def.FPMults, Desc: "FP multiply/divide"},
 	}
 	writeJSON(w, http.StatusOK, out)
 }

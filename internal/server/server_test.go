@@ -352,6 +352,31 @@ func TestDrainCompletesQueuedCells(t *testing.T) {
 	}
 }
 
+// TestOversizedGridRejectedBeforeExpansion pins the pre-expansion
+// cardinality bound: a small request body whose seven axes multiply into
+// an astronomical grid must be a fast 413, not an expansion-then-check
+// (which would allocate the cell list first).
+func TestOversizedGridRejectedBeforeExpansion(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxCells: 64})
+	axis := make([]string, 200)
+	for i := range axis {
+		axis[i] = fmt.Sprintf("%d", i+1)
+	}
+	list := "[" + strings.Join(axis, ",") + "]"
+	body := fmt.Sprintf(`{"fuCounts": %s, "multCounts": %s, "fpaluCounts": %s, "fpmultCounts": %s, "aguCounts": %s}`,
+		list, list, list, list, list) // 200^5 * 4 default policies >> 64
+	start := time.Now()
+	resp := postSweep(t, ts.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("oversized grid: got %s: %s", resp.Status, b)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("rejection took %v; the bound must run before expansion", d)
+	}
+}
+
 func TestRegistryEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
@@ -393,6 +418,28 @@ func TestRegistryEndpoints(t *testing.T) {
 	}
 	if got := names["GradualSleep"]; len(got) != 1 || got[0] != "slices" {
 		t.Errorf("GradualSleep params = %v, want [slices]", got)
+	}
+
+	cresp, err := http.Get(ts.URL + "/v1/classes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var classes []classInfo
+	if err := json.NewDecoder(cresp.Body).Decode(&classes); err != nil {
+		t.Fatal(err)
+	}
+	classNames := map[string]classInfo{}
+	for _, c := range classes {
+		classNames[c.Name] = c
+	}
+	for _, want := range []string{"intalu", "agu", "mult", "fpalu", "fpmult"} {
+		if _, ok := classNames[want]; !ok {
+			t.Errorf("class %q missing from /v1/classes", want)
+		}
+	}
+	if classNames["agu"].DefaultUnits != 0 {
+		t.Errorf("agu advertises %d default units, want 0 (shared)", classNames["agu"].DefaultUnits)
 	}
 
 	// Unknown sweep ids are a clean 404.

@@ -37,6 +37,17 @@ type TuneRequest struct {
 	Alpha      float64    `json:"alpha,omitempty"`
 	L2Latency  int        `json:"l2Latency,omitempty"`
 	Window     uint64     `json:"window,omitempty"`
+	// Classes widens the search to per-class policy assignments over the
+	// named functional-unit classes (plus a final composition round);
+	// empty keeps the single-pool IntALU search.
+	Classes []string `json:"classes,omitempty"`
+	// AGUs, Mults, FPALUs, FPMults fix the machine's per-class unit counts
+	// for every candidate (0 = Table 2 defaults). A dedicated AGU pool is
+	// required before "agu" is searchable.
+	AGUs    int `json:"agus,omitempty"`
+	Mults   int `json:"mults,omitempty"`
+	FPALUs  int `json:"fpalus,omitempty"`
+	FPMults int `json:"fpmults,omitempty"`
 	// MaxEvals bounds distinct cell evaluations (default 64, capped by the
 	// service's MaxCells); Rounds bounds refinement rounds (default 4).
 	MaxEvals int `json:"maxEvals,omitempty"`
@@ -59,6 +70,10 @@ func (req TuneRequest) options(cfg Config) ([]fusleep.TuneOption, int, error) {
 	}
 	sp := fusleep.TuneSpace{
 		FUCounts:   req.FUCounts,
+		AGUs:       req.AGUs,
+		Mults:      req.Mults,
+		FPALUs:     req.FPALUs,
+		FPMults:    req.FPMults,
 		Benchmarks: req.Benchmarks,
 		Alpha:      req.Alpha,
 		L2Latency:  req.L2Latency,
@@ -70,6 +85,16 @@ func (req TuneRequest) options(cfg Config) ([]fusleep.TuneOption, int, error) {
 			return nil, 0, err
 		}
 		sp.Policies = append(sp.Policies, p)
+	}
+	for _, name := range req.Classes {
+		cl, err := fusleep.ParseFUClass(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		sp.Classes = append(sp.Classes, cl)
+	}
+	if err := sp.WithDefaults(fusleep.DefaultTech(), 1).Validate(); err != nil {
+		return nil, 0, err
 	}
 	if req.TimeoutRange != nil {
 		sp.TimeoutRange = *req.TimeoutRange
