@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Path      string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Files     []*ast.File
+
+	diags      []Diagnostic
+	directives *Directives
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Directives returns the package's parsed //fusleepvet: directives,
+// computing them on first use.
+func (p *Pass) Directives() *Directives {
+	if p.directives == nil {
+		p.directives = newDirectives(p.Fset, p.Files)
+	}
+	return p.directives
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the one-paragraph description shown by the multichecker.
+	Doc string
+	// Applies reports whether the analyzer has anything to say about a
+	// package; nil means it applies everywhere. Drivers consult it before
+	// running.
+	Applies func(importPath string) bool
+	// Run performs the check, reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer should run on the package.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	return a.Applies == nil || a.Applies(importPath)
+}
+
+// RunAnalyzers executes each applicable analyzer over the package and
+// returns the combined diagnostics in position order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Files:     pkg.Files,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// DirectivePrefix introduces every fusleepvet control comment.
+const DirectivePrefix = "fusleepvet:"
+
+// Directive names.
+const (
+	DirHotpath     = "hotpath"      // hotalloc: analyze this function
+	DirUnorderedOK = "unordered-ok" // detrange: suppress
+	DirNondetOK    = "nondet-ok"    // detsource: suppress
+	DirAllocOK     = "alloc-ok"     // hotalloc: suppress
+	DirCtxOK       = "ctx-ok"       // ctxflow: suppress
+)
+
+// Directives indexes a package's //fusleepvet: comments by file and line.
+type Directives struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> directive names on that line.
+	byLine map[string]map[int][]string
+}
+
+func newDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				name, _, _ := strings.Cut(strings.TrimPrefix(text, DirectivePrefix), " ")
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return d
+}
+
+// at reports whether the named directive sits exactly on the given
+// file:line.
+func (d *Directives) at(filename string, line int, name string) bool {
+	for _, n := range d.byLine[filename][line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressed reports whether the named directive covers pos: the directive
+// may sit at the end of the same source line or alone on the line above.
+func (d *Directives) Suppressed(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	return d.at(p.Filename, p.Line, name) || d.at(p.Filename, p.Line-1, name)
+}
+
+// FuncMarked reports whether the function declaration carries the named
+// directive, in its doc comment or on the line above its declaration.
+func (d *Directives) FuncMarked(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, DirectivePrefix) {
+				n, _, _ := strings.Cut(strings.TrimPrefix(text, DirectivePrefix), " ")
+				if n == name {
+					return true
+				}
+			}
+		}
+	}
+	return d.Suppressed(fn.Pos(), name)
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+// doc comment
+//fusleepvet:hotpath
+func Marked() {
+	//fusleepvet:alloc-ok amortized
+	x := alloc()
+	y := alloc() //fusleepvet:alloc-ok trailing form
+
+	_, _ = x, y
+}
+
+func Unmarked() {}
+
+func alloc() int { return 0 }
+`
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestDirectives(t *testing.T) {
+	fset, f := parseOne(t, directiveSrc)
+	d := newDirectives(fset, []*ast.File{f})
+
+	var marked, unmarked *ast.FuncDecl
+	var stmts []ast.Stmt
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		switch fn.Name.Name {
+		case "Marked":
+			marked = fn
+			stmts = fn.Body.List
+		case "Unmarked":
+			unmarked = fn
+		}
+	}
+
+	if !d.FuncMarked(marked, DirHotpath) {
+		t.Error("Marked: doc-comment directive not detected")
+	}
+	if d.FuncMarked(unmarked, DirHotpath) {
+		t.Error("Unmarked: spurious hotpath mark")
+	}
+	// Line-above form covers the first statement; trailing form the second.
+	if !d.Suppressed(stmts[0].Pos(), DirAllocOK) {
+		t.Error("line-above alloc-ok not detected")
+	}
+	if !d.Suppressed(stmts[1].Pos(), DirAllocOK) {
+		t.Error("trailing alloc-ok not detected")
+	}
+	// The wrong directive name never suppresses.
+	if d.Suppressed(stmts[0].Pos(), DirNondetOK) {
+		t.Error("alloc-ok suppressed a nondet-ok query")
+	}
+	// A directive reaches at most one line down; past that it lapses.
+	if d.Suppressed(stmts[2].Pos(), DirAllocOK) {
+		t.Error("alloc-ok leaked two lines down")
+	}
+}
+
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		path     string
+		det, sim bool
+	}{
+		{ModulePath, true, false},
+		{ModulePath + "/internal/core", true, true},
+		{ModulePath + "/internal/report", true, false},
+		{ModulePath + "/internal/workload", false, true},
+		{ModulePath + "/internal/server", false, false},
+		{ModulePath + "/internal/analysis", false, false},
+		{ModulePath + "/internal/core/somefixture", true, true},
+		{"example.com/other", false, false},
+	}
+	for _, c := range cases {
+		if got := IsDeterminismCritical(c.path); got != c.det {
+			t.Errorf("IsDeterminismCritical(%s) = %v, want %v", c.path, got, c.det)
+		}
+		if got := IsSimulationPath(c.path); got != c.sim {
+			t.Errorf("IsSimulationPath(%s) = %v, want %v", c.path, got, c.sim)
+		}
+	}
+}

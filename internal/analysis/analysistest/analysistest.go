@@ -1,0 +1,116 @@
+// Package analysistest runs fusleepvet analyzers over fixture packages and
+// checks their diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's own framework.
+//
+// A fixture is a directory of Go files. Expectations are trailing line
+// comments of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// Each quoted string is a regular expression that must match the message
+// of one diagnostic reported on that line; lines without a want comment
+// must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/analysis"
+)
+
+// wantRe matches one quoted expectation inside a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// moduleDir locates the repository root (the directory holding go.mod) so
+// fixture loads resolve imports through the module's go tool context.
+func moduleDir(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller")
+	}
+	// file = <repo>/internal/analysis/analysistest/analysistest.go
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// Run loads the fixture directory under the given import path, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// fixture's want comments. The import path decides Analyzer.Applies, so
+// fixtures can claim determinism-critical or simulation-path identities.
+func Run(t *testing.T, fixtureDir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	root := moduleDir(t)
+	if !filepath.IsAbs(fixtureDir) {
+		fixtureDir = filepath.Join(root, fixtureDir)
+	}
+	pkg, err := analysis.LoadDir(root, fixtureDir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if !a.AppliesTo(asPath) {
+		t.Fatalf("analyzer %s does not apply to %s; fix the fixture's import path", a.Name, asPath)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", position(pkg.Fset, d.Pos), d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/archsim/fusleep/internal/analysis"
+	"github.com/archsim/fusleep/internal/analysis/analysistest"
+	"github.com/archsim/fusleep/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t,
+		"internal/analysis/ctxflow/testdata/fixture",
+		analysis.ModulePath+"/internal/server/ctxflowfixture",
+		ctxflow.Analyzer)
+}

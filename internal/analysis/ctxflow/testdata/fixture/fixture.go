@@ -1,0 +1,55 @@
+// Package fixture exercises the ctxflow analyzer: dropping an in-scope
+// context for context.Background(), and exported Engine/Runner/Server
+// entry points that call cancellable work without accepting a context.
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+// Engine is a long-running entry-point type by naming convention.
+type Engine struct{}
+
+func (e *Engine) search(ctx context.Context) error { return ctx.Err() }
+
+// Run threads its context: fine.
+func (e *Engine) Run(ctx context.Context) error { return e.search(ctx) }
+
+// Sweep calls cancellable work but cannot itself be cancelled.
+func (e *Engine) Sweep() error { // want "exported Engine.Sweep calls context-accepting e.search but takes no context.Context"
+	return e.search(context.Background())
+}
+
+// Detach launches deliberately detached work and says so.
+//
+//fusleepvet:ctx-ok background maintenance outlives any caller by design
+func (e *Engine) Detach() error {
+	return e.search(context.Background())
+}
+
+// Relay has a context in scope but drops it.
+func Relay(ctx context.Context, e *Engine) error {
+	return e.search(context.Background()) // want "context.Background passed to e.search detaches it from cancellation while the context parameter is in scope"
+}
+
+// Spawn detaches one call site with a justification.
+func Spawn(ctx context.Context, e *Engine) error {
+	//fusleepvet:ctx-ok sweep job outlives the request
+	return e.search(context.Background())
+}
+
+// ServeSweep has the request context in scope but drops it.
+func ServeSweep(w http.ResponseWriter, r *http.Request, e *Engine) {
+	_ = e.search(context.Background()) // want "context.Background passed to e.search detaches it from cancellation while r.Context"
+}
+
+// Cache is not an entry-point type; its exported methods may rely on their
+// callers' contexts.
+type Cache struct{}
+
+// Flush is exported but Cache is not an Engine/Runner/Server.
+func (c *Cache) Flush(e *Engine) error { return e.search(context.Background()) }
+
+// helper is unexported: internal plumbing is the caller's responsibility.
+func helper(e *Engine) error { return e.search(context.Background()) }

@@ -1,0 +1,250 @@
+// Package detrange flags `range` statements over maps whose bodies emit
+// order-dependent results inside determinism-critical packages. Go
+// randomizes map iteration order per run, so a map range that appends to a
+// rendered slice, writes to an io.Writer or hash, accumulates
+// floating-point sums, or returns a value derived from the iteration
+// produces byte-different output run to run — the exact failure mode the
+// golden determinism tests and the stable Cell.Key contract exist to
+// prevent. Sort the keys first (a subsequent sort of the appended slice
+// also satisfies the check) or annotate the loop //fusleepvet:unordered-ok
+// with a justification.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/archsim/fusleep/internal/analysis"
+)
+
+// Analyzer is the detrange pass.
+var Analyzer = &analysis.Analyzer{
+	Name:    "detrange",
+	Doc:     "flag map iteration with order-dependent effects in determinism-critical packages",
+	Applies: analysis.IsDeterminismCritical,
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || analysis.MapType(tv.Type) == nil {
+				return true
+			}
+			if pass.Directives().Suppressed(rs.Pos(), analysis.DirUnorderedOK) {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingFuncBody(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost function enclosing
+// the top of the stack, used to look for post-loop sorts.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// loopVarObjects collects the type objects of the range's key/value
+// variables, so order-dependent returns can be told apart from existence
+// checks that return constants.
+func loopVarObjects(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	loopVars := loopVarObjects(pass, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tgt := appendTarget(pass, n); tgt != nil {
+				if !sortedAfter(pass, funcBody, rs, tgt) {
+					pass.Reportf(n.Pos(),
+						"append to %q inside range over map: emission order follows map iteration order; sort the keys first, sort %q afterwards, or annotate //fusleepvet:unordered-ok",
+						tgt.Name(), tgt.Name())
+				}
+				return true
+			}
+			if name, ok := orderedEmissionCall(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s inside range over map writes in map iteration order; iterate sorted keys or annotate //fusleepvet:unordered-ok", name)
+			}
+		case *ast.AssignStmt:
+			checkFloatAccumulation(pass, n)
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 || len(loopVars) == 0 {
+				return true
+			}
+			if referencesAny(pass, n, loopVars) {
+				pass.Reportf(n.Pos(),
+					"return inside range over map depends on which entry iterated first; iterate sorted keys or annotate //fusleepvet:unordered-ok")
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside range over map delivers in map iteration order; iterate sorted keys or annotate //fusleepvet:unordered-ok")
+		case *ast.FuncLit:
+			// A nested function literal defers execution; its body's effects
+			// are not this loop's iteration-order effects.
+			return false
+		}
+		return true
+	})
+}
+
+// appendTarget returns the object of x in `x = append(x, ...)` (or x :=),
+// nil when call is not a self-append to a plain identifier.
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[dst]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[dst]
+}
+
+// emissionMethods are method names whose call inside an unordered loop
+// means ordered byte emission: writers, hashes, and streaming encoders.
+var emissionMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true, "AddRow": true, "AddPoint": true,
+}
+
+// orderedEmissionCall reports calls that emit ordered output: fmt printing
+// and writer/hash/encoder methods (including the report package's AddRow/
+// AddPoint, whose rows render in insertion order).
+func orderedEmissionCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !emissionMethods[sel.Sel.Name] {
+		return "", false
+	}
+	// Package-level fmt.* / io.WriteString style calls.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			switch pkg.Imported().Path() {
+			case "fmt", "io":
+				return "call to " + pkg.Imported().Path() + "." + sel.Sel.Name, true
+			default:
+				return "", false
+			}
+		}
+	}
+	// Method calls on writers/hashes/builders/encoders/tables.
+	return "call to method " + sel.Sel.Name, true
+}
+
+// checkFloatAccumulation flags compound floating-point accumulation, whose
+// rounding depends on summation order.
+func checkFloatAccumulation(pass *analysis.Pass, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if tv, ok := pass.TypesInfo.Types[lhs]; ok && analysis.IsFloat(tv.Type) {
+			pass.Reportf(as.Pos(),
+				"floating-point accumulation inside range over map is order-sensitive (FP addition does not associate); iterate sorted keys or annotate //fusleepvet:unordered-ok")
+			return
+		}
+	}
+}
+
+// referencesAny reports whether the node mentions any of the objects.
+func referencesAny(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortPackages are the packages whose calls count as sorting a slice.
+var sortPackages = map[string]bool{"sort": true, "slices": true}
+
+// sortedAfter reports whether, after the range statement in the same
+// function body, the appended-to object is passed to a sort.*/slices.*
+// call — the "append then sort" idiom that restores determinism.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || !sortPackages[pkg.Imported().Path()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ref, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[ref] == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

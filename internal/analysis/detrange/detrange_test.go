@@ -1,0 +1,27 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"github.com/archsim/fusleep/internal/analysis"
+	"github.com/archsim/fusleep/internal/analysis/analysistest"
+	"github.com/archsim/fusleep/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	// The fixture claims a determinism-critical import path so the
+	// analyzer's Applies predicate admits it.
+	analysistest.Run(t,
+		"internal/analysis/detrange/testdata/fixture",
+		analysis.ModulePath+"/internal/core/detrangefixture",
+		detrange.Analyzer)
+}
+
+func TestDetrangeScope(t *testing.T) {
+	if detrange.Analyzer.AppliesTo(analysis.ModulePath + "/internal/server") {
+		t.Error("detrange must not apply to internal/server (non-deterministic daemon plumbing)")
+	}
+	if !detrange.Analyzer.AppliesTo(analysis.ModulePath + "/internal/report") {
+		t.Error("detrange must apply to internal/report (rendered output)")
+	}
+}

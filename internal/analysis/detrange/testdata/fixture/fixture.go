@@ -1,0 +1,94 @@
+// Package fixture exercises the detrange analyzer: map ranges with
+// order-dependent effects must be flagged, the append-then-sort and
+// sorted-keys idioms must not, and //fusleepvet:unordered-ok suppresses.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Keys appends map keys without sorting: emission order leaks.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to .out. inside range over map"
+	}
+	return out
+}
+
+// SortedKeys appends then sorts — the sanctioned idiom, not flagged.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total accumulates floats in map iteration order.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation inside range over map"
+	}
+	return sum
+}
+
+// First returns whichever entry the runtime iterates first.
+func First(m map[string]int) (string, bool) {
+	for k := range m {
+		return k, true // want "return inside range over map"
+	}
+	return "", false
+}
+
+// Contains returns a constant: existence checks are order-free.
+func Contains(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Render emits bytes in map iteration order.
+func Render(w io.Writer, b *strings.Builder, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "call to fmt.Fprintf inside range over map"
+		b.WriteString(k)                // want "call to method WriteString"
+	}
+}
+
+// Feed delivers channel messages in map iteration order.
+func Feed(ch chan<- string, m map[string]int) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+// Checked is annotated: a population count is order-free.
+func Checked(m map[string]int) int {
+	n := 0
+	//fusleepvet:unordered-ok population count, order-free
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Deferred builds closures inside the range; their bodies run later and
+// are not this loop's iteration-order effects.
+func Deferred(m map[string]int) []func() string {
+	fns := make([]func() string, 0, len(m))
+	for k := range m {
+		k := k
+		fns = append(fns, func() string { return k })
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i]() < fns[j]() })
+	return fns
+}

@@ -1,0 +1,96 @@
+// Package detsource forbids nondeterministic inputs in simulation and
+// evaluation packages: wall-clock reads (time.Now), the shared unseeded
+// math/rand source (package-level rand.Intn and friends — rand.New with an
+// explicit rand.NewSource stays legal), and select statements racing
+// multiple channels (Go picks uniformly at random among ready cases).
+// Simulation results must be a pure function of their configuration; these
+// are the three stdlib backdoors that break that. Annotate a statement
+// //fusleepvet:nondet-ok with a justification when the nondeterminism is
+// provably benign (e.g. a cancellation race whose arms converge).
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/archsim/fusleep/internal/analysis"
+)
+
+// Analyzer is the detsource pass.
+var Analyzer = &analysis.Analyzer{
+	Name:    "detsource",
+	Doc:     "forbid wall clocks, the shared math/rand source, and multi-channel selects in simulation/eval paths",
+	Applies: analysis.IsSimulationPath,
+	Run:     run,
+}
+
+// seededConstructors are the math/rand package-level names that do not
+// touch the shared global source.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkg.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" && !pass.Directives().Suppressed(sel.Pos(), analysis.DirNondetOK) {
+			pass.Reportf(sel.Pos(),
+				"time.Now in a simulation/eval path makes results wall-clock dependent; derive timing from simulated cycles or annotate //fusleepvet:nondet-ok")
+		}
+	case "math/rand", "math/rand/v2":
+		if seededConstructors[sel.Sel.Name] {
+			return
+		}
+		// Only package-level functions and variables hit the shared source;
+		// type names (rand.Rand, rand.Source) are fine.
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if _, isFunc := obj.(*types.Func); !isFunc {
+			return
+		}
+		if pass.Directives().Suppressed(sel.Pos(), analysis.DirNondetOK) {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"package-level rand.%s uses the shared, unseeded math/rand source; use rand.New(rand.NewSource(seed)) threaded from the configuration, or annotate //fusleepvet:nondet-ok", sel.Sel.Name)
+	}
+}
+
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms < 2 {
+		return
+	}
+	if pass.Directives().Suppressed(sel.Pos(), analysis.DirNondetOK) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"select over %d channels resolves uniformly at random when several are ready; restructure for a deterministic priority or annotate //fusleepvet:nondet-ok", comms)
+}

@@ -1,0 +1,25 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"github.com/archsim/fusleep/internal/analysis"
+	"github.com/archsim/fusleep/internal/analysis/analysistest"
+	"github.com/archsim/fusleep/internal/analysis/detsource"
+)
+
+func TestDetsource(t *testing.T) {
+	analysistest.Run(t,
+		"internal/analysis/detsource/testdata/fixture",
+		analysis.ModulePath+"/internal/pipeline/detsourcefixture",
+		detsource.Analyzer)
+}
+
+func TestDetsourceScope(t *testing.T) {
+	if detsource.Analyzer.AppliesTo(analysis.ModulePath + "/internal/report") {
+		t.Error("detsource must not apply to internal/report (no simulation there)")
+	}
+	if !detsource.Analyzer.AppliesTo(analysis.ModulePath + "/internal/workload") {
+		t.Error("detsource must apply to internal/workload (trace generation)")
+	}
+}

@@ -1,0 +1,62 @@
+// Package fixture exercises the detsource analyzer: wall clocks, the
+// shared math/rand source, and multi-channel selects are flagged in
+// simulation paths; seeded sources and annotated sites are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a simulation/eval path"
+}
+
+// Roll draws from the shared, unseeded source.
+func Roll() int {
+	return rand.Intn(6) // want "package-level rand.Intn uses the shared, unseeded math/rand source"
+}
+
+// Seeded threads an explicit source: legal.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Race resolves uniformly at random when both channels are ready.
+func Race(a, b <-chan int) int {
+	select { // want "select over 2 channels"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Single polls one channel with a default arm: deterministic.
+func Single(a <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Shutdown is an annotated cancellation race whose arms converge.
+func Shutdown(done, cancel <-chan struct{}) {
+	//fusleepvet:nondet-ok cancellation race; both arms converge
+	select {
+	case <-done:
+	case <-cancel:
+	}
+}
+
+// Elapsed is annotated: a coarse log timestamp, not simulated time.
+func Elapsed() time.Time {
+	return time.Now() //fusleepvet:nondet-ok coarse log timestamp
+}
+
+// A Source type name from math/rand is not a draw from the shared source.
+var _ rand.Source

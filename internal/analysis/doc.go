@@ -1,0 +1,54 @@
+// Package analysis is the repo's domain-aware static-analysis suite: a
+// small, dependency-free reimplementation of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) plus the four
+// fusleepvet analyzers that mechanically enforce the invariants the rest of
+// the tree only checks after the fact with golden tests and benchmark
+// gates:
+//
+//   - detrange  — in determinism-critical packages, flags `range` over a
+//     map whose body emits ordered output (appends that are never sorted,
+//     writer/hash emission, order-dependent early returns, float
+//     accumulation), the root cause of golden-test flakes and unstable
+//     Cell.Key hashes.
+//   - detsource — in simulation/eval packages, forbids wall-clock reads
+//     (time.Now), the shared unseeded math/rand source, and select
+//     statements racing multiple channels.
+//   - hotalloc  — in functions annotated //fusleepvet:hotpath, reports
+//     per-cycle allocation hazards: fmt calls, string concatenation,
+//     heap-escaping composite literals, make, interface boxing, and
+//     appends to never-preallocated local slices.
+//   - ctxflow   — entry points (exported Engine/Runner/Server methods and
+//     HTTP handlers) must accept a context and pass it on: flags callees
+//     handed context.Background()/TODO() while a real context is in scope,
+//     and exported entry points that drop the context entirely.
+//
+// # Directives
+//
+// Analyzers honor line comments of the form //fusleepvet:<name>. A
+// suppression directive applies to the source line it sits on or the line
+// directly below it; //fusleepvet:hotpath applies to the function
+// declaration it documents.
+//
+//	//fusleepvet:hotpath       mark a function for hotalloc analysis
+//	//fusleepvet:unordered-ok  suppress detrange for one range statement
+//	//fusleepvet:nondet-ok     suppress detsource for one statement
+//	//fusleepvet:alloc-ok      suppress hotalloc for one line
+//	//fusleepvet:ctx-ok        suppress ctxflow for one call or function
+//
+// Every suppression should carry a justification after the directive, e.g.
+// //fusleepvet:nondet-ok cancellation race is benign: both arms converge.
+//
+// # Running
+//
+// The multichecker binary lives in cmd/fusleepvet:
+//
+//	go run ./cmd/fusleepvet ./...                     # all analyzers; exit 2 on findings
+//	go run ./cmd/fusleepvet -checks=detrange ./...    # a subset
+//	go run ./cmd/fusleepvet -list                     # name + doc per analyzer
+//
+// The loader shells out to `go list -export` for package metadata and
+// export data and reads it back through the gc importer, so it needs no
+// network and no modules beyond the standard library. Analyzer unit tests
+// load fixture directories through the same path and check diagnostics
+// against `// want "regexp"` comments; see the analysistest subpackage.
+package analysis

@@ -1,0 +1,303 @@
+// Package hotalloc audits functions annotated //fusleepvet:hotpath — the
+// per-cycle pipeline loops and FU-pool allocation paths whose allocation
+// budget the BENCH_pipeline.json benchgate protects — for operations that
+// allocate on every execution: fmt calls, string concatenation,
+// heap-escaping composite literals (&T{...}, map/slice literals), make,
+// boxing a concrete value into an interface, and appends to local slices
+// that were never preallocated. Arguments of panic(...) are exempt — a
+// panicking hot path is already cold. Suppress a single line with
+// //fusleepvet:alloc-ok and a justification (e.g. an alloc amortized by a
+// reuse pool).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/archsim/fusleep/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass. It applies everywhere; functions opt in
+// with the //fusleepvet:hotpath directive.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "report per-call allocation hazards in functions marked //fusleepvet:hotpath",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pass.Directives().FuncMarked(fn, analysis.DirHotpath) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checker walks one hot function.
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	// bare tracks local slice variables declared without capacity (var s
+	// []T, s := []T{}, s := []T(nil)); appending to them reallocates from
+	// scratch on every call.
+	bare map[types.Object]bool
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	c := &checker{pass: pass, fn: fn, bare: map[types.Object]bool{}}
+	c.collectBareSlices()
+	c.walk(fn.Body)
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.pass.Directives().Suppressed(pos, analysis.DirAllocOK) {
+		return
+	}
+	name := c.fn.Name.Name
+	c.pass.Reportf(pos, "hotpath %s: "+format+" (suppress with //fusleepvet:alloc-ok)", append([]any{name}, args...)...)
+}
+
+// collectBareSlices records local slice declarations without preallocated
+// capacity.
+func (c *checker) collectBareSlices() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) > 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := c.pass.TypesInfo.Defs[name]
+					if obj != nil && isSlice(obj.Type()) {
+						c.bare[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil || !isSlice(obj.Type()) {
+					continue
+				}
+				if isEmptySliceExpr(c.pass, n.Rhs[i]) {
+					c.bare[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isEmptySliceExpr reports expressions that produce an empty,
+// zero-capacity slice: []T{}, []T(nil), nil.
+func isEmptySliceExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		// Conversion []T(nil).
+		if len(e.Args) == 1 {
+			if id, ok := e.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+				if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanic(c.pass, n) {
+				// Analyze the callee expression but skip the arguments: a
+				// panicking hot path is cold by definition.
+				return false
+			}
+			c.checkCall(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "&composite literal escapes to the heap on every call")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := c.pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					if len(n.Elts) > 0 {
+						c.report(n.Pos(), "slice literal allocates on every call")
+					}
+				case *types.Map:
+					c.report(n.Pos(), "map literal allocates on every call")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := c.pass.TypesInfo.Types[n]; ok && analysis.IsString(tv.Type) {
+					c.report(n.Pos(), "string concatenation allocates; use a reused buffer")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if tv, ok := c.pass.TypesInfo.Types[lhs]; ok && analysis.IsString(tv.Type) {
+						c.report(n.Pos(), "string concatenation allocates; use a reused buffer")
+					}
+				}
+			}
+			c.checkInterfaceAssign(n.Lhs, n.Rhs)
+		}
+		return true
+	})
+}
+
+func isPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// fmt calls: formatting boxes arguments and builds strings.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				c.report(call.Pos(), "fmt.%s allocates (formatting state and boxed arguments)", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Builtins: make in a hot path; append to a never-preallocated local.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.report(call.Pos(), "make allocates on every call; hoist the buffer to the enclosing struct")
+			case "append":
+				if len(call.Args) > 0 {
+					if dst, ok := call.Args[0].(*ast.Ident); ok {
+						if obj := c.pass.TypesInfo.Uses[dst]; obj != nil && c.bare[obj] {
+							c.report(call.Pos(), "append to %q, a local slice declared without capacity; preallocate with make or reuse a buffer", dst.Name)
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	// Interface boxing at call boundaries: a concrete argument passed as an
+	// interface parameter allocates unless it is already pointer-shaped.
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x). Converting to an interface boxes.
+		if analysis.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := c.pass.TypesInfo.Types[call.Args[0]]; ok && boxes(atv.Type) {
+				c.report(call.Pos(), "conversion to interface boxes a concrete value")
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !analysis.IsInterface(pt) {
+			continue
+		}
+		atv, ok := c.pass.TypesInfo.Types[arg]
+		if !ok || !boxes(atv.Type) {
+			continue
+		}
+		c.report(arg.Pos(), "passing concrete %s as interface parameter boxes it onto the heap", atv.Type.String())
+	}
+}
+
+// checkInterfaceAssign flags assignments that box a concrete value into an
+// interface-typed location.
+func (c *checker) checkInterfaceAssign(lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i := range lhs {
+		ltv, ok := c.pass.TypesInfo.Types[lhs[i]]
+		if !ok || !analysis.IsInterface(ltv.Type) {
+			continue
+		}
+		rtv, ok := c.pass.TypesInfo.Types[rhs[i]]
+		if !ok || !boxes(rtv.Type) {
+			continue
+		}
+		c.report(rhs[i].Pos(), "assigning concrete %s into an interface boxes it onto the heap", rtv.Type.String())
+	}
+}
+
+// boxes reports whether storing a value of type t into an interface
+// allocates: true for concrete non-pointer, non-interface types (pointers
+// and interfaces fit in the interface word; untyped nil is free).
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	default:
+		return true
+	}
+}

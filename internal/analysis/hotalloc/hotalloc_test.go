@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/archsim/fusleep/internal/analysis"
+	"github.com/archsim/fusleep/internal/analysis/analysistest"
+	"github.com/archsim/fusleep/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t,
+		"internal/analysis/hotalloc/testdata/fixture",
+		analysis.ModulePath+"/internal/pipeline/hotallocfixture",
+		hotalloc.Analyzer)
+}

@@ -1,0 +1,68 @@
+// Package fixture exercises the hotalloc analyzer: only functions marked
+// //fusleepvet:hotpath are audited; within them, per-call allocations are
+// flagged unless annotated //fusleepvet:alloc-ok, and panic arguments are
+// exempt.
+package fixture
+
+import "fmt"
+
+type point struct{ x int }
+
+func sink(v any) { _ = v }
+
+// Cold allocates freely: unmarked functions are not audited.
+func Cold(n int) []int {
+	out := []int{n}
+	_ = fmt.Sprint(n)
+	return out
+}
+
+// tick is the per-cycle path; every allocation here is per-call.
+//
+//fusleepvet:hotpath
+func tick(buf []int, name string, n int) []int {
+	fmt.Println(n)  // want "fmt.Println allocates"
+	s := name + "!" // want "string concatenation allocates"
+	_ = s
+	p := &point{x: n} // want "composite literal escapes to the heap"
+	_ = p
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	tmp := make([]int, n) // want "make allocates"
+	_ = tmp
+	var scratch []int
+	scratch = append(scratch, n) // want "append to .scratch., a local slice declared without capacity"
+	_ = scratch
+	sink(n) // want "passing concrete int as interface parameter"
+	var iface any
+	iface = n // want "assigning concrete int into an interface"
+	_ = iface
+	return append(buf, n) // append to caller-owned slice: fine
+}
+
+// flush panics on corrupt state; a panicking hot path is already cold, so
+// the fmt.Sprintf inside panic(...) is exempt.
+//
+//fusleepvet:hotpath
+func flush(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+}
+
+// pooled amortizes its allocation and says so.
+//
+//fusleepvet:hotpath
+func pooled(n int) []int {
+	out := make([]int, 0, 8) //fusleepvet:alloc-ok amortized: called once per flush, not per cycle
+	out = append(out, n)
+	return out
+}
+
+// pointered passes pointer-shaped values into interfaces: no boxing.
+//
+//fusleepvet:hotpath
+func pointered(p *point) {
+	sink(p)
+	sink(nil)
+}

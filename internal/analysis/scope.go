@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// ModulePath is the import-path root of this repository; the package
+// classifications below are defined relative to it. Fixture packages reuse
+// these prefixes to opt into the same scoping.
+const ModulePath = "github.com/archsim/fusleep"
+
+// deterministicPackages are the packages whose byte output must be
+// reproducible run to run: the golden-pinned pipeline and experiment
+// drivers, the renderers, the energy model feeding Cell.Key hashes, and
+// the tuner whose probe trace is replayed by tests. detrange runs here.
+var deterministicPackages = []string{
+	ModulePath,
+	ModulePath + "/internal/core",
+	ModulePath + "/internal/experiments",
+	ModulePath + "/internal/optimize",
+	ModulePath + "/internal/pipeline",
+	ModulePath + "/internal/report",
+}
+
+// simulationPackages are the simulation/eval paths: anything that computes
+// cycle-accurate or closed-form results must not read wall clocks or the
+// shared math/rand source. detsource runs here.
+var simulationPackages = []string{
+	ModulePath + "/internal/bpred",
+	ModulePath + "/internal/cache",
+	ModulePath + "/internal/circuit",
+	ModulePath + "/internal/core",
+	ModulePath + "/internal/experiments",
+	ModulePath + "/internal/fu",
+	ModulePath + "/internal/isa",
+	ModulePath + "/internal/optimize",
+	ModulePath + "/internal/pipeline",
+	ModulePath + "/internal/stats",
+	ModulePath + "/internal/tlb",
+	ModulePath + "/internal/workload",
+}
+
+// inScope reports whether importPath is one of the listed packages or a
+// fixture claiming one (listed path + "/...").
+func inScope(importPath string, scope []string) bool {
+	for _, p := range scope {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			// Subdirectories of a scoped package are only in scope when they
+			// are fixtures or nested implementation packages of it — but the
+			// module root would swallow everything, so it matches exactly.
+			if p == ModulePath && importPath != p {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// IsDeterminismCritical reports whether detrange applies to the package.
+func IsDeterminismCritical(importPath string) bool {
+	return inScope(importPath, deterministicPackages)
+}
+
+// IsSimulationPath reports whether detsource applies to the package.
+func IsSimulationPath(importPath string) bool {
+	return inScope(importPath, simulationPackages)
+}
+
+// IsFloat reports whether t's underlying type is a floating-point scalar.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsString reports whether t's underlying type is a string.
+func IsString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// IsInterface reports whether t's underlying type is a non-nil interface.
+func IsInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// MapType returns t's underlying map type, unwrapping one pointer level,
+// or nil when t is not a map.
+func MapType(t types.Type) *types.Map {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	m, _ := t.Underlying().(*types.Map)
+	return m
+}

@@ -105,6 +105,20 @@ func ParseBaseline(raw []byte) (Baseline, error) {
 	return b, nil
 }
 
+// BaselineHelp renders the recovery instructions shown when the baseline
+// file is missing or unusable: CI cannot gate without one, and the fix is
+// always the same — rerun the gated benchmark and record its metrics.
+func BaselineHelp(path, benchName string) string {
+	pattern := strings.TrimPrefix(benchName, "Benchmark")
+	var b strings.Builder
+	fmt.Fprintf(&b, "the gate compares against the committed baseline %s, which could not be used. To regenerate it:\n", path)
+	fmt.Fprintf(&b, "  1. run:  go test -run=xxx -bench=%s -benchtime=3x -benchmem\n", pattern)
+	fmt.Fprintf(&b, "  2. record the metrics in %s under \"current\": {\"throughput\": <value>, \"throughput_unit\": \"<unit>\", \"allocs_per_op\": <n>}\n", path)
+	fmt.Fprintf(&b, "     (the pipeline baseline's historical \"inst_per_s\" key is also accepted, with unit inst/s)\n")
+	fmt.Fprintf(&b, "  3. commit the refreshed file in the same PR — see the \"note\" field in the existing BENCH_*.json files\n")
+	return b.String()
+}
+
 // Check is one gated comparison.
 type Check struct {
 	Metric   string

@@ -131,3 +131,19 @@ func TestParseBaselineShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestBaselineHelp(t *testing.T) {
+	help := BaselineHelp("BENCH_tune.json", "BenchmarkTunerSearch")
+	for _, want := range []string{
+		"BENCH_tune.json",
+		"-bench=TunerSearch",
+		"-benchmem",
+		`"current"`,
+		"throughput_unit",
+		"commit the refreshed file",
+	} {
+		if !strings.Contains(help, want) {
+			t.Errorf("BaselineHelp missing %q in:\n%s", want, help)
+		}
+	}
+}

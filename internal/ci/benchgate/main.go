@@ -46,11 +46,11 @@ func main() {
 	}
 	baseRaw, err := os.ReadFile(*baselinePath)
 	if err != nil {
-		fatal(err)
+		fatalBaseline(*baselinePath, *name, err)
 	}
 	baseline, err := ParseBaseline(baseRaw)
 	if err != nil {
-		fatal(err)
+		fatalBaseline(*baselinePath, *name, err)
 	}
 	// The baseline names the throughput metric to gate on (inst/s for the
 	// pipeline, cells/s for the tuner).
@@ -70,5 +70,13 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}
+
+// fatalBaseline reports a missing or unusable baseline file together with
+// the exact steps to regenerate it, then exits.
+func fatalBaseline(path, benchName string, err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: baseline %s: %v\n", path, err)
+	fmt.Fprint(os.Stderr, "benchgate: "+BaselineHelp(path, benchName))
 	os.Exit(2)
 }

@@ -52,11 +52,13 @@ func (a Assignment) Classes() []fu.Class {
 // Validate rejects assignments naming unknown classes or policies, or
 // carrying negative tuning knobs.
 func (a Assignment) Validate() error {
-	for c, pc := range a {
+	// Walk classes in canonical order so an assignment with several bad
+	// entries always reports the same one first.
+	for _, c := range a.Classes() {
 		if !c.Valid() {
 			return fmt.Errorf("core: assignment names invalid class %d", uint8(c))
 		}
-		if err := pc.Validate(); err != nil {
+		if err := a[c].Validate(); err != nil {
 			return fmt.Errorf("core: assignment for %s: %w", c, err)
 		}
 	}

@@ -10,15 +10,37 @@ import (
 // interval lengths observed between them. This is exactly the data the
 // paper's simulation methodology records ("precise statistics on the idle
 // times for each functional unit") and from which it computes total energy.
+//
+// An IdleProfile is not safe for concurrent use: Lengths (and the
+// evaluation paths built on it) may restore the cached key order in place.
 type IdleProfile struct {
 	ActiveCycles uint64
 	// Intervals maps idle interval length (cycles) to occurrence count.
+	// Populate it through AddIdle, which keeps the sorted-key mirror below
+	// in sync; a directly-assigned map (a decoded wire profile) is adopted
+	// on the next Lengths call.
 	Intervals map[int]uint64
+	// lengths mirrors the keys of Intervals: AddIdle appends in O(1) and
+	// Lengths sorts on demand, so recording stays cheap while the
+	// evaluation paths that need ordered iteration (ProfileCounts
+	// accumulates float64 sums, which do not associate) never re-sort an
+	// already-ordered profile. unsorted marks a pending sort.
+	lengths  []int
+	unsorted bool
 }
 
 // NewIdleProfile returns an empty profile ready for recording.
 func NewIdleProfile() *IdleProfile {
 	return &IdleProfile{Intervals: make(map[int]uint64)}
+}
+
+// NewIdleProfileSized returns an empty profile preallocated for n distinct
+// interval lengths, for bulk conversions that know their size up front.
+func NewIdleProfileSized(n int) *IdleProfile {
+	return &IdleProfile{
+		Intervals: make(map[int]uint64, n),
+		lengths:   make([]int, 0, n),
+	}
 }
 
 // AddIdle records one idle interval of the given length.
@@ -28,6 +50,12 @@ func (p *IdleProfile) AddIdle(length int, count uint64) {
 	}
 	if p.Intervals == nil {
 		p.Intervals = make(map[int]uint64)
+	}
+	if _, seen := p.Intervals[length]; !seen {
+		if !p.unsorted && len(p.lengths) > 0 && length < p.lengths[len(p.lengths)-1] {
+			p.unsorted = true
+		}
+		p.lengths = append(p.lengths, length)
 	}
 	p.Intervals[length] += count
 }
@@ -80,14 +108,23 @@ func (p *IdleProfile) Merge(o *IdleProfile) {
 	}
 }
 
-// Lengths returns the distinct interval lengths in ascending order.
+// Lengths returns the distinct interval lengths in ascending order. The
+// returned slice is shared with the profile; callers must not modify it.
 func (p *IdleProfile) Lengths() []int {
-	ls := make([]int, 0, len(p.Intervals))
-	for l := range p.Intervals {
-		ls = append(ls, l)
+	if len(p.lengths) != len(p.Intervals) {
+		// The Intervals map was populated directly (a decoded wire profile
+		// or a hand-built fixture) rather than through AddIdle: adopt it.
+		p.lengths = make([]int, 0, len(p.Intervals))
+		for l := range p.Intervals {
+			p.lengths = append(p.lengths, l)
+		}
+		p.unsorted = true
 	}
-	sort.Ints(ls)
-	return ls
+	if p.unsorted {
+		sort.Ints(p.lengths)
+		p.unsorted = false
+	}
+	return p.lengths
 }
 
 // EvalProfile computes the equation-(3) energy of running policy pc over the
@@ -122,19 +159,24 @@ func (t Tech) ProfileCounts(pc PolicyConfig, alpha float64, prof *IdleProfile) (
 		cc.Transitions = float64(prof.IntervalCount())
 	case NoOverhead:
 		cc.Sleep = float64(prof.IdleCycles())
+	// The per-interval cases below accumulate float64 sums. FP addition does
+	// not associate, so they walk Lengths() — ascending order — rather than
+	// the Intervals map directly: map iteration order would make the low
+	// bits of the energy model (and everything hashed from it) vary run to
+	// run.
 	case GradualSleep:
 		k := pc.slices(t, alpha)
-		for l, n := range prof.Intervals {
+		for _, l := range prof.Lengths() {
 			ui, slp, trans := gradualSplit(float64(l), k)
-			nf := float64(n)
+			nf := float64(prof.Intervals[l])
 			cc.UncontrolledIdle += nf * ui
 			cc.Sleep += nf * slp
 			cc.Transitions += nf * trans
 		}
 	case OracleMinimal:
 		be := t.Breakeven(alpha)
-		for l, n := range prof.Intervals {
-			nf := float64(n)
+		for _, l := range prof.Lengths() {
+			nf := float64(prof.Intervals[l])
 			if float64(l) >= be {
 				cc.Sleep += nf * float64(l)
 				cc.Transitions += nf
@@ -144,9 +186,9 @@ func (t Tech) ProfileCounts(pc PolicyConfig, alpha float64, prof *IdleProfile) (
 		}
 	case SleepTimeout:
 		T := pc.timeout(t, alpha)
-		for l, n := range prof.Intervals {
+		for _, l := range prof.Lengths() {
 			ui, slp, trans := timeoutSplit(float64(l), T)
-			nf := float64(n)
+			nf := float64(prof.Intervals[l])
 			cc.UncontrolledIdle += nf * ui
 			cc.Sleep += nf * slp
 			cc.Transitions += nf * trans

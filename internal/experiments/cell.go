@@ -274,11 +274,13 @@ func (c Cell) Validate() error {
 	if err := c.Assignment.Validate(); err != nil {
 		return fmt.Errorf("cell: %w", err)
 	}
-	for cl, t := range c.ClassTechs {
+	// Canonical class order keeps the first-reported error stable when
+	// several entries are bad.
+	for _, cl := range sortedClassKeys(c.ClassTechs) {
 		if !cl.Valid() {
 			return fmt.Errorf("cell: classTechs names invalid class %d", uint8(cl))
 		}
-		if err := t.Validate(); err != nil {
+		if err := c.ClassTechs[cl].Validate(); err != nil {
 			return fmt.Errorf("cell: classTechs[%s]: %w", cl, err)
 		}
 	}

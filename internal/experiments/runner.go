@@ -218,6 +218,7 @@ func (r *Runner) SimMix(ctx context.Context, bench string, mix FUMix, l2 int, wi
 			// their result instead of re-simulating.
 			r.inflightJoins++
 			r.mu.Unlock()
+			//fusleepvet:nondet-ok cancellation race: both arms end the wait, and the result value is the leader's either way
 			select {
 			case <-fl.done:
 				if fl.err == nil {
@@ -258,6 +259,7 @@ func (r *Runner) SimMix(ctx context.Context, bench string, mix FUMix, l2 int, wi
 
 // runBounded runs one simulation under the concurrency semaphore.
 func (r *Runner) runBounded(ctx context.Context, spec workload.Spec, mix FUMix, l2 int, window uint64) (pipeline.Result, error) {
+	//fusleepvet:nondet-ok semaphore-vs-cancel race: the simulation itself is seeded and cancellation only picks which error surfaces
 	select {
 	case r.sem <- struct{}{}:
 		defer func() { <-r.sem }()
@@ -340,14 +342,17 @@ func (r *Runner) suite(ctx context.Context, l2 int) (map[string]pipeline.Result,
 }
 
 // coreProfiles converts measured per-unit activity into energy-model
-// profiles.
+// profiles. This runs once per evaluation, so it feeds AddIdle in
+// ascending length order (the simulator records each unit's sorted
+// lengths once, at run end): the resulting profile is born ordered and
+// the evaluation loops over it never sort.
 func coreProfiles(fus []pipeline.FUProfile) []*core.IdleProfile {
 	out := make([]*core.IdleProfile, len(fus))
 	for i, fu := range fus {
-		p := core.NewIdleProfile()
+		p := core.NewIdleProfileSized(len(fu.Intervals))
 		p.ActiveCycles = fu.ActiveCycles
-		for l, n := range fu.Intervals {
-			p.AddIdle(l, n)
+		for _, l := range fu.SortedLengths() {
+			p.AddIdle(l, fu.Intervals[l])
 		}
 		out[i] = p
 	}

@@ -323,6 +323,7 @@ func evalBatch(ctx context.Context, cfg Config, cells []experiments.Cell) ([]exp
 		wg.Add(1)
 		go func(i int, cell experiments.Cell) {
 			defer wg.Done()
+			//fusleepvet:nondet-ok semaphore-vs-cancel race: results land at fixed indices and the first error in input order wins regardless of arrival
 			select {
 			case sem <- struct{}{}:
 				defer func() { <-sem }()

@@ -50,6 +50,7 @@ func newROB(size int) *reorderBuffer {
 
 func (r *reorderBuffer) full() bool { return r.count == r.size }
 
+//fusleepvet:hotpath
 func (r *reorderBuffer) push(e robEntry) int {
 	idx := (r.head + r.count) & r.mask
 	r.entries[idx] = e
@@ -58,10 +59,13 @@ func (r *reorderBuffer) push(e robEntry) int {
 }
 
 // at returns the entry at logical position i from the head (0 = oldest).
+//
+//fusleepvet:hotpath
 func (r *reorderBuffer) at(i int) *robEntry {
 	return &r.entries[(r.head+i)&r.mask]
 }
 
+//fusleepvet:hotpath
 func (r *reorderBuffer) popFront() {
 	r.head = (r.head + 1) & r.mask
 	r.count--
@@ -104,6 +108,7 @@ func newRing[T any](size int) *ring[T] { return &ring[T]{entries: make([]T, size
 
 func (q *ring[T]) full() bool { return q.count == len(q.entries) }
 
+//fusleepvet:hotpath
 func (q *ring[T]) push(e T) int {
 	idx := q.head + q.count
 	if idx >= len(q.entries) {
@@ -116,6 +121,7 @@ func (q *ring[T]) push(e T) int {
 
 func (q *ring[T]) front() *T { return &q.entries[q.head] }
 
+//fusleepvet:hotpath
 func (q *ring[T]) popFront() {
 	q.head++
 	if q.head == len(q.entries) {
@@ -135,6 +141,7 @@ type storeIndex struct {
 
 func newStoreIndex() *storeIndex { return &storeIndex{byWord: make(map[uint64][]uint64)} }
 
+//fusleepvet:hotpath
 func (ix *storeIndex) add(word, seq uint64) {
 	s, ok := ix.byWord[word]
 	if !ok && len(ix.spare) > 0 {
@@ -151,6 +158,7 @@ func (ix *storeIndex) add(word, seq uint64) {
 	ix.byWord[word] = s
 }
 
+//fusleepvet:hotpath
 func (ix *storeIndex) remove(word, seq uint64) {
 	s := ix.byWord[word]
 	for i, v := range s {
@@ -172,6 +180,8 @@ func (ix *storeIndex) remove(word, seq uint64) {
 
 // olderThan reports whether an address-known store to word exists with
 // seq < loadSeq, i.e. an older store the load can forward from.
+//
+//fusleepvet:hotpath
 func (ix *storeIndex) olderThan(word, loadSeq uint64) bool {
 	s := ix.byWord[word]
 	return len(s) > 0 && s[0] < loadSeq
@@ -426,6 +436,7 @@ func (c *CPU) result() Result {
 	return res
 }
 
+//fusleepvet:hotpath
 func (c *CPU) peek() (isa.Inst, bool) {
 	if c.havePeek {
 		return c.peeked, true
@@ -447,6 +458,7 @@ func (c *CPU) consume() { c.havePeek = false }
 
 // ---- fetch ----
 
+//fusleepvet:hotpath
 func (c *CPU) fetch() {
 	if c.redirectPending {
 		c.mispredStalls++
@@ -503,6 +515,7 @@ func (c *CPU) fetch() {
 
 // ---- dispatch (decode + rename) ----
 
+//fusleepvet:hotpath
 func (c *CPU) ref(r isa.Reg) physRef {
 	if r == isa.RegNone {
 		return noReg
@@ -513,6 +526,7 @@ func (c *CPU) ref(r isa.Reg) physRef {
 	return physRef{idx: c.intRen.lookup(int(r))}
 }
 
+//fusleepvet:hotpath
 func (c *CPU) renamerFor(r isa.Reg) (*renamer, int) {
 	if r.IsFP() {
 		return c.fpRen, int(r) - isa.NumIntRegs
@@ -520,6 +534,7 @@ func (c *CPU) renamerFor(r isa.Reg) (*renamer, int) {
 	return c.intRen, int(r)
 }
 
+//fusleepvet:hotpath
 func (c *CPU) dispatch() {
 	for n := 0; n < c.cfg.DecodeWidth && c.fetchQ.count > 0; n++ {
 		fe := c.fetchQ.front()
@@ -590,6 +605,8 @@ func (c *CPU) dispatch() {
 // straight onto the ready list when its operands are available, otherwise
 // asleep on the producing physical registers until wakeup marks them ready.
 // Dispatch runs in program order, so appending keeps readyQ seq-sorted.
+//
+//fusleepvet:hotpath
 func (c *CPU) enqueue(idx int, e *robEntry) {
 	var pending uint8
 	if e.src1.idx >= 0 && !c.ready(e.src1) {
@@ -607,6 +624,7 @@ func (c *CPU) enqueue(idx int, e *robEntry) {
 	c.pendingSrcs[idx] = pending
 }
 
+//fusleepvet:hotpath
 func (c *CPU) addDep(r physRef, idx int32) {
 	if r.fp {
 		c.fpDeps[r.idx] = append(c.fpDeps[r.idx], idx)
@@ -617,6 +635,7 @@ func (c *CPU) addDep(r physRef, idx int32) {
 
 // ---- issue + execute ----
 
+//fusleepvet:hotpath
 func (c *CPU) ready(r physRef) bool {
 	if r.idx < 0 {
 		return true
@@ -629,6 +648,8 @@ func (c *CPU) ready(r physRef) bool {
 
 // schedule books the instruction's completion lat cycles from now on the
 // event wheel.
+//
+//fusleepvet:hotpath
 func (c *CPU) schedule(robIdx int, lat int) {
 	if uint64(lat) > c.wheelMask {
 		panic(fmt.Sprintf("pipeline: completion latency %d exceeds event wheel span %d", lat, c.wheelMask+1))
@@ -644,6 +665,8 @@ func (c *CPU) schedule(robIdx int, lat int) {
 // repeat allocation attempts within the cycle — once a pool rejects an
 // allocation at this cycle it stays full until tick advances, since issue
 // only ever makes units busier.
+//
+//fusleepvet:hotpath
 func (c *CPU) issue() {
 	q := c.readyQ
 	if len(q) == 0 {
@@ -776,6 +799,8 @@ func (c *CPU) issue() {
 // loadLatency models address generation followed by either store-queue
 // forwarding (when an older store to the same word has resolved its
 // address) or a TLB-translated data cache access.
+//
+//fusleepvet:hotpath
 func (c *CPU) loadLatency(in isa.Inst) int {
 	if c.forwardingStore(in.Seq, in.Addr) {
 		c.loadForwards++
@@ -788,6 +813,8 @@ func (c *CPU) loadLatency(in isa.Inst) int {
 // forwardingStore reports whether an older address-known store to the same
 // word is in flight, via the word-address index (one map probe; the
 // smallest indexed seq per word decides, since the lists are ascending).
+//
+//fusleepvet:hotpath
 func (c *CPU) forwardingStore(loadSeq, addr uint64) bool {
 	return c.storeIdx.olderThan(addr>>c.wordAddrShift, loadSeq)
 }
@@ -795,6 +822,8 @@ func (c *CPU) forwardingStore(loadSeq, addr uint64) bool {
 // storeAddrKnown resolves a store's address at issue: the robEntry carries
 // its store-queue slot, so no scan is needed to flip the flag or index the
 // word.
+//
+//fusleepvet:hotpath
 func (c *CPU) storeAddrKnown(e *robEntry) {
 	s := &c.storeQ.entries[e.sq]
 	s.addrKnown = true
@@ -806,6 +835,8 @@ func (c *CPU) storeAddrKnown(e *robEntry) {
 // complete drains the event wheel slot for the current cycle: finished
 // instructions mark their destination ready and wake the instructions
 // sleeping on it onto the ready list (in seq order).
+//
+//fusleepvet:hotpath
 func (c *CPU) complete() {
 	slot := c.cycle & c.wheelMask
 	list := c.wheel[slot]
@@ -832,6 +863,8 @@ func (c *CPU) complete() {
 // wakeup marks the physical register ready and moves its now-unblocked
 // consumers to the ready list. Dependent lists are drained in place and
 // keep their capacity.
+//
+//fusleepvet:hotpath
 func (c *CPU) wakeup(dest physRef) {
 	var deps []int32
 	if dest.fp {
@@ -862,6 +895,8 @@ func (c *CPU) wakeup(dest physRef) {
 // full-ROB scan. Wakeups within a cycle arrive in completion order, hence
 // the sorted insert (the ready list is short — bounded by the issue
 // queues, not the ROB).
+//
+//fusleepvet:hotpath
 func (c *CPU) insertReady(idx int32) {
 	q := c.readyQ
 	seq := c.rob.entries[idx].inst.Seq
@@ -882,6 +917,7 @@ func (c *CPU) insertReady(idx int32) {
 
 // ---- commit ----
 
+//fusleepvet:hotpath
 func (c *CPU) commit() {
 	for n := 0; n < c.cfg.CommitWidth && c.rob.count > 0; n++ {
 		e := c.rob.at(0)

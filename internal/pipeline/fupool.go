@@ -1,5 +1,7 @@
 package pipeline
 
+import "sort"
+
 // classPool models one functional-unit class of the machine. Operations are
 // allocated round-robin across the class's units, as in the paper's
 // methodology ("we allocate operations to the set of functional units in
@@ -41,6 +43,8 @@ func newClassPool(n int) *classPool {
 // tryAllocate finds a unit free at cycle now, scanning round-robin from the
 // unit after the last allocation. It returns the unit index and marks it
 // busy for lat cycles.
+//
+//fusleepvet:hotpath
 func (p *classPool) tryAllocate(now uint64, lat int) (int, bool) {
 	n := len(p.busyUntil)
 	for i := 0; i < n; i++ {
@@ -56,6 +60,8 @@ func (p *classPool) tryAllocate(now uint64, lat int) (int, bool) {
 
 // tick records each unit's activity for cycle now; call exactly once per
 // simulated cycle after issue.
+//
+//fusleepvet:hotpath
 func (p *classPool) tick(now uint64) {
 	for i, bu := range p.busyUntil {
 		if bu > now {
@@ -71,6 +77,8 @@ func (p *classPool) tick(now uint64) {
 }
 
 // flush closes trailing idle intervals at end of simulation.
+//
+//fusleepvet:hotpath
 func (p *classPool) flush() {
 	for i, run := range p.idleRun {
 		if run > 0 {
@@ -81,15 +89,19 @@ func (p *classPool) flush() {
 }
 
 // profiles snapshots the pool's per-unit activity into self-contained
-// FUProfiles (interval maps copied).
+// FUProfiles (interval maps copied), recording each unit's sorted length
+// mirror once here — the cold path — so evaluation never sorts.
 func (p *classPool) profiles() []FUProfile {
 	out := make([]FUProfile, len(p.busyUntil))
 	for i := range out {
 		iv := make(map[int]uint64, len(p.intervals[i]))
+		ls := make([]int, 0, len(p.intervals[i]))
 		for l, n := range p.intervals[i] {
 			iv[l] = n
+			ls = append(ls, l)
 		}
-		out[i] = FUProfile{ActiveCycles: p.active[i], Intervals: iv}
+		sort.Ints(ls)
+		out[i] = FUProfile{ActiveCycles: p.active[i], Intervals: iv, Lengths: ls}
 	}
 	return out
 }

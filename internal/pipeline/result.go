@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"sort"
+
 	"github.com/archsim/fusleep/internal/bpred"
 	"github.com/archsim/fusleep/internal/cache"
 	"github.com/archsim/fusleep/internal/fu"
@@ -14,6 +16,12 @@ type FUProfile struct {
 	ActiveCycles uint64
 	// Intervals is the multiset of idle interval lengths (length -> count).
 	Intervals map[int]uint64
+	// Lengths holds the keys of Intervals in ascending order, recorded once
+	// at simulation end so the energy-model consumers that must iterate
+	// intervals deterministically (float sums do not associate) never sort
+	// on their per-evaluation path. It is derivable from Intervals and
+	// deliberately kept off the wire.
+	Lengths []int `json:"-"`
 }
 
 // IdleCycles returns the unit's total idle cycles.
@@ -23,6 +31,22 @@ func (p FUProfile) IdleCycles() uint64 {
 		n += uint64(l) * c
 	}
 	return n
+}
+
+// SortedLengths returns the distinct idle interval lengths in ascending
+// order, preferring the mirror recorded at simulation end; a profile that
+// arrived without one (decoded from the wire, or hand-built in tests)
+// derives it on the spot. The returned slice must not be modified.
+func (p FUProfile) SortedLengths() []int {
+	if len(p.Lengths) == len(p.Intervals) {
+		return p.Lengths
+	}
+	ls := make([]int, 0, len(p.Intervals))
+	for l := range p.Intervals {
+		ls = append(ls, l)
+	}
+	sort.Ints(ls)
+	return ls
 }
 
 // Utilization returns active/(active+idle), or 0 when empty.

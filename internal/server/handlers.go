@@ -256,7 +256,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job := newSweepJob(context.Background(), s.nextID("s"), cells)
+	// Accepted jobs outlive the submitting request by design; their
+	// lifecycle is owned by the queue (s.submit/cancelAll), not the
+	// client connection.
+	job := newSweepJob(context.Background(), s.nextID("s"), cells) //fusleepvet:ctx-ok job outlives the HTTP request
 	if err := s.submit(job.id, job, func() { s.feed(job) }); err != nil {
 		s.rejected.Add(1)
 		job.cancel()

@@ -337,7 +337,11 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close force-stops the server: cancel every job, then drain. For tests
-// and fatal-error paths; production shutdown should Drain first.
+// and fatal-error paths; production shutdown should Drain first. Close
+// keeps the conventional no-argument signature — after cancelAll every
+// worker is already unblocking, so the drain below cannot hang.
+//
+//fusleepvet:ctx-ok Close is the forced path; Drain(ctx) is the cancellable one
 func (s *Server) Close() {
 	s.cancelAll()
 	_ = s.Drain(context.Background())

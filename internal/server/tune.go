@@ -343,7 +343,9 @@ func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad tune request: %v", err)
 		return
 	}
-	job := newTuneJob(context.Background(), s.nextID("t"), budget)
+	// Accepted tune jobs outlive the submitting request; the queue owns
+	// their lifecycle.
+	job := newTuneJob(context.Background(), s.nextID("t"), budget) //fusleepvet:ctx-ok job outlives the HTTP request
 	if err := s.submit(job.id, job, func() { s.runTune(job, opts) }); err != nil {
 		s.tunesReject.Add(1)
 		job.cancel()

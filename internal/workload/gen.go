@@ -75,6 +75,7 @@ func (e *Emitter) flush() {
 	if len(e.batch) == 0 {
 		return
 	}
+	//fusleepvet:nondet-ok delivery-vs-stop race: a stopped consumer discards the batch, so the instruction stream seen downstream is unchanged
 	select {
 	case e.out <- e.batch:
 		e.batch = getBatch()
