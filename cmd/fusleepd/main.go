@@ -8,10 +8,20 @@
 //
 //	fusleepd -addr :8080
 //	fusleepd -addr :8080 -shards 8 -queue 256 -window 500000 -parallel 4
+//	fusleepd -addr :8080 -store-dir /var/lib/fusleepd -cell-timeout 30s -max-retries 2
+//
+// With -store-dir the daemon is crash-safe: accepted jobs are fsynced to a
+// write-ahead log before they are acknowledged, completed cells are
+// journaled under their content-addressed configuration hash, and a
+// restart over the same directory replays every unfinished job — serving
+// its already-journaled cells from disk and recomputing only what the
+// crash lost. -cell-timeout bounds a single cell evaluation (0 disables
+// the deadline); -max-retries retries transiently failing cells with
+// deterministically jittered exponential backoff.
 //
 // Endpoints (see internal/server for the contract):
 //
-//	POST   /v1/sweeps          submit a sweep grid
+//	POST   /v1/sweeps          submit a sweep grid (429 + Retry-After when full)
 //	GET    /v1/sweeps/{id}     stream per-cell NDJSON results (?poll=1 snapshots)
 //	DELETE /v1/sweeps/{id}     cancel a sweep
 //	POST   /v1/optimize        submit a Pareto-aware tuner run
@@ -20,11 +30,14 @@
 //	GET    /v1/workloads       registered benchmarks
 //	GET    /v1/policies        registered sleep policies and their knobs
 //	GET    /healthz            liveness (503 while draining)
+//	GET    /readyz             readiness (503 while draining, recovering, or shedding)
 //	GET    /metrics            Prometheus-style metrics
 //
 // On SIGTERM/SIGINT the daemon stops accepting sweeps, drains every queued
 // and in-flight cell (bounded by -drain-timeout), finishes open response
-// streams, and exits.
+// streams, and exits. A drain that exceeds its deadline aborts the
+// remaining jobs; with -store-dir those stay pending in the WAL and the
+// next start resumes them.
 package main
 
 import (
@@ -40,6 +53,7 @@ import (
 
 	"github.com/archsim/fusleep"
 	"github.com/archsim/fusleep/internal/server"
+	"github.com/archsim/fusleep/internal/store"
 )
 
 func main() {
@@ -52,20 +66,52 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = suite size)")
 	cache := flag.Bool("cache", true, "enable the cross-request simulation cache")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to drain in-flight cells on shutdown")
+	storeDir := flag.String("store-dir", "", "durable store directory: result journal + job WAL (empty = in-memory only)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell evaluation deadline (0 = none)")
+	maxRetries := flag.Int("max-retries", 2, "additional attempts for transiently failing cells")
+	syncEvery := flag.Int("sync-every", 1, "fsync the result journal every n appends (1 = every result durable)")
 	flag.Parse()
 
-	eng := fusleep.NewEngine(
+	engOpts := []fusleep.Option{
 		fusleep.WithWindow(*window),
 		fusleep.WithParallelism(*parallel),
 		fusleep.WithCache(*cache),
-	)
-	srv := server.New(server.Config{
-		Engine:     eng,
-		Shards:     *shards,
-		QueueDepth: *queue,
-		MaxCells:   *maxCells,
-		MaxWindow:  *maxWindow,
-	})
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{SyncEvery: *syncEvery})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusleepd: open store: %v\n", err)
+			os.Exit(1)
+		}
+		if rs := st.Results.Stats(); rs.Recovered > 0 || rs.TruncatedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "fusleepd: store %s: %d results recovered (%d torn bytes dropped)\n",
+				*storeDir, rs.Recovered, rs.TruncatedBytes)
+		}
+		engOpts = append(engOpts, fusleep.WithResultStore(st.Results))
+	}
+
+	eng := fusleep.NewEngine(engOpts...)
+	cfg := server.Config{
+		Engine:      eng,
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		MaxCells:    *maxCells,
+		MaxWindow:   *maxWindow,
+		CellTimeout: *cellTimeout,
+		MaxRetries:  *maxRetries,
+	}
+	if st != nil {
+		cfg.Results = st.Results
+		cfg.Jobs = st.Jobs
+	}
+	srv := server.New(cfg)
+	if replayed, err := srv.Recover(); err != nil {
+		fmt.Fprintf(os.Stderr, "fusleepd: recovery: %v\n", err)
+	} else if replayed > 0 {
+		fmt.Fprintf(os.Stderr, "fusleepd: replayed %d unfinished job(s) from the WAL\n", replayed)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -102,5 +148,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fusleepd: shutdown: %v\n", err)
 	}
 	<-errc // ListenAndServe has returned http.ErrServerClosed
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "fusleepd: close store: %v\n", err)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "fusleepd: bye")
 }

@@ -77,6 +77,21 @@ func Formats() []string { return report.Formats() }
 // benchmarks, alpha 0.5, 12-cycle L2, the engine's window).
 type Grid = experiments.Grid
 
+// CellStore is a durable, content-addressed cell-result store keyed by
+// Cell.Key: the engine consults it before recomputing a cell and journals
+// fresh results to it, so completed work survives process crashes.
+// internal/store provides the journal-backed implementation; attach one
+// with WithResultStore.
+type CellStore = experiments.CellStore
+
+// CellError is a contained cell-evaluation failure: the cell's identity
+// plus a transient/panicked/timed-out classification that retry policies
+// act on.
+type CellError = experiments.CellError
+
+// IsTransientCellError reports whether err is a retryable cell failure.
+func IsTransientCellError(err error) bool { return experiments.IsTransientCellError(err) }
+
 // Engine is the long-lived entry point of the package: it owns a shared
 // simulation cache, a parallelism bound, and default scale parameters, so
 // many scenario requests — single benchmarks, paper experiments, batch
@@ -89,6 +104,7 @@ type Engine struct {
 	tech       Tech
 	classTechs map[FUClass]Tech
 	cache      bool
+	store      CellStore
 	runner     *experiments.Runner
 }
 
@@ -153,6 +169,14 @@ func WithClassTechs(m map[FUClass]Tech) Option {
 	}
 }
 
+// WithResultStore attaches a durable cell-result store (see CellStore):
+// cell evaluations consult it before simulating and journal fresh results
+// after, making completed sweep work crash-safe and shareable across
+// restarts. Nil is ignored.
+func WithResultStore(s CellStore) Option {
+	return func(e *Engine) { e.store = s }
+}
+
 // NewEngine builds an engine with the given options.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
@@ -170,6 +194,9 @@ func NewEngine(opts ...Option) *Engine {
 		Parallel:     e.parallel,
 		DisableCache: !e.cache,
 	})
+	if e.store != nil {
+		e.runner.SetCellStore(e.store)
+	}
 	return e
 }
 

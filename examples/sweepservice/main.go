@@ -103,28 +103,57 @@ func main() {
 	}
 }
 
+// submitBackoff bounds how long the client waits out 429 load shedding:
+// the daemon's Retry-After hint (capped exponentially per attempt) across
+// at most submitAttempts tries.
+const (
+	submitAttempts   = 5
+	submitBackoffCap = 30 * time.Second
+)
+
 func submit(base string, req sweepRequest) (id string, cells int, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return "", 0, err
 	}
-	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return "", 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		var e struct {
-			Error string `json:"error"`
+	backoff := time.Second
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", 0, err
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return "", 0, fmt.Errorf("submit: %s: %s", resp.Status, e.Error)
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < submitAttempts {
+			// The daemon is shedding load; honor its Retry-After hint,
+			// bounded by the client's own capped exponential backoff.
+			wait := backoff
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			if wait > submitBackoffCap {
+				wait = submitBackoffCap
+			}
+			resp.Body.Close()
+			fmt.Printf("server busy (429); retrying in %v (attempt %d/%d)\n", wait, attempt, submitAttempts)
+			time.Sleep(wait)
+			if backoff *= 2; backoff > submitBackoffCap {
+				backoff = submitBackoffCap
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return "", 0, fmt.Errorf("submit: %s: %s", resp.Status, e.Error)
+		}
+		var sub submitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			return "", 0, err
+		}
+		return sub.ID, sub.Cells, nil
 	}
-	var sub submitResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
-		return "", 0, err
-	}
-	return sub.ID, sub.Cells, nil
 }
 
 func stream(base, id string) error {

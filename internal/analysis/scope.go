@@ -18,9 +18,11 @@ var deterministicPackages = []string{
 	ModulePath,
 	ModulePath + "/internal/core",
 	ModulePath + "/internal/experiments",
+	ModulePath + "/internal/fault",
 	ModulePath + "/internal/optimize",
 	ModulePath + "/internal/pipeline",
 	ModulePath + "/internal/report",
+	ModulePath + "/internal/store",
 }
 
 // simulationPackages are the simulation/eval paths: anything that computes
@@ -32,11 +34,13 @@ var simulationPackages = []string{
 	ModulePath + "/internal/circuit",
 	ModulePath + "/internal/core",
 	ModulePath + "/internal/experiments",
+	ModulePath + "/internal/fault",
 	ModulePath + "/internal/fu",
 	ModulePath + "/internal/isa",
 	ModulePath + "/internal/optimize",
 	ModulePath + "/internal/pipeline",
 	ModulePath + "/internal/stats",
+	ModulePath + "/internal/store",
 	ModulePath + "/internal/tlb",
 	ModulePath + "/internal/workload",
 }

@@ -297,6 +297,26 @@ func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
 	if err := c.Validate(); err != nil {
 		return CellResult{}, err
 	}
+	// Durable tier first: a cell journaled by an earlier run (possibly a
+	// previous process) is served from disk without touching the
+	// simulator. Store failures are absorbed — a broken disk degrades to
+	// recomputation, never to a failed sweep.
+	var key string
+	if r.store != nil {
+		key = c.Key()
+		res, ok, err := r.store.GetCell(key)
+		r.mu.Lock()
+		switch {
+		case err != nil:
+			r.storeErrs++
+		case ok:
+			r.storeHits++
+		}
+		r.mu.Unlock()
+		if err == nil && ok {
+			return res, nil
+		}
+	}
 	suite, err := r.SimSuiteMix(ctx, c.Benchmarks, c.mix(), c.L2Latency, c.Window)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("cell fus=%d: %w", c.FUs, err)
@@ -348,6 +368,16 @@ func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
 			LeakageFraction: per[i].leak / n,
 			Units:           units,
 		})
+	}
+	if r.store != nil {
+		err := r.store.PutCell(key, out)
+		r.mu.Lock()
+		if err != nil {
+			r.storeErrs++
+		} else {
+			r.storePuts++
+		}
+		r.mu.Unlock()
 	}
 	return out, nil
 }

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var i *Injector
+	for n := 0; n < 10; n++ {
+		if i.Fire(CellPanic) {
+			t.Fatal("nil injector fired")
+		}
+	}
+	if d := i.DelayFor(CellSlow); d != 0 {
+		t.Fatalf("nil injector delay = %v", d)
+	}
+	if i.Hits(CellPanic) != 0 || i.Fired(CellPanic) != 0 {
+		t.Fatal("nil injector counted hits")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	i := New(1)
+	for n := 0; n < 10; n++ {
+		if i.Fire(CellTransient) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if i.Hits(CellTransient) != 0 {
+		t.Fatal("unarmed point counted hits")
+	}
+}
+
+func TestEveryAfterTimes(t *testing.T) {
+	i := New(42)
+	i.Set(CellTransient, Spec{Every: 3, After: 2, Times: 2})
+	var fired []int
+	for n := 1; n <= 14; n++ {
+		if i.Fire(CellTransient) {
+			fired = append(fired, n)
+		}
+	}
+	// Eligible hits start after 2, fire every 3rd: 5, 8, ... capped at 2.
+	want := []int{5, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for k := range want {
+		if fired[k] != want[k] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+	if got := i.Fired(CellTransient); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	if got := i.Hits(CellTransient); got != 14 {
+		t.Fatalf("Hits = %d, want 14", got)
+	}
+}
+
+func TestProbIsDeterministicPerSeed(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		i := New(seed)
+		i.Set(CellPanic, Spec{Prob: 0.5})
+		out := make([]bool, 64)
+		for n := range out {
+			out[n] = i.Fire(CellPanic)
+		}
+		return out
+	}
+	a, b := sequence(7), sequence(7)
+	fires := 0
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("hit %d: same seed diverged", n)
+		}
+		if a[n] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; expected a mix", fires, len(a))
+	}
+	c := sequence(8)
+	same := true
+	for n := range a {
+		if a[n] != c[n] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fire sequences")
+	}
+}
+
+func TestDelayFor(t *testing.T) {
+	i := New(1)
+	i.Set(CellSlow, Spec{Every: 2, Delay: 50 * time.Millisecond})
+	if d := i.DelayFor(CellSlow); d != 0 {
+		t.Fatalf("hit 1 delay = %v, want 0", d)
+	}
+	if d := i.DelayFor(CellSlow); d != 50*time.Millisecond {
+		t.Fatalf("hit 2 delay = %v, want 50ms", d)
+	}
+}
+
+func TestRearmResetsCounters(t *testing.T) {
+	i := New(1)
+	i.Set(CellPanic, Spec{Times: 1})
+	if !i.Fire(CellPanic) || i.Fire(CellPanic) {
+		t.Fatal("Times=1 should fire exactly once")
+	}
+	i.Set(CellPanic, Spec{Times: 1})
+	if !i.Fire(CellPanic) {
+		t.Fatal("re-armed point should fire again")
+	}
+}
+
+func TestErrTransientWrapsErrInjected(t *testing.T) {
+	if !errors.Is(ErrTransient, ErrInjected) {
+		t.Fatal("ErrTransient must wrap ErrInjected")
+	}
+}

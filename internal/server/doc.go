@@ -1,0 +1,68 @@
+// Package server implements fusleepd, the sweep-service daemon: an
+// HTTP/JSON front end over a shared fusleep.Engine. Submitted sweep grids
+// are expanded into cells and fed through a sharded, bounded job queue —
+// cells are routed to worker shards by their configuration hash, so
+// identical cells land on the same shard and deduplicate through the
+// engine's simulation cache instead of racing each other. Results stream
+// back per cell as NDJSON, and the server drains in-flight cells gracefully
+// on shutdown.
+//
+// Tuner jobs (POST /v1/optimize) share the same machinery: the tuner's
+// probes are cells routed through the same shards, so tuner and sweep
+// workloads dedupe against each other, and tune jobs live in the same
+// bounded retention registry as sweeps.
+//
+// # Durability and fault tolerance
+//
+// With a store wired in (Config.Results + Config.Jobs, typically from one
+// store.Open directory), the daemon is crash-safe: accepted jobs are
+// fsynced to a write-ahead log before they are acknowledged, completed
+// cells are journaled under their content-addressed configuration hash,
+// and Recover replays any job the previous process never finished —
+// serving its already-journaled cells from disk and recomputing only what
+// the crash actually lost. Worker failures are contained per cell: panics
+// become typed CellErrors, an optional per-cell deadline bounds runaway
+// evaluations, and transient failures retry with deterministically
+// jittered exponential backoff. When the backlog fills the shard queues,
+// submissions shed with 429 and a Retry-After hint instead of queueing
+// without bound.
+//
+// # Lifecycle
+//
+// A server moves through three externally visible phases:
+//
+//	           New + Recover                    Drain/Close
+//	recovering ─────────────────▶ accepting ─────────────────▶ draining
+//	(WAL replay; /readyz 503,    (/readyz 200 while the      (/healthz and
+//	 /healthz 200)                backlog has room)            /readyz 503;
+//	                                                           queued cells
+//	                                                           finish, then
+//	                                                           workers stop)
+//
+// /healthz is liveness (503 only while draining); /readyz is readiness —
+// it also reports 503 before WAL recovery has run and while load shedding
+// is active. A forced Close (or an expired Drain deadline) is the
+// in-process stand-in for a crash: aborted jobs are deliberately left
+// unfinished in the WAL so the next start replays them.
+//
+// # Endpoints
+//
+//	POST   /v1/sweeps          submit a grid, returns {id, cells}
+//	                           (429 + Retry-After when the backlog is full)
+//	GET    /v1/sweeps          list sweep jobs
+//	GET    /v1/sweeps/{id}     stream per-cell results as NDJSON (?poll=1 for
+//	                           a point-in-time JSON snapshot instead)
+//	DELETE /v1/sweeps/{id}     cancel a sweep; in-flight cells abort promptly
+//	POST   /v1/optimize        submit a tuner run, returns {id, maxEvals}
+//	                           (429 + Retry-After when the backlog is full)
+//	GET    /v1/optimize        list tune jobs
+//	GET    /v1/optimize/{id}   stream per-probe results as NDJSON (?poll=1
+//	                           for a snapshot)
+//	DELETE /v1/optimize/{id}   cancel a tune job
+//	GET    /v1/workloads       the registered benchmark suite
+//	GET    /v1/policies        the registered sleep policies and their knobs
+//	GET    /healthz            liveness (503 while draining)
+//	GET    /readyz             readiness (503 while draining, recovering, or
+//	                           shedding load)
+//	GET    /metrics            Prometheus-style counters and gauges
+package server

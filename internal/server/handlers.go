@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/archsim/fusleep"
@@ -195,6 +196,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
@@ -256,13 +258,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if !s.admit(len(cells)) {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			"backlog full (%d pending cells); retry later", s.pendingCells.Load())
+		return
+	}
 	// Accepted jobs outlive the submitting request by design; their
 	// lifecycle is owned by the queue (s.submit/cancelAll), not the
 	// client connection.
 	job := newSweepJob(context.Background(), s.nextID("s"), cells) //fusleepvet:ctx-ok job outlives the HTTP request
+	s.journalSubmit(job.id, "sweep", req, func(cb func(string)) { job.onTerminal = cb })
 	if err := s.submit(job.id, job, func() { s.feed(job) }); err != nil {
 		s.rejected.Add(1)
+		s.release(len(cells))
 		job.cancel()
+		// The client gets an error, so the journaled submission must not
+		// replay as if it had been acknowledged.
+		if s.cfg.Jobs != nil {
+			_ = s.cfg.Jobs.Finished(job.id, StateCanceled)
+		}
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -456,4 +472,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness: a
+// live daemon is not ready while it is draining, before WAL recovery has
+// replayed pending jobs, or while the backlog is shedding submissions.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Ready        bool  `json:"ready"`
+		Draining     bool  `json:"draining"`
+		Recovered    bool  `json:"recovered"`
+		PendingCells int64 `json:"pendingCells"`
+		Capacity     int   `json:"capacity"`
+	}
+	rd := readiness{
+		Draining:     s.Draining(),
+		Recovered:    s.recovered.Load(),
+		PendingCells: s.pendingCells.Load(),
+		Capacity:     s.capacity(),
+	}
+	rd.Ready = !rd.Draining && rd.Recovered && rd.PendingCells < int64(rd.Capacity)
+	code := http.StatusOK
+	if !rd.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rd)
 }

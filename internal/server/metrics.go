@@ -31,12 +31,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("fusleepd_tunes_rejected_total", "Tuner submissions rejected.", s.tunesReject.Load())
 	counter("fusleepd_cells_completed_total", "Sweep cells evaluated successfully.", done)
 	counter("fusleepd_cells_failed_total", "Sweep cells that failed with a real error.", s.cellsFailed.Load())
+	counter("fusleepd_cell_retries_total", "Transient cell failures retried with backoff.", s.retries.Load())
+	counter("fusleepd_load_shed_total", "Submissions shed with 429 while the backlog was full.", s.sheds.Load())
+	counter("fusleepd_recovery_replays_total", "Jobs replayed from the WAL at startup.", s.replays.Load())
+	counter("fusleepd_store_served_total", "Cells served from the durable result store at feed time.", s.storeServed.Load())
+	counter("fusleepd_wal_errors_total", "WAL appends that failed (the job ran non-durably).", s.walErrs.Load())
+	if s.cfg.Results != nil {
+		rs := s.cfg.Results.Stats()
+		counter("fusleepd_store_hits_total", "Result-store lookups that found a journaled cell.", rs.Hits)
+		counter("fusleepd_store_puts_total", "Cell results journaled to the result store.", rs.Puts)
+		gauge("fusleepd_store_results", "Distinct cell results in the durable store.", "%d", rs.Results)
+		gauge("fusleepd_store_journal_bytes", "On-disk size of the result journal.", "%d", rs.Bytes)
+	}
+	if s.cfg.Jobs != nil {
+		gauge("fusleepd_wal_bytes", "On-disk size of the job WAL.", "%d", s.cfg.Jobs.Bytes())
+	}
 	counter("fusleepd_sim_runs_total", "Pipeline simulations executed by the engine.", stats.Simulations)
 	counter("fusleepd_sim_cache_hits_total", "Simulation requests served from the cross-call cache.", stats.CacheHits)
 	counter("fusleepd_sim_inflight_joins_total", "Simulation requests that joined an identical in-flight run.", stats.InflightJoins)
 	gauge("fusleepd_sim_cache_hit_rate", "Fraction of simulation requests that avoided a fresh run.", "%.4f", stats.HitRate())
 	sweepsActive, tunesActive := s.activeJobs()
 	gauge("fusleepd_queue_depth", "Cells waiting in the shard queues.", "%d", s.queueDepth())
+	gauge("fusleepd_pending_cells", "Admission-controlled backlog of unsettled cells.", "%d", s.pendingCells.Load())
 	gauge("fusleepd_sweeps_active", "Sweep jobs not yet in a terminal state.", "%d", sweepsActive)
 	gauge("fusleepd_tunes_active", "Tuner jobs not yet in a terminal state.", "%d", tunesActive)
 	gauge("fusleepd_cells_per_second", "Completed cells per second of uptime.", "%.3f", float64(done)/max(uptime, 1e-9))

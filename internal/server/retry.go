@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/fault"
+)
+
+// retryPolicy schedules bounded backoff for transiently failing cells.
+// Delays are exponential with deterministic jitter: the jitter derives
+// from (seed, cell key, attempt), so a replayed run backs off exactly the
+// same way — no shared RNG, no wall clock — while concurrently retrying
+// cells still spread out instead of thundering in lockstep.
+type retryPolicy struct {
+	// MaxRetries is how many additional attempts a transient failure gets
+	// after the first (0 = fail fast).
+	MaxRetries int
+	// Base is the first retry's nominal delay (default 10ms); attempt n
+	// waits Base·2^(n-1), capped at Max (default 2s).
+	Base time.Duration
+	Max  time.Duration
+	// Seed parameterizes the jitter hash.
+	Seed uint64
+}
+
+// Delay returns the backoff before the retry that follows failing attempt
+// n (1-based): the nominal exponential delay scaled into [50%, 100%) by
+// the deterministic jitter.
+func (p retryPolicy) Delay(key string, attempt int) time.Duration {
+	d := p.Base
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	ceil := p.Max
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	for i := 1; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := p.Seed ^ h.Sum64() ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := 0.5 + 0.5*float64(x>>11)/float64(1<<53)
+	return time.Duration(float64(d) * frac)
+}
+
+// sleepCtx is the production sleep used between retry attempts; tests
+// inject a recording fake through the Server.sleep field.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// evalCell runs one cell with full failure containment: fault injection,
+// panic recovery, the optional per-cell deadline, and bounded retry with
+// deterministically jittered backoff for transient failures. Permanent
+// failures (validation errors, panics, deadline hits) and job-context
+// cancellation return immediately.
+func (s *Server) evalCell(ctx context.Context, c fusleep.Cell) (fusleep.CellResult, error) {
+	attempts := s.retry.MaxRetries + 1
+	var res fusleep.CellResult
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		res, err = s.runOnce(ctx, c, attempt)
+		if err == nil || ctx.Err() != nil ||
+			!fusleep.IsTransientCellError(err) || attempt == attempts {
+			return res, err
+		}
+		s.retries.Add(1)
+		if serr := s.sleep(ctx, s.retry.Delay(c.Key(), attempt)); serr != nil {
+			return fusleep.CellResult{}, serr
+		}
+	}
+	return res, err
+}
+
+// runOnce is a single contained evaluation attempt.
+func (s *Server) runOnce(ctx context.Context, c fusleep.Cell, attempt int) (res fusleep.CellResult, err error) {
+	runCtx := ctx
+	if s.cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, s.cfg.CellTimeout)
+		defer cancel()
+	}
+	// A panicking evaluation must not take the worker shard down with it;
+	// it becomes a typed, permanent cell failure.
+	defer func() {
+		if r := recover(); r != nil {
+			res = fusleep.CellResult{}
+			err = &fusleep.CellError{
+				Key: c.Key(), Attempt: attempt, Panicked: true,
+				Err: fmt.Errorf("recovered panic: %v", r),
+			}
+		}
+	}()
+	if d := s.cfg.Fault.DelayFor(fault.CellSlow); d > 0 {
+		if serr := s.sleep(runCtx, d); serr != nil {
+			return fusleep.CellResult{}, s.classify(ctx, runCtx, c, attempt, serr)
+		}
+	}
+	if s.cfg.Fault.Fire(fault.CellPanic) {
+		panic("injected: " + fault.CellPanic)
+	}
+	if s.cfg.Fault.Fire(fault.CellTransient) {
+		return fusleep.CellResult{}, &fusleep.CellError{
+			Key: c.Key(), Attempt: attempt, Transient: true, Err: fault.ErrTransient,
+		}
+	}
+	res, err = s.eng.RunCell(runCtx, c)
+	if err != nil {
+		return fusleep.CellResult{}, s.classify(ctx, runCtx, c, attempt, err)
+	}
+	return res, nil
+}
+
+// classify wraps an attempt's error: when the per-cell deadline expired
+// while the job's own context was still live, the cell — not the job —
+// timed out, and that is a typed, permanent CellError.
+func (s *Server) classify(jobCtx, runCtx context.Context, c fusleep.Cell, attempt int, err error) error {
+	if jobCtx.Err() == nil && errors.Is(runCtx.Err(), context.DeadlineExceeded) {
+		return &fusleep.CellError{Key: c.Key(), Attempt: attempt, Timeout: true, Err: err}
+	}
+	return err
+}

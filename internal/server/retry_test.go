@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/fault"
+)
+
+// fakeSleep records requested backoffs and returns immediately, so retry
+// tests run on an injected clock instead of real timers.
+type fakeSleep struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.delays = append(f.delays, d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+func (f *fakeSleep) recorded() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]time.Duration, len(f.delays))
+	copy(out, f.delays)
+	return out
+}
+
+// testCell resolves one valid cell from the default grid machinery.
+func testCell(t *testing.T, eng *fusleep.Engine) fusleep.Cell {
+	t.Helper()
+	cells := eng.Cells(fusleep.Grid{Benchmarks: []string{"gcc"}, FUCounts: []int{2}, Window: testWindow})
+	if len(cells) == 0 {
+		t.Fatal("no cells from test grid")
+	}
+	return cells[0]
+}
+
+func TestEvalCellRetriesTransientThenSucceeds(t *testing.T) {
+	inj := fault.New(7)
+	inj.Set(fault.CellTransient, fault.Spec{Times: 2}) // first two attempts fail
+	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
+	s := New(Config{Engine: eng, Fault: inj, MaxRetries: 3})
+	defer s.Close()
+	fs := &fakeSleep{}
+	s.sleep = fs.sleep
+
+	c := testCell(t, eng)
+	res, err := s.evalCell(context.Background(), c)
+	if err != nil {
+		t.Fatalf("evalCell = %v, want success after retries", err)
+	}
+	if res.RelEnergy <= 0 {
+		t.Fatalf("suspicious result %+v", res)
+	}
+	if got := s.retries.Load(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	delays := fs.recorded()
+	want := []time.Duration{s.retry.Delay(c.Key(), 1), s.retry.Delay(c.Key(), 2)}
+	if len(delays) != 2 || delays[0] != want[0] || delays[1] != want[1] {
+		t.Fatalf("backoffs = %v, want %v", delays, want)
+	}
+}
+
+func TestEvalCellExhaustsRetries(t *testing.T) {
+	inj := fault.New(7)
+	inj.Set(fault.CellTransient, fault.Spec{}) // every attempt fails
+	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
+	s := New(Config{Engine: eng, Fault: inj, MaxRetries: 2})
+	defer s.Close()
+	fs := &fakeSleep{}
+	s.sleep = fs.sleep
+
+	_, err := s.evalCell(context.Background(), testCell(t, eng))
+	if !fusleep.IsTransientCellError(err) {
+		t.Fatalf("final error %v is not the transient CellError", err)
+	}
+	var ce *fusleep.CellError
+	if !errors.As(err, &ce) || ce.Attempt != 3 {
+		t.Fatalf("final error %v, want attempt 3", err)
+	}
+	if got := s.retries.Load(); got != 2 {
+		t.Fatalf("retries = %d, want 2 (MaxRetries)", got)
+	}
+	if hits := inj.Hits(fault.CellTransient); hits != 3 {
+		t.Fatalf("attempts = %d, want 3", hits)
+	}
+}
+
+func TestEvalCellPanicIsPermanent(t *testing.T) {
+	inj := fault.New(7)
+	inj.Set(fault.CellPanic, fault.Spec{Times: 1})
+	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
+	s := New(Config{Engine: eng, Fault: inj, MaxRetries: 5})
+	defer s.Close()
+	fs := &fakeSleep{}
+	s.sleep = fs.sleep
+
+	_, err := s.evalCell(context.Background(), testCell(t, eng))
+	var ce *fusleep.CellError
+	if !errors.As(err, &ce) || !ce.Panicked {
+		t.Fatalf("evalCell = %v, want recovered-panic CellError", err)
+	}
+	// A panic is permanent: no retries, no backoff, attempt 1.
+	if ce.Attempt != 1 || s.retries.Load() != 0 || len(fs.recorded()) != 0 {
+		t.Fatalf("panic was retried: attempt=%d retries=%d delays=%v",
+			ce.Attempt, s.retries.Load(), fs.recorded())
+	}
+}
+
+func TestEvalCellTimeoutIsPermanent(t *testing.T) {
+	inj := fault.New(7)
+	inj.Set(fault.CellSlow, fault.Spec{Times: 1, Delay: time.Second})
+	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
+	s := New(Config{Engine: eng, Fault: inj, MaxRetries: 5, CellTimeout: 5 * time.Millisecond})
+	defer s.Close()
+
+	start := time.Now()
+	_, err := s.evalCell(context.Background(), testCell(t, eng))
+	var ce *fusleep.CellError
+	if !errors.As(err, &ce) || !ce.Timeout {
+		t.Fatalf("evalCell = %v, want timeout CellError", err)
+	}
+	if s.retries.Load() != 0 {
+		t.Fatalf("timeout was retried %d times", s.retries.Load())
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline did not cut the stall short (%v)", elapsed)
+	}
+}
+
+func TestRetryDelayDeterministicJitter(t *testing.T) {
+	p := retryPolicy{MaxRetries: 4, Base: 10 * time.Millisecond, Max: 2 * time.Second, Seed: 42}
+	for _, tc := range []struct {
+		key     string
+		attempt int
+		nominal time.Duration
+	}{
+		{"cell-a", 1, 10 * time.Millisecond},
+		{"cell-a", 2, 20 * time.Millisecond},
+		{"cell-a", 3, 40 * time.Millisecond},
+		{"cell-b", 1, 10 * time.Millisecond},
+		{"cell-b", 9, 2 * time.Second}, // capped
+	} {
+		d := p.Delay(tc.key, tc.attempt)
+		if d < tc.nominal/2 || d >= tc.nominal {
+			t.Errorf("Delay(%s, %d) = %v outside [%v, %v)",
+				tc.key, tc.attempt, d, tc.nominal/2, tc.nominal)
+		}
+		if again := p.Delay(tc.key, tc.attempt); again != d {
+			t.Errorf("Delay(%s, %d) not deterministic: %v then %v", tc.key, tc.attempt, d, again)
+		}
+	}
+	// Different keys and attempts must jitter differently (else every cell
+	// retries in lockstep and the jitter is decorative).
+	if p.Delay("cell-a", 1) == p.Delay("cell-b", 1) && p.Delay("cell-a", 2) == p.Delay("cell-b", 2) {
+		t.Error("jitter is identical across keys")
+	}
+	if q := (retryPolicy{Seed: 43, Base: p.Base, Max: p.Max}); q.Delay("cell-a", 1) == p.Delay("cell-a", 1) {
+		t.Error("jitter ignores the seed")
+	}
+}

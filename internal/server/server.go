@@ -1,46 +1,22 @@
-// Package server implements fusleepd, the sweep-service daemon: an
-// HTTP/JSON front end over a shared fusleep.Engine. Submitted sweep grids
-// are expanded into cells and fed through a sharded, bounded job queue —
-// cells are routed to worker shards by their configuration hash, so
-// identical cells land on the same shard and deduplicate through the
-// engine's simulation cache instead of racing each other. Results stream
-// back per cell as NDJSON, and the server drains in-flight cells gracefully
-// on shutdown.
-//
-// Tuner jobs (POST /v1/optimize) share the same machinery: the tuner's
-// probes are cells routed through the same shards, so tuner and sweep
-// workloads dedupe against each other, and tune jobs live in the same
-// bounded retention registry as sweeps.
-//
-// Endpoints:
-//
-//	POST   /v1/sweeps          submit a grid, returns {id, cells}
-//	GET    /v1/sweeps          list sweep jobs
-//	GET    /v1/sweeps/{id}     stream per-cell results as NDJSON (?poll=1 for
-//	                           a point-in-time JSON snapshot instead)
-//	DELETE /v1/sweeps/{id}     cancel a sweep; in-flight cells abort promptly
-//	POST   /v1/optimize        submit a tuner run, returns {id, maxEvals}
-//	GET    /v1/optimize        list tune jobs
-//	GET    /v1/optimize/{id}   stream per-probe results as NDJSON (?poll=1
-//	                           for a snapshot)
-//	DELETE /v1/optimize/{id}   cancel a tune job
-//	GET    /v1/workloads       the registered benchmark suite
-//	GET    /v1/policies        the registered sleep policies and their knobs
-//	GET    /healthz            liveness (503 while draining)
-//	GET    /metrics            Prometheus-style counters and gauges
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"hash/fnv"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/fault"
+	"github.com/archsim/fusleep/internal/store"
 )
 
 // Config parameterizes a Server.
@@ -65,6 +41,33 @@ type Config struct {
 	// would exceed it, the oldest *terminal* jobs are evicted; running jobs
 	// are never evicted, so a long-lived daemon's memory stays bounded.
 	MaxRetained int
+	// MaxPending is the load-shedding threshold: once the unsettled
+	// backlog (sweep cells not yet settled plus running tune budgets)
+	// reaches it, new submissions get 429 with a Retry-After hint instead
+	// of queueing without bound (default: MaxCells).
+	MaxPending int
+	// Results, when set, is the durable content-addressed result store:
+	// feed serves already-journaled cells from it without queueing them,
+	// and /metrics surfaces its stats. Wire the same store into the Engine
+	// (fusleep.WithResultStore) so freshly computed results are journaled.
+	Results *store.ResultStore
+	// Jobs, when set, is the job write-ahead log: accepted submissions are
+	// fsynced to it before they are acknowledged, terminal jobs are marked
+	// finished, and Recover replays the difference after a restart.
+	Jobs *store.JobLog
+	// CellTimeout bounds each cell evaluation attempt; a cell that exceeds
+	// it fails permanently with a typed timeout CellError (default 0: no
+	// per-cell deadline).
+	CellTimeout time.Duration
+	// MaxRetries is how many additional attempts a transiently failing
+	// cell gets, with exponential deterministically jittered backoff
+	// (default 0: fail fast).
+	MaxRetries int
+	// RetryBase is the first retry's nominal backoff (default 10ms).
+	RetryBase time.Duration
+	// Fault arms the server's fault-injection points for chaos tests; nil
+	// (production) injects nothing.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetained <= 0 {
 		c.MaxRetained = 256
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = c.MaxCells
 	}
 	return c
 }
@@ -122,12 +128,25 @@ type Server struct {
 	workers sync.WaitGroup
 	feeders sync.WaitGroup
 
+	retry retryPolicy
+	// sleep waits between retry attempts (and inside injected stalls);
+	// tests replace it with a recording fake.
+	sleep func(ctx context.Context, d time.Duration) error
+
 	mu        sync.Mutex
 	jobs      map[string]queueJob
 	order     []string // submission order, for listing and eviction
 	seq       uint64
 	draining  bool
 	drainOnce sync.Once
+	drainDone chan struct{} // closed once, after the workers exit
+	closing   atomic.Bool   // forced shutdown: terminal aborts stay pending in the WAL
+	recovered atomic.Bool   // WAL replay finished (vacuously true without a WAL)
+
+	// pendingCells is the admission-controlled backlog: cells of accepted
+	// sweeps not yet settled plus the full evaluation budget of running
+	// tune jobs. Submissions shed (429) once it reaches MaxPending.
+	pendingCells atomic.Int64
 
 	// metrics
 	requests    atomic.Uint64
@@ -138,6 +157,11 @@ type Server struct {
 	tunesSubmit atomic.Uint64
 	tunesReject atomic.Uint64
 	probesDone  atomic.Uint64
+	retries     atomic.Uint64 // transient cell failures retried
+	sheds       atomic.Uint64 // submissions shed with 429
+	replays     atomic.Uint64 // jobs replayed from the WAL
+	storeServed atomic.Uint64 // cells served from the result store at feed time
+	walErrs     atomic.Uint64 // WAL appends that failed (job ran non-durably)
 }
 
 // New builds a server and starts its shard workers. It panics if cfg.Engine
@@ -148,11 +172,21 @@ func New(cfg Config) *Server {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		eng:   cfg.Engine,
-		start: time.Now(),
-		jobs:  make(map[string]queueJob),
+		cfg:       cfg,
+		eng:       cfg.Engine,
+		start:     time.Now(),
+		jobs:      make(map[string]queueJob),
+		drainDone: make(chan struct{}),
+		sleep:     sleepCtx,
+		retry: retryPolicy{
+			MaxRetries: cfg.MaxRetries,
+			Base:       cfg.RetryBase,
+			Seed:       0x66_75_73_6c_65_65_70, // "fusleep"
+		},
 	}
+	// Without a WAL there is nothing to replay; with one, readiness waits
+	// for Recover.
+	s.recovered.Store(cfg.Jobs == nil)
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{ch: make(chan task, cfg.QueueDepth)}
 		s.shards = append(s.shards, sh)
@@ -183,6 +217,8 @@ func (s *Server) shardFor(c fusleep.Cell) *shard {
 }
 
 // worker drains one shard until the shard channel closes at drain time.
+// Evaluation goes through evalCell, which contains panics, enforces the
+// per-cell deadline, and retries transient failures.
 func (s *Server) worker(sh *shard) {
 	defer s.workers.Done()
 	for t := range sh.ch {
@@ -190,18 +226,31 @@ func (s *Server) worker(sh *shard) {
 			t.done(fusleep.CellResult{}, err)
 			continue
 		}
-		t.done(s.eng.RunCell(t.ctx, t.cell))
+		t.done(s.evalCell(t.ctx, t.cell))
 	}
 }
 
 // feed pushes a sweep job's cells into their shards, stopping early if the
 // job is aborted; unfed cells settle as skipped so the job still
-// terminates.
+// terminates. Cells already in the durable result store are served from
+// disk here — no queue slot, no worker, no recomputation — which is what
+// makes a replayed job re-enqueue only its unfinished cells.
 func (s *Server) feed(job *sweepJob) {
 	defer s.feeders.Done()
 	for i, c := range job.cells {
 		idx := i
+		if s.cfg.Results != nil && job.ctx.Err() == nil {
+			if res, ok, err := s.cfg.Results.GetCell(c.Key()); err == nil && ok {
+				res.Index = idx
+				job.complete(res)
+				s.cellsDone.Add(1)
+				s.storeServed.Add(1)
+				s.release(1)
+				continue
+			}
+		}
 		t := task{ctx: job.ctx, cell: c, done: func(res fusleep.CellResult, err error) {
+			defer s.release(1)
 			if err != nil {
 				if job.fail(err) {
 					s.cellsFailed.Add(1)
@@ -215,10 +264,36 @@ func (s *Server) feed(job *sweepJob) {
 		select {
 		case s.shardFor(c).ch <- t:
 		case <-job.ctx.Done():
+			s.release(len(job.cells) - i)
 			job.skip(len(job.cells) - i)
 			return
 		}
 	}
+}
+
+// capacity is the admission-control threshold on the unsettled backlog.
+func (s *Server) capacity() int { return s.cfg.MaxPending }
+
+// admit reserves backlog room for n cells, shedding the submission when
+// the pending backlog has reached MaxPending. Accepted work must release
+// its reservation as it settles.
+func (s *Server) admit(n int) bool {
+	if s.pendingCells.Load() >= int64(s.capacity()) {
+		s.sheds.Add(1)
+		return false
+	}
+	s.pendingCells.Add(int64(n))
+	return true
+}
+
+// release returns n cells of backlog reservation.
+func (s *Server) release(n int) { s.pendingCells.Add(-int64(n)) }
+
+// retryAfterSeconds estimates how long a shed client should wait before
+// resubmitting: at least a second, growing with the backlog.
+func (s *Server) retryAfterSeconds() int {
+	secs := 1 + int(s.pendingCells.Load())/max(s.capacity(), 1)
+	return min(secs, 30)
 }
 
 // submit registers a job and starts its feeder goroutine (which pushes
@@ -303,14 +378,14 @@ func (s *Server) Draining() bool {
 // finish (tuner runs drive to completion), and stops the shard workers. If
 // ctx expires first, the remaining jobs are canceled (their in-flight
 // cells abort promptly and settle as skipped) and Drain returns ctx.Err
-// after the workers exit. Drain is idempotent; concurrent calls share one
-// drain.
+// after the workers exit. Drain is idempotent; concurrent calls — and
+// Close calls racing a Drain — share the single drain goroutine, so the
+// shard channels close exactly once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
 
-	done := make(chan struct{})
 	s.drainOnce.Do(func() {
 		go func() {
 			// No new feeders can start (draining is set), so once the live
@@ -319,19 +394,20 @@ func (s *Server) Drain(ctx context.Context) error {
 			for _, sh := range s.shards {
 				close(sh.ch)
 			}
+			s.workers.Wait()
+			close(s.drainDone)
 		}()
 	})
-	go func() {
-		s.workers.Wait()
-		close(done)
-	}()
 
 	select {
-	case <-done:
+	case <-s.drainDone:
 		return nil
 	case <-ctx.Done():
+		// Expired drains are forced shutdowns: aborted jobs stay pending in
+		// the WAL so a restart replays them.
+		s.closing.Store(true)
 		s.cancelAll()
-		<-done
+		<-s.drainDone
 		return ctx.Err()
 	}
 }
@@ -339,10 +415,14 @@ func (s *Server) Drain(ctx context.Context) error {
 // Close force-stops the server: cancel every job, then drain. For tests
 // and fatal-error paths; production shutdown should Drain first. Close
 // keeps the conventional no-argument signature — after cancelAll every
-// worker is already unblocking, so the drain below cannot hang.
+// worker is already unblocking, so the drain below cannot hang. Jobs
+// aborted here are deliberately NOT marked finished in the WAL: a forced
+// stop is the in-process stand-in for a crash, and the aborted jobs are
+// exactly the replay set the next start recovers.
 //
 //fusleepvet:ctx-ok Close is the forced path; Drain(ctx) is the cancellable one
 func (s *Server) Close() {
+	s.closing.Store(true)
 	s.cancelAll()
 	_ = s.Drain(context.Background())
 }
@@ -358,4 +438,135 @@ func (s *Server) cancelAll() {
 	for _, j := range jobs {
 		j.requestCancel()
 	}
+}
+
+// journalSubmit write-ahead-logs an accepted job — fsynced before the
+// submission is acknowledged — and arms its terminal callback. A wedged
+// WAL degrades to a non-durable job (it runs, it just will not replay)
+// rather than failing the submission.
+func (s *Server) journalSubmit(id, kind string, req any, arm func(onTerminal func(string))) {
+	if s.cfg.Jobs == nil {
+		return
+	}
+	payload, err := json.Marshal(req)
+	if err == nil {
+		err = s.cfg.Jobs.Submitted(id, kind, payload)
+	}
+	if err != nil {
+		s.walErrs.Add(1)
+		return
+	}
+	arm(s.finishRecord(id))
+}
+
+// finishRecord returns the terminal callback that marks a journaled job
+// finished. Shutdown aborts are excluded on purpose: a job canceled
+// because the process is dying is still pending work, and leaving it
+// unfinished in the WAL is what makes the next start replay it.
+func (s *Server) finishRecord(id string) func(state string) {
+	return func(state string) {
+		if state == StateCanceled && s.closing.Load() {
+			return
+		}
+		if err := s.cfg.Jobs.Finished(id, state); err != nil {
+			s.walErrs.Add(1)
+		}
+	}
+}
+
+// Recover replays the job WAL: every job submitted but never finished is
+// re-registered under its original ID and re-run. Cells already in the
+// durable result store are served from disk at feed time, so a replayed
+// sweep recomputes only the cells the crash actually lost. Call Recover
+// once, after New and before serving traffic; /readyz reports 503 until
+// it has run (when a WAL is configured).
+//
+//fusleepvet:ctx-ok replayed jobs outlive the call, exactly like submissions
+func (s *Server) Recover() (int, error) {
+	if s.cfg.Jobs == nil {
+		return 0, nil
+	}
+	// Keep the ID sequence monotonic past every journaled job — finished
+	// ones included — so new submissions never collide with replayed IDs.
+	s.mu.Lock()
+	for _, id := range s.cfg.Jobs.Known() {
+		if n, ok := parseJobID(id); ok && n > s.seq {
+			s.seq = n
+		}
+	}
+	s.mu.Unlock()
+
+	replayed := 0
+	var errs []error
+	for _, rec := range s.cfg.Jobs.Pending() {
+		if err := s.replay(rec); err != nil {
+			// A payload that no longer parses (config drift across the
+			// restart) is finished-failed rather than replayed forever.
+			errs = append(errs, fmt.Errorf("job %s: %w", rec.ID, err))
+			if ferr := s.cfg.Jobs.Finished(rec.ID, StateFailed); ferr != nil {
+				s.walErrs.Add(1)
+			}
+			continue
+		}
+		replayed++
+		s.replays.Add(1)
+	}
+	s.recovered.Store(true)
+	return replayed, errors.Join(errs...)
+}
+
+// replay re-submits one WAL record under its original ID.
+func (s *Server) replay(rec store.JobRecord) error {
+	switch rec.Kind {
+	case "sweep":
+		var req SweepRequest
+		if err := json.Unmarshal(rec.Payload, &req); err != nil {
+			return err
+		}
+		g, err := req.grid(s.cfg.MaxWindow)
+		if err != nil {
+			return err
+		}
+		cells := s.eng.Cells(g)
+		job := newSweepJob(context.Background(), rec.ID, cells) //fusleepvet:ctx-ok replayed job outlives the call
+		job.recovered = true
+		job.onTerminal = s.finishRecord(rec.ID)
+		s.pendingCells.Add(int64(len(cells)))
+		if err := s.submit(rec.ID, job, func() { s.feed(job) }); err != nil {
+			s.release(len(cells))
+			job.cancel()
+			return err
+		}
+	case "tune":
+		var req TuneRequest
+		if err := json.Unmarshal(rec.Payload, &req); err != nil {
+			return err
+		}
+		opts, budget, err := req.options(s.cfg)
+		if err != nil {
+			return err
+		}
+		job := newTuneJob(context.Background(), rec.ID, budget) //fusleepvet:ctx-ok replayed job outlives the call
+		job.recovered = true
+		job.onTerminal = s.finishRecord(rec.ID)
+		s.pendingCells.Add(int64(budget))
+		if err := s.submit(rec.ID, job, func() { s.runTune(job, opts) }); err != nil {
+			s.release(budget)
+			job.cancel()
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// parseJobID extracts the numeric sequence from a "s-000042"-style job ID.
+func parseJobID(id string) (uint64, bool) {
+	i := strings.IndexByte(id, '-')
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[i+1:], 10, 64)
+	return n, err == nil
 }

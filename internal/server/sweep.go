@@ -26,6 +26,13 @@ type sweepJob struct {
 	cancel  context.CancelFunc
 	created time.Time
 
+	// recovered marks a job replayed from the WAL after a restart.
+	recovered bool
+	// onTerminal, when set, is invoked exactly once — outside j.mu — when
+	// the job reaches a terminal state; the WAL uses it to mark journaled
+	// jobs finished.
+	onTerminal func(state string)
+
 	mu       sync.Mutex
 	results  []fusleep.CellResult // completion order, not grid order
 	settled  int                  // cells accounted for (completed + failed + skipped)
@@ -57,10 +64,12 @@ func (j *sweepJob) broadcast() {
 }
 
 // maybeFinish moves the job to its terminal state once every cell is
-// accounted for. Callers must hold j.mu.
-func (j *sweepJob) maybeFinish() {
+// accounted for, returning the armed terminal notification (nil when the
+// job is still running or has no callback). Callers must hold j.mu and
+// invoke the returned func after unlocking.
+func (j *sweepJob) maybeFinish() (notify func()) {
 	if j.settled < len(j.cells) || j.state != StateRunning {
-		return
+		return nil
 	}
 	switch {
 	case j.canceled:
@@ -70,16 +79,25 @@ func (j *sweepJob) maybeFinish() {
 	default:
 		j.state = StateDone
 	}
+	if j.onTerminal == nil {
+		return nil
+	}
+	cb, state := j.onTerminal, j.state
+	j.onTerminal = nil
+	return func() { cb(state) }
 }
 
 // complete records one finished cell.
 func (j *sweepJob) complete(res fusleep.CellResult) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.results = append(j.results, res)
 	j.settled++
-	j.maybeFinish()
+	notify := j.maybeFinish()
 	j.broadcast()
+	j.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
 // skip accounts for n cells that will never run (job aborted before they
@@ -89,11 +107,14 @@ func (j *sweepJob) skip(n int) {
 		return
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.skipped += n
 	j.settled += n
-	j.maybeFinish()
+	notify := j.maybeFinish()
 	j.broadcast()
+	j.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
 // fail records one cell's error. Cancellation-shaped errors on an already
@@ -112,13 +133,16 @@ func (j *sweepJob) fail(err error) (realFailure bool) {
 		realFailure = true
 	}
 	j.settled++
-	j.maybeFinish()
+	notify := j.maybeFinish()
 	j.broadcast()
 	j.mu.Unlock()
 	if realFailure {
 		// Abort the job's remaining cells; their cancellation errors and
 		// unfed remainders settle as skips.
 		j.cancel()
+	}
+	if notify != nil {
+		notify()
 	}
 	return realFailure
 }
@@ -150,6 +174,7 @@ type sweepStatus struct {
 	Failed    int       `json:"failed,omitempty"`
 	Skipped   int       `json:"skipped,omitempty"`
 	Error     string    `json:"error,omitempty"`
+	Recovered bool      `json:"recovered,omitempty"`
 	Created   time.Time `json:"created"`
 }
 
@@ -165,6 +190,7 @@ func (j *sweepJob) status() (sweepStatus, []fusleep.CellResult) {
 		Completed: len(j.results),
 		Failed:    j.failed,
 		Skipped:   j.skipped,
+		Recovered: j.recovered,
 		Created:   j.created,
 	}
 	if j.err != nil {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -167,6 +168,13 @@ type tuneJob struct {
 	cancel   context.CancelFunc
 	created  time.Time
 
+	// recovered marks a job replayed from the WAL after a restart.
+	recovered bool
+	// onTerminal, when set, is invoked exactly once — outside j.mu — when
+	// the job reaches a terminal state; the WAL uses it to mark journaled
+	// jobs finished.
+	onTerminal func(state string)
+
 	mu       sync.Mutex
 	probes   []fusleep.TuneProbe
 	result   *fusleep.TuneResult
@@ -207,7 +215,6 @@ func (j *tuneJob) addProbe(p fusleep.TuneProbe) {
 func (j *tuneJob) finish(res fusleep.TuneResult, err error) {
 	cancelErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch {
 	case j.canceled && (err == nil || cancelErr):
 		j.state = StateCanceled
@@ -218,7 +225,13 @@ func (j *tuneJob) finish(res fusleep.TuneResult, err error) {
 		j.state = StateDone
 		j.result = &res
 	}
+	notify, state := j.onTerminal, j.state
+	j.onTerminal = nil
 	j.broadcast()
+	j.mu.Unlock()
+	if notify != nil {
+		notify(state)
+	}
 }
 
 // jobState implements queueJob for the retention registry.
@@ -241,12 +254,13 @@ func (j *tuneJob) requestCancel() {
 
 // tuneStatus is the wire snapshot of a tune job.
 type tuneStatus struct {
-	ID       string    `json:"id"`
-	State    string    `json:"state"`
-	Probes   int       `json:"probes"`
-	MaxEvals int       `json:"maxEvals"`
-	Error    string    `json:"error,omitempty"`
-	Created  time.Time `json:"created"`
+	ID        string    `json:"id"`
+	State     string    `json:"state"`
+	Probes    int       `json:"probes"`
+	MaxEvals  int       `json:"maxEvals"`
+	Error     string    `json:"error,omitempty"`
+	Recovered bool      `json:"recovered,omitempty"`
+	Created   time.Time `json:"created"`
 }
 
 // status snapshots the job together with its terminal result (nil while
@@ -255,11 +269,12 @@ func (j *tuneJob) status() (tuneStatus, *fusleep.TuneResult) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := tuneStatus{
-		ID:       j.id,
-		State:    j.state,
-		Probes:   len(j.probes),
-		MaxEvals: j.maxEvals,
-		Created:  j.created,
+		ID:        j.id,
+		State:     j.state,
+		Probes:    len(j.probes),
+		MaxEvals:  j.maxEvals,
+		Recovered: j.recovered,
+		Created:   j.created,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -312,6 +327,9 @@ func (s *Server) queueEvaluator() fusleep.TuneEvaluator {
 // safe.
 func (s *Server) runTune(job *tuneJob, opts []fusleep.TuneOption) {
 	defer s.feeders.Done()
+	// Tune jobs reserve their full evaluation budget at admission; the
+	// whole reservation releases when the run terminates.
+	defer s.release(job.maxEvals)
 	opts = append(opts, fusleep.WithTuneEvaluator(s.queueEvaluator()))
 	res, err := s.eng.OptimizeStream(job.ctx, func(p fusleep.TuneProbe) error {
 		job.addProbe(p)
@@ -343,12 +361,26 @@ func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad tune request: %v", err)
 		return
 	}
+	if !s.admit(budget) {
+		s.tunesReject.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			"backlog full (%d pending cells); retry later", s.pendingCells.Load())
+		return
+	}
 	// Accepted tune jobs outlive the submitting request; the queue owns
 	// their lifecycle.
 	job := newTuneJob(context.Background(), s.nextID("t"), budget) //fusleepvet:ctx-ok job outlives the HTTP request
+	s.journalSubmit(job.id, "tune", req, func(cb func(string)) { job.onTerminal = cb })
 	if err := s.submit(job.id, job, func() { s.runTune(job, opts) }); err != nil {
 		s.tunesReject.Add(1)
+		s.release(budget)
 		job.cancel()
+		// The client gets an error, so the journaled submission must not
+		// replay as if it had been acknowledged.
+		if s.cfg.Jobs != nil {
+			_ = s.cfg.Jobs.Finished(job.id, StateCanceled)
+		}
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Job record kinds in the WAL.
+const (
+	kindJobSubmitted byte = 2
+	kindJobFinished  byte = 3
+)
+
+// JobRecord is one submitted job as the WAL remembers it: enough to
+// replay the submission verbatim after a restart.
+type JobRecord struct {
+	// ID is the job's service identifier (e.g. "s-000003"); replay reuses
+	// it so clients can resume the streams they were watching.
+	ID string `json:"id"`
+	// Kind is the job family: "sweep" or "tune".
+	Kind string `json:"kind"`
+	// Payload is the validated request body the job was built from.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// finishedRecord marks a job that reached a terminal state and must not
+// replay.
+type finishedRecord struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// JobLog is the job-level write-ahead log: accepted jobs append a
+// submitted record before they are acknowledged, terminal jobs append a
+// finished record, and recovery replays the difference. Every append is
+// fsynced individually — job records are rare and small, so the WAL
+// always runs with SyncEvery 1 regardless of the result journal's
+// batching. JobLog is safe for concurrent use.
+type JobLog struct {
+	mu       sync.Mutex
+	j        *Journal
+	records  map[string]JobRecord
+	finished map[string]string // id -> terminal state
+	order    []string          // submission order
+}
+
+// OpenJobLog opens (or creates) the WAL at path and replays its intact
+// records.
+func OpenJobLog(path string, inject JournalOptions) (*JobLog, error) {
+	opt := JournalOptions{SyncEvery: 1, Inject: inject.Inject}
+	j, recs, err := OpenJournal(path, opt)
+	if err != nil {
+		return nil, err
+	}
+	l := &JobLog{j: j, records: make(map[string]JobRecord), finished: make(map[string]string)}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case kindJobSubmitted:
+			var jr JobRecord
+			if err := json.Unmarshal(rec.Data, &jr); err != nil {
+				continue // a corrupt record loses one job's replay, not the log
+			}
+			if _, seen := l.records[jr.ID]; !seen {
+				l.order = append(l.order, jr.ID)
+			}
+			l.records[jr.ID] = jr
+		case kindJobFinished:
+			var fr finishedRecord
+			if err := json.Unmarshal(rec.Data, &fr); err != nil {
+				continue
+			}
+			l.finished[fr.ID] = fr.State
+		}
+	}
+	return l, nil
+}
+
+// Submitted journals one accepted job. It must return nil before the
+// submission is acknowledged to the client; the append is fsynced.
+func (l *JobLog) Submitted(id, kind string, payload []byte) error {
+	data, err := json.Marshal(JobRecord{ID: id, Kind: kind, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("store: encode job %s: %w", id, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.j.Append(Record{Kind: kindJobSubmitted, Key: id, Data: data}); err != nil {
+		return err
+	}
+	if _, seen := l.records[id]; !seen {
+		l.order = append(l.order, id)
+	}
+	l.records[id] = JobRecord{ID: id, Kind: kind, Payload: payload}
+	return nil
+}
+
+// Finished journals a job's terminal state so it will not replay.
+// Deliberately NOT called for jobs aborted by process shutdown: a job
+// canceled because the daemon died is still pending work, and replaying
+// it is the whole point of the WAL.
+func (l *JobLog) Finished(id, state string) error {
+	data, err := json.Marshal(finishedRecord{ID: id, State: state})
+	if err != nil {
+		return fmt.Errorf("store: encode finish %s: %w", id, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.j.Append(Record{Kind: kindJobFinished, Key: id, Data: data}); err != nil {
+		return err
+	}
+	l.finished[id] = state
+	return nil
+}
+
+// Pending returns the jobs submitted but never finished, in submission
+// order — the replay set after a crash.
+func (l *JobLog) Pending() []JobRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []JobRecord
+	for _, id := range l.order {
+		if _, done := l.finished[id]; done {
+			continue
+		}
+		out = append(out, l.records[id])
+	}
+	return out
+}
+
+// Known returns every job id the WAL has seen (pending or finished), in
+// submission order. Recovery uses it to keep the id sequence monotonic.
+func (l *JobLog) Known() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// Bytes returns the WAL's intact on-disk size.
+func (l *JobLog) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.j.Bytes()
+}
+
+// Close flushes and closes the WAL.
+func (l *JobLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.j.Close()
+}

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func openTestJobLog(t *testing.T, path string) *JobLog {
+	t.Helper()
+	l, err := OpenJobLog(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestJobLogPendingAfterReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JobsFile)
+	l := openTestJobLog(t, path)
+	if err := l.Submitted("s-000001", "sweep", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Submitted("t-000002", "tune", []byte(`{"b":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Submitted("s-000003", "sweep", []byte(`{"c":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Finished("t-000002", "done"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTestJobLog(t, path)
+	defer l2.Close()
+	p := l2.Pending()
+	if len(p) != 2 {
+		t.Fatalf("pending = %d jobs, want 2", len(p))
+	}
+	// Submission order is preserved.
+	if p[0].ID != "s-000001" || p[1].ID != "s-000003" {
+		t.Fatalf("pending order = %s, %s", p[0].ID, p[1].ID)
+	}
+	if p[0].Kind != "sweep" || string(p[0].Payload) != `{"a":1}` {
+		t.Fatalf("replayed record mangled: %+v", p[0])
+	}
+	known := l2.Known()
+	if len(known) != 3 {
+		t.Fatalf("known = %v, want all three submitted IDs", known)
+	}
+}
+
+func TestJobLogFinishedAllLeavesNothingPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JobsFile)
+	l := openTestJobLog(t, path)
+	for _, id := range []string{"s-1", "s-2"} {
+		if err := l.Submitted(id, "sweep", []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Finished(id, "done"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTestJobLog(t, path)
+	defer l2.Close()
+	if p := l2.Pending(); len(p) != 0 {
+		t.Fatalf("pending = %+v, want none", p)
+	}
+}
+
+func TestJobLogFinishedForUnknownIDIsIgnored(t *testing.T) {
+	// A Finished frame without its Submitted frame can only result from a
+	// compaction bug or manual edits; recovery must not crash on it.
+	path := filepath.Join(t.TempDir(), JobsFile)
+	l := openTestJobLog(t, path)
+	if err := l.Finished("ghost", "done"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Submitted("real", "sweep", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTestJobLog(t, path)
+	defer l2.Close()
+	p := l2.Pending()
+	if len(p) != 1 || p[0].ID != "real" {
+		t.Fatalf("pending = %+v", p)
+	}
+}

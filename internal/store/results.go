@@ -1,0 +1,236 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/archsim/fusleep/internal/experiments"
+)
+
+// kindResult is the journal record kind of one cell result.
+const kindResult byte = 1
+
+// ResultStore is the durable, content-addressed cell-result store: an
+// append-only journal of encoded experiments.CellResult records keyed by
+// the stable Cell.Key configuration hash, with an in-memory index for
+// reads. Two cells with the same key are the same computation, so Put is
+// idempotent and the store doubles as a cross-restart dedupe substrate.
+// It implements experiments.CellStore and is safe for concurrent use.
+type ResultStore struct {
+	mu    sync.Mutex
+	j     *Journal
+	index map[string][]byte // key -> encoded CellResult (last write wins)
+	order []string          // first-seen key order, for deterministic compaction
+
+	hits    uint64
+	puts    uint64
+	putErrs uint64
+}
+
+// OpenResults opens (or creates) the result journal at path and rebuilds
+// the index from its intact records.
+func OpenResults(path string, opt JournalOptions) (*ResultStore, error) {
+	j, recs, err := OpenJournal(path, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &ResultStore{j: j, index: make(map[string][]byte, len(recs))}
+	for _, rec := range recs {
+		if rec.Kind != kindResult {
+			continue
+		}
+		if _, seen := s.index[rec.Key]; !seen {
+			s.order = append(s.order, rec.Key)
+		}
+		s.index[rec.Key] = rec.Data
+	}
+	return s, nil
+}
+
+// GetCell returns the journaled result for a cell key. The stored bytes
+// decode into exactly the CellResult that was computed (Index zeroed, as
+// EvalCell returns it), so a served result is byte-identical to a
+// recomputed one when re-encoded.
+func (s *ResultStore) GetCell(key string) (experiments.CellResult, bool, error) {
+	s.mu.Lock()
+	data, ok := s.index[key]
+	if ok {
+		s.hits++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return experiments.CellResult{}, false, nil
+	}
+	var res experiments.CellResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return experiments.CellResult{}, false, fmt.Errorf("store: decode result %s: %w", key, err)
+	}
+	return res, true, nil
+}
+
+// PutCell journals one completed cell under its key. Results are
+// content-addressed — a key already present is the same computation, so
+// the put is a no-op. The result's Index is not persisted (it is a
+// per-grid position, not part of the cell's identity).
+func (s *ResultStore) PutCell(key string, res experiments.CellResult) error {
+	res.Index = 0
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("store: encode result %s: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok {
+		return nil
+	}
+	if err := s.j.Append(Record{Kind: kindResult, Key: key, Data: data}); err != nil {
+		s.putErrs++
+		return err
+	}
+	s.index[key] = data
+	s.order = append(s.order, key)
+	s.puts++
+	return nil
+}
+
+// Has reports whether the store holds a result for key without decoding
+// it or counting a hit.
+func (s *ResultStore) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Keys returns the stored cell keys in first-journaled order.
+func (s *ResultStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Compact rewrites the journal with one record per key (first-journaled
+// order), dropping superseded duplicates and reclaiming their bytes. The
+// rewrite goes to a temporary file that replaces the journal atomically,
+// so a crash mid-compaction leaves either the old or the new journal
+// intact, never a mix.
+func (s *ResultStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.j.Wedged() {
+		return ErrWedged
+	}
+	tmpPath := s.j.path + ".compact"
+	tmp, _, err := OpenJournal(tmpPath, JournalOptions{SyncEvery: len(s.order) + 1})
+	if err != nil {
+		return err
+	}
+	for _, key := range s.order {
+		if err := tmp.Append(Record{Kind: kindResult, Key: key, Data: s.index[key]}); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := s.j.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, s.j.path); err != nil {
+		return fmt.Errorf("store: swap compacted journal: %w", err)
+	}
+	if err := syncDir(filepath.Dir(s.j.path)); err != nil {
+		return err
+	}
+	j, recs, err := OpenJournal(s.j.path, s.j.opt)
+	if err != nil {
+		return err
+	}
+	if len(recs) != len(s.order) {
+		j.Close()
+		return fmt.Errorf("store: compacted journal has %d records, want %d", len(recs), len(s.order))
+	}
+	s.j = j
+	return nil
+}
+
+// Stats snapshots the store's accounting.
+type Stats struct {
+	// Results is the number of distinct cell keys stored.
+	Results int `json:"results"`
+	// Bytes is the journal's intact on-disk size.
+	Bytes int64 `json:"bytes"`
+	// Recovered is how many records the opening scan replayed.
+	Recovered int `json:"recovered"`
+	// TruncatedBytes is how many torn-tail bytes the opening scan dropped.
+	TruncatedBytes int64 `json:"truncatedBytes"`
+	// Hits, Puts, PutErrors count this process's store traffic.
+	Hits      uint64 `json:"hits"`
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"putErrors"`
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *ResultStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Results:        len(s.index),
+		Bytes:          s.j.Bytes(),
+		Recovered:      s.j.Recovered(),
+		TruncatedBytes: s.j.TruncatedBytes(),
+		Hits:           s.hits,
+		Puts:           s.puts,
+		PutErrors:      s.putErrs,
+	}
+}
+
+// Len returns the number of distinct stored results.
+func (s *ResultStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Wedged reports whether the underlying journal stopped accepting writes.
+func (s *ResultStore) Wedged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Wedged()
+}
+
+// Sync forces any batched frames to disk.
+func (s *ResultStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Sync()
+}
+
+// Close flushes and closes the journal.
+func (s *ResultStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/archsim/fusleep/internal/fault"
+)
+
+// Default file names inside a store directory.
+const (
+	ResultsFile = "results.jrn"
+	JobsFile    = "jobs.wal"
+)
+
+// Options parameterize a store directory.
+type Options struct {
+	// SyncEvery batches result-journal fsyncs (default 1 = every append).
+	// The job WAL always syncs every append regardless.
+	SyncEvery int
+	// Inject arms the journals' fault points; nil injects nothing.
+	Inject *fault.Injector
+}
+
+// Store bundles the two durable structures a fusleepd instance keeps in
+// its -store-dir: the content-addressed cell-result journal and the job
+// write-ahead log.
+type Store struct {
+	Dir     string
+	Results *ResultStore
+	Jobs    *JobLog
+}
+
+// Open creates dir if needed and opens both journals inside it,
+// recovering from any torn tails.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	jopt := JournalOptions{SyncEvery: opt.SyncEvery, Inject: opt.Inject}
+	results, err := OpenResults(filepath.Join(dir, ResultsFile), jopt)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := OpenJobLog(filepath.Join(dir, JobsFile), jopt)
+	if err != nil {
+		results.Close()
+		return nil, err
+	}
+	return &Store{Dir: dir, Results: results, Jobs: jobs}, nil
+}
+
+// Close closes both journals, reporting the first error.
+func (s *Store) Close() error {
+	err := s.Results.Close()
+	if jerr := s.Jobs.Close(); err == nil {
+		err = jerr
+	}
+	return err
+}
