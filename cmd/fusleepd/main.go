@@ -9,6 +9,25 @@
 //	fusleepd -addr :8080
 //	fusleepd -addr :8080 -shards 8 -queue 256 -window 500000 -parallel 4
 //	fusleepd -addr :8080 -store-dir /var/lib/fusleepd -cell-timeout 30s -max-retries 2
+//	fusleepd -role coordinator -addr :8080 -store-dir /var/lib/fusleepd
+//	fusleepd -role worker -coordinator http://coord:8080 -worker-parallel 4
+//
+// # Roles
+//
+// The daemon runs in one of three roles (-role):
+//
+//   - standalone (default): the single-process daemon — intake, queueing,
+//     and evaluation in one binary. Behavior is identical to releases that
+//     predate the fleet.
+//   - coordinator: owns job intake, the WAL, and the content-addressed
+//     result store, but evaluates nothing itself. Cells route to registered
+//     workers by rendezvous hashing; a worker that crashes or partitions
+//     has its leased cells requeued to the survivors, and already-reported
+//     cells replay for free from the store.
+//   - worker: a listener-less evaluation process. It dials the coordinator
+//     (-coordinator), registers, long-polls for leased cells, evaluates
+//     them through the same executor the standalone daemon embeds, and
+//     reports the results. Workers may join and leave at any time.
 //
 // With -store-dir the daemon is crash-safe: accepted jobs are fsynced to a
 // write-ahead log before they are acknowledged, completed cells are
@@ -19,7 +38,7 @@
 // the deadline); -max-retries retries transiently failing cells with
 // deterministically jittered exponential backoff.
 //
-// Endpoints (see internal/server for the contract):
+// Endpoints (see API.md for the full contract):
 //
 //	POST   /v1/sweeps          submit a sweep grid (429 + Retry-After when full)
 //	GET    /v1/sweeps/{id}     stream per-cell NDJSON results (?poll=1 snapshots)
@@ -27,8 +46,14 @@
 //	POST   /v1/optimize        submit a Pareto-aware tuner run
 //	GET    /v1/optimize/{id}   stream per-probe NDJSON results (?poll=1 snapshots)
 //	DELETE /v1/optimize/{id}   cancel a tuner run
+//	GET    /v1/jobs            every retained job, sweeps and tunes alike
+//	GET    /v1/jobs/{id}       stream or poll either job kind
+//	DELETE /v1/jobs/{id}       cancel either job kind
 //	GET    /v1/workloads       registered benchmarks
 //	GET    /v1/policies        registered sleep policies and their knobs
+//	GET    /v1/classes         functional-unit classes
+//	POST   /v1/fleet/...       worker wire protocol (coordinator role)
+//	GET    /v1/fleet/workers   live fleet membership (coordinator role)
 //	GET    /healthz            liveness (503 while draining)
 //	GET    /readyz             readiness (503 while draining, recovering, or shedding)
 //	GET    /metrics            Prometheus-style metrics
@@ -37,7 +62,8 @@
 // and in-flight cell (bounded by -drain-timeout), finishes open response
 // streams, and exits. A drain that exceeds its deadline aborts the
 // remaining jobs; with -store-dir those stay pending in the WAL and the
-// next start resumes them.
+// next start resumes them. A worker sends a goodbye on shutdown so the
+// coordinator requeues its outstanding cells immediately.
 package main
 
 import (
@@ -48,17 +74,20 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/fleet"
 	"github.com/archsim/fusleep/internal/server"
 	"github.com/archsim/fusleep/internal/store"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	shards := flag.Int("shards", 0, "worker shards (0 = min(GOMAXPROCS, 8))")
+	addr := flag.String("addr", ":8080", "listen address (standalone and coordinator roles)")
+	role := flag.String("role", "standalone", `daemon role: "standalone", "coordinator", or "worker"`)
+	shards := flag.Int("shards", 0, "worker shards (0 = min(GOMAXPROCS, 8); standalone role)")
 	queue := flag.Int("queue", 128, "pending cells per shard")
 	maxCells := flag.Int("max-cells", 4096, "largest accepted sweep, in cells")
 	window := flag.Uint64("window", 1_000_000, "default instruction window per benchmark")
@@ -70,7 +99,23 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell evaluation deadline (0 = none)")
 	maxRetries := flag.Int("max-retries", 2, "additional attempts for transiently failing cells")
 	syncEvery := flag.Int("sync-every", 1, "fsync the result journal every n appends (1 = every result durable)")
+	coordURL := flag.String("coordinator", "http://localhost:8080", "coordinator base URL (worker role)")
+	workerName := flag.String("worker-name", "", "worker label sent at registration (worker role; default hostname)")
+	workerTTL := flag.Duration("worker-ttl", 10*time.Second, "heartbeat lease before a silent worker is expired (coordinator role)")
+	fleetQueue := flag.Int("fleet-queue", 64, "queued cells per worker before dispatch blocks (coordinator role)")
+	workerParallel := flag.Int("worker-parallel", 0, "concurrent cell evaluations (0 = GOMAXPROCS; worker role)")
 	flag.Parse()
+
+	switch *role {
+	case "standalone", "coordinator":
+	case "worker":
+		runWorker(*coordURL, *workerName, *window, *parallel, *cache,
+			*cellTimeout, *maxRetries, *workerParallel)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "fusleepd: unknown -role %q (want standalone, coordinator, or worker)\n", *role)
+		os.Exit(2)
+	}
 
 	engOpts := []fusleep.Option{
 		fusleep.WithWindow(*window),
@@ -106,6 +151,12 @@ func main() {
 		cfg.Results = st.Results
 		cfg.Jobs = st.Jobs
 	}
+	if *role == "coordinator" {
+		cfg.Fleet = fleet.NewCoordinator(fleet.Config{
+			QueueDepth: *fleetQueue,
+			WorkerTTL:  *workerTTL,
+		})
+	}
 	srv := server.New(cfg)
 	if replayed, err := srv.Recover(); err != nil {
 		fmt.Fprintf(os.Stderr, "fusleepd: recovery: %v\n", err)
@@ -124,7 +175,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "fusleepd listening on %s\n", *addr)
+		fmt.Fprintf(os.Stderr, "fusleepd listening on %s (%s)\n", *addr, *role)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -154,4 +205,45 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "fusleepd: bye")
+}
+
+// runWorker is the -role=worker entry point: no listener, no store — just
+// an engine behind the fleet's fetch/evaluate/report loop until SIGTERM.
+func runWorker(coordinator, name string, window uint64, parallel int, cache bool,
+	cellTimeout time.Duration, maxRetries, workerParallel int) {
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	if workerParallel <= 0 {
+		workerParallel = runtime.GOMAXPROCS(0)
+	}
+	eng := fusleep.NewEngine(
+		fusleep.WithWindow(window),
+		fusleep.WithParallelism(parallel),
+		fusleep.WithCache(cache),
+	)
+	w := &fleet.Worker{
+		Coordinator: coordinator,
+		Name:        name,
+		Exec: &fleet.Executor{
+			Engine:      eng,
+			CellTimeout: cellTimeout,
+			Retry: fleet.RetryPolicy{
+				MaxRetries: maxRetries,
+				Seed:       0x66_75_73_6c_65_65_70, // "fusleep": match the server's jitter
+			},
+		},
+		Parallel: workerParallel,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "fusleepd worker %q dialing %s\n", name, coordinator)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "fusleepd worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "fusleepd worker: bye")
 }

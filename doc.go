@@ -173,7 +173,7 @@
 // in BENCH_pipeline.json when a PR legitimately moves it). To profile the
 // hot path, use cmd/simcpu's -cpuprofile and -memprofile flags.
 //
-// The pre-Engine one-shot helpers (SimulateBenchmark, RunExperiment,
-// RunExperiments, RunAll) remain as deprecated shims; new code should use
-// the Engine. See the examples directory for complete programs.
+// All entry points go through the Engine; the pre-Engine one-shot helpers
+// (SimulateBenchmark, RunExperiment, RunExperiments, RunAll) have been
+// removed. See the examples directory for complete programs.
 package fusleep

@@ -142,11 +142,16 @@ func submit(base string, req sweepRequest) (id string, cells int, err error) {
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusAccepted {
+			// Errors arrive in the canonical /v1 envelope:
+			// {"error": {"code": "...", "message": "..."}}.
 			var e struct {
-				Error string `json:"error"`
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
 			}
 			_ = json.NewDecoder(resp.Body).Decode(&e)
-			return "", 0, fmt.Errorf("submit: %s: %s", resp.Status, e.Error)
+			return "", 0, fmt.Errorf("submit: %s: %s (%s)", resp.Status, e.Error.Message, e.Error.Code)
 		}
 		var sub submitResponse
 		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {

@@ -1,9 +1,6 @@
 package fusleep
 
 import (
-	"context"
-	"io"
-
 	"github.com/archsim/fusleep/internal/circuit"
 	"github.com/archsim/fusleep/internal/core"
 	"github.com/archsim/fusleep/internal/experiments"
@@ -227,80 +224,4 @@ func Experiments() []ExperimentInfo {
 		out = append(out, ExperimentInfo{ID: e.ID, Paper: e.Paper, Desc: e.Desc, Simulated: e.Simulated})
 	}
 	return out
-}
-
-// ---- Deprecated one-shot API ----
-//
-// The functions below predate the Engine. They still work, but they build a
-// throwaway engine per call (no cancellation, no cross-call caching) and
-// render text only.
-
-// SimOptions parameterize a SimulateBenchmark call.
-//
-// Deprecated: use Engine.Simulate with SimWindow, SimFUs, and SimL2Latency
-// options instead.
-type SimOptions struct {
-	// Window is the instruction count (default 1,000,000).
-	Window uint64
-	// FUs is the integer functional-unit count; 0 selects the paper's
-	// Table 3 count for the benchmark.
-	FUs int
-	// L2Latency is the unified L2 hit latency in cycles (default 12).
-	L2Latency int
-}
-
-// SimulateBenchmark runs one suite benchmark on the Table 2 machine and
-// returns its measured report.
-//
-// Deprecated: use Engine.Simulate, which adds cancellation and cross-call
-// caching.
-func SimulateBenchmark(name string, opts SimOptions) (BenchmarkReport, error) {
-	eng := NewEngine(WithWindow(opts.Window), WithCache(false))
-	return eng.Simulate(context.Background(), name,
-		SimWindow(opts.Window), SimFUs(opts.FUs), SimL2Latency(opts.L2Latency))
-}
-
-// ExperimentOptions scale the simulated experiments.
-//
-// Deprecated: configure an Engine with WithWindow and WithSweep instead.
-type ExperimentOptions struct {
-	// Window is the per-benchmark instruction count (default 1,000,000).
-	Window uint64
-	// Sweep is the per-run count for the Table 3 FU sweep (default 750,000).
-	Sweep uint64
-}
-
-// RunExperiment executes one experiment by ID and renders its artifacts to
-// w as text.
-//
-// Deprecated: use Engine.RunExperiment, which returns structured artifacts
-// and honors a context.
-func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
-	return RunExperiments([]string{id}, w, opts)
-}
-
-// RunAll executes every experiment in order.
-//
-// Deprecated: use Engine.RunExperiments with no ids.
-func RunAll(w io.Writer, opts ExperimentOptions) error {
-	return RunExperiments(experiments.IDs(), w, opts)
-}
-
-// RunExperiments executes the given experiments in order with one shared
-// engine, so suite simulations are paid for once, and renders the results
-// to w as text. As before, an empty ids list is a no-op (unlike
-// Engine.RunExperiments, where it means "run everything").
-//
-// Deprecated: use Engine.RunExperiments, which returns structured artifacts
-// renderable as text, JSON, or CSV.
-func RunExperiments(ids []string, w io.Writer, opts ExperimentOptions) error {
-	if len(ids) == 0 {
-		return nil
-	}
-	eng := NewEngine(WithWindow(opts.Window), WithSweep(opts.Sweep))
-	arts, err := eng.RunExperiments(context.Background(), ids...)
-	if err != nil {
-		return err
-	}
-	return RenderText(w, arts)
 }

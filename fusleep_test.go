@@ -2,6 +2,7 @@ package fusleep_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -69,13 +70,15 @@ func TestBenchmarkNames(t *testing.T) {
 	if len(names) != 9 {
 		t.Fatalf("suite has %d names", len(names))
 	}
-	if _, err := fusleep.SimulateBenchmark("bogus", fusleep.SimOptions{}); err == nil {
+	eng := fusleep.NewEngine()
+	if _, err := eng.Simulate(context.Background(), "bogus"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestSimulateBenchmarkDefaults(t *testing.T) {
-	rep, err := fusleep.SimulateBenchmark("gcc", fusleep.SimOptions{Window: 80_000})
+	eng := fusleep.NewEngine(fusleep.WithWindow(80_000))
+	rep, err := eng.Simulate(context.Background(), "gcc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,15 +103,20 @@ func TestExperimentListAndRun(t *testing.T) {
 	if len(exps) < 15 {
 		t.Fatalf("only %d experiments registered", len(exps))
 	}
+	eng := fusleep.NewEngine()
+	arts, err := eng.RunExperiment(context.Background(), "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := fusleep.RunExperiment("table1", &buf, fusleep.ExperimentOptions{}); err != nil {
+	if err := fusleep.RenderText(&buf, arts); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, "dual-Vt") || !strings.Contains(out, "22.2") {
 		t.Errorf("table1 output wrong:\n%s", out)
 	}
-	if err := fusleep.RunExperiment("bogus", &buf, fusleep.ExperimentOptions{}); err == nil {
+	if _, err := eng.RunExperiment(context.Background(), "bogus"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -117,9 +125,13 @@ func TestRunExperimentsShareRunner(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulated")
 	}
+	eng := fusleep.NewEngine(fusleep.WithWindow(50_000), fusleep.WithSweep(25_000))
+	arts, err := eng.RunExperiments(context.Background(), "fig8a", "fig9b")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	opts := fusleep.ExperimentOptions{Window: 50_000, Sweep: 25_000}
-	if err := fusleep.RunExperiments([]string{"fig8a", "fig9b"}, &buf, opts); err != nil {
+	if err := fusleep.RenderText(&buf, arts); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -86,6 +86,7 @@ func TestScopes(t *testing.T) {
 		{ModulePath + "/internal/core", true, true},
 		{ModulePath + "/internal/report", true, false},
 		{ModulePath + "/internal/workload", false, true},
+		{ModulePath + "/internal/fleet", false, true},
 		{ModulePath + "/internal/server", false, false},
 		{ModulePath + "/internal/analysis", false, false},
 		{ModulePath + "/internal/core/somefixture", true, true},

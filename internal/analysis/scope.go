@@ -35,6 +35,7 @@ var simulationPackages = []string{
 	ModulePath + "/internal/core",
 	ModulePath + "/internal/experiments",
 	ModulePath + "/internal/fault",
+	ModulePath + "/internal/fleet",
 	ModulePath + "/internal/fu",
 	ModulePath + "/internal/isa",
 	ModulePath + "/internal/optimize",

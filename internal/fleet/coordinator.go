@@ -1,0 +1,598 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/archsim/fusleep"
+)
+
+// ErrUnknownWorker is returned to requests carrying a worker ID the
+// coordinator does not know — never registered, expired after missed
+// heartbeats, or deregistered. The worker's recovery is to re-register.
+var ErrUnknownWorker = errors.New("unknown worker (expired or never registered)")
+
+// Task is one cell the server wants evaluated somewhere in the fleet.
+// Done is called exactly once — with the reporting worker's name on
+// success, or "" when the outcome is a cancellation or the task joined
+// nothing — and must not block.
+type Task struct {
+	Ctx  context.Context
+	Cell fusleep.Cell
+	Done func(worker string, res fusleep.CellResult, err error)
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// QueueDepth bounds each worker's pending (unleased) queue; a dispatch
+	// that finds its target full blocks until a fetch frees a slot, which
+	// is the backpressure that propagates to submit-time 429s.
+	// Requeued work from a dead worker is exempt — losing a worker must
+	// never deadlock the survivors — so queues can transiently overshoot.
+	// Default 64.
+	QueueDepth int
+	// WorkerTTL is the heartbeat lease: a worker silent for longer is
+	// expired and its queued and leased cells requeued over the survivors.
+	// Fetch and report renew it too. Default 10s.
+	WorkerTTL time.Duration
+	// MaxWait caps a fetch long-poll. Default 30s.
+	MaxWait time.Duration
+	// Now is the clock; tests inject a fake to drive lease expiry
+	// deterministically. Nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.WorkerTTL <= 0 {
+		c.WorkerTTL = 10 * time.Second
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	return c
+}
+
+// member is one registered worker.
+type member struct {
+	id       string
+	name     string
+	deadline time.Time
+	queue    []*assignment          // dispatched, not yet fetched
+	leased   map[uint64]*assignment // fetched, not yet reported
+	wake     chan struct{}          // closed and replaced when queue gains work
+	done     uint64
+	failed   uint64
+}
+
+// assignment is one unit of fleet work: a distinct cell key, the tasks
+// waiting on it (>1 after a duplicate-work join), and where it currently
+// lives. Exactly one of owner/unassigned holds it until it is reported or
+// every waiting task is canceled.
+type assignment struct {
+	key   string
+	cell  fusleep.Cell
+	tasks []Task
+	owner *member
+	lease uint64 // nonzero while fetched by owner
+}
+
+// canceled reports whether every waiting task has been canceled, making
+// the assignment prunable.
+func (a *assignment) canceled() bool {
+	for _, t := range a.tasks {
+		if t.Ctx.Err() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a point-in-time snapshot of the fleet's state and counters.
+type Stats struct {
+	Workers    int
+	Queued     int
+	Leased     int
+	Unassigned int
+	Dispatched uint64 // assignments created (joins excluded)
+	Joins      uint64 // tasks that joined an in-flight assignment
+	Completed  uint64 // assignments reported successfully
+	Failed     uint64 // assignments reported as errors
+	Requeues   uint64 // assignments requeued off a dead worker
+	Rebalanced uint64 // queued assignments moved to a joining worker
+	Expired    uint64 // workers expired after missed heartbeats
+	Stale      uint64 // reports discarded because their lease was requeued
+}
+
+// Coordinator owns the fleet side of a coordinator-role server: worker
+// membership, rendezvous routing, per-worker bounded queues, leases, and
+// requeue on worker death. It never dials workers; they pull via
+// Fetch/Report.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	onResult func(key string, res fusleep.CellResult)
+	workers  map[string]*member
+	live     []string // sorted ids of live workers
+	seq      uint64   // worker id allocator
+	leaseSeq uint64
+	byKey    map[string]*assignment // every live assignment, for duplicate join
+	orphans  []*assignment          // work with no live worker to hold it
+	space    chan struct{}          // closed and replaced when capacity may have freed
+
+	stats Stats
+}
+
+// NewCoordinator builds an empty coordinator.
+func NewCoordinator(cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:     cfg.withDefaults(),
+		workers: make(map[string]*member),
+		byKey:   make(map[string]*assignment),
+		space:   make(chan struct{}),
+	}
+}
+
+// SetOnResult arms the hook invoked once per successfully reported
+// assignment, before its result fans out to the waiting tasks; the server
+// uses it to journal results into the content-addressed store. Set it
+// before dispatching.
+func (c *Coordinator) SetOnResult(fn func(key string, res fusleep.CellResult)) {
+	c.mu.Lock()
+	c.onResult = fn
+	c.mu.Unlock()
+}
+
+// now resolves the injectable clock.
+func (c *Coordinator) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now() //fusleepvet:nondet-ok lease bookkeeping wall clock; results never depend on it
+}
+
+// TTL returns the worker heartbeat lease.
+func (c *Coordinator) TTL() time.Duration { return c.cfg.WorkerTTL }
+
+// wakeLocked signals a worker's long-polling fetcher. Callers hold c.mu.
+func (c *Coordinator) wakeLocked(m *member) {
+	close(m.wake)
+	m.wake = make(chan struct{})
+}
+
+// spaceLocked signals blocked dispatchers that capacity may have freed.
+// Callers hold c.mu.
+func (c *Coordinator) spaceLocked() {
+	close(c.space)
+	c.space = make(chan struct{})
+}
+
+// pickLocked routes a key to its live worker by rendezvous hashing, or
+// nil when no workers are live. Callers hold c.mu.
+func (c *Coordinator) pickLocked(key string) *member {
+	id := RendezvousPick(key, c.live)
+	if id == "" {
+		return nil
+	}
+	return c.workers[id]
+}
+
+// Register adds a worker and rebalances: queued (unleased) work whose
+// rendezvous pick is now the new worker moves over, and orphaned work is
+// re-routed. Returns the assigned worker ID and the heartbeat TTL.
+func (c *Coordinator) Register(name string) (string, time.Duration) {
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("w-%06d", c.seq)
+	m := &member{
+		id: id, name: name,
+		deadline: c.now().Add(c.cfg.WorkerTTL),
+		leased:   make(map[uint64]*assignment),
+		wake:     make(chan struct{}),
+	}
+	c.workers[id] = m
+	at := sort.SearchStrings(c.live, id)
+	c.live = append(c.live, "")
+	copy(c.live[at+1:], c.live[at:])
+	c.live[at] = id
+	// Rebalance: only unleased queue entries move — yanking a fetched cell
+	// back from a live worker would duplicate work, and the stability
+	// property says only ~1/N keys pick the newcomer anyway.
+	for _, other := range c.workers {
+		if other == m {
+			continue
+		}
+		kept := other.queue[:0]
+		for _, a := range other.queue {
+			if c.pickLocked(a.key) == m {
+				a.owner = m
+				m.queue = append(m.queue, a)
+				c.stats.Rebalanced++
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		other.queue = kept
+	}
+	for _, a := range c.orphans {
+		t := c.pickLocked(a.key)
+		a.owner = t
+		t.queue = append(t.queue, a)
+	}
+	c.orphans = nil
+	if len(m.queue) > 0 {
+		c.wakeLocked(m)
+	}
+	c.spaceLocked()
+	ttl := c.cfg.WorkerTTL
+	c.mu.Unlock()
+	return id, ttl
+}
+
+// Heartbeat renews a worker's lease.
+func (c *Coordinator) Heartbeat(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.workers[id]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	m.deadline = c.now().Add(c.cfg.WorkerTTL)
+	return nil
+}
+
+// Deregister removes a worker gracefully (the heartbeat Bye), requeueing
+// its outstanding work immediately.
+func (c *Coordinator) Deregister(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.workers[id]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	c.removeLocked(m)
+	return nil
+}
+
+// removeLocked drops a worker from membership and requeues everything it
+// held over the survivors. Callers hold c.mu.
+func (c *Coordinator) removeLocked(m *member) {
+	delete(c.workers, m.id)
+	if at := sort.SearchStrings(c.live, m.id); at < len(c.live) && c.live[at] == m.id {
+		c.live = append(c.live[:at], c.live[at+1:]...)
+	}
+	orphans := m.queue
+	leases := make([]uint64, 0, len(m.leased))
+	for l := range m.leased {
+		leases = append(leases, l)
+	}
+	// Requeue leased work in lease order so recovery is deterministic.
+	sort.Slice(leases, func(i, j int) bool { return leases[i] < leases[j] })
+	for _, l := range leases {
+		orphans = append(orphans, m.leased[l])
+	}
+	m.queue, m.leased = nil, make(map[uint64]*assignment)
+	woken := map[*member]bool{}
+	for _, a := range orphans {
+		a.lease = 0
+		// Requeue ignores QueueDepth on purpose: survivor queues may
+		// transiently overshoot, but a dead worker's cells must land
+		// somewhere without blocking inside the lock.
+		if t := c.pickLocked(a.key); t != nil {
+			a.owner = t
+			t.queue = append(t.queue, a)
+			woken[t] = true
+		} else {
+			a.owner = nil
+			c.orphans = append(c.orphans, a)
+		}
+		c.stats.Requeues++
+	}
+	for t := range woken {
+		c.wakeLocked(t)
+	}
+	c.spaceLocked()
+}
+
+// expireLocked removes every worker whose heartbeat lease has lapsed.
+// Callers hold c.mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	var dead []*member
+	for _, m := range c.workers {
+		if m.deadline.Before(now) {
+			dead = append(dead, m)
+		}
+	}
+	// Deterministic removal order keeps requeue placement reproducible
+	// when several workers expire in one tick.
+	sort.Slice(dead, func(i, j int) bool { return dead[i].id < dead[j].id })
+	for _, m := range dead {
+		c.removeLocked(m)
+		c.stats.Expired++
+	}
+}
+
+// Expire runs lease expiry now; the server ticks it periodically.
+func (c *Coordinator) Expire() {
+	c.mu.Lock()
+	c.expireLocked(c.now())
+	c.mu.Unlock()
+}
+
+// Dispatch routes one task into the fleet: joining an in-flight
+// assignment for the same cell key if one exists, otherwise queueing a
+// new assignment on the key's rendezvous worker. It blocks while the
+// target queue is full — the fleet's backpressure — and returns the
+// task's context error if it is canceled while waiting. With no live
+// workers the task parks on the orphan list and is routed when a worker
+// registers.
+func (c *Coordinator) Dispatch(t Task) error {
+	key := t.Cell.Key()
+	for {
+		c.mu.Lock()
+		c.expireLocked(c.now())
+		if a, ok := c.byKey[key]; ok {
+			a.tasks = append(a.tasks, t)
+			c.stats.Joins++
+			c.mu.Unlock()
+			return nil
+		}
+		m := c.pickLocked(key)
+		if m == nil {
+			a := &assignment{key: key, cell: t.Cell, tasks: []Task{t}}
+			c.byKey[key] = a
+			c.orphans = append(c.orphans, a)
+			c.stats.Dispatched++
+			c.mu.Unlock()
+			return nil
+		}
+		if len(m.queue) < c.cfg.QueueDepth {
+			a := &assignment{key: key, cell: t.Cell, tasks: []Task{t}, owner: m}
+			c.byKey[key] = a
+			m.queue = append(m.queue, a)
+			c.stats.Dispatched++
+			c.wakeLocked(m)
+			c.mu.Unlock()
+			return nil
+		}
+		space := c.space
+		c.mu.Unlock()
+		//fusleepvet:nondet-ok backpressure wait; dispatch re-evaluates routing from scratch either way
+		select {
+		case <-space:
+		case <-t.Ctx.Done():
+			return t.Ctx.Err()
+		}
+	}
+}
+
+// Fetch leases up to max queued cells to the worker, long-polling up to
+// wait (capped at Config.MaxWait) when its queue is empty. An empty
+// response means the poll timed out; the worker just fetches again.
+func (c *Coordinator) Fetch(ctx context.Context, id string, max int, wait time.Duration) ([]LeaseCell, error) {
+	if max <= 0 {
+		max = 1
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > c.cfg.MaxWait {
+		wait = c.cfg.MaxWait
+	}
+	deadline := c.now().Add(wait)
+	for {
+		c.mu.Lock()
+		now := c.now()
+		c.expireLocked(now)
+		m, ok := c.workers[id]
+		if !ok {
+			c.mu.Unlock()
+			return nil, ErrUnknownWorker
+		}
+		m.deadline = now.Add(c.cfg.WorkerTTL)
+		canceled := c.pruneQueueLocked(m)
+		var out []LeaseCell
+		for len(m.queue) > 0 && len(out) < max {
+			a := m.queue[0]
+			m.queue = m.queue[1:]
+			c.leaseSeq++
+			a.lease = c.leaseSeq
+			m.leased[a.lease] = a
+			out = append(out, LeaseCell{Lease: a.lease, Key: a.key, Cell: a.cell})
+		}
+		if len(out) > 0 || len(canceled) > 0 {
+			c.spaceLocked()
+		}
+		wake := m.wake
+		c.mu.Unlock()
+		deliverCanceled(canceled)
+		if len(out) > 0 {
+			return out, nil
+		}
+		remain := deadline.Sub(c.now())
+		if remain <= 0 {
+			return nil, nil
+		}
+		timer := time.NewTimer(remain)
+		//fusleepvet:nondet-ok long-poll wait; every arm leads back to the same queue inspection
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+			return nil, nil
+		}
+		timer.Stop()
+	}
+}
+
+// pruneQueueLocked drops queue assignments whose every waiter is
+// canceled, returning them for out-of-lock delivery. Callers hold c.mu.
+func (c *Coordinator) pruneQueueLocked(m *member) []*assignment {
+	var gone []*assignment
+	kept := m.queue[:0]
+	for _, a := range m.queue {
+		if a.canceled() {
+			delete(c.byKey, a.key)
+			gone = append(gone, a)
+		} else {
+			kept = append(kept, a)
+		}
+	}
+	m.queue = kept
+	return gone
+}
+
+// deliverCanceled settles pruned assignments: every waiter gets its own
+// context error.
+func deliverCanceled(gone []*assignment) {
+	for _, a := range gone {
+		for _, t := range a.tasks {
+			t.Done("", fusleep.CellResult{}, t.Ctx.Err())
+		}
+	}
+}
+
+// Report settles previously leased cells. Reports whose lease the
+// coordinator no longer holds — the worker was presumed dead and its work
+// requeued — are counted stale and discarded; the requeued copy (or the
+// result store) wins.
+func (c *Coordinator) Report(id string, results []CellReport) (accepted int, err error) {
+	type fan struct {
+		a   *assignment
+		res fusleep.CellResult
+		err error
+	}
+	c.mu.Lock()
+	m, ok := c.workers[id]
+	if !ok {
+		c.mu.Unlock()
+		return 0, ErrUnknownWorker
+	}
+	m.deadline = c.now().Add(c.cfg.WorkerTTL)
+	var fans []fan
+	for _, r := range results {
+		a, ok := m.leased[r.Lease]
+		if !ok {
+			c.stats.Stale++
+			continue
+		}
+		delete(m.leased, r.Lease)
+		delete(c.byKey, a.key)
+		accepted++
+		if r.Error != nil {
+			m.failed++
+			c.stats.Failed++
+			fans = append(fans, fan{a: a, err: r.Error.Err()})
+		} else {
+			m.done++
+			c.stats.Completed++
+			var res fusleep.CellResult
+			if r.Result != nil {
+				res = *r.Result
+			}
+			fans = append(fans, fan{a: a, res: res})
+		}
+	}
+	name := m.name
+	if name == "" {
+		name = m.id
+	}
+	onResult := c.onResult
+	c.mu.Unlock()
+	for _, f := range fans {
+		if f.err == nil && onResult != nil {
+			onResult(f.a.key, f.res)
+		}
+		for _, t := range f.a.tasks {
+			// A task canceled while its cell was in flight settles with its
+			// own context error, exactly like the embedded queue.
+			if cerr := t.Ctx.Err(); cerr != nil {
+				t.Done("", fusleep.CellResult{}, cerr)
+			} else if f.err != nil {
+				t.Done(name, fusleep.CellResult{}, f.err)
+			} else {
+				t.Done(name, f.res, nil)
+			}
+		}
+	}
+	return accepted, nil
+}
+
+// Quiesce blocks until no assignments remain — queued, leased, or
+// orphaned — expiring dead workers and pruning fully canceled work as it
+// polls. The server's drain calls it after the feeders stop, mirroring
+// the embedded queue's drain-to-empty.
+func (c *Coordinator) Quiesce(ctx context.Context, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		c.mu.Lock()
+		c.expireLocked(c.now())
+		var gone []*assignment
+		for _, m := range c.workers {
+			gone = append(gone, c.pruneQueueLocked(m)...)
+		}
+		kept := c.orphans[:0]
+		for _, a := range c.orphans {
+			if a.canceled() {
+				delete(c.byKey, a.key)
+				gone = append(gone, a)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		c.orphans = kept
+		empty := len(c.byKey) == 0
+		if len(gone) > 0 {
+			c.spaceLocked()
+		}
+		c.mu.Unlock()
+		deliverCanceled(gone)
+		if empty {
+			return nil
+		}
+		if err := SleepCtx(ctx, poll); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats snapshots the fleet counters and gauges.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Workers = len(c.workers)
+	st.Unassigned = len(c.orphans)
+	for _, m := range c.workers {
+		st.Queued += len(m.queue)
+		st.Leased += len(m.leased)
+	}
+	return st
+}
+
+// Workers lists the registered workers, sorted by ID.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(c.live))
+	for _, id := range c.live {
+		m := c.workers[id]
+		out = append(out, WorkerInfo{
+			ID: m.id, Name: m.name,
+			Queued: len(m.queue), Leased: len(m.leased),
+			Done: m.done, Failed: m.failed,
+		})
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/archsim/fusleep"
+)
+
+// fakeClock drives the coordinator's lease machinery deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2002, 12, 2, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// testCells expands a small grid into distinct cells for routing tests.
+func testCells(t *testing.T, n int) []fusleep.Cell {
+	t.Helper()
+	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
+	cells := eng.Cells(fusleep.Grid{
+		Benchmarks: []string{"gcc"},
+		FUCounts:   []int{1, 2, 3, 4, 5, 6},
+		Window:     testWindow,
+	})
+	if len(cells) < n {
+		t.Fatalf("grid expanded to %d cells, need %d", len(cells), n)
+	}
+	return cells[:n]
+}
+
+// outcome captures one task's Done call.
+type outcome struct {
+	worker string
+	res    fusleep.CellResult
+	err    error
+}
+
+// dispatchTask dispatches a cell and returns the channel its Done fills.
+func dispatchTask(t *testing.T, c *Coordinator, ctx context.Context, cell fusleep.Cell) <-chan outcome {
+	t.Helper()
+	ch := make(chan outcome, 1)
+	err := c.Dispatch(Task{Ctx: ctx, Cell: cell, Done: func(worker string, res fusleep.CellResult, err error) {
+		ch <- outcome{worker, res, err}
+	}})
+	if err != nil {
+		t.Fatalf("Dispatch(%s) = %v", cell.Key(), err)
+	}
+	return ch
+}
+
+// fetchAll drains a worker's queue without long-polling.
+func fetchAll(t *testing.T, c *Coordinator, id string) []LeaseCell {
+	t.Helper()
+	cells, err := c.Fetch(context.Background(), id, 100, 0)
+	if err != nil {
+		t.Fatalf("Fetch(%s) = %v", id, err)
+	}
+	return cells
+}
+
+func TestCoordinatorRoundtrip(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now})
+	var journaled []string
+	c.SetOnResult(func(key string, res fusleep.CellResult) { journaled = append(journaled, key) })
+
+	id, ttl := c.Register("alpha")
+	if id == "" || ttl != 10*time.Second {
+		t.Fatalf("Register = %q, %v", id, ttl)
+	}
+	cell := testCells(t, 1)[0]
+	done := dispatchTask(t, c, context.Background(), cell)
+
+	leased := fetchAll(t, c, id)
+	if len(leased) != 1 || leased[0].Key != cell.Key() {
+		t.Fatalf("leased %+v, want the dispatched cell", leased)
+	}
+	want := fusleep.CellResult{Cell: cell, RelEnergy: 0.5, LeakageFraction: 0.25}
+	accepted, err := c.Report(id, []CellReport{{Lease: leased[0].Lease, Key: leased[0].Key, Result: &want}})
+	if err != nil || accepted != 1 {
+		t.Fatalf("Report = %d, %v", accepted, err)
+	}
+	got := <-done
+	if got.err != nil || got.worker != "alpha" || got.res.RelEnergy != 0.5 {
+		t.Fatalf("outcome = %+v", got)
+	}
+	if len(journaled) != 1 || journaled[0] != cell.Key() {
+		t.Fatalf("onResult saw %v", journaled)
+	}
+	st := c.Stats()
+	if st.Dispatched != 1 || st.Completed != 1 || st.Queued != 0 || st.Leased != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCoordinatorErrorReportRebuildsTypedError(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now})
+	id, _ := c.Register("")
+	cell := testCells(t, 1)[0]
+	done := dispatchTask(t, c, context.Background(), cell)
+	leased := fetchAll(t, c, id)
+
+	wireErr := ToWireError(&fusleep.CellError{Key: cell.Key(), Attempt: 3, Transient: true, Err: errors.New("boom")})
+	if _, err := c.Report(id, []CellReport{{Lease: leased[0].Lease, Key: leased[0].Key, Error: wireErr}}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got.worker != id {
+		t.Errorf("unnamed worker should report under its id, got %q", got.worker)
+	}
+	var ce *fusleep.CellError
+	if !errors.As(got.err, &ce) || !ce.Transient || ce.Attempt != 3 {
+		t.Fatalf("error %v did not rebuild as the typed transient CellError", got.err)
+	}
+	if st := c.Stats(); st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCoordinatorDuplicateDispatchJoins(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now})
+	id, _ := c.Register("w")
+	cell := testCells(t, 1)[0]
+	d1 := dispatchTask(t, c, context.Background(), cell)
+	d2 := dispatchTask(t, c, context.Background(), cell)
+
+	leased := fetchAll(t, c, id)
+	if len(leased) != 1 {
+		t.Fatalf("duplicate dispatch leased %d cells, want 1", len(leased))
+	}
+	res := fusleep.CellResult{Cell: cell, RelEnergy: 0.7}
+	if _, err := c.Report(id, []CellReport{{Lease: leased[0].Lease, Key: leased[0].Key, Result: &res}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range []<-chan outcome{d1, d2} {
+		if got := <-ch; got.err != nil || got.res.RelEnergy != 0.7 {
+			t.Fatalf("waiter %d outcome = %+v", i, got)
+		}
+	}
+	if st := c.Stats(); st.Joins != 1 || st.Dispatched != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCoordinatorBackpressureBlocksDispatch(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now, QueueDepth: 2})
+	id, _ := c.Register("w")
+	cells := testCells(t, 4)
+	for _, cell := range cells[:2] {
+		dispatchTask(t, c, context.Background(), cell)
+	}
+
+	// The third distinct cell must block until a fetch frees a slot.
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- c.Dispatch(Task{Ctx: context.Background(), Cell: cells[2],
+			Done: func(string, fusleep.CellResult, error) {}})
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("dispatch into a full queue returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got, err := c.Fetch(context.Background(), id, 1, 0); err != nil || len(got) != 1 {
+		t.Fatalf("Fetch = %v, %v", got, err)
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("unblocked dispatch = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatch still blocked after a fetch freed a slot")
+	}
+
+	// A dispatch canceled while blocked returns the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled := make(chan error, 1)
+	go func() {
+		canceled <- c.Dispatch(Task{Ctx: ctx, Cell: cells[3],
+			Done: func(string, fusleep.CellResult, error) {}})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-canceled:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled dispatch = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled dispatch never returned")
+	}
+}
+
+func TestCoordinatorOrphansRouteOnRegister(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now})
+	cell := testCells(t, 1)[0]
+	done := dispatchTask(t, c, context.Background(), cell) // no workers yet
+
+	if st := c.Stats(); st.Unassigned != 1 {
+		t.Fatalf("stats = %+v, want 1 orphan", st)
+	}
+	id, _ := c.Register("late")
+	leased := fetchAll(t, c, id)
+	if len(leased) != 1 || leased[0].Key != cell.Key() {
+		t.Fatalf("late worker leased %+v", leased)
+	}
+	res := fusleep.CellResult{Cell: cell, RelEnergy: 1}
+	if _, err := c.Report(id, []CellReport{{Lease: leased[0].Lease, Key: leased[0].Key, Result: &res}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; got.err != nil || got.worker != "late" {
+		t.Fatalf("outcome = %+v", got)
+	}
+}
+
+func TestCoordinatorRebalanceOnJoin(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now, QueueDepth: 100})
+	first, _ := c.Register("first")
+	cells := testCells(t, 6)
+	for _, cell := range cells {
+		dispatchTask(t, c, context.Background(), cell)
+	}
+	second, _ := c.Register("second")
+
+	// Every queued cell must now sit on its rendezvous pick, and at least
+	// one should have moved (6 keys over 2 workers).
+	got := map[string]string{}
+	for _, id := range []string{first, second} {
+		for _, lc := range fetchAll(t, c, id) {
+			got[lc.Key] = id
+		}
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("fetched %d cells, want %d", len(got), len(cells))
+	}
+	for _, cell := range cells {
+		key := cell.Key()
+		if want := RendezvousPick(key, []string{first, second}); got[key] != want {
+			t.Errorf("key %s on %s, rendezvous pick is %s", key, got[key], want)
+		}
+	}
+	if st := c.Stats(); st.Rebalanced == 0 {
+		t.Logf("note: no keys rebalanced (all %d picked the first worker)", len(cells))
+	}
+}
+
+func TestCoordinatorExpiryRequeuesLeasedWork(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now, WorkerTTL: 10 * time.Second})
+	w1, _ := c.Register("doomed")
+	cell := testCells(t, 1)[0]
+	done := dispatchTask(t, c, context.Background(), cell)
+	leased := fetchAll(t, c, w1)
+	if len(leased) != 1 {
+		t.Fatalf("leased %+v", leased)
+	}
+
+	// A second worker joins; the first goes silent past its TTL.
+	w2, _ := c.Register("survivor")
+	clk.advance(9 * time.Second)
+	if err := c.Heartbeat(w2); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second) // w1's lease (t0+10s) has now lapsed
+	c.Expire()
+
+	st := c.Stats()
+	if st.Expired != 1 || st.Requeues != 1 || st.Workers != 1 {
+		t.Fatalf("stats after expiry = %+v", st)
+	}
+	// The survivor inherits the in-flight cell under a fresh lease.
+	requeued := fetchAll(t, c, w2)
+	if len(requeued) != 1 || requeued[0].Key != cell.Key() || requeued[0].Lease == leased[0].Lease {
+		t.Fatalf("requeued = %+v (original lease %d)", requeued, leased[0].Lease)
+	}
+	// The dead worker's late report bounces: it must re-register.
+	res := fusleep.CellResult{Cell: cell, RelEnergy: 0.9}
+	if _, err := c.Report(w1, []CellReport{{Lease: leased[0].Lease, Key: cell.Key(), Result: &res}}); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("dead worker's report = %v, want ErrUnknownWorker", err)
+	}
+	// The survivor's report settles the task exactly once.
+	if accepted, err := c.Report(w2, []CellReport{{Lease: requeued[0].Lease, Key: cell.Key(), Result: &res}}); err != nil || accepted != 1 {
+		t.Fatalf("survivor report = %d, %v", accepted, err)
+	}
+	if got := <-done; got.err != nil || got.worker != "survivor" {
+		t.Fatalf("outcome = %+v", got)
+	}
+	select {
+	case extra := <-done:
+		t.Fatalf("task settled twice: %+v", extra)
+	default:
+	}
+}
+
+func TestCoordinatorStaleReportDiscarded(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now})
+	id, _ := c.Register("w")
+	cell := testCells(t, 1)[0]
+	done := dispatchTask(t, c, context.Background(), cell)
+	leased := fetchAll(t, c, id)
+	res := fusleep.CellResult{Cell: cell, RelEnergy: 0.4}
+	rep := []CellReport{{Lease: leased[0].Lease, Key: leased[0].Key, Result: &res}}
+	if accepted, _ := c.Report(id, rep); accepted != 1 {
+		t.Fatalf("first report accepted %d", accepted)
+	}
+	<-done
+	// Replaying the same lease (a retried report after a network blip) is
+	// acknowledged but discarded.
+	accepted, err := c.Report(id, rep)
+	if err != nil || accepted != 0 {
+		t.Fatalf("replayed report = %d, %v", accepted, err)
+	}
+	if st := c.Stats(); st.Stale != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCoordinatorDeregisterRequeues(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now})
+	w1, _ := c.Register("leaving")
+	w2, _ := c.Register("staying")
+	cells := testCells(t, 4)
+	for _, cell := range cells {
+		dispatchTask(t, c, context.Background(), cell)
+	}
+	fetchAll(t, c, w1) // lease whatever routed to w1
+	if err := c.Deregister(w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heartbeat(w1); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("heartbeat after bye = %v", err)
+	}
+	// Everything — queued and leased — now lives on the survivor.
+	got := fetchAll(t, c, w2)
+	if len(got) != len(cells) {
+		t.Fatalf("survivor fetched %d cells, want %d", len(got), len(cells))
+	}
+}
+
+func TestCoordinatorQuiesceAndCanceledTasks(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Now: clk.now})
+	id, _ := c.Register("w")
+	cell := testCells(t, 1)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	done := dispatchTask(t, c, ctx, cell)
+
+	cancel()
+	if err := c.Quiesce(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Quiesce = %v", err)
+	}
+	got := <-done
+	if !errors.Is(got.err, context.Canceled) || got.worker != "" {
+		t.Fatalf("canceled task outcome = %+v", got)
+	}
+	// The canceled assignment never reaches the worker.
+	if leftover := fetchAll(t, c, id); len(leftover) != 0 {
+		t.Fatalf("canceled work leased anyway: %+v", leftover)
+	}
+}

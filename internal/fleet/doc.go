@@ -1,0 +1,35 @@
+// Package fleet turns fusleepd into a coordinator/worker fleet: one
+// coordinator owns job intake, the job WAL, and the content-addressed
+// result store, while N workers — remote processes that dial the
+// coordinator over a versioned JSON wire protocol — execute the cells.
+//
+// # Routing
+//
+// Cells route to workers by rendezvous (highest-random-weight) hashing on
+// the stable Cell.Key: every dispatch scores the key against each live
+// worker and picks the maximum, so identical cells — across jobs, requests,
+// and clients — always land on the same worker and deduplicate there, and
+// a membership change moves only the ~1/N of keys whose maximum changed.
+// A second dispatch of a key already in flight joins the first (fleet-wide
+// duplicate-work join): one execution fans its result out to every waiter.
+//
+// # Flow control and fault tolerance
+//
+// Each worker has a bounded pending queue; a dispatch that finds its
+// target queue full blocks the feeder, which propagates through the
+// server's admission control to 429 + Retry-After at submit. Workers pull
+// work (register → heartbeat → fetch → report), so the coordinator never
+// dials them. Fetched cells are leased: if a worker misses enough
+// heartbeats its leases and queue are requeued over the survivors, and
+// because completed cells are journaled in the result store as they are
+// reported, a requeued replay of already-finished work is served from the
+// store instead of recomputed.
+//
+// # Roles
+//
+// The same evaluation path — Executor: fault injection, panic containment,
+// per-cell deadline, bounded deterministically jittered retry — backs both
+// the embedded single-process daemon (-role=standalone) and remote workers
+// (-role=worker), so a fleet computes byte-identical results to a
+// standalone run of the same grid.
+package fleet

@@ -1,15 +1,18 @@
-package server
+package fleet
 
 import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/archsim/fusleep"
 	"github.com/archsim/fusleep/internal/fault"
 )
+
+const testWindow = 20_000
 
 // fakeSleep records requested backoffs and returns immediately, so retry
 // tests run on an injected clock instead of real timers.
@@ -33,6 +36,22 @@ func (f *fakeSleep) recorded() []time.Duration {
 	return out
 }
 
+// testExecutor builds an Executor with a retry counter and the recording
+// sleep, mirroring how the server wires it.
+func testExecutor(eng *fusleep.Engine, inj *fault.Injector, maxRetries int, timeout time.Duration) (*Executor, *fakeSleep, *atomic.Uint64) {
+	fs := &fakeSleep{}
+	var retries atomic.Uint64
+	e := &Executor{
+		Engine:      eng,
+		Retry:       RetryPolicy{MaxRetries: maxRetries, Seed: 0x66_75_73_6c_65_65_70},
+		CellTimeout: timeout,
+		Fault:       inj,
+		Sleep:       fs.sleep,
+		OnRetry:     func() { retries.Add(1) },
+	}
+	return e, fs, &retries
+}
+
 // testCell resolves one valid cell from the default grid machinery.
 func testCell(t *testing.T, eng *fusleep.Engine) fusleep.Cell {
 	t.Helper()
@@ -47,24 +66,21 @@ func TestEvalCellRetriesTransientThenSucceeds(t *testing.T) {
 	inj := fault.New(7)
 	inj.Set(fault.CellTransient, fault.Spec{Times: 2}) // first two attempts fail
 	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
-	s := New(Config{Engine: eng, Fault: inj, MaxRetries: 3})
-	defer s.Close()
-	fs := &fakeSleep{}
-	s.sleep = fs.sleep
+	e, fs, retries := testExecutor(eng, inj, 3, 0)
 
 	c := testCell(t, eng)
-	res, err := s.evalCell(context.Background(), c)
+	res, err := e.EvalCell(context.Background(), c)
 	if err != nil {
-		t.Fatalf("evalCell = %v, want success after retries", err)
+		t.Fatalf("EvalCell = %v, want success after retries", err)
 	}
 	if res.RelEnergy <= 0 {
 		t.Fatalf("suspicious result %+v", res)
 	}
-	if got := s.retries.Load(); got != 2 {
+	if got := retries.Load(); got != 2 {
 		t.Fatalf("retries = %d, want 2", got)
 	}
 	delays := fs.recorded()
-	want := []time.Duration{s.retry.Delay(c.Key(), 1), s.retry.Delay(c.Key(), 2)}
+	want := []time.Duration{e.Retry.Delay(c.Key(), 1), e.Retry.Delay(c.Key(), 2)}
 	if len(delays) != 2 || delays[0] != want[0] || delays[1] != want[1] {
 		t.Fatalf("backoffs = %v, want %v", delays, want)
 	}
@@ -74,12 +90,9 @@ func TestEvalCellExhaustsRetries(t *testing.T) {
 	inj := fault.New(7)
 	inj.Set(fault.CellTransient, fault.Spec{}) // every attempt fails
 	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
-	s := New(Config{Engine: eng, Fault: inj, MaxRetries: 2})
-	defer s.Close()
-	fs := &fakeSleep{}
-	s.sleep = fs.sleep
+	e, _, retries := testExecutor(eng, inj, 2, 0)
 
-	_, err := s.evalCell(context.Background(), testCell(t, eng))
+	_, err := e.EvalCell(context.Background(), testCell(t, eng))
 	if !fusleep.IsTransientCellError(err) {
 		t.Fatalf("final error %v is not the transient CellError", err)
 	}
@@ -87,7 +100,7 @@ func TestEvalCellExhaustsRetries(t *testing.T) {
 	if !errors.As(err, &ce) || ce.Attempt != 3 {
 		t.Fatalf("final error %v, want attempt 3", err)
 	}
-	if got := s.retries.Load(); got != 2 {
+	if got := retries.Load(); got != 2 {
 		t.Fatalf("retries = %d, want 2 (MaxRetries)", got)
 	}
 	if hits := inj.Hits(fault.CellTransient); hits != 3 {
@@ -99,20 +112,17 @@ func TestEvalCellPanicIsPermanent(t *testing.T) {
 	inj := fault.New(7)
 	inj.Set(fault.CellPanic, fault.Spec{Times: 1})
 	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
-	s := New(Config{Engine: eng, Fault: inj, MaxRetries: 5})
-	defer s.Close()
-	fs := &fakeSleep{}
-	s.sleep = fs.sleep
+	e, fs, retries := testExecutor(eng, inj, 5, 0)
 
-	_, err := s.evalCell(context.Background(), testCell(t, eng))
+	_, err := e.EvalCell(context.Background(), testCell(t, eng))
 	var ce *fusleep.CellError
 	if !errors.As(err, &ce) || !ce.Panicked {
-		t.Fatalf("evalCell = %v, want recovered-panic CellError", err)
+		t.Fatalf("EvalCell = %v, want recovered-panic CellError", err)
 	}
 	// A panic is permanent: no retries, no backoff, attempt 1.
-	if ce.Attempt != 1 || s.retries.Load() != 0 || len(fs.recorded()) != 0 {
+	if ce.Attempt != 1 || retries.Load() != 0 || len(fs.recorded()) != 0 {
 		t.Fatalf("panic was retried: attempt=%d retries=%d delays=%v",
-			ce.Attempt, s.retries.Load(), fs.recorded())
+			ce.Attempt, retries.Load(), fs.recorded())
 	}
 }
 
@@ -120,17 +130,17 @@ func TestEvalCellTimeoutIsPermanent(t *testing.T) {
 	inj := fault.New(7)
 	inj.Set(fault.CellSlow, fault.Spec{Times: 1, Delay: time.Second})
 	eng := fusleep.NewEngine(fusleep.WithWindow(testWindow))
-	s := New(Config{Engine: eng, Fault: inj, MaxRetries: 5, CellTimeout: 5 * time.Millisecond})
-	defer s.Close()
+	e, _, retries := testExecutor(eng, inj, 5, 5*time.Millisecond)
+	e.Sleep = nil // the injected stall must feel the real deadline
 
 	start := time.Now()
-	_, err := s.evalCell(context.Background(), testCell(t, eng))
+	_, err := e.EvalCell(context.Background(), testCell(t, eng))
 	var ce *fusleep.CellError
 	if !errors.As(err, &ce) || !ce.Timeout {
-		t.Fatalf("evalCell = %v, want timeout CellError", err)
+		t.Fatalf("EvalCell = %v, want timeout CellError", err)
 	}
-	if s.retries.Load() != 0 {
-		t.Fatalf("timeout was retried %d times", s.retries.Load())
+	if retries.Load() != 0 {
+		t.Fatalf("timeout was retried %d times", retries.Load())
 	}
 	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
 		t.Fatalf("deadline did not cut the stall short (%v)", elapsed)
@@ -138,7 +148,7 @@ func TestEvalCellTimeoutIsPermanent(t *testing.T) {
 }
 
 func TestRetryDelayDeterministicJitter(t *testing.T) {
-	p := retryPolicy{MaxRetries: 4, Base: 10 * time.Millisecond, Max: 2 * time.Second, Seed: 42}
+	p := RetryPolicy{MaxRetries: 4, Base: 10 * time.Millisecond, Max: 2 * time.Second, Seed: 42}
 	for _, tc := range []struct {
 		key     string
 		attempt int
@@ -164,7 +174,7 @@ func TestRetryDelayDeterministicJitter(t *testing.T) {
 	if p.Delay("cell-a", 1) == p.Delay("cell-b", 1) && p.Delay("cell-a", 2) == p.Delay("cell-b", 2) {
 		t.Error("jitter is identical across keys")
 	}
-	if q := (retryPolicy{Seed: 43, Base: p.Base, Max: p.Max}); q.Delay("cell-a", 1) == p.Delay("cell-a", 1) {
+	if q := (RetryPolicy{Seed: 43, Base: p.Base, Max: p.Max}); q.Delay("cell-a", 1) == p.Delay("cell-a", 1) {
 		t.Error("jitter ignores the seed")
 	}
 }

@@ -1,0 +1,49 @@
+package fleet
+
+import "hash/fnv"
+
+// rendezvousScore is the HRW weight of placing key on the worker with the
+// given id: a 64-bit FNV-1a hash over "key|id", avalanched through a
+// splitmix64-style finalizer. Each (key, worker) pair scores
+// independently, which is what gives rendezvous hashing its stability
+// property — removing a worker only moves the keys whose maximum it held,
+// and adding one only claims the keys it now wins.
+//
+// The finalizer is load-bearing: raw FNV-1a barely diffuses the last byte
+// written (one XOR and one multiply), so ids that share a long prefix and
+// differ only in a trailing digit — exactly the coordinator's w-00000N
+// sequence — produce tightly clustered scores whose maximum is decided by
+// the ids' low bits, not the key, collapsing the distribution onto one
+// worker.
+func rendezvousScore(key, id string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{'|'})
+	_, _ = h.Write([]byte(id))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RendezvousPick returns the id in ids with the highest rendezvous score
+// for key, or "" when ids is empty. Score ties break toward the
+// lexicographically smaller id so the choice is independent of the order
+// ids are presented in.
+func RendezvousPick(key string, ids []string) string {
+	var (
+		best      string
+		bestScore uint64
+		found     bool
+	)
+	for _, id := range ids {
+		s := rendezvousScore(key, id)
+		if !found || s > bestScore || (s == bestScore && id < best) {
+			best, bestScore, found = id, s, true
+		}
+	}
+	return best
+}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell-%04d", i)
+	}
+	return keys
+}
+
+func workerIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("w-%06d", i+1)
+	}
+	return ids
+}
+
+func TestRendezvousPickBasics(t *testing.T) {
+	if got := RendezvousPick("k", nil); got != "" {
+		t.Errorf("empty ids picked %q", got)
+	}
+	if got := RendezvousPick("k", []string{"w-1"}); got != "w-1" {
+		t.Errorf("single worker pick = %q", got)
+	}
+	// The pick is independent of presentation order.
+	ids := workerIDs(5)
+	want := RendezvousPick("some-key", ids)
+	rev := []string{ids[4], ids[2], ids[0], ids[3], ids[1]}
+	if got := RendezvousPick("some-key", rev); got != want {
+		t.Errorf("order-dependent pick: %q vs %q", got, want)
+	}
+	// Deterministic across calls.
+	for i := 0; i < 3; i++ {
+		if got := RendezvousPick("some-key", ids); got != want {
+			t.Errorf("pick not deterministic: %q vs %q", got, want)
+		}
+	}
+}
+
+func TestRendezvousDistribution(t *testing.T) {
+	// With enough keys, every worker should win a reasonable share — a
+	// badly broken hash concentrates everything on one id.
+	keys := testKeys(2000)
+	for _, n := range []int{2, 3, 5, 8} {
+		ids := workerIDs(n)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[RendezvousPick(k, ids)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d workers won keys", n, len(counts))
+		}
+		expect := len(keys) / n
+		for id, got := range counts {
+			if got < expect/2 || got > expect*2 {
+				t.Errorf("n=%d: worker %s got %d keys, expected about %d", n, id, got, expect)
+			}
+		}
+	}
+}
+
+func TestRendezvousStabilityUnderJoinAndLeave(t *testing.T) {
+	keys := testKeys(2000)
+	for _, tc := range []struct {
+		name   string
+		before []string
+		after  []string
+	}{
+		{"join 2->3", workerIDs(2), workerIDs(3)},
+		{"join 3->4", workerIDs(3), workerIDs(4)},
+		{"join 7->8", workerIDs(7), workerIDs(8)},
+		{"leave 3->2", workerIDs(3), workerIDs(3)[:2]},
+		{"leave 8->7", workerIDs(8), workerIDs(8)[:7]},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			moved := 0
+			for _, k := range keys {
+				if RendezvousPick(k, tc.before) != RendezvousPick(k, tc.after) {
+					moved++
+				}
+			}
+			// Only ~1/N of keys may move, where N is the larger fleet. Allow
+			// 2x slack for hash variance; crucially this catches mod-hashing
+			// (which moves ~(N-1)/N of all keys) and other instability.
+			n := max(len(tc.before), len(tc.after))
+			limit := 2 * len(keys) / n
+			if moved == 0 || moved > limit {
+				t.Errorf("%s: %d/%d keys moved, want (0, %d]", tc.name, moved, len(keys), limit)
+			}
+			// Every key that moved must have moved to/from the changed worker.
+			diff := map[string]bool{}
+			for _, id := range tc.after {
+				diff[id] = true
+			}
+			for _, id := range tc.before {
+				if diff[id] {
+					delete(diff, id)
+				} else {
+					diff[id] = true
+				}
+			}
+			for _, k := range keys {
+				b, a := RendezvousPick(k, tc.before), RendezvousPick(k, tc.after)
+				if b != a && !diff[b] && !diff[a] {
+					t.Fatalf("key %s moved %s -> %s, neither of which joined or left", k, b, a)
+				}
+			}
+		})
+	}
+}

@@ -366,7 +366,7 @@ func TestRecoveredJobVisibleInListing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var list []sweepStatus
+	var list []jobInfo
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}

@@ -1,16 +1,34 @@
 // Package server implements fusleepd, the sweep-service daemon: an
 // HTTP/JSON front end over a shared fusleep.Engine. Submitted sweep grids
-// are expanded into cells and fed through a sharded, bounded job queue —
-// cells are routed to worker shards by their configuration hash, so
-// identical cells land on the same shard and deduplicate through the
-// engine's simulation cache instead of racing each other. Results stream
-// back per cell as NDJSON, and the server drains in-flight cells gracefully
-// on shutdown.
+// are expanded into cells and fed through a bounded job queue. In
+// standalone mode cells are routed to worker shards by their configuration
+// hash, so identical cells land on the same shard and deduplicate through
+// the engine's simulation cache instead of racing each other. Results
+// stream back per cell as NDJSON, and the server drains in-flight cells
+// gracefully on shutdown.
 //
 // Tuner jobs (POST /v1/optimize) share the same machinery: the tuner's
-// probes are cells routed through the same shards, so tuner and sweep
-// workloads dedupe against each other, and tune jobs live in the same
-// bounded retention registry as sweeps.
+// probes are cells routed through the same queue, so tuner and sweep
+// workloads dedupe against each other. Sweeps and tune runs are two typed
+// entry points over one internal job resource — listing, polling,
+// streaming, and cancellation go through the shared jobs handlers, and
+// GET /v1/jobs shows both kinds side by side.
+//
+// # Fleet mode
+//
+// With Config.Fleet set (a *fleet.Coordinator), the server evaluates
+// nothing locally: accepted cells are dispatched to remote fusleepd
+// workers by rendezvous hashing on Cell.Key over the live worker set.
+// Workers dial in over the versioned /v1/fleet wire protocol (register,
+// heartbeat, long-poll fetch, report); the coordinator leases cells to
+// them and requeues the leases of any worker that misses its heartbeat
+// TTL, so a worker crash mid-sweep loses nothing. Identical cells from
+// different jobs join the same in-flight assignment fleet-wide, and when
+// a result store is wired in, reported cells are journaled under their
+// configuration hash and later submissions short-circuit through the
+// store without redispatching. Full-queue backpressure on a worker
+// propagates to submission as 429 + Retry-After. See the internal/fleet
+// package for the coordinator, worker loop, and wire types.
 //
 // # Durability and fault tolerance
 //
@@ -23,9 +41,9 @@
 // the crash actually lost. Worker failures are contained per cell: panics
 // become typed CellErrors, an optional per-cell deadline bounds runaway
 // evaluations, and transient failures retry with deterministically
-// jittered exponential backoff. When the backlog fills the shard queues,
-// submissions shed with 429 and a Retry-After hint instead of queueing
-// without bound.
+// jittered exponential backoff (fleet.Executor, shared by standalone
+// shards and remote workers). When the backlog fills, submissions shed
+// with 429 and a Retry-After hint instead of queueing without bound.
 //
 // # Lifecycle
 //
@@ -47,6 +65,11 @@
 //
 // # Endpoints
 //
+// Every error response, on every endpoint, is the canonical envelope
+// {"error": {"code": "...", "message": "..."}} with a machine-readable
+// code (fleet.CodeBadRequest, fleet.CodeBacklogFull, ...). See API.md at
+// the repository root for the full contract.
+//
 //	POST   /v1/sweeps          submit a grid, returns {id, cells}
 //	                           (429 + Retry-After when the backlog is full)
 //	GET    /v1/sweeps          list sweep jobs
@@ -59,10 +82,23 @@
 //	GET    /v1/optimize/{id}   stream per-probe results as NDJSON (?poll=1
 //	                           for a snapshot)
 //	DELETE /v1/optimize/{id}   cancel a tune job
+//	GET    /v1/jobs            list all jobs (sweeps and tune runs) with
+//	                           recovered/worker attribution
+//	GET    /v1/jobs/{id}       stream or poll any job by id
+//	DELETE /v1/jobs/{id}       cancel any job by id
 //	GET    /v1/workloads       the registered benchmark suite
 //	GET    /v1/policies        the registered sleep policies and their knobs
+//	GET    /v1/classes         the functional-unit classes
 //	GET    /healthz            liveness (503 while draining)
 //	GET    /readyz             readiness (503 while draining, recovering, or
 //	                           shedding load)
 //	GET    /metrics            Prometheus-style counters and gauges
+//
+// Coordinator mode additionally serves the worker wire protocol:
+//
+//	POST   /v1/fleet/register   worker join; returns {id, ttlMillis}
+//	POST   /v1/fleet/heartbeat  keepalive (bye=true deregisters gracefully)
+//	POST   /v1/fleet/fetch      long-poll lease of queued cells
+//	POST   /v1/fleet/report     deliver results/errors for held leases
+//	GET    /v1/fleet/workers    the live worker set with queue/lease depths
 package server

@@ -9,8 +9,8 @@ import (
 	"time"
 
 	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/fleet"
 	"github.com/archsim/fusleep/internal/pipeline"
-	"github.com/archsim/fusleep/internal/report"
 )
 
 // jobID formats the n-th accepted job's identifier under its kind prefix
@@ -167,10 +167,9 @@ func (req SweepRequest) grid(maxWindow uint64) (fusleep.Grid, error) {
 	return g, nil
 }
 
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
-}
+// apiError is the canonical error envelope, shared with the fleet wire
+// protocol: {"error": {"code": "...", "message": "..."}}.
+type apiError = fleet.APIError
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -178,8 +177,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+// writeError emits the canonical envelope with a machine-readable code and
+// a formatted human-readable message.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, fleet.NewAPIError(code, fmt.Sprintf(format, args...)))
+}
+
+// writeNotFound is the uniform 404 body for missing resources.
+func writeNotFound(w http.ResponseWriter, what, id string) {
+	writeError(w, http.StatusNotFound, fleet.CodeNotFound, "no %s %q", what, id)
 }
 
 // routes wires the endpoint table.
@@ -192,12 +198,22 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/optimize", s.handleTuneList)
 	s.mux.HandleFunc("GET /v1/optimize/{id}", s.handleTune)
 	s.mux.HandleFunc("DELETE /v1/optimize/{id}", s.handleTuneCancel)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Fleet != nil {
+		s.mux.HandleFunc("POST /v1/fleet/register", s.handleFleetRegister)
+		s.mux.HandleFunc("POST /v1/fleet/heartbeat", s.handleFleetHeartbeat)
+		s.mux.HandleFunc("POST /v1/fleet/fetch", s.handleFleetFetch)
+		s.mux.HandleFunc("POST /v1/fleet/report", s.handleFleetReport)
+		s.mux.HandleFunc("GET /v1/fleet/workers", s.handleFleetWorkers)
+	}
 }
 
 // submitResponse acknowledges an accepted sweep.
@@ -213,13 +229,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.rejected.Add(1)
-		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		writeError(w, http.StatusBadRequest, fleet.CodeBadRequest, "bad sweep request: %v", err)
 		return
 	}
 	g, err := req.grid(s.cfg.MaxWindow)
 	if err != nil {
 		s.rejected.Add(1)
-		writeError(w, http.StatusBadRequest, "bad sweep grid: %v", err)
+		writeError(w, http.StatusBadRequest, fleet.CodeBadRequest, "bad sweep grid: %v", err)
 		return
 	}
 	// Bound the grid's cardinality BEFORE expansion: the seven axes
@@ -236,7 +252,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		bound *= max(n, 1)
 		if bound > s.cfg.MaxCells {
 			s.rejected.Add(1)
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, fleet.CodeGridTooLarge,
 				"grid describes at least %d cells; the service limit is %d", bound, s.cfg.MaxCells)
 			return
 		}
@@ -244,7 +260,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	cells := s.eng.Cells(g)
 	if len(cells) > s.cfg.MaxCells {
 		s.rejected.Add(1)
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, http.StatusRequestEntityTooLarge, fleet.CodeGridTooLarge,
 			"grid expands to %d cells; the service limit is %d", len(cells), s.cfg.MaxCells)
 		return
 	}
@@ -254,14 +270,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, c := range cells {
 		if err := c.Validate(); err != nil {
 			s.rejected.Add(1)
-			writeError(w, http.StatusBadRequest, "bad sweep grid: cell %d: %v", i, err)
+			writeError(w, http.StatusBadRequest, fleet.CodeBadRequest, "bad sweep grid: cell %d: %v", i, err)
 			return
 		}
 	}
 	if !s.admit(len(cells)) {
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, fleet.CodeBacklogFull,
 			"backlog full (%d pending cells); retry later", s.pendingCells.Load())
 		return
 	}
@@ -279,7 +295,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.Jobs != nil {
 			_ = s.cfg.Jobs.Finished(job.id, StateCanceled)
 		}
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, http.StatusServiceUnavailable, fleet.CodeDraining, "%v", err)
 		return
 	}
 	s.submitted.Add(1)
@@ -288,104 +304,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleList is GET /v1/sweeps: the shared jobs listing filtered to sweeps.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	jobs := make([]*sweepJob, 0, len(s.order))
-	for _, id := range s.order {
-		if j, ok := s.jobs[id].(*sweepJob); ok {
-			jobs = append(jobs, j)
-		}
-	}
-	s.mu.Unlock()
-	out := make([]sweepStatus, 0, len(jobs))
-	for _, j := range jobs {
-		st, _ := j.status()
-		out = append(out, st)
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, s.listJobs(KindSweep))
 }
 
-// pollResponse is the ?poll=1 snapshot: status plus completed results.
-type pollResponse struct {
-	sweepStatus
-	Results []fusleep.CellResult `json:"results"`
-}
-
-// streamEvent is one NDJSON line of a sweep stream.
-type streamEvent struct {
-	// Event is "sweep" (stream header), "cell" (one completed cell), or
-	// "end" (terminal summary; always the last line).
-	Event string `json:"event"`
-	ID    string `json:"id"`
-	// Header and end fields.
-	State     string `json:"state,omitempty"`
-	Cells     int    `json:"cells,omitempty"`
-	Completed int    `json:"completed,omitempty"`
-	Failed    int    `json:"failed,omitempty"`
-	Skipped   int    `json:"skipped,omitempty"`
-	Error     string `json:"error,omitempty"`
-	// Cell fields.
-	Key    string              `json:"key,omitempty"`
-	Result *fusleep.CellResult `json:"result,omitempty"`
-}
-
+// handleSweep is GET /v1/sweeps/{id}: stream or poll one sweep.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.lookupSweep(r.PathValue("id"))
+	job, ok := s.lookupJob(r.PathValue("id"), KindSweep)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		writeNotFound(w, "sweep", r.PathValue("id"))
 		return
 	}
-	if r.URL.Query().Get("poll") != "" {
-		st, results := job.status()
-		writeJSON(w, http.StatusOK, pollResponse{sweepStatus: st, Results: results})
-		return
-	}
-
-	// NDJSON stream: a header line, one line per completed cell as it
-	// lands (completion order), and a terminal summary line.
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("Cache-Control", "no-store")
-	w.WriteHeader(http.StatusOK)
-	enc := report.NewStreamEncoder(w)
-	st, _ := job.status()
-	if err := enc.Encode(streamEvent{Event: "sweep", ID: job.id, State: st.State, Cells: st.Cells}); err != nil {
-		return
-	}
-	sent := 0
-	for {
-		fresh, state, updated := job.watch(sent)
-		for _, res := range fresh {
-			ev := streamEvent{Event: "cell", ID: job.id, Key: res.Cell.Key(), Result: &res}
-			if err := enc.Encode(ev); err != nil {
-				return
-			}
-			sent++
-		}
-		if state != StateRunning {
-			st, _ := job.status()
-			_ = enc.Encode(streamEvent{
-				Event: "end", ID: job.id, State: st.State, Cells: st.Cells,
-				Completed: st.Completed, Failed: st.Failed, Skipped: st.Skipped, Error: st.Error,
-			})
-			return
-		}
-		select {
-		case <-updated:
-		case <-r.Context().Done():
-			return
-		}
-	}
+	serveJob(w, r, job)
 }
 
+// handleCancel is DELETE /v1/sweeps/{id}.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.lookupSweep(r.PathValue("id"))
+	job, ok := s.lookupJob(r.PathValue("id"), KindSweep)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		writeNotFound(w, "sweep", r.PathValue("id"))
 		return
 	}
-	job.requestCancel()
-	st, _ := job.status()
-	writeJSON(w, http.StatusOK, st)
+	cancelJob(w, job)
 }
 
 // workloadInfo describes one registered benchmark on the wire.

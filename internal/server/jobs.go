@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// Job kinds as they appear on the wire.
+const (
+	KindSweep = "sweep"
+	KindTune  = "tune"
+)
+
+// jobInfo is the wire form of one job — sweep or tune — in listings
+// (GET /v1/jobs, GET /v1/sweeps, GET /v1/optimize), poll snapshots, and
+// cancel responses. Kind-specific fields omit when empty: sweeps carry
+// cells/completed/failed/skipped, tunes carry probes/maxEvals. Workers
+// lists the fleet workers that computed cells for the job (omitted for
+// standalone runs and store-served replays), and Recovered marks jobs
+// replayed from the WAL after a restart.
+type jobInfo struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	State     string    `json:"state"`
+	Cells     int       `json:"cells,omitempty"`
+	Completed int       `json:"completed,omitempty"`
+	Failed    int       `json:"failed,omitempty"`
+	Skipped   int       `json:"skipped,omitempty"`
+	Probes    int       `json:"probes,omitempty"`
+	MaxEvals  int       `json:"maxEvals,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Recovered bool      `json:"recovered,omitempty"`
+	Workers   []string  `json:"workers,omitempty"`
+	Created   time.Time `json:"created"`
+}
+
+// listJobs snapshots the registry in submission order, optionally
+// filtered by kind ("" = all).
+func (s *Server) listJobs(kind string) []jobInfo {
+	s.mu.Lock()
+	jobs := make([]queueJob, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]jobInfo, 0, len(jobs))
+	for _, j := range jobs {
+		if info := j.info(); kind == "" || info.Kind == kind {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// lookupJob finds any job by id; kind "" matches both.
+func (s *Server) lookupJob(id, kind string) (queueJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	if kind != "" && j.info().Kind != kind {
+		return nil, false
+	}
+	return j, true
+}
+
+// serveJob answers GET on a single job: the NDJSON stream by default, a
+// point-in-time snapshot with ?poll=1.
+func serveJob(w http.ResponseWriter, r *http.Request, j queueJob) {
+	if r.URL.Query().Get("poll") != "" {
+		j.servePoll(w)
+		return
+	}
+	j.serveStream(w, r)
+}
+
+// cancelJob answers DELETE on a single job.
+func cancelJob(w http.ResponseWriter, j queueJob) {
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+// handleJobs is GET /v1/jobs: every retained job, sweeps and tunes alike,
+// in submission order.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.listJobs(""))
+}
+
+// handleJob is GET /v1/jobs/{id}: stream or poll either job kind.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"), "")
+	if !ok {
+		writeNotFound(w, "job", r.PathValue("id"))
+		return
+	}
+	serveJob(w, r, j)
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"), "")
+	if !ok {
+		writeNotFound(w, "job", r.PathValue("id"))
+		return
+	}
+	cancelJob(w, j)
+}

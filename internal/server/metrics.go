@@ -57,6 +57,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("fusleepd_tunes_active", "Tuner jobs not yet in a terminal state.", "%d", tunesActive)
 	gauge("fusleepd_cells_per_second", "Completed cells per second of uptime.", "%.3f", float64(done)/max(uptime, 1e-9))
 	gauge("fusleepd_uptime_seconds", "Seconds since the server started.", "%.3f", uptime)
+	if fl := s.cfg.Fleet; fl != nil {
+		fs := fl.Stats()
+		gauge("fusleepd_fleet_workers", "Registered fleet workers.", "%d", fs.Workers)
+		gauge("fusleepd_fleet_queued", "Cells queued on worker queues.", "%d", fs.Queued)
+		gauge("fusleepd_fleet_leased", "Cells leased to workers awaiting reports.", "%d", fs.Leased)
+		gauge("fusleepd_fleet_unassigned", "Cells orphaned while no worker was registered.", "%d", fs.Unassigned)
+		counter("fusleepd_fleet_dispatched_total", "Cells dispatched into the fleet.", fs.Dispatched)
+		counter("fusleepd_fleet_joins_total", "Dispatches that joined identical in-flight fleet work.", fs.Joins)
+		counter("fusleepd_fleet_completed_total", "Fleet cells reported successfully.", fs.Completed)
+		counter("fusleepd_fleet_failed_total", "Fleet cells reported as errors.", fs.Failed)
+		counter("fusleepd_fleet_requeues_total", "Cells requeued after a worker left or expired.", fs.Requeues)
+		counter("fusleepd_fleet_rebalanced_total", "Queued cells rerouted when a worker joined.", fs.Rebalanced)
+		counter("fusleepd_fleet_expired_total", "Workers expired after missed heartbeats.", fs.Expired)
+		counter("fusleepd_fleet_stale_reports_total", "Reports discarded because their lease had been requeued.", fs.Stale)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = fmt.Fprint(w, b.String())

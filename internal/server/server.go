@@ -16,6 +16,7 @@ import (
 
 	"github.com/archsim/fusleep"
 	"github.com/archsim/fusleep/internal/fault"
+	"github.com/archsim/fusleep/internal/fleet"
 	"github.com/archsim/fusleep/internal/store"
 )
 
@@ -68,6 +69,12 @@ type Config struct {
 	// Fault arms the server's fault-injection points for chaos tests; nil
 	// (production) injects nothing.
 	Fault *fault.Injector
+	// Fleet, when set, runs the server as a fleet coordinator: no local
+	// shard workers are started, accepted cells dispatch to registered
+	// remote workers by rendezvous hashing on their cell key, and the
+	// /v1/fleet wire endpoints are mounted. Nil (the default) embeds the
+	// workers in-process — the standalone daemon.
+	Fleet *fleet.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -94,11 +101,13 @@ func (c Config) withDefaults() Config {
 
 // task is one queued cell evaluation: the cell, the context it runs under,
 // and the completion callback that routes the outcome back to its job.
-// done is called exactly once per task and must not block.
+// done is called exactly once per task and must not block; worker names
+// the fleet worker that computed the result ("" for local evaluation,
+// store serves, and error outcomes).
 type task struct {
 	ctx  context.Context
 	cell fusleep.Cell
-	done func(fusleep.CellResult, error)
+	done func(worker string, res fusleep.CellResult, err error)
 }
 
 // shard is one worker's bounded inbox.
@@ -106,13 +115,23 @@ type shard struct {
 	ch chan task
 }
 
-// queueJob is the retention registry's view of a submitted job — sweep or
-// tune — just enough to list, evict, and cancel uniformly.
+// queueJob is the shared job resource: the retention registry's view of a
+// submitted job — sweep or tune — and the handler set's uniform surface
+// for listing, streaming, polling, and canceling either kind. The typed
+// /v1/sweeps and /v1/optimize endpoints and the kind-agnostic /v1/jobs
+// endpoints all go through it.
 type queueJob interface {
 	// jobState returns the job's lifecycle state (StateRunning, ...).
 	jobState() string
 	// requestCancel aborts the job; safe to call repeatedly.
 	requestCancel()
+	// info snapshots the job for listings and cancel responses.
+	info() jobInfo
+	// servePoll writes the ?poll=1 point-in-time JSON snapshot.
+	servePoll(w http.ResponseWriter)
+	// serveStream writes the NDJSON event stream until the job ends or the
+	// client goes away.
+	serveStream(w http.ResponseWriter, r *http.Request)
 }
 
 // Server is the sweep-and-tune service: a shared engine behind a sharded
@@ -128,10 +147,11 @@ type Server struct {
 	workers sync.WaitGroup
 	feeders sync.WaitGroup
 
-	retry retryPolicy
-	// sleep waits between retry attempts (and inside injected stalls);
-	// tests replace it with a recording fake.
-	sleep func(ctx context.Context, d time.Duration) error
+	// exec is the role-agnostic evaluation path (fault injection, panic
+	// containment, per-cell deadline, retry with deterministic jitter)
+	// shared with remote fleet workers; the embedded shard workers run it
+	// in-process.
+	exec *fleet.Executor
 
 	mu        sync.Mutex
 	jobs      map[string]queueJob
@@ -177,34 +197,107 @@ func New(cfg Config) *Server {
 		start:     time.Now(),
 		jobs:      make(map[string]queueJob),
 		drainDone: make(chan struct{}),
-		sleep:     sleepCtx,
-		retry: retryPolicy{
+	}
+	s.exec = &fleet.Executor{
+		Engine:      cfg.Engine,
+		CellTimeout: cfg.CellTimeout,
+		Fault:       cfg.Fault,
+		Retry: fleet.RetryPolicy{
 			MaxRetries: cfg.MaxRetries,
 			Base:       cfg.RetryBase,
 			Seed:       0x66_75_73_6c_65_65_70, // "fusleep"
 		},
+		OnRetry: func() { s.retries.Add(1) },
 	}
 	// Without a WAL there is nothing to replay; with one, readiness waits
 	// for Recover.
 	s.recovered.Store(cfg.Jobs == nil)
-	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{ch: make(chan task, cfg.QueueDepth)}
-		s.shards = append(s.shards, sh)
-		s.workers.Add(1)
-		go s.worker(sh)
+	if cfg.Fleet != nil {
+		// Coordinator role: remote workers execute the cells; results are
+		// journaled as they are reported, and lease expiry ticks in the
+		// background until drain completes.
+		cfg.Fleet.SetOnResult(s.fleetResult)
+		go s.expiryLoop()
+	} else {
+		for i := 0; i < cfg.Shards; i++ {
+			sh := &shard{ch: make(chan task, cfg.QueueDepth)}
+			s.shards = append(s.shards, sh)
+			s.workers.Add(1)
+			go s.worker(sh)
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
 }
 
+// fleetResult journals a remotely computed cell into the content-addressed
+// result store, exactly where a standalone engine would have put it. This
+// is what makes a requeued replay of already-reported work free: the
+// dispatch path serves it from the store instead of recomputing.
+func (s *Server) fleetResult(key string, res fusleep.CellResult) {
+	if s.cfg.Results == nil {
+		return
+	}
+	// Put failures surface through the store's own PutErrors metric; the
+	// job still completes (it just loses the replay-for-free guarantee).
+	_ = s.cfg.Results.PutCell(key, res)
+}
+
+// expiryLoop ticks fleet lease expiry so a crashed worker's cells requeue
+// even while no other fleet traffic arrives. It stops when the drain
+// completes.
+func (s *Server) expiryLoop() {
+	tick := max(s.cfg.Fleet.TTL()/2, 10*time.Millisecond)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.cfg.Fleet.Expire()
+		case <-s.drainDone:
+			return
+		}
+	}
+}
+
 // Handler returns the server's HTTP handler with request accounting.
+// Routes the mux does not know (404) or knows under a different method
+// (405) get the canonical JSON error envelope instead of the mux's
+// plain-text defaults, so every error the daemon emits has one shape.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if h, pattern := s.mux.Handler(r); pattern == "" {
+			rec := &statusRecorder{header: make(http.Header)}
+			h.ServeHTTP(rec, r)
+			if rec.code == http.StatusMethodNotAllowed {
+				if allow := rec.header.Get("Allow"); allow != "" {
+					w.Header().Set("Allow", allow)
+				}
+				writeError(w, http.StatusMethodNotAllowed, fleet.CodeMethod,
+					"method %s not allowed for %s", r.Method, r.URL.Path)
+				return
+			}
+			writeError(w, http.StatusNotFound, fleet.CodeNotFound,
+				"no route for %s %s", r.Method, r.URL.Path)
+			return
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 }
+
+// statusRecorder captures the status a handler would have written,
+// discarding the body; Handler uses it to learn whether the mux's
+// fallback is a 404 or a 405 before enveloping it.
+type statusRecorder struct {
+	header http.Header
+	code   int
+}
+
+func (r *statusRecorder) Header() http.Header         { return r.header }
+func (r *statusRecorder) WriteHeader(code int)        { r.code = code }
+func (r *statusRecorder) Write(p []byte) (int, error) { return len(p), nil }
 
 // shardFor routes a cell to its worker shard by configuration hash, so
 // identical cells — whether they arrive via a sweep grid or a tuner probe —
@@ -217,16 +310,42 @@ func (s *Server) shardFor(c fusleep.Cell) *shard {
 }
 
 // worker drains one shard until the shard channel closes at drain time.
-// Evaluation goes through evalCell, which contains panics, enforces the
-// per-cell deadline, and retries transient failures.
+// Evaluation goes through the shared Executor, which contains panics,
+// enforces the per-cell deadline, and retries transient failures.
 func (s *Server) worker(sh *shard) {
 	defer s.workers.Done()
 	for t := range sh.ch {
 		if err := t.ctx.Err(); err != nil {
-			t.done(fusleep.CellResult{}, err)
+			t.done("", fusleep.CellResult{}, err)
 			continue
 		}
-		t.done(s.evalCell(t.ctx, t.cell))
+		res, err := s.exec.EvalCell(t.ctx, t.cell)
+		t.done("", res, err)
+	}
+}
+
+// enqueue routes one task to its executor: the cell's worker shard in
+// standalone mode, the fleet coordinator in coordinator mode (where
+// already-journaled cells are served from the store without dispatching —
+// the short-circuit that makes requeued replays free). It blocks under
+// backpressure and reports false — without calling done — when the task's
+// context was canceled first; the caller settles the cell as skipped.
+func (s *Server) enqueue(t task) bool {
+	if fl := s.cfg.Fleet; fl != nil {
+		if s.cfg.Results != nil && t.ctx.Err() == nil {
+			if res, ok, err := s.cfg.Results.GetCell(t.cell.Key()); err == nil && ok {
+				s.storeServed.Add(1)
+				t.done("", res, nil)
+				return true
+			}
+		}
+		return fl.Dispatch(fleet.Task{Ctx: t.ctx, Cell: t.cell, Done: t.done}) == nil
+	}
+	select {
+	case s.shardFor(t.cell).ch <- t:
+		return true
+	case <-t.ctx.Done():
+		return false
 	}
 }
 
@@ -242,14 +361,17 @@ func (s *Server) feed(job *sweepJob) {
 		if s.cfg.Results != nil && job.ctx.Err() == nil {
 			if res, ok, err := s.cfg.Results.GetCell(c.Key()); err == nil && ok {
 				res.Index = idx
-				job.complete(res)
+				// Count before completing: complete() may finish the job and
+				// release its stream, and the metrics must already agree with
+				// what that stream announced.
 				s.cellsDone.Add(1)
 				s.storeServed.Add(1)
+				job.complete("", res)
 				s.release(1)
 				continue
 			}
 		}
-		t := task{ctx: job.ctx, cell: c, done: func(res fusleep.CellResult, err error) {
+		t := task{ctx: job.ctx, cell: c, done: func(worker string, res fusleep.CellResult, err error) {
 			defer s.release(1)
 			if err != nil {
 				if job.fail(err) {
@@ -258,12 +380,10 @@ func (s *Server) feed(job *sweepJob) {
 				return
 			}
 			res.Index = idx
-			job.complete(res)
+			job.complete(worker, res)
 			s.cellsDone.Add(1)
 		}}
-		select {
-		case s.shardFor(c).ch <- t:
-		case <-job.ctx.Done():
+		if !s.enqueue(t) {
 			s.release(len(job.cells) - i)
 			job.skip(len(job.cells) - i)
 			return
@@ -358,8 +478,14 @@ func (s *Server) nextID(prefix string) string {
 	return jobID(prefix, s.seq)
 }
 
-// queueDepth sums the shards' pending cells.
+// queueDepth sums the pending (not yet executing) cells: shard-channel
+// backlogs in standalone mode, worker queues plus unrouted orphans in
+// coordinator mode.
 func (s *Server) queueDepth() int {
+	if fl := s.cfg.Fleet; fl != nil {
+		st := fl.Stats()
+		return st.Queued + st.Unassigned
+	}
 	n := 0
 	for _, sh := range s.shards {
 		n += len(sh.ch)
@@ -391,6 +517,14 @@ func (s *Server) Drain(ctx context.Context) error {
 			// No new feeders can start (draining is set), so once the live
 			// ones finish the queues only shrink.
 			s.feeders.Wait()
+			if fl := s.cfg.Fleet; fl != nil {
+				// Coordinator role: wait for the fleet to report (or a
+				// forced close to cancel) every outstanding assignment. The
+				// context is detached on purpose — the drain must outlast
+				// the caller's ctx, and a forced close unblocks it by
+				// canceling every job.
+				_ = fl.Quiesce(context.Background(), 10*time.Millisecond) //fusleepvet:ctx-ok forced close cancels the jobs Quiesce waits on
+			}
 			for _, sh := range s.shards {
 				close(sh.ch)
 			}

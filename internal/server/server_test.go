@@ -143,12 +143,12 @@ func TestSubmitStreamComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var poll pollResponse
+	var poll sweepPollResponse
 	if err := json.NewDecoder(resp.Body).Decode(&poll); err != nil {
 		t.Fatal(err)
 	}
 	if poll.State != StateDone || poll.Completed != 8 || len(poll.Results) != 8 {
-		t.Errorf("poll = %+v", poll.sweepStatus)
+		t.Errorf("poll = %+v", poll.jobInfo)
 	}
 }
 
@@ -246,8 +246,8 @@ func TestMalformedGridRejected(t *testing.T) {
 				t.Errorf("got %s (%s), want %d", resp.Status, b, tc.wantCode)
 			}
 			var e apiError
-			if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error == "" {
-				t.Error("rejection carried no error message")
+			if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && (e.Error.Message == "" || e.Error.Code == "") {
+				t.Error("rejection carried no error code or message")
 			}
 		})
 	}
@@ -257,7 +257,7 @@ func TestMalformedGridRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var list []sweepStatus
+	var list []jobInfo
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}

@@ -3,10 +3,13 @@ package server
 import (
 	"context"
 	"errors"
+	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/report"
 )
 
 // Sweep job states.
@@ -18,7 +21,7 @@ const (
 )
 
 // sweepJob is one submitted grid: its resolved cell list plus the mutable
-// completion state the shard workers fill in and the stream handlers watch.
+// completion state the workers fill in and the stream handlers watch.
 type sweepJob struct {
 	id      string
 	cells   []fusleep.Cell
@@ -35,6 +38,7 @@ type sweepJob struct {
 
 	mu       sync.Mutex
 	results  []fusleep.CellResult // completion order, not grid order
+	workers  map[string]struct{}  // fleet workers that completed cells
 	settled  int                  // cells accounted for (completed + failed + skipped)
 	failed   int
 	skipped  int
@@ -87,10 +91,17 @@ func (j *sweepJob) maybeFinish() (notify func()) {
 	return func() { cb(state) }
 }
 
-// complete records one finished cell.
-func (j *sweepJob) complete(res fusleep.CellResult) {
+// complete records one finished cell; worker names the fleet worker that
+// computed it ("" for local evaluation and store serves).
+func (j *sweepJob) complete(worker string, res fusleep.CellResult) {
 	j.mu.Lock()
 	j.results = append(j.results, res)
+	if worker != "" {
+		if j.workers == nil {
+			j.workers = make(map[string]struct{})
+		}
+		j.workers[worker] = struct{}{}
+	}
 	j.settled++
 	notify := j.maybeFinish()
 	j.broadcast()
@@ -165,40 +176,41 @@ func (j *sweepJob) requestCancel() {
 	j.cancel()
 }
 
-// sweepStatus is the wire snapshot of a job.
-type sweepStatus struct {
-	ID        string    `json:"id"`
-	State     string    `json:"state"`
-	Cells     int       `json:"cells"`
-	Completed int       `json:"completed"`
-	Failed    int       `json:"failed,omitempty"`
-	Skipped   int       `json:"skipped,omitempty"`
-	Error     string    `json:"error,omitempty"`
-	Recovered bool      `json:"recovered,omitempty"`
-	Created   time.Time `json:"created"`
-}
-
-// status snapshots the job; when withResults is set the completed cell
-// results (completion order) ride along.
-func (j *sweepJob) status() (sweepStatus, []fusleep.CellResult) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	st := sweepStatus{
+// infoLocked builds the job's wire snapshot. Callers must hold j.mu.
+func (j *sweepJob) infoLocked() jobInfo {
+	info := jobInfo{
 		ID:        j.id,
+		Kind:      KindSweep,
 		State:     j.state,
 		Cells:     len(j.cells),
 		Completed: len(j.results),
 		Failed:    j.failed,
 		Skipped:   j.skipped,
 		Recovered: j.recovered,
+		Workers:   workerList(j.workers),
 		Created:   j.created,
 	}
 	if j.err != nil {
-		st.Error = j.err.Error()
+		info.Error = j.err.Error()
 	}
+	return info
+}
+
+// info implements queueJob for listings.
+func (j *sweepJob) info() jobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.infoLocked()
+}
+
+// snapshot returns the job's status plus the completed cell results
+// (completion order).
+func (j *sweepJob) snapshot() (jobInfo, []fusleep.CellResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	results := make([]fusleep.CellResult, len(j.results))
 	copy(results, j.results)
-	return st, results
+	return j.infoLocked(), results
 }
 
 // watch returns the results that completed at or after offset, the current
@@ -212,4 +224,85 @@ func (j *sweepJob) watch(offset int) (fresh []fusleep.CellResult, state string, 
 		copy(fresh, j.results[offset:])
 	}
 	return fresh, j.state, j.updated
+}
+
+// sweepPollResponse is the ?poll=1 snapshot: status plus completed results.
+type sweepPollResponse struct {
+	jobInfo
+	Results []fusleep.CellResult `json:"results"`
+}
+
+// servePoll implements queueJob: the point-in-time JSON snapshot.
+func (j *sweepJob) servePoll(w http.ResponseWriter) {
+	info, results := j.snapshot()
+	writeJSON(w, http.StatusOK, sweepPollResponse{jobInfo: info, Results: results})
+}
+
+// streamEvent is one NDJSON line of a sweep stream.
+type streamEvent struct {
+	// Event is "sweep" (stream header), "cell" (one completed cell), or
+	// "end" (terminal summary; always the last line).
+	Event string `json:"event"`
+	ID    string `json:"id"`
+	// Header and end fields.
+	State     string `json:"state,omitempty"`
+	Cells     int    `json:"cells,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Failed    int    `json:"failed,omitempty"`
+	Skipped   int    `json:"skipped,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Cell fields.
+	Key    string              `json:"key,omitempty"`
+	Result *fusleep.CellResult `json:"result,omitempty"`
+}
+
+// serveStream implements queueJob: a header line, one line per completed
+// cell as it lands (completion order), and a terminal summary line.
+func (j *sweepJob) serveStream(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := report.NewStreamEncoder(w)
+	info := j.info()
+	if err := enc.Encode(streamEvent{Event: "sweep", ID: j.id, State: info.State, Cells: info.Cells}); err != nil {
+		return
+	}
+	sent := 0
+	for {
+		fresh, state, updated := j.watch(sent)
+		for _, res := range fresh {
+			ev := streamEvent{Event: "cell", ID: j.id, Key: res.Cell.Key(), Result: &res}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			sent++
+		}
+		if state != StateRunning {
+			info := j.info()
+			_ = enc.Encode(streamEvent{
+				Event: "end", ID: j.id, State: info.State, Cells: info.Cells,
+				Completed: info.Completed, Failed: info.Failed, Skipped: info.Skipped, Error: info.Error,
+			})
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// workerList renders a worker set as a sorted slice (nil when empty, so
+// the field omits cleanly for standalone runs).
+func workerList(set map[string]struct{}) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/fleet"
 	"github.com/archsim/fusleep/internal/report"
 )
 
@@ -178,6 +179,7 @@ type tuneJob struct {
 	mu       sync.Mutex
 	probes   []fusleep.TuneProbe
 	result   *fusleep.TuneResult
+	workers  map[string]struct{} // fleet workers that evaluated probes
 	state    string
 	canceled bool
 	err      error
@@ -209,6 +211,16 @@ func (j *tuneJob) addProbe(p fusleep.TuneProbe) {
 	defer j.mu.Unlock()
 	j.probes = append(j.probes, p)
 	j.broadcast()
+}
+
+// addWorker attributes one evaluated cell to a fleet worker.
+func (j *tuneJob) addWorker(worker string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.workers == nil {
+		j.workers = make(map[string]struct{})
+	}
+	j.workers[worker] = struct{}{}
 }
 
 // finish records the run's outcome and moves the job to its terminal state.
@@ -252,34 +264,37 @@ func (j *tuneJob) requestCancel() {
 	j.cancel()
 }
 
-// tuneStatus is the wire snapshot of a tune job.
-type tuneStatus struct {
-	ID        string    `json:"id"`
-	State     string    `json:"state"`
-	Probes    int       `json:"probes"`
-	MaxEvals  int       `json:"maxEvals"`
-	Error     string    `json:"error,omitempty"`
-	Recovered bool      `json:"recovered,omitempty"`
-	Created   time.Time `json:"created"`
-}
-
-// status snapshots the job together with its terminal result (nil while
-// running).
-func (j *tuneJob) status() (tuneStatus, *fusleep.TuneResult) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	st := tuneStatus{
+// infoLocked builds the job's wire snapshot. Callers must hold j.mu.
+func (j *tuneJob) infoLocked() jobInfo {
+	info := jobInfo{
 		ID:        j.id,
+		Kind:      KindTune,
 		State:     j.state,
 		Probes:    len(j.probes),
 		MaxEvals:  j.maxEvals,
 		Recovered: j.recovered,
+		Workers:   workerList(j.workers),
 		Created:   j.created,
 	}
 	if j.err != nil {
-		st.Error = j.err.Error()
+		info.Error = j.err.Error()
 	}
-	return st, j.result
+	return info
+}
+
+// info implements queueJob for listings.
+func (j *tuneJob) info() jobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.infoLocked()
+}
+
+// snapshot returns the job's status together with its terminal result
+// (nil while running).
+func (j *tuneJob) snapshot() (jobInfo, *fusleep.TuneResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.infoLocked(), j.result
 }
 
 // watch returns the probes recorded at or after offset, the current state,
@@ -294,23 +309,30 @@ func (j *tuneJob) watch(offset int) (fresh []fusleep.TuneProbe, state string, up
 	return fresh, j.state, j.updated
 }
 
-// queueEvaluator routes tuner probes through the sharded cell queue, so
-// tune and sweep workloads share workers and identical cells — across job
-// kinds, requests, and clients — dedupe through the simulation cache.
-func (s *Server) queueEvaluator() fusleep.TuneEvaluator {
+// queueEvaluator routes tuner probes through the shared dispatch path —
+// the sharded cell queue in standalone mode, the fleet in coordinator
+// mode — so tune and sweep workloads share workers and identical cells
+// — across job kinds, requests, and clients — dedupe through the
+// simulation cache (or the fleet's duplicate-work join). record, when
+// non-nil, receives the name of each fleet worker that evaluated a probe.
+func (s *Server) queueEvaluator(record func(worker string)) fusleep.TuneEvaluator {
 	return func(ctx context.Context, c fusleep.Cell) (fusleep.CellResult, error) {
 		type outcome struct {
 			res fusleep.CellResult
 			err error
 		}
 		ch := make(chan outcome, 1) // buffered: the worker's done never blocks
-		t := task{ctx: ctx, cell: c, done: func(res fusleep.CellResult, err error) {
+		t := task{ctx: ctx, cell: c, done: func(worker string, res fusleep.CellResult, err error) {
+			if err == nil && worker != "" && record != nil {
+				record(worker)
+			}
 			ch <- outcome{res, err}
 		}}
-		select {
-		case s.shardFor(c).ch <- t:
-		case <-ctx.Done():
-			return fusleep.CellResult{}, ctx.Err()
+		if !s.enqueue(t) {
+			if err := ctx.Err(); err != nil {
+				return fusleep.CellResult{}, err
+			}
+			return fusleep.CellResult{}, context.Canceled
 		}
 		select {
 		case o := <-ch:
@@ -330,7 +352,7 @@ func (s *Server) runTune(job *tuneJob, opts []fusleep.TuneOption) {
 	// Tune jobs reserve their full evaluation budget at admission; the
 	// whole reservation releases when the run terminates.
 	defer s.release(job.maxEvals)
-	opts = append(opts, fusleep.WithTuneEvaluator(s.queueEvaluator()))
+	opts = append(opts, fusleep.WithTuneEvaluator(s.queueEvaluator(job.addWorker)))
 	res, err := s.eng.OptimizeStream(job.ctx, func(p fusleep.TuneProbe) error {
 		job.addProbe(p)
 		s.probesDone.Add(1)
@@ -352,19 +374,19 @@ func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.tunesReject.Add(1)
-		writeError(w, http.StatusBadRequest, "bad tune request: %v", err)
+		writeError(w, http.StatusBadRequest, fleet.CodeBadRequest, "bad tune request: %v", err)
 		return
 	}
 	opts, budget, err := req.options(s.cfg)
 	if err != nil {
 		s.tunesReject.Add(1)
-		writeError(w, http.StatusBadRequest, "bad tune request: %v", err)
+		writeError(w, http.StatusBadRequest, fleet.CodeBadRequest, "bad tune request: %v", err)
 		return
 	}
 	if !s.admit(budget) {
 		s.tunesReject.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, fleet.CodeBacklogFull,
 			"backlog full (%d pending cells); retry later", s.pendingCells.Load())
 		return
 	}
@@ -381,7 +403,7 @@ func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.Jobs != nil {
 			_ = s.cfg.Jobs.Finished(job.id, StateCanceled)
 		}
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, http.StatusServiceUnavailable, fleet.CodeDraining, "%v", err)
 		return
 	}
 	s.tunesSubmit.Add(1)
@@ -390,29 +412,28 @@ func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTuneList is GET /v1/optimize: the shared jobs listing filtered to
+// tune jobs.
 func (s *Server) handleTuneList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	jobs := make([]*tuneJob, 0, len(s.order))
-	for _, id := range s.order {
-		if j, ok := s.jobs[id].(*tuneJob); ok {
-			jobs = append(jobs, j)
-		}
-	}
-	s.mu.Unlock()
-	out := make([]tuneStatus, 0, len(jobs))
-	for _, j := range jobs {
-		st, _ := j.status()
-		out = append(out, st)
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, s.listJobs(KindTune))
 }
 
 // tunePollResponse is the ?poll=1 snapshot: status, the probe trace so
 // far, and the terminal result once present.
 type tunePollResponse struct {
-	tuneStatus
+	jobInfo
 	Trace  []fusleep.TuneProbe `json:"trace"`
 	Result *fusleep.TuneResult `json:"result,omitempty"`
+}
+
+// servePoll implements queueJob: the point-in-time JSON snapshot.
+func (j *tuneJob) servePoll(w http.ResponseWriter) {
+	info, res := j.snapshot()
+	trace, _, _ := j.watch(0)
+	if trace == nil {
+		trace = []fusleep.TuneProbe{}
+	}
+	writeJSON(w, http.StatusOK, tunePollResponse{jobInfo: info, Trace: trace, Result: res})
 }
 
 // tuneStreamEvent is one NDJSON line of a tune stream.
@@ -432,46 +453,31 @@ type tuneStreamEvent struct {
 	Result *fusleep.TuneResult `json:"result,omitempty"`
 }
 
-func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.lookupTune(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no tune job %q", r.PathValue("id"))
-		return
-	}
-	if r.URL.Query().Get("poll") != "" {
-		st, res := job.status()
-		trace, _, _ := job.watch(0)
-		if trace == nil {
-			trace = []fusleep.TuneProbe{}
-		}
-		writeJSON(w, http.StatusOK, tunePollResponse{tuneStatus: st, Trace: trace, Result: res})
-		return
-	}
-
-	// NDJSON stream: a header line, one line per probe as it lands
-	// (evaluation order), and a terminal summary line carrying the result.
+// serveStream implements queueJob: a header line, one line per probe as it
+// lands (evaluation order), and a terminal summary line carrying the result.
+func (j *tuneJob) serveStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	enc := report.NewStreamEncoder(w)
-	st, _ := job.status()
-	if err := enc.Encode(tuneStreamEvent{Event: "tune", ID: job.id, State: st.State, MaxEvals: st.MaxEvals}); err != nil {
+	info := j.info()
+	if err := enc.Encode(tuneStreamEvent{Event: "tune", ID: j.id, State: info.State, MaxEvals: info.MaxEvals}); err != nil {
 		return
 	}
 	sent := 0
 	for {
-		fresh, state, updated := job.watch(sent)
+		fresh, state, updated := j.watch(sent)
 		for i := range fresh {
-			if err := enc.Encode(tuneStreamEvent{Event: "probe", ID: job.id, Probe: &fresh[i]}); err != nil {
+			if err := enc.Encode(tuneStreamEvent{Event: "probe", ID: j.id, Probe: &fresh[i]}); err != nil {
 				return
 			}
 			sent++
 		}
 		if state != StateRunning {
-			st, res := job.status()
+			info, res := j.snapshot()
 			_ = enc.Encode(tuneStreamEvent{
-				Event: "end", ID: job.id, State: st.State, MaxEvals: st.MaxEvals,
-				Probes: st.Probes, Error: st.Error, Result: res,
+				Event: "end", ID: j.id, State: info.State, MaxEvals: info.MaxEvals,
+				Probes: info.Probes, Error: info.Error, Result: res,
 			})
 			return
 		}
@@ -483,13 +489,22 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleTuneCancel(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.lookupTune(r.PathValue("id"))
+// handleTune is GET /v1/optimize/{id}: stream or poll one tune job.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(r.PathValue("id"), KindTune)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no tune job %q", r.PathValue("id"))
+		writeNotFound(w, "tune job", r.PathValue("id"))
 		return
 	}
-	job.requestCancel()
-	st, _ := job.status()
-	writeJSON(w, http.StatusOK, st)
+	serveJob(w, r, job)
+}
+
+// handleTuneCancel is DELETE /v1/optimize/{id}.
+func (s *Server) handleTuneCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(r.PathValue("id"), KindTune)
+	if !ok {
+		writeNotFound(w, "tune job", r.PathValue("id"))
+		return
+	}
+	cancelJob(w, job)
 }

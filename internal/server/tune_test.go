@@ -142,7 +142,7 @@ func TestTunePollAndList(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var list []tuneStatus
+	var list []jobInfo
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestTuneCancelMidRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var st tuneStatus
+	var st jobInfo
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
