@@ -56,7 +56,17 @@
 //	GET    /v1/fleet/workers   live fleet membership (coordinator role)
 //	GET    /healthz            liveness (503 while draining)
 //	GET    /readyz             readiness (503 while draining, recovering, or shedding)
-//	GET    /metrics            Prometheus-style metrics
+//	GET    /metrics            Prometheus text exposition: counters, gauges, histograms
+//	GET    /v1/jobs/{id}/trace per-cell lifecycle span timeline (NDJSON)
+//	GET    /debug/pprof/...    runtime profiles (with -pprof)
+//
+// Observability: -log-level and -log-format select the structured log's
+// threshold and encoding (text or json); every line carries the job, cell
+// key, and worker involved. /metrics includes latency histograms (cell
+// evaluation, HTTP requests by route, queue wait, fleet round trips, retry
+// backoff, journal appends) alongside the counters, and each job keeps a
+// bounded in-memory trace of its cells' lifecycle stages, served by
+// /v1/jobs/{id}/trace.
 //
 // On SIGTERM/SIGINT the daemon stops accepting sweeps, drains every queued
 // and in-flight cell (bounded by -drain-timeout), finishes open response
@@ -71,6 +81,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -82,7 +93,26 @@ import (
 	"github.com/archsim/fusleep/internal/fleet"
 	"github.com/archsim/fusleep/internal/server"
 	"github.com/archsim/fusleep/internal/store"
+	"github.com/archsim/fusleep/internal/telemetry"
 )
+
+// newLogger builds the daemon's structured logger from the -log-level and
+// -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (standalone and coordinator roles)")
@@ -104,13 +134,22 @@ func main() {
 	workerTTL := flag.Duration("worker-ttl", 10*time.Second, "heartbeat lease before a silent worker is expired (coordinator role)")
 	fleetQueue := flag.Int("fleet-queue", 64, "queued cells per worker before dispatch blocks (coordinator role)")
 	workerParallel := flag.Int("worker-parallel", 0, "concurrent cell evaluations (0 = GOMAXPROCS; worker role)")
+	logLevel := flag.String("log-level", "info", "structured log threshold: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", `structured log encoding: "text" or "json"`)
+	pprofOn := flag.Bool("pprof", false, "mount runtime profiles under /debug/pprof/ (standalone and coordinator roles)")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fusleepd: %v\n", err)
+		os.Exit(2)
+	}
 
 	switch *role {
 	case "standalone", "coordinator":
 	case "worker":
 		runWorker(*coordURL, *workerName, *window, *parallel, *cache,
-			*cellTimeout, *maxRetries, *workerParallel)
+			*cellTimeout, *maxRetries, *workerParallel, logger)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "fusleepd: unknown -role %q (want standalone, coordinator, or worker)\n", *role)
@@ -122,17 +161,26 @@ func main() {
 		fusleep.WithParallelism(*parallel),
 		fusleep.WithCache(*cache),
 	}
+	// One registry serves the whole daemon: the server's metrics and the
+	// store's append-latency histogram render in a single /metrics scrape.
+	reg := telemetry.NewRegistry()
+	appendSeconds := reg.NewHistogramVec("fusleepd_store_append_seconds",
+		"Durable journal append latency by journal (results or jobs).", nil, "journal")
+
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
-		st, err = store.Open(*storeDir, store.Options{SyncEvery: *syncEvery})
+		st, err = store.Open(*storeDir, store.Options{
+			SyncEvery: *syncEvery,
+			Observe:   func(op string, s float64) { appendSeconds.With(op).Observe(s) },
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fusleepd: open store: %v\n", err)
 			os.Exit(1)
 		}
 		if rs := st.Results.Stats(); rs.Recovered > 0 || rs.TruncatedBytes > 0 {
-			fmt.Fprintf(os.Stderr, "fusleepd: store %s: %d results recovered (%d torn bytes dropped)\n",
-				*storeDir, rs.Recovered, rs.TruncatedBytes)
+			logger.Info("store recovered", "dir", *storeDir,
+				"results", rs.Recovered, "tornBytes", rs.TruncatedBytes)
 		}
 		engOpts = append(engOpts, fusleep.WithResultStore(st.Results))
 	}
@@ -146,6 +194,9 @@ func main() {
 		MaxWindow:   *maxWindow,
 		CellTimeout: *cellTimeout,
 		MaxRetries:  *maxRetries,
+		Registry:    reg,
+		Logger:      logger,
+		Pprof:       *pprofOn,
 	}
 	if st != nil {
 		cfg.Results = st.Results
@@ -159,9 +210,9 @@ func main() {
 	}
 	srv := server.New(cfg)
 	if replayed, err := srv.Recover(); err != nil {
-		fmt.Fprintf(os.Stderr, "fusleepd: recovery: %v\n", err)
+		logger.Error("recovery failed", "err", err)
 	} else if replayed > 0 {
-		fmt.Fprintf(os.Stderr, "fusleepd: replayed %d unfinished job(s) from the WAL\n", replayed)
+		logger.Info("replayed unfinished jobs from the WAL", "jobs", replayed)
 	}
 
 	httpSrv := &http.Server{
@@ -175,7 +226,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "fusleepd listening on %s (%s)\n", *addr, *role)
+		logger.Info("fusleepd listening", "addr", *addr, "role", *role)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -189,34 +240,35 @@ func main() {
 	// Graceful drain: stop accepting sweeps, finish queued and in-flight
 	// cells, then close the listener once open streams have delivered the
 	// final events.
-	fmt.Fprintln(os.Stderr, "fusleepd: draining in-flight cells...")
+	logger.Info("draining in-flight cells")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "fusleepd: drain incomplete: %v\n", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "fusleepd: shutdown: %v\n", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	<-errc // ListenAndServe has returned http.ErrServerClosed
 	if st != nil {
 		if err := st.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "fusleepd: close store: %v\n", err)
+			logger.Warn("close store", "err", err)
 		}
 	}
-	fmt.Fprintln(os.Stderr, "fusleepd: bye")
+	logger.Info("fusleepd bye")
 }
 
 // runWorker is the -role=worker entry point: no listener, no store — just
 // an engine behind the fleet's fetch/evaluate/report loop until SIGTERM.
 func runWorker(coordinator, name string, window uint64, parallel int, cache bool,
-	cellTimeout time.Duration, maxRetries, workerParallel int) {
+	cellTimeout time.Duration, maxRetries, workerParallel int, logger *slog.Logger) {
 	if name == "" {
 		name, _ = os.Hostname()
 	}
 	if workerParallel <= 0 {
 		workerParallel = runtime.GOMAXPROCS(0)
 	}
+	logger = logger.With("worker", name)
 	eng := fusleep.NewEngine(
 		fusleep.WithWindow(window),
 		fusleep.WithParallelism(parallel),
@@ -235,15 +287,15 @@ func runWorker(coordinator, name string, window uint64, parallel int, cache bool
 		},
 		Parallel: workerParallel,
 		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			logger.Info(fmt.Sprintf(format, args...))
 		},
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "fusleepd worker %q dialing %s\n", name, coordinator)
+	logger.Info("worker dialing coordinator", "coordinator", coordinator, "parallel", workerParallel)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "fusleepd worker: %v\n", err)
+		logger.Error("worker exiting on error", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "fusleepd worker: bye")
+	logger.Info("worker bye")
 }

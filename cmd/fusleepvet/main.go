@@ -1,6 +1,7 @@
 // Command fusleepvet is the multichecker for the repo's domain invariants.
 // It loads the packages matching its argument patterns through the go tool,
-// runs the four analyzers — detrange, detsource, hotalloc, ctxflow — over
+// runs the five analyzers — detrange, detsource, hotalloc, ctxflow,
+// metricnames — over
 // each package they apply to, and prints findings as file:line: analyzer:
 // message. It exits 2 when any diagnostic is reported, 1 on load errors,
 // and 0 on a clean tree, so CI can fail on regressions:
@@ -27,6 +28,7 @@ import (
 	"github.com/archsim/fusleep/internal/analysis/detrange"
 	"github.com/archsim/fusleep/internal/analysis/detsource"
 	"github.com/archsim/fusleep/internal/analysis/hotalloc"
+	"github.com/archsim/fusleep/internal/analysis/metricnames"
 )
 
 // all is the registry of every analyzer this binary knows, in report order.
@@ -35,6 +37,7 @@ var all = []*analysis.Analyzer{
 	detsource.Analyzer,
 	hotalloc.Analyzer,
 	ctxflow.Analyzer,
+	metricnames.Analyzer,
 }
 
 func main() {

@@ -101,6 +101,7 @@ const (
 	DirNondetOK    = "nondet-ok"    // detsource: suppress
 	DirAllocOK     = "alloc-ok"     // hotalloc: suppress
 	DirCtxOK       = "ctx-ok"       // ctxflow: suppress
+	DirMetricOK    = "metric-ok"    // metricnames: suppress
 )
 
 // Directives indexes a package's //fusleepvet: comments by file and line.

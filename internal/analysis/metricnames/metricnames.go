@@ -1,0 +1,173 @@
+// Package metricnames enforces the repo's Prometheus naming conventions at
+// the point where metrics are registered. Every constant metric name passed
+// to a telemetry.Registry constructor must live in the fusleepd_ namespace
+// and be lower snake_case, and the _total suffix is exactly the counter
+// marker: every counter ends in it, nothing else may. Names that only exist
+// at runtime (built from variables) are not checkable and pass silently;
+// grandfathered names can be annotated //fusleepvet:metric-ok with a
+// justification.
+//
+// The analyzer sees through the `fn := reg.NewCounterFunc; fn(name, ...)`
+// method-value idiom the registration code uses to compress long metric
+// tables, so the indirection does not hide a bad name.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/archsim/fusleep/internal/analysis"
+)
+
+// Analyzer is the metricnames pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "enforce fusleepd_ prefix, snake_case, and the counter _total convention on registered metric names",
+	Run:  run,
+}
+
+// registryMethods maps each telemetry.Registry constructor taking a metric
+// name to whether it registers a counter (and therefore requires _total).
+var registryMethods = map[string]bool{
+	"NewCounter":          true,
+	"NewCounterFunc":      true,
+	"NewCounterCollector": true,
+	"NewGaugeFunc":        false,
+	"NewGaugeCollector":   false,
+	"NewHistogram":        false,
+	"NewHistogramVec":     false,
+}
+
+// nameRe is lower snake_case: groups of [a-z0-9] joined by single
+// underscores, starting with a letter.
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$`)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// First pass: method values bound to identifiers, so calls through
+		// `counterFn := reg.NewCounterFunc` resolve to their constructor.
+		bound := map[types.Object]string{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				sel, ok := rhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				method, ok := registryMethod(pass, sel)
+				if !ok {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					bound[obj] = method
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					bound[obj] = method
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var method string
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				m, ok := registryMethod(pass, fun)
+				if !ok {
+					return true
+				}
+				method = m
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[fun]
+				m, ok := bound[obj]
+				if !ok {
+					return true
+				}
+				method = m
+			default:
+				return true
+			}
+			checkName(pass, call, method)
+			return true
+		})
+	}
+	return nil
+}
+
+// registryMethod resolves a selector to a known Registry constructor,
+// whether called or taken as a method value.
+func registryMethod(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if _, known := registryMethods[fn.Name()]; !known {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasSuffix(named.Obj().Pkg().Path(), "/internal/telemetry") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkName validates the constant name a registration call passes; names
+// not constant at the call site are unverifiable and skipped.
+func checkName(pass *analysis.Pass, call *ast.CallExpr, method string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if pass.Directives().Suppressed(call.Pos(), analysis.DirMetricOK) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	pos := call.Args[0].Pos()
+	if !strings.HasPrefix(name, "fusleepd_") {
+		pass.Reportf(pos,
+			"metric %q must start with the fusleepd_ namespace prefix (or annotate //fusleepvet:metric-ok)", name)
+	} else if !nameRe.MatchString(name) {
+		pass.Reportf(pos,
+			"metric %q is not lower snake_case; use [a-z0-9] groups joined by single underscores (or annotate //fusleepvet:metric-ok)", name)
+	}
+	if isCounter := registryMethods[method]; isCounter {
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos,
+				"counter %q must end in _total (Prometheus counter convention; or annotate //fusleepvet:metric-ok)", name)
+		}
+	} else if strings.HasSuffix(name, "_total") {
+		pass.Reportf(pos,
+			"%s registers %q, but the _total suffix is reserved for counters (or annotate //fusleepvet:metric-ok)", method, name)
+	}
+}

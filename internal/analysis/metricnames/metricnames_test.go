@@ -1,0 +1,30 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"github.com/archsim/fusleep/internal/analysis"
+	"github.com/archsim/fusleep/internal/analysis/analysistest"
+	"github.com/archsim/fusleep/internal/analysis/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t,
+		"internal/analysis/metricnames/testdata/fixture",
+		analysis.ModulePath+"/internal/server/metricnamesfixture",
+		metricnames.Analyzer)
+}
+
+func TestMetricNamesScope(t *testing.T) {
+	// Registrations can live anywhere (server, cmd, future packages), so
+	// the analyzer applies everywhere; it only fires on Registry methods.
+	for _, path := range []string{
+		analysis.ModulePath + "/internal/server",
+		analysis.ModulePath + "/cmd/fusleepd",
+		"example.com/other",
+	} {
+		if !metricnames.Analyzer.AppliesTo(path) {
+			t.Errorf("metricnames must apply to %s", path)
+		}
+	}
+}

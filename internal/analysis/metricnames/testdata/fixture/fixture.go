@@ -1,0 +1,36 @@
+// Package fixture exercises the metricnames analyzer: direct Registry
+// constructor calls, the method-value indirection, constant propagation,
+// dynamic names, and the metric-ok escape hatch.
+package fixture
+
+import "github.com/archsim/fusleep/internal/telemetry"
+
+const viaConst = "fusleepd_cells_journaled_total"
+
+func register(reg *telemetry.Registry) {
+	reg.NewCounter("fusleepd_cells_evaluated_total", "ok: namespaced snake_case counter.")
+	reg.NewCounter(viaConst, "ok: name reaches the call through a constant.")
+	reg.NewCounter("cells_evaluated_total", "missing namespace.") // want "must start with the fusleepd_ namespace prefix"
+	reg.NewCounter("fusleepd_cells_evaluated", "missing _total.") // want "counter .* must end in _total"
+	reg.NewCounter("fusleepd_cellsEvaluated_total", "camelCase.") // want "not lower snake_case"
+	reg.NewCounter("fusleepd__cells_total", "double underscore.") // want "not lower snake_case"
+
+	reg.NewGaugeFunc("fusleepd_queue_depth", "ok: plain gauge.", zero)
+	reg.NewGaugeFunc("fusleepd_queue_depth_total", "gauge claiming _total.", zero) // want "_total suffix is reserved for counters"
+
+	reg.NewHistogram("fusleepd_cell_eval_seconds", "ok: histogram.", nil)
+	reg.NewHistogramVec("fusleepd_eval-seconds", "kebab-case.", nil, "route") // want "not lower snake_case"
+
+	reg.NewGaugeCollector("up", "grandfathered dashboard name.", nil, samples) //fusleepvet:metric-ok pinned by external dashboards
+
+	counterFn := reg.NewCounterFunc
+	counterFn("fusleepd_sim_runs_total", "ok through a method value.", zero)
+	counterFn("sim_runs_total", "method value hides nothing.", zero) // want "must start with the fusleepd_ namespace prefix"
+
+	dynamic := "fusleepd_" + suffix()
+	reg.NewCounter(dynamic, "runtime-built names are not checkable.")
+}
+
+func zero() float64               { return 0 }
+func samples() []telemetry.Sample { return nil }
+func suffix() string              { return "dynamic_total" }

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/archsim/fusleep"
+	"github.com/archsim/fusleep/internal/telemetry"
 )
 
 // ErrUnknownWorker is returned to requests carrying a worker ID the
@@ -24,6 +27,9 @@ type Task struct {
 	Ctx  context.Context
 	Cell fusleep.Cell
 	Done func(worker string, res fusleep.CellResult, err error)
+	// TraceID names the job trace the cell belongs to; it rides the wire
+	// to workers and keys the coordinator's lifecycle events. Optional.
+	TraceID string
 }
 
 // Config parameterizes a Coordinator.
@@ -44,6 +50,12 @@ type Config struct {
 	// Now is the clock; tests inject a fake to drive lease expiry
 	// deterministically. Nil means time.Now.
 	Now func() time.Time
+	// Trace, when set, receives cell-lifecycle events (leased, evaluated,
+	// reported, requeued). Nil disables tracing; the Recorder is nil-safe
+	// so call sites need no guards.
+	Trace *telemetry.Recorder
+	// Logger receives membership and requeue decisions. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +81,8 @@ type member struct {
 	wake     chan struct{}          // closed and replaced when queue gains work
 	done     uint64
 	failed   uint64
+	// Latest heartbeat-reported worker telemetry (nil until one arrives).
+	reported *WorkerStats
 }
 
 // assignment is one unit of fleet work: a distinct cell key, the tasks
@@ -81,6 +95,7 @@ type assignment struct {
 	tasks []Task
 	owner *member
 	lease uint64 // nonzero while fetched by owner
+	trace string // job trace id from the first task, "" when tracing is off
 }
 
 // canceled reports whether every waiting task has been canceled, making
@@ -148,6 +163,33 @@ func (c *Coordinator) SetOnResult(fn func(key string, res fusleep.CellResult)) {
 	c.mu.Lock()
 	c.onResult = fn
 	c.mu.Unlock()
+}
+
+// SetTrace arms the cell-lifecycle trace recorder; the server injects its
+// recorder here after New. Set it before dispatching.
+func (c *Coordinator) SetTrace(rec *telemetry.Recorder) {
+	c.mu.Lock()
+	c.cfg.Trace = rec
+	c.mu.Unlock()
+}
+
+// SetLogger replaces the coordinator's structured logger; the server
+// injects its logger here after New.
+func (c *Coordinator) SetLogger(l *slog.Logger) {
+	c.mu.Lock()
+	c.cfg.Logger = l
+	c.mu.Unlock()
+}
+
+// discardLogger swallows log records when no Logger is configured.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// logger resolves the configured logger.
+func (c *Coordinator) logger() *slog.Logger {
+	if c.cfg.Logger != nil {
+		return c.cfg.Logger
+	}
+	return discardLogger
 }
 
 // now resolves the injectable clock.
@@ -232,12 +274,16 @@ func (c *Coordinator) Register(name string) (string, time.Duration) {
 	}
 	c.spaceLocked()
 	ttl := c.cfg.WorkerTTL
+	rebalanced := len(m.queue)
 	c.mu.Unlock()
+	c.logger().Info("fleet worker registered",
+		"worker", id, "name", name, "ttl", ttl, "rebalanced", rebalanced)
 	return id, ttl
 }
 
-// Heartbeat renews a worker's lease.
-func (c *Coordinator) Heartbeat(id string) error {
+// Heartbeat renews a worker's lease; stats, when non-nil, replaces the
+// worker's self-reported telemetry snapshot.
+func (c *Coordinator) Heartbeat(id string, stats *WorkerStats) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m, ok := c.workers[id]
@@ -245,6 +291,9 @@ func (c *Coordinator) Heartbeat(id string) error {
 		return ErrUnknownWorker
 	}
 	m.deadline = c.now().Add(c.cfg.WorkerTTL)
+	if stats != nil {
+		m.reported = stats
+	}
 	return nil
 }
 
@@ -257,13 +306,14 @@ func (c *Coordinator) Deregister(id string) error {
 	if !ok {
 		return ErrUnknownWorker
 	}
-	c.removeLocked(m)
+	c.removeLocked(m, "worker deregistered")
 	return nil
 }
 
 // removeLocked drops a worker from membership and requeues everything it
-// held over the survivors. Callers hold c.mu.
-func (c *Coordinator) removeLocked(m *member) {
+// held over the survivors, tagging each requeue trace event with reason.
+// Callers hold c.mu.
+func (c *Coordinator) removeLocked(m *member, reason string) {
 	delete(c.workers, m.id)
 	if at := sort.SearchStrings(c.live, m.id); at < len(c.live) && c.live[at] == m.id {
 		c.live = append(c.live[:at], c.live[at+1:]...)
@@ -294,11 +344,19 @@ func (c *Coordinator) removeLocked(m *member) {
 			c.orphans = append(c.orphans, a)
 		}
 		c.stats.Requeues++
+		if a.trace != "" {
+			c.cfg.Trace.Record(a.trace, telemetry.Event{
+				Stage: telemetry.StageRequeued, Key: a.key,
+				Worker: m.id, Detail: reason,
+			})
+		}
 	}
 	for t := range woken {
 		c.wakeLocked(t)
 	}
 	c.spaceLocked()
+	c.logger().Info("fleet worker removed",
+		"worker", m.id, "name", m.name, "reason", reason, "requeued", len(orphans))
 }
 
 // expireLocked removes every worker whose heartbeat lease has lapsed.
@@ -314,7 +372,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 	// when several workers expire in one tick.
 	sort.Slice(dead, func(i, j int) bool { return dead[i].id < dead[j].id })
 	for _, m := range dead {
-		c.removeLocked(m)
+		c.removeLocked(m, "lease expired")
 		c.stats.Expired++
 	}
 }
@@ -346,7 +404,7 @@ func (c *Coordinator) Dispatch(t Task) error {
 		}
 		m := c.pickLocked(key)
 		if m == nil {
-			a := &assignment{key: key, cell: t.Cell, tasks: []Task{t}}
+			a := &assignment{key: key, cell: t.Cell, tasks: []Task{t}, trace: t.TraceID}
 			c.byKey[key] = a
 			c.orphans = append(c.orphans, a)
 			c.stats.Dispatched++
@@ -354,7 +412,7 @@ func (c *Coordinator) Dispatch(t Task) error {
 			return nil
 		}
 		if len(m.queue) < c.cfg.QueueDepth {
-			a := &assignment{key: key, cell: t.Cell, tasks: []Task{t}, owner: m}
+			a := &assignment{key: key, cell: t.Cell, tasks: []Task{t}, owner: m, trace: t.TraceID}
 			c.byKey[key] = a
 			m.queue = append(m.queue, a)
 			c.stats.Dispatched++
@@ -405,7 +463,15 @@ func (c *Coordinator) Fetch(ctx context.Context, id string, max int, wait time.D
 			c.leaseSeq++
 			a.lease = c.leaseSeq
 			m.leased[a.lease] = a
-			out = append(out, LeaseCell{Lease: a.lease, Key: a.key, Cell: a.cell})
+			out = append(out, LeaseCell{
+				Lease: a.lease, Key: a.key, Cell: a.cell,
+				TraceID: a.trace, ParentSpan: a.lease,
+			})
+			if a.trace != "" {
+				c.cfg.Trace.Record(a.trace, telemetry.Event{
+					Stage: telemetry.StageLeased, Key: a.key, Worker: id,
+				})
+			}
 		}
 		if len(out) > 0 || len(canceled) > 0 {
 			c.spaceLocked()
@@ -488,6 +554,22 @@ func (c *Coordinator) Report(id string, results []CellReport) (accepted int, err
 		delete(m.leased, r.Lease)
 		delete(c.byKey, a.key)
 		accepted++
+		if a.trace != "" {
+			// Splice the worker-measured attempt spans in first (explicit
+			// durations), then stamp the reported event, whose local delta
+			// measures the full leased-to-reported round trip.
+			for _, sp := range r.Trace {
+				c.cfg.Trace.Record(a.trace, telemetry.Event{
+					Stage: telemetry.StageEvaluated, Key: a.key, Worker: id,
+					Attempt: sp.Attempt, Seconds: sp.Seconds, Err: sp.Error,
+				})
+			}
+			ev := telemetry.Event{Stage: telemetry.StageReported, Key: a.key, Worker: id}
+			if r.Error != nil {
+				ev.Err = r.Error.Message
+			}
+			c.cfg.Trace.Record(a.trace, ev)
+		}
 		if r.Error != nil {
 			m.failed++
 			c.stats.Failed++
@@ -588,11 +670,16 @@ func (c *Coordinator) Workers() []WorkerInfo {
 	out := make([]WorkerInfo, 0, len(c.live))
 	for _, id := range c.live {
 		m := c.workers[id]
-		out = append(out, WorkerInfo{
+		wi := WorkerInfo{
 			ID: m.id, Name: m.name,
 			Queued: len(m.queue), Leased: len(m.leased),
 			Done: m.done, Failed: m.failed,
-		})
+		}
+		if m.reported != nil {
+			wi.Inflight = m.reported.Inflight
+			wi.Evaluated = m.reported.Evaluated
+		}
+		out = append(out, wi)
 	}
 	return out
 }

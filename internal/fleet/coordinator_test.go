@@ -283,7 +283,7 @@ func TestCoordinatorExpiryRequeuesLeasedWork(t *testing.T) {
 	// A second worker joins; the first goes silent past its TTL.
 	w2, _ := c.Register("survivor")
 	clk.advance(9 * time.Second)
-	if err := c.Heartbeat(w2); err != nil {
+	if err := c.Heartbeat(w2, nil); err != nil {
 		t.Fatal(err)
 	}
 	clk.advance(2 * time.Second) // w1's lease (t0+10s) has now lapsed
@@ -354,7 +354,7 @@ func TestCoordinatorDeregisterRequeues(t *testing.T) {
 	if err := c.Deregister(w1); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Heartbeat(w1); !errors.Is(err, ErrUnknownWorker) {
+	if err := c.Heartbeat(w1, nil); !errors.Is(err, ErrUnknownWorker) {
 		t.Fatalf("heartbeat after bye = %v", err)
 	}
 	// Everything — queued and leased — now lives on the survivor.

@@ -95,8 +95,15 @@ type Executor struct {
 	// Sleep waits between retry attempts (and inside injected stalls);
 	// tests replace it with a recording fake. Nil means SleepCtx.
 	Sleep func(ctx context.Context, d time.Duration) error
-	// OnRetry, when set, is called once per retried attempt (metrics).
-	OnRetry func()
+	// OnRetry, when set, is called once per retried attempt with the
+	// cell key, the attempt that just failed, and the backoff about to be
+	// slept (metrics and tracing).
+	OnRetry func(key string, attempt int, delay time.Duration)
+	// OnAttempt, when set, observes every finished evaluation attempt:
+	// the cell key, attempt number, measured duration, and outcome. The
+	// standalone server feeds latency histograms through it; fleet
+	// workers collect the spans it sees into their reports.
+	OnAttempt func(key string, attempt int, seconds float64, err error)
 }
 
 // sleep resolves the injectable sleep.
@@ -116,15 +123,20 @@ func (e *Executor) EvalCell(ctx context.Context, c fusleep.Cell) (fusleep.CellRe
 	var res fusleep.CellResult
 	var err error
 	for attempt := 1; attempt <= attempts; attempt++ {
+		start := time.Now() //fusleepvet:nondet-ok attempt latency observation; never feeds results
 		res, err = e.runOnce(ctx, c, attempt)
+		if e.OnAttempt != nil {
+			e.OnAttempt(c.Key(), attempt, time.Since(start).Seconds(), err)
+		}
 		if err == nil || ctx.Err() != nil ||
 			!fusleep.IsTransientCellError(err) || attempt == attempts {
 			return res, err
 		}
+		delay := e.Retry.Delay(c.Key(), attempt)
 		if e.OnRetry != nil {
-			e.OnRetry()
+			e.OnRetry(c.Key(), attempt, delay)
 		}
-		if serr := e.sleep(ctx, e.Retry.Delay(c.Key(), attempt)); serr != nil {
+		if serr := e.sleep(ctx, delay); serr != nil {
 			return fusleep.CellResult{}, serr
 		}
 	}

@@ -47,7 +47,7 @@ func testExecutor(eng *fusleep.Engine, inj *fault.Injector, maxRetries int, time
 		CellTimeout: timeout,
 		Fault:       inj,
 		Sleep:       fs.sleep,
-		OnRetry:     func() { retries.Add(1) },
+		OnRetry:     func(string, int, time.Duration) { retries.Add(1) },
 	}
 	return e, fs, &retries
 }

@@ -73,6 +73,22 @@ type HeartbeatRequest struct {
 	V   int    `json:"v"`
 	ID  string `json:"id"`
 	Bye bool   `json:"bye,omitempty"`
+	// Stats, when present, is the worker's self-reported telemetry; the
+	// coordinator exports it per worker on /metrics. Optional, so
+	// heartbeats from older workers still parse.
+	Stats *WorkerStats `json:"stats,omitempty"`
+}
+
+// WorkerStats is a worker's self-reported telemetry snapshot, carried on
+// heartbeats.
+type WorkerStats struct {
+	// Inflight is how many cells the worker is evaluating right now.
+	Inflight int `json:"inflight"`
+	// Evaluated counts evaluation attempts the worker has finished
+	// (retries count separately).
+	Evaluated uint64 `json:"evaluated"`
+	// Failed counts attempts that ended in an error.
+	Failed uint64 `json:"failed"`
 }
 
 // HeartbeatResponse acknowledges a heartbeat.
@@ -105,6 +121,12 @@ type LeaseCell struct {
 	Lease uint64       `json:"lease"`
 	Key   string       `json:"key"`
 	Cell  fusleep.Cell `json:"cell"`
+	// TraceID is the job trace the cell belongs to; workers echo it on
+	// the spans they report. Optional, so mixed builds interoperate.
+	TraceID string `json:"traceId,omitempty"`
+	// ParentSpan links worker-side spans back to the coordinator-side
+	// lease; fusleepd sets it to the lease token.
+	ParentSpan uint64 `json:"parentSpan,omitempty"`
 }
 
 // ReportRequest returns evaluation outcomes for previously fetched cells.
@@ -124,6 +146,19 @@ type CellReport struct {
 	// local evaluation.
 	Result *fusleep.CellResult `json:"result,omitempty"`
 	Error  *WireError          `json:"error,omitempty"`
+	// Trace carries the worker-side evaluation spans (one per attempt)
+	// so the coordinator can splice remote timing into the job trace.
+	// Optional; coordinators ignore it when tracing is off.
+	Trace []WireSpan `json:"trace,omitempty"`
+}
+
+// WireSpan is one worker-measured span: a single evaluation attempt's
+// stage, duration, and outcome.
+type WireSpan struct {
+	Stage   string  `json:"stage"`
+	Attempt int     `json:"attempt,omitempty"`
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // ReportResponse acknowledges a report.
@@ -197,4 +232,8 @@ type WorkerInfo struct {
 	Done uint64 `json:"done"`
 	// Failed counts the assignments this worker reported as errors.
 	Failed uint64 `json:"failed"`
+	// Inflight and Evaluated mirror the worker's latest heartbeat-reported
+	// WorkerStats (zero until the worker sends one).
+	Inflight  int    `json:"inflight,omitempty"`
+	Evaluated uint64 `json:"evaluated,omitempty"`
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,6 +39,36 @@ type Worker struct {
 	// Logf, when set, receives progress lines (registration, requeues,
 	// transport errors).
 	Logf func(format string, args ...any)
+
+	// Self-reported telemetry, carried on heartbeats.
+	inflight   atomic.Int64
+	evaluated  atomic.Uint64
+	evalFailed atomic.Uint64
+
+	// Per-key evaluation spans collected from the Executor's OnAttempt
+	// hook, drained into each cell's report. The coordinator never leases
+	// the same key to two workers at once (duplicate submits join the
+	// in-flight assignment), so a key's spans belong to exactly one lease.
+	spanMu sync.Mutex
+	spans  map[string][]WireSpan
+}
+
+// stats snapshots the worker's self-reported telemetry for a heartbeat.
+func (w *Worker) stats() *WorkerStats {
+	return &WorkerStats{
+		Inflight:  int(w.inflight.Load()),
+		Evaluated: w.evaluated.Load(),
+		Failed:    w.evalFailed.Load(),
+	}
+}
+
+// takeSpans drains the collected spans for one cell key.
+func (w *Worker) takeSpans(key string) []WireSpan {
+	w.spanMu.Lock()
+	defer w.spanMu.Unlock()
+	sp := w.spans[key]
+	delete(w.spans, key)
+	return sp
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -92,6 +123,27 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.Exec == nil || w.Exec.Engine == nil {
 		return errors.New("fleet worker: Exec with an Engine is required")
 	}
+	// Tap the executor's attempt hook: every finished attempt becomes a
+	// wire span attached to the cell's report, and feeds the worker's
+	// heartbeat-reported counters.
+	prev := w.Exec.OnAttempt
+	w.Exec.OnAttempt = func(key string, attempt int, seconds float64, err error) {
+		if prev != nil {
+			prev(key, attempt, seconds, err)
+		}
+		w.evaluated.Add(1)
+		sp := WireSpan{Stage: "evaluated", Attempt: attempt, Seconds: seconds}
+		if err != nil {
+			w.evalFailed.Add(1)
+			sp.Error = err.Error()
+		}
+		w.spanMu.Lock()
+		if w.spans == nil {
+			w.spans = make(map[string][]WireSpan)
+		}
+		w.spans[key] = append(w.spans[key], sp)
+		w.spanMu.Unlock()
+	}
 	backoff := 100 * time.Millisecond
 	for ctx.Err() == nil {
 		var reg RegisterResponse
@@ -143,7 +195,8 @@ func (w *Worker) serve(ctx context.Context, id string, ttl time.Duration) {
 			case <-t.C:
 			}
 			var resp HeartbeatResponse
-			err := w.post(hbCtx, "/v1/fleet/heartbeat", HeartbeatRequest{V: ProtocolVersion, ID: id}, &resp)
+			err := w.post(hbCtx, "/v1/fleet/heartbeat",
+				HeartbeatRequest{V: ProtocolVersion, ID: id, Stats: w.stats()}, &resp)
 			if errors.Is(err, ErrUnknownWorker) {
 				close(stale)
 				return
@@ -223,8 +276,10 @@ func (w *Worker) evaluate(ctx context.Context, cells []LeaseCell, parallel int) 
 		go func(i int, lc LeaseCell) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			w.inflight.Add(1)
 			res, err := w.Exec.EvalCell(ctx, lc.Cell)
-			r := CellReport{Lease: lc.Lease, Key: lc.Key}
+			w.inflight.Add(-1)
+			r := CellReport{Lease: lc.Lease, Key: lc.Key, Trace: w.takeSpans(lc.Key)}
 			if err != nil {
 				r.Error = ToWireError(err)
 			} else {

@@ -69,7 +69,7 @@ func (s *Server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if req.Bye {
 		err = s.cfg.Fleet.Deregister(req.ID)
 	} else {
-		err = s.cfg.Fleet.Heartbeat(req.ID)
+		err = s.cfg.Fleet.Heartbeat(req.ID, req.Stats)
 	}
 	if errors.Is(err, fleet.ErrUnknownWorker) {
 		writeUnknownWorker(w, req.ID)

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"github.com/archsim/fusleep"
 	"github.com/archsim/fusleep/internal/fleet"
 	"github.com/archsim/fusleep/internal/pipeline"
+	"github.com/archsim/fusleep/internal/telemetry"
 )
 
 // jobID formats the n-th accepted job's identifier under its kind prefix
@@ -200,6 +202,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/optimize/{id}", s.handleTuneCancel)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
@@ -213,6 +216,15 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("POST /v1/fleet/fetch", s.handleFleetFetch)
 		s.mux.HandleFunc("POST /v1/fleet/report", s.handleFleetReport)
 		s.mux.HandleFunc("GET /v1/fleet/workers", s.handleFleetWorkers)
+	}
+	if s.cfg.Pprof {
+		// Explicit registration instead of the package's init side effect on
+		// DefaultServeMux: the profiles mount only when the flag asks.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 }
 
@@ -285,7 +297,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// lifecycle is owned by the queue (s.submit/cancelAll), not the
 	// client connection.
 	job := newSweepJob(context.Background(), s.nextID("s"), cells) //fusleepvet:ctx-ok job outlives the HTTP request
+	job.rec = s.trace
+	// Start the trace before submit: the feeder races the rest of this
+	// handler, and its dispatch events must find the trace already live.
+	s.trace.Start(job.id)
+	s.trace.Record(job.id, telemetry.Event{
+		Stage: telemetry.StageSubmitted, Detail: fmt.Sprintf("%d cells", len(cells)),
+	})
 	s.journalSubmit(job.id, "sweep", req, func(cb func(string)) { job.onTerminal = cb })
+	s.log.Info("sweep accepted", "job", job.id, "cells", len(cells))
 	if err := s.submit(job.id, job, func() { s.feed(job) }); err != nil {
 		s.rejected.Add(1)
 		s.release(len(cells))
@@ -302,6 +322,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, submitResponse{
 		ID: job.id, Cells: len(cells), URL: "/v1/sweeps/" + job.id,
 	})
+}
+
+// traceHeader is the first NDJSON line of a job-trace response.
+type traceHeader struct {
+	Event   string `json:"event"` // always "trace"
+	ID      string `json:"id"`
+	Events  int    `json:"events"`
+	Dropped int    `json:"dropped"`
+}
+
+// handleJobTrace is GET /v1/jobs/{id}/trace: the job's cell-lifecycle
+// span timeline as NDJSON — one header line, then one line per event in
+// recording order (each with seq, stage, key, worker, attempt, seconds).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, dropped, ok := s.trace.Snapshot(id)
+	if !ok {
+		writeNotFound(w, "trace for job", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(traceHeader{Event: "trace", ID: id, Events: len(events), Dropped: dropped})
+	for _, ev := range events {
+		_ = enc.Encode(ev)
+	}
 }
 
 // handleList is GET /v1/sweeps: the shared jobs listing filtered to sweeps.

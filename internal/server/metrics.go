@@ -1,80 +1,172 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"strings"
+	"runtime"
 	"time"
+
+	"github.com/archsim/fusleep/internal/fleet"
+	"github.com/archsim/fusleep/internal/telemetry"
 )
 
-// handleMetrics renders the service counters in the Prometheus text
-// exposition format, without taking a client dependency: every metric is a
-// plain counter or gauge line.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var b strings.Builder
-	uptime := time.Since(s.start).Seconds()
-	stats := s.eng.Stats()
-	done := s.cellsDone.Load()
+// registerMetrics wires every server metric into s.reg: the mutation
+// counters the hot paths bump directly, scrape-time funcs over engine and
+// store stats, the latency histograms, and — in coordinator mode — the
+// per-worker fleet collectors. Called once from New, before any traffic.
+func (s *Server) registerMetrics() {
+	reg := s.reg
 
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	role := "standalone"
+	if s.cfg.Fleet != nil {
+		role = "coordinator"
 	}
-	gauge := func(name, help string, format string, v any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	reg.NewGaugeCollector("fusleepd_build_info",
+		"Build and role metadata; the value is always 1.",
+		[]string{"go_version", "role"},
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Labels: []string{runtime.Version(), role}, Value: 1}}
+		})
+
+	// Mutation counters. The field names and metric names predate the
+	// registry; tests read them back through Counter.Load.
+	s.requests = reg.NewCounter("fusleepd_http_requests_total", "HTTP requests served.")
+	s.submitted = reg.NewCounter("fusleepd_sweeps_submitted_total", "Sweep jobs accepted.")
+	s.tunesSubmit = reg.NewCounter("fusleepd_tunes_submitted_total", "Tuner jobs accepted.")
+	s.probesDone = reg.NewCounter("fusleepd_tune_probes_total", "Tuner probes evaluated.")
+	s.rejected = reg.NewCounter("fusleepd_sweeps_rejected_total", "Sweep submissions rejected.")
+	s.tunesReject = reg.NewCounter("fusleepd_tunes_rejected_total", "Tuner submissions rejected.")
+	s.cellsDone = reg.NewCounter("fusleepd_cells_completed_total", "Sweep cells evaluated successfully.")
+	s.cellsFailed = reg.NewCounter("fusleepd_cells_failed_total", "Sweep cells that failed with a real error.")
+	s.retries = reg.NewCounter("fusleepd_cell_retries_total", "Transient cell failures retried with backoff.")
+	s.sheds = reg.NewCounter("fusleepd_load_shed_total", "Submissions shed with 429 while the backlog was full.")
+	s.replays = reg.NewCounter("fusleepd_recovery_replays_total", "Jobs replayed from the WAL at startup.")
+	s.storeServed = reg.NewCounter("fusleepd_store_served_total", "Cells served from the durable result store at feed time.")
+	s.walErrs = reg.NewCounter("fusleepd_wal_errors_total", "WAL appends that failed (the job ran non-durably).")
+
+	// Latency distributions.
+	s.evalSeconds = reg.NewHistogram("fusleepd_cell_eval_seconds",
+		"Cell evaluation attempt latency, local and fleet-reported.", nil)
+	s.httpSeconds = reg.NewHistogramVec("fusleepd_http_request_seconds",
+		"HTTP request duration by mux route and status code.", nil, "route", "code")
+	s.queueWait = reg.NewHistogram("fusleepd_queue_wait_seconds",
+		"Time a cell waits between dispatch and execution (shard dequeue or fleet lease).", nil)
+	s.roundtrip = reg.NewHistogram("fusleepd_worker_roundtrip_seconds",
+		"Fleet lease-to-report round trip per cell.", nil)
+	s.retryBackoff = reg.NewHistogram("fusleepd_retry_backoff_seconds",
+		"Backoff slept before transient-cell retries.", nil)
+	s.stageSeconds = reg.NewHistogramVec("fusleepd_trace_stage_seconds",
+		"Per-stage durations observed by the cell-lifecycle trace recorder.", nil, "stage")
+
+	// Scrape-time values: engine, queue, and job-state gauges.
+	counterFn := reg.NewCounterFunc
+	gaugeFn := reg.NewGaugeFunc
+	counterFn("fusleepd_sim_runs_total", "Pipeline simulations executed by the engine.",
+		func() float64 { return float64(s.eng.Stats().Simulations) })
+	counterFn("fusleepd_sim_cache_hits_total", "Simulation requests served from the cross-call cache.",
+		func() float64 { return float64(s.eng.Stats().CacheHits) })
+	counterFn("fusleepd_sim_inflight_joins_total", "Simulation requests that joined an identical in-flight run.",
+		func() float64 { return float64(s.eng.Stats().InflightJoins) })
+	gaugeFn("fusleepd_sim_cache_hit_rate", "Fraction of simulation requests that avoided a fresh run.",
+		func() float64 { return s.eng.Stats().HitRate() })
+	gaugeFn("fusleepd_queue_depth", "Cells waiting in the shard queues.",
+		func() float64 { return float64(s.queueDepth()) })
+	gaugeFn("fusleepd_pending_cells", "Admission-controlled backlog of unsettled cells.",
+		func() float64 { return float64(s.pendingCells.Load()) })
+	gaugeFn("fusleepd_sweeps_active", "Sweep jobs not yet in a terminal state.",
+		func() float64 { sweeps, _ := s.activeJobs(); return float64(sweeps) })
+	gaugeFn("fusleepd_tunes_active", "Tuner jobs not yet in a terminal state.",
+		func() float64 { _, tunes := s.activeJobs(); return float64(tunes) })
+	gaugeFn("fusleepd_cells_per_second", "Completed cells per second of uptime.",
+		func() float64 { return float64(s.cellsDone.Load()) / max(time.Since(s.start).Seconds(), 1e-9) })
+	gaugeFn("fusleepd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	gaugeFn("fusleepd_trace_jobs", "Job traces held in the in-memory trace ring.",
+		func() float64 { return float64(s.trace.Jobs()) })
+
+	if rs := s.cfg.Results; rs != nil {
+		counterFn("fusleepd_store_hits_total", "Result-store lookups that found a journaled cell.",
+			func() float64 { return float64(rs.Stats().Hits) })
+		counterFn("fusleepd_store_puts_total", "Cell results journaled to the result store.",
+			func() float64 { return float64(rs.Stats().Puts) })
+		gaugeFn("fusleepd_store_results", "Distinct cell results in the durable store.",
+			func() float64 { return float64(rs.Stats().Results) })
+		gaugeFn("fusleepd_store_journal_bytes", "On-disk size of the result journal.",
+			func() float64 { return float64(rs.Stats().Bytes) })
+	}
+	if jl := s.cfg.Jobs; jl != nil {
+		gaugeFn("fusleepd_wal_bytes", "On-disk size of the job WAL.",
+			func() float64 { return float64(jl.Bytes()) })
 	}
 
-	counter("fusleepd_http_requests_total", "HTTP requests served.", s.requests.Load())
-	counter("fusleepd_sweeps_submitted_total", "Sweep jobs accepted.", s.submitted.Load())
-	counter("fusleepd_tunes_submitted_total", "Tuner jobs accepted.", s.tunesSubmit.Load())
-	counter("fusleepd_tune_probes_total", "Tuner probes evaluated.", s.probesDone.Load())
-	counter("fusleepd_sweeps_rejected_total", "Sweep submissions rejected.", s.rejected.Load())
-	counter("fusleepd_tunes_rejected_total", "Tuner submissions rejected.", s.tunesReject.Load())
-	counter("fusleepd_cells_completed_total", "Sweep cells evaluated successfully.", done)
-	counter("fusleepd_cells_failed_total", "Sweep cells that failed with a real error.", s.cellsFailed.Load())
-	counter("fusleepd_cell_retries_total", "Transient cell failures retried with backoff.", s.retries.Load())
-	counter("fusleepd_load_shed_total", "Submissions shed with 429 while the backlog was full.", s.sheds.Load())
-	counter("fusleepd_recovery_replays_total", "Jobs replayed from the WAL at startup.", s.replays.Load())
-	counter("fusleepd_store_served_total", "Cells served from the durable result store at feed time.", s.storeServed.Load())
-	counter("fusleepd_wal_errors_total", "WAL appends that failed (the job ran non-durably).", s.walErrs.Load())
-	if s.cfg.Results != nil {
-		rs := s.cfg.Results.Stats()
-		counter("fusleepd_store_hits_total", "Result-store lookups that found a journaled cell.", rs.Hits)
-		counter("fusleepd_store_puts_total", "Cell results journaled to the result store.", rs.Puts)
-		gauge("fusleepd_store_results", "Distinct cell results in the durable store.", "%d", rs.Results)
-		gauge("fusleepd_store_journal_bytes", "On-disk size of the result journal.", "%d", rs.Bytes)
-	}
-	if s.cfg.Jobs != nil {
-		gauge("fusleepd_wal_bytes", "On-disk size of the job WAL.", "%d", s.cfg.Jobs.Bytes())
-	}
-	counter("fusleepd_sim_runs_total", "Pipeline simulations executed by the engine.", stats.Simulations)
-	counter("fusleepd_sim_cache_hits_total", "Simulation requests served from the cross-call cache.", stats.CacheHits)
-	counter("fusleepd_sim_inflight_joins_total", "Simulation requests that joined an identical in-flight run.", stats.InflightJoins)
-	gauge("fusleepd_sim_cache_hit_rate", "Fraction of simulation requests that avoided a fresh run.", "%.4f", stats.HitRate())
-	sweepsActive, tunesActive := s.activeJobs()
-	gauge("fusleepd_queue_depth", "Cells waiting in the shard queues.", "%d", s.queueDepth())
-	gauge("fusleepd_pending_cells", "Admission-controlled backlog of unsettled cells.", "%d", s.pendingCells.Load())
-	gauge("fusleepd_sweeps_active", "Sweep jobs not yet in a terminal state.", "%d", sweepsActive)
-	gauge("fusleepd_tunes_active", "Tuner jobs not yet in a terminal state.", "%d", tunesActive)
-	gauge("fusleepd_cells_per_second", "Completed cells per second of uptime.", "%.3f", float64(done)/max(uptime, 1e-9))
-	gauge("fusleepd_uptime_seconds", "Seconds since the server started.", "%.3f", uptime)
 	if fl := s.cfg.Fleet; fl != nil {
-		fs := fl.Stats()
-		gauge("fusleepd_fleet_workers", "Registered fleet workers.", "%d", fs.Workers)
-		gauge("fusleepd_fleet_queued", "Cells queued on worker queues.", "%d", fs.Queued)
-		gauge("fusleepd_fleet_leased", "Cells leased to workers awaiting reports.", "%d", fs.Leased)
-		gauge("fusleepd_fleet_unassigned", "Cells orphaned while no worker was registered.", "%d", fs.Unassigned)
-		counter("fusleepd_fleet_dispatched_total", "Cells dispatched into the fleet.", fs.Dispatched)
-		counter("fusleepd_fleet_joins_total", "Dispatches that joined identical in-flight fleet work.", fs.Joins)
-		counter("fusleepd_fleet_completed_total", "Fleet cells reported successfully.", fs.Completed)
-		counter("fusleepd_fleet_failed_total", "Fleet cells reported as errors.", fs.Failed)
-		counter("fusleepd_fleet_requeues_total", "Cells requeued after a worker left or expired.", fs.Requeues)
-		counter("fusleepd_fleet_rebalanced_total", "Queued cells rerouted when a worker joined.", fs.Rebalanced)
-		counter("fusleepd_fleet_expired_total", "Workers expired after missed heartbeats.", fs.Expired)
-		counter("fusleepd_fleet_stale_reports_total", "Reports discarded because their lease had been requeued.", fs.Stale)
-	}
+		gaugeFn("fusleepd_fleet_workers", "Registered fleet workers.",
+			func() float64 { return float64(fl.Stats().Workers) })
+		gaugeFn("fusleepd_fleet_queued", "Cells queued on worker queues.",
+			func() float64 { return float64(fl.Stats().Queued) })
+		gaugeFn("fusleepd_fleet_leased", "Cells leased to workers awaiting reports.",
+			func() float64 { return float64(fl.Stats().Leased) })
+		gaugeFn("fusleepd_fleet_unassigned", "Cells orphaned while no worker was registered.",
+			func() float64 { return float64(fl.Stats().Unassigned) })
+		counterFn("fusleepd_fleet_dispatched_total", "Cells dispatched into the fleet.",
+			func() float64 { return float64(fl.Stats().Dispatched) })
+		counterFn("fusleepd_fleet_joins_total", "Dispatches that joined identical in-flight fleet work.",
+			func() float64 { return float64(fl.Stats().Joins) })
+		counterFn("fusleepd_fleet_completed_total", "Fleet cells reported successfully.",
+			func() float64 { return float64(fl.Stats().Completed) })
+		counterFn("fusleepd_fleet_failed_total", "Fleet cells reported as errors.",
+			func() float64 { return float64(fl.Stats().Failed) })
+		counterFn("fusleepd_fleet_requeues_total", "Cells requeued after a worker left or expired.",
+			func() float64 { return float64(fl.Stats().Requeues) })
+		counterFn("fusleepd_fleet_rebalanced_total", "Queued cells rerouted when a worker joined.",
+			func() float64 { return float64(fl.Stats().Rebalanced) })
+		counterFn("fusleepd_fleet_expired_total", "Workers expired after missed heartbeats.",
+			func() float64 { return float64(fl.Stats().Expired) })
+		counterFn("fusleepd_fleet_stale_reports_total", "Reports discarded because their lease had been requeued.",
+			func() float64 { return float64(fl.Stats().Stale) })
 
+		// Per-worker breakdown, labeled by routing identity: queue/lease
+		// depths from the coordinator's own books, inflight/evaluated from
+		// each worker's latest heartbeat.
+		workerSamples := func(pick func(fleet.WorkerInfo) float64) func() []telemetry.Sample {
+			return func() []telemetry.Sample {
+				ws := fl.Workers()
+				out := make([]telemetry.Sample, 0, len(ws))
+				for _, w := range ws {
+					out = append(out, telemetry.Sample{Labels: []string{w.ID}, Value: pick(w)})
+				}
+				return out
+			}
+		}
+		workerGauge := func(name, help string, pick func(fleet.WorkerInfo) float64) {
+			reg.NewGaugeCollector(name, help, []string{"worker"}, workerSamples(pick))
+		}
+		workerCounter := func(name, help string, pick func(fleet.WorkerInfo) float64) {
+			reg.NewCounterCollector(name, help, []string{"worker"}, workerSamples(pick))
+		}
+		workerGauge("fusleepd_fleet_worker_queued", "Cells queued for the worker.",
+			func(w fleet.WorkerInfo) float64 { return float64(w.Queued) })
+		workerGauge("fusleepd_fleet_worker_leased", "Cells leased to the worker awaiting reports.",
+			func(w fleet.WorkerInfo) float64 { return float64(w.Leased) })
+		workerGauge("fusleepd_fleet_worker_inflight", "Evaluations in flight on the worker (self-reported).",
+			func(w fleet.WorkerInfo) float64 { return float64(w.Inflight) })
+		workerCounter("fusleepd_fleet_worker_completed_total", "Cells the worker reported successfully.",
+			func(w fleet.WorkerInfo) float64 { return float64(w.Done) })
+		workerCounter("fusleepd_fleet_worker_failed_total", "Cells the worker reported as errors.",
+			func(w fleet.WorkerInfo) float64 { return float64(w.Failed) })
+		workerCounter("fusleepd_fleet_worker_evaluated_total", "Evaluation attempts the worker ran (self-reported).",
+			func(w fleet.WorkerInfo) float64 { return float64(w.Evaluated) })
+	}
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format from one reused buffer, so steady-state scrapes do not allocate.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.scrapeMu.Lock()
+	defer s.scrapeMu.Unlock()
+	s.scrapeBuf.Reset()
+	s.reg.WriteText(&s.scrapeBuf)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = fmt.Fprint(w, b.String())
+	_, _ = w.Write(s.scrapeBuf.Bytes())
 }
 
 // activeJobs counts the still-running jobs of each kind.

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -18,6 +21,7 @@ import (
 	"github.com/archsim/fusleep/internal/fault"
 	"github.com/archsim/fusleep/internal/fleet"
 	"github.com/archsim/fusleep/internal/store"
+	"github.com/archsim/fusleep/internal/telemetry"
 )
 
 // Config parameterizes a Server.
@@ -75,6 +79,20 @@ type Config struct {
 	// /v1/fleet wire endpoints are mounted. Nil (the default) embeds the
 	// workers in-process — the standalone daemon.
 	Fleet *fleet.Coordinator
+	// Registry, when set, is the metrics registry the server registers
+	// into; the daemon shares one registry between the server and the
+	// store so /metrics is a single exposition. Nil creates a private one.
+	Registry *telemetry.Registry
+	// Logger receives the server's structured logs (submissions, sheds,
+	// recovery, drain). Nil discards.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
+	// TraceJobs and TraceEvents bound the in-memory trace ring: the last
+	// TraceJobs job traces are kept, each capped at TraceEvents events
+	// (defaults 64 and 512).
+	TraceJobs   int
+	TraceEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +126,11 @@ type task struct {
 	ctx  context.Context
 	cell fusleep.Cell
 	done func(worker string, res fusleep.CellResult, err error)
+	// trace is the owning job's trace id ("" when the job is untraced).
+	trace string
+	// enqueued stamps when the task entered the queue; the shard worker
+	// turns it into the queue-wait histogram.
+	enqueued time.Time
 }
 
 // shard is one worker's bounded inbox.
@@ -168,20 +191,39 @@ type Server struct {
 	// tune jobs. Submissions shed (429) once it reaches MaxPending.
 	pendingCells atomic.Int64
 
-	// metrics
-	requests    atomic.Uint64
-	submitted   atomic.Uint64
-	rejected    atomic.Uint64 // sweep submissions rejected
-	cellsDone   atomic.Uint64
-	cellsFailed atomic.Uint64
-	tunesSubmit atomic.Uint64
-	tunesReject atomic.Uint64
-	probesDone  atomic.Uint64
-	retries     atomic.Uint64 // transient cell failures retried
-	sheds       atomic.Uint64 // submissions shed with 429
-	replays     atomic.Uint64 // jobs replayed from the WAL
-	storeServed atomic.Uint64 // cells served from the result store at feed time
-	walErrs     atomic.Uint64 // WAL appends that failed (job ran non-durably)
+	// Observability: the metrics registry every counter below registers
+	// into, the cell-lifecycle trace recorder, and the structured logger.
+	reg   *telemetry.Registry
+	trace *telemetry.Recorder
+	log   *slog.Logger
+
+	// counters (registered; Load() keeps them readable in tests)
+	requests    *telemetry.Counter
+	submitted   *telemetry.Counter
+	rejected    *telemetry.Counter // sweep submissions rejected
+	cellsDone   *telemetry.Counter
+	cellsFailed *telemetry.Counter
+	tunesSubmit *telemetry.Counter
+	tunesReject *telemetry.Counter
+	probesDone  *telemetry.Counter
+	retries     *telemetry.Counter // transient cell failures retried
+	sheds       *telemetry.Counter // submissions shed with 429
+	replays     *telemetry.Counter // jobs replayed from the WAL
+	storeServed *telemetry.Counter // cells served from the result store at feed time
+	walErrs     *telemetry.Counter // WAL appends that failed (job ran non-durably)
+
+	// distributions
+	evalSeconds  *telemetry.Histogram    // per-attempt cell evaluation latency
+	httpSeconds  *telemetry.HistogramVec // request duration by route and code
+	queueWait    *telemetry.Histogram    // dispatch → execution (dequeue or lease)
+	roundtrip    *telemetry.Histogram    // fleet lease → report per cell
+	retryBackoff *telemetry.Histogram    // backoff slept before retries
+	stageSeconds *telemetry.HistogramVec // per-trace-stage durations
+
+	// scrapeMu serializes /metrics renders over the one reused buffer, so
+	// steady-state scrapes allocate nothing.
+	scrapeMu  sync.Mutex
+	scrapeBuf bytes.Buffer
 }
 
 // New builds a server and starts its shard workers. It panics if cfg.Engine
@@ -198,6 +240,29 @@ func New(cfg Config) *Server {
 		jobs:      make(map[string]queueJob),
 		drainDone: make(chan struct{}),
 	}
+	s.reg = cfg.Registry
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.trace = telemetry.NewRecorder(cfg.TraceJobs, cfg.TraceEvents)
+	s.registerMetrics()
+	// Every recorded trace stage feeds the per-stage histogram; the three
+	// stages with a natural latency reading also feed their dedicated ones.
+	s.trace.SetStageObserver(func(stage string, seconds float64) {
+		s.stageSeconds.With(stage).Observe(seconds)
+		switch stage {
+		case telemetry.StageLeased:
+			s.queueWait.Observe(seconds)
+		case telemetry.StageEvaluated:
+			s.evalSeconds.Observe(seconds)
+		case telemetry.StageReported:
+			s.roundtrip.Observe(seconds)
+		}
+	})
 	s.exec = &fleet.Executor{
 		Engine:      cfg.Engine,
 		CellTimeout: cfg.CellTimeout,
@@ -207,7 +272,18 @@ func New(cfg Config) *Server {
 			Base:       cfg.RetryBase,
 			Seed:       0x66_75_73_6c_65_65_70, // "fusleep"
 		},
-		OnRetry: func() { s.retries.Add(1) },
+		OnRetry: func(key string, attempt int, delay time.Duration) {
+			s.retries.Inc()
+			s.retryBackoff.Observe(delay.Seconds())
+			s.log.Debug("cell retry scheduled", "key", key, "attempt", attempt, "backoff", delay)
+		},
+		OnAttempt: func(key string, attempt int, seconds float64, err error) {
+			ev := telemetry.Event{Stage: telemetry.StageEvaluated, Attempt: attempt, Seconds: seconds}
+			if err != nil {
+				ev.Err = err.Error()
+			}
+			s.trace.RecordKey(key, ev)
+		},
 	}
 	// Without a WAL there is nothing to replay; with one, readiness waits
 	// for Recover.
@@ -217,6 +293,8 @@ func New(cfg Config) *Server {
 		// journaled as they are reported, and lease expiry ticks in the
 		// background until drain completes.
 		cfg.Fleet.SetOnResult(s.fleetResult)
+		cfg.Fleet.SetTrace(s.trace)
+		cfg.Fleet.SetLogger(s.log)
 		go s.expiryLoop()
 	} else {
 		for i := 0; i < cfg.Shards; i++ {
@@ -242,6 +320,7 @@ func (s *Server) fleetResult(key string, res fusleep.CellResult) {
 	// Put failures surface through the store's own PutErrors metric; the
 	// job still completes (it just loses the replay-for-free guarantee).
 	_ = s.cfg.Results.PutCell(key, res)
+	s.trace.RecordKey(key, telemetry.Event{Stage: telemetry.StageStored})
 }
 
 // expiryLoop ticks fleet lease expiry so a crashed worker's cells requeue
@@ -261,13 +340,18 @@ func (s *Server) expiryLoop() {
 	}
 }
 
-// Handler returns the server's HTTP handler with request accounting.
-// Routes the mux does not know (404) or knows under a different method
-// (405) get the canonical JSON error envelope instead of the mux's
-// plain-text defaults, so every error the daemon emits has one shape.
+// Handler returns the server's HTTP handler with request accounting and
+// per-route duration histograms (labeled by the mux pattern that matched,
+// or "unmatched"). Routes the mux does not know (404) or knows under a
+// different method (405) get the canonical JSON error envelope instead of
+// the mux's plain-text defaults, so every error the daemon emits has one
+// shape.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
+		s.requests.Inc()
+		start := time.Now() //fusleepvet:nondet-ok request duration observation; never feeds results
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		route := "unmatched"
 		if h, pattern := s.mux.Handler(r); pattern == "" {
 			rec := &statusRecorder{header: make(http.Header)}
 			h.ServeHTTP(rec, r)
@@ -275,15 +359,19 @@ func (s *Server) Handler() http.Handler {
 				if allow := rec.header.Get("Allow"); allow != "" {
 					w.Header().Set("Allow", allow)
 				}
-				writeError(w, http.StatusMethodNotAllowed, fleet.CodeMethod,
+				writeError(sw, http.StatusMethodNotAllowed, fleet.CodeMethod,
 					"method %s not allowed for %s", r.Method, r.URL.Path)
-				return
+			} else {
+				writeError(sw, http.StatusNotFound, fleet.CodeNotFound,
+					"no route for %s %s", r.Method, r.URL.Path)
 			}
-			writeError(w, http.StatusNotFound, fleet.CodeNotFound,
-				"no route for %s %s", r.Method, r.URL.Path)
-			return
+		} else {
+			route = pattern
+			// Serve through the mux, not h directly: only ServeHTTP binds
+			// the matched pattern's path values onto the request.
+			s.mux.ServeHTTP(sw, r)
 		}
-		s.mux.ServeHTTP(w, r)
+		s.httpSeconds.With(route, strconv.Itoa(sw.code)).Observe(time.Since(start).Seconds())
 	})
 }
 
@@ -298,6 +386,36 @@ type statusRecorder struct {
 func (r *statusRecorder) Header() http.Header         { return r.header }
 func (r *statusRecorder) WriteHeader(code int)        { r.code = code }
 func (r *statusRecorder) Write(p []byte) (int, error) { return len(p), nil }
+
+// statusWriter passes the response through while remembering the status
+// code for the request-duration histogram. It forwards Flush so the
+// NDJSON job streams keep flushing per event through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // shardFor routes a cell to its worker shard by configuration hash, so
 // identical cells — whether they arrive via a sweep grid or a tuner probe —
@@ -319,6 +437,9 @@ func (s *Server) worker(sh *shard) {
 			t.done("", fusleep.CellResult{}, err)
 			continue
 		}
+		if !t.enqueued.IsZero() {
+			s.queueWait.Observe(time.Since(t.enqueued).Seconds())
+		}
 		res, err := s.exec.EvalCell(t.ctx, t.cell)
 		t.done("", res, err)
 	}
@@ -334,12 +455,15 @@ func (s *Server) enqueue(t task) bool {
 	if fl := s.cfg.Fleet; fl != nil {
 		if s.cfg.Results != nil && t.ctx.Err() == nil {
 			if res, ok, err := s.cfg.Results.GetCell(t.cell.Key()); err == nil && ok {
-				s.storeServed.Add(1)
+				s.storeServed.Inc()
+				if t.trace != "" {
+					s.trace.Record(t.trace, telemetry.Event{Stage: telemetry.StageStoreServed, Key: t.cell.Key()})
+				}
 				t.done("", res, nil)
 				return true
 			}
 		}
-		return fl.Dispatch(fleet.Task{Ctx: t.ctx, Cell: t.cell, Done: t.done}) == nil
+		return fl.Dispatch(fleet.Task{Ctx: t.ctx, Cell: t.cell, Done: t.done, TraceID: t.trace}) == nil
 	}
 	select {
 	case s.shardFor(t.cell).ch <- t:
@@ -358,30 +482,38 @@ func (s *Server) feed(job *sweepJob) {
 	defer s.feeders.Done()
 	for i, c := range job.cells {
 		idx := i
+		key := c.Key()
 		if s.cfg.Results != nil && job.ctx.Err() == nil {
-			if res, ok, err := s.cfg.Results.GetCell(c.Key()); err == nil && ok {
+			if res, ok, err := s.cfg.Results.GetCell(key); err == nil && ok {
 				res.Index = idx
 				// Count before completing: complete() may finish the job and
 				// release its stream, and the metrics must already agree with
 				// what that stream announced.
-				s.cellsDone.Add(1)
-				s.storeServed.Add(1)
+				s.cellsDone.Inc()
+				s.storeServed.Inc()
+				s.trace.Record(job.id, telemetry.Event{Stage: telemetry.StageStoreServed, Key: key})
 				job.complete("", res)
 				s.release(1)
 				continue
 			}
 		}
-		t := task{ctx: job.ctx, cell: c, done: func(worker string, res fusleep.CellResult, err error) {
+		// Record dispatch before enqueueing: this binds the cell key to the
+		// job's trace, so key-addressed events (evaluated attempts, stored
+		// results) land on the right timeline.
+		s.trace.Record(job.id, telemetry.Event{Stage: telemetry.StageDispatched, Key: key})
+		t := task{ctx: job.ctx, cell: c, trace: job.id, enqueued: time.Now(), done: func(worker string, res fusleep.CellResult, err error) {
 			defer s.release(1)
 			if err != nil {
+				s.trace.Record(job.id, telemetry.Event{Stage: telemetry.StageFailed, Key: key, Err: err.Error()})
 				if job.fail(err) {
-					s.cellsFailed.Add(1)
+					s.cellsFailed.Inc()
 				}
 				return
 			}
 			res.Index = idx
+			s.trace.Record(job.id, telemetry.Event{Stage: telemetry.StageCompleted, Key: key, Worker: worker})
 			job.complete(worker, res)
-			s.cellsDone.Add(1)
+			s.cellsDone.Inc()
 		}}
 		if !s.enqueue(t) {
 			s.release(len(job.cells) - i)
@@ -398,8 +530,9 @@ func (s *Server) capacity() int { return s.cfg.MaxPending }
 // the pending backlog has reached MaxPending. Accepted work must release
 // its reservation as it settles.
 func (s *Server) admit(n int) bool {
-	if s.pendingCells.Load() >= int64(s.capacity()) {
-		s.sheds.Add(1)
+	if pending := s.pendingCells.Load(); pending >= int64(s.capacity()) {
+		s.sheds.Inc()
+		s.log.Warn("submission shed", "cells", n, "pending", pending, "capacity", s.capacity())
 		return false
 	}
 	s.pendingCells.Add(int64(n))
@@ -516,6 +649,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		go func() {
 			// No new feeders can start (draining is set), so once the live
 			// ones finish the queues only shrink.
+			s.log.Info("drain started", "queued", s.queueDepth())
 			s.feeders.Wait()
 			if fl := s.cfg.Fleet; fl != nil {
 				// Coordinator role: wait for the fleet to report (or a
@@ -529,6 +663,7 @@ func (s *Server) Drain(ctx context.Context) error {
 				close(sh.ch)
 			}
 			s.workers.Wait()
+			s.log.Info("drain complete")
 			close(s.drainDone)
 		}()
 	})
@@ -587,9 +722,11 @@ func (s *Server) journalSubmit(id, kind string, req any, arm func(onTerminal fun
 		err = s.cfg.Jobs.Submitted(id, kind, payload)
 	}
 	if err != nil {
-		s.walErrs.Add(1)
+		s.walErrs.Inc()
+		s.log.Warn("job WAL append failed; job runs non-durably", "job", id, "kind", kind, "err", err)
 		return
 	}
+	s.trace.Record(id, telemetry.Event{Stage: telemetry.StageJournaled})
 	arm(s.finishRecord(id))
 }
 
@@ -603,7 +740,7 @@ func (s *Server) finishRecord(id string) func(state string) {
 			return
 		}
 		if err := s.cfg.Jobs.Finished(id, state); err != nil {
-			s.walErrs.Add(1)
+			s.walErrs.Inc()
 		}
 	}
 }
@@ -637,15 +774,19 @@ func (s *Server) Recover() (int, error) {
 			// A payload that no longer parses (config drift across the
 			// restart) is finished-failed rather than replayed forever.
 			errs = append(errs, fmt.Errorf("job %s: %w", rec.ID, err))
+			s.log.Warn("WAL replay failed; job marked failed", "job", rec.ID, "kind", rec.Kind, "err", err)
 			if ferr := s.cfg.Jobs.Finished(rec.ID, StateFailed); ferr != nil {
-				s.walErrs.Add(1)
+				s.walErrs.Inc()
 			}
 			continue
 		}
 		replayed++
-		s.replays.Add(1)
+		s.replays.Inc()
 	}
 	s.recovered.Store(true)
+	if replayed > 0 || len(errs) > 0 {
+		s.log.Info("WAL recovery finished", "replayed", replayed, "failed", len(errs))
+	}
 	return replayed, errors.Join(errs...)
 }
 
@@ -664,7 +805,13 @@ func (s *Server) replay(rec store.JobRecord) error {
 		cells := s.eng.Cells(g)
 		job := newSweepJob(context.Background(), rec.ID, cells) //fusleepvet:ctx-ok replayed job outlives the call
 		job.recovered = true
+		job.rec = s.trace
 		job.onTerminal = s.finishRecord(rec.ID)
+		// Start the trace before submit: the feeder races this function, and
+		// its dispatch events must find the trace already live.
+		s.trace.Start(rec.ID)
+		s.trace.Record(rec.ID, telemetry.Event{Stage: telemetry.StageReplayed, Detail: "sweep"})
+		s.log.Info("replaying journaled job", "job", rec.ID, "kind", "sweep", "cells", len(cells))
 		s.pendingCells.Add(int64(len(cells)))
 		if err := s.submit(rec.ID, job, func() { s.feed(job) }); err != nil {
 			s.release(len(cells))
@@ -682,7 +829,11 @@ func (s *Server) replay(rec store.JobRecord) error {
 		}
 		job := newTuneJob(context.Background(), rec.ID, budget) //fusleepvet:ctx-ok replayed job outlives the call
 		job.recovered = true
+		job.rec = s.trace
 		job.onTerminal = s.finishRecord(rec.ID)
+		s.trace.Start(rec.ID)
+		s.trace.Record(rec.ID, telemetry.Event{Stage: telemetry.StageReplayed, Detail: "tune"})
+		s.log.Info("replaying journaled job", "job", rec.ID, "kind", "tune", "budget", budget)
 		s.pendingCells.Add(int64(budget))
 		if err := s.submit(rec.ID, job, func() { s.runTune(job, opts) }); err != nil {
 			s.release(budget)

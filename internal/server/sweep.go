@@ -10,6 +10,7 @@ import (
 
 	"github.com/archsim/fusleep"
 	"github.com/archsim/fusleep/internal/report"
+	"github.com/archsim/fusleep/internal/telemetry"
 )
 
 // Sweep job states.
@@ -31,6 +32,8 @@ type sweepJob struct {
 
 	// recovered marks a job replayed from the WAL after a restart.
 	recovered bool
+	// rec receives the job's trace events (nil-safe; nil when untraced).
+	rec *telemetry.Recorder
 	// onTerminal, when set, is invoked exactly once — outside j.mu — when
 	// the job reaches a terminal state; the WAL uses it to mark journaled
 	// jobs finished.
@@ -279,6 +282,7 @@ func (j *sweepJob) serveStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if state != StateRunning {
 			info := j.info()
+			j.rec.Record(j.id, telemetry.Event{Stage: telemetry.StageStreamed, Detail: info.State})
 			_ = enc.Encode(streamEvent{
 				Event: "end", ID: j.id, State: info.State, Cells: info.Cells,
 				Completed: info.Completed, Failed: info.Failed, Skipped: info.Skipped, Error: info.Error,

@@ -13,6 +13,7 @@ import (
 	"github.com/archsim/fusleep"
 	"github.com/archsim/fusleep/internal/fleet"
 	"github.com/archsim/fusleep/internal/report"
+	"github.com/archsim/fusleep/internal/telemetry"
 )
 
 // TuneRequest is the wire form of a tuner run: the search space (same
@@ -171,6 +172,8 @@ type tuneJob struct {
 
 	// recovered marks a job replayed from the WAL after a restart.
 	recovered bool
+	// rec receives the job's trace events (nil-safe; nil when untraced).
+	rec *telemetry.Recorder
 	// onTerminal, when set, is invoked exactly once — outside j.mu — when
 	// the job reaches a terminal state; the WAL uses it to mark journaled
 	// jobs finished.
@@ -313,21 +316,31 @@ func (j *tuneJob) watch(offset int) (fresh []fusleep.TuneProbe, state string, up
 // the sharded cell queue in standalone mode, the fleet in coordinator
 // mode — so tune and sweep workloads share workers and identical cells
 // — across job kinds, requests, and clients — dedupe through the
-// simulation cache (or the fleet's duplicate-work join). record, when
-// non-nil, receives the name of each fleet worker that evaluated a probe.
-func (s *Server) queueEvaluator(record func(worker string)) fusleep.TuneEvaluator {
+// simulation cache (or the fleet's duplicate-work join). jobID names the
+// trace every probe's lifecycle lands on; record, when non-nil, receives
+// the name of each fleet worker that evaluated a probe.
+func (s *Server) queueEvaluator(jobID string, record func(worker string)) fusleep.TuneEvaluator {
 	return func(ctx context.Context, c fusleep.Cell) (fusleep.CellResult, error) {
 		type outcome struct {
 			res fusleep.CellResult
 			err error
 		}
+		key := c.Key()
 		ch := make(chan outcome, 1) // buffered: the worker's done never blocks
-		t := task{ctx: ctx, cell: c, done: func(worker string, res fusleep.CellResult, err error) {
-			if err == nil && worker != "" && record != nil {
-				record(worker)
+		t := task{ctx: ctx, cell: c, trace: jobID, enqueued: time.Now(), done: func(worker string, res fusleep.CellResult, err error) {
+			if err != nil {
+				s.trace.Record(jobID, telemetry.Event{Stage: telemetry.StageFailed, Key: key, Err: err.Error()})
+			} else {
+				if worker != "" && record != nil {
+					record(worker)
+				}
+				s.trace.Record(jobID, telemetry.Event{Stage: telemetry.StageCompleted, Key: key, Worker: worker})
 			}
 			ch <- outcome{res, err}
 		}}
+		// Record dispatch before enqueueing: this binds the cell key to the
+		// job's trace for key-addressed events.
+		s.trace.Record(jobID, telemetry.Event{Stage: telemetry.StageDispatched, Key: key})
 		if !s.enqueue(t) {
 			if err := ctx.Err(); err != nil {
 				return fusleep.CellResult{}, err
@@ -352,7 +365,7 @@ func (s *Server) runTune(job *tuneJob, opts []fusleep.TuneOption) {
 	// Tune jobs reserve their full evaluation budget at admission; the
 	// whole reservation releases when the run terminates.
 	defer s.release(job.maxEvals)
-	opts = append(opts, fusleep.WithTuneEvaluator(s.queueEvaluator(job.addWorker)))
+	opts = append(opts, fusleep.WithTuneEvaluator(s.queueEvaluator(job.id, job.addWorker)))
 	res, err := s.eng.OptimizeStream(job.ctx, func(p fusleep.TuneProbe) error {
 		job.addProbe(p)
 		s.probesDone.Add(1)
@@ -393,7 +406,15 @@ func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
 	// Accepted tune jobs outlive the submitting request; the queue owns
 	// their lifecycle.
 	job := newTuneJob(context.Background(), s.nextID("t"), budget) //fusleepvet:ctx-ok job outlives the HTTP request
+	job.rec = s.trace
+	// Start the trace before submit: the tuner's evaluator races the rest
+	// of this handler, and its dispatch events must find the trace live.
+	s.trace.Start(job.id)
+	s.trace.Record(job.id, telemetry.Event{
+		Stage: telemetry.StageSubmitted, Detail: fmt.Sprintf("budget %d", budget),
+	})
 	s.journalSubmit(job.id, "tune", req, func(cb func(string)) { job.onTerminal = cb })
+	s.log.Info("tune accepted", "job", job.id, "budget", budget)
 	if err := s.submit(job.id, job, func() { s.runTune(job, opts) }); err != nil {
 		s.tunesReject.Add(1)
 		s.release(budget)
@@ -475,6 +496,7 @@ func (j *tuneJob) serveStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if state != StateRunning {
 			info, res := j.snapshot()
+			j.rec.Record(j.id, telemetry.Event{Stage: telemetry.StageStreamed, Detail: info.State})
 			_ = enc.Encode(tuneStreamEvent{
 				Event: "end", ID: j.id, State: info.State, MaxEvals: info.MaxEvals,
 				Probes: info.Probes, Error: info.Error, Result: res,

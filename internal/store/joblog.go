@@ -48,7 +48,7 @@ type JobLog struct {
 // OpenJobLog opens (or creates) the WAL at path and replays its intact
 // records.
 func OpenJobLog(path string, inject JournalOptions) (*JobLog, error) {
-	opt := JournalOptions{SyncEvery: 1, Inject: inject.Inject}
+	opt := JournalOptions{SyncEvery: 1, Inject: inject.Inject, Observe: inject.Observe}
 	j, recs, err := OpenJournal(path, opt)
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"github.com/archsim/fusleep/internal/fault"
 )
@@ -60,6 +61,9 @@ type JournalOptions struct {
 	// Inject arms the journal's fault points (fsync error, torn write);
 	// nil injects nothing.
 	Inject *fault.Injector
+	// Observe, when set, receives each Append's wall-clock duration in
+	// seconds (the daemon feeds append-latency histograms through it).
+	Observe func(seconds float64)
 }
 
 func (o JournalOptions) withDefaults() JournalOptions {
@@ -204,6 +208,10 @@ func encodePayload(rec Record) ([]byte, error) {
 // hold no expectation about a wedged journal: once a write or sync fails,
 // every later Append returns ErrWedged.
 func (j *Journal) Append(rec Record) error {
+	if j.opt.Observe != nil {
+		start := time.Now() //fusleepvet:nondet-ok append latency observation; never feeds results
+		defer func() { j.opt.Observe(time.Since(start).Seconds()) }()
+	}
 	payload, err := encodePayload(rec)
 	if err != nil {
 		return err

@@ -21,6 +21,9 @@ type Options struct {
 	SyncEvery int
 	// Inject arms the journals' fault points; nil injects nothing.
 	Inject *fault.Injector
+	// Observe, when set, receives each journal append's duration: op is
+	// "results" or "jobs", seconds is wall-clock time spent in Append.
+	Observe func(op string, seconds float64)
 }
 
 // Store bundles the two durable structures a fusleepd instance keeps in
@@ -39,11 +42,16 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	jopt := JournalOptions{SyncEvery: opt.SyncEvery, Inject: opt.Inject}
+	wopt := jopt
+	if opt.Observe != nil {
+		jopt.Observe = func(s float64) { opt.Observe("results", s) }
+		wopt.Observe = func(s float64) { opt.Observe("jobs", s) }
+	}
 	results, err := OpenResults(filepath.Join(dir, ResultsFile), jopt)
 	if err != nil {
 		return nil, err
 	}
-	jobs, err := OpenJobLog(filepath.Join(dir, JobsFile), jopt)
+	jobs, err := OpenJobLog(filepath.Join(dir, JobsFile), wopt)
 	if err != nil {
 		results.Close()
 		return nil, err

@@ -1,0 +1,17 @@
+// Package telemetry is fusleepd's stdlib-only observability kit: a typed
+// metrics registry (counters, gauges, histograms, with optional labels)
+// that renders the Prometheus text exposition format in deterministic
+// order, plus a bounded cell-lifecycle trace recorder that follows one
+// job's cells from submission through dispatch, lease, evaluation, and
+// report.
+//
+// Hot paths are lock-free: counters and histogram buckets are atomics, so
+// recording a sample never contends with a scrape. Rendering takes the
+// registry lock only to walk the (registration-sorted) family list; two
+// scrapes serialize, samples never wait.
+//
+// The package deliberately implements the subset of the Prometheus data
+// model the daemon needs — no summaries, no exemplars, no push — and
+// ValidateExposition is the strict parser the tests use to guarantee a
+// malformed metric can never ship.
+package telemetry

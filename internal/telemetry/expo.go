@@ -1,0 +1,364 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition strictly parses a Prometheus text-format payload and
+// returns the first violation found, or nil. It enforces the invariants
+// the tests pin down so a malformed metric can never ship:
+//
+//   - every family has exactly one `# HELP` immediately followed by one
+//     `# TYPE` (counter, gauge, or histogram), and appears only once
+//   - metric and label names match the exposition charset
+//   - label values use only the legal escapes (\\, \", \n)
+//   - sample names belong to their family (bare name, or _bucket/_sum/
+//     _count for histograms) and every value parses as a float
+//   - histogram buckets are sorted by `le`, cumulative counts are
+//     non-decreasing, the final bucket is le="+Inf", and its count equals
+//     the series' `_count`, which is present alongside `_sum`
+func ValidateExposition(text string) error {
+	p := &expoParser{
+		families: make(map[string]string),
+		hists:    make(map[string]map[string]*histSeries),
+	}
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if p.curFamily != "" && p.curType == "" {
+		return fmt.Errorf("family %q: HELP without TYPE", p.curFamily)
+	}
+	return p.finishHistograms()
+}
+
+// histSeries accumulates one histogram child's buckets for the final
+// cumulative/count checks.
+type histSeries struct {
+	les    []float64
+	counts []float64
+	sum    *float64
+	count  *float64
+}
+
+type expoParser struct {
+	families  map[string]string // name -> type
+	curFamily string
+	curType   string
+	hists     map[string]map[string]*histSeries // family -> child key -> series
+}
+
+func (p *expoParser) line(line string) error {
+	if strings.HasPrefix(line, "#") {
+		return p.comment(line)
+	}
+	return p.sample(line)
+}
+
+func (p *expoParser) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	kind, name := fields[1], fields[2]
+	switch kind {
+	case "HELP":
+		if p.curFamily != "" && p.curType == "" {
+			return fmt.Errorf("family %q: HELP without TYPE", p.curFamily)
+		}
+		if _, dup := p.families[name]; dup {
+			return fmt.Errorf("family %q declared twice", name)
+		}
+		if err := checkExpoName(name); err != nil {
+			return err
+		}
+		if len(fields) < 4 || fields[3] == "" {
+			return fmt.Errorf("family %q: empty HELP text", name)
+		}
+		p.curFamily, p.curType = name, ""
+	case "TYPE":
+		if name != p.curFamily || p.curType != "" {
+			return fmt.Errorf("TYPE %q not immediately after its HELP", name)
+		}
+		if len(fields) < 4 {
+			return fmt.Errorf("family %q: TYPE missing kind", name)
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram":
+		default:
+			return fmt.Errorf("family %q: unknown type %q", name, typ)
+		}
+		p.curType = typ
+		p.families[name] = typ
+	default:
+		return fmt.Errorf("unknown comment kind %q", kind)
+	}
+	return nil
+}
+
+func (p *expoParser) sample(line string) error {
+	if p.curFamily == "" || p.curType == "" {
+		return fmt.Errorf("sample %q before any HELP/TYPE", line)
+	}
+	name, rest, err := splitSampleName(line)
+	if err != nil {
+		return err
+	}
+	labels, rest, err := parseLabels(rest)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	val := strings.TrimSpace(rest)
+	if val == "" || strings.ContainsAny(val, " \t") {
+		return fmt.Errorf("sample %s: malformed value %q", name, val)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, val)
+	}
+
+	fam, typ := p.curFamily, p.curType
+	switch typ {
+	case "counter", "gauge":
+		if name != fam {
+			return fmt.Errorf("sample %s does not belong to family %s", name, fam)
+		}
+		if _, ok := labels["le"]; ok && typ == "gauge" {
+			// "le" on a plain gauge is legal per the format, but this
+			// registry never emits it — treat as a rendering bug.
+			return fmt.Errorf("sample %s: unexpected le label on gauge", name)
+		}
+		if typ == "counter" && (f < 0 || math.IsNaN(f)) {
+			return fmt.Errorf("sample %s: counter value %v not a non-negative number", name, f)
+		}
+	case "histogram":
+		return p.histSample(fam, name, labels, f)
+	}
+	return nil
+}
+
+func (p *expoParser) histSample(fam, name string, labels map[string]string, f float64) error {
+	key := childKey(labels)
+	children := p.hists[fam]
+	if children == nil {
+		children = make(map[string]*histSeries)
+		p.hists[fam] = children
+	}
+	hs := children[key]
+	if hs == nil {
+		hs = &histSeries{}
+		children[key] = hs
+	}
+	switch name {
+	case fam + "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("sample %s: bucket without le label", name)
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("sample %s: bad le %q", name, le)
+		}
+		hs.les = append(hs.les, bound)
+		hs.counts = append(hs.counts, f)
+	case fam + "_sum":
+		if hs.sum != nil {
+			return fmt.Errorf("sample %s: duplicate _sum", name)
+		}
+		hs.sum = &f
+	case fam + "_count":
+		if hs.count != nil {
+			return fmt.Errorf("sample %s: duplicate _count", name)
+		}
+		hs.count = &f
+	default:
+		return fmt.Errorf("sample %s does not belong to histogram %s", name, fam)
+	}
+	return nil
+}
+
+// finishHistograms runs the cross-line invariants once the whole payload
+// is parsed.
+func (p *expoParser) finishHistograms() error {
+	fams := make([]string, 0, len(p.hists))
+	for fam := range p.hists {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		keys := make([]string, 0, len(p.hists[fam]))
+		for k := range p.hists[fam] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			hs := p.hists[fam][k]
+			if len(hs.les) == 0 {
+				return fmt.Errorf("histogram %s{%s}: no buckets", fam, k)
+			}
+			for i := 1; i < len(hs.les); i++ {
+				if !(hs.les[i] > hs.les[i-1]) {
+					return fmt.Errorf("histogram %s{%s}: le bounds not increasing", fam, k)
+				}
+				if hs.counts[i] < hs.counts[i-1] {
+					return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative", fam, k)
+				}
+			}
+			if !math.IsInf(hs.les[len(hs.les)-1], 1) {
+				return fmt.Errorf("histogram %s{%s}: final bucket is not le=\"+Inf\"", fam, k)
+			}
+			if hs.count == nil {
+				return fmt.Errorf("histogram %s{%s}: missing _count", fam, k)
+			}
+			if hs.sum == nil {
+				return fmt.Errorf("histogram %s{%s}: missing _sum", fam, k)
+			}
+			if inf := hs.counts[len(hs.counts)-1]; inf != *hs.count {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v", fam, k, inf, *hs.count)
+			}
+		}
+	}
+	return nil
+}
+
+// splitSampleName peels the metric name off a sample line and validates
+// its charset; rest starts at '{' or the value.
+func splitSampleName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name, rest = line[:i], line[i:]
+	if err := checkExpoName(name); err != nil {
+		return "", "", err
+	}
+	return name, rest, nil
+}
+
+// parseLabels consumes an optional {k="v",...} block, validating label
+// name charset and escape sequences, and returns the remaining text.
+func parseLabels(rest string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	if !strings.HasPrefix(rest, "{") {
+		return labels, rest, nil
+	}
+	rest = rest[1:]
+	for {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label block near %q", rest)
+		}
+		lname := rest[:eq]
+		if err := checkExpoLabel(lname); err != nil {
+			return nil, "", err
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, "", fmt.Errorf("label %s: unquoted value", lname)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", lname)
+				}
+				i++
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: illegal escape \\%c", lname, rest[i])
+				}
+				continue
+			}
+			if c == '\n' {
+				return nil, "", fmt.Errorf("label %s: raw newline in value", lname)
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, "", fmt.Errorf("label %s: unterminated value", lname)
+		}
+		if _, dup := labels[lname]; dup {
+			return nil, "", fmt.Errorf("label %s repeated", lname)
+		}
+		labels[lname] = val.String()
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		return nil, "", fmt.Errorf("label block not closed after %s", lname)
+	}
+}
+
+// childKey canonicalizes a label set minus "le" so all series of one
+// histogram child group together.
+func childKey(labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func checkExpoName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("metric name %q: illegal character %q", name, c)
+		}
+	}
+	return nil
+}
+
+func checkExpoLabel(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty label name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("label name %q: illegal character %q", name, c)
+		}
+	}
+	return nil
+}

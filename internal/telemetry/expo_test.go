@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := strings.Join([]string{
+		`# HELP fusleepd_a_total A counter.`,
+		`# TYPE fusleepd_a_total counter`,
+		`fusleepd_a_total 5`,
+		`# HELP fusleepd_g A gauge.`,
+		`# TYPE fusleepd_g gauge`,
+		`fusleepd_g -3.25`,
+		`# HELP fusleepd_l_seconds A histogram.`,
+		`# TYPE fusleepd_l_seconds histogram`,
+		`fusleepd_l_seconds_bucket{route="/v1/sweeps",le="0.1"} 1`,
+		`fusleepd_l_seconds_bucket{route="/v1/sweeps",le="1"} 3`,
+		`fusleepd_l_seconds_bucket{route="/v1/sweeps",le="+Inf"} 4`,
+		`fusleepd_l_seconds_sum{route="/v1/sweeps"} 2.5`,
+		`fusleepd_l_seconds_count{route="/v1/sweeps"} 4`,
+		`fusleepd_l_seconds_bucket{route="esc\"aped\\x\n",le="+Inf"} 0`,
+		`fusleepd_l_seconds_sum{route="esc\"aped\\x\n"} 0`,
+		`fusleepd_l_seconds_count{route="esc\"aped\\x\n"} 0`,
+		``,
+	}, "\n")
+	if err := ValidateExposition(good); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of the error
+	}{
+		{
+			"type before help",
+			"# TYPE fusleepd_x counter\nfusleepd_x 1\n",
+			"not immediately after its HELP",
+		},
+		{
+			"help without type",
+			"# HELP fusleepd_x X.\nfusleepd_x 1\n",
+			"before any HELP/TYPE",
+		},
+		{
+			"trailing help without type",
+			"# HELP fusleepd_x X.\n",
+			"HELP without TYPE",
+		},
+		{
+			"duplicate family",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x gauge\n# HELP fusleepd_x X.\n# TYPE fusleepd_x gauge\n",
+			"declared twice",
+		},
+		{
+			"unknown type",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x summary\n",
+			"unknown type",
+		},
+		{
+			"bad metric name",
+			"# HELP fusleepd-x X.\n# TYPE fusleepd-x gauge\n",
+			"illegal character",
+		},
+		{
+			"leading digit name",
+			"# HELP 9x X.\n# TYPE 9x gauge\n",
+			"illegal character",
+		},
+		{
+			"bad label name",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x gauge\nfusleepd_x{bad-label=\"v\"} 1\n",
+			"illegal character",
+		},
+		{
+			"illegal escape",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x gauge\nfusleepd_x{l=\"a\\tb\"} 1\n",
+			`illegal escape`,
+		},
+		{
+			"unterminated label value",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x gauge\nfusleepd_x{l=\"v} 1\n",
+			"unterminated",
+		},
+		{
+			"repeated label",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x gauge\nfusleepd_x{l=\"a\",l=\"b\"} 1\n",
+			"repeated",
+		},
+		{
+			"sample from wrong family",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x counter\nfusleepd_y 1\n",
+			"does not belong",
+		},
+		{
+			"bad value",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x gauge\nfusleepd_x pizza\n",
+			"bad value",
+		},
+		{
+			"negative counter",
+			"# HELP fusleepd_x X.\n# TYPE fusleepd_x counter\nfusleepd_x -1\n",
+			"non-negative",
+		},
+		{
+			"stray histogram series",
+			"# HELP fusleepd_h X.\n# TYPE fusleepd_h histogram\nfusleepd_h_quantile 1\n",
+			"does not belong to histogram",
+		},
+		{
+			"bucket without le",
+			"# HELP fusleepd_h X.\n# TYPE fusleepd_h histogram\nfusleepd_h_bucket 1\n",
+			"without le",
+		},
+		{
+			"non-increasing bounds",
+			"# HELP fusleepd_h X.\n# TYPE fusleepd_h histogram\n" +
+				"fusleepd_h_bucket{le=\"1\"} 1\nfusleepd_h_bucket{le=\"1\"} 2\n" +
+				"fusleepd_h_bucket{le=\"+Inf\"} 2\nfusleepd_h_sum 1\nfusleepd_h_count 2\n",
+			"not increasing",
+		},
+		{
+			"non-cumulative buckets",
+			"# HELP fusleepd_h X.\n# TYPE fusleepd_h histogram\n" +
+				"fusleepd_h_bucket{le=\"1\"} 3\nfusleepd_h_bucket{le=\"2\"} 2\n" +
+				"fusleepd_h_bucket{le=\"+Inf\"} 3\nfusleepd_h_sum 1\nfusleepd_h_count 3\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP fusleepd_h X.\n# TYPE fusleepd_h histogram\n" +
+				"fusleepd_h_bucket{le=\"1\"} 1\nfusleepd_h_sum 1\nfusleepd_h_count 1\n",
+			"+Inf",
+		},
+		{
+			"missing count",
+			"# HELP fusleepd_h X.\n# TYPE fusleepd_h histogram\n" +
+				"fusleepd_h_bucket{le=\"+Inf\"} 1\nfusleepd_h_sum 1\n",
+			"missing _count",
+		},
+		{
+			"missing sum",
+			"# HELP fusleepd_h X.\n# TYPE fusleepd_h histogram\n" +
+				"fusleepd_h_bucket{le=\"+Inf\"} 1\nfusleepd_h_count 1\n",
+			"missing _sum",
+		},
+		{
+			"count disagrees with +Inf",
+			"# HELP fusleepd_h X.\n# TYPE fusleepd_h histogram\n" +
+				"fusleepd_h_bucket{le=\"+Inf\"} 1\nfusleepd_h_sum 1\nfusleepd_h_count 2\n",
+			"!= _count",
+		},
+		{
+			"malformed comment",
+			"# NOPE fusleepd_x X.\n",
+			"unknown comment kind",
+		},
+		{
+			"empty help",
+			"# HELP fusleepd_x\n",
+			"empty HELP text",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateExposition(tc.text)
+			if err == nil {
+				t.Fatalf("accepted invalid payload:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	return buf.String()
+}
+
+func TestCounterAndGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("fusleepd_widgets_total", "Widgets made.")
+	c.Inc()
+	c.Add(4)
+	r.NewGaugeFunc("fusleepd_depth", "Queue depth.", func() float64 { return 3.5 })
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP fusleepd_widgets_total Widgets made.\n# TYPE fusleepd_widgets_total counter\nfusleepd_widgets_total 5\n",
+		"# HELP fusleepd_depth Queue depth.\n# TYPE fusleepd_depth gauge\nfusleepd_depth 3.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if c.Load() != 5 {
+		t.Fatalf("Load = %d, want 5", c.Load())
+	}
+	if err := ValidateExposition(out); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestFamiliesSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("fusleepd_zeta_total", "Z.")
+	r.NewCounter("fusleepd_alpha_total", "A.")
+	r.NewGaugeFunc("fusleepd_mid", "M.", func() float64 { return 0 })
+
+	out := render(r)
+	za := strings.Index(out, "fusleepd_alpha_total")
+	zm := strings.Index(out, "fusleepd_mid")
+	zz := strings.Index(out, "fusleepd_zeta_total")
+	if !(za < zm && zm < zz) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"dup", func(r *Registry) {
+			r.NewCounter("fusleepd_x_total", "X.")
+			r.NewCounter("fusleepd_x_total", "X.")
+		}},
+		{"badname", func(r *Registry) { r.NewCounter("9bad", "X.") }},
+		{"hyphen", func(r *Registry) { r.NewCounter("fusleepd-x", "X.") }},
+		{"newline help", func(r *Registry) { r.NewCounter("fusleepd_x_total", "a\nb") }},
+		{"badlabel", func(r *Registry) {
+			r.NewGaugeCollector("fusleepd_x", "X.", []string{"bad-label"}, func() []Sample { return nil })
+		}},
+		{"nolabels", func(r *Registry) { r.NewHistogramVec("fusleepd_x_seconds", "X.", nil) }},
+		{"unsorted buckets", func(r *Registry) {
+			r.NewHistogram("fusleepd_x_seconds", "X.", []float64{1, 1})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("fusleepd_lat_seconds", "Latency.", []float64{0.25, 1, 10})
+	// Power-of-two fractions keep the sum exact in float64.
+	for _, v := range []float64{0.125, 0.25, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	out := render(r)
+	for _, want := range []string{
+		`fusleepd_lat_seconds_bucket{le="0.25"} 2`, // 0.125 and 0.25 (le is inclusive)
+		`fusleepd_lat_seconds_bucket{le="1"} 3`,
+		`fusleepd_lat_seconds_bucket{le="10"} 4`,
+		`fusleepd_lat_seconds_bucket{le="+Inf"} 5`,
+		`fusleepd_lat_seconds_sum 55.875`,
+		`fusleepd_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(out); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestHistogramVecChildrenSorted(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("fusleepd_req_seconds", "Request latency.", []float64{0.5}, "route", "code")
+	v.With("/v1/sweeps", "202").Observe(0.1)
+	v.With("/metrics", "200").Observe(0.2)
+	v.With("/metrics", "200").Observe(0.9)
+
+	out := render(r)
+	first := strings.Index(out, `route="/metrics",code="200"`)
+	second := strings.Index(out, `route="/v1/sweeps",code="202"`)
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("vec children not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, `fusleepd_req_seconds_count{route="/metrics",code="200"} 2`) {
+		t.Fatalf("wrong child count:\n%s", out)
+	}
+	if err := ValidateExposition(out); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestHistogramVecWithArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("fusleepd_x_seconds", "X.", nil, "route")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	v.With("a", "b")
+}
+
+func TestCollectorSortsAndEscapes(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeCollector("fusleepd_worker_queued", "Per-worker queue depth.", []string{"worker"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"w-b"}, Value: 2},
+			{Labels: []string{`w"\` + "\n"}, Value: 1},
+			{Labels: []string{"w-a", "extra"}, Value: 9}, // wrong arity: dropped
+		}
+	})
+	out := render(r)
+	if !strings.Contains(out, `fusleepd_worker_queued{worker="w\"\\\n"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", out)
+	}
+	if strings.Contains(out, "extra") {
+		t.Fatalf("wrong-arity sample emitted:\n%s", out)
+	}
+	esc := strings.Index(out, `w\"`)
+	wb := strings.Index(out, `w-b`)
+	if esc < 0 || wb < 0 || esc > wb {
+		t.Fatalf("collector samples not sorted:\n%s", out)
+	}
+	if err := ValidateExposition(out); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestHistogramInfObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("fusleepd_x_seconds", "X.", []float64{1})
+	h.Observe(math.Inf(1))
+	out := render(r)
+	if !strings.Contains(out, `fusleepd_x_seconds_bucket{le="+Inf"} 1`+"\n") {
+		t.Fatalf("+Inf observation lost:\n%s", out)
+	}
+	if !strings.Contains(out, "fusleepd_x_seconds_sum +Inf\n") {
+		t.Fatalf("sum should be +Inf:\n%s", out)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("fusleepd_n_total", "N.")
+	h := r.NewHistogram("fusleepd_l_seconds", "L.", nil)
+	v := r.NewHistogramVec("fusleepd_lv_seconds", "LV.", nil, "k")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+				v.With("abc"[g%3 : g%3+1]).Observe(0.001)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		if err := ValidateExposition(render(r)); err != nil {
+			t.Fatalf("scrape %d invalid under concurrency: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if c.Load() != 4000 {
+		t.Fatalf("lost increments: %d", c.Load())
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}
+
+// TestWriteTextAllocFree pins the scrape hot path: rendering into a
+// warmed, reused buffer must not allocate.
+func TestWriteTextAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("fusleepd_n_total", "N.")
+	c.Add(12345)
+	h := r.NewHistogram("fusleepd_l_seconds", "L.", nil)
+	h.Observe(0.42)
+	r.NewGaugeFunc("fusleepd_g", "G.", func() float64 { return 1.5 })
+	v := r.NewHistogramVec("fusleepd_lv_seconds", "LV.", nil, "k")
+	v.With("a").Observe(0.1)
+
+	var buf bytes.Buffer
+	r.WriteText(&buf) // warm the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		buf.Reset()
+		r.WriteText(&buf)
+	})
+	if allocs > 0 {
+		t.Fatalf("WriteText allocates %v times per scrape, want 0", allocs)
+	}
+}
+
+func BenchmarkRegistryWriteText(b *testing.B) {
+	r := NewRegistry()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		c := r.NewCounter("fusleepd_"+n+"_total", "Bench counter.")
+		c.Add(7)
+	}
+	h := r.NewHistogram("fusleepd_l_seconds", "L.", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		r.WriteText(&buf)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("fusleepd_l_seconds", "L.", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) / 1000)
+			i++
+		}
+	})
+}
