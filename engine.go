@@ -396,13 +396,34 @@ func (e *Engine) resolveGrid(g Grid) Grid {
 // it. Identical cells are deduplicated through the cache, so re-running a
 // cell is a map lookup.
 func (e *Engine) RunCell(ctx context.Context, c Cell) (CellResult, error) {
+	return experiments.EvalCell(ctx, e.runner, e.resolveCell(c))
+}
+
+// RunCells evaluates a batch of sweep cells with shared-pass batching:
+// cells that share a simulation identity (benchmark set, FU mix, L2
+// latency, window) simulate once, and their policy/technology variants are
+// evaluated closed-form off the recorded idle-interval profiles. Per-cell
+// results are identical to calling RunCell on each cell; results return in
+// input order. This is the evaluation path Optimize uses for each tuner
+// round.
+func (e *Engine) RunCells(ctx context.Context, cells []Cell) ([]CellResult, error) {
+	resolved := make([]Cell, len(cells))
+	for i, c := range cells {
+		resolved[i] = e.resolveCell(c)
+	}
+	return experiments.EvalCells(ctx, e.runner, resolved)
+}
+
+// resolveCell fills a cell's zero-valued window and class-technology fields
+// from the engine's defaults.
+func (e *Engine) resolveCell(c Cell) Cell {
 	if c.Window == 0 {
 		c.Window = e.window
 	}
 	if c.ClassTechs == nil {
 		c.ClassTechs = e.ClassTechs()
 	}
-	return experiments.EvalCell(ctx, e.runner, c)
+	return c
 }
 
 // SweepStream evaluates a grid cell by cell, invoking fn with each

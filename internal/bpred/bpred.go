@@ -201,9 +201,17 @@ type Result struct {
 }
 
 // Predict produces the front end's prediction for one control instruction.
-// Call/Return manipulate the return address stack here, at fetch time.
-// Non-control classes return a fall-through prediction.
-func (p *Predictor) Predict(in isa.Inst) Result {
+// It is the by-value convenience form of PredictRef.
+func (p *Predictor) Predict(in isa.Inst) Result { return p.PredictRef(&in) }
+
+// PredictRef produces the front end's prediction for one control
+// instruction without copying it; the pipeline's fetch loop calls it with a
+// pointer into the fetch queue. Call/Return manipulate the return address
+// stack here, at fetch time. Non-control classes return a fall-through
+// prediction.
+//
+//fusleepvet:hotpath
+func (p *Predictor) PredictRef(in *isa.Inst) Result {
 	p.stats.Lookups++
 	switch in.Class {
 	case isa.Jump:
@@ -243,9 +251,16 @@ func (p *Predictor) Predict(in isa.Inst) Result {
 	}
 }
 
-// Update trains the predictor with the actual outcome. It must be called
-// with the Result produced by the matching Predict.
-func (p *Predictor) Update(in isa.Inst, r Result) {
+// Update trains the predictor with the actual outcome. It is the by-value
+// convenience form of UpdateRef.
+func (p *Predictor) Update(in isa.Inst, r Result) { p.UpdateRef(&in, r) }
+
+// UpdateRef trains the predictor with the actual outcome, without copying
+// the instruction. It must be called with the Result produced by the
+// matching PredictRef.
+//
+//fusleepvet:hotpath
+func (p *Predictor) UpdateRef(in *isa.Inst, r Result) {
 	if in.Class == isa.Branch {
 		p.stats.CondBranches++
 		if r.PredTaken == in.Taken {
@@ -278,14 +293,19 @@ func (p *Predictor) Update(in isa.Inst, r Result) {
 	if in.Class.IsCtrl() && in.Taken {
 		p.btbInsert(in.PC, in.Target)
 	}
-	if Mispredicted(in, r) {
+	if MispredictedRef(in, r) {
 		p.stats.Mispredicts++
 	}
 }
 
 // Mispredicted reports whether the machine must redirect fetch after
 // resolving in: wrong direction, or taken with a wrong or missing target.
-func Mispredicted(in isa.Inst, r Result) bool {
+func Mispredicted(in isa.Inst, r Result) bool { return MispredictedRef(&in, r) }
+
+// MispredictedRef is Mispredicted without the instruction copy.
+//
+//fusleepvet:hotpath
+func MispredictedRef(in *isa.Inst, r Result) bool {
 	if !in.Class.IsCtrl() {
 		return false
 	}

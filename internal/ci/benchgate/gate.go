@@ -66,8 +66,11 @@ func ParseBench(out, name, unit string) (Measured, error) {
 }
 
 // Baseline is the tracked entry the gate compares against: a throughput
-// value with the unit naming it, plus the allocation budget.
+// value with the unit naming it, plus the allocation budget. PR records
+// which pull request measured the entry, so a failing gate can name the
+// exact baseline it held the build to.
 type Baseline struct {
+	PR          int
 	Throughput  float64
 	Unit        string
 	AllocsPerOp float64
@@ -80,6 +83,7 @@ type Baseline struct {
 func ParseBaseline(raw []byte) (Baseline, error) {
 	var file struct {
 		Current struct {
+			PR          int     `json:"pr"`
 			InstPerS    float64 `json:"inst_per_s"`
 			Throughput  float64 `json:"throughput"`
 			Unit        string  `json:"throughput_unit"`
@@ -90,6 +94,7 @@ func ParseBaseline(raw []byte) (Baseline, error) {
 		return Baseline{}, fmt.Errorf("baseline: %w", err)
 	}
 	b := Baseline{
+		PR:          file.Current.PR,
 		Throughput:  file.Current.Throughput,
 		Unit:        file.Current.Unit,
 		AllocsPerOp: file.Current.AllocsPerOp,
@@ -128,9 +133,21 @@ type Check struct {
 	Pass     bool
 }
 
-// Report aggregates the gate's checks.
+// Report aggregates the gate's checks. BaselinePR carries the pull
+// request that recorded the baseline entry into the failure output.
 type Report struct {
-	Checks []Check
+	BaselinePR int
+	Checks     []Check
+}
+
+// FailureMessage renders the one-line verdict for a failed gate, naming
+// the PR whose recorded baseline the build regressed against (when the
+// baseline file tracks one).
+func (r Report) FailureMessage() string {
+	if r.BaselinePR > 0 {
+		return fmt.Sprintf("FAIL — performance regressed past the baseline recorded in PR %d (see above)", r.BaselinePR)
+	}
+	return "FAIL — performance regressed past the gate (see above)"
 }
 
 // OK reports whether every check passed.
@@ -163,7 +180,7 @@ func (r Report) Summary() string {
 func Gate(m Measured, base Baseline, minThruFrac, maxAllocsMult float64) Report {
 	thruLimit := base.Throughput * minThruFrac
 	allocLimit := base.AllocsPerOp * maxAllocsMult
-	return Report{Checks: []Check{
+	return Report{BaselinePR: base.PR, Checks: []Check{
 		{Metric: base.Unit, Measured: m.Throughput, Baseline: base.Throughput, Limit: thruLimit, Pass: m.Throughput >= thruLimit},
 		{Metric: "allocs/op", Measured: m.AllocsOp, Baseline: base.AllocsPerOp, Limit: allocLimit, Pass: m.AllocsOp <= allocLimit},
 	}}

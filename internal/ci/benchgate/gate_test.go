@@ -147,3 +147,27 @@ func TestBaselineHelp(t *testing.T) {
 		}
 	}
 }
+
+func TestFailureMessageNamesBaselinePR(t *testing.T) {
+	// The baseline records which PR measured it; a failing gate must name
+	// that PR so the report is actionable without opening the JSON file.
+	b, err := ParseBaseline([]byte(`{"current": {"pr": 10, "inst_per_s": 5000000, "allocs_per_op": 900}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PR != 10 {
+		t.Fatalf("baseline PR = %d, want 10", b.PR)
+	}
+	rep := Gate(Measured{Throughput: 1, AllocsOp: 1}, b, 0.70, 2.0)
+	if rep.OK() {
+		t.Fatal("synthetic regression passed the gate")
+	}
+	if msg := rep.FailureMessage(); !strings.Contains(msg, "recorded in PR 10") {
+		t.Errorf("failure message %q does not name the baseline PR", msg)
+	}
+	// Legacy baselines without a PR field still fail with a generic verdict.
+	legacy := Gate(Measured{Throughput: 1, AllocsOp: 1}, Baseline{Throughput: 5, Unit: "inst/s", AllocsPerOp: 9}, 0.70, 2.0)
+	if msg := legacy.FailureMessage(); strings.Contains(msg, "PR") || !strings.Contains(msg, "FAIL") {
+		t.Errorf("legacy failure message %q", msg)
+	}
+}

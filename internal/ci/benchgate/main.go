@@ -62,7 +62,7 @@ func main() {
 	report := Gate(measured, baseline, *minInstFrac, *maxAllocsMult)
 	fmt.Print(report.Summary())
 	if !report.OK() {
-		fmt.Fprintln(os.Stderr, "benchgate: FAIL — performance regressed past the gate (see above)")
+		fmt.Fprintln(os.Stderr, "benchgate:", report.FailureMessage())
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: PASS")

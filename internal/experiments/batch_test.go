@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/core"
+)
+
+// batchVariants builds N policy variants of one machine: same workload,
+// FU mix, L2 latency, and window — only the power-management policy (and
+// its parameters) differ, so every cell shares one simulation identity.
+func batchVariants(t *testing.T) []Cell {
+	t.Helper()
+	base := Grid{Benchmarks: []string{"gcc"}, FUCounts: []int{2}}.Cells(core.DefaultTech())[0]
+	base.Window = 20_000
+	policies := []core.PolicyConfig{
+		{Policy: core.AlwaysActive},
+		{Policy: core.MaxSleep},
+		{Policy: core.SleepTimeout, Timeout: 4},
+		{Policy: core.SleepTimeout, Timeout: 64},
+		{Policy: core.GradualSleep, Slices: 2},
+		{Policy: core.GradualSleep, Slices: 8},
+	}
+	cells := make([]Cell, len(policies))
+	for i, pc := range policies {
+		c := base
+		c.Policy = pc
+		if err := c.Validate(); err != nil {
+			t.Fatalf("variant %d invalid: %v", i, err)
+		}
+		cells[i] = c
+	}
+	return cells
+}
+
+// TestEvalCellsSharedPass is the batching acceptance proof: N policy
+// variants over one (workload, FU-mix) must run exactly one simulation —
+// visible in the runner's stats — while producing per-cell results
+// identical to the unbatched EvalCell path.
+func TestEvalCellsSharedPass(t *testing.T) {
+	cells := batchVariants(t)
+	for i := 1; i < len(cells); i++ {
+		if cells[i].SimKey() != cells[0].SimKey() {
+			t.Fatalf("variant %d has sim key %s, want %s", i, cells[i].SimKey(), cells[0].SimKey())
+		}
+		if cells[i].Key() == cells[0].Key() {
+			t.Fatalf("variant %d shares full cell key with variant 0", i)
+		}
+	}
+
+	ctx := context.Background()
+	batched := NewRunner(Options{Window: 20_000})
+	got, err := EvalCells(ctx, batched, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("EvalCells returned %d results for %d cells", len(got), len(cells))
+	}
+
+	stats := batched.Stats()
+	// One benchmark × one FU mix: exactly one pipeline simulation for all
+	// six variants, no cache traffic.
+	if stats.Simulations != 1 {
+		t.Errorf("batched run simulated %d times for %d variants, want exactly 1", stats.Simulations, len(cells))
+	}
+	if stats.CacheHits != 0 || stats.InflightJoins != 0 {
+		t.Errorf("batched run should not touch the result cache: %+v", stats)
+	}
+	// One profile conversion (one studied class), shared by the other five.
+	if stats.ProfileBuilds != 1 {
+		t.Errorf("profile builds = %d, want 1", stats.ProfileBuilds)
+	}
+	if want := uint64(len(cells) - 1); stats.ProfileReuses != want {
+		t.Errorf("profile reuses = %d, want %d", stats.ProfileReuses, want)
+	}
+
+	// Ground truth: each variant evaluated unbatched on a fresh runner.
+	for i, c := range cells {
+		ref := NewRunner(Options{Window: 20_000})
+		want, err := EvalCell(ctx, ref, c)
+		if err != nil {
+			t.Fatalf("unbatched variant %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("variant %d (%v): batched result diverges from unbatched\n got %+v\nwant %+v",
+				i, c.Policy, got[i], want)
+		}
+	}
+}
+
+// TestEvalCellsGroupsByMix drives two FU mixes through one EvalCells call:
+// the runner must simulate once per mix, not once per cell, and keep
+// results in input order.
+func TestEvalCellsGroupsByMix(t *testing.T) {
+	narrow := batchVariants(t)
+	wide := batchVariants(t)
+	for i := range wide {
+		wide[i].FUs = 4
+	}
+	// Interleave the two mixes so grouping can't rely on input adjacency.
+	var cells []Cell
+	for i := range narrow {
+		cells = append(cells, narrow[i], wide[i])
+	}
+
+	r := NewRunner(Options{Window: 20_000})
+	got, err := EvalCells(context.Background(), r, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := r.Stats(); stats.Simulations != 2 {
+		t.Errorf("simulated %d times for 2 distinct FU mixes, want 2", stats.Simulations)
+	}
+	for i, res := range got {
+		if res.Cell.Key() != cells[i].Key() {
+			t.Errorf("result %d is for cell %s, want %s (input order lost)", i, res.Cell.Key(), cells[i].Key())
+		}
+	}
+}
+
+// TestEvalCellsServesFromStore seeds the durable store with one variant's
+// result and checks EvalCells serves it without re-simulating it, while
+// still batching the remaining variants into one pass.
+func TestEvalCellsServesFromStore(t *testing.T) {
+	cells := batchVariants(t)
+	ctx := context.Background()
+
+	seedRunner := NewRunner(Options{Window: 20_000})
+	seeded, err := EvalCell(ctx, seedRunner, cells[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := memCellStore{cells[2].Key(): seeded}
+	r := NewRunner(Options{Window: 20_000})
+	r.SetCellStore(store)
+	got, err := EvalCells(ctx, r, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := r.Stats()
+	if stats.StoreHits != 1 {
+		t.Errorf("store hits = %d, want 1", stats.StoreHits)
+	}
+	if stats.Simulations != 1 {
+		t.Errorf("simulations = %d, want 1 shared pass for the unseeded variants", stats.Simulations)
+	}
+	if !reflect.DeepEqual(got[2], seeded) {
+		t.Errorf("stored variant not served verbatim:\n got %+v\nwant %+v", got[2], seeded)
+	}
+	// Freshly journaled results cover the remaining variants.
+	if want := uint64(len(cells) - 1); stats.StorePuts != want {
+		t.Errorf("store puts = %d, want %d", stats.StorePuts, want)
+	}
+}
+
+// memCellStore is a trivial in-memory CellStore for tests.
+type memCellStore map[string]CellResult
+
+func (m memCellStore) GetCell(key string) (CellResult, bool, error) {
+	res, ok := m[key]
+	return res, ok, nil
+}
+
+func (m memCellStore) PutCell(key string, res CellResult) error {
+	m[key] = res
+	return nil
+}

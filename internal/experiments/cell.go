@@ -9,6 +9,7 @@ import (
 
 	"github.com/archsim/fusleep/internal/core"
 	"github.com/archsim/fusleep/internal/fu"
+	"github.com/archsim/fusleep/internal/pipeline"
 	"github.com/archsim/fusleep/internal/workload"
 )
 
@@ -129,6 +130,22 @@ func (c Cell) Key() string {
 		t := c.ClassTechs[cl]
 		fmt.Fprintf(h, "|t:%s:%.17g:%.17g:%.17g:%.17g", cl, t.P, t.C, t.SleepOverhead, t.Duty)
 	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// SimKey returns a stable identity hash of the simulation-only part of the
+// cell: the benchmark set, per-class FU mix, L2 latency, and window. Cells
+// with equal SimKeys need exactly the same simulations and differ only in
+// the closed-form energy evaluation (policy, technology point, alpha,
+// studied classes, assignment), so EvalCells groups on it and the sweep
+// service routes variants of one machine to one shard. It covers a strict
+// subset of Key's fields; Key itself — the full result identity — is
+// unchanged.
+func (c Cell) SimKey() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%d|%s",
+		c.FUs, c.AGUs, c.Mults, c.FPALUs, c.FPMults, c.L2Latency, c.Window,
+		strings.Join(c.Benchmarks, ","))
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -287,40 +304,47 @@ func (c Cell) Validate() error {
 	return nil
 }
 
-// EvalCell evaluates one grid cell: it simulates (or re-uses from cache)
-// the cell's benchmark suite at its functional-unit mix, then applies the
-// closed-form energy model per studied class — each class under its
-// effective policy and technology point — over the measured per-class idle
-// profiles. The returned result's Index is zero; callers enumerating a
-// grid set it.
-func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
-	if err := c.Validate(); err != nil {
-		return CellResult{}, err
+// storeGet consults the durable cell-result tier, absorbing store errors
+// into the runner's accounting: a broken disk degrades to recomputation,
+// never to a failed sweep. It returns ok=false when no store is configured.
+func (r *Runner) storeGet(key string) (CellResult, bool) {
+	if r.store == nil {
+		return CellResult{}, false
 	}
-	// Durable tier first: a cell journaled by an earlier run (possibly a
-	// previous process) is served from disk without touching the
-	// simulator. Store failures are absorbed — a broken disk degrades to
-	// recomputation, never to a failed sweep.
-	var key string
-	if r.store != nil {
-		key = c.Key()
-		res, ok, err := r.store.GetCell(key)
-		r.mu.Lock()
-		switch {
-		case err != nil:
-			r.storeErrs++
-		case ok:
-			r.storeHits++
-		}
-		r.mu.Unlock()
-		if err == nil && ok {
-			return res, nil
-		}
+	res, ok, err := r.store.GetCell(key)
+	r.mu.Lock()
+	switch {
+	case err != nil:
+		r.storeErrs++
+	case ok:
+		r.storeHits++
 	}
-	suite, err := r.SimSuiteMix(ctx, c.Benchmarks, c.mix(), c.L2Latency, c.Window)
+	r.mu.Unlock()
+	return res, err == nil && ok
+}
+
+// storePut journals one computed cell result to the durable tier (a no-op
+// without a store), absorbing write failures.
+func (r *Runner) storePut(key string, res CellResult) {
+	if r.store == nil {
+		return
+	}
+	err := r.store.PutCell(key, res)
+	r.mu.Lock()
 	if err != nil {
-		return CellResult{}, fmt.Errorf("cell fus=%d: %w", c.FUs, err)
+		r.storeErrs++
+	} else {
+		r.storePuts++
 	}
+	r.mu.Unlock()
+}
+
+// evalFromSuite applies the closed-form energy model for one cell over its
+// already-simulated benchmark suite: each studied class under its effective
+// policy and technology point, over the recorded idle profiles. The
+// conversions to energy-model form come from the runner's shared cache, so
+// policy/tech variants evaluated off one simulation never re-convert.
+func evalFromSuite(r *Runner, c Cell, suite map[string]pipeline.Result) (CellResult, error) {
 	classes := c.StudiedClasses()
 	type acc struct {
 		rel, leak float64
@@ -331,22 +355,26 @@ func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
 	var rel, leak, cyc float64
 	for _, name := range c.Benchmarks {
 		res := suite[name]
+		_, key, err := r.resolveKey(name, c.mix(), c.L2Latency, c.Window)
+		if err != nil {
+			return CellResult{}, err
+		}
 		var total core.Breakdown
 		var base float64
 		for i, cl := range classes {
-			units := res.UnitsFor(cl)
-			if len(units) == 0 {
+			profs := r.classProfiles(key, res, cl)
+			if len(profs) == 0 {
 				return CellResult{}, fmt.Errorf("cell: machine has no %s units to study", cl)
 			}
 			tech := c.TechFor(cl)
-			e := profileEnergy(tech, c.PolicyFor(cl), c.Alpha, units)
-			b := profileBase(tech, c.Alpha, len(units), res.Cycles)
+			e := convertedEnergy(tech, c.PolicyFor(cl), c.Alpha, profs)
+			b := profileBase(tech, c.Alpha, len(profs), res.Cycles)
 			per[i].rel += e.Total() / b
 			per[i].leak += e.LeakageFraction()
-			if per[i].units != 0 && per[i].units != len(units) {
+			if per[i].units != 0 && per[i].units != len(profs) {
 				per[i].mixed = true
 			}
-			per[i].units = len(units)
+			per[i].units = len(profs)
 			total = total.Add(e)
 			base += b
 		}
@@ -369,15 +397,97 @@ func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
 			Units:           units,
 		})
 	}
+	return out, nil
+}
+
+// EvalCell evaluates one grid cell: it simulates (or re-uses from cache)
+// the cell's benchmark suite at its functional-unit mix, then applies the
+// closed-form energy model per studied class — each class under its
+// effective policy and technology point — over the measured per-class idle
+// profiles. The returned result's Index is zero; callers enumerating a
+// grid set it.
+func EvalCell(ctx context.Context, r *Runner, c Cell) (CellResult, error) {
+	if err := c.Validate(); err != nil {
+		return CellResult{}, err
+	}
+	// Durable tier first: a cell journaled by an earlier run (possibly a
+	// previous process) is served from disk without touching the simulator.
+	var key string
 	if r.store != nil {
-		err := r.store.PutCell(key, out)
-		r.mu.Lock()
-		if err != nil {
-			r.storeErrs++
-		} else {
-			r.storePuts++
+		key = c.Key()
+		if res, ok := r.storeGet(key); ok {
+			return res, nil
 		}
-		r.mu.Unlock()
+	}
+	suite, err := r.SimSuiteMix(ctx, c.Benchmarks, c.mix(), c.L2Latency, c.Window)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("cell fus=%d: %w", c.FUs, err)
+	}
+	out, err := evalFromSuite(r, c, suite)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if r.store != nil {
+		r.storePut(key, out)
+	}
+	return out, nil
+}
+
+// EvalCells evaluates a batch of grid cells with shared-pass batching:
+// cells that share a simulation identity (SimKey — benchmark set, FU mix,
+// L2 latency, window) are grouped, each group's suite is simulated once,
+// and every cell in the group is then evaluated closed-form off the
+// recorded interval profiles through the runner's shared conversion cache.
+// Per-cell results are identical to calling EvalCell on each cell —
+// batching changes the work schedule, never the numbers. Results return in
+// input order with Index zero (callers enumerating a grid set it); every
+// cell is validated before any simulation is paid for. The durable store
+// tier is consulted and fed per cell, exactly as EvalCell does.
+func EvalCells(ctx context.Context, r *Runner, cells []Cell) ([]CellResult, error) {
+	out := make([]CellResult, len(cells))
+	for i := range cells {
+		if err := cells[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	// Serve what the durable tier already has, then group the rest by
+	// simulation identity, preserving first-appearance order.
+	remaining := make([]int, 0, len(cells))
+	for i := range cells {
+		if r.store != nil {
+			if res, ok := r.storeGet(cells[i].Key()); ok {
+				out[i] = res
+				continue
+			}
+		}
+		remaining = append(remaining, i)
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for _, i := range remaining {
+		k := cells[i].SimKey()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		idxs := groups[k]
+		lead := cells[idxs[0]]
+		suite, err := r.SimSuiteMix(ctx, lead.Benchmarks, lead.mix(), lead.L2Latency, lead.Window)
+		if err != nil {
+			return nil, fmt.Errorf("cell fus=%d: %w", lead.FUs, err)
+		}
+		for _, i := range idxs {
+			res, err := evalFromSuite(r, cells[i], suite)
+			if err != nil {
+				return nil, err
+			}
+			if r.store != nil {
+				r.storePut(cells[i].Key(), res)
+			}
+			out[i] = res
+		}
 	}
 	return out, nil
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"github.com/archsim/fusleep/internal/core"
+	"github.com/archsim/fusleep/internal/fu"
 	"github.com/archsim/fusleep/internal/pipeline"
 	"github.com/archsim/fusleep/internal/workload"
 )
@@ -100,12 +101,22 @@ type Runner struct {
 	runs          map[runKey]pipeline.Result
 	pending       map[runKey]*inflight
 	suites        map[int]map[string]pipeline.Result
+	profs         map[profileKey][]*core.IdleProfile
 	simCount      uint64 // completed pipeline runs, for tests and Stats
 	cacheHits     uint64 // Sim requests served from the result cache
 	inflightJoins uint64 // Sim requests that joined an in-progress identical run
+	profileBuilds uint64 // recorded-profile -> energy-model conversions performed
+	profileReuses uint64 // conversions served from the shared profile cache
 	storeHits     uint64 // EvalCell requests served from the durable store
 	storePuts     uint64 // cell results appended to the durable store
 	storeErrs     uint64 // durable-store reads/writes that failed (and were absorbed)
+}
+
+// profileKey identifies one converted per-class profile set in the runner's
+// conversion cache: the simulation it came from plus the studied class.
+type profileKey struct {
+	run   runKey
+	class fu.Class
 }
 
 // RunnerStats is a snapshot of the runner's simulation accounting: how many
@@ -117,6 +128,13 @@ type RunnerStats struct {
 	Simulations   uint64 `json:"simulations"`
 	CacheHits     uint64 `json:"cacheHits"`
 	InflightJoins uint64 `json:"inflightJoins"`
+	// ProfileBuilds counts conversions of recorded per-unit interval
+	// profiles into energy-model form; ProfileReuses counts cell
+	// evaluations that shared an already-converted set instead of
+	// rebuilding it. Policy/tech variants batched over one simulation show
+	// up here as one build and N-1 reuses per (run, class).
+	ProfileBuilds uint64 `json:"profileBuilds,omitempty"`
+	ProfileReuses uint64 `json:"profileReuses,omitempty"`
 	// StoreHits counts whole cells served from the durable result store
 	// (zero when no store is configured); StorePuts counts results
 	// journaled to it, and StoreErrors counts store failures the runner
@@ -142,6 +160,7 @@ func (r *Runner) Stats() RunnerStats {
 	defer r.mu.Unlock()
 	return RunnerStats{
 		Simulations: r.simCount, CacheHits: r.cacheHits, InflightJoins: r.inflightJoins,
+		ProfileBuilds: r.profileBuilds, ProfileReuses: r.profileReuses,
 		StoreHits: r.storeHits, StorePuts: r.storePuts, StoreErrors: r.storeErrs,
 	}
 }
@@ -170,6 +189,7 @@ func NewRunner(opt Options) *Runner {
 		runs:    make(map[runKey]pipeline.Result),
 		pending: make(map[runKey]*inflight),
 		suites:  make(map[int]map[string]pipeline.Result),
+		profs:   make(map[profileKey][]*core.IdleProfile),
 	}
 }
 
@@ -206,36 +226,11 @@ func (r *Runner) Sim(ctx context.Context, bench string, fus, l2 int, window uint
 // identity, so suites that differ only in one class's count cache
 // separately.
 func (r *Runner) SimMix(ctx context.Context, bench string, mix FUMix, l2 int, window uint64) (pipeline.Result, error) {
-	spec, err := workload.ByName(bench)
+	spec, key, err := r.resolveKey(bench, mix, l2, window)
 	if err != nil {
 		return pipeline.Result{}, err
 	}
-	if mix.IntALUs <= 0 {
-		mix.IntALUs = spec.PaperFUs
-	}
-	// Normalize the remaining knobs so "default" spells one cache key,
-	// however it was written: negatives clamp to 0, and explicit counts
-	// equal to the Table 2 defaults collapse to 0 (WithUnits applies them
-	// identically), so e.g. Mults 0 and Mults 1 share one simulation.
-	def := pipeline.DefaultConfig()
-	for _, n := range []struct {
-		v   *int
-		def int
-	}{
-		{&mix.AGUs, def.AGUs}, {&mix.Mults, def.IntMults},
-		{&mix.FPALUs, def.FPALUs}, {&mix.FPMults, def.FPMults},
-	} {
-		if *n.v < 0 || *n.v == n.def {
-			*n.v = 0
-		}
-	}
-	if l2 <= 0 {
-		l2 = 12
-	}
-	if window == 0 {
-		window = r.opt.Window
-	}
-	key := runKey{bench: spec.Name, mix: mix, l2: l2, window: window}
+	mix, l2, window = key.mix, key.l2, key.window
 	for {
 		r.mu.Lock()
 		if !r.opt.DisableCache {
@@ -287,6 +282,74 @@ func (r *Runner) SimMix(ctx context.Context, bench string, mix FUMix, l2 int, wi
 		close(fl.done)
 		return fl.res, fl.err
 	}
+}
+
+// resolveKey normalizes one benchmark request into its canonical cache
+// identity. Zero fields resolve to the machine defaults (the paper's
+// per-benchmark IntALU count, shared AGUs, Table 2 dedicated units, 12-cycle
+// L2, the runner's window); negatives clamp to 0 and explicit counts equal
+// to the defaults collapse to 0, so "default" spells one cache key however
+// it was written.
+func (r *Runner) resolveKey(bench string, mix FUMix, l2 int, window uint64) (workload.Spec, runKey, error) {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return workload.Spec{}, runKey{}, err
+	}
+	if mix.IntALUs <= 0 {
+		mix.IntALUs = spec.PaperFUs
+	}
+	def := pipeline.DefaultConfig()
+	for _, n := range []struct {
+		v   *int
+		def int
+	}{
+		{&mix.AGUs, def.AGUs}, {&mix.Mults, def.IntMults},
+		{&mix.FPALUs, def.FPALUs}, {&mix.FPMults, def.FPMults},
+	} {
+		if *n.v < 0 || *n.v == n.def {
+			*n.v = 0
+		}
+	}
+	if l2 <= 0 {
+		l2 = 12
+	}
+	if window == 0 {
+		window = r.opt.Window
+	}
+	return spec, runKey{bench: spec.Name, mix: mix, l2: l2, window: window}, nil
+}
+
+// classProfiles returns the energy-model view of one simulated run's
+// studied class, converting the recorded per-unit interval profiles at most
+// once per (simulation, class): every cell evaluated off the same
+// simulation shares the converted set. Sharing is safe because the
+// profiles are born sorted (coreProfiles feeds AddIdle in ascending order)
+// and the evaluation paths only read them. With the cache disabled each
+// call converts afresh.
+func (r *Runner) classProfiles(key runKey, res pipeline.Result, cl fu.Class) []*core.IdleProfile {
+	pk := profileKey{run: key, class: cl}
+	if !r.opt.DisableCache {
+		r.mu.Lock()
+		if ps, ok := r.profs[pk]; ok {
+			r.profileReuses++
+			r.mu.Unlock()
+			return ps
+		}
+		r.mu.Unlock()
+	}
+	ps := coreProfiles(res.UnitsFor(cl))
+	r.mu.Lock()
+	r.profileBuilds++
+	if !r.opt.DisableCache {
+		if got, ok := r.profs[pk]; ok {
+			// Lost a build race; adopt the winner so sharing stays maximal.
+			ps = got
+		} else {
+			r.profs[pk] = ps
+		}
+	}
+	r.mu.Unlock()
+	return ps
 }
 
 // runBounded runs one simulation under the concurrency semaphore.
@@ -393,8 +456,15 @@ func coreProfiles(fus []pipeline.FUProfile) []*core.IdleProfile {
 
 // profileEnergy sums a policy's energy over the given unit profiles.
 func profileEnergy(tech core.Tech, pc core.PolicyConfig, alpha float64, fus []pipeline.FUProfile) core.Breakdown {
+	return convertedEnergy(tech, pc, alpha, coreProfiles(fus))
+}
+
+// convertedEnergy sums a policy's energy over already-converted unit
+// profiles — the closed-form evaluation batched cells run against the
+// runner's shared conversion cache.
+func convertedEnergy(tech core.Tech, pc core.PolicyConfig, alpha float64, profs []*core.IdleProfile) core.Breakdown {
 	var total core.Breakdown
-	for _, prof := range coreProfiles(fus) {
+	for _, prof := range profs {
 		total = total.Add(tech.EvalProfile(pc, alpha, prof))
 	}
 	return total

@@ -19,6 +19,14 @@ import (
 // queue. Evaluators must be deterministic for the tuner to be.
 type Evaluator func(ctx context.Context, c experiments.Cell) (experiments.CellResult, error)
 
+// BatchEvaluator scores one round's candidate cells in a single call,
+// returning results in input order. A batch evaluator sees the whole round
+// at once, so it can simulate each (workload, FU-mix) group exactly once
+// and evaluate the policy/tech variants closed-form off the recorded
+// profiles (experiments.EvalCells). It must be deterministic and must
+// produce exactly the results the per-cell Evaluator would.
+type BatchEvaluator func(ctx context.Context, cells []experiments.Cell) ([]experiments.CellResult, error)
+
 // Config parameterizes one tuner run.
 type Config struct {
 	// Space is the search domain; zero-valued fields resolve to defaults.
@@ -38,8 +46,13 @@ type Config struct {
 	// Parallel bounds concurrent candidate evaluations within a round
 	// (default 4).
 	Parallel int
-	// Eval evaluates candidates. Required.
+	// Eval evaluates candidates one at a time. Required unless BatchEval
+	// is set.
 	Eval Evaluator
+	// BatchEval, when set, evaluates whole rounds in one call and takes
+	// precedence over Eval; Parallel then bounds nothing the tuner controls
+	// (the batch evaluator schedules its own simulations).
+	BatchEval BatchEvaluator
 }
 
 // withDefaults resolves the scalar knobs. Space and Objective defaults are
@@ -124,8 +137,8 @@ type Result struct {
 // in deterministic evaluation order; a non-nil error from it aborts the run.
 func Run(ctx context.Context, cfg Config, observe func(Probe) error) (Result, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Eval == nil {
-		return Result{}, fmt.Errorf("optimize: Config.Eval is required")
+	if cfg.Eval == nil && cfg.BatchEval == nil {
+		return Result{}, fmt.Errorf("optimize: Config.Eval or Config.BatchEval is required")
 	}
 	sp := cfg.Space.WithDefaults(core.DefaultTech(), experiments.DefaultOptions().Window)
 	if err := sp.Validate(); err != nil {
@@ -309,10 +322,23 @@ func Run(ctx context.Context, cfg Config, observe func(Probe) error) (Result, er
 	return res, nil
 }
 
-// evalBatch evaluates the cells concurrently (bounded by cfg.Parallel) and
-// returns their results in input order. The first error in input order
-// wins and cancels the rest.
+// evalBatch evaluates one round's cells and returns their results in input
+// order. With a BatchEvaluator configured the whole round goes down in one
+// call — shared-pass batching decides how to schedule its simulations —
+// otherwise the cells are evaluated concurrently (bounded by cfg.Parallel)
+// through the per-cell Evaluator; the first error in input order wins and
+// cancels the rest.
 func evalBatch(ctx context.Context, cfg Config, cells []experiments.Cell) ([]experiments.CellResult, error) {
+	if cfg.BatchEval != nil {
+		results, err := cfg.BatchEval(ctx, cells)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: %w", err)
+		}
+		if len(results) != len(cells) {
+			return nil, fmt.Errorf("optimize: batch evaluator returned %d results for %d cells", len(results), len(cells))
+		}
+		return results, nil
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make([]experiments.CellResult, len(cells))

@@ -45,6 +45,16 @@
 //     queue scan. Because each per-word list is ascending, the head element
 //     alone decides whether an older forwarding store exists.
 //
+//   - Busy/idle recording is transition-driven. A unit's busy span is
+//     fully known at allocation (busyUntil = now + latency), so each class
+//     pool closes the idle run an allocation ends and charges the active
+//     cycles right there, and a single end-of-run flush settles open runs
+//     against the simulated horizon — on every exit path, including
+//     cancellation. The per-cycle scan this replaced (every unit of every
+//     pool, every cycle) survives as the test oracle in
+//     fupool_oracle_test.go; property and fuzz tests pin the two recorders
+//     to identical profiles.
+//
 //   - ROB, fetch queue, and store queue are fixed rings (the ROB mask is a
 //     power of two); cache and TLB indexing precompute shift/mask geometry;
 //     the one-instruction fetch lookahead is a value plus a flag rather

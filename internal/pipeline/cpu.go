@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"github.com/archsim/fusleep/internal/bpred"
 	"github.com/archsim/fusleep/internal/cache"
@@ -20,9 +21,17 @@ const (
 	stDone
 )
 
+// robEntry is one in-flight instruction after rename. It carries only the
+// instruction fields the back end still needs — seq for ordering, addr for
+// the memory pipes, class for unit selection — rather than the whole
+// isa.Inst: sources are resolved to physical registers at dispatch and the
+// front-end fields (PC, outcome, target) die with the fetch queue, so the
+// slim entry halves the ROB's cache footprint and the per-dispatch copy.
 type robEntry struct {
-	inst       isa.Inst
+	seq        uint64
+	addr       uint64
 	state      instState
+	class      isa.Class
 	src1, src2 physRef
 	dest       physRef
 	oldPhys    int16
@@ -50,12 +59,16 @@ func newROB(size int) *reorderBuffer {
 
 func (r *reorderBuffer) full() bool { return r.count == r.size }
 
+// alloc returns the next tail slot for in-place filling, without claiming
+// it: dispatch writes the entry through the pointer and only then bumps
+// count, so a dispatch that bails mid-entry (no free physical register)
+// abandons the slot for free instead of copying a ~70-byte robEntry in and
+// out. The caller must bump r.count to commit the slot.
+//
 //fusleepvet:hotpath
-func (r *reorderBuffer) push(e robEntry) int {
+func (r *reorderBuffer) alloc() (int, *robEntry) {
 	idx := (r.head + r.count) & r.mask
-	r.entries[idx] = e
-	r.count++
-	return idx
+	return idx, &r.entries[idx]
 }
 
 // at returns the entry at logical position i from the head (0 = oldest).
@@ -117,6 +130,20 @@ func (q *ring[T]) push(e T) int {
 	q.entries[idx] = e
 	q.count++
 	return idx
+}
+
+// pushSlot claims the next slot and returns it for in-place filling,
+// avoiding a pass-by-value copy of large entries. The caller must set
+// every field — slots are recycled, not zeroed.
+//
+//fusleepvet:hotpath
+func (q *ring[T]) pushSlot() *T {
+	idx := q.head + q.count
+	if idx >= len(q.entries) {
+		idx -= len(q.entries)
+	}
+	q.count++
+	return &q.entries[idx]
 }
 
 func (q *ring[T]) front() *T { return &q.entries[q.head] }
@@ -187,10 +214,21 @@ func (ix *storeIndex) olderThan(word, loadSeq uint64) bool {
 	return len(s) > 0 && s[0] < loadSeq
 }
 
+// batchStream is the optional bulk fast path a trace source can implement:
+// NextBatch returns the next contiguous run of instructions and takes back
+// the fully-consumed slice from the previous call for recycling. The CPU
+// then fetches by indexing the batch instead of paying an interface call
+// and a ~56-byte struct copy per instruction; sources without it are read
+// through Next as before.
+type batchStream interface {
+	NextBatch(recycle []isa.Inst) ([]isa.Inst, bool)
+}
+
 // CPU is one simulation instance; build with New and execute with Run.
 type CPU struct {
-	cfg    Config
-	stream isa.Stream
+	cfg     Config
+	stream  isa.Stream
+	batched batchStream // non-nil when stream implements the bulk path
 
 	pred *bpred.Predictor
 	mem  *cache.Hierarchy
@@ -234,9 +272,14 @@ type CPU struct {
 	redirectPending  bool
 	lastFetchLine    uint64
 	haveFetchLine    bool
+	fetchLineShift   uint // log2(L1I line size): PC -> fetch line
 
-	peeked    isa.Inst
-	havePeek  bool
+	// buf[bufPos:] is the unconsumed head of the instruction stream: a
+	// whole generator batch on the bulk path, a one-element window (one)
+	// refilled per instruction otherwise.
+	buf       []isa.Inst
+	bufPos    int
+	one       [1]isa.Inst
 	eof       bool
 	committed uint64
 	fetched   uint64
@@ -327,32 +370,35 @@ func New(cfg Config, stream isa.Stream) (*CPU, error) {
 		pools = append(pools, agu)
 	}
 	pools = append(pools, mult, fpalu, fpmult)
+	batched, _ := stream.(batchStream)
 	return &CPU{
-		cfg:           cfg,
-		stream:        stream,
-		pred:          pred,
-		mem:           mem,
-		itlb:          itlb,
-		dtlb:          dtlb,
-		intRen:        intRen,
-		fpRen:         fpRen,
-		rob:           rob,
-		alu:           alu,
-		agu:           agu,
-		mult:          mult,
-		fpalu:         fpalu,
-		fpmult:        fpmult,
-		pools:         pools,
-		storeQ:        newRing[storeQEntry](cfg.StoreQSize),
-		storeIdx:      newStoreIndex(),
-		fetchQ:        newRing[fetchEntry](cfg.FetchQueueSize),
-		wheel:         make([][]int32, wheelSize),
-		wheelMask:     uint64(wheelSize - 1),
-		readyQ:        make([]int32, 0, cfg.ROBSize),
-		pendingSrcs:   make([]uint8, len(rob.entries)),
-		intDeps:       make([][]int32, cfg.IntPhysRegs),
-		fpDeps:        make([][]int32, cfg.FPPhysRegs),
-		wordAddrShift: 3,
+		cfg:            cfg,
+		stream:         stream,
+		batched:        batched,
+		fetchLineShift: uint(bits.TrailingZeros(uint(cfg.Mem.L1I.LineSize))),
+		pred:           pred,
+		mem:            mem,
+		itlb:           itlb,
+		dtlb:           dtlb,
+		intRen:         intRen,
+		fpRen:          fpRen,
+		rob:            rob,
+		alu:            alu,
+		agu:            agu,
+		mult:           mult,
+		fpalu:          fpalu,
+		fpmult:         fpmult,
+		pools:          pools,
+		storeQ:         newRing[storeQEntry](cfg.StoreQSize),
+		storeIdx:       newStoreIndex(),
+		fetchQ:         newRing[fetchEntry](cfg.FetchQueueSize),
+		wheel:          make([][]int32, wheelSize),
+		wheelMask:      uint64(wheelSize - 1),
+		readyQ:         make([]int32, 0, cfg.ROBSize),
+		pendingSrcs:    make([]uint8, len(rob.entries)),
+		intDeps:        make([][]int32, cfg.IntPhysRegs),
+		fpDeps:         make([][]int32, cfg.FPPhysRegs),
+		wordAddrShift:  3,
 	}, nil
 }
 
@@ -367,8 +413,10 @@ const ctxCheckMask = 8191
 func (c *CPU) Run() (Result, error) { return c.RunContext(context.Background()) }
 
 // RunContext is Run with cooperative cancellation: the loop polls ctx
-// periodically and returns ctx.Err() (wrapped) as soon as it is done,
-// discarding the partial measurement.
+// periodically and returns ctx.Err() (wrapped) as soon as it is done. The
+// partial measurement up to the abort cycle is returned alongside the
+// error, with every pool flushed so the profiles cover the simulated
+// horizon exactly — open idle runs are closed, never dropped.
 func (c *CPU) RunContext(ctx context.Context) (Result, error) {
 	defer c.stream.Close()
 	for !c.finished() {
@@ -380,28 +428,35 @@ func (c *CPU) RunContext(ctx context.Context) (Result, error) {
 		c.issue()
 		c.dispatch()
 		c.fetch()
-		for _, p := range c.pools {
-			p.tick(c.cycle)
-		}
 		c.cycle++
 		if c.cycle&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
-				return Result{}, fmt.Errorf("pipeline: run aborted at cycle %d (committed %d): %w",
+				c.flushPools()
+				return c.result(), fmt.Errorf("pipeline: run aborted at cycle %d (committed %d): %w",
 					c.cycle, c.committed, err)
 			}
 		}
 		if c.cycle-c.lastProgress > deadlockWindow {
-			return Result{}, fmt.Errorf("%w at cycle %d (committed %d)", ErrDeadlock, c.cycle, c.committed)
+			c.flushPools()
+			return c.result(), fmt.Errorf("%w at cycle %d (committed %d)", ErrDeadlock, c.cycle, c.committed)
 		}
 	}
-	for _, p := range c.pools {
-		p.flush()
-	}
+	c.flushPools()
 	return c.result(), nil
 }
 
+// flushPools settles every class pool's open busy/idle run against the
+// simulated horizon [0, c.cycle). Runs once per simulation, on every exit
+// path — clean completion, MaxInsts stop, cancellation, deadlock — so the
+// recorded interval mass always matches the cycles actually simulated.
+func (c *CPU) flushPools() {
+	for _, p := range c.pools {
+		p.flush(c.cycle)
+	}
+}
+
 func (c *CPU) finished() bool {
-	return c.eof && !c.havePeek && c.fetchQ.count == 0 && c.rob.count == 0
+	return c.eof && c.bufPos >= len(c.buf) && c.fetchQ.count == 0 && c.rob.count == 0
 }
 
 func (c *CPU) result() Result {
@@ -436,25 +491,46 @@ func (c *CPU) result() Result {
 	return res
 }
 
+// peek returns the next instruction of the stream without consuming it.
+// The pointer aliases the stream buffer and is valid until consume; fetch
+// copies the instruction exactly once, into the fetch queue slot.
+//
 //fusleepvet:hotpath
-func (c *CPU) peek() (isa.Inst, bool) {
-	if c.havePeek {
-		return c.peeked, true
+func (c *CPU) peek() (*isa.Inst, bool) {
+	if c.bufPos < len(c.buf) {
+		return &c.buf[c.bufPos], true
 	}
+	return c.refill()
+}
+
+// refill replenishes the stream window: a whole batch at a time when the
+// source implements batchStream (handing the drained batch back for
+// recycling), one instruction otherwise.
+func (c *CPU) refill() (*isa.Inst, bool) {
 	if c.eof {
-		return isa.Inst{}, false
+		return nil, false
+	}
+	if c.batched != nil {
+		batch, ok := c.batched.NextBatch(c.buf)
+		c.buf, c.bufPos = batch, 0
+		if !ok {
+			c.eof = true
+			return nil, false
+		}
+		return &c.buf[0], true
 	}
 	in, ok := c.stream.Next()
 	if !ok {
 		c.eof = true
-		return isa.Inst{}, false
+		return nil, false
 	}
-	c.peeked = in
-	c.havePeek = true
-	return in, true
+	c.one[0] = in
+	c.buf, c.bufPos = c.one[:], 0
+	return &c.buf[0], true
 }
 
-func (c *CPU) consume() { c.havePeek = false }
+//fusleepvet:hotpath
+func (c *CPU) consume() { c.bufPos++ }
 
 // ---- fetch ----
 
@@ -468,14 +544,13 @@ func (c *CPU) fetch() {
 		c.mispredStalls++
 		return
 	}
-	lineSize := uint64(c.cfg.Mem.L1I.LineSize)
 	slots := c.cfg.FetchWidth
 	for slots > 0 && !c.fetchQ.full() {
 		in, ok := c.peek()
 		if !ok {
 			return
 		}
-		line := in.PC / lineSize
+		line := in.PC >> c.fetchLineShift
 		if !c.haveFetchLine || line != c.lastFetchLine {
 			lat := c.mem.L1I.Access(in.PC, false) + c.itlb.Access(in.PC)
 			c.lastFetchLine = line
@@ -487,19 +562,19 @@ func (c *CPU) fetch() {
 				return
 			}
 		}
-		c.consume()
 		c.fetched++
-		fe := fetchEntry{inst: in}
+		fe := c.fetchQ.pushSlot()
+		fe.inst = *in
+		fe.mispredict = false
+		c.consume()
 		if in.Class.IsCtrl() {
-			r := c.pred.Predict(in)
-			c.pred.Update(in, r)
-			if bpred.Mispredicted(in, r) {
+			r := c.pred.PredictRef(&fe.inst)
+			c.pred.UpdateRef(&fe.inst, r)
+			if bpred.MispredictedRef(&fe.inst, r) {
 				fe.mispredict = true
-				c.fetchQ.push(fe)
 				c.redirectPending = true
 				return
 			}
-			c.fetchQ.push(fe)
 			slots--
 			if r.PredTaken {
 				// Correctly predicted taken control flow ends the fetch
@@ -508,7 +583,6 @@ func (c *CPU) fetch() {
 			}
 			continue
 		}
-		c.fetchQ.push(fe)
 		slots--
 	}
 }
@@ -538,7 +612,7 @@ func (c *CPU) renamerFor(r isa.Reg) (*renamer, int) {
 func (c *CPU) dispatch() {
 	for n := 0; n < c.cfg.DecodeWidth && c.fetchQ.count > 0; n++ {
 		fe := c.fetchQ.front()
-		in := fe.inst
+		in := &fe.inst
 		if c.rob.full() {
 			return
 		}
@@ -560,16 +634,20 @@ func (c *CPU) dispatch() {
 				return
 			}
 		}
-		e := robEntry{
-			inst:       in,
-			state:      stWaiting,
-			src1:       c.ref(in.Src1),
-			src2:       c.ref(in.Src2),
-			dest:       noReg,
-			oldPhys:    -1,
-			sq:         -1,
-			mispredict: fe.mispredict,
-		}
+		// Fill the tail ROB slot in place; the slot is only claimed
+		// (count++) once rename succeeds, so bailing on a full renamer
+		// abandons the half-written slot with no copy-out.
+		idx, e := c.rob.alloc()
+		e.seq = in.Seq
+		e.addr = in.Addr
+		e.class = in.Class
+		e.state = stWaiting
+		e.src1 = c.ref(in.Src1)
+		e.src2 = c.ref(in.Src2)
+		e.dest = noReg
+		e.oldPhys = -1
+		e.sq = -1
+		e.mispredict = fe.mispredict
 		if in.Dest != isa.RegNone {
 			ren, arch := c.renamerFor(in.Dest)
 			if !ren.canAllocate() {
@@ -579,23 +657,23 @@ func (c *CPU) dispatch() {
 			e.dest = physRef{idx: newPhys, fp: in.Dest.IsFP()}
 			e.oldPhys = oldPhys
 		}
-		idx := c.rob.push(e)
+		c.rob.count++
 		switch {
 		case in.Class == isa.Nop:
-			c.rob.entries[idx].state = stExecuting
+			e.state = stExecuting
 			c.schedule(idx, 1)
 		case in.Class == isa.Load:
 			c.lqCount++
-			c.enqueue(idx, &c.rob.entries[idx])
+			c.enqueue(idx, e)
 		case in.Class == isa.Store:
-			c.rob.entries[idx].sq = int32(c.storeQ.push(storeQEntry{seq: in.Seq, addr: in.Addr}))
-			c.enqueue(idx, &c.rob.entries[idx])
+			e.sq = int32(c.storeQ.push(storeQEntry{seq: in.Seq, addr: in.Addr}))
+			c.enqueue(idx, e)
 		case in.Class.IsFP():
 			c.fpIQCount++
-			c.enqueue(idx, &c.rob.entries[idx])
+			c.enqueue(idx, e)
 		default:
 			c.intIQCount++
-			c.enqueue(idx, &c.rob.entries[idx])
+			c.enqueue(idx, e)
 		}
 		c.fetchQ.popFront()
 	}
@@ -689,7 +767,7 @@ func (c *CPU) issue() {
 		idx := q[i]
 		e := &c.rob.entries[idx]
 		issued := false
-		switch e.inst.Class {
+		switch e.class {
 		case isa.IntALU, isa.Branch, isa.Jump, isa.Call, isa.Return:
 			if !aluFull {
 				if _, ok := c.alu.tryAllocate(c.cycle, LatIntALU); ok {
@@ -730,7 +808,7 @@ func (c *CPU) issue() {
 			if ports > 0 && !aguFull {
 				if _, ok := c.agu.tryAllocate(c.cycle, LatAGU); ok {
 					ports--
-					c.schedule(int(idx), c.loadLatency(e.inst))
+					c.schedule(int(idx), c.loadLatency(e.seq, e.addr))
 					issued = true
 				} else {
 					aguFull = true
@@ -743,7 +821,7 @@ func (c *CPU) issue() {
 			if ports > 0 && !aguFull {
 				if _, ok := c.agu.tryAllocate(c.cycle, LatAGU); ok {
 					ports--
-					pen := c.dtlb.Access(e.inst.Addr)
+					pen := c.dtlb.Access(e.addr)
 					c.storeAddrKnown(e)
 					c.schedule(int(idx), LatAGU+pen)
 					issued = true
@@ -801,13 +879,13 @@ func (c *CPU) issue() {
 // address) or a TLB-translated data cache access.
 //
 //fusleepvet:hotpath
-func (c *CPU) loadLatency(in isa.Inst) int {
-	if c.forwardingStore(in.Seq, in.Addr) {
+func (c *CPU) loadLatency(seq, addr uint64) int {
+	if c.forwardingStore(seq, addr) {
 		c.loadForwards++
 		return LatAGU + LatForward
 	}
-	pen := c.dtlb.Access(in.Addr)
-	return LatAGU + pen + c.mem.L1D.Access(in.Addr, false)
+	pen := c.dtlb.Access(addr)
+	return LatAGU + pen + c.mem.L1D.Access(addr, false)
 }
 
 // forwardingStore reports whether an older address-known store to the same
@@ -899,11 +977,11 @@ func (c *CPU) wakeup(dest physRef) {
 //fusleepvet:hotpath
 func (c *CPU) insertReady(idx int32) {
 	q := c.readyQ
-	seq := c.rob.entries[idx].inst.Seq
+	seq := c.rob.entries[idx].seq
 	lo, hi := 0, len(q)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if c.rob.entries[q[mid]].inst.Seq < seq {
+		if c.rob.entries[q[mid]].seq < seq {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -924,10 +1002,10 @@ func (c *CPU) commit() {
 		if e.state != stDone {
 			return
 		}
-		switch e.inst.Class {
+		switch e.class {
 		case isa.Store:
-			c.mem.L1D.Access(e.inst.Addr, true)
-			if c.storeQ.count == 0 || c.storeQ.front().seq != e.inst.Seq {
+			c.mem.L1D.Access(e.addr, true)
+			if c.storeQ.count == 0 || c.storeQ.front().seq != e.seq {
 				panic("pipeline: store queue out of sync with ROB")
 			}
 			if s := c.storeQ.front(); s.addrKnown {
@@ -944,8 +1022,8 @@ func (c *CPU) commit() {
 				c.intRen.release(e.oldPhys)
 			}
 		}
-		if int(e.inst.Class) < len(c.classCounts) {
-			c.classCounts[e.inst.Class]++
+		if int(e.class) < len(c.classCounts) {
+			c.classCounts[e.class]++
 		}
 		c.rob.popFront()
 		c.committed++

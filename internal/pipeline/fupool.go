@@ -5,9 +5,9 @@ import "sort"
 // classPool models one functional-unit class of the machine. Operations are
 // allocated round-robin across the class's units, as in the paper's
 // methodology ("we allocate operations to the set of functional units in
-// round robin fashion"), and each unit's busy/idle activity is recorded
-// cycle by cycle so every class — not just the integer ALUs — yields the
-// idle-interval profiles the per-class energy study needs.
+// round robin fashion"), and each unit's busy/idle activity is recorded at
+// the alloc/expiry transitions so every class — not just the integer ALUs —
+// yields the idle-interval profiles the per-class energy study needs.
 //
 // Round-robin start position only affects which of the currently-free units
 // is taken, never whether an allocation succeeds now or later (free units
@@ -15,23 +15,42 @@ import "sort"
 // pools — previously first-free scans without recording — keep identical
 // timing under this pool.
 //
-// Recording is inlined into tick rather than delegated to
-// stats.RunRecorder: every pool of the machine now ticks every cycle, and
-// the per-unit method call was measurable on the hot loop.
+// Recording is transition-driven: a unit's busy span is fully known at
+// allocation time (busyUntil = now + lat), so tryAllocate closes the idle
+// run that the allocation ends and charges the active cycles up front,
+// and flush settles the trailing run against the simulated horizon. The
+// per-cycle scan this replaces (every unit of every pool, every cycle) was
+// the simulator's dominant self-inflicted cost once all five classes
+// recorded; the per-cycle oracle survives in fupool_oracle_test.go and the
+// property test pins the two recorders to identical profiles.
+// shortRunCap bounds the direct-indexed part of the idle-run histogram:
+// runs shorter than this increment a flat counter array, longer runs fall
+// back to the map. Short runs dominate on busy units (the common recording
+// case), so the hot path avoids the map entirely.
+const shortRunCap = 128
+
 type classPool struct {
 	busyUntil []uint64
-	rr        int
+	// idleFrom[i] is the cycle unit i's current idle run started: the end
+	// of its last real (lat > 0) busy span. Zero-latency allocations leave
+	// it untouched — the per-cycle view never sees such a unit busy.
+	idleFrom []uint64
+	rr       int
 
-	active    []uint64
-	idleRun   []int
+	active []uint64
+	// short[i*shortRunCap+run] counts unit i's idle runs of length
+	// run < shortRunCap; intervals[i] holds the long tail. profiles()
+	// merges the two views.
+	short     []uint64
 	intervals []map[int]uint64
 }
 
 func newClassPool(n int) *classPool {
 	p := &classPool{
 		busyUntil: make([]uint64, n),
+		idleFrom:  make([]uint64, n),
 		active:    make([]uint64, n),
-		idleRun:   make([]int, n),
+		short:     make([]uint64, n*shortRunCap),
 		intervals: make([]map[int]uint64, n),
 	}
 	for i := range p.intervals {
@@ -40,50 +59,70 @@ func newClassPool(n int) *classPool {
 	return p
 }
 
+// record counts one idle run of length run on unit idx.
+//
+//fusleepvet:hotpath
+func (p *classPool) record(idx int, run uint64) {
+	if run < shortRunCap {
+		p.short[idx*shortRunCap+int(run)]++
+		return
+	}
+	p.intervals[idx][int(run)]++
+}
+
 // tryAllocate finds a unit free at cycle now, scanning round-robin from the
-// unit after the last allocation. It returns the unit index and marks it
-// busy for lat cycles.
+// unit after the last allocation. It returns the unit index, marks it busy
+// for lat cycles, and records the busy/idle transition: the idle run ending
+// at now (if any) is closed into the interval histogram and the lat active
+// cycles are charged immediately. flush trims the charge back to the
+// simulated horizon for spans still in flight at the end of the run.
 //
 //fusleepvet:hotpath
 func (p *classPool) tryAllocate(now uint64, lat int) (int, bool) {
 	n := len(p.busyUntil)
+	idx := p.rr
 	for i := 0; i < n; i++ {
-		idx := (p.rr + i) % n
+		if idx >= n {
+			idx -= n
+		}
 		if p.busyUntil[idx] <= now {
+			if lat > 0 {
+				if run := now - p.idleFrom[idx]; run > 0 {
+					p.record(idx, run)
+				}
+				p.active[idx] += uint64(lat)
+				p.idleFrom[idx] = now + uint64(lat)
+			}
 			p.busyUntil[idx] = now + uint64(lat)
-			p.rr = (idx + 1) % n
+			// rr may momentarily equal n; the wrap check at the top of the
+			// next scan normalizes it, replacing two mods per probe.
+			p.rr = idx + 1
 			return idx, true
 		}
+		idx++
 	}
 	return 0, false
 }
 
-// tick records each unit's activity for cycle now; call exactly once per
-// simulated cycle after issue.
+// flush settles each unit's open run against the simulated horizon: cycles
+// [0, end) were simulated, so a unit still busy at end hands back the
+// active cycles charged past the horizon, and a free unit's trailing idle
+// run is closed into the histogram. Call exactly once, at end of
+// simulation — on every exit path, including cancellation, so partial-run
+// profiles never drop the open run.
 //
 //fusleepvet:hotpath
-func (p *classPool) tick(now uint64) {
+func (p *classPool) flush(end uint64) {
 	for i, bu := range p.busyUntil {
-		if bu > now {
-			p.active[i]++
-			if run := p.idleRun[i]; run > 0 {
-				p.intervals[i][run]++
-				p.idleRun[i] = 0
-			}
-		} else {
-			p.idleRun[i]++
+		if bu >= end {
+			// Still busy at the horizon (or the window is empty): trim the
+			// overcharged tail. Allocations only happen on simulated cycles,
+			// so bu > end implies a real busy span crossing the horizon.
+			p.active[i] -= bu - end
+			continue
 		}
-	}
-}
-
-// flush closes trailing idle intervals at end of simulation.
-//
-//fusleepvet:hotpath
-func (p *classPool) flush() {
-	for i, run := range p.idleRun {
-		if run > 0 {
-			p.intervals[i][run]++
-			p.idleRun[i] = 0
+		if run := end - p.idleFrom[i]; run > 0 {
+			p.record(i, run)
 		}
 	}
 }
@@ -96,6 +135,12 @@ func (p *classPool) profiles() []FUProfile {
 	for i := range out {
 		iv := make(map[int]uint64, len(p.intervals[i]))
 		ls := make([]int, 0, len(p.intervals[i]))
+		for l, n := range p.short[i*shortRunCap : (i+1)*shortRunCap] {
+			if n > 0 {
+				iv[l] = n
+				ls = append(ls, l)
+			}
+		}
 		for l, n := range p.intervals[i] {
 			iv[l] = n
 			ls = append(ls, l)

@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// poolLatencies are the op latencies the drive draws from: zero-latency
+// ops (which must never register as busy), single-cycle ALU ops, and the
+// multi-cycle latencies of the real machine's longer units.
+var poolLatencies = []int{0, 1, 1, 2, 3, 5, 12}
+
+// driveBoth replays one allocation schedule against a transition-driven
+// classPool and the per-cycle oraclePool in lock-step. Each schedule entry
+// is (cycles to advance before the attempt, latency); the oracle ticks once
+// per simulated cycle, the classPool records only at transitions. Both
+// pools must pick the same unit for every attempt, agree on every
+// rejection, and settle to byte-identical profiles at the horizon.
+func driveBoth(t *testing.T, units int, schedule [][2]int) {
+	t.Helper()
+	cp := newClassPool(units)
+	op := newOraclePool(units)
+
+	now := uint64(0)
+	horizon := uint64(0)
+	tickTo := func(end uint64) {
+		for ; horizon < end; horizon++ {
+			op.tick(horizon)
+		}
+	}
+	for i, s := range schedule {
+		now += uint64(s[0])
+		tickTo(now) // oracle catches up to the attempt cycle
+		gotIdx, gotOK := cp.tryAllocate(now, s[1])
+		wantIdx, wantOK := op.tryAllocate(now, s[1])
+		if gotIdx != wantIdx || gotOK != wantOK {
+			t.Fatalf("attempt %d (cycle %d, lat %d): classPool -> (%d,%v), oracle -> (%d,%v)",
+				i, now, s[1], gotIdx, gotOK, wantIdx, wantOK)
+		}
+	}
+	// Run the window past the last attempt so trailing idle runs (and any
+	// busy span crossing the horizon) get settled by flush.
+	end := now + 7
+	tickTo(end)
+	cp.flush(end)
+	op.flush()
+
+	got, want := cp.profiles(), op.profiles()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("profiles diverge after %d attempts over %d cycles:\n got %+v\nwant %+v",
+			len(schedule), end, got, want)
+	}
+}
+
+// TestClassPoolMatchesOracleRandomized is the property test pinning the
+// transition-driven recorder to the per-cycle recorder it replaced:
+// randomized alloc/latency schedules over several pool widths must produce
+// identical unit choices and identical idle-interval profiles.
+func TestClassPoolMatchesOracleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xf05e))
+	for trial := 0; trial < 200; trial++ {
+		units := 1 + rng.Intn(4)
+		schedule := make([][2]int, 1+rng.Intn(400))
+		for i := range schedule {
+			gap := 0
+			// Bias toward same-cycle bursts (back-to-back allocs) with
+			// occasional long gaps that cross the short-run histogram cap.
+			switch rng.Intn(10) {
+			case 0:
+				gap = rng.Intn(2 * shortRunCap)
+			case 1, 2, 3:
+				gap = 1 + rng.Intn(6)
+			}
+			schedule[i] = [2]int{gap, poolLatencies[rng.Intn(len(poolLatencies))]}
+		}
+		driveBoth(t, units, schedule)
+	}
+}
+
+// TestClassPoolMatchesOracleEdges pins the hand-picked boundary cases the
+// randomized drive might miss.
+func TestClassPoolMatchesOracleEdges(t *testing.T) {
+	cases := map[string][][2]int{
+		// A zero-latency op must never open a busy span or break the
+		// surrounding idle run.
+		"zero latency only": {{0, 0}, {1, 0}, {5, 0}},
+		"zero inside idle":  {{0, 3}, {10, 0}, {10, 1}},
+		// Same-cycle allocations across all units, then immediately again.
+		"back to back":  {{0, 1}, {0, 1}, {0, 1}, {0, 1}, {1, 1}, {0, 1}},
+		"saturate pool": {{0, 5}, {0, 5}, {0, 5}, {0, 5}, {0, 5}, {0, 5}},
+		// Nothing after the first op: the whole tail is one idle run that
+		// only flush can close.
+		"idle to end of window": {{0, 2}},
+		"never allocated":       {{3, 0}},
+		// A long op still in flight at the horizon: flush must hand back
+		// the overcharged active cycles.
+		"busy across horizon": {{0, 12}},
+		// Idle run exactly at and beyond the short-run histogram cap.
+		"short-cap boundary": {{0, 1}, {shortRunCap, 1}, {shortRunCap + 1, 1}, {shortRunCap - 1, 1}},
+	}
+	for name, schedule := range cases {
+		t.Run(name, func(t *testing.T) { driveBoth(t, 2, schedule) })
+	}
+}
+
+// FuzzClassPoolMatchesOracle lets the fuzzer search for schedules where
+// the two recorders diverge. Each input byte encodes one attempt: the low
+// three bits select the latency, the high five the gap since the previous
+// attempt.
+func FuzzClassPoolMatchesOracle(f *testing.F) {
+	f.Add(1, []byte{})                       // no ops at all
+	f.Add(2, []byte{0x00, 0x00, 0x00})       // zero-latency back-to-back
+	f.Add(4, []byte{0x01, 0x01, 0x01, 0x01}) // same-cycle burst filling the pool
+	f.Add(2, []byte{0x06, 0xff})             // long op, then max gap — idle to end of window
+	f.Add(1, []byte{0x02, 0xf8, 0x01})       // gap across the short-run cap
+	f.Add(3, []byte{0x25, 0x00, 0x41, 0x06}) // mixed gaps and latencies
+	f.Fuzz(func(t *testing.T, units int, ops []byte) {
+		if units < 1 || units > 8 || len(ops) > 4096 {
+			t.Skip()
+		}
+		schedule := make([][2]int, len(ops))
+		for i, b := range ops {
+			// Scale the gap so schedules reach past shortRunCap.
+			schedule[i] = [2]int{int(b>>3) * 9, poolLatencies[int(b&7)%len(poolLatencies)]}
+		}
+		driveBoth(t, units, schedule)
+	})
+}

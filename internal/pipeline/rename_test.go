@@ -139,10 +139,7 @@ func TestClassPoolBusySpan(t *testing.T) {
 func TestClassPoolTickRecordsActivity(t *testing.T) {
 	p := newClassPool(2)
 	p.tryAllocate(0, 2) // unit busy cycles 0-1
-	p.tick(0)
-	p.tick(1)
-	p.tick(2)
-	p.flush()
+	p.flush(3)          // horizon: cycles 0-2 simulated
 	var active uint64
 	for _, a := range p.active {
 		active += a

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
-	"strconv"
 	"time"
 
 	"github.com/archsim/fusleep"
@@ -286,11 +285,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.admit(len(cells)) {
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, fleet.CodeBacklogFull,
-			"backlog full (%d pending cells); retry later", s.pendingCells.Load())
+	if !s.shedBacklog(w, s.rejected, len(cells)) {
 		return
 	}
 	// Accepted jobs outlive the submitting request by design; their

@@ -417,13 +417,17 @@ func (w *statusWriter) Flush() {
 
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// shardFor routes a cell to its worker shard by configuration hash, so
-// identical cells — whether they arrive via a sweep grid or a tuner probe —
-// serialize on one shard and hit the simulation cache instead of
-// simulating concurrently on different shards.
+// shardFor routes a cell to its worker shard by simulation identity
+// (SimKey), so every cell needing the same simulations — identical cells,
+// and equally the policy/tech variants of one (workload, FU-mix) machine,
+// whether they arrive via a sweep grid or a tuner probe — serializes on one
+// shard and evaluates closed-form off the shard's warm simulation and
+// profile caches instead of simulating concurrently on different shards.
+// Per-cell wire results are unaffected: dispatch affinity changes the
+// schedule, not the numbers.
 func (s *Server) shardFor(c fusleep.Cell) *shard {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(c.Key()))
+	_, _ = h.Write([]byte(c.SimKey()))
 	return s.shards[h.Sum64()%uint64(len(s.shards))]
 }
 
@@ -541,6 +545,23 @@ func (s *Server) admit(n int) bool {
 
 // release returns n cells of backlog reservation.
 func (s *Server) release(n int) { s.pendingCells.Add(-int64(n)) }
+
+// shedBacklog is the single admission gate for submission handlers: it
+// reserves backlog room for n cells, and on overload counts the rejection
+// on rejects and emits the canonical shed response — a Retry-After header
+// plus the CodeBacklogFull 429 envelope — so clients see identical
+// backpressure signals from every endpoint. Returns whether the
+// submission was admitted.
+func (s *Server) shedBacklog(w http.ResponseWriter, rejects *telemetry.Counter, n int) bool {
+	if s.admit(n) {
+		return true
+	}
+	rejects.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, fleet.CodeBacklogFull,
+		"backlog full (%d pending cells); retry later", s.pendingCells.Load())
+	return false
+}
 
 // retryAfterSeconds estimates how long a shed client should wait before
 // resubmitting: at least a second, growing with the backlog.

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/archsim/fusleep/internal/fleet"
+)
+
+// TestShedBacklogUniformAcrossEndpoints drives every submission endpoint
+// against a saturated backlog and requires the identical shed response:
+// 429, the same positive Retry-After hint, and the same CodeBacklogFull
+// envelope — the contract the shared shedBacklog helper centralizes. Each
+// endpoint must count the rejection on its own metric and leave the
+// other's untouched.
+func TestShedBacklogUniformAcrossEndpoints(t *testing.T) {
+	endpoints := []struct {
+		name    string
+		path    string
+		body    string
+		rejects func(s *Server) uint64
+		other   func(s *Server) uint64
+	}{
+		{
+			name:    "sweep submit",
+			path:    "/v1/sweeps",
+			body:    `{"benchmarks":["gcc"],"window":20000,"policies":[{"policy":"MaxSleep"}]}`,
+			rejects: func(s *Server) uint64 { return s.rejected.Load() },
+			other:   func(s *Server) uint64 { return s.tunesReject.Load() },
+		},
+		{
+			name:    "tune submit",
+			path:    "/v1/optimize",
+			body:    `{"benchmarks":["gcc"],"window":20000,"maxEvals":8}`,
+			rejects: func(s *Server) uint64 { return s.tunesReject.Load() },
+			other:   func(s *Server) uint64 { return s.rejected.Load() },
+		},
+	}
+
+	type shed struct {
+		status     int
+		retryAfter string
+		code       string
+		message    string
+	}
+	var got []shed
+	for _, ep := range endpoints {
+		t.Run(strings.ReplaceAll(ep.name, " ", "_"), func(t *testing.T) {
+			s, ts := newTestServer(t, Config{MaxPending: 4})
+			// Saturate the backlog reservation directly: admission sheds
+			// once pending >= capacity, no in-flight work needed.
+			s.pendingCells.Add(int64(s.capacity()))
+
+			resp, err := http.Post(ts.URL+ep.path, "application/json", strings.NewReader(ep.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("%s over full backlog = %s, want 429", ep.name, resp.Status)
+			}
+			var e apiError
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("%s shed body: %v", ep.name, err)
+			}
+			if ep.rejects(s) != 1 {
+				t.Errorf("%s reject counter = %d, want 1", ep.name, ep.rejects(s))
+			}
+			if ep.other(s) != 0 {
+				t.Errorf("%s incremented the other endpoint's reject counter", ep.name)
+			}
+			got = append(got, shed{
+				status:     resp.StatusCode,
+				retryAfter: resp.Header.Get("Retry-After"),
+				code:       e.Error.Code,
+				message:    e.Error.Message,
+			})
+		})
+	}
+	if len(got) != len(endpoints) {
+		t.Fatalf("collected %d shed responses, want %d", len(got), len(endpoints))
+	}
+
+	want := shed{
+		status:     http.StatusTooManyRequests,
+		retryAfter: "2", // 1 + pending/capacity with the backlog exactly full
+		code:       fleet.CodeBacklogFull,
+		message:    "backlog full (4 pending cells); retry later",
+	}
+	for i, g := range got {
+		if g != want {
+			t.Errorf("%s shed response = %+v, want %+v", endpoints[i].name, g, want)
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
@@ -396,11 +395,7 @@ func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fleet.CodeBadRequest, "bad tune request: %v", err)
 		return
 	}
-	if !s.admit(budget) {
-		s.tunesReject.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, fleet.CodeBacklogFull,
-			"backlog full (%d pending cells); retry later", s.pendingCells.Load())
+	if !s.shedBacklog(w, s.tunesReject, budget) {
 		return
 	}
 	// Accepted tune jobs outlive the submitting request; the queue owns

@@ -47,6 +47,9 @@ type Emitter struct {
 	limit uint64
 	done  bool
 	rng   *rand.Rand
+	// scratch absorbs writes after done: slot keeps handing out a valid
+	// target so kernels only need to check Done at loop boundaries.
+	scratch isa.Inst
 }
 
 // Done reports whether the kernel should stop generating (limit reached or
@@ -56,19 +59,33 @@ func (e *Emitter) Done() bool { return e.done }
 // Rand returns the kernel's deterministic random source.
 func (e *Emitter) Rand() *rand.Rand { return e.rng }
 
-func (e *Emitter) emit(in isa.Inst) {
+// slot claims the next instruction's batch slot, zeroed with its sequence
+// number assigned, and returns it for the caller to fill in place — the
+// emit helpers write each instruction exactly once, into its final
+// position, instead of building a literal and copying it through a call
+// and an append. A full batch is flushed lazily on the next claim (the
+// generator's final flush covers the tail), which delivers the identical
+// batch boundaries the eager flush did.
+func (e *Emitter) slot() *isa.Inst {
 	if e.done {
-		return
+		e.scratch = isa.Inst{}
+		return &e.scratch
 	}
-	in.Seq = e.seq
-	e.seq++
-	e.batch = append(e.batch, in)
 	if len(e.batch) >= batchSize {
 		e.flush()
+		if e.done {
+			e.scratch = isa.Inst{}
+			return &e.scratch
+		}
 	}
+	e.batch = e.batch[:len(e.batch)+1]
+	in := &e.batch[len(e.batch)-1]
+	*in = isa.Inst{Seq: e.seq}
+	e.seq++
 	if e.limit > 0 && e.seq >= e.limit {
 		e.done = true
 	}
+	return in
 }
 
 func (e *Emitter) flush() {
@@ -87,57 +104,67 @@ func (e *Emitter) flush() {
 
 // ALU emits a single-cycle integer operation.
 func (e *Emitter) ALU(pc uint64, dest, s1, s2 isa.Reg) {
-	e.emit(isa.Inst{PC: pc, Class: isa.IntALU, Dest: dest, Src1: s1, Src2: s2})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2 = pc, isa.IntALU, dest, s1, s2
 }
 
 // Mult emits an integer multiply.
 func (e *Emitter) Mult(pc uint64, dest, s1, s2 isa.Reg) {
-	e.emit(isa.Inst{PC: pc, Class: isa.IntMult, Dest: dest, Src1: s1, Src2: s2})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2 = pc, isa.IntMult, dest, s1, s2
 }
 
 // FPALU emits a floating-point add.
 func (e *Emitter) FPALU(pc uint64, dest, s1, s2 isa.Reg) {
-	e.emit(isa.Inst{PC: pc, Class: isa.FPALU, Dest: dest, Src1: s1, Src2: s2})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2 = pc, isa.FPALU, dest, s1, s2
 }
 
 // Load emits a data load from addr through base register base.
 func (e *Emitter) Load(pc uint64, dest, base isa.Reg, addr uint64) {
-	e.emit(isa.Inst{PC: pc, Class: isa.Load, Dest: dest, Src1: base, Src2: isa.RegNone, Addr: addr})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2, in.Addr = pc, isa.Load, dest, base, isa.RegNone, addr
 }
 
 // Store emits a data store of register data to addr through base.
 func (e *Emitter) Store(pc uint64, base, data isa.Reg, addr uint64) {
-	e.emit(isa.Inst{PC: pc, Class: isa.Store, Dest: isa.RegNone, Src1: base, Src2: data, Addr: addr})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2, in.Addr = pc, isa.Store, isa.RegNone, base, data, addr
 }
 
 // Branch emits a conditional branch with the given actual outcome. cond is
 // the register the branch tests.
 func (e *Emitter) Branch(pc uint64, cond isa.Reg, taken bool, target uint64) {
-	e.emit(isa.Inst{PC: pc, Class: isa.Branch, Src1: cond, Src2: isa.RegNone, Dest: isa.RegNone,
-		Taken: taken, Target: target})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2 = pc, isa.Branch, isa.RegNone, cond, isa.RegNone
+	in.Taken, in.Target = taken, target
 }
 
 // Jump emits an unconditional direct jump.
 func (e *Emitter) Jump(pc, target uint64) {
-	e.emit(isa.Inst{PC: pc, Class: isa.Jump, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
-		Taken: true, Target: target})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2 = pc, isa.Jump, isa.RegNone, isa.RegNone, isa.RegNone
+	in.Taken, in.Target = true, target
 }
 
 // Call emits a direct call.
 func (e *Emitter) Call(pc, target uint64) {
-	e.emit(isa.Inst{PC: pc, Class: isa.Call, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
-		Taken: true, Target: target})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2 = pc, isa.Call, isa.RegNone, isa.RegNone, isa.RegNone
+	in.Taken, in.Target = true, target
 }
 
 // Return emits a function return to target.
 func (e *Emitter) Return(pc, target uint64) {
-	e.emit(isa.Inst{PC: pc, Class: isa.Return, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
-		Taken: true, Target: target})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2 = pc, isa.Return, isa.RegNone, isa.RegNone, isa.RegNone
+	in.Taken, in.Target = true, target
 }
 
 // Nop emits a front-end-only instruction.
 func (e *Emitter) Nop(pc uint64) {
-	e.emit(isa.Inst{PC: pc, Class: isa.Nop, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone})
+	in := e.slot()
+	in.PC, in.Class, in.Dest, in.Src1, in.Src2 = pc, isa.Nop, isa.RegNone, isa.RegNone, isa.RegNone
 }
 
 // Trace is the pull side: an isa.Stream fed by a kernel goroutine.
@@ -197,6 +224,36 @@ func (t *Trace) Next() (isa.Inst, bool) {
 	in := t.cur[t.pos]
 	t.pos++
 	return in, true
+}
+
+// NextBatch is the bulk counterpart of Next, implementing the simulator's
+// optional batch fast path: it returns the next contiguous run of
+// instructions, transferring ownership to the caller, and takes back the
+// fully-consumed slice from the caller's previous call so batches keep
+// recycling through the generator pool. Mixing Next and NextBatch on one
+// Trace is supported; each instruction is still delivered exactly once.
+func (t *Trace) NextBatch(recycle []isa.Inst) ([]isa.Inst, bool) {
+	putBatch(recycle)
+	if t.pos < len(t.cur) {
+		b := t.cur[t.pos:]
+		t.cur, t.pos = nil, 0
+		return b, true
+	}
+	if t.cur != nil {
+		putBatch(t.cur)
+		t.cur, t.pos = nil, 0
+	}
+	if t.exhausted {
+		return nil, false
+	}
+	// The generator only flushes non-empty batches, so one receive either
+	// yields instructions or ends the stream.
+	batch, ok := <-t.ch
+	if !ok {
+		t.exhausted = true
+		return nil, false
+	}
+	return batch, true
 }
 
 // Close implements isa.Stream, releasing the generator goroutine and

@@ -30,6 +30,9 @@ type (
 	TuneResult = optimize.Result
 	// TuneEvaluator scores one candidate cell; see WithTuneEvaluator.
 	TuneEvaluator = optimize.Evaluator
+	// TuneBatchEvaluator scores one tuner round's cells in a single call;
+	// see WithTuneBatchEvaluator.
+	TuneBatchEvaluator = optimize.BatchEvaluator
 )
 
 // The tuner's objective kinds: minimize E·D, E·D², or leakage energy.
@@ -92,13 +95,20 @@ func WithTuneParallelism(n int) TuneOption {
 	}
 }
 
-// WithTuneEvaluator overrides how candidate cells are evaluated. The
-// default evaluates through the engine's shared simulation cache
-// (Engine.RunCell); the sweep service substitutes an evaluator that routes
-// probes through its sharded job queue so tuner and sweep cells share
-// workers and dedupe.
+// WithTuneEvaluator overrides how candidate cells are evaluated, cell by
+// cell. The default evaluates rounds batched through the engine's shared
+// simulation cache (Engine.RunCells); the sweep service substitutes an
+// evaluator that routes probes through its sharded job queue so tuner and
+// sweep cells share workers and dedupe.
 func WithTuneEvaluator(eval TuneEvaluator) TuneOption {
 	return func(c *optimize.Config) { c.Eval = eval }
+}
+
+// WithTuneBatchEvaluator overrides how whole tuner rounds are evaluated; it
+// takes precedence over WithTuneEvaluator. The batch evaluator must return
+// exactly the per-cell results the cell-by-cell path would, in input order.
+func WithTuneBatchEvaluator(eval TuneBatchEvaluator) TuneOption {
+	return func(c *optimize.Config) { c.BatchEval = eval }
 }
 
 // Optimize searches the policy-parameter space for the configuration that
@@ -119,9 +129,14 @@ func (e *Engine) OptimizeStream(ctx context.Context, fn func(TuneProbe) error, o
 		o(&cfg)
 	}
 	cfg.Space = cfg.Space.WithDefaults(e.tech, e.window)
-	if cfg.Eval == nil {
-		cfg.Eval = func(ctx context.Context, c Cell) (CellResult, error) {
-			return e.RunCell(ctx, c)
+	if cfg.Eval == nil && cfg.BatchEval == nil {
+		// Default evaluation is batched: each tuner round's probes are
+		// grouped by simulation identity, simulated once per (workload,
+		// FU-mix) group, and scored closed-form off the recorded profiles.
+		// A caller-supplied evaluator (WithTuneEvaluator — e.g. the sweep
+		// service's sharded queue) keeps the per-cell path.
+		cfg.BatchEval = func(ctx context.Context, cells []Cell) ([]CellResult, error) {
+			return e.RunCells(ctx, cells)
 		}
 	}
 	return optimize.Run(ctx, cfg, fn)

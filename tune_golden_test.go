@@ -114,8 +114,13 @@ func TestGoldenTunerMatchesExhaustiveGrid(t *testing.T) {
 	if tunerRequests > uint64(gridCells/5) {
 		t.Errorf("tuner issued %d sim requests; the budget is 1/5 of the grid's %d", tunerRequests, gridCells)
 	}
-	if res.Evals != int(tunerRequests) {
-		t.Errorf("tuner reports %d evals but issued %d sim requests", res.Evals, tunerRequests)
+	// Shared-pass batching: each tuner round simulates once per distinct
+	// (workload, FU-mix) group and evaluates its policy variants closed-form
+	// off the recorded profiles, so the engine sees strictly fewer
+	// simulation requests than cell evaluations (the space has only two FU
+	// mixes) — where the per-cell path issued exactly one request per eval.
+	if tunerRequests >= uint64(res.Evals) {
+		t.Errorf("tuner issued %d sim requests for %d evals; batching should coalesce rounds into per-mix suite requests", tunerRequests, res.Evals)
 	}
 	if res.Best.Score > gridBest*1.02 {
 		t.Errorf("tuner best E·D %.6f misses the grid optimum %.6f (%s) by more than 2%%",
